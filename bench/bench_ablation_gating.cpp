@@ -1,0 +1,97 @@
+/// A1 (ablation) — the paper's first-order energy model "assumes an
+/// architecture in which functional units are gated off in every cycle if
+/// they are not used ... While this selective gating may be difficult to
+/// achieve in a practical implementation, ... this measure gives an
+/// algorithmic-based bound on the power dissipated."
+///
+/// This ablation quantifies the caveat: the same Jacobi run is re-simulated
+/// with degrading clock-gating effectiveness and growing static leakage, and
+/// the gap between the paper's bound (perfect gating) and the simulated
+/// energy is reported. The model's E stays a *lower* bound on real energy,
+/// exactly as claimed.
+
+#include "algo/jacobi.hpp"
+#include "core/core.hpp"
+#include "machine/simulator.hpp"
+#include "report/table.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace stamp;
+
+  const MachineModel m = presets::niagara();
+  report::print_section(std::cout,
+                        "A1: how much does the perfect-gating assumption hide?");
+
+  const int n = 16;
+  const algo::LinearSystem sys = algo::make_diagonally_dominant_system(n, 321);
+  algo::JacobiOptions opt;
+  opt.processes = 8;  // one per core: queueing/barrier waits show up as idle
+  opt.distribution = Distribution::InterProc;
+  const auto dist = algo::jacobi_distributed(sys, m.topology, opt);
+
+  std::vector<machine::ProcessTrace> traces;
+  for (const auto& rec : dist.run.recorders)
+    traces.push_back(machine::trace_of_recorder(rec, CommMode::Synchronous));
+
+  const Cost model = dist.run.total_cost(dist.placement, m.params, m.energy);
+  std::cout << "Paper-model energy (gated per-op sum): " << model.energy
+            << "\n\n";
+
+  report::Table table("Simulated energy vs gating effectiveness and leakage",
+                      {"gating", "static/core", "E dynamic", "E idle",
+                       "E static", "E total", "vs model bound"});
+  table.set_precision(1);
+  for (double gating : {1.0, 0.9, 0.75, 0.5, 0.25, 0.0}) {
+    for (double leak : {0.0, 0.5}) {
+      machine::SimConfig cfg;
+      cfg.gating_effectiveness = gating;
+      cfg.static_power_per_core = leak;
+      const machine::SimResult r =
+          machine::replay(traces, dist.placement, m, cfg);
+      table.add_row({gating, leak, r.energy_dynamic, r.energy_idle,
+                     r.energy_static, r.energy, r.energy / model.energy});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout <<
+      "\nReading: with perfect gating and no leakage the simulator reproduces\n"
+      "the model's energy exactly (ratio 1.0). Degrading gating or adding\n"
+      "leakage only ever adds energy — the paper's E is an algorithmic lower\n"
+      "bound, which is precisely how Section 3.1 positions it.\n";
+
+  // Second axis: gating changes which *placement* wins on energy. Co-located
+  // (intra) runs finish the same work with fewer idle gaps per occupied core.
+  report::print_section(std::cout, "A1b: gating interacts with distribution");
+  report::Table placements("8 processes, intra vs inter, ungated idle burn",
+                           {"distribution", "gating", "cores used", "E total"});
+  placements.set_precision(1);
+  for (const Distribution d : {Distribution::IntraProc, Distribution::InterProc}) {
+    algo::JacobiOptions o;
+    o.processes = 8;
+    o.distribution = d;
+    const auto run = algo::jacobi_distributed(sys, m.topology, o);
+    std::vector<machine::ProcessTrace> tr;
+    for (const auto& rec : run.run.recorders)
+      tr.push_back(machine::trace_of_recorder(rec, CommMode::Synchronous));
+    int used = 0;
+    for (int occ : run.placement.occupancy()) used += occ > 0 ? 1 : 0;
+    for (double gating : {1.0, 0.0}) {
+      machine::SimConfig cfg;
+      cfg.gating_effectiveness = gating;
+      const machine::SimResult r = machine::replay(tr, run.placement, m, cfg);
+      placements.add_row({std::string(keyword(d)), gating,
+                          static_cast<long long>(used), r.energy});
+    }
+  }
+  placements.print(std::cout);
+  std::cout <<
+      "\nReading: under perfect gating the two placements burn identical\n"
+      "energy (same operations). Without gating, spreading over more cores\n"
+      "leaves more occupied-but-idle silicon, so inter_proc pays extra —\n"
+      "a second-order effect the distribution attribute should weigh on\n"
+      "poorly-gated machines.\n";
+  return 0;
+}

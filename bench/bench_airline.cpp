@@ -1,0 +1,91 @@
+/// E4 — Section 4's airline-reservation example: `reserve` with three
+/// independent leg subtransactions [trans_exec, async_comm] and the paper's
+/// partial-commit decision procedure.
+///
+/// The bench compares the paper's Partial policy against AllOrNothing under
+/// increasing seat scarcity: the flexibility async_comm + optimistic
+/// execution buys shows up as higher booking yield, never as overbooking.
+
+#include "algo/airline.hpp"
+#include "core/core.hpp"
+#include "report/table.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace stamp;
+
+  const MachineModel machine = presets::niagara();
+  report::print_section(
+      std::cout, "E4: airline reserve [inter_proc, trans_exec, async_comm]");
+
+  report::Table table("Partial vs all-or-nothing under scarcity "
+                      "(8 processes x 800 reservations, 12 legs)",
+                      {"seats/leg", "policy", "succeeded", "failed",
+                       "legs booked", "yield/att", "overbooked", "aborts"});
+  table.set_precision(3);
+
+  for (int seats : {400, 200, 100, 50}) {
+    for (const algo::ReservePolicy policy :
+         {algo::ReservePolicy::Partial, algo::ReservePolicy::AllOrNothing}) {
+      algo::ReservationWorkload w;
+      w.processes = 8;
+      w.reservations_per_process = 800;
+      w.legs = 12;
+      w.seats_per_leg = seats;
+      w.policy = policy;
+      const algo::ReservationRunResult r =
+          algo::run_reservation_workload(machine.topology, w, "backoff");
+      table.add_row(
+          {static_cast<long long>(seats),
+           std::string(policy == algo::ReservePolicy::Partial ? "partial"
+                                                              : "all-or-nothing"),
+           r.succeeded, r.failed, r.legs_booked,
+           static_cast<double>(r.legs_booked) / static_cast<double>(r.attempted),
+           r.overbooked_legs, static_cast<long long>(r.stm_aborts)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout <<
+      "\nReading: as seats get scarce the partial policy books strictly more\n"
+      "legs per attempt than all-or-nothing (committed legs stand — the\n"
+      "paper's 'the committed leg is not full' branch), and no row ever\n"
+      "overbooks: each leg decrement is an atomic trans_exec subtransaction.\n";
+
+  // Model cost of the two distributions (the paper marks reserve inter_proc).
+  report::Table dist("Distribution attribute (model cost, 4 processes — one\n"
+                     "core can host all of them under intra_proc)",
+                     {"distribution", "T model", "E model", "P model",
+                      "per-core power max"});
+  dist.set_precision(1);
+  for (const Distribution d : {Distribution::IntraProc, Distribution::InterProc}) {
+    algo::ReservationWorkload w;
+    w.processes = 4;
+    w.reservations_per_process = 500;
+    w.legs = 12;
+    w.seats_per_leg = 100;
+    w.distribution = d;
+    const algo::ReservationRunResult r =
+        algo::run_reservation_workload(machine.topology, w, "backoff");
+    const std::vector<Cost> costs =
+        r.run.process_costs(r.placement, machine.params, machine.energy);
+    const Cost total = r.run.total_cost(r.placement, machine.params, machine.energy);
+    // Worst per-core power under this placement.
+    std::vector<double> per_core(
+        static_cast<std::size_t>(machine.topology.total_processors()), 0);
+    for (int i = 0; i < static_cast<int>(costs.size()); ++i)
+      per_core[static_cast<std::size_t>(r.placement.processor_of(i))] +=
+          costs[static_cast<std::size_t>(i)].power();
+    double worst = 0;
+    for (double p : per_core) worst = std::max(worst, p);
+    dist.add_row({std::string(keyword(d)), total.time, total.energy,
+                  total.power(), worst});
+  }
+  dist.print(std::cout);
+  std::cout <<
+      "\nReading: inter_proc costs more time (L2-speed conflicts) but spreads\n"
+      "power across cores — the per-core maximum drops, which is why the\n"
+      "paper assigns reserve inter_proc when the envelope binds.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+/// X2 — crossover analysis: where the winner flips.
+///
+/// Every comparison the model supports has a crossover point, and locating it
+/// is the practical payoff of a closed-form model (no hardware sweep needed).
+/// Four of them:
+///   1. equal-power core count where speedup passes 2 (the Section 2.1 claim)
+///   2. serial fraction at which more cores stop paying at equal power
+///   3. communication volume at which packing (intra_proc) overtakes
+///      spreading (inter_proc) — below it the packed group's extra latency
+///      bracket loses; above it the cheap intra bandwidth wins
+///   4. message volume where BSP's barrier amortizes against LogP overheads
+
+#include "core/core.hpp"
+#include "models/models.hpp"
+#include "models/speedup.hpp"
+#include "report/table.hpp"
+
+#include <cmath>
+#include <iostream>
+
+int main() {
+  using namespace stamp;
+
+  report::print_section(std::cout, "X2: where the crossovers fall");
+
+  // ---- 1. equal-power speedup > 2 ---------------------------------------------
+  {
+    const CostFn deficit = [](long long p) {
+      return 2.0 - models::equal_power_amdahl_speedup(0.0, static_cast<int>(p));
+    };
+    const CostFn zero = [](long long) { return 0.0; };
+    const auto cores = first_win(deficit, zero, 1, 64);
+    std::cout << "1. Cores needed for equal-power speedup > 2 (s = 0): "
+              << (cores ? std::to_string(*cores) : "never")
+              << "   (the paper uses 8; 3 already suffices)\n";
+  }
+
+  // ---- 2. optimal equal-power core count vs serial fraction -------------------
+  report::Table amdahl("2. Equal-power optimum vs serial fraction (max 512 cores)",
+                       {"serial fraction", "best cores", "speedup at best"});
+  amdahl.set_precision(3);
+  for (double s : {0.0, 0.01, 0.05, 0.1, 0.25, 0.5}) {
+    const int best = models::optimal_equal_power_cores(s, 512);
+    amdahl.add_row({s, static_cast<long long>(best),
+                    models::equal_power_amdahl_speedup(s, best)});
+  }
+  amdahl.print(std::cout);
+  std::cout << "Reading: even 5% serial work caps the power-optimal design at\n"
+               "a few dozen cores — the flip side of the power-wall argument.\n\n";
+
+  // ---- 3. placement crossover in communication volume -------------------------
+  {
+    MachineModel m = presets::niagara();
+    m.envelope = PowerEnvelope{};
+    // A synthetic process: fixed compute, sweep the communication volume.
+    const double compute = 400;
+    auto profile_for = [&](long long comm) {
+      ProcessProfile p;
+      p.c_fp = compute;
+      p.m_s = p.m_r = static_cast<double>(comm);
+      p.units = 10;
+      return p;
+    };
+    auto cost_under = [&](Distribution d, long long comm) {
+      const std::vector<ProcessProfile> profiles(8, profile_for(comm));
+      const PlacementResult r =
+          d == Distribution::IntraProc
+              ? place_fill_first(profiles, m, Objective::D)
+              : place_round_robin(profiles, m, Objective::D);
+      return r.eval.objective;
+    };
+    const CostFn intra = [&](long long c) {
+      return cost_under(Distribution::IntraProc, c);
+    };
+    const CostFn inter = [&](long long c) {
+      return cost_under(Distribution::InterProc, c);
+    };
+
+    report::Table table("3. 8 processes, compute 400/unit, packed (2 cores) vs "
+                        "spread (8 cores)",
+                        {"msgs/unit", "T packed", "T spread", "winner"});
+    table.set_precision(0);
+    for (long long c : {1LL, 5LL, 20LL, 100LL, 500LL}) {
+      const double ti = intra(c);
+      const double te = inter(c);
+      table.add_row({c, ti, te,
+                     std::string(ti < te   ? "packed"
+                                 : te < ti ? "spread"
+                                           : "tie")});
+    }
+    table.print(std::cout);
+    const auto c = find_crossover(inter, intra, 1, 2000);
+    if (c) {
+      std::cout << "Crossover at " << c->at
+                << " msgs/unit: below it the spread placement wins (a packed\n"
+                   "group still has remote peers, so it pays BOTH latency\n"
+                   "brackets, L_a + L_e, per round); above it the packed\n"
+                   "group's cheap intra bandwidth (g_mp_a < g_mp_e) dominates.\n"
+                   "The keyword alone does not decide — the model does.\n\n";
+    } else {
+      std::cout << "No crossover in range.\n\n";
+    }
+  }
+
+  // ---- 4. BSP vs LogP ----------------------------------------------------------
+  {
+    const models::BspParams bsp{.g = 4, .l = 50};
+    const models::LogPParams logp{.L = 40, .o = 3, .g = 4};
+    const CostFn bsp_cost = [&](long long msgs) {
+      models::RoundSpec r;
+      r.msgs_out = r.msgs_in = static_cast<double>(msgs);
+      return models::bsp_round_time(r, bsp);
+    };
+    const CostFn logp_cost = [&](long long msgs) {
+      models::RoundSpec r;
+      r.msgs_out = r.msgs_in = static_cast<double>(msgs);
+      return models::logp_round_time(r, logp);
+    };
+    const auto c = find_crossover(logp_cost, bsp_cost, 1, 10'000);
+    if (c) {
+      std::cout << "4. BSP vs LogP: LogP wins light rounds (no barrier), BSP\n"
+                << "   amortizes its l = " << bsp.l << " barrier at "
+                << c->at << " messages/round (LogP " << c->f_after << " vs BSP "
+                << c->g_after << ").\n";
+    }
+  }
+
+  std::cout << "\nAll four crossovers computed purely from the closed forms —\n"
+               "no thread, no simulator, no hardware.\n";
+  return 0;
+}

@@ -1,0 +1,221 @@
+/// X1 — extension algorithms: the STAMP model applied beyond the paper's
+/// three examples. Parallel reduction (four substrate variants), prefix sum,
+/// sample sort, dense matrix multiply, BFS and PageRank (sync vs async) —
+/// each instrumented end to end and priced by the model.
+///
+/// The point: the model's columns (T, E, P, and the D/PDP/EDP/ED2P metrics)
+/// come out of the same machinery for every algorithm; nothing is bespoke.
+
+#include "algo/algo.hpp"
+#include "core/core.hpp"
+#include "report/table.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace stamp;
+
+  const MachineModel m = presets::niagara();
+
+  // ---- reduction: one job, four substrates -----------------------------------
+  report::print_section(std::cout, "X1a: reduction across substrates");
+  report::Table red("Sum of 2^14 elements, 8 processes",
+                    {"variant", "correct", "T model", "E model", "P",
+                     "aborts", "kappa"});
+  red.set_precision(0);
+  for (const algo::ReduceVariant v :
+       {algo::ReduceVariant::Tree, algo::ReduceVariant::Doubling,
+        algo::ReduceVariant::Queued, algo::ReduceVariant::Stm}) {
+    algo::ReduceWorkload w;
+    w.processes = 8;
+    w.elements = 1 << 14;
+    const algo::ReduceRunResult r = run_reduce(m.topology, w, v);
+    const Cost c = r.run.total_cost(r.placement, m.params, m.energy);
+    red.add_row({std::string(to_string(v)),
+                 std::string(r.correct() ? "yes" : "NO"), c.time, c.energy,
+                 c.power(), static_cast<long long>(r.stm_aborts),
+                 r.worst_serialization});
+  }
+  red.print(std::cout);
+
+  // ---- prefix sum and sample sort ---------------------------------------------
+  report::print_section(std::cout, "X1b: prefix sum and sample sort");
+  report::Table scal("Scaling with process count",
+                     {"algorithm", "p", "correct", "T model", "E model"});
+  scal.set_precision(0);
+  for (int p : {2, 4, 8, 16}) {
+    {
+      algo::PrefixSumWorkload w;
+      w.processes = p;
+      w.elements = 1 << 14;
+      const algo::PrefixSumRunResult r = run_prefix_sum(m.topology, w);
+      const Cost c = r.run.total_cost(r.placement, m.params, m.energy);
+      scal.add_row({std::string("prefix-sum"), static_cast<long long>(p),
+                    std::string(r.correct() ? "yes" : "NO"), c.time, c.energy});
+    }
+    {
+      algo::SortWorkload w;
+      w.processes = p;
+      w.elements = 1 << 13;
+      const algo::SortRunResult r = run_sample_sort(m.topology, w);
+      const Cost c = r.run.total_cost(r.placement, m.params, m.energy);
+      scal.add_row({std::string("sample-sort"), static_cast<long long>(p),
+                    std::string(r.correct ? "yes" : "NO"), c.time, c.energy});
+    }
+  }
+  scal.print(std::cout);
+
+  // ---- matmul: model time vs panel count --------------------------------------
+  report::print_section(std::cout, "X1c: 1-D SUMMA matrix multiply");
+  report::Table mm("C = A x B, n = 48", {"p", "max |err|", "T model",
+                                         "E model", "msgs total"});
+  mm.set_precision(1);
+  for (int p : {1, 2, 4, 8}) {
+    algo::MatmulWorkload w;
+    w.processes = p;
+    w.n = 48;
+    const algo::MatmulRunResult r = run_matmul(m.topology, w);
+    const Cost c = r.run.total_cost(r.placement, m.params, m.energy);
+    const CostCounters t = r.run.total_counters();
+    mm.add_row({static_cast<long long>(p), r.max_abs_error, c.time, c.energy,
+                t.m_s_a + t.m_s_e});
+  }
+  mm.print(std::cout);
+
+  // ---- BFS / PageRank: sync vs async ------------------------------------------
+  report::print_section(std::cout, "X1d: BFS and PageRank, synch vs async");
+  const algo::Graph g = algo::make_random_graph(16, 909, 0.25);
+  report::Table ga("16-vertex graph, 8 processes",
+                   {"algorithm", "comm", "rounds max", "correct", "T model",
+                    "E model"});
+  ga.set_precision(0);
+  for (const CommMode comm : {CommMode::Synchronous, CommMode::Asynchronous}) {
+    {
+      algo::BfsOptions opt;
+      opt.processes = 8;
+      opt.comm = comm;
+      const algo::BfsResult r = bfs_distributed(g, m.topology, opt);
+      int rounds = 0;
+      for (int x : r.rounds) rounds = std::max(rounds, x);
+      const Cost c = r.run.total_cost(r.placement, m.params, m.energy);
+      ga.add_row({std::string("bfs"), std::string(keyword(comm)),
+                  static_cast<long long>(rounds),
+                  std::string(r.depth == algo::bfs_reference(g, 0) ? "yes" : "NO"),
+                  c.time, c.energy});
+    }
+    {
+      algo::PageRankOptions opt;
+      opt.processes = 8;
+      opt.comm = comm;
+      opt.tolerance = 1e-10;
+      opt.max_rounds = 3000;  // async chaotic sweeps publish more often
+      const algo::PageRankResult r = pagerank_distributed(g, m.topology, opt);
+      const std::vector<double> expected =
+          algo::pagerank_reference(g, opt.damping, 1e-12, 500);
+      bool ok = true;
+      for (std::size_t i = 0; i < expected.size(); ++i)
+        if (std::abs(r.ranks[i] - expected[i]) > 1e-5) ok = false;
+      int rounds = 0;
+      for (int x : r.rounds) rounds = std::max(rounds, x);
+      const Cost c = r.run.total_cost(r.placement, m.params, m.energy);
+      ga.add_row({std::string("pagerank"), std::string(keyword(comm)),
+                  static_cast<long long>(rounds),
+                  std::string(ok ? "yes" : "NO"), c.time, c.energy});
+    }
+  }
+  ga.print(std::cout);
+
+  // ---- replicated DB: the paper's own server use cases -----------------------
+  report::print_section(std::cout,
+                        "X1e: replicated database (the paper's server quadrants)");
+  report::Table db("8 servers x 1000 ops, 64 keys",
+                   {"mode", "quadrant", "hot", "consistent", "log kappa",
+                    "msgs routed", "T model", "E model"});
+  db.set_precision(0);
+  for (const algo::DbMode mode : {algo::DbMode::SharedLog, algo::DbMode::Sharded}) {
+    for (double hot : {0.0, 1.0}) {
+      algo::DbWorkload w;
+      w.servers = 8;
+      w.ops_per_server = 1000;
+      w.hot_fraction = hot;
+      const algo::DbRunResult r = run_replicated_db(m.topology, w, mode);
+      const Cost c = r.run.total_cost(r.placement, m.params, m.energy);
+      db.add_row({std::string(to_string(mode)),
+                  std::string(mode == algo::DbMode::SharedLog
+                                  ? "async_exec+synch_comm"
+                                  : "async_exec+async_comm"),
+                  hot, std::string(r.consistent ? "yes" : "NO"),
+                  r.worst_serialization, r.messages_routed, c.time, c.energy});
+    }
+  }
+  db.print(std::cout);
+
+  // ---- stencil: sparse halo exchange vs dense all-to-all ----------------------
+  report::print_section(std::cout,
+                        "X1g: halo-exchange stencil (O(1) msgs/round/process)");
+  report::Table st("1-D heat stencil, 64 cells x 200 steps",
+                   {"p", "correct", "msgs/process/round", "T model", "E model"});
+  st.set_precision(0);
+  for (int p : {1, 2, 4, 8}) {
+    algo::StencilProblem prob;
+    prob.cells = 64;
+    algo::StencilOptions opt;
+    opt.processes = p;
+    opt.steps = 200;
+    const algo::StencilResult r = algo::stencil_distributed(prob, m.topology, opt);
+    const std::vector<double> expected =
+        algo::stencil_sequential(prob, opt.steps);
+    bool ok = r.temperature.size() == expected.size();
+    for (std::size_t i = 0; ok && i < expected.size(); ++i)
+      ok = r.temperature[i] == expected[i];
+    const Cost c = r.run.total_cost(r.placement, m.params, m.energy);
+    const CostCounters t = r.run.total_counters();
+    st.add_row({static_cast<long long>(p), std::string(ok ? "yes" : "NO"),
+                p > 1 ? (t.m_s_a + t.m_s_e) / (p * opt.steps) : 0.0, c.time,
+                c.energy});
+  }
+  st.print(std::cout);
+  std::cout << "\nReading: unlike Jacobi's all-to-all (p-1 messages per\n"
+               "process per round), the stencil's halo exchange stays at ~2\n"
+               "messages regardless of p — T keeps dropping as processes are\n"
+               "added because communication does not grow back.\n";
+
+  // ---- solver selection: Jacobi vs red-black Gauss-Seidel ---------------------
+  report::print_section(std::cout,
+                        "X1f: solver selection — Jacobi vs two-phase Gauss-Seidel");
+  report::Table solvers("Same system, tolerance 1e-10, 4 processes",
+                        {"solver", "iterations", "T model", "E model", "EDP"});
+  solvers.set_precision(0);
+  for (int n : {12, 24}) {
+    const algo::LinearSystem sys = algo::make_diagonally_dominant_system(n, 777);
+    {
+      algo::JacobiOptions opt;
+      opt.processes = 4;
+      opt.tolerance = 1e-10;
+      const auto r = algo::jacobi_distributed(sys, m.topology, opt);
+      const Cost c = r.run.total_cost(r.placement, m.params, m.energy);
+      solvers.add_row({std::string("jacobi n=") + std::to_string(n),
+                       static_cast<long long>(r.solution.iterations), c.time,
+                       c.energy, metric_value(c, Objective::EDP)});
+    }
+    {
+      algo::GaussSeidelOptions opt;
+      opt.processes = 4;
+      opt.tolerance = 1e-10;
+      const auto r = algo::gauss_seidel_distributed(sys, m.topology, opt);
+      const Cost c = r.run.total_cost(r.placement, m.params, m.energy);
+      solvers.add_row({std::string("gauss-seidel n=") + std::to_string(n),
+                       static_cast<long long>(r.iterations), c.time, c.energy,
+                       metric_value(c, Objective::EDP)});
+    }
+  }
+  solvers.print(std::cout);
+
+  std::cout <<
+      "\nReading: every extension checks out against its sequential\n"
+      "reference; the tree/doubling reductions replace Theta(p) hot-spot\n"
+      "traffic with Theta(log p) rounds (visible in T and kappa); the async\n"
+      "variants trade extra sweeps for barrier-free progress, as in the\n"
+      "paper's APSP example.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+/// F1 — Figure 1 of the paper: the Sun Niagara multiprocessor chip (8 simple
+/// cores x 4 threads, private L1s, shared L2 over a crossbar).
+///
+/// The figure is an architecture diagram; our substitute is the parameterized
+/// machine model. This bench prints the simulated chip's topology and
+/// per-layer latency/bandwidth/energy parameters, then validates the
+/// structural properties the figure encodes: 32 hardware threads, intra-core
+/// communication strictly faster than inter-core at every layer, and L2/router
+/// contention visible as soon as several cores share them.
+
+#include "core/core.hpp"
+#include "machine/simulator.hpp"
+#include "report/table.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace stamp;
+
+  const MachineModel m = presets::niagara();
+  report::print_section(std::cout, "F1: Figure 1 — Niagara multiprocessor chip");
+  std::cout << "Simulated machine '" << m.name << "': " << m.topology << "\n\n";
+
+  report::Table topo("Topology", {"level", "count", "notes"});
+  topo.add_row({std::string("chips"), static_cast<long long>(m.topology.chips),
+                std::string("shared-memory CMP")});
+  topo.add_row({std::string("processors/chip"),
+                static_cast<long long>(m.topology.processors_per_chip),
+                std::string("simple in-order cores")});
+  topo.add_row({std::string("threads/processor"),
+                static_cast<long long>(m.topology.threads_per_processor),
+                std::string("CMT hardware threads")});
+  topo.add_row({std::string("total hardware threads"),
+                static_cast<long long>(m.topology.total_threads()),
+                std::string("the paper's '32 threads'")});
+  topo.print(std::cout);
+
+  report::Table params("Per-layer model parameters",
+                       {"layer", "latency", "bandwidth g", "energy/op"});
+  params.set_precision(2);
+  params.add_row({std::string("intra shm (L1)"), m.params.ell_a, m.params.g_sh_a,
+                  m.energy.w_d_r});
+  params.add_row({std::string("inter shm (L2/crossbar)"), m.params.ell_e,
+                  m.params.g_sh_e, m.energy.w_d_r});
+  params.add_row({std::string("intra msg (core-local)"), m.params.L_a,
+                  m.params.g_mp_a, m.energy.w_m_s});
+  params.add_row({std::string("inter msg (router)"), m.params.L_e,
+                  m.params.g_mp_e, m.energy.w_m_s});
+  params.print(std::cout);
+
+  // Structural validation: intra strictly cheaper at each layer.
+  const bool ordering_ok = m.params.ell_a < m.params.ell_e &&
+                           m.params.L_a < m.params.L_e &&
+                           m.params.g_sh_a < m.params.g_sh_e &&
+                           m.params.g_mp_a < m.params.g_mp_e;
+  std::cout << "\nIntra < inter at every layer: " << (ordering_ok ? "yes" : "NO")
+            << "\n\n";
+
+  // Contention probe: k cores each issue 64 L2 reads; the shared L2 port
+  // queues while private L1s do not.
+  report::Table probe("Shared-L2 contention probe (64 inter-shm reads per core)",
+                      {"active cores", "makespan via L2", "makespan via L1",
+                       "L2 utilization"});
+  probe.set_precision(2);
+  for (int cores = 1; cores <= m.topology.processors_per_chip; cores *= 2) {
+    const runtime::PlacementMap pm =
+        runtime::PlacementMap::one_per_processor(m.topology, cores);
+    std::vector<machine::ProcessTrace> l2_traces(
+        static_cast<std::size_t>(cores),
+        {machine::TraceOp{machine::TraceOp::Kind::ShmRead, 64, false, 0}});
+    std::vector<machine::ProcessTrace> l1_traces(
+        static_cast<std::size_t>(cores),
+        {machine::TraceOp{machine::TraceOp::Kind::ShmRead, 64, true, 0}});
+    const machine::SimResult l2 = machine::replay(l2_traces, pm, m);
+    const machine::SimResult l1 = machine::replay(l1_traces, pm, m);
+    probe.add_row({static_cast<long long>(cores), l2.makespan, l1.makespan,
+                   l2.l2_utilization[0]});
+  }
+  probe.print(std::cout);
+
+  std::cout <<
+      "\nReading: L1 accesses scale perfectly with active cores (private\n"
+      "ports); L2 makespan grows linearly with sharers (one port per chip,\n"
+      "the crossbar of Figure 1). This is the structural content of the\n"
+      "figure, reproduced as measurable behaviour.\n";
+  return 0;
+}

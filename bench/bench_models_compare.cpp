@@ -1,0 +1,113 @@
+/// E8 — Section 2.2: STAMP against the models it is positioned against
+/// (PRAM, BSP, LogP, LogGP, QSM).
+///
+/// All six models price the same per-round work (Jacobi exchange, APSP
+/// shared-memory sweep, tree reduction). The bench reproduces the paper's
+/// critique as numbers:
+///   * PRAM ignores communication — its time barely moves as messages grow
+///   * BSP/QSM charge bulk synchrony every round — they over-price
+///     barrier-free (async_comm) algorithms
+///   * none of them has an energy column; STAMP's is printed alongside.
+
+#include "core/core.hpp"
+#include "models/models.hpp"
+#include "report/table.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace stamp;
+  using namespace stamp::models;
+
+  report::print_section(std::cout, "E8: STAMP vs PRAM / BSP / LogP / LogGP / QSM");
+
+  // Shared parameter story: bandwidth charge 4, latency ~40-50 across models.
+  const BspParams bsp{.g = 4, .l = 50};
+  const LogPParams logp{.L = 40, .o = 2, .g = 4};
+  const LogGPParams loggp{.L = 40, .o = 2, .g = 4, .G = 0.5, .words_per_message = 1};
+  const QsmParams qsm{.g = 4};
+  MachineParams stamp_mp;
+  stamp_mp.ell_a = 2;
+  stamp_mp.ell_e = 40;
+  stamp_mp.g_sh_a = 0.5;
+  stamp_mp.g_sh_e = 4;
+  stamp_mp.L_a = 5;
+  stamp_mp.L_e = 40;
+  stamp_mp.g_mp_a = 1;
+  stamp_mp.g_mp_e = 4;
+  const EnergyParams energy{};
+
+  auto stamp_jacobi_time = [&](int n) {
+    const CostCounters c = analysis::jacobi_round_counters(n);
+    ProcessCounts pc;
+    pc.inter = n - 1;
+    return s_round_time(c, stamp_mp, pc);
+  };
+  auto stamp_jacobi_energy = [&](int n) {
+    return s_round_energy(analysis::jacobi_round_counters(n), energy);
+  };
+
+  report::Table jac("Jacobi S-round (per process, inter-processor placement)",
+                    {"n", "PRAM", "BSP", "LogP", "LogGP", "QSM", "STAMP T",
+                     "STAMP E"});
+  jac.set_precision(0);
+  for (int n : {4, 16, 64, 256}) {
+    const RoundSpec r = jacobi_round(n);
+    jac.add_row({static_cast<long long>(n), pram_round_time(r),
+                 bsp_round_time(r, bsp), logp_round_time(r, logp),
+                 loggp_round_time(r, loggp), qsm_round_time(r, qsm),
+                 stamp_jacobi_time(n), stamp_jacobi_energy(n)});
+  }
+  jac.print(std::cout);
+
+  auto stamp_apsp = [&](int n) {
+    const CostCounters c = analysis::apsp_round_counters(n);
+    ProcessCounts pc;
+    pc.inter = n - 1;
+    return s_round_time(c, stamp_mp, pc);
+  };
+  report::Table apsp("APSP S-round (shared-memory, single-writer multi-reader)",
+                     {"n", "PRAM", "BSP", "LogP", "QSM", "STAMP T"});
+  apsp.set_precision(0);
+  for (int n : {4, 8, 16, 32}) {
+    const RoundSpec r = apsp_round(n);
+    apsp.add_row({static_cast<long long>(n), pram_round_time(r),
+                  bsp_round_time(r, bsp), logp_round_time(r, logp),
+                  qsm_round_time(r, qsm), stamp_apsp(n)});
+  }
+  apsp.print(std::cout);
+
+  // The over-synchrony critique: a barrier-free round (async_comm) of pure
+  // local work plus one message each way.
+  report::Table critique("Over-synchrony: 100 barrier-free rounds, 1 msg/round",
+                         {"model", "total time", "why"});
+  critique.set_precision(0);
+  const RoundSpec light = reduction_step(10);
+  critique.add_row({std::string("PRAM"), pram_time(light, 100),
+                    std::string("communication free (underestimates)")});
+  critique.add_row({std::string("BSP"), bsp_time(light, 100, bsp),
+                    std::string("pays l = 50 barrier x 100 rounds")});
+  critique.add_row({std::string("LogP"), logp_time(light, 100, logp),
+                    std::string("no forced barrier")});
+  critique.add_row({std::string("QSM"), qsm_time(light, 100, qsm),
+                    std::string("phase max, still bulk-synchronous")});
+  {
+    CostCounters c;
+    c.c_fp = 10;
+    c.m_s_e = 1;
+    c.m_r_e = 1;
+    ProcessCounts pc;
+    pc.inter = 1;
+    critique.add_row({std::string("STAMP (async_comm)"),
+                      100 * s_round_time(c, stamp_mp, pc),
+                      std::string("latency+bandwidth, no barrier term")});
+  }
+  critique.print(std::cout);
+
+  std::cout <<
+      "\nReading: PRAM stays nearly flat as communication grows (its\n"
+      "critique); BSP is dominated by the 50-unit barrier on light rounds\n"
+      "(the over-synchronization critique of Section 2.2); STAMP tracks\n"
+      "LogP-like costs while adding the energy column no prior model has.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+/// E9 — the paper's stated purpose and future work: "a systematic way of
+/// optimizing the overall performance of the multi-threaded machine based on
+/// the complexity estimates."
+///
+/// The placement optimizer assigns STAMP processes to processors under the
+/// hierarchical power envelope. Ablation: naive fill-first and round-robin
+/// baselines vs the greedy power-aware packer vs exact search, across
+/// communication-heavy and compute-heavy profiles and tightening envelopes.
+
+#include "core/core.hpp"
+#include "report/table.hpp"
+
+#include <iostream>
+#include <vector>
+
+int main() {
+  using namespace stamp;
+
+  report::print_section(std::cout, "E9: power-aware thread placement");
+
+  ProcessProfile chatty;  // communication-dominated: wants co-location
+  chatty.c_fp = 50;
+  chatty.c_int = 10;
+  chatty.m_s = 8;
+  chatty.m_r = 8;
+  chatty.units = 100;
+
+  ProcessProfile cruncher;  // compute-dominated: wants power spreading
+  cruncher.c_fp = 400;
+  cruncher.c_int = 50;
+  cruncher.d_r = 4;
+  cruncher.d_w = 2;
+  cruncher.units = 100;
+
+  struct Scenario {
+    const char* name;
+    ProcessProfile profile;
+    int processes;
+  };
+
+  for (const Scenario& sc :
+       {Scenario{"communication-heavy (8 procs)", chatty, 8},
+        Scenario{"compute-heavy (8 procs)", cruncher, 8},
+        Scenario{"communication-heavy (16 procs)", chatty, 16}}) {
+    MachineModel m = presets::niagara();
+    m.envelope = PowerEnvelope{};  // start unconstrained
+    const std::vector<ProcessProfile> profiles(
+        static_cast<std::size_t>(sc.processes), sc.profile);
+
+    // Establish the solo power to scale the envelope meaningfully.
+    const PlacementResult solo = place_round_robin(profiles, m, Objective::D);
+    const double solo_power = solo.eval.process_costs[0].power();
+
+    report::Table table(std::string("Scenario: ") + sc.name +
+                            "  (solo power/process = " +
+                            std::to_string(solo_power).substr(0, 5) + ")",
+                        {"cap (x solo power)", "strategy", "objective D",
+                         "cores used", "feasible", "examined"});
+    table.set_precision(0);
+
+    for (double cap_scale : {0.0, 4.5, 2.5, 1.5}) {
+      m.envelope.per_processor = cap_scale * solo_power;
+      for (const auto& [label, result] :
+           {std::pair<const char*, PlacementResult>{
+                "fill-first", place_fill_first(profiles, m, Objective::D)},
+            {"round-robin", place_round_robin(profiles, m, Objective::D)},
+            {"greedy", place_greedy(profiles, m, Objective::D)},
+            {"exact", place_exact_uniform(profiles, m, Objective::D)}}) {
+        int used = 0;
+        for (int p = 0; p < m.topology.total_processors(); ++p)
+          used += result.eval.placement.group_size(p) > 0 ? 1 : 0;
+        table.add_row({cap_scale == 0 ? std::string("none")
+                                      : std::to_string(cap_scale),
+                       std::string(label), result.eval.objective,
+                       static_cast<long long>(used),
+                       std::string(result.eval.feasible ? "yes" : "NO"),
+                       result.placements_examined});
+      }
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout <<
+      "Reading: with no cap, fill-first (max co-location) is optimal for\n"
+      "communication-heavy processes and the exact search confirms it. As\n"
+      "the per-core cap tightens, fill-first turns infeasible; the greedy\n"
+      "packer spills processes to more cores (paying inter-processor\n"
+      "communication) and matches the exact optimum's feasibility — the\n"
+      "intra/inter trade-off of Section 3 made mechanical.\n";
+  return 0;
+}

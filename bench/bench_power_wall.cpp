@@ -1,0 +1,89 @@
+/// E6 — Section 2.1's power-wall arithmetic: "1 processor core clocked at
+/// frequency f consumes the same dynamic power as 8 cores, each clocked at
+/// f/2. Thus if we can get a speedup of more than 2 with the 8 cores, we will
+/// get a better performance with the same power."
+///
+/// The bench reproduces the argument three ways: the closed-form f^3 algebra,
+/// an equal-power frequency sweep over core counts, and a machine-simulator
+/// run of a perfectly parallel workload under DVFS.
+
+#include "core/core.hpp"
+#include "machine/power.hpp"
+#include "machine/simulator.hpp"
+#include "report/table.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace stamp;
+  using machine::PowerWallPoint;
+
+  report::print_section(std::cout, "E6: the power wall (Section 2.1)");
+
+  // ---- the paper's 8-cores-at-f/2 example ------------------------------------
+  const PowerWallPoint one{.cores = 1, .frequency = 1.0};
+  const PowerWallPoint eight{.cores = 8, .frequency = 0.5};
+  std::cout << "1 core @ f      : power " << one.total_power() << "\n"
+            << "8 cores @ f/2   : power " << eight.total_power()
+            << "   (equal, as claimed)\n"
+            << "Perfect-parallel speedup of the 8-core config: "
+            << one.parallel_time(1e6) / eight.parallel_time(1e6)
+            << "x  (> 2, so better performance at the same power)\n";
+
+  // ---- equal-power sweep ------------------------------------------------------
+  report::Table sweep("Equal-power configurations (f chosen so cores * f^3 = 1)",
+                      {"cores", "frequency", "total power", "speedup eff=1.0",
+                       "speedup eff=0.5", "energy ratio eff=1.0"});
+  sweep.set_precision(3);
+  const double work = 1e6;
+  for (int cores : {1, 2, 4, 8, 16, 32, 64}) {
+    const double f = machine::equal_power_frequency(cores);
+    const PowerWallPoint p{.cores = cores, .frequency = f};
+    sweep.add_row({static_cast<long long>(cores), f, p.total_power(),
+                   machine::equal_power_speedup(cores),
+                   machine::equal_power_speedup(cores, 0.5),
+                   p.energy(work) / one.energy(work)});
+  }
+  sweep.print(std::cout);
+  std::cout << "\nReading: speedup at equal power is cores^(2/3); the\n"
+               "crossover 'speedup > 2' falls between 2 and 4 cores\n"
+               "(2^(3/2) ~ 2.83). Energy for fixed work drops as cores^(-2/3).\n";
+
+  // ---- crossover with imperfect parallel efficiency ---------------------------
+  report::Table eff("Efficiency needed for the 8-core config to beat 1 core 2x",
+                    {"efficiency", "speedup (8 cores, f=1/2)", "beats 2x"});
+  eff.set_precision(3);
+  for (double efficiency : {1.0, 0.75, 0.5, 0.25, 0.1}) {
+    const double speedup = machine::equal_power_speedup(8, efficiency);
+    eff.add_row({efficiency, speedup, std::string(speedup > 2 ? "yes" : "no")});
+  }
+  eff.print(std::cout);
+
+  // ---- machine-simulator confirmation ----------------------------------------
+  report::Table sim_table("Simulator: 8192 ops perfectly parallel, equal power",
+                          {"cores", "frequency", "makespan", "energy",
+                           "avg power"});
+  sim_table.set_precision(3);
+  MachineModel m = presets::niagara();
+  m.envelope = PowerEnvelope{};
+  for (int cores : {1, 2, 4, 8}) {
+    const double f = machine::equal_power_frequency(cores);
+    const runtime::PlacementMap pm =
+        runtime::PlacementMap::one_per_processor(m.topology, cores);
+    const double ops = 8192.0 / cores;
+    std::vector<machine::ProcessTrace> traces(
+        static_cast<std::size_t>(cores),
+        {machine::TraceOp{machine::TraceOp::Kind::Compute, ops, true, 0}});
+    machine::SimConfig cfg;
+    cfg.operating_points.assign(
+        static_cast<std::size_t>(m.topology.total_processors()),
+        machine::OperatingPoint{.frequency = f});
+    const machine::SimResult r = machine::replay(traces, pm, m, cfg);
+    sim_table.add_row({static_cast<long long>(cores), f, r.makespan, r.energy,
+                       r.power()});
+  }
+  sim_table.print(std::cout);
+  std::cout << "\nReading: average power stays ~constant while makespan falls\n"
+               "as cores^(-2/3) — the simulator reproduces the closed form.\n";
+  return 0;
+}

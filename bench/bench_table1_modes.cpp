@@ -1,0 +1,64 @@
+/// T1 — Table 1 of the paper: the four legal combinations of execution mode
+/// (trans_exec / async_exec) and communication mode (synch_comm / async_comm).
+///
+/// The paper's table only *enumerates* the combinations; this bench gives
+/// them teeth: one workload (a shared histogram) runs in every quadrant, and
+/// the harness reports, per quadrant, the STAMP model's execution time,
+/// energy, and power, plus the observable synchrony artifacts (STM
+/// commits/aborts, serialization kappa). All quadrants compute the identical
+/// histogram — they differ exactly where the model says they should.
+
+#include "algo/histogram.hpp"
+#include "core/core.hpp"
+#include "report/table.hpp"
+
+#include <iostream>
+#include <string>
+
+int main() {
+  using namespace stamp;
+
+  const MachineModel machine = presets::niagara();
+  algo::HistogramWorkload w;
+  w.processes = 8;
+  w.bins = 8;
+  w.items_per_process = 2000;
+  w.rounds = 8;
+  w.skew = 1.0;
+  w.preemption_points = true;  // make conflicts observable on any host
+
+  report::print_section(std::cout, "T1: Table 1 — execution x communication modes");
+  std::cout << "Workload: shared histogram, " << w.processes << " processes x "
+            << w.items_per_process << " items, " << w.bins << " bins, skew "
+            << w.skew << ", machine preset '" << machine.name << "'\n\n";
+
+  report::Table table(
+      "One workload in all four Table-1 quadrants",
+      {"exec", "comm", "T (model)", "E (model)", "P=E/T", "commits", "aborts",
+       "kappa", "correct"});
+  table.set_precision(0);
+
+  const std::vector<long long> reference = algo::histogram_reference(w);
+
+  for (const ModeCombination& combo : table1_combinations()) {
+    const algo::HistogramRunResult r =
+        algo::run_histogram(machine.topology, w, combo.exec, combo.comm);
+    const Cost cost = r.run.total_cost(r.placement, machine.params, machine.energy);
+    double kappa = r.worst_serialization;
+    for (const auto& rec : r.run.recorders)
+      kappa = std::max(kappa, rec.totals().kappa);
+    table.add_row({std::string(combo.exec_keyword),
+                   std::string(combo.comm_keyword), cost.time, cost.energy,
+                   cost.power(), static_cast<long long>(r.stm_commits),
+                   static_cast<long long>(r.stm_aborts), kappa,
+                   std::string(r.bins == reference ? "yes" : "NO")});
+  }
+  table.print(std::cout);
+
+  std::cout <<
+      "\nReading: all four quadrants produce the same histogram. The\n"
+      "privatized async_exec/async_comm variant avoids shared accesses and\n"
+      "is cheapest; trans_exec rows pay for optimistic retries (aborts feed\n"
+      "kappa); synch_comm rows serialize at the hot cells.\n";
+  return 0;
+}

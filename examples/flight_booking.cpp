@@ -1,0 +1,55 @@
+/// Example: the airline-reservation system of Section 4 — multi-leg
+/// itineraries booked through independent [trans_exec, async_comm]
+/// subtransactions with the paper's partial-commit decision procedure.
+///
+/// Usage: flight_booking [processes] [reservations-per-process] [seats-per-leg]
+
+#include "algo/airline.hpp"
+#include "core/core.hpp"
+#include "report/table.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+int main(int argc, char** argv) {
+  using namespace stamp;
+
+  algo::ReservationWorkload w;
+  w.processes = argc > 1 ? std::atoi(argv[1]) : 8;
+  w.reservations_per_process = argc > 2 ? std::atoi(argv[2]) : 1000;
+  w.seats_per_leg = argc > 3 ? std::atoi(argv[3]) : 150;
+  w.legs = 10;
+
+  const MachineModel machine = presets::niagara();
+  std::cout << "Flight network: " << w.legs << " legs x " << w.seats_per_leg
+            << " seats; " << w.processes << " booking processes x "
+            << w.reservations_per_process
+            << " three-leg itineraries [inter_proc, trans_exec, async_comm]\n\n";
+
+  report::Table table("Policy comparison",
+                      {"policy", "succeeded", "failed", "legs booked",
+                       "overbooked", "aborts"});
+  for (const algo::ReservePolicy policy :
+       {algo::ReservePolicy::Partial, algo::ReservePolicy::AllOrNothing}) {
+    algo::ReservationWorkload run_w = w;
+    run_w.policy = policy;
+    const algo::ReservationRunResult r =
+        algo::run_reservation_workload(machine.topology, run_w, "backoff");
+    table.add_row(
+        {std::string(policy == algo::ReservePolicy::Partial ? "partial"
+                                                            : "all-or-nothing"),
+         r.succeeded, r.failed, r.legs_booked, r.overbooked_legs,
+         static_cast<long long>(r.stm_aborts)});
+    if (r.overbooked_legs != 0) {
+      std::cerr << "OVERBOOKING DETECTED — atomicity violated\n";
+      return 1;
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe partial policy keeps committed legs when an itinerary\n"
+               "only partially books (the paper's 'the committed leg is not\n"
+               "full' branch); all-or-nothing compensates them. Neither ever\n"
+               "overbooks a leg.\n";
+  return 0;
+}

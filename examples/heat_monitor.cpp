@@ -1,0 +1,87 @@
+/// Example: the halo-exchange heat stencil with machine-readable output —
+/// runs the distributed solver, verifies against the sequential scheme,
+/// prices the run on a chosen machine, and emits both a console table and a
+/// JSON document (for plots/dashboards).
+///
+/// Usage: heat_monitor [cells] [processes] [steps] [--json]
+
+#include "algo/stencil.hpp"
+#include "core/core.hpp"
+#include "report/json.hpp"
+#include "report/table.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <iostream>
+
+int main(int argc, char** argv) {
+  using namespace stamp;
+
+  algo::StencilProblem prob;
+  prob.cells = argc > 1 ? std::atoi(argv[1]) : 48;
+  algo::StencilOptions opt;
+  opt.processes = argc > 2 ? std::atoi(argv[2]) : 8;
+  opt.steps = argc > 3 ? std::atoi(argv[3]) : 400;
+  const bool json = argc > 4 && std::strcmp(argv[4], "--json") == 0;
+  if (prob.cells < 1 || opt.processes < 1 || opt.processes > prob.cells ||
+      opt.steps < 1) {
+    std::cerr << "usage: heat_monitor [cells] [1 <= processes <= cells] "
+                 "[steps] [--json]\n";
+    return 1;
+  }
+
+  const MachineModel machine = presets::niagara();
+  const algo::StencilResult r =
+      algo::stencil_distributed(prob, machine.topology, opt);
+  const std::vector<double> expected = algo::stencil_sequential(prob, opt.steps);
+
+  double worst_err = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    worst_err = std::max(worst_err, std::abs(r.temperature[i] - expected[i]));
+
+  const Cost cost = r.run.total_cost(r.placement, machine.params, machine.energy);
+  const Metrics metrics = metrics_from(cost);
+
+  if (json) {
+    report::JsonWriter w(std::cout);
+    w.begin_object();
+    w.kv("cells", prob.cells);
+    w.kv("processes", opt.processes);
+    w.kv("steps", opt.steps);
+    w.kv("verification_error", worst_err);
+    w.key("model");
+    w.begin_object();
+    w.kv("time", cost.time);
+    w.kv("energy", cost.energy);
+    w.kv("power", cost.power());
+    w.kv("EDP", metrics.EDP);
+    w.end_object();
+    w.key("temperature");
+    w.begin_array();
+    for (double t : r.temperature) w.value(t);
+    w.end_array();
+    w.end_object();
+    std::cout << '\n';
+    return 0;
+  }
+
+  std::cout << "Heat rod: " << prob.cells << " cells, boundaries " << prob.left
+            << " / " << prob.right << ", " << opt.processes
+            << " STAMP processes x " << opt.steps
+            << " steps [intra_proc, async_exec, synch_comm]\n\n";
+
+  report::Table table("Temperature profile (every 8th cell)",
+                      {"cell", "temperature"});
+  table.set_precision(2);
+  for (int i = 0; i < prob.cells; i += 8)
+    table.add_row({static_cast<long long>(i),
+                   r.temperature[static_cast<std::size_t>(i)]});
+  table.print(std::cout);
+
+  std::cout << "\nVerification vs sequential scheme: max |err| = " << worst_err
+            << (worst_err == 0 ? " (bit-exact)" : "") << "\n"
+            << "Model cost: " << cost << "  metrics " << metrics << "\n"
+            << "Halo exchange: ~2 messages/process/round regardless of "
+               "process count.\n";
+  return 0;
+}

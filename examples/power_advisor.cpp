@@ -1,0 +1,109 @@
+/// Example: the model as a deployment advisor — given a machine preset and an
+/// objective (D / PDP / EDP / ED2P), pick the best algorithm variant for a
+/// shared-update job and the best thread placement under the power envelope.
+///
+/// This is the workflow the paper's conclusion sketches: "by looking at the
+/// complexity measures of given algorithms, one can determine if the overall
+/// performance can be optimized."
+///
+/// Usage: power_advisor [embedded|desktop|server|niagara] [D|PDP|EDP|ED2P]
+
+#include "algo/histogram.hpp"
+#include "core/core.hpp"
+#include "report/table.hpp"
+
+#include <cstring>
+#include <iostream>
+
+namespace {
+
+stamp::MachineModel preset_by_name(const char* name) {
+  using namespace stamp::presets;
+  if (std::strcmp(name, "embedded") == 0) return embedded();
+  if (std::strcmp(name, "desktop") == 0) return desktop();
+  if (std::strcmp(name, "server") == 0) return server();
+  return niagara();
+}
+
+stamp::Objective objective_by_name(const char* name) {
+  using stamp::Objective;
+  if (std::strcmp(name, "D") == 0) return Objective::D;
+  if (std::strcmp(name, "PDP") == 0) return Objective::PDP;
+  if (std::strcmp(name, "ED2P") == 0) return Objective::ED2P;
+  return Objective::EDP;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stamp;
+
+  const MachineModel machine = preset_by_name(argc > 1 ? argv[1] : "niagara");
+  const Objective objective = objective_by_name(argc > 2 ? argv[2] : "EDP");
+
+  std::cout << "Advisor for machine '" << machine.name << "', objective "
+            << to_string(objective) << "\n\n";
+
+  // -- 1. Pick the algorithm variant: run each Table-1 quadrant, score. ------
+  algo::HistogramWorkload w;
+  w.processes = std::min(8, machine.topology.total_threads());
+  w.bins = 8;
+  w.items_per_process = 1000;
+  w.rounds = 5;
+
+  struct Variant {
+    const char* name;
+    ExecMode exec;
+    CommMode comm;
+  };
+  const Variant variants[] = {
+      {"trans_exec + synch_comm", ExecMode::Transactional, CommMode::Synchronous},
+      {"async_exec + synch_comm", ExecMode::Asynchronous, CommMode::Synchronous},
+      {"trans_exec + async_comm", ExecMode::Transactional, CommMode::Asynchronous},
+      {"async_exec + async_comm", ExecMode::Asynchronous, CommMode::Asynchronous},
+  };
+
+  std::vector<Cost> costs;
+  report::Table table("Algorithm variants", {"variant", "T", "E", "objective"});
+  table.set_precision(0);
+  for (const Variant& v : variants) {
+    const algo::HistogramRunResult r =
+        algo::run_histogram(machine.topology, w, v.exec, v.comm);
+    const Cost c = r.run.total_cost(r.placement, machine.params, machine.energy);
+    costs.push_back(c);
+    table.add_row({std::string(v.name), c.time, c.energy,
+                   metric_value(c, objective)});
+  }
+  table.print(std::cout);
+  const int best = select_best(costs, objective);
+  std::cout << "\nRecommended variant: " << variants[best].name << "\n\n";
+
+  // -- 2. Pick the placement under the envelope. -------------------------------
+  ProcessProfile profile;
+  profile.c_fp = 200;
+  profile.c_int = 40;
+  profile.d_r = 8;
+  profile.d_w = 4;
+  profile.units = 50;
+  const std::vector<ProcessProfile> profiles(
+      static_cast<std::size_t>(w.processes), profile);
+
+  const PlacementResult placement = place_best(profiles, machine, objective);
+  std::cout << "Recommended placement (" << placement.strategy << "): ";
+  for (int p : placement.eval.placement.processor_of) std::cout << p << ' ';
+  std::cout << "\n  objective " << placement.eval.objective << ", feasible: "
+            << (placement.eval.feasible ? "yes" : "NO — relax the envelope")
+            << ", examined " << placement.placements_examined
+            << " placements\n";
+
+  if (machine.envelope.per_processor > 0) {
+    const double per_process = placement.eval.process_costs[0].power();
+    std::cout << "  per-process power " << per_process << "; per-core cap "
+              << machine.envelope.per_processor << " admits "
+              << max_processes_per_processor(
+                     per_process, machine.envelope,
+                     machine.topology.threads_per_processor)
+              << " such processes per core.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "algo/airline.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace stamp::algo {
+
+FlightNetwork::FlightNetwork(int legs, int seats_per_leg) {
+  if (legs < 3) throw std::invalid_argument("FlightNetwork: need >= 3 legs");
+  if (seats_per_leg < 0)
+    throw std::invalid_argument("FlightNetwork: negative seat count");
+  seats_.reserve(static_cast<std::size_t>(legs));
+  for (int i = 0; i < legs; ++i)
+    seats_.push_back(std::make_unique<stm::TVar<int>>(seats_per_leg));
+}
+
+long long FlightNetwork::booked_total(int seats_per_leg) const {
+  long long booked = 0;
+  for (const auto& s : seats_) booked += seats_per_leg - s->peek();
+  return booked;
+}
+
+namespace {
+
+/// rsrv(leg) [trans_exec, async_comm]: one independent seat-decrement
+/// transaction; commits false (business failure) when the leg is full.
+bool rsrv(runtime::Context& ctx, stm::StmRuntime& rt, FlightNetwork& net,
+          int leg) {
+  stm::TVar<int>& seats = net.seats(leg);
+  return rt.atomically(ctx, [&](stm::Transaction& tx) {
+    const int available = tx.read(seats);
+    if (available <= 0) return false;  // leg is full, nothing to commit
+    tx.write(seats, available - 1);
+    return true;
+  });
+}
+
+/// Compensating transaction: give a seat back.
+void release_seat(runtime::Context& ctx, stm::StmRuntime& rt,
+                  FlightNetwork& net, int leg) {
+  stm::TVar<int>& seats = net.seats(leg);
+  rt.atomically(ctx, [&](stm::Transaction& tx) {
+    tx.write(seats, tx.read(seats) + 1);
+    return true;
+  });
+}
+
+}  // namespace
+
+ReserveOutcome reserve(runtime::Context& ctx, stm::StmRuntime& rt,
+                       FlightNetwork& net, const std::vector<int>& itinerary,
+                       ReservePolicy policy) {
+  if (itinerary.empty() || itinerary.size() > 3)
+    throw std::invalid_argument("reserve: itinerary must have 1..3 legs");
+
+  // cmit_i = rsrv(leg_i) [trans_exec, async_comm] — independent transactions.
+  std::vector<bool> committed;
+  committed.reserve(itinerary.size());
+  for (int leg : itinerary) committed.push_back(rsrv(ctx, rt, net, leg));
+
+  int commits = 0;
+  for (bool c : committed) commits += c ? 1 : 0;
+  ctx.int_ops(static_cast<double>(itinerary.size()) + 1);  // decision procedure
+
+  ReserveOutcome outcome;
+  if (commits == static_cast<int>(itinerary.size())) {
+    // if (all three committed) then return(true)
+    outcome.success = true;
+    outcome.legs_committed = commits;
+    return outcome;
+  }
+  if (commits == 0) {
+    // elseif (none of three committed) then return(false)
+    outcome.success = false;
+    outcome.legs_committed = 0;
+    return outcome;
+  }
+  if (policy == ReservePolicy::Partial) {
+    // else (the committed leg is not full) then return(true)
+    outcome.success = true;
+    outcome.legs_committed = commits;
+    return outcome;
+  }
+  // AllOrNothing: compensate every committed leg.
+  for (std::size_t i = 0; i < itinerary.size(); ++i)
+    if (committed[i]) release_seat(ctx, rt, net, itinerary[i]);
+  outcome.success = false;
+  outcome.legs_committed = 0;
+  return outcome;
+}
+
+ReservationRunResult run_reservation_workload(
+    const Topology& topology, const ReservationWorkload& w,
+    const std::string& contention_manager) {
+  if (w.processes < 1) throw std::invalid_argument("need >= 1 process");
+
+  FlightNetwork net(w.legs, w.seats_per_leg);
+  stm::StmRuntime rt(stm::make_manager(contention_manager));
+
+  const runtime::PlacementMap placement =
+      runtime::PlacementMap::for_distribution(topology, w.processes,
+                                              w.distribution);
+
+  std::vector<long long> succeeded(static_cast<std::size_t>(w.processes), 0);
+  std::vector<long long> legs_booked(static_cast<std::size_t>(w.processes), 0);
+
+  runtime::RunResult run =
+      runtime::run_processes(placement, [&](runtime::Context& ctx) {
+        std::mt19937_64 rng(w.seed + static_cast<std::uint64_t>(ctx.id()) * 6151);
+        std::uniform_int_distribution<int> leg(0, w.legs - 1);
+        for (int k = 0; k < w.reservations_per_process; ++k) {
+          const runtime::UnitScope unit(ctx.recorder());
+          // Three distinct legs: from -> sect1 -> sect2 -> to.
+          std::vector<int> itinerary;
+          while (itinerary.size() < 3) {
+            const int candidate = leg(rng);
+            bool duplicate = false;
+            for (int chosen : itinerary) duplicate |= chosen == candidate;
+            if (!duplicate) itinerary.push_back(candidate);
+          }
+          ctx.int_ops(6);
+          ReserveOutcome outcome;
+          {
+            const runtime::RoundScope round(ctx.recorder());
+            outcome = reserve(ctx, rt, net, itinerary, w.policy);
+          }
+          if (outcome.success)
+            ++succeeded[static_cast<std::size_t>(ctx.id())];
+          legs_booked[static_cast<std::size_t>(ctx.id())] +=
+              outcome.legs_committed;
+          ctx.int_ops(1);
+        }
+      });
+
+  ReservationRunResult result{.attempted = 0,
+                              .succeeded = 0,
+                              .failed = 0,
+                              .legs_booked = 0,
+                              .overbooked_legs = 0,
+                              .stm_commits = rt.stats().commits.load(),
+                              .stm_aborts = rt.stats().aborts.load(),
+                              .run = std::move(run),
+                              .placement = placement};
+  for (int i = 0; i < w.processes; ++i) {
+    result.succeeded += succeeded[static_cast<std::size_t>(i)];
+    result.legs_booked += legs_booked[static_cast<std::size_t>(i)];
+  }
+  result.attempted =
+      static_cast<long long>(w.processes) * w.reservations_per_process;
+  result.failed = result.attempted - result.succeeded;
+  for (int l = 0; l < w.legs; ++l)
+    if (net.remaining(l) < 0) ++result.overbooked_legs;
+  return result;
+}
+
+}  // namespace stamp::algo

@@ -1,0 +1,90 @@
+#pragma once
+/// \file airline.hpp
+/// \brief The paper's airline-reservation example: `reserve` with attributes
+///        [inter_proc, trans_exec] and async_comm subtransactions, including
+///        the partial-commit decision procedure.
+///
+/// A multi-leg reservation books seats on up to three flight legs. Each leg
+/// booking is its own transaction (the async_comm flavor: subtransactions run
+/// independently, possibly on different processors). The decision procedure
+/// is the paper's: all commit -> success; none commit -> failure; some commit
+/// -> success if the itinerary is still useful (the committed legs stand).
+/// An all-or-nothing policy (compensating the committed legs) is provided for
+/// comparison.
+
+#include "runtime/executor.hpp"
+#include "stm/stm.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stamp::algo {
+
+/// A flight network: legs with seat counters.
+class FlightNetwork {
+ public:
+  FlightNetwork(int legs, int seats_per_leg);
+
+  [[nodiscard]] int leg_count() const noexcept {
+    return static_cast<int>(seats_.size());
+  }
+  [[nodiscard]] stm::TVar<int>& seats(int leg) { return *seats_.at(leg); }
+
+  /// Uninstrumented remaining seats on a leg.
+  [[nodiscard]] int remaining(int leg) const { return seats_.at(leg)->peek(); }
+  /// Total seats booked over all legs.
+  [[nodiscard]] long long booked_total(int seats_per_leg) const;
+
+ private:
+  std::vector<std::unique_ptr<stm::TVar<int>>> seats_;
+};
+
+/// How reserve treats partially-committed itineraries.
+enum class ReservePolicy {
+  Partial,       ///< the paper's decision procedure: keep committed legs
+  AllOrNothing,  ///< compensate (release) committed legs on any failure
+};
+
+/// Outcome of one reserve call.
+struct ReserveOutcome {
+  bool success = false;
+  int legs_committed = 0;  ///< of the legs attempted
+};
+
+/// Book one seat on each leg of `itinerary` (1..3 legs). Each leg is an
+/// independent transaction (`rsrv(...) [trans_exec, async_comm]`).
+[[nodiscard]] ReserveOutcome reserve(runtime::Context& ctx, stm::StmRuntime& rt,
+                                     FlightNetwork& net,
+                                     const std::vector<int>& itinerary,
+                                     ReservePolicy policy);
+
+/// Workload: each process books random 3-leg itineraries.
+struct ReservationWorkload {
+  int processes = 8;
+  int reservations_per_process = 500;
+  int legs = 12;
+  int seats_per_leg = 200;
+  ReservePolicy policy = ReservePolicy::Partial;
+  std::uint64_t seed = 7;
+  Distribution distribution = Distribution::InterProc;  // the paper's choice
+};
+
+struct ReservationRunResult {
+  long long attempted = 0;
+  long long succeeded = 0;
+  long long failed = 0;
+  long long legs_booked = 0;     ///< seats actually committed
+  long long overbooked_legs = 0; ///< legs with negative seats (must be 0)
+  std::uint64_t stm_commits = 0;
+  std::uint64_t stm_aborts = 0;
+  runtime::RunResult run;
+  runtime::PlacementMap placement;
+};
+
+[[nodiscard]] ReservationRunResult run_reservation_workload(
+    const Topology& topology, const ReservationWorkload& workload,
+    const std::string& contention_manager = "backoff");
+
+}  // namespace stamp::algo

@@ -1,0 +1,19 @@
+#pragma once
+/// \file algo.hpp
+/// \brief Umbrella header for the STAMP example algorithms.
+
+#include "algo/airline.hpp"
+#include "algo/apsp.hpp"
+#include "algo/banking.hpp"
+#include "algo/bfs.hpp"
+#include "algo/gauss_seidel.hpp"
+#include "algo/histogram.hpp"
+#include "algo/jacobi.hpp"
+#include "algo/kmeans.hpp"
+#include "algo/matmul.hpp"
+#include "algo/pagerank.hpp"
+#include "algo/prefix_sum.hpp"
+#include "algo/reduce.hpp"
+#include "algo/replicated_db.hpp"
+#include "algo/sample_sort.hpp"
+#include "algo/stencil.hpp"

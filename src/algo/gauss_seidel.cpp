@@ -1,0 +1,194 @@
+#include "algo/gauss_seidel.hpp"
+
+#include "runtime/barrier.hpp"
+#include "runtime/instrument.hpp"
+#include "shm/swmr_matrix.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+namespace stamp::algo {
+namespace {
+
+struct Block {
+  int begin = 0;
+  int end = 0;
+};
+
+Block block_of(int n, int p, int rank) {
+  const int base = n / p;
+  const int extra = n % p;
+  Block b;
+  b.begin = rank * base + std::min(rank, extra);
+  b.end = b.begin + base + (rank < extra ? 1 : 0);
+  return b;
+}
+
+/// One color phase over [block.begin, block.end): updates components of the
+/// given parity from `x` into `x` (callers pass a consistent snapshot
+/// discipline). Returns the max delta. Charges the paper-style counts.
+double color_sweep(const LinearSystem& sys, const std::vector<double>& snapshot,
+                   std::vector<double>& x, Block block, int parity,
+                   runtime::Context* ctx) {
+  double max_delta = 0;
+  for (int i = block.begin; i < block.end; ++i) {
+    if (i % 2 != parity) continue;
+    double acc = 0;
+    for (int j = 0; j < sys.n; ++j) {
+      if (j == i) continue;
+      acc += sys.a(i, j) * snapshot[static_cast<std::size_t>(j)];
+    }
+    const double xi = -(acc - sys.b[static_cast<std::size_t>(i)]) / sys.a(i, i);
+    max_delta =
+        std::max(max_delta, std::abs(xi - x[static_cast<std::size_t>(i)]));
+    x[static_cast<std::size_t>(i)] = xi;
+    if (ctx != nullptr) {
+      ctx->fp_ops(2.0 * sys.n - 1);
+      ctx->int_ops(1);
+    }
+  }
+  return max_delta;
+}
+
+}  // namespace
+
+JacobiResult gauss_seidel_sequential(const LinearSystem& sys, double tolerance,
+                                     int max_iters) {
+  JacobiResult result;
+  std::vector<double> x(static_cast<std::size_t>(sys.n), 0.0);
+  const Block all{0, sys.n};
+  for (int t = 0; t < max_iters; ++t) {
+    // Phase red (even indices) against the pre-iteration snapshot, then
+    // phase black (odd) against the red-updated vector.
+    std::vector<double> snapshot = x;
+    double delta = color_sweep(sys, snapshot, x, all, 0, nullptr);
+    snapshot = x;
+    delta = std::max(delta, color_sweep(sys, snapshot, x, all, 1, nullptr));
+    result.iterations = t + 1;
+    result.final_delta = delta;
+    if (delta < tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.x = std::move(x);
+  return result;
+}
+
+GaussSeidelResult gauss_seidel_distributed(const LinearSystem& sys,
+                                           const Topology& topology,
+                                           const GaussSeidelOptions& options) {
+  const int n = sys.n;
+  const int p = options.processes;
+  if (p < 1 || p > n)
+    throw std::invalid_argument("gauss_seidel: need 1 <= processes <= n");
+
+  const runtime::PlacementMap placement =
+      runtime::PlacementMap::for_distribution(topology, p,
+                                              options.distribution);
+
+  std::vector<Block> blocks(static_cast<std::size_t>(p));
+  int widest = 0;
+  for (int r = 0; r < p; ++r) {
+    blocks[static_cast<std::size_t>(r)] = block_of(n, p, r);
+    widest = std::max(widest, blocks[static_cast<std::size_t>(r)].end -
+                                  blocks[static_cast<std::size_t>(r)].begin);
+  }
+  shm::SwmrMatrix<double> shared(p, std::max(widest, 1), 0.0);
+
+  auto owner_of = [&](int i) {
+    for (int r = 0; r < p; ++r)
+      if (i >= blocks[static_cast<std::size_t>(r)].begin &&
+          i < blocks[static_cast<std::size_t>(r)].end)
+        return r;
+    return p - 1;
+  };
+
+  runtime::PhaseBarrier barrier(p);
+  std::vector<std::atomic<int>> converged_at(
+      static_cast<std::size_t>(options.max_iters));
+  for (auto& f : converged_at) f.store(0, std::memory_order_relaxed);
+
+  std::vector<int> iterations(static_cast<std::size_t>(p), 0);
+  std::vector<std::vector<double>> finals(static_cast<std::size_t>(p));
+
+  runtime::RunResult run = runtime::run_processes(placement, [&](runtime::Context&
+                                                                     ctx) {
+    const int me = ctx.id();
+    const Block block = blocks[static_cast<std::size_t>(me)];
+
+    auto read_snapshot = [&](std::vector<double>& snap) {
+      const std::vector<double> raw = shared.read_all(ctx);
+      for (int i = 0; i < n; ++i) {
+        const int r = owner_of(i);
+        snap[static_cast<std::size_t>(i)] =
+            raw[static_cast<std::size_t>(r) * shared.cols() +
+                (i - blocks[static_cast<std::size_t>(r)].begin)];
+      }
+    };
+    auto publish_block = [&](const std::vector<double>& x) {
+      for (int i = block.begin; i < block.end; ++i)
+        shared.write(ctx, me, i - block.begin, x[static_cast<std::size_t>(i)]);
+    };
+
+    std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> snapshot(static_cast<std::size_t>(n), 0.0);
+
+    for (int t = 0; t < options.max_iters; ++t) {
+      const runtime::UnitScope unit(ctx.recorder());
+      ctx.int_ops(1);
+      double delta = 0;
+      // Red phase: everyone snapshots, barriers (so nobody's publish races a
+      // peer's read), updates the even components of its block, publishes,
+      // and barriers again — deterministic lockstep identical to the
+      // sequential phase order.
+      {
+        const runtime::RoundScope round(ctx.recorder());
+        read_snapshot(snapshot);
+        barrier.arrive_and_wait();
+        x = snapshot;
+        delta = color_sweep(sys, snapshot, x, block, 0, &ctx);
+        publish_block(x);
+      }
+      barrier.arrive_and_wait();
+      // Black phase: fresh snapshot (sees every red update), update odds.
+      {
+        const runtime::RoundScope round(ctx.recorder());
+        read_snapshot(snapshot);
+        barrier.arrive_and_wait();
+        for (int i = block.begin; i < block.end; ++i)
+          x[static_cast<std::size_t>(i)] = snapshot[static_cast<std::size_t>(i)];
+        delta = std::max(delta, color_sweep(sys, snapshot, x, block, 1, &ctx));
+        publish_block(x);
+      }
+      ctx.int_ops(2);
+      if (delta < options.tolerance)
+        converged_at[static_cast<std::size_t>(t)].fetch_add(
+            1, std::memory_order_acq_rel);
+      barrier.arrive_and_wait();
+      iterations[static_cast<std::size_t>(me)] = t + 1;
+      if (converged_at[static_cast<std::size_t>(t)].load(
+              std::memory_order_acquire) == p)
+        break;
+    }
+    finals[static_cast<std::size_t>(me)] = x;
+  });
+
+  GaussSeidelResult result{.x = std::vector<double>(static_cast<std::size_t>(n)),
+                           .iterations = iterations[0],
+                           .converged = iterations[0] < options.max_iters,
+                           .run = std::move(run),
+                           .placement = placement};
+  for (int r = 0; r < p; ++r) {
+    const Block b = blocks[static_cast<std::size_t>(r)];
+    for (int i = b.begin; i < b.end; ++i)
+      result.x[static_cast<std::size_t>(i)] = shared.peek(r, i - b.begin);
+  }
+  if (!result.converged)
+    result.converged =
+        jacobi_residual(sys, result.x) < options.tolerance * sys.n;
+  return result;
+}
+
+}  // namespace stamp::algo

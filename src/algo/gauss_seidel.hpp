@@ -1,0 +1,50 @@
+#pragma once
+/// \file gauss_seidel.hpp
+/// \brief Red-black Gauss–Seidel — the classic answer to Jacobi's
+///        data-dependence problem, as a two-phase STAMP algorithm.
+///
+/// Plain Gauss–Seidel uses in-sweep updates (faster convergence than Jacobi)
+/// but serializes. The red-black ordering splits unknowns into two
+/// independent sets: one S-round updates all "red" components (reading only
+/// black), a second updates "black" (reading fresh red) — two barriered
+/// rounds per iteration, each perfectly parallel. Attributes:
+/// [intra_proc, async_exec, synch_comm]. Compared against Jacobi, the model
+/// charges the same per-iteration communication but the iteration count
+/// drops — exactly the algorithm-selection trade the model exists to price.
+
+#include "algo/jacobi.hpp"  // LinearSystem
+#include "core/attributes.hpp"
+#include "core/params.hpp"
+#include "runtime/executor.hpp"
+
+#include <vector>
+
+namespace stamp::algo {
+
+struct GaussSeidelOptions {
+  int processes = 4;
+  double tolerance = 1e-10;
+  int max_iters = 10'000;
+  Distribution distribution = Distribution::IntraProc;
+};
+
+struct GaussSeidelResult {
+  std::vector<double> x;
+  int iterations = 0;
+  bool converged = false;
+  runtime::RunResult run;
+  runtime::PlacementMap placement;
+};
+
+/// Sequential red-black Gauss-Seidel baseline (even indices = red).
+[[nodiscard]] JacobiResult gauss_seidel_sequential(const LinearSystem& sys,
+                                                   double tolerance,
+                                                   int max_iters);
+
+/// Distributed red-black Gauss-Seidel over shared memory (SWMR rows per
+/// color block). Requires processes <= ceil(n/2).
+[[nodiscard]] GaussSeidelResult gauss_seidel_distributed(
+    const LinearSystem& sys, const Topology& topology,
+    const GaussSeidelOptions& options);
+
+}  // namespace stamp::algo

@@ -1,0 +1,144 @@
+#include "algo/histogram.hpp"
+
+#include "runtime/barrier.hpp"
+#include "runtime/instrument.hpp"
+#include "shm/shared_region.hpp"
+#include "stm/stm.hpp"
+
+#include <cmath>
+#include <thread>
+#include <memory>
+#include <random>
+#include <stdexcept>
+
+namespace stamp::algo {
+namespace {
+
+/// Deterministic per-item bin choice with optional skew: bin index is drawn
+/// from a power-law-ish distribution when skew > 0.
+int pick_bin(std::mt19937_64& rng, int bins, double skew) {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  if (skew <= 0) {
+    return static_cast<int>(uni(rng) * bins) % bins;
+  }
+  // Inverse-transform a truncated power law: heavier skew -> lower bins.
+  const double u = uni(rng);
+  const double x = std::pow(u, 1.0 + skew);
+  const int bin = static_cast<int>(x * bins);
+  return bin >= bins ? bins - 1 : bin;
+}
+
+}  // namespace
+
+std::vector<long long> histogram_reference(const HistogramWorkload& w) {
+  std::vector<long long> bins(static_cast<std::size_t>(w.bins), 0);
+  for (int p = 0; p < w.processes; ++p) {
+    std::mt19937_64 rng(w.seed + static_cast<std::uint64_t>(p) * 104'729);
+    for (int k = 0; k < w.items_per_process; ++k)
+      ++bins[static_cast<std::size_t>(pick_bin(rng, w.bins, w.skew))];
+  }
+  return bins;
+}
+
+HistogramRunResult run_histogram(const Topology& topology,
+                                 const HistogramWorkload& w, ExecMode exec,
+                                 CommMode comm) {
+  if (w.processes < 1 || w.bins < 1 || w.items_per_process < 0 || w.rounds < 1)
+    throw std::invalid_argument("run_histogram: bad workload");
+
+  const runtime::PlacementMap placement =
+      runtime::PlacementMap::for_distribution(topology, w.processes,
+                                              w.distribution);
+
+  // Substrates for the four quadrants. Only the relevant ones get used.
+  stm::StmRuntime stm_rt(stm::make_manager("backoff"));
+  std::vector<std::unique_ptr<stm::TVar<long long>>> tvar_bins;
+  std::vector<std::unique_ptr<shm::QueuedCell<long long>>> queued_bins;
+  for (int b = 0; b < w.bins; ++b) {
+    tvar_bins.push_back(std::make_unique<stm::TVar<long long>>(0));
+    queued_bins.push_back(std::make_unique<shm::QueuedCell<long long>>(0));
+  }
+  // async/async: per-process private bins, merged after the parallel phase.
+  std::vector<std::vector<long long>> private_bins(
+      static_cast<std::size_t>(w.processes),
+      std::vector<long long>(static_cast<std::size_t>(w.bins), 0));
+
+  runtime::PhaseBarrier barrier(w.processes);
+  const int per_round = (w.items_per_process + w.rounds - 1) / w.rounds;
+
+  runtime::RunResult run = runtime::run_processes(placement, [&](runtime::Context&
+                                                                     ctx) {
+    std::mt19937_64 rng(w.seed + static_cast<std::uint64_t>(ctx.id()) * 104'729);
+    int remaining = w.items_per_process;
+    for (int r = 0; r < w.rounds && remaining > 0; ++r) {
+      const runtime::UnitScope unit(ctx.recorder());
+      ctx.int_ops(1);  // loop check
+      const int batch = remaining < per_round ? remaining : per_round;
+      remaining -= batch;
+      {
+        const runtime::RoundScope round(ctx.recorder());
+        for (int k = 0; k < batch; ++k) {
+          const int bin = pick_bin(rng, w.bins, w.skew);
+          ctx.int_ops(3);  // classify + index arithmetic
+          if (exec == ExecMode::Transactional) {
+            stm::TVar<long long>& cell = *tvar_bins[static_cast<std::size_t>(bin)];
+            stm_rt.atomically(ctx, [&](stm::Transaction& tx) {
+              const long long value = tx.read(cell);
+              if (w.preemption_points) std::this_thread::yield();
+              tx.write(cell, value + 1);
+              return true;
+            });
+          } else if (comm == CommMode::Synchronous) {
+            queued_bins[static_cast<std::size_t>(bin)]->update(
+                ctx, [&](long long& v) {
+                  if (w.preemption_points) std::this_thread::yield();
+                  ++v;
+                });
+          } else {
+            // async/async: private update; merge is the explicit sync.
+            ++private_bins[static_cast<std::size_t>(ctx.id())]
+                          [static_cast<std::size_t>(bin)];
+            ctx.int_ops(1);
+          }
+        }
+      }
+      if (comm == CommMode::Synchronous) barrier.arrive_and_wait();
+      ctx.int_ops(1);  // termination check
+    }
+    // Drain skipped barrier phases so synch_comm processes stay aligned even
+    // when batches divide unevenly.
+    if (comm == CommMode::Synchronous) {
+      int rounds_used = (w.items_per_process + per_round - 1) /
+                        (per_round > 0 ? per_round : 1);
+      for (int r = rounds_used; r < w.rounds; ++r) barrier.arrive_and_wait();
+    }
+  });
+
+  HistogramRunResult result{.bins = {},
+                            .exec = exec,
+                            .comm = comm,
+                            .stm_commits = stm_rt.stats().commits.load(),
+                            .stm_aborts = stm_rt.stats().aborts.load(),
+                            .stm_max_retries = stm_rt.stats().max_retries.load(),
+                            .worst_serialization = 0,
+                            .run = std::move(run),
+                            .placement = placement};
+  result.bins.assign(static_cast<std::size_t>(w.bins), 0);
+  for (int b = 0; b < w.bins; ++b) {
+    const auto ub = static_cast<std::size_t>(b);
+    if (exec == ExecMode::Transactional) {
+      result.bins[ub] = tvar_bins[ub]->peek();
+    } else if (comm == CommMode::Synchronous) {
+      result.bins[ub] = queued_bins[ub]->peek();
+      result.worst_serialization =
+          std::max(result.worst_serialization,
+                   queued_bins[ub]->worst_serialization());
+    } else {
+      for (int p = 0; p < w.processes; ++p)
+        result.bins[ub] += private_bins[static_cast<std::size_t>(p)][ub];
+    }
+  }
+  return result;
+}
+
+}  // namespace stamp::algo

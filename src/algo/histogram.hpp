@@ -1,0 +1,67 @@
+#pragma once
+/// \file histogram.hpp
+/// \brief One workload, four synchrony quadrants — the Table 1 experiment.
+///
+/// Each process classifies a stream of values into shared bins. The same
+/// logical computation runs under each (execution, communication) mode
+/// combination of the paper's Table 1:
+///
+///  * trans_exec + synch_comm  — STM updates, barrier between rounds
+///  * async_exec + synch_comm  — serialized (queued-cell) updates, barrier
+///  * trans_exec + async_comm  — STM updates, no barriers
+///  * async_exec + async_comm  — privatized per-process bins merged at the
+///                               end (the designer-supplied synchronization
+///                               async_comm requires)
+///
+/// All four produce the same histogram; they differ in T/E/P and in the
+/// kappa / abort behaviour the cost model charges — exactly the comparison
+/// Table 1 frames.
+
+#include "core/attributes.hpp"
+#include "core/params.hpp"
+#include "runtime/executor.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stamp::algo {
+
+struct HistogramWorkload {
+  int processes = 8;
+  int bins = 16;
+  int items_per_process = 2000;
+  int rounds = 10;  ///< synch_comm variants barrier between rounds
+  /// Zipf-like skew: 0 = uniform bins, larger = more traffic on low bins.
+  double skew = 0.0;
+  std::uint64_t seed = 3;
+  Distribution distribution = Distribution::IntraProc;
+  /// Insert a scheduler yield inside each shared update (between the
+  /// transactional read and write, or while holding the queued cell). This
+  /// widens the conflict window so contention effects (aborts, queueing) are
+  /// observable even when the host serializes threads on few cores.
+  bool preemption_points = false;
+};
+
+struct HistogramRunResult {
+  std::vector<long long> bins;
+  ExecMode exec{};
+  CommMode comm{};
+  std::uint64_t stm_commits = 0;
+  std::uint64_t stm_aborts = 0;
+  std::uint64_t stm_max_retries = 0;
+  double worst_serialization = 0;  ///< QueuedCell kappa (async_exec variants)
+  runtime::RunResult run;
+  runtime::PlacementMap placement;
+};
+
+/// Run the workload in the given Table-1 quadrant.
+[[nodiscard]] HistogramRunResult run_histogram(const Topology& topology,
+                                               const HistogramWorkload& workload,
+                                               ExecMode exec, CommMode comm);
+
+/// The exact histogram (sequential reference).
+[[nodiscard]] std::vector<long long> histogram_reference(
+    const HistogramWorkload& workload);
+
+}  // namespace stamp::algo

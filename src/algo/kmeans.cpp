@@ -1,0 +1,168 @@
+#include "algo/kmeans.hpp"
+
+#include "msg/collectives.hpp"
+#include "runtime/instrument.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace stamp::algo {
+namespace {
+
+struct Block {
+  long long begin = 0;
+  long long end = 0;
+};
+
+Block block_of(long long total, int p, int rank) {
+  const long long base = total / p;
+  const long long extra = total % p;
+  Block b;
+  b.begin = rank * base + std::min<long long>(rank, extra);
+  b.end = b.begin + base + (rank < extra ? 1 : 0);
+  return b;
+}
+
+void validate(const KMeansWorkload& w) {
+  if (w.processes < 1) throw std::invalid_argument("kmeans: processes < 1");
+  if (w.points < 0) throw std::invalid_argument("kmeans: negative points");
+  if (w.clusters < 1) throw std::invalid_argument("kmeans: clusters < 1");
+  if (w.rounds < 1) throw std::invalid_argument("kmeans: rounds < 1");
+}
+
+std::vector<Point2> initial_centroids(const KMeansWorkload& w) {
+  // Deterministic spread, independent of the data: a diagonal of seeds.
+  std::vector<Point2> c(static_cast<std::size_t>(w.clusters));
+  for (int k = 0; k < w.clusters; ++k)
+    c[static_cast<std::size_t>(k)] = Point2{k * 1000, k * 1000};
+  return c;
+}
+
+long long sq_dist(const Point2& a, const Point2& b) {
+  const long long dx = a.x - b.x;
+  const long long dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+int nearest(const std::vector<Point2>& centroids, const Point2& p) {
+  int best = 0;
+  long long best_d = sq_dist(centroids[0], p);
+  for (int k = 1; k < static_cast<int>(centroids.size()); ++k) {
+    const long long d = sq_dist(centroids[static_cast<std::size_t>(k)], p);
+    if (d < best_d) {
+      best_d = d;
+      best = k;
+    }
+  }
+  return best;
+}
+
+/// Per-cluster accumulators flattened for the collectives: [sx, sy, count]*k.
+using Sums = std::vector<long long>;
+
+Sums accumulate(const std::vector<Point2>& points, Block block,
+                const std::vector<Point2>& centroids) {
+  Sums sums(3 * centroids.size(), 0);
+  for (long long i = block.begin; i < block.end; ++i) {
+    const Point2& p = points[static_cast<std::size_t>(i)];
+    const int k = nearest(centroids, p);
+    sums[static_cast<std::size_t>(3 * k)] += p.x;
+    sums[static_cast<std::size_t>(3 * k + 1)] += p.y;
+    sums[static_cast<std::size_t>(3 * k + 2)] += 1;
+  }
+  return sums;
+}
+
+void apply_sums(const Sums& sums, std::vector<Point2>& centroids) {
+  for (int k = 0; k < static_cast<int>(centroids.size()); ++k) {
+    const long long count = sums[static_cast<std::size_t>(3 * k + 2)];
+    if (count == 0) continue;  // empty cluster keeps its centroid
+    centroids[static_cast<std::size_t>(k)] =
+        Point2{sums[static_cast<std::size_t>(3 * k)] / count,
+               sums[static_cast<std::size_t>(3 * k + 1)] / count};
+  }
+}
+
+}  // namespace
+
+std::vector<Point2> kmeans_input(const KMeansWorkload& w) {
+  validate(w);
+  std::vector<Point2> points(static_cast<std::size_t>(w.points));
+  std::mt19937_64 rng(w.seed);
+  std::uniform_int_distribution<int> blob(0, w.clusters - 1);
+  std::normal_distribution<double> noise(0.0, 150.0);
+  for (auto& p : points) {
+    const int b = blob(rng);
+    p.x = b * 1000 + static_cast<long long>(noise(rng));
+    p.y = b * 1000 + static_cast<long long>(noise(rng));
+  }
+  return points;
+}
+
+std::vector<Point2> kmeans_reference(const KMeansWorkload& w) {
+  const std::vector<Point2> points = kmeans_input(w);
+  std::vector<Point2> centroids = initial_centroids(w);
+  const Block all{0, w.points};
+  for (int round = 0; round < w.rounds; ++round)
+    apply_sums(accumulate(points, all, centroids), centroids);
+  return centroids;
+}
+
+KMeansResult kmeans_distributed(const Topology& topology,
+                                const KMeansWorkload& w) {
+  validate(w);
+  const int p = w.processes;
+  const std::vector<Point2> points = kmeans_input(w);
+
+  const runtime::PlacementMap placement =
+      runtime::PlacementMap::for_distribution(topology, p, w.distribution);
+
+  msg::Communicator<Sums> comm(p, CommMode::Synchronous);
+  std::vector<std::vector<Point2>> final_centroids(static_cast<std::size_t>(p));
+  std::vector<long long> sizes(static_cast<std::size_t>(w.clusters), 0);
+
+  runtime::RunResult run = runtime::run_processes(placement, [&](runtime::Context&
+                                                                     ctx) {
+    const int me = ctx.id();
+    const Block block = block_of(w.points, p, me);
+    std::vector<Point2> centroids = initial_centroids(w);
+
+    for (int round = 0; round < w.rounds; ++round) {
+      const runtime::UnitScope unit(ctx.recorder());
+      ctx.int_ops(1);
+      {
+        const runtime::RoundScope sround(ctx.recorder());
+        // Local assignment: ~(4 mul/add + compare) per point per cluster.
+        Sums local = accumulate(points, block, centroids);
+        ctx.int_ops(static_cast<double>(block.end - block.begin) *
+                    w.clusters * 5.0);
+        // Global integer reduction (exact, commutative) + broadcast.
+        Sums global = msg::reduce_tree(
+            ctx, comm, std::move(local),
+            [](Sums a, Sums b) {
+              for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+              return a;
+            });
+        comm.barrier();  // separate the reduce from the broadcast
+        global = msg::broadcast_tree(ctx, comm, std::move(global), 0);
+        comm.barrier();
+        apply_sums(global, centroids);
+        ctx.int_ops(3.0 * w.clusters);
+        if (round + 1 == w.rounds && me == 0)
+          for (int k = 0; k < w.clusters; ++k)
+            sizes[static_cast<std::size_t>(k)] =
+                global[static_cast<std::size_t>(3 * k + 2)];
+      }
+      ctx.int_ops(1);
+    }
+    final_centroids[static_cast<std::size_t>(me)] = centroids;
+  });
+
+  KMeansResult result{.centroids = final_centroids.front(),
+                      .cluster_sizes = std::move(sizes),
+                      .run = std::move(run),
+                      .placement = placement};
+  return result;
+}
+
+}  // namespace stamp::algo

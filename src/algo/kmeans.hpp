@@ -1,0 +1,54 @@
+#pragma once
+/// \file kmeans.hpp
+/// \brief Distributed k-means — a data-parallel workload built on the
+///        log-depth collectives (assign locally, tree-reduce cluster sums,
+///        broadcast new centroids). Attributes:
+///        [intra_proc, async_exec, synch_comm].
+///
+/// Coordinates are integers, so the reduction is exact and the distributed
+/// result is bit-identical to the sequential reference regardless of the
+/// combine order (the tree reduce needs a commutative-associative operator).
+
+#include "core/attributes.hpp"
+#include "core/params.hpp"
+#include "runtime/executor.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace stamp::algo {
+
+struct KMeansWorkload {
+  int processes = 8;
+  long long points = 4096;
+  int clusters = 5;
+  int rounds = 12;
+  std::uint64_t seed = 73;
+  Distribution distribution = Distribution::IntraProc;
+};
+
+/// A 2-D point with integer coordinates.
+struct Point2 {
+  long long x = 0;
+  long long y = 0;
+  friend bool operator==(const Point2&, const Point2&) = default;
+};
+
+struct KMeansResult {
+  std::vector<Point2> centroids;       ///< final integer centroids
+  std::vector<long long> cluster_sizes;
+  runtime::RunResult run;
+  runtime::PlacementMap placement;
+};
+
+/// The deterministic input points (clustered blobs).
+[[nodiscard]] std::vector<Point2> kmeans_input(const KMeansWorkload& w);
+
+/// Sequential reference with the same update rule (integer centroid = sum /
+/// count with truncating division; empty clusters keep their centroid).
+[[nodiscard]] std::vector<Point2> kmeans_reference(const KMeansWorkload& w);
+
+[[nodiscard]] KMeansResult kmeans_distributed(const Topology& topology,
+                                              const KMeansWorkload& w);
+
+}  // namespace stamp::algo

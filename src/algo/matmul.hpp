@@ -1,0 +1,57 @@
+#pragma once
+/// \file matmul.hpp
+/// \brief Dense matrix multiply, 1-D SUMMA style: row-block-distributed A and
+///        C; B travels as broadcast panels — a bandwidth-heavy STAMP workload
+///        with log-depth collective rounds.
+///
+/// Round r (one S-round per panel): the owner of panel r broadcasts its rows
+/// of B down a binomial tree; every process multiplies the matching columns
+/// of its A block into its C block. Attributes:
+/// [intra_proc, async_exec, synch_comm].
+
+#include "core/attributes.hpp"
+#include "core/params.hpp"
+#include "runtime/executor.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace stamp::algo {
+
+struct Matrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<double> data;  ///< row-major
+
+  [[nodiscard]] double at(int r, int c) const {
+    return data[static_cast<std::size_t>(r) * cols + c];
+  }
+  [[nodiscard]] double& at(int r, int c) {
+    return data[static_cast<std::size_t>(r) * cols + c];
+  }
+};
+
+/// Deterministic random matrix with entries in [-1, 1].
+[[nodiscard]] Matrix make_random_matrix(int rows, int cols, std::uint64_t seed);
+
+/// Sequential reference product.
+[[nodiscard]] Matrix matmul_reference(const Matrix& a, const Matrix& b);
+
+struct MatmulWorkload {
+  int processes = 8;
+  int n = 64;  ///< square matrices n x n
+  std::uint64_t seed = 23;
+  Distribution distribution = Distribution::IntraProc;
+};
+
+struct MatmulRunResult {
+  Matrix c;
+  double max_abs_error = 0;  ///< vs the sequential reference
+  runtime::RunResult run;
+  runtime::PlacementMap placement;
+};
+
+[[nodiscard]] MatmulRunResult run_matmul(const Topology& topology,
+                                         const MatmulWorkload& workload);
+
+}  // namespace stamp::algo

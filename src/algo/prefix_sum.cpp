@@ -1,0 +1,95 @@
+#include "algo/prefix_sum.hpp"
+
+#include "msg/collectives.hpp"
+#include "runtime/instrument.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace stamp::algo {
+namespace {
+
+struct Block {
+  long long begin = 0;
+  long long end = 0;
+};
+
+Block block_of(long long total, int p, int rank) {
+  const long long base = total / p;
+  const long long extra = total % p;
+  Block b;
+  b.begin = rank * base + std::min<long long>(rank, extra);
+  b.end = b.begin + base + (rank < extra ? 1 : 0);
+  return b;
+}
+
+}  // namespace
+
+std::vector<long long> prefix_sum_input(const PrefixSumWorkload& w) {
+  std::vector<long long> data(static_cast<std::size_t>(w.elements));
+  std::mt19937_64 rng(w.seed);
+  std::uniform_int_distribution<long long> dist(-50, 50);
+  for (auto& v : data) v = dist(rng);
+  return data;
+}
+
+std::vector<long long> prefix_sum_reference(const std::vector<long long>& input) {
+  std::vector<long long> out(input.size());
+  long long acc = 0;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    acc += input[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+PrefixSumRunResult run_prefix_sum(const Topology& topology,
+                                  const PrefixSumWorkload& w) {
+  if (w.processes < 1) throw std::invalid_argument("prefix_sum: processes < 1");
+  if (w.elements < 0) throw std::invalid_argument("prefix_sum: negative length");
+
+  const std::vector<long long> input = prefix_sum_input(w);
+  std::vector<long long> output(input.size(), 0);
+
+  const runtime::PlacementMap placement =
+      runtime::PlacementMap::for_distribution(topology, w.processes,
+                                              w.distribution);
+  msg::Communicator<long long> comm(w.processes, CommMode::Synchronous);
+
+  runtime::RunResult run =
+      runtime::run_processes(placement, [&](runtime::Context& ctx) {
+        const runtime::UnitScope unit(ctx.recorder());
+        const Block block = block_of(w.elements, w.processes, ctx.id());
+
+        // Phase 1: local inclusive scan of the block.
+        long long acc = 0;
+        for (long long i = block.begin; i < block.end; ++i) {
+          acc += input[static_cast<std::size_t>(i)];
+          output[static_cast<std::size_t>(i)] = acc;
+        }
+        ctx.int_ops(static_cast<double>(block.end - block.begin));
+
+        // Phase 2: inclusive scan of block totals across processes.
+        long long inclusive = 0;
+        {
+          const runtime::RoundScope round(ctx.recorder());
+          inclusive = msg::scan_inclusive(
+              ctx, comm, acc, [](long long a, long long b) { return a + b; });
+          ctx.int_ops(1);
+        }
+        const long long offset = inclusive - acc;  // exclusive offset
+
+        // Phase 3: apply the offset to the block.
+        for (long long i = block.begin; i < block.end; ++i)
+          output[static_cast<std::size_t>(i)] += offset;
+        ctx.int_ops(static_cast<double>(block.end - block.begin));
+      });
+
+  PrefixSumRunResult result{.output = std::move(output),
+                            .expected = prefix_sum_reference(input),
+                            .run = std::move(run),
+                            .placement = placement};
+  return result;
+}
+
+}  // namespace stamp::algo

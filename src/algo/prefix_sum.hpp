@@ -1,0 +1,46 @@
+#pragma once
+/// \file prefix_sum.hpp
+/// \brief Block-distributed parallel prefix sum (scan) — the classic
+///        three-phase algorithm on the STAMP runtime.
+///
+/// Phase 1: each process scans its block locally. Phase 2: the block totals
+/// are combined with a Hillis–Steele inclusive scan over processes (log p
+/// barrier-separated message rounds). Phase 3: each process adds its
+/// exclusive offset. Attributes: [intra_proc, async_exec, synch_comm].
+
+#include "core/attributes.hpp"
+#include "core/params.hpp"
+#include "runtime/executor.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace stamp::algo {
+
+struct PrefixSumWorkload {
+  int processes = 8;
+  long long elements = 1 << 14;
+  std::uint64_t seed = 13;
+  Distribution distribution = Distribution::IntraProc;
+};
+
+struct PrefixSumRunResult {
+  std::vector<long long> output;    ///< inclusive prefix sums
+  std::vector<long long> expected;  ///< sequential reference
+  runtime::RunResult run;
+  runtime::PlacementMap placement;
+
+  [[nodiscard]] bool correct() const noexcept { return output == expected; }
+};
+
+[[nodiscard]] PrefixSumRunResult run_prefix_sum(const Topology& topology,
+                                                const PrefixSumWorkload& workload);
+
+/// Sequential reference scan.
+[[nodiscard]] std::vector<long long> prefix_sum_reference(
+    const std::vector<long long>& input);
+
+/// The deterministic input array the workload scans.
+[[nodiscard]] std::vector<long long> prefix_sum_input(const PrefixSumWorkload& w);
+
+}  // namespace stamp::algo

@@ -1,0 +1,126 @@
+#include "algo/reduce.hpp"
+
+#include "msg/collectives.hpp"
+#include "runtime/instrument.hpp"
+#include "shm/shared_region.hpp"
+#include "stm/stm.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace stamp::algo {
+namespace {
+
+/// Deterministic payload: pseudo-random small integers.
+std::vector<long long> make_array(const ReduceWorkload& w) {
+  std::vector<long long> data(static_cast<std::size_t>(w.elements));
+  std::mt19937_64 rng(w.seed);
+  std::uniform_int_distribution<long long> dist(-100, 100);
+  for (auto& v : data) v = dist(rng);
+  return data;
+}
+
+struct Block {
+  long long begin = 0;
+  long long end = 0;
+};
+
+Block block_of(long long total, int p, int rank) {
+  const long long base = total / p;
+  const long long extra = total % p;
+  Block b;
+  b.begin = rank * base + std::min<long long>(rank, extra);
+  b.end = b.begin + base + (rank < extra ? 1 : 0);
+  return b;
+}
+
+}  // namespace
+
+const char* to_string(ReduceVariant v) noexcept {
+  switch (v) {
+    case ReduceVariant::Tree: return "tree";
+    case ReduceVariant::Doubling: return "doubling";
+    case ReduceVariant::Queued: return "queued";
+    case ReduceVariant::Stm: return "stm";
+  }
+  return "?";
+}
+
+ReduceRunResult run_reduce(const Topology& topology, const ReduceWorkload& w,
+                           ReduceVariant variant) {
+  if (w.processes < 1) throw std::invalid_argument("run_reduce: processes < 1");
+  if (w.elements < 0) throw std::invalid_argument("run_reduce: negative length");
+  if (variant == ReduceVariant::Doubling &&
+      (w.processes & (w.processes - 1)) != 0)
+    throw std::invalid_argument("run_reduce: doubling needs 2^k processes");
+
+  const std::vector<long long> data = make_array(w);
+  long long expected = 0;
+  for (long long v : data) expected += v;
+
+  const runtime::PlacementMap placement =
+      runtime::PlacementMap::for_distribution(topology, w.processes,
+                                              w.distribution);
+
+  msg::Communicator<long long> comm(w.processes, CommMode::Synchronous);
+  shm::QueuedCell<long long> cell(0);
+  stm::StmRuntime stm_rt(stm::make_manager("backoff"));
+  stm::TVar<long long> tvar(0);
+
+  std::vector<long long> root_result(static_cast<std::size_t>(w.processes), 0);
+
+  runtime::RunResult run = runtime::run_processes(placement, [&](runtime::Context&
+                                                                     ctx) {
+    const runtime::UnitScope unit(ctx.recorder());
+    const Block block = block_of(w.elements, w.processes, ctx.id());
+    // Local partial sum (one integer add per element).
+    long long partial = 0;
+    for (long long i = block.begin; i < block.end; ++i)
+      partial += data[static_cast<std::size_t>(i)];
+    ctx.int_ops(static_cast<double>(block.end - block.begin));
+
+    const runtime::RoundScope round(ctx.recorder());
+    auto plus = [](long long a, long long b) { return a + b; };
+    switch (variant) {
+      case ReduceVariant::Tree: {
+        const long long total = msg::reduce_tree(ctx, comm, partial, plus);
+        if (ctx.id() == 0) root_result[0] = total;
+        break;
+      }
+      case ReduceVariant::Doubling: {
+        root_result[static_cast<std::size_t>(ctx.id())] =
+            msg::all_reduce_doubling(ctx, comm, partial, plus);
+        break;
+      }
+      case ReduceVariant::Queued: {
+        cell.update(ctx, [&](long long& v) { v += partial; });
+        comm.barrier();  // everyone accumulated before anyone reads
+        root_result[static_cast<std::size_t>(ctx.id())] = cell.read(ctx);
+        break;
+      }
+      case ReduceVariant::Stm: {
+        stm_rt.atomically(ctx, [&](stm::Transaction& tx) {
+          tx.write(tvar, tx.read(tvar) + partial);
+          return true;
+        });
+        comm.barrier();
+        root_result[static_cast<std::size_t>(ctx.id())] =
+            stm_rt.atomically(ctx, [&](stm::Transaction& tx) {
+              return tx.read(tvar);
+            });
+        break;
+      }
+    }
+  });
+
+  ReduceRunResult result{.result = root_result[0],
+                         .expected = expected,
+                         .variant = variant,
+                         .stm_aborts = stm_rt.stats().aborts.load(),
+                         .worst_serialization = cell.worst_serialization(),
+                         .run = std::move(run),
+                         .placement = placement};
+  return result;
+}
+
+}  // namespace stamp::algo

@@ -1,0 +1,59 @@
+#pragma once
+/// \file reduce.hpp
+/// \brief Parallel reduction in four STAMP flavors — the canonical kernel for
+///        comparing the synchrony quadrants and communication substrates.
+///
+/// Variants:
+///  * `Tree`      — binomial-tree message reduce [async_exec, synch_comm-ish]
+///  * `Doubling`  — recursive-doubling all-reduce (power-of-two processes)
+///  * `Queued`    — shared-memory accumulation into one serialized cell
+///                  (QSM-style; measures kappa) [async_exec, synch_comm]
+///  * `Stm`       — transactional accumulation [trans_exec]
+///
+/// All variants reduce the same block-distributed array and must agree with
+/// the sequential sum exactly (integer payloads, so associativity is free).
+
+#include "core/attributes.hpp"
+#include "core/params.hpp"
+#include "runtime/executor.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace stamp::algo {
+
+enum class ReduceVariant {
+  Tree,
+  Doubling,
+  Queued,
+  Stm,
+};
+
+[[nodiscard]] const char* to_string(ReduceVariant v) noexcept;
+
+struct ReduceWorkload {
+  int processes = 8;
+  long long elements = 1 << 14;  ///< total array length, block-distributed
+  std::uint64_t seed = 11;
+  Distribution distribution = Distribution::IntraProc;
+};
+
+struct ReduceRunResult {
+  long long result = 0;     ///< the reduction value (root's answer)
+  long long expected = 0;   ///< sequential reference
+  ReduceVariant variant{};
+  std::uint64_t stm_aborts = 0;
+  double worst_serialization = 0;
+  runtime::RunResult run;
+  runtime::PlacementMap placement;
+
+  [[nodiscard]] bool correct() const noexcept { return result == expected; }
+};
+
+/// Run the reduction with the given variant. `Doubling` requires a
+/// power-of-two process count.
+[[nodiscard]] ReduceRunResult run_reduce(const Topology& topology,
+                                         const ReduceWorkload& workload,
+                                         ReduceVariant variant);
+
+}  // namespace stamp::algo

@@ -1,0 +1,184 @@
+#include "algo/replicated_db.hpp"
+
+#include "msg/communicator.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/instrument.hpp"
+#include "shm/shared_region.hpp"
+
+#include <atomic>
+#include <random>
+#include <stdexcept>
+
+namespace stamp::algo {
+namespace {
+
+struct Op {
+  int key = 0;
+  long long delta = 0;
+};
+
+/// Deterministic operation stream of one server.
+std::vector<Op> ops_for(const DbWorkload& w, int server) {
+  std::vector<Op> ops;
+  ops.reserve(static_cast<std::size_t>(w.ops_per_server));
+  std::mt19937_64 rng(w.seed + static_cast<std::uint64_t>(server) * 92821);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> key(0, w.keys - 1);
+  std::uniform_int_distribution<long long> delta(-5, 5);
+  for (int i = 0; i < w.ops_per_server; ++i) {
+    Op op;
+    op.key = coin(rng) < w.hot_fraction ? 0 : key(rng);
+    op.delta = delta(rng);
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+int owner_of_key(int key, int keys, int servers) {
+  // Contiguous key ranges per owner.
+  const int per = (keys + servers - 1) / servers;
+  return std::min(key / per, servers - 1);
+}
+
+}  // namespace
+
+const char* to_string(DbMode m) noexcept {
+  return m == DbMode::SharedLog ? "shared-log" : "sharded";
+}
+
+std::vector<long long> replicated_db_reference(const DbWorkload& w) {
+  std::vector<long long> state(static_cast<std::size_t>(w.keys), 0);
+  for (int s = 0; s < w.servers; ++s)
+    for (const Op& op : ops_for(w, s))
+      state[static_cast<std::size_t>(op.key)] += op.delta;
+  return state;
+}
+
+DbRunResult run_replicated_db(const Topology& topology, const DbWorkload& w,
+                              DbMode mode) {
+  if (w.servers < 1) throw std::invalid_argument("db: servers < 1");
+  if (w.keys < 1) throw std::invalid_argument("db: keys < 1");
+  if (w.hot_fraction < 0 || w.hot_fraction > 1)
+    throw std::invalid_argument("db: hot_fraction in [0, 1]");
+
+  const runtime::PlacementMap placement =
+      runtime::PlacementMap::for_distribution(topology, w.servers,
+                                              w.distribution);
+
+  // SharedLog mode state: the consistency-critical multi-writer log.
+  shm::QueuedCell<std::vector<Op>> log;
+  runtime::PhaseBarrier barrier(w.servers);
+  std::vector<std::vector<long long>> replicas(
+      static_cast<std::size_t>(w.servers),
+      std::vector<long long>(static_cast<std::size_t>(w.keys), 0));
+
+  // Sharded mode state: per-owner shards and the routing fabric. The payload
+  // key encodes end-of-stream as key = -1.
+  msg::Communicator<Op> router(w.servers, CommMode::Asynchronous);
+  std::vector<std::vector<long long>> shards(
+      static_cast<std::size_t>(w.servers),
+      std::vector<long long>(static_cast<std::size_t>(w.keys), 0));
+  std::atomic<long long> routed{0};
+
+  runtime::RunResult run = runtime::run_processes(placement, [&](runtime::Context&
+                                                                     ctx) {
+    const int me = ctx.id();
+    const std::vector<Op> my_ops = ops_for(w, me);
+    const runtime::UnitScope unit(ctx.recorder());
+
+    if (mode == DbMode::SharedLog) {
+      // Phase 1: append every operation to the serialized log (one shared
+      // write per op; the queued cell measures the multi-writer contention).
+      {
+        const runtime::RoundScope round(ctx.recorder());
+        for (const Op& op : my_ops) {
+          log.update(ctx, [&](std::vector<Op>& entries) {
+            entries.push_back(op);
+          });
+          ctx.int_ops(2);
+        }
+      }
+      barrier.arrive_and_wait();  // log is complete
+      // Phase 2: every replica replays the whole log (consistency).
+      {
+        const runtime::RoundScope round(ctx.recorder());
+        const std::vector<Op> entries = log.read(ctx);
+        auto& mine = replicas[static_cast<std::size_t>(me)];
+        for (const Op& op : entries)
+          mine[static_cast<std::size_t>(op.key)] += op.delta;
+        ctx.int_ops(static_cast<double>(entries.size()));
+      }
+      return;
+    }
+
+    // Sharded: route each op to its key's single writer; apply what arrives.
+    const runtime::RoundScope round(ctx.recorder());
+    std::size_t next = 0;
+    int done_received = 0;
+    auto& shard = shards[static_cast<std::size_t>(me)];
+    auto handle = [&](const Op& op) {
+      if (op.key < 0) {
+        ++done_received;
+        return;
+      }
+      shard[static_cast<std::size_t>(op.key)] += op.delta;
+      ctx.int_ops(1);
+    };
+    // Interleave sending own ops with draining the inbox (a server loop).
+    while (next < my_ops.size() || done_received < w.servers) {
+      if (next < my_ops.size()) {
+        const Op& op = my_ops[next++];
+        const int owner = owner_of_key(op.key, w.keys, w.servers);
+        if (owner == me) {
+          handle(op);
+        } else {
+          router.send(ctx, owner, op);
+          routed.fetch_add(1, std::memory_order_relaxed);
+        }
+        ctx.int_ops(2);
+        if (next == my_ops.size()) {
+          // End-of-stream markers: one to every server (including self).
+          for (int s = 0; s < w.servers; ++s) {
+            if (s == me) {
+              ++done_received;
+            } else {
+              router.send(ctx, s, Op{-1, 0});
+            }
+          }
+        }
+        // Opportunistic drain while producing.
+        while (auto env = router.try_receive(ctx)) handle(env->value);
+      } else {
+        handle(router.receive(ctx).value);
+      }
+    }
+  });
+
+  DbRunResult result{.mode = mode,
+                     .state = {},
+                     .consistent = false,
+                     .worst_serialization = log.worst_serialization(),
+                     .messages_routed = routed.load(),
+                     .run = std::move(run),
+                     .placement = placement};
+
+  const std::vector<long long> expected = replicated_db_reference(w);
+  if (mode == DbMode::SharedLog) {
+    // Every replica must equal the reference.
+    result.state = replicas.front();
+    result.consistent = true;
+    for (const auto& replica : replicas)
+      if (replica != expected) result.consistent = false;
+  } else {
+    // Shards are disjoint: their sum is the full state.
+    result.state.assign(static_cast<std::size_t>(w.keys), 0);
+    for (const auto& shard : shards)
+      for (int k = 0; k < w.keys; ++k)
+        result.state[static_cast<std::size_t>(k)] +=
+            shard[static_cast<std::size_t>(k)];
+    result.consistent = result.state == expected;
+  }
+  return result;
+}
+
+}  // namespace stamp::algo

@@ -1,0 +1,44 @@
+#pragma once
+/// \file sample_sort.hpp
+/// \brief Distributed sample sort — a heavyweight message-passing workload
+///        for the STAMP model (multi-round, data-dependent communication).
+///
+/// Phases: local sort -> splitter selection (sample, gather, broadcast) ->
+/// bucket exchange (all-to-all of value vectors) -> local merge. Attributes:
+/// [inter_proc, async_exec, synch_comm]. The bucket exchange is the
+/// interesting S-round: its message counts depend on the data distribution,
+/// which the recorders capture per process.
+
+#include "core/attributes.hpp"
+#include "core/params.hpp"
+#include "runtime/executor.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace stamp::algo {
+
+struct SortWorkload {
+  int processes = 8;
+  long long elements = 1 << 14;
+  std::uint64_t seed = 17;
+  /// 0 = uniform keys; > 0 skews keys toward the low end (bucket imbalance).
+  double skew = 0.0;
+  Distribution distribution = Distribution::InterProc;
+};
+
+struct SortRunResult {
+  std::vector<long long> output;  ///< globally sorted concatenation
+  bool correct = false;           ///< equals std::sort of the input
+  std::vector<long long> bucket_sizes;  ///< elements received per process
+  runtime::RunResult run;
+  runtime::PlacementMap placement;
+};
+
+[[nodiscard]] SortRunResult run_sample_sort(const Topology& topology,
+                                            const SortWorkload& workload);
+
+/// The deterministic input the workload sorts.
+[[nodiscard]] std::vector<long long> sort_input(const SortWorkload& w);
+
+}  // namespace stamp::algo

@@ -1,0 +1,133 @@
+#include "algo/stencil.hpp"
+
+#include "msg/communicator.hpp"
+#include "runtime/instrument.hpp"
+
+#include <stdexcept>
+
+namespace stamp::algo {
+namespace {
+
+struct Block {
+  int begin = 0;
+  int end = 0;
+  [[nodiscard]] int size() const noexcept { return end - begin; }
+};
+
+Block block_of(int n, int p, int rank) {
+  const int base = n / p;
+  const int extra = n % p;
+  Block b;
+  b.begin = rank * base + std::min(rank, extra);
+  b.end = b.begin + base + (rank < extra ? 1 : 0);
+  return b;
+}
+
+void validate(const StencilProblem& prob) {
+  if (prob.cells < 1) throw std::invalid_argument("stencil: cells < 1");
+  if (prob.alpha <= 0 || prob.alpha >= 0.5)
+    throw std::invalid_argument("stencil: alpha must be in (0, 0.5)");
+}
+
+}  // namespace
+
+std::vector<double> stencil_sequential(const StencilProblem& prob, int steps) {
+  validate(prob);
+  std::vector<double> u(static_cast<std::size_t>(prob.cells), prob.initial);
+  std::vector<double> next = u;
+  for (int t = 0; t < steps; ++t) {
+    for (int i = 0; i < prob.cells; ++i) {
+      const double left = i == 0 ? prob.left : u[static_cast<std::size_t>(i - 1)];
+      const double right =
+          i == prob.cells - 1 ? prob.right : u[static_cast<std::size_t>(i + 1)];
+      next[static_cast<std::size_t>(i)] =
+          u[static_cast<std::size_t>(i)] +
+          prob.alpha * (left - 2 * u[static_cast<std::size_t>(i)] + right);
+    }
+    u.swap(next);
+  }
+  return u;
+}
+
+StencilResult stencil_distributed(const StencilProblem& prob,
+                                  const Topology& topology,
+                                  const StencilOptions& options) {
+  validate(prob);
+  const int n = prob.cells;
+  const int p = options.processes;
+  if (p < 1 || p > n)
+    throw std::invalid_argument("stencil: need 1 <= processes <= cells");
+
+  const runtime::PlacementMap placement =
+      runtime::PlacementMap::for_distribution(topology, p,
+                                              options.distribution);
+
+  /// Halo message: the boundary value of a neighbour's segment. `from_left`
+  /// disambiguates the two neighbours of an interior process.
+  struct Halo {
+    double value = 0;
+    bool from_left = false;
+  };
+  msg::Communicator<Halo> comm(p, CommMode::Synchronous);
+
+  std::vector<std::vector<double>> finals(static_cast<std::size_t>(p));
+
+  runtime::RunResult run = runtime::run_processes(placement, [&](runtime::Context&
+                                                                     ctx) {
+    const int me = ctx.id();
+    const Block block = block_of(n, p, me);
+    const int width = block.size();
+    std::vector<double> u(static_cast<std::size_t>(width), prob.initial);
+    std::vector<double> next = u;
+
+    for (int t = 0; t < options.steps; ++t) {
+      const runtime::UnitScope unit(ctx.recorder());
+      ctx.int_ops(1);  // loop check
+      double halo_left = prob.left;
+      double halo_right = prob.right;
+      {
+        const runtime::RoundScope round(ctx.recorder());
+        // Send boundary cells to neighbours; receive their halos. Constant
+        // communication per round: at most 2 sends + 2 receives.
+        if (me > 0) comm.send(ctx, me - 1, Halo{u.front(), false});
+        if (me + 1 < p) comm.send(ctx, me + 1, Halo{u.back(), true});
+        const int expected = (me > 0 ? 1 : 0) + (me + 1 < p ? 1 : 0);
+        for (int k = 0; k < expected; ++k) {
+          const msg::Envelope<Halo> env = comm.receive(ctx);
+          if (env.value.from_left) {
+            halo_left = env.value.value;
+          } else {
+            halo_right = env.value.value;
+          }
+        }
+
+        // Update the segment: 4 fp ops per cell (2 adds, 1 sub, 1 mul-add).
+        for (int i = 0; i < width; ++i) {
+          const double left =
+              i == 0 ? halo_left : u[static_cast<std::size_t>(i - 1)];
+          const double right = i == width - 1
+                                   ? halo_right
+                                   : u[static_cast<std::size_t>(i + 1)];
+          next[static_cast<std::size_t>(i)] =
+              u[static_cast<std::size_t>(i)] +
+              prob.alpha *
+                  (left - 2 * u[static_cast<std::size_t>(i)] + right);
+        }
+        ctx.fp_ops(4.0 * width);
+        ctx.int_ops(static_cast<double>(width));
+        u.swap(next);
+        comm.barrier();  // synch_comm: rounds advance in lock step
+      }
+      ctx.int_ops(1);  // termination check
+    }
+    finals[static_cast<std::size_t>(me)] = u;
+  });
+
+  StencilResult result{.temperature = {}, .run = std::move(run),
+                       .placement = placement};
+  for (const auto& part : finals)
+    result.temperature.insert(result.temperature.end(), part.begin(), part.end());
+  return result;
+}
+
+}  // namespace stamp::algo

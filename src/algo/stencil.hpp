@@ -1,0 +1,54 @@
+#pragma once
+/// \file stencil.hpp
+/// \brief 1-D heat-diffusion stencil with halo exchange — the sparse-
+///        communication counterpart to the paper's all-to-all Jacobi.
+///
+/// Explicit Euler on u_t = alpha u_xx over a 1-D rod with fixed boundary
+/// temperatures. Each STAMP process owns a contiguous segment; per S-round it
+/// exchanges one halo cell with each neighbour (2 sends + 2 receives,
+/// independent of n and p) and updates its segment. Attributes:
+/// [intra_proc, async_exec, synch_comm].
+///
+/// Model interest: Jacobi's exchange costs Theta(p) messages per process per
+/// round; the stencil costs Theta(1). The crossover machinery prices exactly
+/// when nearest-neighbour structure pays.
+
+#include "core/attributes.hpp"
+#include "core/params.hpp"
+#include "runtime/executor.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace stamp::algo {
+
+struct StencilProblem {
+  int cells = 64;          ///< interior cells of the rod
+  double alpha = 0.2;      ///< diffusion number (stable for < 0.5)
+  double left = 100.0;     ///< fixed boundary temperature (left)
+  double right = 0.0;      ///< fixed boundary temperature (right)
+  double initial = 20.0;   ///< initial interior temperature
+};
+
+struct StencilOptions {
+  int processes = 4;
+  int steps = 200;
+  Distribution distribution = Distribution::IntraProc;
+};
+
+struct StencilResult {
+  std::vector<double> temperature;  ///< final interior temperatures
+  runtime::RunResult run;
+  runtime::PlacementMap placement;
+};
+
+/// Sequential reference (same explicit-Euler scheme).
+[[nodiscard]] std::vector<double> stencil_sequential(const StencilProblem& prob,
+                                                     int steps);
+
+/// Distributed halo-exchange solver; processes <= cells.
+[[nodiscard]] StencilResult stencil_distributed(const StencilProblem& prob,
+                                                const Topology& topology,
+                                                const StencilOptions& options);
+
+}  // namespace stamp::algo

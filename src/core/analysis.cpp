@@ -1,0 +1,128 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <cmath>
+
+namespace stamp::analysis {
+
+CostCounters jacobi_round_counters(int n) noexcept {
+  CostCounters c;
+  // n-1 multiplications, n-2 additions, 1 subtraction, 1 multiplication:
+  // 2n - 1 floating-point operations; the assignment counts as 1 integer op
+  // (the paper counts "2n local operations" total).
+  c.c_fp = 2.0 * n - 1;
+  c.c_int = 1;
+  c.m_s_a = 0;  // the analysis does not split intra/inter; use the _e columns
+  c.m_r_a = 0;  // and a MachineParams with L_e = L, g_mp_e = g to evaluate.
+  c.m_s_e = n - 1;
+  c.m_r_e = n - 1;
+  return c;
+}
+
+JacobiAnalysis jacobi(int n, const JacobiParams& p, const EnergyParams& e) noexcept {
+  JacobiAnalysis a;
+  a.n = n;
+  a.round_counters = jacobi_round_counters(n);
+
+  // T_S-round = c + L + g (m_s + m_r) = 2n + L + 2 g n - 2 g.
+  a.T_s_round = 2.0 * n + p.L + 2.0 * p.g * n - 2.0 * p.g;
+
+  // E_S-round = w_fp (2n-1) + w_int + (w_mr + w_ms)(n-1)
+  //           = (2 w_fp + w_mr + w_ms) n - w_fp + w_int - w_mr - w_ms.
+  a.E_s_round = (2.0 * e.w_fp + e.w_m_r + e.w_m_s) * n - e.w_fp + e.w_int -
+                e.w_m_r - e.w_m_s;
+
+  // Outside the S-round: while-condition check and termination test/set.
+  a.T_c_lower = 2;
+  a.E_c_upper = e.w_fp + 2.0 * e.w_int;
+
+  a.T_s_unit_lower = a.T_s_round + a.T_c_lower;
+  a.E_s_unit_upper = a.E_s_round + a.E_c_upper;
+  a.P_s_unit_upper =
+      a.T_s_unit_lower > 0 ? a.E_s_unit_upper / a.T_s_unit_lower : 0;
+  return a;
+}
+
+JacobiParams jacobi_lower_bound_params(int n) noexcept {
+  JacobiParams p;
+  p.L = 5;  // lock-step rounds + unit-time barrier: >= 5 time units
+  // Smallest bandwidth factor: 3 local ops per round of interest vs the
+  // n (n-1) messages the network delivers in the same time.
+  p.g = n > 1 ? 3.0 / (static_cast<double>(n) * (n - 1)) : 0.0;
+  return p;
+}
+
+double jacobi_T_s_unit_lower_bound(int n) noexcept {
+  // 2n + 5 + 2n*3/(n(n-1)) - 2*3/(n(n-1)) + 2 = 2n + 6/n + 7.
+  return 2.0 * n + 6.0 / n + 7.0;
+}
+
+double jacobi_power_upper_bound(double x, double y, double w_int) noexcept {
+  return (x + y) * w_int;
+}
+
+int jacobi_max_threads_per_processor(double x, double y, double w_int,
+                                     double cap,
+                                     int threads_per_processor) noexcept {
+  const double per_thread = jacobi_power_upper_bound(x, y, w_int);
+  int thread_cap = threads_per_processor > 0 ? threads_per_processor : INT_MAX;
+  if (cap <= 0 || per_thread <= 0) return thread_cap;
+  const int by_power = static_cast<int>(std::floor(cap / per_thread + 1e-12));
+  return std::min(by_power, thread_cap);
+}
+
+CostCounters apsp_round_counters(int n) noexcept {
+  CostCounters c;
+  const double dn = n;
+  // read x: n^2 shared reads; for each of the n row entries, n additions and
+  // n-1 comparisons; write the row: n shared writes. Additions of weights are
+  // fp; comparisons and the assignment are integer ops.
+  c.d_r_e = dn * dn;
+  c.d_w_e = dn;
+  c.c_fp = dn * dn;             // x_ik + x_kj additions
+  c.c_int = dn * (dn - 1) + dn; // min comparisons + row assignments
+  return c;
+}
+
+Cost apsp_process_cost(int n, int rounds, const MachineParams& mp,
+                       const EnergyParams& e) noexcept {
+  const CostCounters per_round = apsp_round_counters(n);
+  ProcessCounts pc;
+  pc.inter = n - 1;  // every peer is on another processor (inter_proc)
+  Cost round_cost = s_round_cost(per_round, mp, e, pc);
+  // Outside the round: loop-condition check + termination test (integer ops).
+  Cost outside{2.0, 2.0 * e.w_int};
+  return (round_cost + outside).scaled(rounds);
+}
+
+CostCounters transfer_counters(double rollbacks, bool intra) noexcept {
+  CostCounters c;
+  // Each subtransaction (withdraw / deposit): read balance, adjust, write
+  // balance, plus commit-flag bookkeeping. The and-decision adds integer ops.
+  const double attempts = 1.0 + rollbacks;
+  const double reads = 2.0 * attempts;   // one per subtransaction per attempt
+  const double writes = 2.0 * attempts;
+  if (intra) {
+    c.d_r_a = reads;
+    c.d_w_a = writes;
+  } else {
+    c.d_r_e = reads;
+    c.d_w_e = writes;
+  }
+  c.c_int = (2.0 * 3.0 + 3.0) * attempts;  // adjust+flags per sub + decision
+  c.kappa = rollbacks;
+  return c;
+}
+
+CostCounters reserve_counters(double rollbacks) noexcept {
+  CostCounters c;
+  const double attempts = 1.0 + rollbacks;
+  c.d_r_e = 3.0 * attempts;  // one seat-count read per leg (async_comm/inter)
+  c.d_w_e = 3.0 * attempts;  // one seat-count write per leg
+  c.c_int = (3.0 * 3.0 + 4.0) * attempts;  // per-leg bookkeeping + decision tree
+  c.kappa = rollbacks;
+  return c;
+}
+
+}  // namespace stamp::analysis

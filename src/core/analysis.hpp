@@ -1,0 +1,103 @@
+#pragma once
+/// \file analysis.hpp
+/// \brief Closed-form STAMP analyses of the paper's worked examples
+///        (Section 4): Jacobi, banking transfer, airline reservation, APSP.
+///
+/// These are the symbolic derivations of the paper turned into code, so the
+/// benches can print paper-formula values next to runtime-measured and
+/// simulator-measured ones.
+
+#include "core/cost_model.hpp"
+#include "core/params.hpp"
+
+namespace stamp::analysis {
+
+// ---------------------------------------------------------------------------
+// Jacobi (intra_proc, async_exec, synch_comm), message-passing realization.
+// ---------------------------------------------------------------------------
+
+/// Machine abstraction used in the paper's Jacobi analysis: it deliberately
+/// does not distinguish intra from inter (single L and g).
+struct JacobiParams {
+  double L = 5;  ///< message delay bound
+  double g = 0;  ///< bandwidth factor
+};
+
+/// All quantities the paper derives for one Jacobi process of problem size n.
+struct JacobiAnalysis {
+  double n = 0;
+
+  // Counters per S-round (per process): 2n local fp/assignment ops,
+  // n-1 sends, n-1 receives.
+  CostCounters round_counters;
+
+  double T_s_round = 0;  ///< 2n + L + 2gn - 2g
+  double E_s_round = 0;  ///< (2 w_fp + w_mr + w_ms) n - w_fp + w_int - w_mr - w_ms
+  double T_c_lower = 0;  ///< >= 2 (loop/termination checks)
+  double E_c_upper = 0;  ///< <= w_fp + 2 w_int
+  double T_s_unit_lower = 0;  ///< T_s_round + T_c_lower
+  double E_s_unit_upper = 0;  ///< E_s_round + E_c_upper
+  double P_s_unit_upper = 0;  ///< E_s_unit_upper / T_s_unit_lower
+};
+
+/// Counters of one Jacobi S-round for problem size n (per the paper's count:
+/// n-1 multiplications, n-2 additions, 1 subtraction, 1 multiplication and
+/// 1 assignment = 2n local operations, of which 2n-1 are floating point;
+/// n-1 sends and n-1 receives).
+[[nodiscard]] CostCounters jacobi_round_counters(int n) noexcept;
+
+/// Full closed-form analysis with explicit L, g and energy parameters.
+[[nodiscard]] JacobiAnalysis jacobi(int n, const JacobiParams& p,
+                                    const EnergyParams& e) noexcept;
+
+/// The paper's lower-bound instantiation: lock-step execution and unit-time
+/// barrier give L >= 5; the minimum bandwidth factor is g = 3 / (n (n-1)).
+/// Then T_S-unit >= 2n + 6/n + 7 >= 2n.
+[[nodiscard]] JacobiParams jacobi_lower_bound_params(int n) noexcept;
+
+/// T_S-unit lower bound at the lower-bound parameters: 2n + 6/n + 7.
+[[nodiscard]] double jacobi_T_s_unit_lower_bound(int n) noexcept;
+
+/// The paper's simplified power bound: with w_fp = x w_int and
+/// w_mr = w_ms = y w_int (x, y >= 2), P_S-unit <= (x + y) w_int.
+[[nodiscard]] double jacobi_power_upper_bound(double x, double y,
+                                              double w_int) noexcept;
+
+/// Admission count of the paper's envelope example: per-processor power cap
+/// `cap`, per-thread bound (x+y) w_int; returns the maximum number of Jacobi
+/// threads one processor may host (also limited by threads_per_processor).
+/// For cap = 3 (x+y) w_int on a 4-thread Niagara core this returns 3.
+[[nodiscard]] int jacobi_max_threads_per_processor(double x, double y,
+                                                   double w_int, double cap,
+                                                   int threads_per_processor) noexcept;
+
+// ---------------------------------------------------------------------------
+// APSP (inter_proc, async_exec, async_comm), shared-memory realization.
+// ---------------------------------------------------------------------------
+
+/// Counters of one APSP S-round for process i on an n-vertex graph:
+/// reads the full n x n shared matrix, computes min-plus over its row
+/// (n additions and n-1 comparisons per entry, n entries), writes its row.
+[[nodiscard]] CostCounters apsp_round_counters(int n) noexcept;
+
+/// Closed-form per-round cost for one APSP process with all communication
+/// inter-processor (the inter_proc attribute), for R rounds.
+[[nodiscard]] Cost apsp_process_cost(int n, int rounds, const MachineParams& mp,
+                                     const EnergyParams& e) noexcept;
+
+// ---------------------------------------------------------------------------
+// Transactional examples (trans_exec): banking transfer, airline reserve.
+// ---------------------------------------------------------------------------
+
+/// Counters of one `transfer` attempt: two subtransactions (withdraw,
+/// deposit), each one shared read + one shared write + a few integer ops,
+/// plus the commit decision. `rollbacks` is the measured/assumed number of
+/// aborts before success; it enters kappa and multiplies the attempted work.
+[[nodiscard]] CostCounters transfer_counters(double rollbacks,
+                                             bool intra) noexcept;
+
+/// Counters of one `reserve` attempt: three leg subtransactions, each a
+/// shared read + write + integer ops, plus the partial-commit decision logic.
+[[nodiscard]] CostCounters reserve_counters(double rollbacks) noexcept;
+
+}  // namespace stamp::analysis

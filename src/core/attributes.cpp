@@ -1,0 +1,49 @@
+#include "core/attributes.hpp"
+
+#include <ostream>
+
+namespace stamp {
+
+const std::array<ModeCombination, 4>& table1_combinations() noexcept {
+  static const std::array<ModeCombination, 4> kCombos = {{
+      {ExecMode::Transactional, CommMode::Synchronous, "trans_exec", "synch_comm"},
+      {ExecMode::Asynchronous, CommMode::Synchronous, "async_exec", "synch_comm"},
+      {ExecMode::Transactional, CommMode::Asynchronous, "trans_exec", "async_comm"},
+      {ExecMode::Asynchronous, CommMode::Asynchronous, "async_exec", "async_comm"},
+  }};
+  return kCombos;
+}
+
+std::string_view keyword(Distribution d) noexcept {
+  return d == Distribution::IntraProc ? "intra_proc" : "inter_proc";
+}
+
+std::string_view keyword(ExecMode e) noexcept {
+  return e == ExecMode::Transactional ? "trans_exec" : "async_exec";
+}
+
+std::string_view keyword(CommMode c) noexcept {
+  return c == CommMode::Synchronous ? "synch_comm" : "async_comm";
+}
+
+std::string_view to_string(CommSubstrate s) noexcept {
+  switch (s) {
+    case CommSubstrate::None: return "none";
+    case CommSubstrate::SharedMemory: return "shared_memory";
+    case CommSubstrate::MessagePassing: return "message_passing";
+    case CommSubstrate::Both: return "both";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Distribution d) { return os << keyword(d); }
+std::ostream& operator<<(std::ostream& os, ExecMode e) { return os << keyword(e); }
+std::ostream& operator<<(std::ostream& os, CommMode c) { return os << keyword(c); }
+std::ostream& operator<<(std::ostream& os, CommSubstrate s) { return os << to_string(s); }
+
+std::ostream& operator<<(std::ostream& os, const Attributes& a) {
+  return os << '[' << keyword(a.distribution) << ", " << keyword(a.exec) << ", "
+            << keyword(a.comm) << ']';
+}
+
+}  // namespace stamp

@@ -1,0 +1,95 @@
+#pragma once
+/// \file attributes.hpp
+/// \brief The three orthogonal STAMP process attributes (distribution,
+///        execution, communication) and the Table-1 mode combinations.
+///
+/// A STAMP process is annotated with keywords that drive both how the runtime
+/// executes it and how the cost model charges it:
+///
+///  * distribution:  `intra_proc` | `inter_proc`
+///  * execution:     `trans_exec` | `async_exec`
+///  * communication: `synch_comm` | `async_comm`
+///
+/// Table 1 of the paper enumerates the four legal combinations of execution
+/// and communication mode; distribution is orthogonal to both.
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+namespace stamp {
+
+/// Where the STAMP processes of a program are placed relative to each other.
+///
+/// `IntraProc` requests that processes share one processor (hardware threads
+/// of one core): communication is fast but the per-processor power envelope
+/// constrains how many processes may be co-located. `InterProc` spreads
+/// processes over distinct processors: communication is slower but power is
+/// spread over many envelopes.
+enum class Distribution : std::uint8_t {
+  IntraProc,  ///< keyword `intra_proc`
+  InterProc,  ///< keyword `inter_proc`
+};
+
+/// How the body of a STAMP process executes.
+enum class ExecMode : std::uint8_t {
+  Transactional,  ///< keyword `trans_exec`: optimistic/atomic, may roll back
+  Asynchronous,   ///< keyword `async_exec`: unrestricted progress
+};
+
+/// How communication operations behave.
+enum class CommMode : std::uint8_t {
+  Synchronous,   ///< keyword `synch_comm`: serialized shared-memory access or
+                 ///  blocking message passing
+  Asynchronous,  ///< keyword `async_comm`: unrestricted; designer supplies
+                 ///  explicit synchronization where needed
+};
+
+/// Which communication substrate a process (or an individual S-round) uses.
+/// The cost model charges shared-memory and message-passing terms separately
+/// (the Knuth–Iverson brackets in the T_S-round formula).
+enum class CommSubstrate : std::uint8_t {
+  None,          ///< purely local S-round
+  SharedMemory,  ///< reads/writes of shared memory
+  MessagePassing,///< explicit sends/receives
+  Both,          ///< uses both in one S-round
+};
+
+/// Full attribute triple attached to a STAMP process.
+struct Attributes {
+  Distribution distribution = Distribution::IntraProc;
+  ExecMode exec = ExecMode::Asynchronous;
+  CommMode comm = CommMode::Synchronous;
+
+  friend constexpr bool operator==(const Attributes&, const Attributes&) = default;
+};
+
+/// One cell of the paper's Table 1: a legal (execution, communication) pair.
+struct ModeCombination {
+  ExecMode exec;
+  CommMode comm;
+  std::string_view exec_keyword;  ///< e.g. "trans_exec"
+  std::string_view comm_keyword;  ///< e.g. "synch_comm"
+
+  friend constexpr bool operator==(const ModeCombination&,
+                                   const ModeCombination&) = default;
+};
+
+/// The four combinations of Table 1, in row-major order of the paper's table
+/// (synchronous-comm row first, transactional-exec column first).
+[[nodiscard]] const std::array<ModeCombination, 4>& table1_combinations() noexcept;
+
+/// Keyword spellings used throughout the paper (and our pretty-printers).
+[[nodiscard]] std::string_view keyword(Distribution d) noexcept;
+[[nodiscard]] std::string_view keyword(ExecMode e) noexcept;
+[[nodiscard]] std::string_view keyword(CommMode c) noexcept;
+[[nodiscard]] std::string_view to_string(CommSubstrate s) noexcept;
+
+std::ostream& operator<<(std::ostream& os, Distribution d);
+std::ostream& operator<<(std::ostream& os, ExecMode e);
+std::ostream& operator<<(std::ostream& os, CommMode c);
+std::ostream& operator<<(std::ostream& os, CommSubstrate s);
+std::ostream& operator<<(std::ostream& os, const Attributes& a);
+
+}  // namespace stamp

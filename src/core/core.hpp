@@ -1,0 +1,15 @@
+#pragma once
+/// \file core.hpp
+/// \brief Umbrella header for the STAMP core model.
+
+#include "core/analysis.hpp"
+#include "core/attributes.hpp"
+#include "core/cost_model.hpp"
+#include "core/crossover.hpp"
+#include "core/counters.hpp"
+#include "core/envelope.hpp"
+#include "core/metrics.hpp"
+#include "core/params.hpp"
+#include "core/placement.hpp"
+#include "core/process.hpp"
+#include "core/spec.hpp"

@@ -1,0 +1,73 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace stamp {
+
+std::ostream& operator<<(std::ostream& os, const Cost& c) {
+  return os << "{T=" << c.time << " E=" << c.energy << " P=" << c.power() << '}';
+}
+
+double s_round_time(const CostCounters& c, const MachineParams& mp,
+                    const ProcessCounts& pc) noexcept {
+  double t = c.local_ops();
+  if (c.uses_shared_memory()) {
+    t += c.kappa;
+    if (pc.inter >= 1) t += mp.ell_e;
+    if (pc.intra >= 1) t += mp.ell_a;
+    t += mp.g_sh_a * (c.d_r_a + c.d_w_a);
+    t += mp.g_sh_e * (c.d_r_e + c.d_w_e);
+  }
+  if (c.uses_message_passing()) {
+    if (pc.inter >= 1) t += mp.L_e;
+    if (pc.intra >= 1) t += mp.L_a;
+    t += mp.g_mp_a * (c.m_s_a + c.m_r_a);
+    t += mp.g_mp_e * (c.m_s_e + c.m_r_e);
+  }
+  return t;
+}
+
+double s_round_energy(const CostCounters& c, const EnergyParams& ep) noexcept {
+  return c.c_fp * ep.w_fp + c.c_int * ep.w_int +
+         ep.w_d_r * (c.d_r_a + c.d_r_e) + ep.w_d_w * (c.d_w_a + c.d_w_e) +
+         ep.w_m_r * (c.m_r_a + c.m_r_e) + ep.w_m_s * (c.m_s_a + c.m_s_e);
+}
+
+Cost s_round_cost(const CostCounters& c, const MachineParams& mp,
+                  const EnergyParams& ep, const ProcessCounts& pc) noexcept {
+  return {s_round_time(c, mp, pc), s_round_energy(c, ep)};
+}
+
+Cost local_cost(const CostCounters& c, const EnergyParams& ep) {
+  if (c.uses_shared_memory() || c.uses_message_passing())
+    throw std::invalid_argument(
+        "local_cost: counters contain communication operations");
+  return {c.local_ops(), c.c_fp * ep.w_fp + c.c_int * ep.w_int};
+}
+
+Cost sequential(std::span<const Cost> parts) noexcept {
+  Cost total;
+  for (const Cost& p : parts) total += p;
+  return total;
+}
+
+Cost parallel(std::span<const Cost> parts) noexcept {
+  Cost total;
+  for (const Cost& p : parts) {
+    total.time = std::max(total.time, p.time);
+    total.energy += p.energy;
+  }
+  return total;
+}
+
+Cost sequential(std::initializer_list<Cost> parts) noexcept {
+  return sequential(std::span<const Cost>(parts.begin(), parts.size()));
+}
+
+Cost parallel(std::initializer_list<Cost> parts) noexcept {
+  return parallel(std::span<const Cost>(parts.begin(), parts.size()));
+}
+
+}  // namespace stamp

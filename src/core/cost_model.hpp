@@ -1,0 +1,100 @@
+#pragma once
+/// \file cost_model.hpp
+/// \brief The STAMP execution-time / energy / power complexity formulas
+///        (Section 3.1 of the paper).
+///
+/// The model assumes one local operation on locally-available data takes one
+/// time unit. For each S-round it charges local computation plus, when the
+/// round communicates, latency, serialization (kappa) and bandwidth terms;
+/// energy is the gated per-operation sum. S-units sum their rounds; a STAMP
+/// process sums its S-units; parallel/distributed compositions take the
+/// worst-case time and the total energy.
+
+#include "core/counters.hpp"
+#include "core/params.hpp"
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace stamp {
+
+/// The process-count context in which an S-round executes: how many STAMP
+/// processes are placed intra-processor (P_a) and inter-processor (P_e).
+/// These drive the Knuth–Iverson latency brackets `[P_a >= 1]` / `[P_e >= 1]`.
+struct ProcessCounts {
+  int intra = 0;  ///< P_a: number of intra-processor STAMP processes
+  int inter = 0;  ///< P_e: number of inter-processor STAMP processes
+
+  friend bool operator==(const ProcessCounts&, const ProcessCounts&) = default;
+};
+
+/// A (time, energy) pair in model units. Power is derived, never stored, so
+/// the aggregation rules (sum of energies / max or sum of times) stay exact.
+struct Cost {
+  double time = 0;    ///< execution time T, in unit local operations
+  double energy = 0;  ///< energy E, in energy units
+
+  /// Dissipated power P = E / T; zero-time cost has zero power by convention.
+  [[nodiscard]] double power() const noexcept {
+    return time > 0 ? energy / time : 0.0;
+  }
+
+  Cost& operator+=(const Cost& o) noexcept {
+    time += o.time;
+    energy += o.energy;
+    return *this;
+  }
+  [[nodiscard]] friend Cost operator+(Cost a, const Cost& b) noexcept {
+    a += b;
+    return a;
+  }
+  [[nodiscard]] Cost scaled(double k) const noexcept { return {time * k, energy * k}; }
+
+  friend bool operator==(const Cost&, const Cost&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Cost& c);
+
+/// T_S-round: the paper's Equation (1).
+///
+///   T = c + [shm]( kappa + [P_e>=1] ell_e + [P_a>=1] ell_a
+///                  + g_sh_a (d_r_a + d_w_a) + g_sh_e (d_r_e + d_w_e) )
+///       + [mp]( [P_e>=1] L_e + [P_a>=1] L_a
+///               + g_mp_a (m_s_a + m_r_a) + g_mp_e (m_s_e + m_r_e) )
+///
+/// The substrate brackets [shm] / [mp] are inferred from the counters: a round
+/// with no shared-memory accesses pays no shared-memory latency, and likewise
+/// for message passing.
+[[nodiscard]] double s_round_time(const CostCounters& c, const MachineParams& mp,
+                                  const ProcessCounts& pc) noexcept;
+
+/// E_S-round: the paper's Equation (2) — per-operation gated energy.
+///
+///   E = c_fp w_fp + c_int w_int + w_d_r (d_r_a + d_r_e) + w_d_w (d_w_a + d_w_e)
+///       + w_m_r (m_r_a + m_r_e) + w_m_s (m_s_a + m_s_e)
+[[nodiscard]] double s_round_energy(const CostCounters& c,
+                                    const EnergyParams& ep) noexcept;
+
+/// Both at once.
+[[nodiscard]] Cost s_round_cost(const CostCounters& c, const MachineParams& mp,
+                                const EnergyParams& ep,
+                                const ProcessCounts& pc) noexcept;
+
+/// Cost of local computation outside S-rounds: T_c = c_fp + c_int,
+/// E_c = c_fp w_fp + c_int w_int. Communication counters must be zero.
+[[nodiscard]] Cost local_cost(const CostCounters& c, const EnergyParams& ep);
+
+/// Sequential composition (an S-unit over its S-rounds, a STAMP process over
+/// its S-units): times and energies both add.
+[[nodiscard]] Cost sequential(std::span<const Cost> parts) noexcept;
+
+/// Parallel/distributed composition: T = max over parts (worst case),
+/// E = sum over parts. (Rule 5 of Section 3.1.)
+[[nodiscard]] Cost parallel(std::span<const Cost> parts) noexcept;
+
+/// Convenience overloads.
+[[nodiscard]] Cost sequential(std::initializer_list<Cost> parts) noexcept;
+[[nodiscard]] Cost parallel(std::initializer_list<Cost> parts) noexcept;
+
+}  // namespace stamp

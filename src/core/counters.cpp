@@ -1,0 +1,100 @@
+#include "core/counters.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace stamp {
+
+CostCounters& CostCounters::operator+=(const CostCounters& o) noexcept {
+  c_fp += o.c_fp;
+  c_int += o.c_int;
+  d_r_a += o.d_r_a;
+  d_w_a += o.d_w_a;
+  d_r_e += o.d_r_e;
+  d_w_e += o.d_w_e;
+  m_s_a += o.m_s_a;
+  m_r_a += o.m_r_a;
+  m_s_e += o.m_s_e;
+  m_r_e += o.m_r_e;
+  kappa = std::max(kappa, o.kappa);
+  return *this;
+}
+
+CostCounters CostCounters::scaled(double k) const noexcept {
+  CostCounters r = *this;
+  r.c_fp *= k;
+  r.c_int *= k;
+  r.d_r_a *= k;
+  r.d_w_a *= k;
+  r.d_r_e *= k;
+  r.d_w_e *= k;
+  r.m_s_a *= k;
+  r.m_r_a *= k;
+  r.m_s_e *= k;
+  r.m_r_e *= k;
+  return r;
+}
+
+CostCounters CostCounters::max(const CostCounters& a,
+                               const CostCounters& b) noexcept {
+  CostCounters r;
+  r.c_fp = std::max(a.c_fp, b.c_fp);
+  r.c_int = std::max(a.c_int, b.c_int);
+  r.d_r_a = std::max(a.d_r_a, b.d_r_a);
+  r.d_w_a = std::max(a.d_w_a, b.d_w_a);
+  r.d_r_e = std::max(a.d_r_e, b.d_r_e);
+  r.d_w_e = std::max(a.d_w_e, b.d_w_e);
+  r.m_s_a = std::max(a.m_s_a, b.m_s_a);
+  r.m_r_a = std::max(a.m_r_a, b.m_r_a);
+  r.m_s_e = std::max(a.m_s_e, b.m_s_e);
+  r.m_r_e = std::max(a.m_r_e, b.m_r_e);
+  r.kappa = std::max(a.kappa, b.kappa);
+  return r;
+}
+
+std::ostream& operator<<(std::ostream& os, const CostCounters& c) {
+  os << "{c_fp=" << c.c_fp << " c_int=" << c.c_int;
+  if (c.uses_shared_memory()) {
+    os << " d_r_a=" << c.d_r_a << " d_w_a=" << c.d_w_a << " d_r_e=" << c.d_r_e
+       << " d_w_e=" << c.d_w_e;
+  }
+  if (c.uses_message_passing()) {
+    os << " m_s_a=" << c.m_s_a << " m_r_a=" << c.m_r_a << " m_s_e=" << c.m_s_e
+       << " m_r_e=" << c.m_r_e;
+  }
+  if (c.kappa > 0) os << " kappa=" << c.kappa;
+  return os << '}';
+}
+
+namespace counters {
+
+CostCounters local(double fp, double integer) noexcept {
+  CostCounters c;
+  c.c_fp = fp;
+  c.c_int = integer;
+  return c;
+}
+
+CostCounters shared_memory(double reads_a, double writes_a, double reads_e,
+                           double writes_e, double kappa) noexcept {
+  CostCounters c;
+  c.d_r_a = reads_a;
+  c.d_w_a = writes_a;
+  c.d_r_e = reads_e;
+  c.d_w_e = writes_e;
+  c.kappa = kappa;
+  return c;
+}
+
+CostCounters message_passing(double sends_a, double recvs_a, double sends_e,
+                             double recvs_e) noexcept {
+  CostCounters c;
+  c.m_s_a = sends_a;
+  c.m_r_a = recvs_a;
+  c.m_s_e = sends_e;
+  c.m_r_e = recvs_e;
+  return c;
+}
+
+}  // namespace counters
+}  // namespace stamp

@@ -1,0 +1,108 @@
+#pragma once
+/// \file counters.hpp
+/// \brief Operation counters — the per-S-round inputs of the STAMP cost model.
+///
+/// The complexity formulas of Section 3.1 of the paper take, for each S-round,
+/// the *numbers* of local floating-point and integer operations, shared-memory
+/// reads/writes, and message sends/receives, split by intra- vs
+/// inter-processor communication, plus the serialization/rollback bound kappa.
+/// `CostCounters` carries exactly those quantities. Instances are produced
+/// either analytically (by a closed-form analysis) or empirically (by the
+/// instrumented runtime), and are consumed by `cost_model.hpp`.
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace stamp {
+
+/// Counts of the operations the cost model charges for one S-round (or, by
+/// summation, a whole S-unit or process). Values are doubles so analytic
+/// expressions (e.g. `2n - 1`) and averages over repetitions are exact.
+struct CostCounters {
+  // -- local computation ----------------------------------------------------
+  double c_fp = 0;   ///< floating-point operations (c_fp)
+  double c_int = 0;  ///< integer operations (c_int)
+
+  // -- shared-memory communication ------------------------------------------
+  double d_r_a = 0;  ///< intra-processor shared-memory reads (d_{r,a})
+  double d_w_a = 0;  ///< intra-processor shared-memory writes (d_{w,a})
+  double d_r_e = 0;  ///< inter-processor shared-memory reads (d_{r,e})
+  double d_w_e = 0;  ///< inter-processor shared-memory writes (d_{w,e})
+
+  // -- message-passing communication -----------------------------------------
+  double m_s_a = 0;  ///< intra-processor message sends (m_{s,a})
+  double m_r_a = 0;  ///< intra-processor message receives (m_{r,a})
+  double m_s_e = 0;  ///< inter-processor message sends (m_{s,e})
+  double m_r_e = 0;  ///< inter-processor message receives (m_{r,e})
+
+  // -- serialization / rollback ----------------------------------------------
+  /// kappa: maximum number of accesses to any one shared-memory location — in
+  /// the worst case the length of serialization, or the number of rollbacks a
+  /// transactional execution suffered.
+  double kappa = 0;
+
+  /// Total local operations `c = c_fp + c_int` (the paper's parameter c, in
+  /// unit-time local operations).
+  [[nodiscard]] double local_ops() const noexcept { return c_fp + c_int; }
+
+  /// Total shared-memory accesses, both distributions.
+  [[nodiscard]] double shm_accesses() const noexcept {
+    return d_r_a + d_w_a + d_r_e + d_w_e;
+  }
+
+  /// Total message operations, both distributions.
+  [[nodiscard]] double msg_ops() const noexcept {
+    return m_s_a + m_r_a + m_s_e + m_r_e;
+  }
+
+  /// True iff this round touches shared memory at all (drives the
+  /// Knuth–Iverson bracket [shared memory comm]).
+  [[nodiscard]] bool uses_shared_memory() const noexcept {
+    return shm_accesses() > 0;
+  }
+
+  /// True iff this round performs message passing at all (drives the bracket
+  /// [message passing comm]).
+  [[nodiscard]] bool uses_message_passing() const noexcept {
+    return msg_ops() > 0;
+  }
+
+  /// Component-wise sum; kappa combines by max (it is a per-location bound,
+  /// not an additive count — summing S-rounds keeps the worst round's bound).
+  CostCounters& operator+=(const CostCounters& o) noexcept;
+  [[nodiscard]] friend CostCounters operator+(CostCounters a,
+                                              const CostCounters& b) noexcept {
+    a += b;
+    return a;
+  }
+
+  /// Component-wise scaling of all additive counters (kappa unchanged);
+  /// used when an S-round repeats k identical times.
+  [[nodiscard]] CostCounters scaled(double k) const noexcept;
+
+  /// Component-wise maximum (including kappa).
+  [[nodiscard]] static CostCounters max(const CostCounters& a,
+                                        const CostCounters& b) noexcept;
+
+  friend bool operator==(const CostCounters&, const CostCounters&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const CostCounters& c);
+
+/// Convenience builders for the common shapes.
+namespace counters {
+
+/// Purely local work.
+[[nodiscard]] CostCounters local(double fp, double integer) noexcept;
+
+/// Shared-memory round: `reads`/`writes` split by distribution.
+[[nodiscard]] CostCounters shared_memory(double reads_a, double writes_a,
+                                         double reads_e, double writes_e,
+                                         double kappa = 0) noexcept;
+
+/// Message-passing round: `sends`/`receives` split by distribution.
+[[nodiscard]] CostCounters message_passing(double sends_a, double recvs_a,
+                                           double sends_e, double recvs_e) noexcept;
+
+}  // namespace counters
+}  // namespace stamp

@@ -1,0 +1,73 @@
+#include "core/crossover.hpp"
+
+#include <stdexcept>
+
+namespace stamp {
+namespace {
+
+/// -1: f wins, +1: g wins, 0: tie.
+int winner(const CostFn& f, const CostFn& g, long long x) {
+  const double fv = f(x);
+  const double gv = g(x);
+  if (fv < gv) return -1;
+  if (gv < fv) return 1;
+  return 0;
+}
+
+}  // namespace
+
+std::optional<Crossover> find_crossover(const CostFn& f, const CostFn& g,
+                                        long long lo, long long hi) {
+  if (lo >= hi) throw std::invalid_argument("find_crossover: need lo < hi");
+  const int w_lo = winner(f, g, lo);
+  const int w_hi = winner(f, g, hi);
+  if (w_hi == w_lo || w_hi == 0) {
+    // Same winner at both ends (or tie at hi): scan coarsely for an interior
+    // change; without one, report none.
+    bool change = false;
+    long long probe_hi = hi;
+    const long long span = hi - lo;
+    for (int step = 1; step <= 64 && !change; ++step) {
+      const long long x = lo + span * step / 64;
+      if (x <= lo || x > hi) continue;
+      const int w = winner(f, g, x);
+      if (w != 0 && w != w_lo) {
+        probe_hi = x;
+        change = true;
+      }
+    }
+    if (!change) return std::nullopt;
+    hi = probe_hi;
+  }
+
+  // Invariant: winner(lo) == w_lo, winner(hi) != w_lo (and != 0).
+  long long a = lo;
+  long long b = hi;
+  while (b - a > 1) {
+    const long long mid = a + (b - a) / 2;
+    const int w = winner(f, g, mid);
+    if (w == w_lo || w == 0) {
+      a = mid;
+    } else {
+      b = mid;
+    }
+  }
+
+  Crossover c;
+  c.at = b;
+  c.f_before = f(a);
+  c.g_before = g(a);
+  c.f_after = f(b);
+  c.g_after = g(b);
+  return c;
+}
+
+std::optional<long long> first_win(const CostFn& f, const CostFn& g,
+                                   long long lo, long long hi) {
+  if (f(lo) < g(lo)) return std::nullopt;  // already winning
+  const auto cross = find_crossover(f, g, lo, hi);
+  if (!cross || cross->f_after >= cross->g_after) return std::nullopt;
+  return cross->at;
+}
+
+}  // namespace stamp

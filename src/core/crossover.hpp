@@ -1,0 +1,50 @@
+#pragma once
+/// \file crossover.hpp
+/// \brief Crossover analysis: find where one algorithm/configuration starts
+///        beating another as a parameter grows.
+///
+/// The model's purpose is comparative ("algorithmic approaches can be quickly
+/// compared"); comparisons flip at crossover points — problem sizes where the
+/// cheaper option changes. This module finds such points for arbitrary cost
+/// functions by scanning + bisection, with no smoothness assumptions beyond
+/// a single sign change of the difference in the bracket.
+
+#include <functional>
+#include <optional>
+
+namespace stamp {
+
+/// A detected crossover of f vs g over an integer parameter.
+struct Crossover {
+  long long at = 0;       ///< smallest x in (lo, hi] where the sign differs
+                          ///  from the sign at lo
+  double f_before = 0;    ///< f(at - 1)
+  double g_before = 0;
+  double f_after = 0;     ///< f(at)
+  double g_after = 0;
+};
+
+/// Cost of an option at integer parameter x (usually a problem size or a
+/// process count).
+using CostFn = std::function<double(long long)>;
+
+/// Finds the smallest x in (lo, hi] where the winner between f and g changes
+/// relative to the winner at lo. Exact ties are treated as "no change".
+/// Returns nullopt if the same option wins over the whole range.
+///
+/// Requires lo < hi. Runs in O(log(hi - lo)) evaluations when the winner
+/// function changes once in the bracket; if it changes multiple times this
+/// finds one change point (bisection invariant: the returned point is a true
+/// winner change between adjacent integers).
+[[nodiscard]] std::optional<Crossover> find_crossover(const CostFn& f,
+                                                      const CostFn& g,
+                                                      long long lo,
+                                                      long long hi);
+
+/// Convenience: first x in (lo, hi] where f(x) < g(x), given f(lo) >= g(lo)
+/// (i.e. "when does f start winning?"). Returns nullopt if it never does, or
+/// if f already wins at lo (nothing to find).
+[[nodiscard]] std::optional<long long> first_win(const CostFn& f, const CostFn& g,
+                                                 long long lo, long long hi);
+
+}  // namespace stamp

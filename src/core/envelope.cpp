@@ -1,0 +1,89 @@
+#include "core/envelope.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <cmath>
+#include <stdexcept>
+
+namespace stamp {
+
+EnvelopeCheck check_processor(std::span<const double> process_powers,
+                              const PowerEnvelope& env) noexcept {
+  EnvelopeCheck c;
+  for (double p : process_powers) c.demand += p;
+  c.cap = env.per_processor;
+  if (c.cap > 0) {
+    c.slack = c.cap - c.demand;
+    c.feasible = c.demand <= c.cap;
+  }
+  return c;
+}
+
+int max_processes_per_processor(double per_process_power,
+                                const PowerEnvelope& env,
+                                int threads_per_processor) noexcept {
+  int thread_cap = threads_per_processor > 0 ? threads_per_processor : INT_MAX;
+  if (env.per_processor <= 0 || per_process_power <= 0) return thread_cap;
+  // Largest k with k * p <= cap; guard against floating-point edge where
+  // (cap/p) floors just below an exact integer ratio.
+  double ratio = env.per_processor / per_process_power;
+  int k = static_cast<int>(std::floor(ratio + 1e-12));
+  return std::min(k, thread_cap);
+}
+
+SystemCheck check_system(std::span<const double> process_powers,
+                         std::span<const int> processor_of, const Topology& topo,
+                         const PowerEnvelope& env) {
+  if (process_powers.size() != processor_of.size())
+    throw std::invalid_argument("check_system: size mismatch");
+
+  const int procs = topo.total_processors();
+  std::vector<double> per_proc(static_cast<std::size_t>(procs), 0.0);
+  double total = 0;
+  for (std::size_t i = 0; i < process_powers.size(); ++i) {
+    const int p = processor_of[i];
+    if (p < 0 || p >= procs)
+      throw std::invalid_argument("check_system: processor id out of range");
+    per_proc[static_cast<std::size_t>(p)] += process_powers[i];
+    total += process_powers[i];
+  }
+
+  SystemCheck result;
+  result.processors.resize(static_cast<std::size_t>(procs));
+  for (int p = 0; p < procs; ++p) {
+    EnvelopeCheck& c = result.processors[static_cast<std::size_t>(p)];
+    c.demand = per_proc[static_cast<std::size_t>(p)];
+    c.cap = env.per_processor;
+    if (c.cap > 0) {
+      c.slack = c.cap - c.demand;
+      c.feasible = c.demand <= c.cap;
+      if (!c.feasible && result.first_violation_processor < 0)
+        result.first_violation_processor = p;
+    }
+  }
+
+  bool chips_ok = true;
+  if (env.per_chip > 0) {
+    for (int chip = 0; chip < topo.chips; ++chip) {
+      double chip_demand = 0;
+      for (int p = 0; p < topo.processors_per_chip; ++p)
+        chip_demand += per_proc[static_cast<std::size_t>(
+            chip * topo.processors_per_chip + p)];
+      if (chip_demand > env.per_chip) chips_ok = false;
+    }
+  }
+
+  result.system.demand = total;
+  result.system.cap = env.system;
+  if (env.system > 0) {
+    result.system.slack = env.system - total;
+    result.system.feasible = total <= env.system;
+  }
+
+  result.feasible = chips_ok && result.system.feasible &&
+                    std::all_of(result.processors.begin(), result.processors.end(),
+                                [](const EnvelopeCheck& c) { return c.feasible; });
+  return result;
+}
+
+}  // namespace stamp

@@ -1,0 +1,58 @@
+#pragma once
+/// \file envelope.hpp
+/// \brief Power-envelope feasibility checks and the paper's "how many threads
+///        per processor" admission rule.
+///
+/// Section 4's Jacobi example closes with: a per-core power cap of
+/// `3(x+y) w_int` and a per-thread power bound of `(x+y) w_int` mean at most
+/// three of the core's four hardware threads may run the algorithm. This
+/// module generalizes that computation: given per-process power estimates and
+/// hierarchical caps, decide feasibility and the maximum admissible
+/// co-location.
+
+#include "core/cost_model.hpp"
+#include "core/params.hpp"
+
+#include <span>
+#include <vector>
+
+namespace stamp {
+
+/// Result of checking a set of co-located processes against one cap.
+struct EnvelopeCheck {
+  bool feasible = true;   ///< all caps respected
+  double demand = 0;      ///< total power demanded at the binding level
+  double cap = 0;         ///< the cap it was checked against (0 = none)
+  double slack = 0;       ///< cap - demand (meaningless when cap == 0)
+};
+
+/// Check a single processor: total power of the processes placed on it vs the
+/// per-processor cap. Unconstrained (cap == 0) is always feasible.
+[[nodiscard]] EnvelopeCheck check_processor(std::span<const double> process_powers,
+                                            const PowerEnvelope& env) noexcept;
+
+/// Maximum number of processes of power `per_process_power` that one
+/// processor may host under `env` (the paper's admission rule). Also capped
+/// by `threads_per_processor` when positive. A zero-power process is admitted
+/// up to the thread cap (or INT_MAX if uncapped).
+[[nodiscard]] int max_processes_per_processor(double per_process_power,
+                                              const PowerEnvelope& env,
+                                              int threads_per_processor) noexcept;
+
+/// System-level feasibility of an assignment: `processor_of[i]` gives the
+/// processor hosting process i (processors are numbered chip-major:
+/// processor p lives on chip p / processors_per_chip). Checks per-processor,
+/// per-chip and system caps.
+struct SystemCheck {
+  bool feasible = true;
+  std::vector<EnvelopeCheck> processors;  ///< one per occupied processor id
+  EnvelopeCheck system;
+  int first_violation_processor = -1;  ///< -1 when feasible (or chip/system-level)
+};
+
+[[nodiscard]] SystemCheck check_system(std::span<const double> process_powers,
+                                       std::span<const int> processor_of,
+                                       const Topology& topo,
+                                       const PowerEnvelope& env);
+
+}  // namespace stamp

@@ -1,0 +1,60 @@
+#include "core/metrics.hpp"
+
+#include <ostream>
+
+namespace stamp {
+
+std::string_view to_string(Objective o) noexcept {
+  switch (o) {
+    case Objective::D: return "D";
+    case Objective::PDP: return "PDP";
+    case Objective::EDP: return "EDP";
+    case Objective::ED2P: return "ED2P";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Objective o) { return os << to_string(o); }
+
+std::ostream& operator<<(std::ostream& os, const Metrics& m) {
+  return os << "{D=" << m.D << " PDP=" << m.PDP << " EDP=" << m.EDP
+            << " ED2P=" << m.ED2P << '}';
+}
+
+Metrics metrics_from(const Cost& c) noexcept {
+  Metrics m;
+  m.D = c.time;
+  m.PDP = c.energy;              // P*D = (E/D)*D = E
+  m.EDP = c.energy * c.time;     // E*D
+  m.ED2P = m.EDP * c.time;       // E*D^2
+  return m;
+}
+
+double metric_value(const Metrics& m, Objective o) noexcept {
+  switch (o) {
+    case Objective::D: return m.D;
+    case Objective::PDP: return m.PDP;
+    case Objective::EDP: return m.EDP;
+    case Objective::ED2P: return m.ED2P;
+  }
+  return 0;
+}
+
+double metric_value(const Cost& c, Objective o) noexcept {
+  return metric_value(metrics_from(c), o);
+}
+
+int select_best(std::span<const Cost> candidates, Objective o) noexcept {
+  int best = -1;
+  double best_value = 0;
+  for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+    const double v = metric_value(candidates[i], o);
+    if (best < 0 || v < best_value) {
+      best = i;
+      best_value = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace stamp

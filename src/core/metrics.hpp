@@ -1,0 +1,46 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief The four classical performance/power selection metrics of
+///        Section 2.1: D, PDP, EDP, and ED²P, plus objective-driven selection.
+///
+/// Algorithms should be selected according to one of these metrics depending
+/// on deployment environment: energy-limited devices care about PDP (= E),
+/// workstations about EDP, servers/supercomputers about ED²P or raw D.
+
+#include "core/cost_model.hpp"
+
+#include <iosfwd>
+#include <span>
+#include <string_view>
+
+namespace stamp {
+
+/// All four metrics computed from one (time, energy) pair.
+struct Metrics {
+  double D = 0;     ///< delay (execution time)
+  double PDP = 0;   ///< power-delay product = E
+  double EDP = 0;   ///< energy-delay product = E * D
+  double ED2P = 0;  ///< energy-delay-squared product = E * D^2
+
+  friend bool operator==(const Metrics&, const Metrics&) = default;
+};
+
+/// Which metric an algorithm-selection decision optimizes.
+enum class Objective : int { D = 0, PDP = 1, EDP = 2, ED2P = 3 };
+
+[[nodiscard]] std::string_view to_string(Objective o) noexcept;
+std::ostream& operator<<(std::ostream& os, Objective o);
+std::ostream& operator<<(std::ostream& os, const Metrics& m);
+
+/// Compute all four metrics from a cost. (PDP = P*D = (E/D)*D = E.)
+[[nodiscard]] Metrics metrics_from(const Cost& c) noexcept;
+
+/// Extract one metric value.
+[[nodiscard]] double metric_value(const Metrics& m, Objective o) noexcept;
+[[nodiscard]] double metric_value(const Cost& c, Objective o) noexcept;
+
+/// Index of the candidate minimizing the objective; ties resolve to the first.
+/// Returns -1 for an empty span.
+[[nodiscard]] int select_best(std::span<const Cost> candidates, Objective o) noexcept;
+
+}  // namespace stamp

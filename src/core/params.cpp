@@ -1,0 +1,168 @@
+#include "core/params.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace stamp {
+namespace {
+
+void require(bool cond, const char* what) {
+  if (!cond) throw ParamError(what);
+}
+
+}  // namespace
+
+void MachineParams::validate() const {
+  require(ell_a >= 0 && ell_e >= 0, "shared-memory latencies must be >= 0");
+  require(L_a >= 0 && L_e >= 0, "message delays must be >= 0");
+  require(g_sh_a >= 0 && g_sh_e >= 0 && g_mp_a >= 0 && g_mp_e >= 0,
+          "bandwidth factors must be >= 0");
+  require(ell_a <= ell_e,
+          "intra-processor shm latency must not exceed inter-processor");
+  require(L_a <= L_e,
+          "intra-processor message delay must not exceed inter-processor");
+  require(g_sh_a <= g_sh_e,
+          "intra-processor shm bandwidth factor must not exceed inter-processor");
+  require(g_mp_a <= g_mp_e,
+          "intra-processor mp bandwidth factor must not exceed inter-processor");
+}
+
+void EnergyParams::validate() const {
+  require(w_fp > 0 && w_int > 0 && w_d_r > 0 && w_d_w > 0 && w_m_s > 0 &&
+              w_m_r > 0,
+          "per-operation energies must be > 0");
+}
+
+void Topology::validate() const {
+  require(chips >= 1, "topology needs at least one chip");
+  require(processors_per_chip >= 1, "topology needs at least one processor per chip");
+  require(threads_per_processor >= 1,
+          "topology needs at least one thread per processor");
+}
+
+void PowerEnvelope::validate() const {
+  require(per_processor >= 0 && per_chip >= 0 && system >= 0,
+          "power caps must be >= 0 (0 = unconstrained)");
+  if (per_processor > 0 && per_chip > 0)
+    require(per_processor <= per_chip, "per-processor cap must fit the chip cap");
+  if (per_chip > 0 && system > 0)
+    require(per_chip <= system, "per-chip cap must fit the system cap");
+}
+
+void MachineModel::validate() const {
+  topology.validate();
+  params.validate();
+  energy.validate();
+  envelope.validate();
+}
+
+std::ostream& operator<<(std::ostream& os, const Topology& t) {
+  return os << t.chips << " chip(s) x " << t.processors_per_chip
+            << " processor(s) x " << t.threads_per_processor << " thread(s) = "
+            << t.total_threads() << " hardware threads";
+}
+
+std::ostream& operator<<(std::ostream& os, const MachineParams& p) {
+  return os << "shm{ell_a=" << p.ell_a << " ell_e=" << p.ell_e
+            << " g_a=" << p.g_sh_a << " g_e=" << p.g_sh_e << "} mp{L_a=" << p.L_a
+            << " L_e=" << p.L_e << " g_a=" << p.g_mp_a << " g_e=" << p.g_mp_e
+            << '}';
+}
+
+std::ostream& operator<<(std::ostream& os, const EnergyParams& e) {
+  return os << "w{fp=" << e.w_fp << " int=" << e.w_int << " d_r=" << e.w_d_r
+            << " d_w=" << e.w_d_w << " m_s=" << e.w_m_s << " m_r=" << e.w_m_r
+            << '}';
+}
+
+std::ostream& operator<<(std::ostream& os, const PowerEnvelope& e) {
+  return os << "cap{proc=" << e.per_processor << " chip=" << e.per_chip
+            << " system=" << e.system << '}';
+}
+
+std::ostream& operator<<(std::ostream& os, const MachineModel& m) {
+  return os << m.name << ": " << m.topology << "; " << m.params << "; "
+            << m.energy << "; " << m.envelope;
+}
+
+namespace presets {
+
+MachineModel niagara() {
+  MachineModel m;
+  m.name = "niagara";
+  m.topology = {.chips = 1, .processors_per_chip = 8, .threads_per_processor = 4};
+  // Simple in-order cores sharing an L1 among 4 threads; L2 shared over the
+  // crossbar. Intra = L1-speed, inter = L2/crossbar-speed.
+  m.params = {.ell_a = 2,
+              .ell_e = 12,
+              .g_sh_a = 0.25,
+              .g_sh_e = 2,
+              .L_a = 4,
+              .L_e = 24,
+              .g_mp_a = 0.5,
+              .g_mp_e = 4};
+  m.energy = {.w_fp = 4, .w_int = 1, .w_d_r = 2, .w_d_w = 2.5, .w_m_s = 6, .w_m_r = 5};
+  // Throughput part: each of the 8 cores has a modest cap; chip cap below
+  // 8x the core cap so not every core can run hot simultaneously.
+  m.envelope = {.per_processor = 18, .per_chip = 120, .system = 120};
+  m.validate();
+  return m;
+}
+
+MachineModel desktop() {
+  MachineModel m;
+  m.name = "desktop";
+  m.topology = {.chips = 1, .processors_per_chip = 4, .threads_per_processor = 2};
+  m.params = {.ell_a = 3,
+              .ell_e = 30,
+              .g_sh_a = 0.5,
+              .g_sh_e = 5,
+              .L_a = 6,
+              .L_e = 60,
+              .g_mp_a = 1,
+              .g_mp_e = 10};
+  m.energy = {.w_fp = 6, .w_int = 1, .w_d_r = 3, .w_d_w = 3.5, .w_m_s = 10, .w_m_r = 8};
+  m.envelope = {.per_processor = 60, .per_chip = 200, .system = 200};
+  m.validate();
+  return m;
+}
+
+MachineModel embedded() {
+  MachineModel m;
+  m.name = "embedded";
+  m.topology = {.chips = 1, .processors_per_chip = 2, .threads_per_processor = 1};
+  m.params = {.ell_a = 2,
+              .ell_e = 16,
+              .g_sh_a = 0.5,
+              .g_sh_e = 4,
+              .L_a = 5,
+              .L_e = 40,
+              .g_mp_a = 1,
+              .g_mp_e = 8};
+  // Communication energy dominates on energy-limited parts.
+  m.energy = {.w_fp = 5, .w_int = 1, .w_d_r = 4, .w_d_w = 5, .w_m_s = 16, .w_m_r = 12};
+  m.envelope = {.per_processor = 6, .per_chip = 10, .system = 10};
+  m.validate();
+  return m;
+}
+
+MachineModel server() {
+  MachineModel m;
+  m.name = "server";
+  m.topology = {.chips = 4, .processors_per_chip = 8, .threads_per_processor = 4};
+  m.params = {.ell_a = 2,
+              .ell_e = 40,
+              .g_sh_a = 0.25,
+              .g_sh_e = 6,
+              .L_a = 4,
+              .L_e = 120,
+              .g_mp_a = 0.5,
+              .g_mp_e = 12};
+  m.energy = {.w_fp = 4, .w_int = 1, .w_d_r = 2, .w_d_w = 2.5, .w_m_s = 8, .w_m_r = 7};
+  m.envelope = {.per_processor = 25, .per_chip = 160, .system = 640};
+  m.validate();
+  return m;
+}
+
+}  // namespace presets
+}  // namespace stamp

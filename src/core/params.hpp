@@ -1,0 +1,139 @@
+#pragma once
+/// \file params.hpp
+/// \brief Machine, energy, and topology parameters of the STAMP model, with
+///        validated construction and presets for representative platforms.
+///
+/// These are the symbolic parameters of Section 3.1 of the paper. Time-like
+/// parameters are in *unit local operations* (the paper assumes one local
+/// operation on local data takes one time unit); energy parameters are in an
+/// arbitrary energy unit (conventionally multiples of w_int).
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+namespace stamp {
+
+/// Thrown when a parameter set fails validation.
+class ParamError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Latency/bandwidth parameters of the target machine.
+///
+/// Bandwidth factors g follow the paper's (BSP-inherited) convention: the
+/// ratio of local operations performed per time unit to communication
+/// operations delivered per time unit — so the *time* charged for k
+/// communication operations is `g * k`. Larger g = slower communication.
+struct MachineParams {
+  // -- shared-memory access --------------------------------------------------
+  double ell_a = 2;     ///< latency bound, intra-processor shm access (ℓ_a)
+  double ell_e = 20;    ///< latency bound, inter-processor shm access (ℓ_e)
+  double g_sh_a = 0.5;  ///< bandwidth factor, intra-processor shm (g_sh_a)
+  double g_sh_e = 4;    ///< bandwidth factor, inter-processor shm (g_sh_e)
+
+  // -- message passing ---------------------------------------------------------
+  double L_a = 5;       ///< message delay bound, intra-processor (L_a)
+  double L_e = 50;      ///< message delay bound, inter-processor (L_e)
+  double g_mp_a = 1;    ///< bandwidth factor, intra-processor messages (g_mp_a)
+  double g_mp_e = 8;    ///< bandwidth factor, inter-processor messages (g_mp_e)
+
+  /// Validate invariants: all values nonnegative; intra must not be slower
+  /// than inter for the same kind (the premise of the distribution trade-off:
+  /// "intra-processor communication is faster than inter-processor").
+  void validate() const;
+
+  friend bool operator==(const MachineParams&, const MachineParams&) = default;
+};
+
+/// Per-operation dynamic energy parameters (functional units are assumed
+/// perfectly clock-gated when idle — the paper's first-order model).
+struct EnergyParams {
+  double w_fp = 4;   ///< energy per floating-point operation (w_fp)
+  double w_int = 1;  ///< energy per integer operation (w_int)
+  double w_d_r = 2;  ///< energy per shared-memory read (w_{d_r})
+  double w_d_w = 2;  ///< energy per shared-memory write (w_{d_w})
+  double w_m_s = 6;  ///< energy per message send (w_{m_s})
+  double w_m_r = 6;  ///< energy per message receive (w_{m_r})
+
+  /// Validate: all strictly positive.
+  void validate() const;
+
+  friend bool operator==(const EnergyParams&, const EnergyParams&) = default;
+};
+
+/// Logical CMP/CMT topology: chips x processors x hardware threads.
+/// Figure 1 of the paper (Sun Niagara) is `{1, 8, 4}`.
+struct Topology {
+  int chips = 1;
+  int processors_per_chip = 8;  ///< cores per chip
+  int threads_per_processor = 4;  ///< hardware threads per core (CMT)
+
+  [[nodiscard]] int total_processors() const noexcept {
+    return chips * processors_per_chip;
+  }
+  [[nodiscard]] int total_threads() const noexcept {
+    return total_processors() * threads_per_processor;
+  }
+
+  void validate() const;
+
+  friend bool operator==(const Topology&, const Topology&) = default;
+};
+
+/// Power caps at each level of the hierarchy, in the same unit as
+/// EnergyParams-per-time-unit. A cap of 0 means "unconstrained".
+struct PowerEnvelope {
+  double per_processor = 0;  ///< max sustained power per core
+  double per_chip = 0;       ///< max sustained power per chip
+  double system = 0;         ///< max sustained power over everything
+
+  void validate() const;
+
+  friend bool operator==(const PowerEnvelope&, const PowerEnvelope&) = default;
+};
+
+/// A complete machine description: one object to pass around.
+struct MachineModel {
+  std::string name = "generic";
+  Topology topology{};
+  MachineParams params{};
+  EnergyParams energy{};
+  PowerEnvelope envelope{};
+
+  void validate() const;
+
+  friend bool operator==(const MachineModel&, const MachineModel&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Topology& t);
+std::ostream& operator<<(std::ostream& os, const MachineParams& p);
+std::ostream& operator<<(std::ostream& os, const EnergyParams& e);
+std::ostream& operator<<(std::ostream& os, const PowerEnvelope& e);
+std::ostream& operator<<(std::ostream& os, const MachineModel& m);
+
+/// Machine presets. All are *model inputs*, not measurements: they pick
+/// plausible relative magnitudes for the symbolic parameters.
+namespace presets {
+
+/// Sun Niagara-like chip of Figure 1: 8 simple cores x 4 threads, shared L2,
+/// crossbar; modest per-core power envelope (the chip was designed for
+/// throughput-per-watt).
+[[nodiscard]] MachineModel niagara();
+
+/// Generic desktop CMP: 4 cores x 2 threads, deeper cache hierarchy
+/// (larger inter/intra latency gap), generous power envelope.
+[[nodiscard]] MachineModel desktop();
+
+/// Embedded/energy-limited device: 2 cores x 1 thread, tight envelope,
+/// expensive communication energy.
+[[nodiscard]] MachineModel embedded();
+
+/// Multi-chip server: 4 chips x 8 cores x 4 threads, large inter-processor
+/// latencies, effectively unconstrained power.
+[[nodiscard]] MachineModel server();
+
+}  // namespace presets
+}  // namespace stamp

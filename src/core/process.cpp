@@ -1,0 +1,159 @@
+#include "core/process.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace stamp {
+
+SUnit& SUnit::add_round(SRound round) {
+  rounds_.push_back(std::move(round));
+  return *this;
+}
+
+SUnit& SUnit::add_local(double fp, double integer) {
+  outside_.c_fp += fp;
+  outside_.c_int += integer;
+  return *this;
+}
+
+CostCounters SUnit::total_counters() const noexcept {
+  CostCounters total = outside_;
+  for (const SRound& r : rounds_) total += r.counters();
+  return total;
+}
+
+Cost SUnit::cost(const MachineParams& mp, const EnergyParams& ep,
+                 const ProcessCounts& pc) const noexcept {
+  Cost total{outside_.local_ops(),
+             outside_.c_fp * ep.w_fp + outside_.c_int * ep.w_int};
+  for (const SRound& r : rounds_) total += r.cost(mp, ep, pc);
+  return total;
+}
+
+StampProcess& StampProcess::add_unit(SUnit unit) {
+  units_.push_back({std::move(unit), 1});
+  return *this;
+}
+
+StampProcess& StampProcess::add_repeated(SUnit unit, std::size_t repetitions) {
+  if (repetitions > 0) units_.push_back({std::move(unit), repetitions});
+  return *this;
+}
+
+std::size_t StampProcess::unit_count() const noexcept {
+  std::size_t n = 0;
+  for (const RepeatedUnit& u : units_) n += u.repetitions;
+  return n;
+}
+
+Cost StampProcess::cost(const MachineParams& mp, const EnergyParams& ep,
+                        const ProcessCounts& pc) const noexcept {
+  Cost total;
+  for (const RepeatedUnit& u : units_)
+    total += u.unit.cost(mp, ep, pc).scaled(static_cast<double>(u.repetitions));
+  return total;
+}
+
+CostCounters StampProcess::total_counters() const noexcept {
+  CostCounters total;
+  for (const RepeatedUnit& u : units_)
+    total += u.unit.total_counters().scaled(static_cast<double>(u.repetitions));
+  return total;
+}
+
+Cost parallel_cost(std::span<const StampProcess> processes,
+                   const MachineParams& mp, const EnergyParams& ep,
+                   const ProcessCounts& pc) noexcept {
+  Cost total;
+  for (const StampProcess& p : processes) {
+    const Cost c = p.cost(mp, ep, pc);
+    total.time = std::max(total.time, c.time);
+    total.energy += c.energy;
+  }
+  return total;
+}
+
+CostExpr CostExpr::round(CostCounters counters) {
+  CostExpr e;
+  e.kind_ = Kind::Round;
+  e.counters_ = counters;
+  return e;
+}
+
+CostExpr CostExpr::local(double fp, double integer) {
+  return round(counters::local(fp, integer));
+}
+
+CostExpr CostExpr::fixed(Cost cost) {
+  CostExpr e;
+  e.kind_ = Kind::Fixed;
+  e.fixed_ = cost;
+  return e;
+}
+
+CostExpr CostExpr::seq(std::vector<CostExpr> children) {
+  CostExpr e;
+  e.kind_ = Kind::Seq;
+  e.children_ = std::move(children);
+  return e;
+}
+
+CostExpr CostExpr::par(std::vector<CostExpr> children) {
+  CostExpr e;
+  e.kind_ = Kind::Par;
+  e.children_ = std::move(children);
+  return e;
+}
+
+CostExpr CostExpr::repeat(CostExpr body, std::size_t n) {
+  CostExpr e;
+  e.kind_ = Kind::Repeat;
+  e.children_.push_back(std::move(body));
+  e.repetitions_ = n;
+  return e;
+}
+
+Cost CostExpr::evaluate(const MachineParams& mp, const EnergyParams& ep,
+                        const ProcessCounts& pc) const {
+  switch (kind_) {
+    case Kind::Round:
+      return s_round_cost(counters_, mp, ep, pc);
+    case Kind::Fixed:
+      return fixed_;
+    case Kind::Seq: {
+      Cost total;
+      for (const CostExpr& c : children_) total += c.evaluate(mp, ep, pc);
+      return total;
+    }
+    case Kind::Par: {
+      Cost total;
+      for (const CostExpr& c : children_) {
+        const Cost part = c.evaluate(mp, ep, pc);
+        total.time = std::max(total.time, part.time);
+        total.energy += part.energy;
+      }
+      return total;
+    }
+    case Kind::Repeat:
+      return children_.front()
+          .evaluate(mp, ep, pc)
+          .scaled(static_cast<double>(repetitions_));
+  }
+  return {};
+}
+
+std::size_t CostExpr::leaf_count() const noexcept {
+  if (kind_ == Kind::Round || kind_ == Kind::Fixed) return 1;
+  std::size_t n = 0;
+  for (const CostExpr& c : children_) n += c.leaf_count();
+  return n;
+}
+
+std::size_t CostExpr::height() const noexcept {
+  if (children_.empty()) return 1;
+  std::size_t h = 0;
+  for (const CostExpr& c : children_) h = std::max(h, c.height());
+  return h + 1;
+}
+
+}  // namespace stamp

@@ -1,0 +1,155 @@
+#pragma once
+/// \file process.hpp
+/// \brief Structural model of STAMP programs: S-rounds, S-units, STAMP
+///        processes, and parallel / nested compositions, with cost evaluation.
+///
+/// The structure mirrors Section 3 of the paper:
+///   * An **S-round** is receive/read -> local compute -> send/write; its cost
+///     is the closed-form of Section 3.1.
+///   * An **S-unit** is a minimal sequential process: a collection of S-rounds
+///     plus local computation outside the rounds. Costs add.
+///   * A **STAMP process** is a sequence of S-units (e.g. loop iterations).
+///     Costs add.
+///   * **Parallel/distributed STAMPs** compose by worst-case time and total
+///     energy.
+///   * **Nested STAMPs** are expressed with `CostExpr`, a general composition
+///     tree, since rule 4 of the paper says nested cost is estimated per
+///     problem/algorithm class.
+
+#include "core/attributes.hpp"
+#include "core/cost_model.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stamp {
+
+/// One S-round: a counters record plus cost evaluation.
+class SRound {
+ public:
+  SRound() = default;
+  explicit SRound(CostCounters counters) : counters_(counters) {}
+
+  [[nodiscard]] const CostCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] CostCounters& counters() noexcept { return counters_; }
+
+  [[nodiscard]] Cost cost(const MachineParams& mp, const EnergyParams& ep,
+                          const ProcessCounts& pc) const noexcept {
+    return s_round_cost(counters_, mp, ep, pc);
+  }
+
+ private:
+  CostCounters counters_{};
+};
+
+/// One S-unit: rounds + local computation outside the rounds.
+class SUnit {
+ public:
+  SUnit() = default;
+
+  /// Appends an S-round; returns *this for chaining.
+  SUnit& add_round(SRound round);
+  SUnit& add_round(const CostCounters& counters) { return add_round(SRound(counters)); }
+
+  /// Adds local computation outside any round (e.g. loop-condition checks).
+  SUnit& add_local(double fp, double integer);
+
+  [[nodiscard]] const std::vector<SRound>& rounds() const noexcept { return rounds_; }
+  [[nodiscard]] const CostCounters& outside() const noexcept { return outside_; }
+
+  /// Aggregate counters of the whole unit (rounds + outside work).
+  [[nodiscard]] CostCounters total_counters() const noexcept;
+
+  /// T_S-unit = sum of round times + T_c; E_S-unit likewise.
+  [[nodiscard]] Cost cost(const MachineParams& mp, const EnergyParams& ep,
+                          const ProcessCounts& pc) const noexcept;
+
+ private:
+  std::vector<SRound> rounds_;
+  CostCounters outside_{};  // local-only; communication fields stay zero
+};
+
+/// A STAMP process: an attributed sequence of S-units.
+class StampProcess {
+ public:
+  StampProcess() = default;
+  explicit StampProcess(Attributes attrs, std::string name = {})
+      : attrs_(attrs), name_(std::move(name)) {}
+
+  StampProcess& add_unit(SUnit unit);
+
+  /// Appends `repetitions` copies of `unit` (a loop of identical iterations)
+  /// without storing each copy.
+  StampProcess& add_repeated(SUnit unit, std::size_t repetitions);
+
+  [[nodiscard]] const Attributes& attributes() const noexcept { return attrs_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t unit_count() const noexcept;
+
+  /// T = sum over S-units, E = sum over S-units (rule 3).
+  [[nodiscard]] Cost cost(const MachineParams& mp, const EnergyParams& ep,
+                          const ProcessCounts& pc) const noexcept;
+
+  [[nodiscard]] CostCounters total_counters() const noexcept;
+
+ private:
+  struct RepeatedUnit {
+    SUnit unit;
+    std::size_t repetitions = 1;
+  };
+  Attributes attrs_{};
+  std::string name_;
+  std::vector<RepeatedUnit> units_;
+};
+
+/// Parallel/distributed composition of STAMP processes.
+/// T = max over processes; E = sum over processes (rule 5).
+[[nodiscard]] Cost parallel_cost(std::span<const StampProcess> processes,
+                                 const MachineParams& mp, const EnergyParams& ep,
+                                 const ProcessCounts& pc) noexcept;
+
+// ---------------------------------------------------------------------------
+// CostExpr: general composition tree for nested STAMPs.
+// ---------------------------------------------------------------------------
+
+/// A composition tree over costs: leaves are S-units (or opaque pre-computed
+/// costs), inner nodes compose sequentially, in parallel, or by repetition.
+/// This is how "nested STAMPs" (rule 4) are estimated once the problem class
+/// fixes the structure.
+class CostExpr {
+ public:
+  /// Leaf carrying explicit counters charged as one S-round.
+  [[nodiscard]] static CostExpr round(CostCounters counters);
+  /// Leaf carrying local-only work.
+  [[nodiscard]] static CostExpr local(double fp, double integer);
+  /// Leaf carrying an already-evaluated cost (e.g. from a measurement).
+  [[nodiscard]] static CostExpr fixed(Cost cost);
+  /// Sequential composition: times and energies add.
+  [[nodiscard]] static CostExpr seq(std::vector<CostExpr> children);
+  /// Parallel composition: max time, total energy.
+  [[nodiscard]] static CostExpr par(std::vector<CostExpr> children);
+  /// `body` repeated `n` times sequentially.
+  [[nodiscard]] static CostExpr repeat(CostExpr body, std::size_t n);
+
+  [[nodiscard]] Cost evaluate(const MachineParams& mp, const EnergyParams& ep,
+                              const ProcessCounts& pc) const;
+
+  /// Number of leaves in the tree (repeat counts once).
+  [[nodiscard]] std::size_t leaf_count() const noexcept;
+  /// Height of the tree (a leaf has height 1).
+  [[nodiscard]] std::size_t height() const noexcept;
+
+ private:
+  enum class Kind { Round, Fixed, Seq, Par, Repeat };
+
+  CostExpr() = default;
+
+  Kind kind_ = Kind::Round;
+  CostCounters counters_{};                // Round
+  Cost fixed_{};                           // Fixed
+  std::vector<CostExpr> children_;         // Seq / Par / Repeat (1 child)
+  std::size_t repetitions_ = 1;            // Repeat
+};
+
+}  // namespace stamp

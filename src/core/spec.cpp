@@ -1,0 +1,189 @@
+#include "core/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace stamp::spec {
+namespace {
+
+/// Re-split a round's communication by the achieved intra fraction.
+CostCounters resplit(const CostCounters& c, double intra_fraction) {
+  const double f = std::clamp(intra_fraction, 0.0, 1.0);
+  CostCounters out;
+  out.c_fp = c.c_fp;
+  out.c_int = c.c_int;
+  out.kappa = c.kappa;
+  const double d_r = c.d_r_a + c.d_r_e;
+  const double d_w = c.d_w_a + c.d_w_e;
+  const double m_s = c.m_s_a + c.m_s_e;
+  const double m_r = c.m_r_a + c.m_r_e;
+  out.d_r_a = d_r * f;
+  out.d_r_e = d_r * (1 - f);
+  out.d_w_a = d_w * f;
+  out.d_w_e = d_w * (1 - f);
+  out.m_s_a = m_s * f;
+  out.m_s_e = m_s * (1 - f);
+  out.m_r_a = m_r * f;
+  out.m_r_e = m_r * (1 - f);
+  return out;
+}
+
+/// Cost of one replica that shares its processor with `group - 1` peers, out
+/// of `replicas` total replicas of the spec.
+Cost replica_cost(const ProcessSpec& spec, int group, int replicas,
+                  const MachineModel& machine) {
+  const int peers = replicas - 1;
+  const double intra_fraction =
+      peers > 0 ? static_cast<double>(group - 1) / peers : 0.0;
+  ProcessCounts pc;
+  pc.intra = group - 1;
+  pc.inter = replicas - group;
+
+  Cost total;
+  for (const UnitSpec& u : spec.units) {
+    Cost unit{u.outside_fp + u.outside_int,
+              u.outside_fp * machine.energy.w_fp +
+                  u.outside_int * machine.energy.w_int};
+    if (u.has_round) {
+      const CostCounters round = resplit(u.round, intra_fraction);
+      unit += s_round_cost(round, machine.params, machine.energy, pc);
+    }
+    total += unit.scaled(static_cast<double>(u.repetitions));
+  }
+  return total;
+}
+
+}  // namespace
+
+CostCounters ProcessSpec::total_counters() const {
+  CostCounters total;
+  for (const UnitSpec& u : units) {
+    CostCounters c = u.has_round ? u.round : CostCounters{};
+    c.c_fp += u.outside_fp;
+    c.c_int += u.outside_int;
+    total += c.scaled(static_cast<double>(u.repetitions));
+  }
+  return total;
+}
+
+ProcessBuilder& ProcessBuilder::replicas(int n) {
+  if (n < 1) throw ParamError("ProcessBuilder: replicas < 1");
+  spec_.replicas = n;
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::loop(CostCounters round,
+                                     std::size_t repetitions, double outside_fp,
+                                     double outside_int) {
+  spec_.units.push_back(
+      UnitSpec{round, true, outside_fp, outside_int, repetitions});
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::unit(CostCounters round, double outside_fp,
+                                     double outside_int) {
+  spec_.units.push_back(UnitSpec{round, true, outside_fp, outside_int, 1});
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::local(double fp, double integer) {
+  spec_.units.push_back(UnitSpec{CostCounters{}, false, fp, integer, 1});
+  return *this;
+}
+
+Program& Program::add(ProcessSpec spec) {
+  if (spec.replicas < 1) throw ParamError("Program: replicas < 1");
+  specs_.push_back(std::move(spec));
+  return *this;
+}
+
+int Program::total_replicas() const noexcept {
+  int n = 0;
+  for (const ProcessSpec& s : specs_) n += s.replicas;
+  return n;
+}
+
+Evaluation Program::evaluate(const MachineModel& machine) const {
+  machine.validate();
+  const int procs = machine.topology.total_processors();
+  const int tpp = machine.topology.threads_per_processor;
+
+  Evaluation eval;
+  std::vector<double> replica_powers;
+  std::vector<int> replica_processor;
+
+  int next_processor = 0;
+  for (const ProcessSpec& spec : specs_) {
+    SpecCost sc;
+    sc.name = spec.name;
+    sc.replicas = spec.replicas;
+    sc.first_processor = next_processor;
+
+    // Group sizes under the derived placement.
+    std::vector<int> groups;
+    if (spec.attributes.distribution == Distribution::IntraProc) {
+      int remaining = spec.replicas;
+      while (remaining > 0) {
+        groups.push_back(std::min(remaining, tpp));
+        remaining -= groups.back();
+      }
+    } else {
+      groups.assign(static_cast<std::size_t>(spec.replicas), 1);
+    }
+    sc.processors_spanned = static_cast<int>(groups.size());
+    next_processor += sc.processors_spanned;
+    if (next_processor > procs)
+      throw ParamError("Program::evaluate: machine has too few processors (" +
+                       std::to_string(procs) + ") for this program");
+
+    Cost worst;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      const int g = groups[gi];
+      const Cost c = replica_cost(spec, g, spec.replicas, machine);
+      if (c.time > worst.time) worst = c;
+      for (int k = 0; k < g; ++k) {
+        eval.total.energy += c.energy;
+        eval.total.time = std::max(eval.total.time, c.time);
+        replica_powers.push_back(c.power());
+        replica_processor.push_back(sc.first_processor + static_cast<int>(gi));
+      }
+    }
+    sc.per_replica = worst;
+    sc.power = worst.power();
+    eval.specs.push_back(std::move(sc));
+  }
+
+  eval.metrics = metrics_from(eval.total);
+  eval.envelope = check_system(replica_powers, replica_processor,
+                               machine.topology, machine.envelope);
+  eval.fits_envelope = eval.envelope.feasible;
+  eval.hardware_threads_used = static_cast<int>(replica_powers.size());
+  eval.processors_used = next_processor;
+  return eval;
+}
+
+void Program::describe(std::ostream& os) const {
+  for (const ProcessSpec& spec : specs_) {
+    os << spec.name << " [" << keyword(spec.attributes.distribution) << ", "
+       << keyword(spec.attributes.exec) << ", "
+       << keyword(spec.attributes.comm) << "]";
+    if (spec.replicas > 1) os << " x" << spec.replicas;
+    os << '\n';
+    for (const UnitSpec& u : spec.units) {
+      os << "  ";
+      if (u.repetitions > 1) os << "repeat " << u.repetitions << ": ";
+      if (u.has_round) {
+        os << "S-round " << u.round;
+      } else {
+        os << "local(fp=" << u.outside_fp << ", int=" << u.outside_int << ')';
+      }
+      if (u.has_round && (u.outside_fp > 0 || u.outside_int > 0))
+        os << " + local(fp=" << u.outside_fp << ", int=" << u.outside_int << ')';
+      os << '\n';
+    }
+  }
+}
+
+}  // namespace stamp::spec

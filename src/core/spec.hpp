@@ -1,0 +1,133 @@
+#pragma once
+/// \file spec.hpp
+/// \brief Declarative STAMP program specifications — the paper's annotated
+///        pseudocode as a first-class object.
+///
+/// The paper writes algorithms as attributed processes:
+///
+///     Jacobi(A, b, x) [intra_proc, async_exec, synch_comm]
+///       while not terminated
+///         ... one S-round ...
+///
+/// `spec::Program` captures exactly that: named process specs with attribute
+/// triples, replica counts, and S-unit/S-round structure with *symbolic*
+/// counters. Evaluation derives a placement from each spec's distribution
+/// attribute, splits every round's communication intra/inter accordingly,
+/// prices all replicas, composes in parallel, computes the four metrics, and
+/// checks the hierarchical power envelope — the full Section 3 workflow in
+/// one call, without executing anything.
+///
+/// Communication counters in a spec are distribution-agnostic: intra and
+/// inter columns are summed and re-split by the *actual* co-location the
+/// derived placement achieves (a spec whose replicas span several processors
+/// cannot be all-intra no matter its keyword).
+
+#include "core/attributes.hpp"
+#include "core/cost_model.hpp"
+#include "core/envelope.hpp"
+#include "core/metrics.hpp"
+#include "core/params.hpp"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stamp::spec {
+
+/// One S-unit of a spec: an optional S-round plus outside-of-round local
+/// work, repeated `repetitions` times.
+struct UnitSpec {
+  CostCounters round;      ///< communication + in-round local work
+  bool has_round = true;   ///< false = purely local unit
+  double outside_fp = 0;   ///< local fp ops outside the round
+  double outside_int = 0;  ///< local int ops outside the round
+  std::size_t repetitions = 1;
+};
+
+/// One attributed process spec, possibly replicated (the paper's
+/// "executed by n threads").
+struct ProcessSpec {
+  std::string name;
+  Attributes attributes{};
+  int replicas = 1;
+  std::vector<UnitSpec> units;
+
+  /// Aggregate counters of one replica.
+  [[nodiscard]] CostCounters total_counters() const;
+};
+
+/// Fluent builder for a ProcessSpec.
+class ProcessBuilder {
+ public:
+  ProcessBuilder(std::string name, Attributes attrs) {
+    spec_.name = std::move(name);
+    spec_.attributes = attrs;
+  }
+
+  /// Number of replicas of this process (default 1).
+  ProcessBuilder& replicas(int n);
+
+  /// Appends a while-loop: one S-round per iteration plus the paper's
+  /// loop-condition / termination checks outside the round.
+  ProcessBuilder& loop(CostCounters round, std::size_t repetitions,
+                       double outside_fp = 0, double outside_int = 3);
+
+  /// Appends a one-off S-unit with the given round.
+  ProcessBuilder& unit(CostCounters round, double outside_fp = 0,
+                       double outside_int = 0);
+
+  /// Appends pure local computation (an S-unit with no round).
+  ProcessBuilder& local(double fp, double integer);
+
+  [[nodiscard]] const ProcessSpec& build() const { return spec_; }
+
+ private:
+  ProcessSpec spec_;
+};
+
+/// Per-spec evaluation detail.
+struct SpecCost {
+  std::string name;
+  int replicas = 1;
+  Cost per_replica;         ///< worst replica under the derived placement
+  double power = 0;         ///< per-replica power (worst group)
+  int first_processor = 0;  ///< where this spec's processors start
+  int processors_spanned = 0;
+};
+
+/// Whole-program evaluation: parallel composition + metrics + envelope.
+struct Evaluation {
+  std::vector<SpecCost> specs;
+  Cost total;         ///< max time over all replicas, total energy
+  Metrics metrics{};  ///< of `total`
+  SystemCheck envelope;
+  bool fits_envelope = false;
+  int hardware_threads_used = 0;
+  int processors_used = 0;
+};
+
+/// A program: parallel composition of attributed process specs.
+class Program {
+ public:
+  Program& add(ProcessSpec spec);
+  Program& add(const ProcessBuilder& builder) { return add(builder.build()); }
+
+  [[nodiscard]] const std::vector<ProcessSpec>& specs() const noexcept {
+    return specs_;
+  }
+  [[nodiscard]] int total_replicas() const noexcept;
+
+  /// Evaluate on `machine`. Placement is derived spec by spec over disjoint
+  /// processors: intra_proc specs pack replicas onto consecutive processors
+  /// (filling each one's hardware threads), inter_proc specs place one
+  /// replica per processor. Throws ParamError if the machine is too small.
+  [[nodiscard]] Evaluation evaluate(const MachineModel& machine) const;
+
+  /// Pretty-print the program in the paper's annotation style.
+  void describe(std::ostream& os) const;
+
+ private:
+  std::vector<ProcessSpec> specs_;
+};
+
+}  // namespace stamp::spec

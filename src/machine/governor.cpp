@@ -1,0 +1,88 @@
+#include "machine/governor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stamp::machine {
+
+GovernorResult fit_envelope(std::span<const double> nominal_core_power,
+                            const Topology& topology,
+                            const PowerEnvelope& envelope, double max_frequency,
+                            double min_frequency) {
+  topology.validate();
+  envelope.validate();
+  if (max_frequency <= 0 || min_frequency <= 0 || min_frequency > max_frequency)
+    throw std::invalid_argument("fit_envelope: bad frequency bounds");
+  if (static_cast<int>(nominal_core_power.size()) != topology.total_processors())
+    throw std::invalid_argument(
+        "fit_envelope: need one nominal power per processor");
+  for (double p : nominal_core_power)
+    if (p < 0) throw std::invalid_argument("fit_envelope: negative power");
+
+  const int procs = topology.total_processors();
+  GovernorResult result;
+  result.points.assign(static_cast<std::size_t>(procs),
+                       OperatingPoint{max_frequency});
+
+  // Pass 1: per-core caps. f = cbrt(cap / P_nominal), clamped.
+  if (envelope.per_processor > 0) {
+    for (int c = 0; c < procs; ++c) {
+      const double p = nominal_core_power[static_cast<std::size_t>(c)];
+      if (p <= 0) continue;
+      const double fit = std::cbrt(envelope.per_processor / p);
+      result.points[static_cast<std::size_t>(c)].frequency =
+          std::min(max_frequency, fit);
+    }
+  }
+
+  auto chip_power = [&](int chip) {
+    double total = 0;
+    for (int i = 0; i < topology.processors_per_chip; ++i) {
+      const int c = chip * topology.processors_per_chip + i;
+      total += scaled_power(nominal_core_power[static_cast<std::size_t>(c)],
+                            result.points[static_cast<std::size_t>(c)]);
+    }
+    return total;
+  };
+
+  // Pass 2: per-chip caps — scale every core of an over-budget chip
+  // uniformly (power is homogeneous of degree 3 in the scale factor).
+  if (envelope.per_chip > 0) {
+    for (int chip = 0; chip < topology.chips; ++chip) {
+      const double demand = chip_power(chip);
+      if (demand <= envelope.per_chip || demand <= 0) continue;
+      const double scale = std::cbrt(envelope.per_chip / demand);
+      for (int i = 0; i < topology.processors_per_chip; ++i) {
+        const int c = chip * topology.processors_per_chip + i;
+        result.points[static_cast<std::size_t>(c)].frequency *= scale;
+      }
+    }
+  }
+
+  // Pass 3: system cap — uniform scale over everything.
+  if (envelope.system > 0) {
+    double demand = 0;
+    for (int chip = 0; chip < topology.chips; ++chip) demand += chip_power(chip);
+    if (demand > envelope.system && demand > 0) {
+      const double scale = std::cbrt(envelope.system / demand);
+      for (auto& point : result.points) point.frequency *= scale;
+    }
+  }
+
+  // Report the floor; clamp and mark infeasible if we fell through it.
+  result.min_frequency_used = max_frequency;
+  for (std::size_t c = 0; c < result.points.size(); ++c) {
+    if (nominal_core_power[c] <= 0) continue;  // idle cores don't bind
+    double& f = result.points[c].frequency;
+    if (f < min_frequency) {
+      result.feasible = false;
+      f = min_frequency;
+    }
+    result.min_frequency_used = std::min(result.min_frequency_used, f);
+  }
+  result.worst_slowdown = 1.0 / result.min_frequency_used;
+  return result;
+}
+
+}  // namespace stamp::machine

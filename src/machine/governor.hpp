@@ -1,0 +1,50 @@
+#pragma once
+/// \file governor.hpp
+/// \brief A DVFS governor: pick per-core operating points so the program fits
+///        the power envelope — the other lever (besides placement) the paper's
+///        conclusion offers for "meeting the power limit".
+///
+/// Dynamic power scales as f^3, so a core whose nominal-power demand P
+/// exceeds its cap can run at f = cbrt(cap / P) and fit exactly. The governor
+/// applies that per core, then scales chips/system uniformly if those caps
+/// still bind. Performance degrades by 1/f (the model's time scale), which
+/// callers can price by re-simulating with the returned operating points.
+
+#include "core/params.hpp"
+#include "machine/power.hpp"
+
+#include <span>
+#include <vector>
+
+namespace stamp::machine {
+
+struct GovernorResult {
+  std::vector<OperatingPoint> points;  ///< one per processor (global id)
+  bool feasible = true;   ///< false if caps cannot be met even at min_frequency
+  double min_frequency_used = 1.0;  ///< slowest core after fitting
+  double worst_slowdown = 1.0;      ///< 1 / min_frequency_used
+};
+
+/// Fit per-core frequencies to the envelope.
+///
+/// \param nominal_core_power  dynamic power each core would dissipate at
+///                            f = 1 (index = global processor id; pass 0 for
+///                            idle cores).
+/// \param topology            for chip grouping.
+/// \param envelope            per-processor / per-chip / system caps (0 = none).
+/// \param max_frequency       cores never exceed this (default nominal 1.0).
+/// \param min_frequency       floor below which the governor gives up and
+///                            reports infeasible (default 0.05).
+[[nodiscard]] GovernorResult fit_envelope(std::span<const double> nominal_core_power,
+                                          const Topology& topology,
+                                          const PowerEnvelope& envelope,
+                                          double max_frequency = 1.0,
+                                          double min_frequency = 0.05);
+
+/// Power a core dissipates at operating point `p` given its nominal demand.
+[[nodiscard]] inline double scaled_power(double nominal_power,
+                                         const OperatingPoint& p) noexcept {
+  return nominal_power * dynamic_power(p);
+}
+
+}  // namespace stamp::machine

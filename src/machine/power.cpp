@@ -1,0 +1,18 @@
+#include "machine/power.hpp"
+
+#include <cmath>
+
+namespace stamp::machine {
+
+double equal_power_frequency(int cores) {
+  if (cores < 1) throw std::invalid_argument("equal_power_frequency: cores < 1");
+  return std::cbrt(1.0 / static_cast<double>(cores));
+}
+
+double equal_power_speedup(int cores, double efficiency) {
+  if (efficiency <= 0 || efficiency > 1)
+    throw std::invalid_argument("parallel efficiency must be in (0, 1]");
+  return static_cast<double>(cores) * equal_power_frequency(cores) * efficiency;
+}
+
+}  // namespace stamp::machine

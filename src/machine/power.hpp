@@ -1,0 +1,72 @@
+#pragma once
+/// \file power.hpp
+/// \brief The DVFS power model: dynamic power scales with f^3, performance
+///        with f (Section 2.1's "power wall" arithmetic).
+///
+/// With supply voltage scaled proportionally to frequency, dynamic power is
+/// P_dyn = C f V^2 ~ f^3 and performance ~ f. Hence one core at frequency f
+/// burns the same dynamic power as 8 cores at f/2 — the paper's motivating
+/// example — and energy per operation scales with f^2.
+
+#include <stdexcept>
+
+namespace stamp::machine {
+
+/// Frequency/voltage operating point, relative to the nominal point (1.0).
+struct OperatingPoint {
+  double frequency = 1.0;  ///< relative clock frequency (perf multiplier)
+
+  void validate() const {
+    if (frequency <= 0)
+      throw std::invalid_argument("OperatingPoint: frequency must be > 0");
+  }
+};
+
+/// Dynamic power of one active core at `p`, relative to nominal power 1.
+[[nodiscard]] inline double dynamic_power(const OperatingPoint& p) noexcept {
+  return p.frequency * p.frequency * p.frequency;  // f^3
+}
+
+/// Time multiplier for work at `p`: operations take 1/f of nominal time.
+[[nodiscard]] inline double time_scale(const OperatingPoint& p) noexcept {
+  return 1.0 / p.frequency;
+}
+
+/// Energy multiplier per operation at `p`: E = P * t ~ f^3 / f = f^2.
+[[nodiscard]] inline double energy_scale(const OperatingPoint& p) noexcept {
+  return p.frequency * p.frequency;
+}
+
+/// The paper's comparison: `cores` cores at frequency `f` vs one core at
+/// frequency 1. Equal-power condition: cores * f^3 == 1.
+struct PowerWallPoint {
+  int cores = 1;
+  double frequency = 1.0;
+
+  /// Total dynamic power of the configuration (all cores active).
+  [[nodiscard]] double total_power() const noexcept {
+    return cores * frequency * frequency * frequency;
+  }
+
+  /// Time to execute `work` perfectly-parallel operations (speedup = cores).
+  [[nodiscard]] double parallel_time(double work, double efficiency = 1.0) const {
+    if (efficiency <= 0 || efficiency > 1)
+      throw std::invalid_argument("parallel efficiency must be in (0, 1]");
+    return work / (cores * frequency * efficiency);
+  }
+
+  /// Energy to execute `work` operations.
+  [[nodiscard]] double energy(double work, double efficiency = 1.0) const {
+    return total_power() * parallel_time(work, efficiency);
+  }
+};
+
+/// Frequency at which `cores` cores dissipate the same total dynamic power
+/// as one core at nominal frequency: f = (1/cores)^(1/3).
+[[nodiscard]] double equal_power_frequency(int cores);
+
+/// Speedup of `cores` cores at equal power over one nominal core, for a
+/// workload with parallel `efficiency` in (0, 1]: cores^(2/3) * efficiency.
+[[nodiscard]] double equal_power_speedup(int cores, double efficiency = 1.0);
+
+}  // namespace stamp::machine

@@ -1,0 +1,288 @@
+#include "machine/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace stamp::machine {
+namespace {
+
+struct ProcState {
+  sim::Time t = 0;
+  std::size_t pc = 0;
+  bool at_barrier = false;
+  std::vector<sim::Time> inbox;  // min-heap of message arrival times
+
+  [[nodiscard]] bool finished(const ProcessTrace& trace) const noexcept {
+    return pc >= trace.size();
+  }
+};
+
+void inbox_push(std::vector<sim::Time>& heap, sim::Time arrival) {
+  heap.push_back(arrival);
+  std::push_heap(heap.begin(), heap.end(), std::greater<>());
+}
+
+sim::Time inbox_pop(std::vector<sim::Time>& heap) {
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+  const sim::Time arrival = heap.back();
+  heap.pop_back();
+  return arrival;
+}
+
+}  // namespace
+
+SimResult replay(const std::vector<ProcessTrace>& traces,
+                 const runtime::PlacementMap& placement,
+                 const MachineModel& machine, const SimConfig& config) {
+  const int n = static_cast<int>(traces.size());
+  if (n != placement.process_count())
+    throw std::invalid_argument("replay: traces vs placement size mismatch");
+  machine.validate();
+
+  const MachineParams& mp = machine.params;
+  const EnergyParams& ep = machine.energy;
+  const int cores = machine.topology.total_processors();
+  const int chips = machine.topology.chips;
+
+  std::vector<sim::FifoServer> l1(static_cast<std::size_t>(cores));
+  std::vector<sim::FifoServer> pipeline(static_cast<std::size_t>(cores));
+  std::vector<sim::FifoServer> core_msg(static_cast<std::size_t>(cores));
+  std::vector<sim::FifoServer> l2(static_cast<std::size_t>(chips));
+  // The crossbar is non-blocking from each source: inter-processor messages
+  // egress through a per-core port (service g_mp_e), not one chip-wide queue.
+  std::vector<sim::FifoServer> router(static_cast<std::size_t>(cores));
+
+  std::vector<ProcState> procs(static_cast<std::size_t>(n));
+  std::vector<int> core_of(static_cast<std::size_t>(n));
+  std::vector<int> chip_of(static_cast<std::size_t>(n));
+  std::vector<double> freq(static_cast<std::size_t>(n));
+  std::vector<double> e_scale(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    core_of[static_cast<std::size_t>(i)] = placement.processor_of(i);
+    chip_of[static_cast<std::size_t>(i)] = placement.slot_of(i).chip;
+    const OperatingPoint op = config.point_for(core_of[static_cast<std::size_t>(i)]);
+    op.validate();
+    freq[static_cast<std::size_t>(i)] = op.frequency;
+    e_scale[static_cast<std::size_t>(i)] = energy_scale(op);
+  }
+
+  // Per-process remaining-barrier bookkeeping for unequal barrier counts.
+  std::vector<std::size_t> total_barriers(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i)
+    total_barriers[static_cast<std::size_t>(i)] =
+        barrier_count(traces[static_cast<std::size_t>(i)]);
+  std::size_t episodes_completed = 0;
+
+  // Round-robin cursors so sends spread over eligible peers.
+  std::vector<std::size_t> intra_cursor(static_cast<std::size_t>(n), 0);
+  std::vector<std::size_t> inter_cursor(static_cast<std::size_t>(n), 0);
+
+  double energy = 0;
+  std::size_t barrier_episodes = 0;
+  // Per-core activity integral (time the core's threads spent executing ops)
+  // for the imperfect-gating idle charge.
+  std::vector<double> core_active(static_cast<std::size_t>(cores), 0.0);
+
+  auto msg_count = [](double amount) {
+    return static_cast<long long>(std::llround(amount));
+  };
+
+  auto pick_peer = [&](int from, bool intra) -> int {
+    std::size_t& cursor = intra ? intra_cursor[static_cast<std::size_t>(from)]
+                                : inter_cursor[static_cast<std::size_t>(from)];
+    for (int tries = 0; tries < n; ++tries) {
+      const int candidate = static_cast<int>((cursor + tries) % n);
+      if (candidate == from) continue;
+      if (placement.same_processor(from, candidate) == intra) {
+        cursor = static_cast<std::size_t>(candidate) + 1;
+        return candidate;
+      }
+    }
+    return -1;  // no eligible peer; delivery loops back to self
+  };
+
+  auto try_release_barrier = [&]() {
+    for (int i = 0; i < n; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      if (total_barriers[ui] > episodes_completed && !procs[ui].at_barrier)
+        return;  // somebody still on the way
+    }
+    sim::Time release = 0;
+    bool any = false;
+    for (int i = 0; i < n; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      if (total_barriers[ui] > episodes_completed) {
+        release = std::max(release, procs[ui].t);
+        any = true;
+      }
+    }
+    if (!any) return;
+    release += config.barrier_latency;
+    for (int i = 0; i < n; ++i) {
+      const auto ui = static_cast<std::size_t>(i);
+      if (total_barriers[ui] > episodes_completed && procs[ui].at_barrier) {
+        procs[ui].t = release;
+        procs[ui].at_barrier = false;
+        ++procs[ui].pc;
+      }
+    }
+    ++episodes_completed;
+    ++barrier_episodes;
+  };
+
+  auto runnable = [&](int i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const ProcState& p = procs[ui];
+    if (p.finished(traces[ui]) || p.at_barrier) return false;
+    const TraceOp& op = traces[ui][p.pc];
+    if (op.kind == TraceOp::Kind::MsgRecv)
+      return static_cast<long long>(p.inbox.size()) >= msg_count(op.amount);
+    return true;
+  };
+
+  auto all_finished = [&]() {
+    for (int i = 0; i < n; ++i)
+      if (!procs[static_cast<std::size_t>(i)].finished(
+              traces[static_cast<std::size_t>(i)]))
+        return false;
+    return true;
+  };
+
+  while (!all_finished()) {
+    int pick = -1;
+    for (int i = 0; i < n; ++i) {
+      if (!runnable(i)) continue;
+      if (pick < 0 ||
+          procs[static_cast<std::size_t>(i)].t < procs[static_cast<std::size_t>(pick)].t)
+        pick = i;
+    }
+    if (pick < 0)
+      throw std::runtime_error(
+          "machine::replay: deadlock (no runnable process; mismatched "
+          "receives or barriers)");
+
+    const auto ui = static_cast<std::size_t>(pick);
+    ProcState& p = procs[ui];
+    const TraceOp& op = traces[ui][p.pc];
+    const int core = core_of[ui];
+    const int chip = chip_of[ui];
+    const double f = freq[ui];
+    const double es = e_scale[ui];
+
+    switch (op.kind) {
+      case TraceOp::Kind::Compute: {
+        const double duration = op.amount / f;
+        if (config.share_pipeline) {
+          p.t = pipeline[static_cast<std::size_t>(core)].serve(p.t, duration);
+        } else {
+          p.t += duration;
+        }
+        core_active[static_cast<std::size_t>(core)] += duration;
+        const double int_ops = op.amount - op.fp;
+        energy += (op.fp * ep.w_fp + int_ops * ep.w_int) * es;
+        ++p.pc;
+        break;
+      }
+      case TraceOp::Kind::ShmRead:
+      case TraceOp::Kind::ShmWrite: {
+        const bool read = op.kind == TraceOp::Kind::ShmRead;
+        const double g = op.intra ? mp.g_sh_a : mp.g_sh_e;
+        const double ell = op.intra ? mp.ell_a : mp.ell_e;
+        sim::FifoServer& port = op.intra ? l1[static_cast<std::size_t>(core)]
+                                         : l2[static_cast<std::size_t>(chip)];
+        p.t = port.serve(p.t, g * op.amount) + ell;
+        core_active[static_cast<std::size_t>(core)] += g * op.amount + ell;
+        energy += op.amount * (read ? ep.w_d_r : ep.w_d_w) * es;
+        ++p.pc;
+        break;
+      }
+      case TraceOp::Kind::MsgSend: {
+        const long long k = msg_count(op.amount);
+        const double g = op.intra ? mp.g_mp_a : mp.g_mp_e;
+        const double L = op.intra ? mp.L_a : mp.L_e;
+        sim::FifoServer& port = op.intra
+                                    ? core_msg[static_cast<std::size_t>(core)]
+                                    : router[static_cast<std::size_t>(core)];
+        for (long long m = 0; m < k; ++m) {
+          const sim::Time done = port.serve(p.t, g);
+          const int peer = pick_peer(pick, op.intra);
+          const auto dest = static_cast<std::size_t>(peer >= 0 ? peer : pick);
+          inbox_push(procs[dest].inbox, done + L);
+        }
+        // The sender's own clock advances by its occupancy of the port.
+        p.t = std::max(p.t, port.next_free());
+        core_active[static_cast<std::size_t>(core)] +=
+            g * static_cast<double>(k);
+        energy += static_cast<double>(k) * ep.w_m_s * es;
+        ++p.pc;
+        break;
+      }
+      case TraceOp::Kind::MsgRecv: {
+        const long long k = msg_count(op.amount);
+        const double g = op.intra ? mp.g_mp_a : mp.g_mp_e;
+        sim::Time ready = p.t;
+        for (long long m = 0; m < k; ++m)
+          ready = std::max(ready, inbox_pop(p.inbox));
+        // Receive processing occupies the receiver for g per message.
+        p.t = ready + g * static_cast<double>(k);
+        core_active[static_cast<std::size_t>(core)] +=
+            g * static_cast<double>(k);
+        energy += static_cast<double>(k) * ep.w_m_r * es;
+        ++p.pc;
+        break;
+      }
+      case TraceOp::Kind::Barrier: {
+        p.at_barrier = true;
+        try_release_barrier();
+        break;
+      }
+    }
+  }
+
+  SimResult result;
+  result.finish_times.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    result.finish_times[static_cast<std::size_t>(i)] =
+        procs[static_cast<std::size_t>(i)].t;
+    result.makespan =
+        std::max(result.makespan, procs[static_cast<std::size_t>(i)].t);
+  }
+  result.energy_dynamic = energy;
+  result.barrier_episodes = barrier_episodes;
+
+  // Static leakage and imperfect-gating idle burn, per occupied core.
+  std::vector<bool> occupied(static_cast<std::size_t>(cores), false);
+  for (int i = 0; i < n; ++i) occupied[static_cast<std::size_t>(core_of[static_cast<std::size_t>(i)])] = true;
+  config.validate_extras();
+  for (int c = 0; c < cores; ++c) {
+    const auto uc = static_cast<std::size_t>(c);
+    if (!occupied[uc]) continue;
+    result.energy_static += config.static_power_per_core * result.makespan;
+    if (config.gating_effectiveness < 1.0) {
+      const OperatingPoint point = config.point_for(c);
+      const double idle =
+          std::max(0.0, result.makespan - std::min(core_active[uc], result.makespan));
+      // Un-gated idle units burn as if retiring integer ops at frequency f:
+      // f ops per time unit, each op's energy scaled f^2.
+      result.energy_idle += (1.0 - config.gating_effectiveness) * idle *
+                            point.frequency * ep.w_int * energy_scale(point);
+    }
+  }
+  result.energy = result.energy_dynamic + result.energy_static + result.energy_idle;
+
+  auto utilization = [&](const std::vector<sim::FifoServer>& servers) {
+    std::vector<double> u;
+    u.reserve(servers.size());
+    for (const sim::FifoServer& s : servers)
+      u.push_back(result.makespan > 0 ? s.busy_time() / result.makespan : 0.0);
+    return u;
+  };
+  result.l1_utilization = utilization(l1);
+  result.l2_utilization = utilization(l2);
+  result.router_utilization = utilization(router);
+  return result;
+}
+
+}  // namespace stamp::machine

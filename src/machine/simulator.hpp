@@ -1,0 +1,94 @@
+#pragma once
+/// \file simulator.hpp
+/// \brief Trace-replay simulator of a CMP/CMT machine.
+///
+/// Replays per-process operation traces on a machine with explicit resources:
+/// each hardware thread computes independently at its core's operating point;
+/// each core has a private L1 port (intra-processor shared memory) and an
+/// intra-core message port; each chip has a shared L2 port (inter-processor
+/// shared memory); inter-processor messages egress through per-core crossbar
+/// ports (the crossbar is non-blocking from each source). Latencies add
+/// after bandwidth service, per the model's `latency + g * accesses` shape.
+///
+/// Power follows the gated first-order model: energy = sum of per-operation
+/// energies, scaled f^2 by DVFS; time scales 1/f. The simulator gives the
+/// "simulated" column of the benches; its results should respect the analytic
+/// bounds (T_sim within first-order agreement of T_model; E identical when
+/// all frequencies are nominal).
+
+#include "core/cost_model.hpp"
+#include "core/params.hpp"
+#include "machine/power.hpp"
+#include "machine/trace.hpp"
+#include "runtime/placement_map.hpp"
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace stamp::machine {
+
+/// Simulator knobs.
+struct SimConfig {
+  double barrier_latency = 1.0;  ///< time to complete a barrier episode
+  /// Per-core operating points (global processor id -> point). Empty = all
+  /// nominal. Shorter than the processor count = remaining cores nominal.
+  std::vector<OperatingPoint> operating_points;
+  /// When true, hardware threads of one core share its pipeline (CMT issue
+  /// contention); when false each thread computes at full rate, matching the
+  /// analytic model's assumption.
+  bool share_pipeline = false;
+
+  /// Leakage: static power burned by every *occupied* core for the whole
+  /// makespan, in the model's power units. The paper's first-order model
+  /// assumes 0 (perfect gating); real silicon does not.
+  double static_power_per_core = 0;
+  /// Clock-gating effectiveness in [0, 1]: 1 = idle functional units consume
+  /// nothing (the paper's assumption); 0 = an idle occupied core burns
+  /// dynamic power as if executing integer operations. Intermediate values
+  /// interpolate.
+  double gating_effectiveness = 1.0;
+
+  /// Validate the gating/leakage knobs; called by replay.
+  void validate_extras() const {
+    if (static_power_per_core < 0)
+      throw std::invalid_argument("SimConfig: negative static power");
+    if (gating_effectiveness < 0 || gating_effectiveness > 1)
+      throw std::invalid_argument("SimConfig: gating effectiveness in [0,1]");
+  }
+
+  [[nodiscard]] OperatingPoint point_for(int processor) const {
+    if (processor < static_cast<int>(operating_points.size()))
+      return operating_points[static_cast<std::size_t>(processor)];
+    return OperatingPoint{};
+  }
+};
+
+/// Outcome of one replay.
+struct SimResult {
+  std::vector<sim::Time> finish_times;  ///< per process
+  sim::Time makespan = 0;               ///< max finish time
+  double energy = 0;                    ///< total energy, all processes
+  std::size_t barrier_episodes = 0;
+  std::vector<double> l1_utilization;   ///< per core, busy/makespan
+  std::vector<double> l2_utilization;   ///< per chip
+  std::vector<double> router_utilization;  ///< per core (crossbar egress)
+  double energy_dynamic = 0;  ///< gated per-operation energy (the model's E)
+  double energy_static = 0;   ///< leakage (static_power_per_core term)
+  double energy_idle = 0;     ///< imperfect-gating idle burn
+
+  [[nodiscard]] Cost as_cost() const noexcept { return {makespan, energy}; }
+  [[nodiscard]] double power() const noexcept {
+    return makespan > 0 ? energy / makespan : 0;
+  }
+};
+
+/// Replay `traces` (one per process) on the machine. Processes map to
+/// hardware threads via `placement`. Throws std::runtime_error on deadlock
+/// (all processes blocked) or on a receive with no possible sender.
+[[nodiscard]] SimResult replay(const std::vector<ProcessTrace>& traces,
+                               const runtime::PlacementMap& placement,
+                               const MachineModel& machine,
+                               const SimConfig& config = {});
+
+}  // namespace stamp::machine

@@ -1,0 +1,66 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Execution traces the machine simulator replays.
+///
+/// A trace is the ordered operation stream of one STAMP process. The S-round
+/// structure fixes the order within a round — receive/read, local compute,
+/// send/write, then (under synch_comm) a barrier — so a trace can be
+/// synthesized from a `StampProcess` cost structure without re-running the
+/// program.
+
+#include "core/attributes.hpp"
+#include "core/process.hpp"
+#include "runtime/instrument.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace stamp::machine {
+
+/// One operation of a process trace.
+struct TraceOp {
+  enum class Kind : std::uint8_t {
+    Compute,   ///< `amount` local operations
+    ShmRead,   ///< `amount` shared-memory reads (intra flag chooses L1 vs L2)
+    ShmWrite,  ///< `amount` shared-memory writes
+    MsgSend,   ///< `amount` message sends (delivery after L)
+    MsgRecv,   ///< wait for and consume `amount` incoming messages
+    Barrier,   ///< synchronize with all other processes
+  };
+
+  Kind kind = Kind::Compute;
+  double amount = 0;
+  bool intra = false;  ///< intra-processor (L1/core-local) vs inter
+  double fp = 0;       ///< for Compute: the floating-point share of `amount`
+                       ///  (energy accounting; the rest charges as integer)
+
+  friend bool operator==(const TraceOp&, const TraceOp&) = default;
+};
+
+using ProcessTrace = std::vector<TraceOp>;
+
+/// Synthesize the trace of one S-round from its counters:
+/// receives, shared reads, compute, shared writes, sends — the canonical
+/// S-round order ("at the beginning of each S-round, an S-unit receives
+/// messages or reads the shared memory; ... at the end ... sends or writes").
+/// Appends a barrier when `comm == Synchronous`.
+[[nodiscard]] ProcessTrace trace_of_round(const CostCounters& counters,
+                                          CommMode comm);
+
+/// Synthesize the full trace of a recorded `StampProcess`. The process's
+/// aggregate is flattened to one round (totals preserved; per-round latency
+/// structure lost) — prefer `trace_of_recorder` when a Recorder is at hand.
+[[nodiscard]] ProcessTrace trace_of_process(const StampProcess& process,
+                                            CommMode comm);
+
+/// Synthesize a trace from a Recorder, preserving the unit/round structure:
+/// each recorded S-round becomes receive/read -> compute -> send/write
+/// (+ barrier under synch_comm), with outside-of-round work appended after
+/// each unit's rounds.
+[[nodiscard]] ProcessTrace trace_of_recorder(const runtime::Recorder& recorder,
+                                             CommMode comm);
+
+/// Total barriers in a trace (used to check barrier episode matching).
+[[nodiscard]] std::size_t barrier_count(const ProcessTrace& trace);
+
+}  // namespace stamp::machine

@@ -1,0 +1,94 @@
+#include "models/models.hpp"
+
+#include <algorithm>
+
+namespace stamp::models {
+
+RoundSpec jacobi_round(int n) {
+  RoundSpec r;
+  r.local_ops = 2.0 * n;
+  r.msgs_out = n - 1.0;
+  r.msgs_in = n - 1.0;
+  r.max_location_accesses = 1;
+  return r;
+}
+
+RoundSpec apsp_round(int n) {
+  RoundSpec r;
+  const double dn = n;
+  r.local_ops = 2.0 * dn * dn;  // n^2 additions + ~n^2 comparisons
+  r.shm_reads = dn * dn;
+  r.shm_writes = dn;
+  r.max_location_accesses = dn;  // every process reads each location
+  return r;
+}
+
+RoundSpec reduction_step(double combine_ops) {
+  RoundSpec r;
+  r.local_ops = combine_ops;
+  r.msgs_out = 1;
+  r.msgs_in = 1;
+  r.max_location_accesses = 1;
+  return r;
+}
+
+double pram_round_time(const RoundSpec& r, const PramParams&) {
+  // Communication is free except that each access is one unit step.
+  return r.local_ops + r.msgs_out + r.msgs_in + r.shm_reads + r.shm_writes;
+}
+
+double bsp_round_time(const RoundSpec& r, const BspParams& p) {
+  // h-relation: the max of what one processor sends and receives; shared
+  // reads/writes count as remote gets/puts.
+  const double h = std::max(r.msgs_out + r.shm_reads + r.shm_writes,
+                            r.msgs_in + r.shm_reads + r.shm_writes);
+  return r.local_ops + p.g * h + p.l;
+}
+
+double logp_round_time(const RoundSpec& r, const LogPParams& p) {
+  // Per round: compute, pay overhead o per message end, gaps between
+  // consecutive sends, and one network latency to get the last message over.
+  const double msgs = r.msgs_out + r.shm_reads + r.shm_writes;  // shm ~ msgs
+  const double sends = msgs;
+  const double recvs = r.msgs_in + r.shm_reads;  // a read returns a reply
+  double t = r.local_ops + p.o * (sends + recvs);
+  if (sends > 1) t += p.g * (sends - 1);
+  if (sends + recvs > 0) t += p.L;
+  return t;
+}
+
+double loggp_round_time(const RoundSpec& r, const LogGPParams& p) {
+  const double msgs = r.msgs_out + r.shm_reads + r.shm_writes;
+  const double recvs = r.msgs_in + r.shm_reads;
+  double t = r.local_ops + p.o * (msgs + recvs);
+  if (msgs > 1) t += p.g * (msgs - 1);
+  if (p.words_per_message > 1) t += p.G * (p.words_per_message - 1) * msgs;
+  if (msgs + recvs > 0) t += p.L;
+  return t;
+}
+
+double qsm_round_time(const RoundSpec& r, const QsmParams& p) {
+  // Phase cost: max of computation, bandwidth-charged access, and the worst
+  // queue at any one location (accesses serialize there).
+  const double accesses =
+      r.shm_reads + r.shm_writes + r.msgs_out + r.msgs_in;  // msg ~ shm in QSM
+  return std::max({r.local_ops, p.g * accesses, r.max_location_accesses});
+}
+
+double pram_time(const RoundSpec& r, int rounds, const PramParams& p) {
+  return rounds * pram_round_time(r, p);
+}
+double bsp_time(const RoundSpec& r, int rounds, const BspParams& p) {
+  return rounds * bsp_round_time(r, p);
+}
+double logp_time(const RoundSpec& r, int rounds, const LogPParams& p) {
+  return rounds * logp_round_time(r, p);
+}
+double loggp_time(const RoundSpec& r, int rounds, const LogGPParams& p) {
+  return rounds * loggp_round_time(r, p);
+}
+double qsm_time(const RoundSpec& r, int rounds, const QsmParams& p) {
+  return rounds * qsm_round_time(r, p);
+}
+
+}  // namespace stamp::models

@@ -1,0 +1,98 @@
+#pragma once
+/// \file models.hpp
+/// \brief The classical parallel cost models STAMP is positioned against:
+///        PRAM, BSP, LogP, LogGP, and QSM.
+///
+/// Each model evaluates the per-round time of a `RoundSpec`. The benches use
+/// these to reproduce the paper's Section 2.2 argument: PRAM ignores
+/// communication entirely; BSP and QSM charge bulk-synchrony every round;
+/// LogP/LogGP price messages but have no power model (none of these models
+/// has one — that is STAMP's contribution).
+
+#include "models/round_spec.hpp"
+
+#include <span>
+#include <string_view>
+
+namespace stamp::models {
+
+// ---------------------------------------------------------------------------
+// PRAM
+// ---------------------------------------------------------------------------
+
+/// PRAM: synchronous shared memory with free communication. Every shared
+/// access costs one unit, there are no latencies or bandwidth limits.
+struct PramParams {
+  // No parameters: that absence is the point.
+};
+
+[[nodiscard]] double pram_round_time(const RoundSpec& r, const PramParams& p = {});
+
+// ---------------------------------------------------------------------------
+// BSP (Valiant)
+// ---------------------------------------------------------------------------
+
+/// BSP: supersteps of local compute w, an h-relation costing g*h, and a
+/// barrier costing l. Time per superstep = w + g*h + l.
+struct BspParams {
+  double g = 4;  ///< per-message bandwidth charge
+  double l = 50; ///< barrier/synchronization latency
+};
+
+[[nodiscard]] double bsp_round_time(const RoundSpec& r, const BspParams& p);
+
+// ---------------------------------------------------------------------------
+// LogP (Culler et al.)
+// ---------------------------------------------------------------------------
+
+/// LogP: latency L, per-message CPU overhead o at both ends, minimum gap g
+/// between consecutive messages of one processor; no barriers required.
+struct LogPParams {
+  double L = 40;  ///< network latency
+  double o = 2;   ///< send/receive overhead
+  double g = 4;   ///< gap (reciprocal of per-processor bandwidth)
+};
+
+[[nodiscard]] double logp_round_time(const RoundSpec& r, const LogPParams& p);
+
+// ---------------------------------------------------------------------------
+// LogGP (Alexandrov et al.)
+// ---------------------------------------------------------------------------
+
+/// LogGP: LogP plus a per-byte gap G for long messages. Our rounds carry a
+/// message size in `words_per_message`.
+struct LogGPParams {
+  double L = 40;
+  double o = 2;
+  double g = 4;   ///< gap between messages
+  double G = 0.5; ///< gap per additional word of a long message
+  double words_per_message = 1;
+};
+
+[[nodiscard]] double loggp_round_time(const RoundSpec& r, const LogGPParams& p);
+
+// ---------------------------------------------------------------------------
+// QSM (Gibbons, Matias, Ramachandran)
+// ---------------------------------------------------------------------------
+
+/// QSM: phases of local compute and queued shared-memory access; phase time
+/// is max(work, g * accesses, queue length kappa); reads land only at the
+/// phase boundary.
+struct QsmParams {
+  double g = 4;  ///< bandwidth charge per shared access
+};
+
+[[nodiscard]] double qsm_round_time(const RoundSpec& r, const QsmParams& p);
+
+/// Time of `rounds` identical rounds under each model (rounds are
+/// sequentially composed in all five models).
+[[nodiscard]] double pram_time(const RoundSpec& r, int rounds,
+                               const PramParams& p = {});
+[[nodiscard]] double bsp_time(const RoundSpec& r, int rounds, const BspParams& p);
+[[nodiscard]] double logp_time(const RoundSpec& r, int rounds,
+                               const LogPParams& p);
+[[nodiscard]] double loggp_time(const RoundSpec& r, int rounds,
+                                const LogGPParams& p);
+[[nodiscard]] double qsm_time(const RoundSpec& r, int rounds, const QsmParams& p);
+
+}  // namespace stamp::models

@@ -1,0 +1,34 @@
+#pragma once
+/// \file round_spec.hpp
+/// \brief A model-agnostic description of one communication round, evaluated
+///        by each of the classical parallel cost models (Section 2.2's
+///        related work) and by STAMP for side-by-side comparison.
+
+namespace stamp::models {
+
+/// Per-process quantities of one round of a data-parallel algorithm.
+struct RoundSpec {
+  double local_ops = 0;    ///< local computation per process
+  double msgs_out = 0;     ///< messages sent per process
+  double msgs_in = 0;      ///< messages received per process
+  double shm_reads = 0;    ///< shared-memory reads per process
+  double shm_writes = 0;   ///< shared-memory writes per process
+  double max_location_accesses = 0;  ///< worst accesses to any one location
+                                     ///  (QSM queue length / STAMP kappa)
+
+  friend bool operator==(const RoundSpec&, const RoundSpec&) = default;
+};
+
+/// The Jacobi S-round of the paper, per process: 2n local ops, n-1 messages
+/// each way.
+[[nodiscard]] RoundSpec jacobi_round(int n);
+
+/// The APSP S-round of the paper, per process: ~2n^2 local ops, n^2 shared
+/// reads, n shared writes; each location is read by all n processes.
+[[nodiscard]] RoundSpec apsp_round(int n);
+
+/// A tree-reduction step over p processes: combine two partial results
+/// (one message in, one out at interior nodes).
+[[nodiscard]] RoundSpec reduction_step(double combine_ops);
+
+}  // namespace stamp::models

@@ -1,0 +1,52 @@
+#include "models/speedup.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace stamp::models {
+namespace {
+
+void check(double serial_fraction, int processors) {
+  if (serial_fraction < 0 || serial_fraction > 1)
+    throw std::invalid_argument("serial fraction must be in [0, 1]");
+  if (processors < 1) throw std::invalid_argument("processors must be >= 1");
+}
+
+}  // namespace
+
+double amdahl_speedup(double s, int p) {
+  check(s, p);
+  return 1.0 / (s + (1.0 - s) / p);
+}
+
+double gustafson_speedup(double s, int p) {
+  check(s, p);
+  return p - s * (p - 1);
+}
+
+double amdahl_limit(double s) {
+  check(s, 1);
+  if (s == 0) return std::numeric_limits<double>::infinity();
+  return 1.0 / s;
+}
+
+double equal_power_amdahl_speedup(double s, int p) {
+  check(s, p);
+  return amdahl_speedup(s, p) / std::cbrt(static_cast<double>(p));
+}
+
+int optimal_equal_power_cores(double s, int max_processors) {
+  check(s, max_processors);
+  int best = 1;
+  double best_speedup = equal_power_amdahl_speedup(s, 1);
+  for (int p = 2; p <= max_processors; ++p) {
+    const double speedup = equal_power_amdahl_speedup(s, p);
+    if (speedup > best_speedup) {
+      best_speedup = speedup;
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace stamp::models

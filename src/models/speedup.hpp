@@ -1,0 +1,38 @@
+#pragma once
+/// \file speedup.hpp
+/// \brief Classical speedup laws (Amdahl, Gustafson) and their power-aware
+///        variants — the scaffolding behind Section 2.1's "power wall"
+///        argument.
+///
+/// The paper's claim "if we can get a speedup of more than 2 with the 8
+/// cores, we will get a better performance with the same power" implicitly
+/// assumes the workload parallelizes; these laws quantify when it does.
+
+#include <stdexcept>
+
+namespace stamp::models {
+
+/// Amdahl's law: speedup of p processors with serial fraction s in [0, 1].
+[[nodiscard]] double amdahl_speedup(double serial_fraction, int processors);
+
+/// Gustafson's law (scaled speedup): with per-processor work held constant,
+/// speedup = p - s (p - 1).
+[[nodiscard]] double gustafson_speedup(double serial_fraction, int processors);
+
+/// Maximum speedup Amdahl allows as p -> infinity: 1 / s (infinite for s=0).
+[[nodiscard]] double amdahl_limit(double serial_fraction);
+
+/// Equal-power speedup under Amdahl: p cores at f = p^(-1/3) (same total
+/// dynamic power as 1 core at f = 1) running an Amdahl-limited workload:
+///   S(p) = f * amdahl(p) = amdahl(s, p) / p^(1/3).
+/// The paper's perfect-parallel case is s = 0: S = p^(2/3).
+[[nodiscard]] double equal_power_amdahl_speedup(double serial_fraction,
+                                                int processors);
+
+/// The core count maximizing equal-power Amdahl speedup (beyond it, the
+/// frequency penalty outweighs added parallelism). Exhaustive over
+/// [1, max_processors].
+[[nodiscard]] int optimal_equal_power_cores(double serial_fraction,
+                                            int max_processors);
+
+}  // namespace stamp::models

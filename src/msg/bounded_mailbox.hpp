@@ -1,0 +1,115 @@
+#pragma once
+/// \file bounded_mailbox.hpp
+/// \brief A bounded blocking mailbox — backpressure for server-style STAMP
+///        programs.
+///
+/// The unbounded Mailbox models the paper's idealized message queues; real
+/// servers bound their queues so fast producers block instead of exhausting
+/// memory. `BoundedMailbox` adds a capacity: `send` blocks while full,
+/// `try_send` fails fast. Blocked senders are exactly the synch_comm
+/// "blocked processes in message passing" behaviour, so this is also the
+/// building block for rendezvous-style channels (capacity 1).
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace stamp::msg {
+
+/// Thrown when sending to / receiving from a closed bounded mailbox.
+class BoundedMailboxClosed : public std::runtime_error {
+ public:
+  BoundedMailboxClosed() : std::runtime_error("bounded mailbox closed") {}
+};
+
+template <typename T>
+class BoundedMailbox {
+ public:
+  explicit BoundedMailbox(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0)
+      throw std::invalid_argument("BoundedMailbox: capacity must be >= 1");
+  }
+
+  BoundedMailbox(const BoundedMailbox&) = delete;
+  BoundedMailbox& operator=(const BoundedMailbox&) = delete;
+
+  /// Blocks while the mailbox is full; throws BoundedMailboxClosed if closed.
+  void send(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
+    if (closed_) throw BoundedMailboxClosed();
+    queue_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  /// Non-blocking send; returns false when full (value untouched) and throws
+  /// when closed.
+  [[nodiscard]] bool try_send(T& value) {
+    {
+      const std::scoped_lock lock(mutex_);
+      if (closed_) throw BoundedMailboxClosed();
+      if (queue_.size() >= capacity_) return false;
+      queue_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a message is available; drains after close, then throws.
+  [[nodiscard]] T receive() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) throw BoundedMailboxClosed();
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  [[nodiscard]] std::optional<T> try_receive() {
+    std::optional<T> value;
+    {
+      const std::scoped_lock lock(mutex_);
+      if (queue_.empty()) return std::nullopt;
+      value = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Close: senders and blocked senders throw; receivers drain then throw.
+  void close() {
+    {
+      const std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mutex_);
+    return queue_.size();
+  }
+  [[nodiscard]] bool closed() const {
+    const std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace stamp::msg

@@ -1,0 +1,168 @@
+#pragma once
+/// \file collectives.hpp
+/// \brief Tree-structured collective operations over a Communicator.
+///
+/// The all-to-all `exchange` of communicator.hpp costs Theta(n) messages per
+/// process per round. The collectives here are the log-depth alternatives a
+/// STAMP algorithm designer reaches for when the exchange term dominates
+/// T_S-round: binomial-tree broadcast and reduce, recursive-doubling
+/// all-reduce, and a Hillis–Steele scan. All are fully instrumented — every
+/// send/receive lands in the acting process's recorder with the right
+/// intra/inter classification, so the cost model prices them like any other
+/// communication.
+///
+/// Semantics notes:
+///  * every process of the communicator must call the collective, with the
+///    same `root` where applicable (MPI-style collective semantics);
+///  * a Communicator mailbox is a single FIFO per process, so combining
+///    operators must be **commutative and associative** (a parent may receive
+///    its children's contributions in any order);
+///  * phased collectives (all-reduce, scan) barrier between phases so
+///    messages of different phases cannot interleave.
+
+#include "msg/communicator.hpp"
+
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace stamp::msg {
+
+/// Binomial-tree broadcast: O(log n) rounds; every process receives exactly
+/// one message and forwards to its subtree. Returns the broadcast value.
+template <typename T>
+[[nodiscard]] T broadcast_tree(runtime::Context& ctx, Communicator<T>& comm,
+                               T value, int root = 0) {
+  const int n = comm.parties();
+  const int me = (ctx.id() - root + n) % n;  // rank relative to the root
+  T current = std::move(value);
+
+  // Parent of r is r - lowbit(r); receive once, then forward to children
+  // r + m for every power of two m below lowbit(r) (or below the tree span
+  // for the root).
+  int span = 1;  // lowbit(me), or smallest power of two >= n for the root
+  if (me != 0) {
+    Envelope<T> env = comm.receive(ctx);
+    current = std::move(env.value);
+    while ((me & span) == 0) span <<= 1;
+  } else {
+    while (span < n) span <<= 1;
+  }
+  for (int m = span >> 1; m > 0; m >>= 1) {
+    if (me + m < n) {
+      const int child = (me + m + root) % n;
+      comm.send(ctx, child, current);
+    }
+  }
+  return current;
+}
+
+/// Binomial-tree reduce: combines all values at `root` with `op` (commutative
+/// and associative). The root returns the full reduction; non-root processes
+/// return their partial accumulation (whatever they combined before sending
+/// it upward).
+template <typename T, typename Op>
+[[nodiscard]] T reduce_tree(runtime::Context& ctx, Communicator<T>& comm,
+                            T value, Op op, int root = 0) {
+  const int n = comm.parties();
+  const int me = (ctx.id() - root + n) % n;
+  T acc = std::move(value);
+  for (int bit = 1; bit < n; bit <<= 1) {
+    if ((me & bit) != 0) {
+      const int parent = ((me - bit) + root) % n;
+      comm.send(ctx, parent, std::move(acc));
+      return T{};  // contribution handed off
+    }
+    if (me + bit < n) {
+      Envelope<T> env = comm.receive(ctx);
+      acc = op(std::move(acc), std::move(env.value));
+    }
+  }
+  return acc;
+}
+
+/// Recursive-doubling all-reduce: O(log n) phases, every process ends with
+/// the full reduction. Requires a power-of-two party count. Phases are
+/// barrier-separated so partner messages cannot cross phases.
+template <typename T, typename Op>
+[[nodiscard]] T all_reduce_doubling(runtime::Context& ctx, Communicator<T>& comm,
+                                    T value, Op op) {
+  const int n = comm.parties();
+  if ((n & (n - 1)) != 0)
+    throw std::invalid_argument("all_reduce_doubling: parties must be 2^k");
+  T acc = std::move(value);
+  for (int bit = 1; bit < n; bit <<= 1) {
+    const int partner = ctx.id() ^ bit;
+    comm.send(ctx, partner, acc);
+    Envelope<T> env = comm.receive(ctx);
+    acc = op(std::move(acc), std::move(env.value));
+    comm.barrier();
+  }
+  return acc;
+}
+
+/// Hillis–Steele inclusive scan over process ranks: process i ends with
+/// op(value_0, ..., value_i). O(log n) barrier-separated phases; any n.
+template <typename T, typename Op>
+[[nodiscard]] T scan_inclusive(runtime::Context& ctx, Communicator<T>& comm,
+                               T value, Op op) {
+  const int n = comm.parties();
+  T acc = std::move(value);
+  for (int offset = 1; offset < n; offset <<= 1) {
+    if (ctx.id() + offset < n) comm.send(ctx, ctx.id() + offset, acc);
+    if (ctx.id() - offset >= 0) {
+      Envelope<T> env = comm.receive(ctx);
+      acc = op(std::move(env.value), std::move(acc));
+    }
+    comm.barrier();
+  }
+  return acc;
+}
+
+/// Gather: every process sends its value to `root`, which receives them
+/// indexed by sender. Non-root processes get an empty vector.
+template <typename T>
+[[nodiscard]] std::vector<T> gather(runtime::Context& ctx, Communicator<T>& comm,
+                                    T value, int root = 0) {
+  const int n = comm.parties();
+  if (ctx.id() != root) {
+    comm.send(ctx, root, std::move(value));
+    return {};
+  }
+  std::vector<T> values(static_cast<std::size_t>(n));
+  values[static_cast<std::size_t>(root)] = std::move(value);
+  for (int k = 0; k + 1 < n; ++k) {
+    Envelope<T> env = comm.receive(ctx);
+    values[static_cast<std::size_t>(env.from)] = std::move(env.value);
+  }
+  return values;
+}
+
+/// Scatter: `root` sends values[i] to process i; everyone returns their slice.
+template <typename T>
+[[nodiscard]] T scatter(runtime::Context& ctx, Communicator<T>& comm,
+                        std::vector<T> values, int root = 0) {
+  const int n = comm.parties();
+  if (ctx.id() == root) {
+    if (static_cast<int>(values.size()) != n)
+      throw std::invalid_argument("scatter: need one value per process");
+    for (int peer = 0; peer < n; ++peer) {
+      if (peer == root) continue;
+      comm.send(ctx, peer, std::move(values[static_cast<std::size_t>(peer)]));
+    }
+    return std::move(values[static_cast<std::size_t>(root)]);
+  }
+  return comm.receive(ctx).value;
+}
+
+/// All-gather built from gather + broadcast (works for any n).
+template <typename T>
+[[nodiscard]] std::vector<T> all_gather(runtime::Context& ctx,
+                                        Communicator<std::vector<T>>& vec_comm,
+                                        Communicator<T>& comm, T value,
+                                        int root = 0) {
+  std::vector<T> gathered = gather(ctx, comm, std::move(value), root);
+  return broadcast_tree(ctx, vec_comm, std::move(gathered), root);
+}
+
+}  // namespace stamp::msg

@@ -1,0 +1,89 @@
+#pragma once
+/// \file mailbox.hpp
+/// \brief Blocking multi-producer mailboxes — the message queues of STAMP
+///        processes ("an S-unit receives messages by reading from its
+///        incoming message queue").
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace stamp::msg {
+
+/// Thrown when receiving from a mailbox that is closed and drained.
+class MailboxClosed : public std::runtime_error {
+ public:
+  MailboxClosed() : std::runtime_error("mailbox closed") {}
+};
+
+/// An unbounded, blocking, multi-producer multi-consumer queue. Values are
+/// moved in and out (CP.31: pass data between threads by value).
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueue one message. Throws MailboxClosed if the mailbox was closed.
+  void send(T value) {
+    {
+      const std::scoped_lock lock(mutex_);
+      if (closed_) throw MailboxClosed();
+      queue_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until a message is available; throws MailboxClosed once the
+  /// mailbox is closed and empty.
+  [[nodiscard]] T receive() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) throw MailboxClosed();
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  /// Non-blocking receive.
+  [[nodiscard]] std::optional<T> try_receive() {
+    const std::scoped_lock lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  /// Closes the mailbox: further sends throw; receivers drain then throw.
+  void close() {
+    {
+      const std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mutex_);
+    return queue_.size();
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace stamp::msg

@@ -1,0 +1,143 @@
+#include "report/json.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stamp::report {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::write_raw(std::string_view s) { (*os_) << s; }
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    if (root_written_)
+      throw std::logic_error("JsonWriter: more than one root value");
+    return;
+  }
+  if (stack_.back() == Frame::Object && !key_pending_)
+    throw std::logic_error("JsonWriter: value in object without a key");
+  // In an object the comma (if any) was already emitted by key(); in an
+  // array it is emitted here.
+  if (stack_.back() == Frame::Array && !first_in_frame_.back()) write_raw(",");
+  first_in_frame_.back() = false;
+  key_pending_ = false;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || stack_.back() != Frame::Object)
+    throw std::logic_error("JsonWriter: key outside an object");
+  if (key_pending_) throw std::logic_error("JsonWriter: two keys in a row");
+  if (!first_in_frame_.back()) write_raw(",");
+  first_in_frame_.back() = false;
+  write_raw("\"");
+  write_raw(escape(k));
+  write_raw("\":");
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  write_raw("{");
+  stack_.push_back(Frame::Object);
+  first_in_frame_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::Object || key_pending_)
+    throw std::logic_error("JsonWriter: unbalanced end_object");
+  write_raw("}");
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  if (stack_.empty()) root_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  write_raw("[");
+  stack_.push_back(Frame::Array);
+  first_in_frame_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::Array)
+    throw std::logic_error("JsonWriter: unbalanced end_array");
+  write_raw("]");
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  if (stack_.empty()) root_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  write_raw("\"");
+  write_raw(escape(v));
+  write_raw("\"");
+  if (stack_.empty()) root_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (std::isnan(v) || std::isinf(v)) {
+    write_raw("null");  // JSON has no NaN/Inf
+  } else {
+    std::ostringstream ss;
+    ss.precision(15);
+    ss << v;
+    write_raw(ss.str());
+  }
+  if (stack_.empty()) root_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  before_value();
+  write_raw(std::to_string(v));
+  if (stack_.empty()) root_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  write_raw(v ? "true" : "false");
+  if (stack_.empty()) root_written_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  write_raw("null");
+  if (stack_.empty()) root_written_ = true;
+  return *this;
+}
+
+}  // namespace stamp::report

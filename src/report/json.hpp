@@ -1,0 +1,70 @@
+#pragma once
+/// \file json.hpp
+/// \brief A small streaming JSON writer for exporting bench results and
+///        evaluations to downstream tooling (plots, dashboards).
+///
+/// Deliberately minimal: objects, arrays, scalars, correct escaping and
+/// number formatting. Structure errors (mismatched begin/end, missing keys)
+/// throw rather than emit invalid JSON.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stamp::report {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  // -- structure ---------------------------------------------------------------
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key for the next value (only inside an object).
+  JsonWriter& key(std::string_view k);
+
+  // -- scalars -----------------------------------------------------------------
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// True when the document is complete (all containers closed, one root).
+  [[nodiscard]] bool complete() const noexcept {
+    return stack_.empty() && root_written_;
+  }
+
+  /// Escape a string for JSON (exposed for tests).
+  [[nodiscard]] static std::string escape(std::string_view s);
+
+ private:
+  enum class Frame { Object, Array };
+
+  void before_value();
+  void write_raw(std::string_view s);
+
+  std::ostream* os_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_in_frame_;
+  bool key_pending_ = false;
+  bool root_written_ = false;
+};
+
+}  // namespace stamp::report

@@ -1,0 +1,57 @@
+#include "report/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace stamp::report {
+
+double percentile(std::span<const double> samples, double q) {
+  if (samples.empty()) return 0;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * (static_cast<double>(sorted.size()) - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double ss = 0;
+    for (double v : samples) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / (static_cast<double>(samples.size()) - 1));
+  }
+  s.p50 = percentile(samples, 0.50);
+  s.p90 = percentile(samples, 0.90);
+  s.p99 = percentile(samples, 0.99);
+  return s;
+}
+
+double relative_error(double measured, double expected) {
+  if (expected == 0)
+    return measured == 0 ? 0 : std::numeric_limits<double>::infinity();
+  return std::abs(measured - expected) / std::abs(expected);
+}
+
+double geometric_mean(std::span<const double> values) {
+  if (values.empty()) return 0;
+  double log_sum = 0;
+  for (double v : values) {
+    if (v <= 0) return 0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace stamp::report

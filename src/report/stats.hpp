@@ -1,0 +1,36 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Small summary-statistics helpers used when benches repeat runs.
+
+#include <span>
+#include <vector>
+
+namespace stamp::report {
+
+/// Summary of a sample: min/max/mean/standard deviation and percentiles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;  ///< sample standard deviation (n-1 denominator)
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+/// Compute a Summary; an empty sample yields an all-zero Summary.
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Percentile by linear interpolation between closest ranks; q in [0, 1].
+/// The input need not be sorted. An empty sample returns 0.
+[[nodiscard]] double percentile(std::span<const double> samples, double q);
+
+/// Relative error |measured - expected| / |expected| (0 when both are 0,
+/// infinity when only expected is 0).
+[[nodiscard]] double relative_error(double measured, double expected);
+
+/// Geometric mean of strictly positive values (0 if any nonpositive or empty).
+[[nodiscard]] double geometric_mean(std::span<const double> values);
+
+}  // namespace stamp::report

@@ -1,0 +1,142 @@
+#include "report/table.hpp"
+
+#include "report/json.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stamp::report {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+Table& Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table: row width mismatch");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::add_text_row(std::vector<std::string> cells) {
+  std::vector<Cell> row;
+  row.reserve(cells.size());
+  for (std::string& s : cells) row.emplace_back(std::move(s));
+  return add_row(std::move(row));
+}
+
+Table& Table::set_precision(int digits) {
+  precision_ = digits;
+  return *this;
+}
+
+std::string Table::format_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  std::vector<std::vector<std::string>> formatted;
+  formatted.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      cells.push_back(format_cell(row[i]));
+      widths[i] = std::max(widths[i], cells.back().size());
+    }
+    formatted.push_back(std::move(cells));
+  }
+
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  os << '|';
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    os << ' ' << std::left << std::setw(static_cast<int>(widths[i]))
+       << headers_[i] << " |";
+  os << '\n';
+  rule();
+  for (std::size_t r = 0; r < formatted.size(); ++r) {
+    os << '|';
+    for (std::size_t i = 0; i < formatted[r].size(); ++i) {
+      const bool numeric = !std::holds_alternative<std::string>(rows_[r][i]);
+      os << ' '
+         << (numeric ? std::right : std::left)
+         << std::setw(static_cast<int>(widths[i])) << formatted[r][i] << " |";
+    }
+    os << '\n';
+  }
+  rule();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  if (!title_.empty()) os << "# " << title_ << '\n';
+  for (std::size_t i = 0; i < headers_.size(); ++i)
+    os << escape(headers_[i]) << (i + 1 < headers_.size() ? "," : "\n");
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      os << escape(format_cell(row[i])) << (i + 1 < row.size() ? "," : "\n");
+  }
+}
+
+void Table::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("title", title_);
+  w.key("rows");
+  w.begin_array();
+  for (const auto& row : rows_) {
+    w.begin_object();
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      w.key(headers_[i]);
+      if (const auto* s = std::get_if<std::string>(&row[i])) {
+        w.value(*s);
+      } else if (const auto* n = std::get_if<long long>(&row[i])) {
+        w.value(*n);
+      } else {
+        w.value(std::get<double>(row[i]));
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  t.print(os);
+  return os;
+}
+
+void print_section(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(72, '=') << '\n'
+     << "== " << title << '\n'
+     << std::string(72, '=') << '\n';
+}
+
+}  // namespace stamp::report

@@ -1,0 +1,63 @@
+#pragma once
+/// \file table.hpp
+/// \brief Fixed-width console tables and CSV output for the bench harness.
+///
+/// Every bench prints its rows through `Table` so the output of
+/// `bench/bench_*` matches the row/series structure of the paper's artifacts
+/// and is diffable between runs.
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace stamp::report {
+
+/// One table cell: text, integer, or floating point (formatted with the
+/// table's precision).
+using Cell = std::variant<std::string, long long, double>;
+
+/// A fixed-width text table with a title, column headers, and typed rows.
+class Table {
+ public:
+  explicit Table(std::string title, std::vector<std::string> headers);
+
+  /// Appends one row; it must have exactly as many cells as there are headers.
+  Table& add_row(std::vector<Cell> cells);
+
+  /// Convenience for rows given as pre-formatted strings.
+  Table& add_text_row(std::vector<std::string> cells);
+
+  /// Digits after the decimal point for double cells (default 3).
+  Table& set_precision(int digits);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+  /// Renders with box-drawing rules and right-aligned numeric cells.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (title as a `# comment` line, headers, then rows).
+  void write_csv(std::ostream& os) const;
+
+  /// Renders as JSON: {"title": ..., "rows": [{header: cell, ...}, ...]}
+  /// with numeric cells kept numeric.
+  void write_json(std::ostream& os) const;
+
+  /// Formats one cell with this table's precision.
+  [[nodiscard]] std::string format_cell(const Cell& c) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 3;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+/// Prints a `== title ==` section banner.
+void print_section(std::ostream& os, const std::string& title);
+
+}  // namespace stamp::report

@@ -1,0 +1,87 @@
+#pragma once
+/// \file barrier.hpp
+/// \brief Phase barriers for synch_comm rounds.
+///
+/// `PhaseBarrier` is a blocking barrier (condition-variable based,
+/// CP.42: never wait without a condition); `SenseBarrier` is a spinning
+/// sense-reversing barrier for short phases. Both are reusable across any
+/// number of phases.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+
+namespace stamp::runtime {
+
+/// Blocking reusable barrier for `parties` participants.
+class PhaseBarrier {
+ public:
+  explicit PhaseBarrier(int parties) : parties_(parties) {
+    if (parties < 1) throw std::invalid_argument("PhaseBarrier: parties < 1");
+  }
+
+  PhaseBarrier(const PhaseBarrier&) = delete;
+  PhaseBarrier& operator=(const PhaseBarrier&) = delete;
+
+  /// Blocks until all parties have arrived at this phase.
+  void arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    const std::uint64_t phase = phase_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++phase_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return phase_ != phase; });
+    }
+  }
+
+  [[nodiscard]] int parties() const noexcept { return parties_; }
+  /// Number of completed phases.
+  [[nodiscard]] std::uint64_t phase() const {
+    const std::scoped_lock lock(mutex_);
+    return phase_;
+  }
+
+ private:
+  const int parties_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t phase_ = 0;
+};
+
+/// Spinning sense-reversing barrier (centralized counter). Appropriate when
+/// phases are much shorter than a context switch.
+class SenseBarrier {
+ public:
+  explicit SenseBarrier(int parties) : parties_(parties), remaining_(parties) {
+    if (parties < 1) throw std::invalid_argument("SenseBarrier: parties < 1");
+  }
+
+  SenseBarrier(const SenseBarrier&) = delete;
+  SenseBarrier& operator=(const SenseBarrier&) = delete;
+
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        // spin; the phases this barrier is meant for are sub-microsecond
+      }
+    }
+  }
+
+  [[nodiscard]] int parties() const noexcept { return parties_; }
+
+ private:
+  const int parties_;
+  std::atomic<int> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace stamp::runtime

@@ -1,0 +1,74 @@
+#include "runtime/executor.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace stamp::runtime {
+
+std::vector<Cost> RunResult::process_costs(const PlacementMap& placement,
+                                           const MachineParams& mp,
+                                           const EnergyParams& ep) const {
+  std::vector<Cost> costs;
+  costs.reserve(recorders.size());
+  for (std::size_t i = 0; i < recorders.size(); ++i) {
+    const ProcessCounts pc =
+        placement.process_counts_for(static_cast<int>(i));
+    const StampProcess proc = recorders[i].to_process(Attributes{});
+    costs.push_back(proc.cost(mp, ep, pc));
+  }
+  return costs;
+}
+
+Cost RunResult::total_cost(const PlacementMap& placement,
+                           const MachineParams& mp,
+                           const EnergyParams& ep) const {
+  const std::vector<Cost> costs = process_costs(placement, mp, ep);
+  return parallel(std::span<const Cost>(costs));
+}
+
+CostCounters RunResult::total_counters() const {
+  CostCounters total;
+  for (const Recorder& r : recorders) total += r.totals();
+  return total;
+}
+
+RunResult run_processes(const PlacementMap& placement, const ProcessBody& body) {
+  const int n = placement.process_count();
+  RunResult result;
+  result.recorders.resize(static_cast<std::size_t>(n));
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      threads.emplace_back([&, i] {
+        Context ctx(i, result.recorders[static_cast<std::size_t>(i)], placement);
+        try {
+          body(ctx);
+        } catch (...) {
+          const std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+  }  // jthreads join here
+  result.wall_time = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  if (first_error) std::rethrow_exception(first_error);
+  return result;
+}
+
+RunResult run_distributed(const Topology& topology, int n,
+                          Distribution distribution, const ProcessBody& body) {
+  const PlacementMap placement =
+      PlacementMap::for_distribution(topology, n, distribution);
+  return run_processes(placement, body);
+}
+
+}  // namespace stamp::runtime

@@ -1,0 +1,68 @@
+#include "runtime/instrument.hpp"
+
+namespace stamp::runtime {
+
+CostCounters& Recorder::current() noexcept {
+  if (!in_unit_) return stray_;
+  UnitRecord& u = units_.back();
+  return in_round_ ? u.rounds.back() : u.outside;
+}
+
+void Recorder::begin_unit() {
+  if (in_round_) end_round();
+  units_.emplace_back();
+  in_unit_ = true;
+}
+
+void Recorder::begin_round() {
+  if (!in_unit_) begin_unit();
+  if (in_round_) end_round();
+  units_.back().rounds.emplace_back();
+  in_round_ = true;
+}
+
+void Recorder::end_round() { in_round_ = false; }
+
+void Recorder::end_unit() {
+  in_round_ = false;
+  in_unit_ = false;
+}
+
+CostCounters Recorder::totals() const noexcept {
+  CostCounters total = stray_;
+  for (const UnitRecord& u : units_) {
+    total += u.outside;
+    for (const CostCounters& r : u.rounds) total += r;
+  }
+  return total;
+}
+
+StampProcess Recorder::to_process(const Attributes& attrs) const {
+  StampProcess proc(attrs);
+  for (const UnitRecord& u : units_) {
+    SUnit unit;
+    for (const CostCounters& r : u.rounds) unit.add_round(r);
+    unit.add_local(u.outside.c_fp, u.outside.c_int);
+    proc.add_unit(std::move(unit));
+  }
+  if (stray_.local_ops() > 0 || stray_.uses_shared_memory() ||
+      stray_.uses_message_passing()) {
+    SUnit trailing;
+    if (stray_.uses_shared_memory() || stray_.uses_message_passing()) {
+      trailing.add_round(stray_);
+    } else {
+      trailing.add_local(stray_.c_fp, stray_.c_int);
+    }
+    proc.add_unit(std::move(trailing));
+  }
+  return proc;
+}
+
+void Recorder::clear() {
+  units_.clear();
+  stray_ = CostCounters{};
+  in_unit_ = false;
+  in_round_ = false;
+}
+
+}  // namespace stamp::runtime

@@ -1,0 +1,128 @@
+#pragma once
+/// \file instrument.hpp
+/// \brief Per-process operation recording — the empirical source of the cost
+///        model's counters.
+///
+/// Each STAMP process owns one `Recorder`. The substrates (msg / shm / stm)
+/// report every communication operation to the recorder of the process that
+/// performs it, classified intra- vs inter-processor by the placement map.
+/// Recorders are strictly single-owner (one per process, touched only by the
+/// thread running that process), so counting is plain arithmetic — no atomics
+/// perturbing the measured program (guideline CP.3: minimize shared writable
+/// data).
+///
+/// A recorder also tracks S-round / S-unit structure: `begin_unit()`,
+/// `begin_round()` / `end_round()`, `end_unit()` delimit where operations
+/// land, so a full `StampProcess` cost structure can be rebuilt from a run.
+
+#include "core/counters.hpp"
+#include "core/process.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace stamp::runtime {
+
+/// Records the operations of one STAMP process as it executes.
+class Recorder {
+ public:
+  /// Counters of one recorded S-unit: its rounds plus outside-of-round work.
+  struct UnitRecord {
+    std::vector<CostCounters> rounds;
+    CostCounters outside;
+  };
+
+  Recorder() = default;
+
+  // -- local computation ------------------------------------------------------
+  void count_fp(double n = 1) noexcept { current().c_fp += n; }
+  void count_int(double n = 1) noexcept { current().c_int += n; }
+
+  // -- shared memory ------------------------------------------------------------
+  void shm_read(bool intra, double n = 1) noexcept {
+    (intra ? current().d_r_a : current().d_r_e) += n;
+  }
+  void shm_write(bool intra, double n = 1) noexcept {
+    (intra ? current().d_w_a : current().d_w_e) += n;
+  }
+
+  // -- message passing -----------------------------------------------------------
+  void msg_send(bool intra, double n = 1) noexcept {
+    (intra ? current().m_s_a : current().m_s_e) += n;
+  }
+  void msg_recv(bool intra, double n = 1) noexcept {
+    (intra ? current().m_r_a : current().m_r_e) += n;
+  }
+
+  // -- serialization / rollback ---------------------------------------------------
+  /// Report an observed serialization length or rollback count for one shared
+  /// location / transaction; kappa keeps the maximum.
+  void observe_kappa(double k) noexcept {
+    if (k > current().kappa) current().kappa = k;
+  }
+
+  // -- structure ---------------------------------------------------------------
+  /// Opens a new S-unit; subsequent operations outside rounds are "local
+  /// computation outside S-rounds".
+  void begin_unit();
+  /// Opens an S-round inside the current unit (implicitly opens a unit if
+  /// none is open).
+  void begin_round();
+  void end_round();
+  void end_unit();
+
+  /// True while inside an S-round.
+  [[nodiscard]] bool in_round() const noexcept { return in_round_; }
+  [[nodiscard]] std::size_t unit_count() const noexcept { return units_.size(); }
+
+  /// Structured view of everything recorded, unit by unit.
+  [[nodiscard]] const std::vector<UnitRecord>& units() const noexcept {
+    return units_;
+  }
+  /// Operations recorded outside any unit.
+  [[nodiscard]] const CostCounters& stray() const noexcept { return stray_; }
+
+  /// Aggregate counters over everything recorded so far.
+  [[nodiscard]] CostCounters totals() const noexcept;
+
+  /// Rebuild the structural `StampProcess` (one S-unit per begin/end pair,
+  /// one S-round per round). Operations recorded outside any unit are folded
+  /// into a trailing unit.
+  [[nodiscard]] StampProcess to_process(const Attributes& attrs) const;
+
+  /// Reset to empty.
+  void clear();
+
+ private:
+  CostCounters& current() noexcept;
+
+  std::vector<UnitRecord> units_;
+  CostCounters stray_;  // operations outside any unit
+  bool in_unit_ = false;
+  bool in_round_ = false;
+};
+
+/// RAII guards for round/unit structure (CP.20: RAII, never plain begin/end).
+class UnitScope {
+ public:
+  explicit UnitScope(Recorder& r) : rec_(r) { rec_.begin_unit(); }
+  ~UnitScope() { rec_.end_unit(); }
+  UnitScope(const UnitScope&) = delete;
+  UnitScope& operator=(const UnitScope&) = delete;
+
+ private:
+  Recorder& rec_;
+};
+
+class RoundScope {
+ public:
+  explicit RoundScope(Recorder& r) : rec_(r) { rec_.begin_round(); }
+  ~RoundScope() { rec_.end_round(); }
+  RoundScope(const RoundScope&) = delete;
+  RoundScope& operator=(const RoundScope&) = delete;
+
+ private:
+  Recorder& rec_;
+};
+
+}  // namespace stamp::runtime

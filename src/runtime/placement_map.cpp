@@ -1,0 +1,106 @@
+#include "runtime/placement_map.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace stamp::runtime {
+
+PlacementMap::PlacementMap(Topology topology, std::vector<Slot> slots)
+    : topology_(topology), slots_(std::move(slots)) {
+  topology_.validate();
+  for (const Slot& s : slots_) {
+    if (s.chip < 0 || s.chip >= topology_.chips || s.processor < 0 ||
+        s.processor >= topology_.processors_per_chip || s.thread < 0 ||
+        s.thread >= topology_.threads_per_processor)
+      throw std::invalid_argument("PlacementMap: slot outside topology");
+  }
+  // No two processes may share one hardware thread.
+  std::vector<Slot> sorted = slots_;
+  std::sort(sorted.begin(), sorted.end(), [](const Slot& a, const Slot& b) {
+    return std::tie(a.chip, a.processor, a.thread) <
+           std::tie(b.chip, b.processor, b.thread);
+  });
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+    throw std::invalid_argument("PlacementMap: two processes on one thread");
+}
+
+PlacementMap PlacementMap::fill_first(const Topology& t, int n,
+                                      int max_threads_per_processor) {
+  const int per_proc = max_threads_per_processor > 0
+                           ? std::min(max_threads_per_processor,
+                                      t.threads_per_processor)
+                           : t.threads_per_processor;
+  if (n > t.total_processors() * per_proc)
+    throw std::invalid_argument("fill_first: not enough hardware threads");
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int proc_global = i / per_proc;
+    Slot s;
+    s.chip = proc_global / t.processors_per_chip;
+    s.processor = proc_global % t.processors_per_chip;
+    s.thread = i % per_proc;
+    slots.push_back(s);
+  }
+  return PlacementMap(t, std::move(slots));
+}
+
+PlacementMap PlacementMap::one_per_processor(const Topology& t, int n) {
+  const int procs = t.total_processors();
+  if (n > procs * t.threads_per_processor)
+    throw std::invalid_argument("one_per_processor: not enough hardware threads");
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int proc_global = i % procs;
+    Slot s;
+    s.chip = proc_global / t.processors_per_chip;
+    s.processor = proc_global % t.processors_per_chip;
+    s.thread = i / procs;  // wraps onto additional threads once all procs used
+    slots.push_back(s);
+  }
+  return PlacementMap(t, std::move(slots));
+}
+
+PlacementMap PlacementMap::for_distribution(const Topology& t, int n,
+                                            Distribution d) {
+  return d == Distribution::IntraProc ? fill_first(t, n)
+                                      : one_per_processor(t, n);
+}
+
+const Slot& PlacementMap::slot_of(int process) const {
+  if (process < 0 || process >= process_count())
+    throw std::out_of_range("PlacementMap: process id out of range");
+  return slots_[static_cast<std::size_t>(process)];
+}
+
+bool PlacementMap::same_processor(int a, int b) const {
+  const Slot& sa = slot_of(a);
+  const Slot& sb = slot_of(b);
+  return sa.chip == sb.chip && sa.processor == sb.processor;
+}
+
+int PlacementMap::processor_of(int process) const {
+  return slot_of(process).global_processor(topology_);
+}
+
+std::vector<int> PlacementMap::occupancy() const {
+  std::vector<int> occ(static_cast<std::size_t>(topology_.total_processors()), 0);
+  for (int i = 0; i < process_count(); ++i)
+    ++occ[static_cast<std::size_t>(processor_of(i))];
+  return occ;
+}
+
+ProcessCounts PlacementMap::process_counts_for(int process) const {
+  ProcessCounts pc;
+  for (int i = 0; i < process_count(); ++i) {
+    if (i == process) continue;
+    if (same_processor(process, i))
+      ++pc.intra;
+    else
+      ++pc.inter;
+  }
+  return pc;
+}
+
+}  // namespace stamp::runtime

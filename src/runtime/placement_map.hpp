@@ -1,0 +1,77 @@
+#pragma once
+/// \file placement_map.hpp
+/// \brief Logical placement of STAMP processes onto the machine topology.
+///
+/// The runtime executes on however many OS threads the host provides, but
+/// *charging* an operation as intra- or inter-processor follows the logical
+/// placement: two processes communicate intra-processor iff they are mapped
+/// to hardware threads of the same (chip, processor) pair.
+
+#include "core/attributes.hpp"
+#include "core/cost_model.hpp"
+#include "core/params.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace stamp::runtime {
+
+/// One hardware-thread slot.
+struct Slot {
+  int chip = 0;
+  int processor = 0;  ///< processor index within the chip
+  int thread = 0;     ///< hardware thread index within the processor
+
+  /// Global processor id, chip-major.
+  [[nodiscard]] int global_processor(const Topology& t) const noexcept {
+    return chip * t.processors_per_chip + processor;
+  }
+  friend bool operator==(const Slot&, const Slot&) = default;
+};
+
+/// Maps process ids [0, n) to slots on a topology.
+class PlacementMap {
+ public:
+  PlacementMap() = default;
+  PlacementMap(Topology topology, std::vector<Slot> slots);
+
+  /// Place n processes filling each processor's threads before moving on
+  /// (the natural realization of `intra_proc`: co-locate as much as possible,
+  /// exactly what the paper prescribes for Jacobi).
+  [[nodiscard]] static PlacementMap fill_first(const Topology& t, int n,
+                                               int max_threads_per_processor = 0);
+
+  /// Place n processes one per processor, wrapping when all processors are
+  /// used (the natural realization of `inter_proc`).
+  [[nodiscard]] static PlacementMap one_per_processor(const Topology& t, int n);
+
+  /// Place according to an attribute: IntraProc -> fill_first,
+  /// InterProc -> one_per_processor.
+  [[nodiscard]] static PlacementMap for_distribution(const Topology& t, int n,
+                                                     Distribution d);
+
+  [[nodiscard]] int process_count() const noexcept {
+    return static_cast<int>(slots_.size());
+  }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const Slot& slot_of(int process) const;
+
+  /// True iff the two processes share a (chip, processor) pair.
+  [[nodiscard]] bool same_processor(int a, int b) const;
+
+  /// Global processor id of a process.
+  [[nodiscard]] int processor_of(int process) const;
+
+  /// Number of processes on each global processor id.
+  [[nodiscard]] std::vector<int> occupancy() const;
+
+  /// The cost model's process-count context for one process: how many peers
+  /// are intra (same processor) vs inter.
+  [[nodiscard]] ProcessCounts process_counts_for(int process) const;
+
+ private:
+  Topology topology_{};
+  std::vector<Slot> slots_;
+};
+
+}  // namespace stamp::runtime

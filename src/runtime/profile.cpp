@@ -1,0 +1,32 @@
+#include "runtime/profile.hpp"
+
+#include <algorithm>
+
+namespace stamp::runtime {
+
+ProcessProfile profile_from_recorder(const Recorder& recorder, double units) {
+  const CostCounters totals = recorder.totals();
+  double n = units;
+  if (n <= 0) n = static_cast<double>(std::max<std::size_t>(recorder.unit_count(), 1));
+
+  ProcessProfile p;
+  p.units = n;
+  p.c_fp = totals.c_fp / n;
+  p.c_int = totals.c_int / n;
+  p.d_r = (totals.d_r_a + totals.d_r_e) / n;
+  p.d_w = (totals.d_w_a + totals.d_w_e) / n;
+  p.m_s = (totals.m_s_a + totals.m_s_e) / n;
+  p.m_r = (totals.m_r_a + totals.m_r_e) / n;
+  p.kappa = totals.kappa;  // a bound, not an average
+  return p;
+}
+
+std::vector<ProcessProfile> profiles_from_run(const RunResult& run) {
+  std::vector<ProcessProfile> profiles;
+  profiles.reserve(run.recorders.size());
+  for (const Recorder& r : run.recorders)
+    profiles.push_back(profile_from_recorder(r));
+  return profiles;
+}
+
+}  // namespace stamp::runtime

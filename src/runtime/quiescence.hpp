@@ -1,0 +1,126 @@
+#pragma once
+/// \file quiescence.hpp
+/// \brief Global quiescence detection for asynchronous (async_comm) iterative
+///        algorithms — the termination piece the paper's APSP example leaves
+///        implicit.
+///
+/// Protocol: a shared publication counter is incremented *after* each
+/// process publishes changes (so seeing the increment implies the data is
+/// visible). A process that completes a sweep with no changes, and whose
+/// counter reading is unchanged across the sweep, is *quiet at* that counter
+/// value. When every process is quiet at the same, still-current counter
+/// value, the system has reached a fixed point: every process has performed a
+/// complete no-change sweep after the last publication anywhere.
+///
+/// Usage per iteration:
+///   const long c0 = qd.sweep_begin();
+///   bool changed = <read snapshot, compute, publish if improved>;
+///   if (changed) { qd.published(); continue; }
+///   if (qd.try_quiesce(my_id, c0)) break;   // globally done
+///   std::this_thread::yield();               // let the laggards run
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace stamp::runtime {
+
+class QuiescenceDetector {
+ public:
+  explicit QuiescenceDetector(int parties)
+      : quiet_at_(static_cast<std::size_t>(parties)) {
+    if (parties < 1)
+      throw std::invalid_argument("QuiescenceDetector: parties < 1");
+    for (auto& q : quiet_at_) q.store(-1, std::memory_order_relaxed);
+  }
+
+  QuiescenceDetector(const QuiescenceDetector&) = delete;
+  QuiescenceDetector& operator=(const QuiescenceDetector&) = delete;
+
+  /// Sample the publication counter before reading shared state.
+  [[nodiscard]] long sweep_begin() const noexcept {
+    return counter_.load(std::memory_order_seq_cst);
+  }
+
+  /// Call after publishing changes (stores must precede this call; the
+  /// seq_cst increment then makes "counter observed" imply "data visible").
+  void published() noexcept { counter_.fetch_add(1, std::memory_order_seq_cst); }
+
+  /// Report a no-change sweep that began at counter value `c0`. Returns true
+  /// when global quiescence is established (the caller may stop).
+  [[nodiscard]] bool try_quiesce(int id, long c0) noexcept {
+    if (counter_.load(std::memory_order_seq_cst) != c0) return false;
+    quiet_at_[static_cast<std::size_t>(id)].store(c0, std::memory_order_seq_cst);
+    for (const auto& q : quiet_at_)
+      if (q.load(std::memory_order_seq_cst) != c0) return false;
+    if (counter_.load(std::memory_order_seq_cst) != c0) return false;
+    done_.store(true, std::memory_order_release);
+    return true;
+  }
+
+  /// True once any process established global quiescence (or aborted).
+  [[nodiscard]] bool done() const noexcept {
+    return done_.load(std::memory_order_acquire);
+  }
+
+  /// Abandon the computation: unblocks every looping party promptly. Used
+  /// when a party exhausts its sweep budget — without this the others would
+  /// spin forever waiting for it to go quiet.
+  void abort() noexcept {
+    aborted_.store(true, std::memory_order_release);
+    done_.store(true, std::memory_order_release);
+  }
+
+  /// True when termination came from abort() rather than real quiescence.
+  [[nodiscard]] bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] long publications() const noexcept {
+    return counter_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<long> counter_{0};
+  std::vector<std::atomic<long>> quiet_at_;
+  std::atomic<bool> done_{false};
+  std::atomic<bool> aborted_{false};
+};
+
+/// Drive an asynchronous sweep loop to quiescence.
+///
+/// `sweep()` must: read shared state, compute, publish any improvements, and
+/// return whether it published. `active_limit` bounds the number of
+/// *publishing* sweeps (a safety valve against livelock); quiet re-sweeps are
+/// not counted against it but are capped at `idle_limit` consecutive ones.
+/// Returns the number of sweeps executed.
+template <typename SweepFn>
+int run_to_quiescence(QuiescenceDetector& qd, int id, SweepFn&& sweep,
+                      int active_limit, int idle_limit = 1'000'000) {
+  int sweeps = 0;
+  int active = 0;
+  int idle_streak = 0;
+  while (!qd.done()) {
+    if (active >= active_limit || idle_streak >= idle_limit) {
+      // Out of budget: abandon globally so peers do not wait for us forever.
+      qd.abort();
+      break;
+    }
+    const long c0 = qd.sweep_begin();
+    ++sweeps;
+    if (sweep()) {
+      qd.published();
+      ++active;
+      idle_streak = 0;
+      continue;
+    }
+    ++idle_streak;
+    if (qd.try_quiesce(id, c0)) break;
+    std::this_thread::yield();
+  }
+  return sweeps;
+}
+
+}  // namespace stamp::runtime

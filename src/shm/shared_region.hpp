@@ -1,0 +1,167 @@
+#pragma once
+/// \file shared_region.hpp
+/// \brief Instrumented shared-memory cells and regions.
+///
+/// Shared-memory accesses are charged intra- or inter-processor depending on
+/// where the sharers sit: when every process touching a region is placed on
+/// one processor, the region lives at L1 speed (intra); otherwise it is
+/// shared through L2/interconnect (inter). `Scope::Auto` derives this from
+/// the placement map; `Scope::Intra` / `Scope::Inter` force a classification
+/// (useful for regions shared by a subset of processes).
+
+#include "runtime/executor.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace stamp::shm {
+
+/// How accesses to a region are classified for the cost model.
+enum class Scope {
+  Auto,   ///< intra iff all processes share one processor
+  Intra,  ///< force intra-processor accounting
+  Inter,  ///< force inter-processor accounting
+};
+
+/// Resolve a scope against a placement: true = charge as intra-processor.
+[[nodiscard]] inline bool resolve_intra(Scope scope,
+                                        const runtime::PlacementMap& placement) {
+  switch (scope) {
+    case Scope::Intra: return true;
+    case Scope::Inter: return false;
+    case Scope::Auto: break;
+  }
+  for (int i = 1; i < placement.process_count(); ++i)
+    if (!placement.same_processor(0, i)) return false;
+  return true;
+}
+
+/// A reader-writer-locked shared value with access instrumentation.
+template <typename T>
+class SharedRegion {
+ public:
+  explicit SharedRegion(T initial = T{}, Scope scope = Scope::Auto)
+      : value_(std::move(initial)), scope_(scope) {}
+
+  SharedRegion(const SharedRegion&) = delete;
+  SharedRegion& operator=(const SharedRegion&) = delete;
+
+  /// Read a copy of the value; charged as one shared-memory read.
+  [[nodiscard]] T read(runtime::Context& ctx) const {
+    ctx.recorder().shm_read(resolve_intra(scope_, ctx.placement()));
+    const std::shared_lock lock(mutex_);
+    return value_;
+  }
+
+  /// Overwrite the value; charged as one shared-memory write.
+  void write(runtime::Context& ctx, T value) {
+    ctx.recorder().shm_write(resolve_intra(scope_, ctx.placement()));
+    const std::unique_lock lock(mutex_);
+    value_ = std::move(value);
+  }
+
+  /// Read-modify-write under the writer lock; charged as one read plus one
+  /// write (the classic serialized update).
+  template <typename F>
+  void update(runtime::Context& ctx, F&& f) {
+    const bool intra = resolve_intra(scope_, ctx.placement());
+    ctx.recorder().shm_read(intra);
+    ctx.recorder().shm_write(intra);
+    const std::unique_lock lock(mutex_);
+    f(value_);
+  }
+
+  /// Uninstrumented peek for checking results after a run.
+  [[nodiscard]] T peek() const {
+    const std::shared_lock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  T value_;
+  Scope scope_;
+};
+
+/// A serialized cell in the QSM sense: concurrent accesses queue and execute
+/// one at a time, and the observed queue length feeds kappa ("the length of
+/// serialization"). Use this to measure contention hot spots.
+template <typename T>
+class QueuedCell {
+ public:
+  explicit QueuedCell(T initial = T{}, Scope scope = Scope::Auto)
+      : value_(std::move(initial)), scope_(scope) {}
+
+  QueuedCell(const QueuedCell&) = delete;
+  QueuedCell& operator=(const QueuedCell&) = delete;
+
+  [[nodiscard]] T read(runtime::Context& ctx) const {
+    ctx.recorder().shm_read(resolve_intra(scope_, ctx.placement()));
+    const SerializationObserver obs(*this, ctx);
+    const std::scoped_lock lock(mutex_);
+    return value_;
+  }
+
+  void write(runtime::Context& ctx, T value) {
+    ctx.recorder().shm_write(resolve_intra(scope_, ctx.placement()));
+    const SerializationObserver obs(*this, ctx);
+    const std::scoped_lock lock(mutex_);
+    value_ = std::move(value);
+  }
+
+  template <typename F>
+  auto update(runtime::Context& ctx, F&& f) {
+    const bool intra = resolve_intra(scope_, ctx.placement());
+    ctx.recorder().shm_read(intra);
+    ctx.recorder().shm_write(intra);
+    const SerializationObserver obs(*this, ctx);
+    const std::scoped_lock lock(mutex_);
+    return f(value_);
+  }
+
+  [[nodiscard]] T peek() const {
+    const std::scoped_lock lock(mutex_);
+    return value_;
+  }
+
+  /// Worst queue length ever observed at this cell (including the accessor).
+  [[nodiscard]] double worst_serialization() const noexcept {
+    return static_cast<double>(worst_queue_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  /// RAII: tracks how many accessors are queued at the cell and reports the
+  /// observed serialization length to the accessor's recorder.
+  class SerializationObserver {
+   public:
+    SerializationObserver(const QueuedCell& cell, runtime::Context& ctx)
+        : cell_(cell) {
+      const int queued =
+          1 + cell_.waiting_.fetch_add(1, std::memory_order_acq_rel);
+      int worst = cell_.worst_queue_.load(std::memory_order_relaxed);
+      while (queued > worst && !cell_.worst_queue_.compare_exchange_weak(
+                                   worst, queued, std::memory_order_relaxed)) {
+      }
+      ctx.recorder().observe_kappa(queued);
+    }
+    ~SerializationObserver() {
+      cell_.waiting_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    SerializationObserver(const SerializationObserver&) = delete;
+    SerializationObserver& operator=(const SerializationObserver&) = delete;
+
+   private:
+    const QueuedCell& cell_;
+  };
+
+  mutable std::mutex mutex_;
+  mutable std::atomic<int> waiting_{0};
+  mutable std::atomic<int> worst_queue_{0};
+  T value_;
+  Scope scope_;
+};
+
+}  // namespace stamp::shm

@@ -1,0 +1,121 @@
+#pragma once
+/// \file swmr_matrix.hpp
+/// \brief Single-writer multiple-reader shared matrix — the APSP pattern.
+///
+/// The paper's APSP example relies on a shared n x n vector where "each
+/// process has its own portion to update": process i alone writes row i,
+/// everyone reads all rows, and no synchronization is required. Entries are
+/// atomics with relaxed element access (row ownership makes every per-element
+/// write racefree against other writes; readers may see a mix of old and new
+/// values, which is exactly the asynchrony the algorithm tolerates).
+///
+/// Reads of a row are charged intra- or inter-processor depending on whether
+/// the row's owner is co-located with the reader.
+
+#include "runtime/executor.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace stamp::shm {
+
+template <typename T>
+class SwmrMatrix {
+ public:
+  /// Creates an n-rows x m-cols matrix; row i is owned (writable) by
+  /// process i. Requires rows <= process count at use time.
+  SwmrMatrix(int rows, int cols, T initial = T{})
+      : rows_(rows), cols_(cols), cells_(static_cast<std::size_t>(rows) * cols) {
+    if (rows < 1 || cols < 1)
+      throw std::invalid_argument("SwmrMatrix: empty dimensions");
+    for (auto& c : cells_) c.store(initial, std::memory_order_relaxed);
+  }
+
+  SwmrMatrix(const SwmrMatrix&) = delete;
+  SwmrMatrix& operator=(const SwmrMatrix&) = delete;
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+
+  /// Read element (r, c); charged as one shared read, classified by whether
+  /// row r's owner (process r) shares the reader's processor.
+  [[nodiscard]] T read(runtime::Context& ctx, int r, int c) const {
+    ctx.recorder().shm_read(owner_intra(ctx, r));
+    return at(r, c).load(std::memory_order_acquire);
+  }
+
+  /// Read a whole row (one shared read per element).
+  [[nodiscard]] std::vector<T> read_row(runtime::Context& ctx, int r) const {
+    ctx.recorder().shm_read(owner_intra(ctx, r), static_cast<double>(cols_));
+    std::vector<T> row(static_cast<std::size_t>(cols_));
+    for (int c = 0; c < cols_; ++c)
+      row[static_cast<std::size_t>(c)] = at(r, c).load(std::memory_order_acquire);
+    return row;
+  }
+
+  /// Read the whole matrix (n*m shared reads, split per row owner).
+  [[nodiscard]] std::vector<T> read_all(runtime::Context& ctx) const {
+    std::vector<T> snapshot(cells_.size());
+    for (int r = 0; r < rows_; ++r) {
+      ctx.recorder().shm_read(owner_intra(ctx, r), static_cast<double>(cols_));
+      for (int c = 0; c < cols_; ++c)
+        snapshot[index(r, c)] = at(r, c).load(std::memory_order_acquire);
+    }
+    return snapshot;
+  }
+
+  /// Write element (r, c). Only the owning process may write its row — the
+  /// single-writer discipline is enforced, not assumed.
+  void write(runtime::Context& ctx, int r, int c, T value) {
+    require_owner(ctx, r);
+    ctx.recorder().shm_write(owner_intra(ctx, r));
+    at(r, c).store(value, std::memory_order_release);
+  }
+
+  /// Write a whole row (one shared write per element).
+  void write_row(runtime::Context& ctx, int r, const std::vector<T>& row) {
+    require_owner(ctx, r);
+    if (static_cast<int>(row.size()) != cols_)
+      throw std::invalid_argument("SwmrMatrix: row size mismatch");
+    ctx.recorder().shm_write(owner_intra(ctx, r), static_cast<double>(cols_));
+    for (int c = 0; c < cols_; ++c)
+      at(r, c).store(row[static_cast<std::size_t>(c)], std::memory_order_release);
+  }
+
+  /// Uninstrumented snapshot for initialization / verification.
+  [[nodiscard]] T peek(int r, int c) const {
+    return at(r, c).load(std::memory_order_acquire);
+  }
+  void poke(int r, int c, T value) {
+    at(r, c).store(value, std::memory_order_release);
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(int r, int c) const {
+    if (r < 0 || r >= rows_ || c < 0 || c >= cols_)
+      throw std::out_of_range("SwmrMatrix: index out of range");
+    return static_cast<std::size_t>(r) * cols_ + c;
+  }
+  [[nodiscard]] std::atomic<T>& at(int r, int c) { return cells_[index(r, c)]; }
+  [[nodiscard]] const std::atomic<T>& at(int r, int c) const {
+    return cells_[index(r, c)];
+  }
+
+  [[nodiscard]] bool owner_intra(runtime::Context& ctx, int row) const {
+    // Rows beyond the process count have no owner; charge as inter.
+    if (row >= ctx.process_count()) return false;
+    return row == ctx.id() || ctx.intra_with(row);
+  }
+
+  void require_owner(runtime::Context& ctx, int row) const {
+    if (ctx.id() != row)
+      throw std::logic_error("SwmrMatrix: write by non-owner process");
+  }
+
+  int rows_;
+  int cols_;
+  std::vector<std::atomic<T>> cells_;
+};
+
+}  // namespace stamp::shm

@@ -1,0 +1,115 @@
+#pragma once
+/// \file engine.hpp
+/// \brief A minimal discrete-event simulation engine: a time-ordered event
+///        queue with deterministic FIFO tie-breaking.
+///
+/// Used by the machine simulator's tests and available as a general substrate
+/// for building other simulated components.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace stamp::sim {
+
+/// Simulated time, in the model's unit-operation time units.
+using Time = double;
+
+class Engine {
+ public:
+  using Callback = std::function<void(Engine&)>;
+
+  /// Schedule `cb` at absolute time `at` (must not be in the past).
+  void schedule_at(Time at, Callback cb) {
+    if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
+    queue_.push(Event{at, next_seq_++, std::move(cb)});
+  }
+
+  /// Schedule `cb` `delay` time units from now.
+  void schedule_in(Time delay, Callback cb) {
+    if (delay < 0) throw std::invalid_argument("schedule_in: negative delay");
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Process one event; returns false if the queue was empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.cb(*this);
+    return true;
+  }
+
+  /// Run until the queue drains (or `max_events` is hit — a runaway guard).
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t max_events = 100'000'000) {
+    std::size_t processed = 0;
+    while (processed < max_events && step()) ++processed;
+    if (!queue_.empty() && processed >= max_events)
+      throw std::runtime_error("sim::Engine: event budget exhausted");
+    return processed;
+  }
+
+  /// Run until simulated time would exceed `until`; events at exactly `until`
+  /// are processed. Returns events processed.
+  std::size_t run_until(Time until) {
+    std::size_t processed = 0;
+    while (!queue_.empty() && queue_.top().at <= until) {
+      step();
+      ++processed;
+    }
+    if (now_ < until) now_ = until;
+    return processed;
+  }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// A FIFO server: sequential resource with per-request service times.
+/// `serve(arrival, service)` returns the completion time and advances the
+/// server's busy horizon — the standard queueing building block used for
+/// memory ports and interconnect links.
+class FifoServer {
+ public:
+  /// \returns completion time of a request arriving at `arrival` that needs
+  ///          `service` time units of the resource.
+  Time serve(Time arrival, Time service) {
+    if (service < 0) throw std::invalid_argument("FifoServer: negative service");
+    const Time start = arrival > next_free_ ? arrival : next_free_;
+    next_free_ = start + service;
+    busy_ += service;
+    return next_free_;
+  }
+
+  [[nodiscard]] Time next_free() const noexcept { return next_free_; }
+  /// Total busy time accumulated (for utilization reports).
+  [[nodiscard]] Time busy_time() const noexcept { return busy_; }
+
+ private:
+  Time next_free_ = 0;
+  Time busy_ = 0;
+};
+
+}  // namespace stamp::sim

@@ -1,0 +1,62 @@
+#include "stm/contention.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace stamp::stm {
+namespace {
+
+/// Per-thread xorshift for backoff jitter — no shared RNG state.
+std::uint64_t next_random() noexcept {
+  thread_local std::uint64_t state =
+      0x9e3779b97f4a7c15ull ^
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+}  // namespace
+
+void PoliteManager::on_abort(const ConflictInfo& info) const {
+  const long spins = static_cast<long>(spin_base_) *
+                     (1L << std::min(info.attempt, 10));
+  for (long i = 0; i < spins; ++i) {
+    // A compiler-opaque no-op so the loop is a real pause, not optimized out.
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+  }
+}
+
+void BackoffManager::on_abort(const ConflictInfo& info) const {
+  const int exponent = std::min(info.attempt, 16);
+  auto window = base_ * (1LL << exponent);
+  if (window > cap_) window = cap_;
+  if (window.count() <= 0) return;
+  const auto jittered = std::chrono::nanoseconds(
+      static_cast<long long>(next_random() % static_cast<std::uint64_t>(window.count())));
+  std::this_thread::sleep_for(jittered);
+}
+
+void KarmaManager::on_abort(const ConflictInfo& info) const {
+  // karma = invested work; higher karma, shorter wait.
+  const double karma = 1.0 + static_cast<double>(info.reads + 2 * info.writes);
+  const double scale = static_cast<double>(std::min(info.attempt, 16)) / karma;
+  const auto window = std::chrono::nanoseconds(
+      static_cast<long long>(static_cast<double>(base_.count()) * (1.0 + scale)));
+  if (window.count() <= 0) return;
+  const auto jittered = std::chrono::nanoseconds(
+      static_cast<long long>(next_random() % static_cast<std::uint64_t>(window.count())));
+  std::this_thread::sleep_for(jittered);
+}
+
+std::unique_ptr<ContentionManager> make_manager(const std::string& name) {
+  if (name == "passive") return std::make_unique<PassiveManager>();
+  if (name == "polite") return std::make_unique<PoliteManager>();
+  if (name == "backoff") return std::make_unique<BackoffManager>();
+  if (name == "karma") return std::make_unique<KarmaManager>();
+  throw std::invalid_argument("unknown contention manager: " + name);
+}
+
+}  // namespace stamp::stm

@@ -1,0 +1,88 @@
+#pragma once
+/// \file contention.hpp
+/// \brief Pluggable contention managers for the STM.
+///
+/// A contention manager decides what a transaction does after a conflict
+/// abort, before it retries. The policies implemented here are the classical
+/// ones from the software-TM literature the paper cites (Scherer & Scott;
+/// Guerraoui et al.): Passive, Polite (bounded spinning), exponential
+/// backoff, and Karma (priority = work invested).
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace stamp::stm {
+
+/// What the aborted transaction knows when consulting the manager.
+struct ConflictInfo {
+  int attempt = 1;           ///< 1-based attempt number that just failed
+  std::size_t reads = 0;     ///< reads performed in the failed attempt
+  std::size_t writes = 0;    ///< writes buffered in the failed attempt
+};
+
+/// Thread-safe, shareable across all transactions of one STM runtime.
+class ContentionManager {
+ public:
+  virtual ~ContentionManager() = default;
+
+  /// Called after an abort, before the retry. Implementations may spin,
+  /// sleep, or return immediately.
+  virtual void on_abort(const ConflictInfo& info) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Retry immediately. Highest throughput at low contention; livelock-prone
+/// under heavy conflicts.
+class PassiveManager final : public ContentionManager {
+ public:
+  void on_abort(const ConflictInfo&) const override {}
+  [[nodiscard]] std::string name() const override { return "passive"; }
+};
+
+/// Spin a bounded number of iterations proportional to the attempt count,
+/// then retry ("politely" give the adversary time to finish).
+class PoliteManager final : public ContentionManager {
+ public:
+  explicit PoliteManager(int spin_base = 64) : spin_base_(spin_base) {}
+  void on_abort(const ConflictInfo& info) const override;
+  [[nodiscard]] std::string name() const override { return "polite"; }
+
+ private:
+  int spin_base_;
+};
+
+/// Randomized exponential backoff (sleep), capped.
+class BackoffManager final : public ContentionManager {
+ public:
+  explicit BackoffManager(std::chrono::nanoseconds base = std::chrono::nanoseconds(200),
+                          std::chrono::nanoseconds cap = std::chrono::microseconds(100))
+      : base_(base), cap_(cap) {}
+  void on_abort(const ConflictInfo& info) const override;
+  [[nodiscard]] std::string name() const override { return "backoff"; }
+
+ private:
+  std::chrono::nanoseconds base_;
+  std::chrono::nanoseconds cap_;
+};
+
+/// Karma-flavored: backoff shrinks with the work the transaction has already
+/// invested (more karma = retry sooner), so long transactions eventually win
+/// against short adversaries.
+class KarmaManager final : public ContentionManager {
+ public:
+  explicit KarmaManager(std::chrono::nanoseconds base = std::chrono::microseconds(2))
+      : base_(base) {}
+  void on_abort(const ConflictInfo& info) const override;
+  [[nodiscard]] std::string name() const override { return "karma"; }
+
+ private:
+  std::chrono::nanoseconds base_;
+};
+
+/// Factory by name ("passive", "polite", "backoff", "karma").
+[[nodiscard]] std::unique_ptr<ContentionManager> make_manager(const std::string& name);
+
+}  // namespace stamp::stm

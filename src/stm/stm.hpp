@@ -1,0 +1,9 @@
+#pragma once
+/// \file stm.hpp
+/// \brief Umbrella header for the software transactional memory substrate.
+
+#include "stm/contention.hpp"
+#include "stm/stm_runtime.hpp"
+#include "stm/transaction.hpp"
+#include "stm/tvar.hpp"
+#include "stm/versioned_lock.hpp"

@@ -1,0 +1,153 @@
+#pragma once
+/// \file stm_runtime.hpp
+/// \brief The STM instance: global version clock, statistics, contention
+///        management, and the `atomically` retry loop (the `trans_exec`
+///        execution mode of STAMP).
+///
+/// Instrumentation: every attempt's transactional reads are charged to the
+/// acting process as shared-memory reads; writes are charged once, at the
+/// successful commit (aborted attempts never write back). The number of
+/// rollbacks an `atomically` call suffered feeds kappa, matching the paper's
+/// "in the worst case ... the number of possible rollbacks".
+
+#include "runtime/executor.hpp"
+#include "shm/shared_region.hpp"
+#include "stm/contention.hpp"
+#include "stm/transaction.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+
+namespace stamp::stm {
+
+/// Aggregate statistics over all transactions of one runtime.
+struct StmStats {
+  std::atomic<std::uint64_t> commits{0};
+  std::atomic<std::uint64_t> aborts{0};      ///< conflict aborts (retried)
+  std::atomic<std::uint64_t> cancels{0};     ///< business-level cancellations
+  std::atomic<std::uint64_t> max_retries{0}; ///< worst rollback chain seen
+
+  void note_commit(std::uint64_t retries) noexcept {
+    commits.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t worst = max_retries.load(std::memory_order_relaxed);
+    while (retries > worst && !max_retries.compare_exchange_weak(
+                                  worst, retries, std::memory_order_relaxed)) {
+    }
+  }
+  void note_abort() noexcept { aborts.fetch_add(1, std::memory_order_relaxed); }
+  void note_cancel() noexcept { cancels.fetch_add(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] double abort_ratio() const noexcept {
+    const double c = static_cast<double>(commits.load(std::memory_order_relaxed));
+    const double a = static_cast<double>(aborts.load(std::memory_order_relaxed));
+    return (c + a) > 0 ? a / (c + a) : 0.0;
+  }
+};
+
+class StmRuntime {
+ public:
+  explicit StmRuntime(std::unique_ptr<ContentionManager> manager =
+                          std::make_unique<PassiveManager>(),
+                      shm::Scope scope = shm::Scope::Auto)
+      : manager_(std::move(manager)), scope_(scope) {}
+
+  [[nodiscard]] std::atomic<std::uint64_t>& clock() noexcept { return clock_; }
+  [[nodiscard]] const StmStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] StmStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const ContentionManager& manager() const noexcept {
+    return *manager_;
+  }
+
+  /// Runs `body(Transaction&)` atomically, retrying on conflicts until it
+  /// commits. Returns the body's value. A TxCancelled escape propagates
+  /// (use try_atomically for the optional-returning form).
+  template <typename F>
+  auto atomically(runtime::Context& ctx, F&& body)
+      -> std::invoke_result_t<F&, Transaction&> {
+    using R = std::invoke_result_t<F&, Transaction&>;
+    const bool intra = shm::resolve_intra(scope_, ctx.placement());
+    std::uint64_t retries = 0;
+    for (int attempt = 1;; ++attempt) {
+      Transaction tx(clock_);
+      try {
+        if constexpr (std::is_void_v<R>) {
+          body(tx);
+          finish_commit(ctx, tx, intra, retries);
+          return;
+        } else {
+          R result = body(tx);
+          finish_commit(ctx, tx, intra, retries);
+          return result;
+        }
+      } catch (const TxConflict&) {
+        ++retries;
+        charge_aborted_attempt(ctx, tx, intra);
+        stats_.note_abort();
+        manager_->on_abort(ConflictInfo{attempt, tx.reads(), tx.writes()});
+      } catch (const TxCancelled&) {
+        charge_aborted_attempt(ctx, tx, intra);
+        ctx.recorder().observe_kappa(static_cast<double>(retries));
+        stats_.note_cancel();
+        throw;
+      }
+    }
+  }
+
+  /// Like `atomically`, but a body that calls tx.cancel() yields an empty
+  /// optional instead of an exception.
+  template <typename F>
+  auto try_atomically(runtime::Context& ctx, F&& body)
+      -> std::optional<std::invoke_result_t<F&, Transaction&>> {
+    using R = std::invoke_result_t<F&, Transaction&>;
+    static_assert(!std::is_void_v<R>,
+                  "try_atomically requires a value-returning body");
+    try {
+      return atomically(ctx, std::forward<F>(body));
+    } catch (const TxCancelled&) {
+      return std::nullopt;
+    }
+  }
+
+ private:
+  void finish_commit(runtime::Context& ctx, Transaction& tx, bool intra,
+                     std::uint64_t retries) {
+    const auto reads = static_cast<double>(tx.reads());
+    const auto writes = static_cast<double>(tx.writes());
+    tx.commit();  // may throw TxConflict, handled by the caller loop
+    if (reads > 0) ctx.recorder().shm_read(intra, reads);
+    if (writes > 0) ctx.recorder().shm_write(intra, writes);
+    ctx.recorder().observe_kappa(static_cast<double>(retries));
+    stats_.note_commit(retries);
+  }
+
+  void charge_aborted_attempt(runtime::Context& ctx, const Transaction& tx,
+                              bool intra) {
+    // Reads really happened (and their energy was spent); buffered writes
+    // never reached memory, so only reads are charged for a failed attempt.
+    const auto reads = static_cast<double>(tx.reads());
+    if (reads > 0) ctx.recorder().shm_read(intra, reads);
+  }
+
+  std::atomic<std::uint64_t> clock_{0};
+  StmStats stats_;
+  std::unique_ptr<ContentionManager> manager_;
+  shm::Scope scope_;
+};
+
+/// Closed-nested subtransaction: runs `body` against the parent transaction;
+/// if the body signals failure (returns false), its buffered writes are
+/// rolled back to the entry mark and false is returned — the paper's
+/// `cmit = sub() [trans_exec]` pattern where the parent decides what to do
+/// with partially-committed subtransactions.
+template <typename F>
+[[nodiscard]] bool subtransaction(Transaction& tx, F&& body) {
+  const std::size_t mark = tx.mark();
+  const bool committed = body(tx);
+  if (!committed) tx.rollback_to(mark);
+  return committed;
+}
+
+}  // namespace stamp::stm

@@ -1,0 +1,99 @@
+#pragma once
+/// \file tarray.hpp
+/// \brief A transactional array: a fixed-size sequence of TVars with
+///        whole-structure transactional operations.
+///
+/// Useful for STAMP algorithms whose shared state is a vector updated under
+/// trans_exec (e.g. shared histograms, account tables). Element access
+/// composes with any enclosing transaction; the convenience methods run
+/// their own transaction through an StmRuntime.
+
+#include "stm/stm_runtime.hpp"
+#include "stm/tvar.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace stamp::stm {
+
+template <typename T>
+class TArray {
+ public:
+  TArray(std::size_t size, T initial = T{}) {
+    if (size == 0) throw std::invalid_argument("TArray: empty");
+    vars_.reserve(size);
+    for (std::size_t i = 0; i < size; ++i)
+      vars_.push_back(std::make_unique<TVar<T>>(initial));
+  }
+
+  TArray(const TArray&) = delete;
+  TArray& operator=(const TArray&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return vars_.size(); }
+
+  /// Element TVar for composing into a larger transaction.
+  [[nodiscard]] TVar<T>& var(std::size_t i) { return *vars_.at(i); }
+
+  /// Transactional read of one element within an existing transaction.
+  [[nodiscard]] T get(Transaction& tx, std::size_t i) {
+    return tx.read(var(i));
+  }
+
+  /// Transactional write of one element within an existing transaction.
+  void set(Transaction& tx, std::size_t i, T value) {
+    tx.write(var(i), value);
+  }
+
+  /// Atomic snapshot of the whole array (one transaction).
+  [[nodiscard]] std::vector<T> snapshot(runtime::Context& ctx, StmRuntime& rt) {
+    return rt.atomically(ctx, [&](Transaction& tx) {
+      std::vector<T> values;
+      values.reserve(vars_.size());
+      for (auto& v : vars_) values.push_back(tx.read(*v));
+      return values;
+    });
+  }
+
+  /// Atomically apply `f` to one element.
+  template <typename F>
+  void update(runtime::Context& ctx, StmRuntime& rt, std::size_t i, F&& f) {
+    rt.atomically(ctx, [&](Transaction& tx) {
+      T value = tx.read(var(i));
+      f(value);
+      tx.write(var(i), value);
+      return true;
+    });
+  }
+
+  /// Atomically move `amount` from element `from` to element `to` — the
+  /// array-level version of the paper's transfer.
+  void transfer(runtime::Context& ctx, StmRuntime& rt, std::size_t from,
+                std::size_t to, T amount) {
+    if (from == to) return;
+    rt.atomically(ctx, [&](Transaction& tx) {
+      tx.write(var(from), tx.read(var(from)) - amount);
+      tx.write(var(to), tx.read(var(to)) + amount);
+      return true;
+    });
+  }
+
+  /// Atomic fold over the whole array.
+  template <typename Acc, typename F>
+  [[nodiscard]] Acc fold(runtime::Context& ctx, StmRuntime& rt, Acc init,
+                         F&& f) {
+    return rt.atomically(ctx, [&](Transaction& tx) {
+      Acc acc = init;
+      for (auto& v : vars_) acc = f(acc, tx.read(*v));
+      return acc;
+    });
+  }
+
+  /// Uninstrumented per-element peek (post-run verification only).
+  [[nodiscard]] T peek(std::size_t i) const { return vars_.at(i)->peek(); }
+
+ private:
+  std::vector<std::unique_ptr<TVar<T>>> vars_;
+};
+
+}  // namespace stamp::stm

@@ -1,0 +1,49 @@
+#include "stm/transaction.hpp"
+
+#include <algorithm>
+
+namespace stamp::stm {
+
+void Transaction::commit() {
+  if (write_set_.empty()) return;  // read-only: incremental validation suffices
+
+  // Phase 1: acquire write locks in address order (no deadlock possible).
+  std::sort(write_set_.begin(), write_set_.end(),
+            [](const WriteEntry& a, const WriteEntry& b) { return a.var < b.var; });
+
+  std::size_t locked = 0;
+  for (; locked < write_set_.size(); ++locked) {
+    if (!write_set_[locked].var->lock().try_lock(rv_)) break;
+  }
+  if (locked != write_set_.size()) {
+    for (std::size_t i = 0; i < locked; ++i)
+      write_set_[i].var->lock().unlock_restore();
+    throw TxConflict{};
+  }
+
+  // Phase 2: obtain the write version.
+  const std::uint64_t wv = clock_->fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  // Phase 3: validate the read set (skippable when no other transaction
+  // committed since we started — the TL2 rv+1 == wv shortcut).
+  if (wv != rv_ + 1) {
+    auto owned_by_me = [&](const VersionedLock* l) {
+      return std::any_of(write_set_.begin(), write_set_.end(),
+                         [&](const WriteEntry& e) { return &e.var->lock() == l; });
+    };
+    for (const VersionedLock* l : read_set_) {
+      if (!l->valid_for_committer(rv_, owned_by_me(l))) {
+        for (WriteEntry& e : write_set_) e.var->lock().unlock_restore();
+        throw TxConflict{};
+      }
+    }
+  }
+
+  // Phase 4: write back and release, publishing wv.
+  for (WriteEntry& e : write_set_) {
+    e.apply(e.var, e.buffer);
+    e.var->lock().unlock_to_version(wv);
+  }
+}
+
+}  // namespace stamp::stm

@@ -1,0 +1,141 @@
+#pragma once
+/// \file transaction.hpp
+/// \brief The transaction object: optimistic reads, buffered writes, and the
+///        two-phase (lock, validate, write-back) commit of the TL2 protocol.
+
+#include "stm/tvar.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace stamp::stm {
+
+/// Internal control-flow exception: the attempt conflicted and must retry.
+/// Never escapes `atomically`.
+struct TxConflict {};
+
+/// Control-flow exception thrown by Transaction::cancel(): the program chose
+/// to abandon the transaction (business-level failure). `try_atomically`
+/// turns it into an empty optional.
+struct TxCancelled {};
+
+/// Thrown on API misuse (e.g. operating on a finished transaction).
+class TxUsageError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// One attempt of a memory transaction. Created and committed by
+/// `atomically`; user code only calls read / write / cancel.
+class Transaction {
+ public:
+  /// Largest TVar value type supported (inline write-buffer size).
+  static constexpr std::size_t kMaxValueSize = 16;
+
+  explicit Transaction(std::atomic<std::uint64_t>& clock)
+      : clock_(&clock), rv_(clock.load(std::memory_order_acquire)) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Transactional read.
+  template <typename T>
+  [[nodiscard]] T read(TVar<T>& var) {
+    static_assert(sizeof(T) <= kMaxValueSize, "value too large for TVar");
+    // Read-own-write: the transaction sees its buffered value.
+    if (const WriteEntry* e = find_write(&var)) {
+      T value;
+      std::memcpy(&value, e->buffer, sizeof(T));
+      return value;
+    }
+    const std::uint64_t pre = var.lock().sample();
+    if (VersionedLock::is_locked(pre)) throw TxConflict{};
+    const T value = var.load_unvalidated();
+    const std::uint64_t post = var.lock().sample();
+    if (pre != post || VersionedLock::version_of(pre) > rv_) throw TxConflict{};
+    read_set_.push_back(&var.lock());
+    ++reads_;
+    return value;
+  }
+
+  /// Transactional write (buffered until commit).
+  template <typename T>
+  void write(TVar<T>& var, T value) {
+    static_assert(sizeof(T) <= kMaxValueSize, "value too large for TVar");
+    if (WriteEntry* e = find_write(&var)) {
+      std::memcpy(e->buffer, &value, sizeof(T));
+      return;
+    }
+    WriteEntry e;
+    e.var = &var;
+    std::memcpy(e.buffer, &value, sizeof(T));
+    e.apply = +[](TVarBase* v, const std::byte* buf) {
+      T typed;
+      std::memcpy(&typed, buf, sizeof(T));
+      static_cast<TVar<T>*>(v)->store_committed(typed);
+    };
+    write_set_.push_back(e);
+    ++writes_;
+  }
+
+  /// Read-modify-write convenience.
+  template <typename T, typename F>
+  void modify(TVar<T>& var, F&& f) {
+    T value = read(var);
+    f(value);
+    write(var, value);
+  }
+
+  /// Abandon the transaction: releases nothing (no locks are held outside
+  /// commit), buffers are discarded by the caller. Throws TxCancelled.
+  [[noreturn]] void cancel() { throw TxCancelled{}; }
+
+  /// Number of reads performed so far in this attempt.
+  [[nodiscard]] std::size_t reads() const noexcept { return reads_; }
+  /// Number of distinct variables written so far in this attempt.
+  [[nodiscard]] std::size_t writes() const noexcept { return write_set_.size(); }
+  [[nodiscard]] std::uint64_t read_version() const noexcept { return rv_; }
+
+  /// Marker for closed nesting: snapshot the write-set size so a
+  /// subtransaction can be rolled back without restarting the parent.
+  [[nodiscard]] std::size_t mark() const noexcept { return write_set_.size(); }
+  /// Roll the write set back to a mark (business-level sub-abort).
+  void rollback_to(std::size_t m) {
+    if (m > write_set_.size()) throw TxUsageError("rollback past write-set end");
+    write_set_.resize(m);
+  }
+
+  /// Two-phase commit: lock the write set in address order, bump the clock,
+  /// validate the read set, write back, release. Throws TxConflict on
+  /// failure (caller retries). A read-only transaction commits trivially.
+  void commit();
+
+ private:
+  struct WriteEntry {
+    TVarBase* var = nullptr;
+    std::byte buffer[kMaxValueSize] = {};
+    void (*apply)(TVarBase*, const std::byte*) = nullptr;
+  };
+
+  [[nodiscard]] WriteEntry* find_write(TVarBase* var) noexcept {
+    for (WriteEntry& e : write_set_)
+      if (e.var == var) return &e;
+    return nullptr;
+  }
+  [[nodiscard]] const WriteEntry* find_write(const TVarBase* var) const noexcept {
+    for (const WriteEntry& e : write_set_)
+      if (e.var == var) return &e;
+    return nullptr;
+  }
+
+  std::atomic<std::uint64_t>* clock_;
+  std::uint64_t rv_;
+  std::vector<const VersionedLock*> read_set_;
+  std::vector<WriteEntry> write_set_;
+  std::size_t reads_ = 0;
+  std::size_t writes_ = 0;
+};
+
+}  // namespace stamp::stm

@@ -1,0 +1,66 @@
+#pragma once
+/// \file tvar.hpp
+/// \brief Transactional variables.
+///
+/// A `TVar<T>` pairs a value with a versioned write-lock. T must be
+/// trivially copyable: values are held in a std::atomic<T> so the optimistic
+/// read protocol (read value between two samples of the lock word) is free of
+/// undefined behaviour even when a concurrent commit is writing.
+
+#include "stm/versioned_lock.hpp"
+
+#include <atomic>
+#include <type_traits>
+
+namespace stamp::stm {
+
+/// Non-template base so transactions can keep homogeneous read/write sets.
+class TVarBase {
+ public:
+  TVarBase() = default;
+  TVarBase(const TVarBase&) = delete;
+  TVarBase& operator=(const TVarBase&) = delete;
+
+  [[nodiscard]] VersionedLock& lock() noexcept { return lock_; }
+  [[nodiscard]] const VersionedLock& lock() const noexcept { return lock_; }
+
+ protected:
+  ~TVarBase() = default;
+
+ private:
+  VersionedLock lock_;
+};
+
+template <typename T>
+class TVar : public TVarBase {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "TVar requires a trivially copyable value type");
+
+ public:
+  explicit TVar(T initial = T{}) { value_.store(initial, std::memory_order_relaxed); }
+
+  /// Racy-but-defined load used by the transactional read protocol, which
+  /// validates the surrounding lock word samples.
+  [[nodiscard]] T load_unvalidated() const noexcept {
+    return value_.load(std::memory_order_acquire);
+  }
+
+  /// Store performed by a committing transaction that holds the write lock.
+  void store_committed(T value) noexcept {
+    value_.store(value, std::memory_order_release);
+  }
+
+  /// Non-transactional read for initialization / post-run verification only.
+  [[nodiscard]] T peek() const noexcept {
+    return value_.load(std::memory_order_acquire);
+  }
+
+  /// Non-transactional write for initialization only (not linearized against
+  /// running transactions).
+  void poke(T value) noexcept { value_.store(value, std::memory_order_release); }
+
+ private:
+  std::atomic<T> value_;
+};
+
+}  // namespace stamp::stm

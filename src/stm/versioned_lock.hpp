@@ -1,0 +1,80 @@
+#pragma once
+/// \file versioned_lock.hpp
+/// \brief Versioned write-locks — the metadata word of the TL2-style STM.
+///
+/// Each transactional variable carries one 64-bit word: bit 0 is the lock
+/// bit, the upper 63 bits are the version (the global-clock value of the
+/// transaction that last committed a write to the variable).
+
+#include <atomic>
+#include <cstdint>
+
+namespace stamp::stm {
+
+class VersionedLock {
+ public:
+  static constexpr std::uint64_t kLockBit = 1;
+
+  VersionedLock() = default;
+  VersionedLock(const VersionedLock&) = delete;
+  VersionedLock& operator=(const VersionedLock&) = delete;
+
+  /// Raw sampled word (for the read protocol's pre/post validation).
+  [[nodiscard]] std::uint64_t sample() const noexcept {
+    return word_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] static bool is_locked(std::uint64_t word) noexcept {
+    return (word & kLockBit) != 0;
+  }
+  [[nodiscard]] static std::uint64_t version_of(std::uint64_t word) noexcept {
+    return word >> 1;
+  }
+
+  [[nodiscard]] bool locked() const noexcept { return is_locked(sample()); }
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_of(sample());
+  }
+
+  /// Try to acquire the write lock; fails if locked or if the version moved
+  /// past the caller's read version (in which case the caller must abort
+  /// anyway). Returns true on success.
+  [[nodiscard]] bool try_lock(std::uint64_t read_version) noexcept {
+    std::uint64_t expected = word_.load(std::memory_order_relaxed);
+    if (is_locked(expected) || version_of(expected) > read_version) return false;
+    return word_.compare_exchange_strong(expected, expected | kLockBit,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  /// Release after a successful commit, publishing the new version.
+  void unlock_to_version(std::uint64_t new_version) noexcept {
+    word_.store(new_version << 1, std::memory_order_release);
+  }
+
+  /// Release after an aborted commit attempt, restoring the pre-lock word.
+  void unlock_restore() noexcept {
+    word_.fetch_and(~kLockBit, std::memory_order_release);
+  }
+
+  /// Read-set validation: the word must be unlocked and its version must not
+  /// exceed the transaction's read version.
+  [[nodiscard]] bool valid_for(std::uint64_t read_version) const noexcept {
+    const std::uint64_t w = sample();
+    return !is_locked(w) && version_of(w) <= read_version;
+  }
+
+  /// Like valid_for, but a word locked by the validating transaction itself
+  /// is acceptable (it is in that transaction's write set).
+  [[nodiscard]] bool valid_for_committer(std::uint64_t read_version,
+                                         bool owned_by_me) const noexcept {
+    const std::uint64_t w = sample();
+    if (is_locked(w) && !owned_by_me) return false;
+    return version_of(w) <= read_version;
+  }
+
+ private:
+  std::atomic<std::uint64_t> word_{0};
+};
+
+}  // namespace stamp::stm

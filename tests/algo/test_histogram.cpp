@@ -1,0 +1,128 @@
+#include "algo/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace stamp::algo {
+namespace {
+
+const Topology kTopo{.chips = 1, .processors_per_chip = 8,
+                     .threads_per_processor = 4};
+
+HistogramWorkload small_workload() {
+  HistogramWorkload w;
+  w.processes = 6;
+  w.bins = 8;
+  w.items_per_process = 500;
+  w.rounds = 5;
+  return w;
+}
+
+TEST(Histogram, ReferenceCountsAllItems) {
+  const HistogramWorkload w = small_workload();
+  const std::vector<long long> ref = histogram_reference(w);
+  const long long total = std::accumulate(ref.begin(), ref.end(), 0LL);
+  EXPECT_EQ(total, static_cast<long long>(w.processes) * w.items_per_process);
+}
+
+TEST(Histogram, SkewConcentratesLowBins) {
+  HistogramWorkload w = small_workload();
+  w.items_per_process = 5000;
+  w.skew = 0;
+  const std::vector<long long> uniform = histogram_reference(w);
+  w.skew = 3.0;
+  const std::vector<long long> skewed = histogram_reference(w);
+  EXPECT_GT(skewed[0], uniform[0] * 2);
+}
+
+TEST(Histogram, WorkloadValidated) {
+  HistogramWorkload w = small_workload();
+  w.bins = 0;
+  EXPECT_THROW(
+      (void)run_histogram(kTopo, w, ExecMode::Transactional, CommMode::Synchronous),
+      std::invalid_argument);
+}
+
+// All four Table-1 quadrants must produce the exact reference histogram.
+struct QuadrantParam {
+  ExecMode exec;
+  CommMode comm;
+};
+
+class QuadrantTest : public ::testing::TestWithParam<QuadrantParam> {};
+
+TEST_P(QuadrantTest, MatchesReference) {
+  const HistogramWorkload w = small_workload();
+  const std::vector<long long> ref = histogram_reference(w);
+  const HistogramRunResult r =
+      run_histogram(kTopo, w, GetParam().exec, GetParam().comm);
+  EXPECT_EQ(r.bins, ref);
+}
+
+TEST_P(QuadrantTest, CountersReflectSubstrate) {
+  const HistogramWorkload w = small_workload();
+  const HistogramRunResult r =
+      run_histogram(kTopo, w, GetParam().exec, GetParam().comm);
+  const CostCounters totals = r.run.total_counters();
+  if (GetParam().exec == ExecMode::Transactional) {
+    // STM charges transactional reads/writes as shared-memory accesses.
+    EXPECT_GT(totals.shm_accesses(), 0);
+    EXPECT_GT(r.stm_commits, 0u);
+  } else if (GetParam().comm == CommMode::Synchronous) {
+    EXPECT_GT(totals.shm_accesses(), 0);
+    EXPECT_EQ(r.stm_commits, 0u);
+    EXPECT_GE(r.worst_serialization, 1);
+  } else {
+    // Privatized variant: no shared accesses during the parallel phase.
+    EXPECT_EQ(totals.shm_accesses(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllQuadrants, QuadrantTest,
+    ::testing::Values(QuadrantParam{ExecMode::Transactional, CommMode::Synchronous},
+                      QuadrantParam{ExecMode::Asynchronous, CommMode::Synchronous},
+                      QuadrantParam{ExecMode::Transactional, CommMode::Asynchronous},
+                      QuadrantParam{ExecMode::Asynchronous, CommMode::Asynchronous}),
+    [](const ::testing::TestParamInfo<QuadrantParam>& param_info) {
+      return std::string(param_info.param.exec == ExecMode::Transactional ? "trans"
+                                                                    : "async") +
+             "_" +
+             (param_info.param.comm == CommMode::Synchronous ? "synch" : "async");
+    });
+
+TEST(Histogram, TransactionalContentionShowsAborts) {
+  HistogramWorkload w = small_workload();
+  w.processes = 8;
+  w.bins = 2;  // tiny bin count: heavy conflicts
+  w.items_per_process = 2000;
+  w.preemption_points = true;
+  const HistogramRunResult r =
+      run_histogram(kTopo, w, ExecMode::Transactional, CommMode::Asynchronous);
+  EXPECT_GT(r.stm_aborts, 0u);
+  const std::vector<long long> ref = histogram_reference(w);
+  EXPECT_EQ(r.bins, ref);  // correctness despite aborts
+}
+
+TEST(Histogram, SerializedVariantObservesQueueing) {
+  HistogramWorkload w = small_workload();
+  w.processes = 8;
+  w.bins = 1;  // one hot cell
+  w.items_per_process = 3000;
+  w.preemption_points = true;
+  const HistogramRunResult r =
+      run_histogram(kTopo, w, ExecMode::Asynchronous, CommMode::Synchronous);
+  EXPECT_GT(r.worst_serialization, 1);  // kappa visible at the hot spot
+}
+
+TEST(Histogram, ZeroItemsIsFine) {
+  HistogramWorkload w = small_workload();
+  w.items_per_process = 0;
+  const HistogramRunResult r =
+      run_histogram(kTopo, w, ExecMode::Asynchronous, CommMode::Asynchronous);
+  for (long long b : r.bins) EXPECT_EQ(b, 0);
+}
+
+}  // namespace
+}  // namespace stamp::algo

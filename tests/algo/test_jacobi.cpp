@@ -1,0 +1,161 @@
+#include "algo/jacobi.hpp"
+
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp::algo {
+namespace {
+
+const Topology kTopo{.chips = 1, .processors_per_chip = 8,
+                     .threads_per_processor = 4};
+
+TEST(JacobiSystem, GeneratorValidatesArguments) {
+  EXPECT_THROW(make_diagonally_dominant_system(0, 1), std::invalid_argument);
+  EXPECT_THROW(make_diagonally_dominant_system(4, 1, 1.0), std::invalid_argument);
+}
+
+TEST(JacobiSystem, GeneratorIsDeterministic) {
+  const LinearSystem a = make_diagonally_dominant_system(8, 42);
+  const LinearSystem b = make_diagonally_dominant_system(8, 42);
+  EXPECT_EQ(a.A, b.A);
+  EXPECT_EQ(a.b, b.b);
+  const LinearSystem c = make_diagonally_dominant_system(8, 43);
+  EXPECT_NE(a.A, c.A);
+}
+
+TEST(JacobiSystem, DiagonallyDominant) {
+  const LinearSystem sys = make_diagonally_dominant_system(16, 7, 2.0);
+  for (int i = 0; i < sys.n; ++i) {
+    double off = 0;
+    for (int j = 0; j < sys.n; ++j)
+      if (i != j) off += std::abs(sys.a(i, j));
+    EXPECT_GT(std::abs(sys.a(i, i)), off);
+  }
+}
+
+TEST(JacobiSequential, ConvergesToSolution) {
+  const LinearSystem sys = make_diagonally_dominant_system(12, 3);
+  const JacobiResult r = jacobi_sequential(sys, 1e-12, 1000);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(jacobi_residual(sys, r.x), 1e-9);
+}
+
+TEST(JacobiSequential, RespectsIterationCap) {
+  const LinearSystem sys = make_diagonally_dominant_system(12, 3);
+  const JacobiResult r = jacobi_sequential(sys, 0.0, 5);  // unreachable tol
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 5);
+}
+
+TEST(JacobiDistributed, MatchesSequentialSolution) {
+  const LinearSystem sys = make_diagonally_dominant_system(16, 11);
+  const JacobiResult seq = jacobi_sequential(sys, 1e-12, 1000);
+  JacobiOptions opt;
+  opt.processes = 4;
+  opt.tolerance = 1e-12;
+  const DistributedJacobiResult dist = jacobi_distributed(sys, kTopo, opt);
+  ASSERT_TRUE(dist.solution.converged);
+  ASSERT_EQ(dist.solution.x.size(), seq.x.size());
+  for (std::size_t i = 0; i < seq.x.size(); ++i)
+    EXPECT_NEAR(dist.solution.x[i], seq.x[i], 1e-9);
+  // Synchronous rounds: identical iterate sequence, identical count.
+  EXPECT_EQ(dist.solution.iterations, seq.iterations);
+}
+
+TEST(JacobiDistributed, ValidatesProcessCount) {
+  const LinearSystem sys = make_diagonally_dominant_system(4, 1);
+  JacobiOptions opt;
+  opt.processes = 5;  // more processes than unknowns
+  EXPECT_THROW((void)jacobi_distributed(sys, kTopo, opt), std::invalid_argument);
+  opt.processes = 0;
+  EXPECT_THROW((void)jacobi_distributed(sys, kTopo, opt), std::invalid_argument);
+}
+
+TEST(JacobiDistributed, OneProcessPerComponentMatchesPaperCounts) {
+  // The paper's mapping: n processes, each owning one component. Per S-round
+  // and per process: 2n local ops (2n-1 fp), n-1 sends, n-1 receives.
+  const int n = 8;
+  const LinearSystem sys = make_diagonally_dominant_system(n, 5);
+  JacobiOptions opt;
+  opt.processes = n;
+  opt.tolerance = 1e-10;
+  const DistributedJacobiResult dist = jacobi_distributed(sys, kTopo, opt);
+  const int iters = dist.solution.iterations;
+  ASSERT_GT(iters, 0);
+  for (const auto& rec : dist.run.recorders) {
+    const CostCounters t = rec.totals();
+    EXPECT_DOUBLE_EQ(t.m_s_a + t.m_s_e, static_cast<double>(iters) * (n - 1));
+    EXPECT_DOUBLE_EQ(t.m_r_a + t.m_r_e, static_cast<double>(iters) * (n - 1));
+    EXPECT_DOUBLE_EQ(t.c_fp, static_cast<double>(iters) * (2 * n - 1));
+    // Per-unit structure: every unit holds exactly one round.
+    EXPECT_EQ(rec.unit_count(), static_cast<std::size_t>(iters));
+  }
+}
+
+TEST(JacobiDistributed, RecordedRoundMatchesAnalyticCounters) {
+  const int n = 6;
+  const LinearSystem sys = make_diagonally_dominant_system(n, 9);
+  JacobiOptions opt;
+  opt.processes = n;
+  const DistributedJacobiResult dist = jacobi_distributed(sys, kTopo, opt);
+  const CostCounters analytic = analysis::jacobi_round_counters(n);
+  const auto& unit = dist.run.recorders[0].units().front();
+  ASSERT_EQ(unit.rounds.size(), 1u);
+  const CostCounters& measured = unit.rounds[0];
+  EXPECT_DOUBLE_EQ(measured.c_fp, analytic.c_fp);
+  EXPECT_DOUBLE_EQ(measured.m_s_a + measured.m_s_e,
+                   analytic.m_s_a + analytic.m_s_e);
+  EXPECT_DOUBLE_EQ(measured.m_r_a + measured.m_r_e,
+                   analytic.m_r_a + analytic.m_r_e);
+}
+
+TEST(JacobiDistributed, IntraPlacementChargesIntra) {
+  const LinearSystem sys = make_diagonally_dominant_system(4, 2);
+  JacobiOptions opt;
+  opt.processes = 4;
+  opt.distribution = Distribution::IntraProc;
+  const DistributedJacobiResult dist = jacobi_distributed(sys, kTopo, opt);
+  const CostCounters t = dist.run.recorders[0].totals();
+  EXPECT_GT(t.m_s_a, 0);
+  EXPECT_DOUBLE_EQ(t.m_s_e, 0);  // 4 processes fit one processor
+
+  JacobiOptions inter = opt;
+  inter.distribution = Distribution::InterProc;
+  const DistributedJacobiResult dist2 = jacobi_distributed(sys, kTopo, inter);
+  const CostCounters t2 = dist2.run.recorders[0].totals();
+  EXPECT_DOUBLE_EQ(t2.m_s_a, 0);
+  EXPECT_GT(t2.m_s_e, 0);
+}
+
+TEST(JacobiDistributed, ThreadCapSpillsToMoreProcessors) {
+  const LinearSystem sys = make_diagonally_dominant_system(4, 2);
+  JacobiOptions opt;
+  opt.processes = 4;
+  opt.max_threads_per_processor = 3;  // the paper's power-envelope setting
+  const DistributedJacobiResult dist = jacobi_distributed(sys, kTopo, opt);
+  const std::vector<int> occ = dist.placement.occupancy();
+  EXPECT_EQ(occ[0], 3);
+  EXPECT_EQ(occ[1], 1);
+}
+
+// Parameterized correctness sweep over process counts.
+class JacobiProcessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(JacobiProcessSweep, CorrectForAnyBlocking) {
+  const int p = GetParam();
+  const LinearSystem sys = make_diagonally_dominant_system(13, 21);
+  const JacobiResult seq = jacobi_sequential(sys, 1e-11, 500);
+  JacobiOptions opt;
+  opt.processes = p;
+  opt.tolerance = 1e-11;
+  const DistributedJacobiResult dist = jacobi_distributed(sys, kTopo, opt);
+  for (std::size_t i = 0; i < seq.x.size(); ++i)
+    EXPECT_NEAR(dist.solution.x[i], seq.x[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, JacobiProcessSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 13));
+
+}  // namespace
+}  // namespace stamp::algo

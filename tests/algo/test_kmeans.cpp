@@ -1,0 +1,95 @@
+#include "algo/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace stamp::algo {
+namespace {
+
+const Topology kTopo{.chips = 1, .processors_per_chip = 8,
+                     .threads_per_processor = 4};
+
+TEST(KMeans, ValidatesArguments) {
+  KMeansWorkload w;
+  w.processes = 0;
+  EXPECT_THROW((void)kmeans_distributed(kTopo, w), std::invalid_argument);
+  w = KMeansWorkload{};
+  w.clusters = 0;
+  EXPECT_THROW((void)kmeans_input(w), std::invalid_argument);
+}
+
+TEST(KMeans, InputIsDeterministicBlobs) {
+  KMeansWorkload w;
+  EXPECT_EQ(kmeans_input(w), kmeans_input(w));
+}
+
+TEST(KMeans, ReferenceFindsTheBlobCentres) {
+  KMeansWorkload w;
+  w.points = 8192;
+  w.clusters = 4;
+  w.rounds = 15;
+  const std::vector<Point2> c = kmeans_reference(w);
+  // Blobs are centred at (k*1000, k*1000) with sigma 150: each centroid must
+  // land near one blob centre.
+  for (const Point2& centroid : c) {
+    long long best = 1LL << 60;
+    for (int k = 0; k < w.clusters; ++k) {
+      const long long dx = centroid.x - k * 1000;
+      const long long dy = centroid.y - k * 1000;
+      best = std::min(best, dx * dx + dy * dy);
+    }
+    EXPECT_LT(best, 200LL * 200);  // within 200 of a blob centre
+  }
+}
+
+TEST(KMeans, DistributedMatchesReferenceBitExactly) {
+  // Integer sums make the tree reduction exact: the distributed centroids
+  // equal the sequential reference at every process count.
+  KMeansWorkload w;
+  w.points = 3000;
+  w.clusters = 5;
+  w.rounds = 10;
+  const std::vector<Point2> expected = kmeans_reference(w);
+  for (int p : {1, 2, 4, 8}) {
+    w.processes = p;
+    const KMeansResult r = kmeans_distributed(kTopo, w);
+    EXPECT_EQ(r.centroids, expected) << "p=" << p;
+  }
+}
+
+TEST(KMeans, ClusterSizesCoverAllPoints) {
+  KMeansWorkload w;
+  w.processes = 4;
+  w.points = 2048;
+  const KMeansResult r = kmeans_distributed(kTopo, w);
+  EXPECT_EQ(std::accumulate(r.cluster_sizes.begin(), r.cluster_sizes.end(), 0LL),
+            w.points);
+}
+
+TEST(KMeans, CollectiveMessageCountsAreLogDepth) {
+  KMeansWorkload w;
+  w.processes = 8;
+  w.points = 1024;
+  w.rounds = 6;
+  const KMeansResult r = kmeans_distributed(kTopo, w);
+  const CostCounters t = r.run.total_counters();
+  // Per round: reduce p-1 msgs + broadcast p-1 msgs = 14 total across all
+  // processes.
+  EXPECT_DOUBLE_EQ(t.m_s_a + t.m_s_e, w.rounds * 2.0 * (w.processes - 1));
+}
+
+TEST(KMeans, EmptyPointSetKeepsSeedCentroids) {
+  KMeansWorkload w;
+  w.processes = 2;
+  w.points = 0;
+  w.clusters = 3;
+  const KMeansResult r = kmeans_distributed(kTopo, w);
+  ASSERT_EQ(r.centroids.size(), 3u);
+  for (int k = 0; k < 3; ++k)
+    EXPECT_EQ(r.centroids[static_cast<std::size_t>(k)],
+              (Point2{k * 1000, k * 1000}));
+}
+
+}  // namespace
+}  // namespace stamp::algo

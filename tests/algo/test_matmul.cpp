@@ -1,0 +1,93 @@
+#include "algo/matmul.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp::algo {
+namespace {
+
+const Topology kTopo{.chips = 1, .processors_per_chip = 8,
+                     .threads_per_processor = 4};
+
+TEST(Matmul, ValidatesArguments) {
+  EXPECT_THROW(make_random_matrix(0, 4, 1), std::invalid_argument);
+  MatmulWorkload w;
+  w.processes = 0;
+  EXPECT_THROW((void)run_matmul(kTopo, w), std::invalid_argument);
+  w = MatmulWorkload{};
+  w.processes = 65;
+  w.n = 64;
+  EXPECT_THROW((void)run_matmul(kTopo, w), std::invalid_argument);
+}
+
+TEST(Matmul, ReferenceShapeMismatchRejected) {
+  const Matrix a = make_random_matrix(3, 4, 1);
+  const Matrix b = make_random_matrix(3, 4, 2);
+  EXPECT_THROW((void)matmul_reference(a, b), std::invalid_argument);
+}
+
+TEST(Matmul, ReferenceHandComputed) {
+  Matrix a{2, 2, {1, 2, 3, 4}};
+  Matrix b{2, 2, {5, 6, 7, 8}};
+  const Matrix c = matmul_reference(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matmul, DistributedMatchesReference) {
+  MatmulWorkload w;
+  w.processes = 8;
+  w.n = 48;
+  const MatmulRunResult r = run_matmul(kTopo, w);
+  EXPECT_LT(r.max_abs_error, 1e-12);
+}
+
+TEST(Matmul, SingleProcessDegenerate) {
+  MatmulWorkload w;
+  w.processes = 1;
+  w.n = 16;
+  const MatmulRunResult r = run_matmul(kTopo, w);
+  EXPECT_LT(r.max_abs_error, 1e-12);
+}
+
+TEST(Matmul, FlopsAreCounted) {
+  MatmulWorkload w;
+  w.processes = 4;
+  w.n = 32;
+  const MatmulRunResult r = run_matmul(kTopo, w);
+  // 2 n^3 flops total across all processes and panels.
+  EXPECT_DOUBLE_EQ(r.run.total_counters().c_fp,
+                   2.0 * w.n * w.n * w.n);
+}
+
+TEST(Matmul, PanelBroadcastsAreCounted) {
+  MatmulWorkload w;
+  w.processes = 8;
+  w.n = 32;
+  const MatmulRunResult r = run_matmul(kTopo, w);
+  ASSERT_LT(r.max_abs_error, 1e-12);
+  // p panel broadcasts, each p-1 messages: p (p-1) sends total.
+  const CostCounters t = r.run.total_counters();
+  EXPECT_DOUBLE_EQ(t.m_s_a + t.m_s_e,
+                   static_cast<double>(w.processes) * (w.processes - 1));
+}
+
+class MatmulSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MatmulSweep, CorrectAcrossShapes) {
+  const auto [processes, n] = GetParam();
+  if (processes > n) GTEST_SKIP();
+  MatmulWorkload w;
+  w.processes = processes;
+  w.n = n;
+  const MatmulRunResult r = run_matmul(kTopo, w);
+  EXPECT_LT(r.max_abs_error, 1e-11) << "p=" << processes << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatmulSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 7, 8),
+                                            ::testing::Values(8, 17, 40)));
+
+}  // namespace
+}  // namespace stamp::algo

@@ -1,0 +1,79 @@
+#include "algo/prefix_sum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp::algo {
+namespace {
+
+const Topology kTopo{.chips = 1, .processors_per_chip = 8,
+                     .threads_per_processor = 4};
+
+TEST(PrefixSum, ValidatesArguments) {
+  PrefixSumWorkload w;
+  w.processes = 0;
+  EXPECT_THROW((void)run_prefix_sum(kTopo, w), std::invalid_argument);
+  w = PrefixSumWorkload{};
+  w.elements = -5;
+  EXPECT_THROW((void)run_prefix_sum(kTopo, w), std::invalid_argument);
+}
+
+TEST(PrefixSum, ReferenceIsInclusive) {
+  const std::vector<long long> in{3, -1, 4, 1, -5};
+  const std::vector<long long> out = prefix_sum_reference(in);
+  EXPECT_EQ(out, (std::vector<long long>{3, 2, 6, 7, 2}));
+}
+
+TEST(PrefixSum, EmptyInput) {
+  PrefixSumWorkload w;
+  w.processes = 4;
+  w.elements = 0;
+  const PrefixSumRunResult r = run_prefix_sum(kTopo, w);
+  EXPECT_TRUE(r.correct());
+  EXPECT_TRUE(r.output.empty());
+}
+
+TEST(PrefixSum, SingleProcess) {
+  PrefixSumWorkload w;
+  w.processes = 1;
+  w.elements = 1024;
+  EXPECT_TRUE(run_prefix_sum(kTopo, w).correct());
+}
+
+TEST(PrefixSum, InputDeterministic) {
+  PrefixSumWorkload w;
+  EXPECT_EQ(prefix_sum_input(w), prefix_sum_input(w));
+}
+
+TEST(PrefixSum, ScanMessagesAreLogDepth) {
+  PrefixSumWorkload w;
+  w.processes = 8;
+  w.elements = 1 << 12;
+  const PrefixSumRunResult r = run_prefix_sum(kTopo, w);
+  EXPECT_TRUE(r.correct());
+  // Hillis-Steele over 8 ranks: 3 phases; each process sends <= 3 messages.
+  for (const auto& rec : r.run.recorders) {
+    const CostCounters t = rec.totals();
+    EXPECT_LE(t.m_s_a + t.m_s_e, 3.0);
+  }
+}
+
+// Correctness across process counts and sizes (including non-dividing).
+class PrefixSumSweep
+    : public ::testing::TestWithParam<std::tuple<int, long long>> {};
+
+TEST_P(PrefixSumSweep, MatchesReference) {
+  const auto [processes, elements] = GetParam();
+  PrefixSumWorkload w;
+  w.processes = processes;
+  w.elements = elements;
+  const PrefixSumRunResult r = run_prefix_sum(kTopo, w);
+  EXPECT_TRUE(r.correct()) << "p=" << processes << " n=" << elements;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PrefixSumSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 16),
+                       ::testing::Values(1LL, 7LL, 1000LL, 4096LL)));
+
+}  // namespace
+}  // namespace stamp::algo

@@ -1,0 +1,109 @@
+#include "algo/reduce.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp::algo {
+namespace {
+
+const Topology kTopo{.chips = 1, .processors_per_chip = 8,
+                     .threads_per_processor = 4};
+
+TEST(Reduce, ValidatesArguments) {
+  ReduceWorkload w;
+  w.processes = 0;
+  EXPECT_THROW((void)run_reduce(kTopo, w, ReduceVariant::Tree),
+               std::invalid_argument);
+  w = ReduceWorkload{};
+  w.processes = 6;  // not a power of two
+  EXPECT_THROW((void)run_reduce(kTopo, w, ReduceVariant::Doubling),
+               std::invalid_argument);
+  w = ReduceWorkload{};
+  w.elements = -1;
+  EXPECT_THROW((void)run_reduce(kTopo, w, ReduceVariant::Tree),
+               std::invalid_argument);
+}
+
+TEST(Reduce, VariantNames) {
+  EXPECT_STREQ(to_string(ReduceVariant::Tree), "tree");
+  EXPECT_STREQ(to_string(ReduceVariant::Doubling), "doubling");
+  EXPECT_STREQ(to_string(ReduceVariant::Queued), "queued");
+  EXPECT_STREQ(to_string(ReduceVariant::Stm), "stm");
+}
+
+TEST(Reduce, SingleProcessDegenerate) {
+  ReduceWorkload w;
+  w.processes = 1;
+  w.elements = 1000;
+  for (const ReduceVariant v : {ReduceVariant::Tree, ReduceVariant::Doubling,
+                                ReduceVariant::Queued, ReduceVariant::Stm}) {
+    const ReduceRunResult r = run_reduce(kTopo, w, v);
+    EXPECT_TRUE(r.correct()) << to_string(v);
+  }
+}
+
+TEST(Reduce, EmptyArrayGivesZero) {
+  ReduceWorkload w;
+  w.processes = 4;
+  w.elements = 0;
+  const ReduceRunResult r = run_reduce(kTopo, w, ReduceVariant::Tree);
+  EXPECT_EQ(r.result, 0);
+  EXPECT_TRUE(r.correct());
+}
+
+TEST(Reduce, QueuedVariantObservesSerialization) {
+  ReduceWorkload w;
+  w.processes = 8;
+  w.elements = 1 << 12;
+  const ReduceRunResult r = run_reduce(kTopo, w, ReduceVariant::Queued);
+  EXPECT_TRUE(r.correct());
+  EXPECT_GE(r.worst_serialization, 1);
+}
+
+TEST(Reduce, TreeVariantUsesLogDepthMessages) {
+  ReduceWorkload w;
+  w.processes = 8;
+  w.elements = 1 << 12;
+  const ReduceRunResult r = run_reduce(kTopo, w, ReduceVariant::Tree);
+  EXPECT_TRUE(r.correct());
+  // Total messages of a binomial reduce: p - 1.
+  const CostCounters totals = r.run.total_counters();
+  EXPECT_DOUBLE_EQ(totals.m_s_a + totals.m_s_e, w.processes - 1.0);
+}
+
+TEST(Reduce, LocalWorkIsCounted) {
+  ReduceWorkload w;
+  w.processes = 4;
+  w.elements = 4096;
+  const ReduceRunResult r = run_reduce(kTopo, w, ReduceVariant::Tree);
+  // One int op per element was charged across the processes.
+  EXPECT_GE(r.run.total_counters().c_int, static_cast<double>(w.elements));
+}
+
+// Every variant must agree with the sequential sum over a parameter sweep.
+class ReduceSweep
+    : public ::testing::TestWithParam<std::tuple<ReduceVariant, int, long long>> {
+};
+
+TEST_P(ReduceSweep, MatchesSequentialSum) {
+  const auto [variant, processes, elements] = GetParam();
+  if (variant == ReduceVariant::Doubling && (processes & (processes - 1)) != 0)
+    GTEST_SKIP() << "doubling needs 2^k";
+  ReduceWorkload w;
+  w.processes = processes;
+  w.elements = elements;
+  const ReduceRunResult r = run_reduce(kTopo, w, variant);
+  EXPECT_TRUE(r.correct())
+      << to_string(variant) << " p=" << processes << " n=" << elements;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReduceSweep,
+    ::testing::Combine(::testing::Values(ReduceVariant::Tree,
+                                         ReduceVariant::Doubling,
+                                         ReduceVariant::Queued,
+                                         ReduceVariant::Stm),
+                       ::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(1LL, 100LL, 10'000LL)));
+
+}  // namespace
+}  // namespace stamp::algo

@@ -1,0 +1,129 @@
+#include "algo/replicated_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace stamp::algo {
+namespace {
+
+const Topology kTopo{.chips = 1, .processors_per_chip = 8,
+                     .threads_per_processor = 4};
+
+TEST(ReplicatedDb, ValidatesArguments) {
+  DbWorkload w;
+  w.servers = 0;
+  EXPECT_THROW((void)run_replicated_db(kTopo, w, DbMode::SharedLog),
+               std::invalid_argument);
+  w = DbWorkload{};
+  w.keys = 0;
+  EXPECT_THROW((void)run_replicated_db(kTopo, w, DbMode::SharedLog),
+               std::invalid_argument);
+  w = DbWorkload{};
+  w.hot_fraction = 2;
+  EXPECT_THROW((void)run_replicated_db(kTopo, w, DbMode::Sharded),
+               std::invalid_argument);
+}
+
+TEST(ReplicatedDb, ModeNames) {
+  EXPECT_STREQ(to_string(DbMode::SharedLog), "shared-log");
+  EXPECT_STREQ(to_string(DbMode::Sharded), "sharded");
+}
+
+TEST(ReplicatedDb, ReferenceIsDeterministic) {
+  DbWorkload w;
+  EXPECT_EQ(replicated_db_reference(w), replicated_db_reference(w));
+}
+
+TEST(ReplicatedDb, SharedLogAllReplicasConsistent) {
+  DbWorkload w;
+  w.servers = 8;
+  w.ops_per_server = 500;
+  const DbRunResult r = run_replicated_db(kTopo, w, DbMode::SharedLog);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(r.state, replicated_db_reference(w));
+  // The multi-writer log is the serialization point the paper's quadrant
+  // names: contention must be observable.
+  EXPECT_GE(r.worst_serialization, 1);
+}
+
+TEST(ReplicatedDb, ShardedMatchesReferenceWithoutSerialization) {
+  DbWorkload w;
+  w.servers = 8;
+  w.ops_per_server = 500;
+  const DbRunResult r = run_replicated_db(kTopo, w, DbMode::Sharded);
+  EXPECT_TRUE(r.consistent);
+  EXPECT_EQ(r.state, replicated_db_reference(w));
+  EXPECT_DOUBLE_EQ(r.worst_serialization, 0);  // no shared log touched
+  EXPECT_GT(r.messages_routed, 0);
+}
+
+TEST(ReplicatedDb, SingleServerDegenerate) {
+  DbWorkload w;
+  w.servers = 1;
+  w.ops_per_server = 200;
+  for (const DbMode mode : {DbMode::SharedLog, DbMode::Sharded}) {
+    const DbRunResult r = run_replicated_db(kTopo, w, mode);
+    EXPECT_TRUE(r.consistent) << to_string(mode);
+    if (mode == DbMode::Sharded) {
+      EXPECT_EQ(r.messages_routed, 0);
+    }
+  }
+}
+
+TEST(ReplicatedDb, HotSpotRoutesToOneOwner) {
+  DbWorkload w;
+  w.servers = 4;
+  w.ops_per_server = 400;
+  w.hot_fraction = 1.0;  // every op targets key 0 -> owner 0
+  const DbRunResult r = run_replicated_db(kTopo, w, DbMode::Sharded);
+  EXPECT_TRUE(r.consistent);
+  // 3 of 4 servers forward everything.
+  EXPECT_EQ(r.messages_routed, 3LL * 400);
+}
+
+TEST(ReplicatedDb, SharedLogCountsSerializedWrites) {
+  DbWorkload w;
+  w.servers = 4;
+  w.ops_per_server = 250;
+  const DbRunResult r = run_replicated_db(kTopo, w, DbMode::SharedLog);
+  ASSERT_TRUE(r.consistent);
+  const CostCounters t = r.run.total_counters();
+  // One shared read+write per appended op plus one log read per replica.
+  EXPECT_GE(t.shm_accesses(), 4.0 * 250 * 2);
+  EXPECT_EQ(t.msg_ops(), 0);
+}
+
+TEST(ReplicatedDb, ShardedCountsMessagesNotSharedMemory) {
+  DbWorkload w;
+  w.servers = 4;
+  w.ops_per_server = 250;
+  const DbRunResult r = run_replicated_db(kTopo, w, DbMode::Sharded);
+  ASSERT_TRUE(r.consistent);
+  const CostCounters t = r.run.total_counters();
+  EXPECT_EQ(t.shm_accesses(), 0);
+  EXPECT_GT(t.msg_ops(), 0);
+}
+
+class DbSweep : public ::testing::TestWithParam<std::tuple<DbMode, int, double>> {};
+
+TEST_P(DbSweep, ConsistentAcrossShapes) {
+  const auto [mode, servers, hot] = GetParam();
+  DbWorkload w;
+  w.servers = servers;
+  w.ops_per_server = 300;
+  w.keys = 32;
+  w.hot_fraction = hot;
+  const DbRunResult r = run_replicated_db(kTopo, w, mode);
+  EXPECT_TRUE(r.consistent)
+      << to_string(mode) << " servers=" << servers << " hot=" << hot;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DbSweep,
+    ::testing::Combine(::testing::Values(DbMode::SharedLog, DbMode::Sharded),
+                       ::testing::Values(1, 2, 5, 8),
+                       ::testing::Values(0.0, 0.5, 1.0)));
+
+}  // namespace
+}  // namespace stamp::algo

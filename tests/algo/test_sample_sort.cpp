@@ -1,0 +1,115 @@
+#include "algo/sample_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace stamp::algo {
+namespace {
+
+const Topology kTopo{.chips = 1, .processors_per_chip = 8,
+                     .threads_per_processor = 4};
+
+TEST(SampleSort, ValidatesArguments) {
+  SortWorkload w;
+  w.processes = 0;
+  EXPECT_THROW((void)run_sample_sort(kTopo, w), std::invalid_argument);
+  w = SortWorkload{};
+  w.elements = -1;
+  EXPECT_THROW((void)run_sample_sort(kTopo, w), std::invalid_argument);
+}
+
+TEST(SampleSort, InputDeterministic) {
+  SortWorkload w;
+  EXPECT_EQ(sort_input(w), sort_input(w));
+  SortWorkload other = w;
+  other.seed += 1;
+  EXPECT_NE(sort_input(w), sort_input(other));
+}
+
+TEST(SampleSort, SingleProcessIsJustLocalSort) {
+  SortWorkload w;
+  w.processes = 1;
+  w.elements = 2048;
+  const SortRunResult r = run_sample_sort(kTopo, w);
+  EXPECT_TRUE(r.correct);
+  EXPECT_EQ(r.bucket_sizes[0], w.elements);
+}
+
+TEST(SampleSort, SortsUniformKeys) {
+  SortWorkload w;
+  w.processes = 8;
+  w.elements = 1 << 13;
+  const SortRunResult r = run_sample_sort(kTopo, w);
+  EXPECT_TRUE(r.correct);
+  // All elements accounted for.
+  EXPECT_EQ(std::accumulate(r.bucket_sizes.begin(), r.bucket_sizes.end(), 0LL),
+            w.elements);
+}
+
+TEST(SampleSort, SplittersBalanceUniformLoad) {
+  SortWorkload w;
+  w.processes = 8;
+  w.elements = 1 << 14;
+  const SortRunResult r = run_sample_sort(kTopo, w);
+  ASSERT_TRUE(r.correct);
+  const long long ideal = w.elements / w.processes;
+  for (long long size : r.bucket_sizes) {
+    EXPECT_GT(size, ideal / 3) << "severe imbalance";
+    EXPECT_LT(size, ideal * 3) << "severe imbalance";
+  }
+}
+
+TEST(SampleSort, SkewedKeysStillSortCorrectly) {
+  SortWorkload w;
+  w.processes = 8;
+  w.elements = 1 << 13;
+  w.skew = 3.0;
+  const SortRunResult r = run_sample_sort(kTopo, w);
+  EXPECT_TRUE(r.correct);
+}
+
+TEST(SampleSort, CommunicationIsCounted) {
+  SortWorkload w;
+  w.processes = 4;
+  w.elements = 4096;
+  const SortRunResult r = run_sample_sort(kTopo, w);
+  ASSERT_TRUE(r.correct);
+  const CostCounters totals = r.run.total_counters();
+  // The bucket exchange alone sends p(p-1) vectors.
+  EXPECT_GE(totals.m_s_a + totals.m_s_e,
+            static_cast<double>(w.processes) * (w.processes - 1));
+  EXPECT_GT(totals.c_int, 0);
+}
+
+TEST(SampleSort, TinyInputsAndEdgeCases) {
+  for (long long elements : {0LL, 1LL, 7LL, 63LL}) {
+    SortWorkload w;
+    w.processes = 4;
+    w.elements = elements;
+    const SortRunResult r = run_sample_sort(kTopo, w);
+    EXPECT_TRUE(r.correct) << "n=" << elements;
+  }
+}
+
+class SampleSortSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SampleSortSweep, CorrectAcrossShapes) {
+  const auto [processes, skew] = GetParam();
+  SortWorkload w;
+  w.processes = processes;
+  w.elements = 5000;
+  w.skew = skew;
+  const SortRunResult r = run_sample_sort(kTopo, w);
+  EXPECT_TRUE(r.correct) << "p=" << processes << " skew=" << skew;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SampleSortSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 8, 16),
+                       ::testing::Values(0.0, 1.0, 4.0)));
+
+}  // namespace
+}  // namespace stamp::algo

@@ -1,0 +1,92 @@
+#include "algo/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp::algo {
+namespace {
+
+const Topology kTopo{.chips = 1, .processors_per_chip = 8,
+                     .threads_per_processor = 4};
+
+TEST(Stencil, ValidatesArguments) {
+  StencilProblem bad;
+  bad.cells = 0;
+  EXPECT_THROW((void)stencil_sequential(bad, 1), std::invalid_argument);
+  bad = StencilProblem{};
+  bad.alpha = 0.7;  // unstable
+  EXPECT_THROW((void)stencil_sequential(bad, 1), std::invalid_argument);
+  StencilOptions opt;
+  opt.processes = 100;
+  EXPECT_THROW((void)stencil_distributed(StencilProblem{}, kTopo, opt),
+               std::invalid_argument);
+}
+
+TEST(Stencil, SequentialApproachesSteadyState) {
+  // With fixed boundaries 100 / 0, the steady state is linear in x.
+  StencilProblem prob;
+  prob.cells = 16;
+  const std::vector<double> u = stencil_sequential(prob, 20'000);
+  for (int i = 0; i < prob.cells; ++i) {
+    const double x = static_cast<double>(i + 1) / (prob.cells + 1);
+    const double expected = prob.left + x * (prob.right - prob.left);
+    EXPECT_NEAR(u[static_cast<std::size_t>(i)], expected, 0.5) << "cell " << i;
+  }
+}
+
+TEST(Stencil, HeatFlowsMonotonicallyFromHotBoundary) {
+  StencilProblem prob;
+  prob.cells = 24;
+  const std::vector<double> u = stencil_sequential(prob, 500);
+  for (int i = 1; i < prob.cells; ++i)
+    EXPECT_GE(u[static_cast<std::size_t>(i - 1)] + 1e-12,
+              u[static_cast<std::size_t>(i)]);
+}
+
+TEST(Stencil, DistributedMatchesSequentialExactly) {
+  StencilProblem prob;
+  prob.cells = 23;
+  for (int p : {1, 2, 4, 8}) {
+    StencilOptions opt;
+    opt.processes = p;
+    opt.steps = 300;
+    const StencilResult r = stencil_distributed(prob, kTopo, opt);
+    const std::vector<double> expected = stencil_sequential(prob, opt.steps);
+    ASSERT_EQ(r.temperature.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      EXPECT_DOUBLE_EQ(r.temperature[i], expected[i]) << "p=" << p << " i=" << i;
+  }
+}
+
+TEST(Stencil, HaloCommunicationIsConstantPerRound) {
+  StencilProblem prob;
+  prob.cells = 32;
+  StencilOptions opt;
+  opt.processes = 8;
+  opt.steps = 50;
+  const StencilResult r = stencil_distributed(prob, kTopo, opt);
+  for (int i = 0; i < opt.processes; ++i) {
+    const CostCounters t = r.run.recorders[static_cast<std::size_t>(i)].totals();
+    const double neighbours = (i > 0 ? 1.0 : 0.0) + (i + 1 < opt.processes ? 1.0 : 0.0);
+    EXPECT_DOUBLE_EQ(t.m_s_a + t.m_s_e, opt.steps * neighbours) << "rank " << i;
+    EXPECT_DOUBLE_EQ(t.m_r_a + t.m_r_e, opt.steps * neighbours) << "rank " << i;
+  }
+}
+
+TEST(Stencil, SparseBeatsAllToAllInTheModel) {
+  // Same process count: the stencil's per-round messages are O(1) per
+  // process; Jacobi's all-to-all is O(p). The model must price the stencil's
+  // communication share lower.
+  const int p = 8;
+  StencilProblem prob;
+  prob.cells = 64;
+  StencilOptions opt;
+  opt.processes = p;
+  opt.steps = 100;
+  const StencilResult r = stencil_distributed(prob, kTopo, opt);
+  const CostCounters t = r.run.recorders[1].totals();  // interior rank
+  // 2 sends per round vs Jacobi's p-1 = 7.
+  EXPECT_DOUBLE_EQ(t.m_s_a + t.m_s_e, 2.0 * opt.steps);
+}
+
+}  // namespace
+}  // namespace stamp::algo

@@ -1,0 +1,180 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp::analysis {
+namespace {
+
+EnergyParams xy_energy(double x, double y) {
+  EnergyParams e;
+  e.w_int = 1;
+  e.w_fp = x;
+  e.w_m_s = y;
+  e.w_m_r = y;
+  e.w_d_r = 2;
+  e.w_d_w = 2;
+  return e;
+}
+
+TEST(JacobiAnalysis, RoundCountersMatchPaperCounts) {
+  const int n = 10;
+  const CostCounters c = jacobi_round_counters(n);
+  // 2n local operations (2n-1 fp + 1 assignment), n-1 sends, n-1 receives.
+  EXPECT_DOUBLE_EQ(c.local_ops(), 2.0 * n);
+  EXPECT_DOUBLE_EQ(c.c_fp, 2.0 * n - 1);
+  EXPECT_DOUBLE_EQ(c.m_s_e + c.m_s_a, n - 1.0);
+  EXPECT_DOUBLE_EQ(c.m_r_e + c.m_r_a, n - 1.0);
+}
+
+TEST(JacobiAnalysis, TSRoundFormula) {
+  // T_S-round = 2n + L + 2gn - 2g.
+  const int n = 16;
+  const JacobiParams p{.L = 5, .g = 0.25};
+  const JacobiAnalysis a = jacobi(n, p, EnergyParams{});
+  EXPECT_DOUBLE_EQ(a.T_s_round, 2.0 * n + 5 + 2 * 0.25 * n - 2 * 0.25);
+}
+
+TEST(JacobiAnalysis, ESRoundFormula) {
+  // E_S-round = (2 w_fp + w_mr + w_ms) n - w_fp + w_int - w_mr - w_ms.
+  const int n = 12;
+  const EnergyParams e = xy_energy(4, 6);
+  const JacobiAnalysis a = jacobi(n, {.L = 5, .g = 0}, e);
+  const double expected = (2 * 4.0 + 6 + 6) * n - 4 + 1 - 6 - 6;
+  EXPECT_DOUBLE_EQ(a.E_s_round, expected);
+}
+
+TEST(JacobiAnalysis, SUnitBounds) {
+  const int n = 8;
+  const EnergyParams e = xy_energy(2, 2);
+  const JacobiAnalysis a = jacobi(n, {.L = 5, .g = 0.5}, e);
+  EXPECT_DOUBLE_EQ(a.T_c_lower, 2);
+  EXPECT_DOUBLE_EQ(a.E_c_upper, e.w_fp + 2 * e.w_int);
+  EXPECT_DOUBLE_EQ(a.T_s_unit_lower, a.T_s_round + 2);
+  EXPECT_DOUBLE_EQ(a.E_s_unit_upper, a.E_s_round + a.E_c_upper);
+  EXPECT_DOUBLE_EQ(a.P_s_unit_upper, a.E_s_unit_upper / a.T_s_unit_lower);
+}
+
+TEST(JacobiAnalysis, LowerBoundParams) {
+  const int n = 10;
+  const JacobiParams p = jacobi_lower_bound_params(n);
+  EXPECT_DOUBLE_EQ(p.L, 5);
+  EXPECT_DOUBLE_EQ(p.g, 3.0 / (n * (n - 1.0)));
+}
+
+TEST(JacobiAnalysis, TSUnitLowerBoundFormula) {
+  // 2n + 6/n + 7, and always >= 2n.
+  for (int n : {2, 4, 8, 100, 1000}) {
+    const double bound = jacobi_T_s_unit_lower_bound(n);
+    EXPECT_DOUBLE_EQ(bound, 2.0 * n + 6.0 / n + 7.0);
+    EXPECT_GE(bound, 2.0 * n);
+  }
+}
+
+TEST(JacobiAnalysis, LowerBoundConsistentWithGeneralFormula) {
+  // Evaluating the general T_S-unit at the lower-bound parameters must
+  // reproduce 2n + 6/n + 7.
+  const int n = 20;
+  const JacobiParams p = jacobi_lower_bound_params(n);
+  const JacobiAnalysis a = jacobi(n, p, EnergyParams{});
+  EXPECT_NEAR(a.T_s_unit_lower, jacobi_T_s_unit_lower_bound(n), 1e-9);
+}
+
+TEST(JacobiAnalysis, PowerUpperBound) {
+  EXPECT_DOUBLE_EQ(jacobi_power_upper_bound(2, 3, 1), 5);
+  EXPECT_DOUBLE_EQ(jacobi_power_upper_bound(4, 2, 0.5), 3);
+}
+
+TEST(JacobiAnalysis, PaperPowerBoundDominatesExactRatio) {
+  // The paper's bound P <= (x+y) w_int must dominate E_S-unit/T_S-unit at the
+  // lower-bound parameters for the paper's premises x, y >= 2.
+  for (double x : {2.0, 3.0, 8.0}) {
+    for (double y : {2.0, 5.0, 10.0}) {
+      for (int n : {4, 16, 64, 256}) {
+        const EnergyParams e = xy_energy(x, y);
+        const JacobiAnalysis a = jacobi(n, jacobi_lower_bound_params(n), e);
+        EXPECT_LE(a.P_s_unit_upper, jacobi_power_upper_bound(x, y, 1) + 1e-9)
+            << "x=" << x << " y=" << y << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(JacobiAnalysis, MaxThreadsPaperConclusion) {
+  // Cap 3 (x+y) w_int on a 4-thread core: exactly 3 threads admissible.
+  const double x = 2, y = 2, w_int = 1;
+  const double cap = 3 * (x + y) * w_int;
+  EXPECT_EQ(jacobi_max_threads_per_processor(x, y, w_int, cap, 4), 3);
+}
+
+TEST(JacobiAnalysis, MaxThreadsBoundsBehave) {
+  EXPECT_EQ(jacobi_max_threads_per_processor(2, 2, 1, 0, 4), 4);   // no cap
+  EXPECT_EQ(jacobi_max_threads_per_processor(2, 2, 1, 100, 4), 4); // loose cap
+  EXPECT_EQ(jacobi_max_threads_per_processor(2, 2, 1, 3.9, 4), 0); // tight cap
+}
+
+TEST(ApspAnalysis, RoundCounters) {
+  const int n = 6;
+  const CostCounters c = apsp_round_counters(n);
+  EXPECT_DOUBLE_EQ(c.d_r_e, 36);
+  EXPECT_DOUBLE_EQ(c.d_w_e, 6);
+  EXPECT_DOUBLE_EQ(c.c_fp, 36);
+  EXPECT_DOUBLE_EQ(c.c_int, 30 + 6);
+  EXPECT_TRUE(c.uses_shared_memory());
+  EXPECT_FALSE(c.uses_message_passing());
+}
+
+TEST(ApspAnalysis, ProcessCostScalesWithRounds) {
+  const MachineParams mp;
+  const EnergyParams e;
+  const Cost one = apsp_process_cost(8, 1, mp, e);
+  const Cost five = apsp_process_cost(8, 5, mp, e);
+  EXPECT_DOUBLE_EQ(five.time, 5 * one.time);
+  EXPECT_DOUBLE_EQ(five.energy, 5 * one.energy);
+}
+
+TEST(TransactionalAnalysis, TransferCountersScaleWithRollbacks) {
+  const CostCounters clean = transfer_counters(0, true);
+  const CostCounters retried = transfer_counters(2, true);
+  EXPECT_DOUBLE_EQ(clean.d_r_a, 2);
+  EXPECT_DOUBLE_EQ(clean.d_w_a, 2);
+  EXPECT_DOUBLE_EQ(clean.kappa, 0);
+  EXPECT_DOUBLE_EQ(retried.d_r_a, 6);
+  EXPECT_DOUBLE_EQ(retried.kappa, 2);
+  EXPECT_GT(retried.c_int, clean.c_int);
+}
+
+TEST(TransactionalAnalysis, TransferDistributionSelectsColumns) {
+  const CostCounters intra = transfer_counters(0, true);
+  const CostCounters inter = transfer_counters(0, false);
+  EXPECT_GT(intra.d_r_a, 0);
+  EXPECT_EQ(intra.d_r_e, 0);
+  EXPECT_GT(inter.d_r_e, 0);
+  EXPECT_EQ(inter.d_r_a, 0);
+}
+
+TEST(TransactionalAnalysis, ReserveCountersThreeLegs) {
+  const CostCounters c = reserve_counters(0);
+  EXPECT_DOUBLE_EQ(c.d_r_e, 3);
+  EXPECT_DOUBLE_EQ(c.d_w_e, 3);
+  const CostCounters retried = reserve_counters(1.5);
+  EXPECT_DOUBLE_EQ(retried.d_r_e, 7.5);
+  EXPECT_DOUBLE_EQ(retried.kappa, 1.5);
+}
+
+// Property: T_S-round grows linearly in n at fixed L, g.
+class JacobiGrowthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JacobiGrowthTest, LinearGrowth) {
+  const int n = GetParam();
+  const JacobiParams p{.L = 5, .g = 0.5};
+  const double t_n = jacobi(n, p, EnergyParams{}).T_s_round;
+  const double t_2n = jacobi(2 * n, p, EnergyParams{}).T_s_round;
+  // Doubling n doubles the linear part: T(2n) - T(n) = (2 + 2g) n.
+  EXPECT_NEAR(t_2n - t_n, (2 + 2 * p.g) * n, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, JacobiGrowthTest,
+                         ::testing::Values(2, 8, 32, 128, 1024));
+
+}  // namespace
+}  // namespace stamp::analysis

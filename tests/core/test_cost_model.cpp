@@ -1,0 +1,197 @@
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp {
+namespace {
+
+MachineParams simple_params() {
+  MachineParams p;
+  p.ell_a = 2;
+  p.ell_e = 10;
+  p.g_sh_a = 0.5;
+  p.g_sh_e = 2;
+  p.L_a = 5;
+  p.L_e = 50;
+  p.g_mp_a = 1;
+  p.g_mp_e = 4;
+  return p;
+}
+
+EnergyParams simple_energy() {
+  EnergyParams e;
+  e.w_fp = 4;
+  e.w_int = 1;
+  e.w_d_r = 2;
+  e.w_d_w = 3;
+  e.w_m_s = 6;
+  e.w_m_r = 5;
+  return e;
+}
+
+TEST(CostModel, LocalOnlyRoundChargesOnlyCompute) {
+  const CostCounters c = counters::local(10, 20);
+  const double t = s_round_time(c, simple_params(), {.intra = 3, .inter = 5});
+  EXPECT_DOUBLE_EQ(t, 30);  // no communication => no latency/bandwidth terms
+}
+
+TEST(CostModel, SharedMemoryBracketAddsLatencyOnce) {
+  CostCounters c = counters::shared_memory(4, 2, 0, 0);
+  c.c_int = 10;
+  const MachineParams p = simple_params();
+  // c + kappa + ell_a (intra present) + g_sh_a * (4+2); no inter latency
+  const double t = s_round_time(c, p, {.intra = 1, .inter = 0});
+  EXPECT_DOUBLE_EQ(t, 10 + 0 + 2 + 0.5 * 6);
+}
+
+TEST(CostModel, InterLatencyRequiresInterProcesses) {
+  CostCounters c = counters::shared_memory(0, 0, 3, 3);
+  const MachineParams p = simple_params();
+  const double t_without = s_round_time(c, p, {.intra = 0, .inter = 0});
+  const double t_with = s_round_time(c, p, {.intra = 0, .inter = 2});
+  EXPECT_DOUBLE_EQ(t_with - t_without, p.ell_e);
+}
+
+TEST(CostModel, KappaEntersSharedMemoryTimeOnly) {
+  CostCounters shm = counters::shared_memory(1, 0, 0, 0, 7);
+  CostCounters mp = counters::message_passing(1, 0, 0, 0);
+  mp.kappa = 7;  // kappa on a message-only round must not be charged
+  const MachineParams p = simple_params();
+  const ProcessCounts pc{.intra = 1, .inter = 0};
+  const double t_shm = s_round_time(shm, p, pc);
+  const double t_shm_nokappa =
+      s_round_time(counters::shared_memory(1, 0, 0, 0, 0), p, pc);
+  EXPECT_DOUBLE_EQ(t_shm - t_shm_nokappa, 7);
+  const CostCounters mp_nokappa = counters::message_passing(1, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(s_round_time(mp, p, pc), s_round_time(mp_nokappa, p, pc));
+}
+
+TEST(CostModel, MessagePassingFormulaMatchesPaper) {
+  // T = c + [P_e>=1] L_e + [P_a>=1] L_a + g_a (m_s_a+m_r_a) + g_e (m_s_e+m_r_e)
+  CostCounters c = counters::message_passing(2, 3, 4, 5);
+  c.c_fp = 7;
+  const MachineParams p = simple_params();
+  const double t = s_round_time(c, p, {.intra = 1, .inter = 1});
+  EXPECT_DOUBLE_EQ(t, 7 + 50 + 5 + 1 * (2 + 3) + 4 * (4 + 5));
+}
+
+TEST(CostModel, BothSubstratesChargeBothBrackets) {
+  CostCounters c = counters::shared_memory(1, 1, 0, 0) +
+                   counters::message_passing(1, 1, 0, 0);
+  c.c_int = 1;
+  const MachineParams p = simple_params();
+  const double t = s_round_time(c, p, {.intra = 1, .inter = 0});
+  EXPECT_DOUBLE_EQ(t, 1 + (0 + p.ell_a + p.g_sh_a * 2) + (p.L_a + p.g_mp_a * 2));
+}
+
+TEST(CostModel, EnergyFormulaMatchesPaper) {
+  CostCounters c;
+  c.c_fp = 2;
+  c.c_int = 3;
+  c.d_r_a = 1;
+  c.d_r_e = 2;
+  c.d_w_a = 3;
+  c.d_w_e = 4;
+  c.m_r_a = 5;
+  c.m_r_e = 6;
+  c.m_s_a = 7;
+  c.m_s_e = 8;
+  const EnergyParams e = simple_energy();
+  const double expected = 2 * 4 + 3 * 1 + 2 * (1 + 2) + 3 * (3 + 4) +
+                          5 * (5 + 6) + 6 * (7 + 8);
+  EXPECT_DOUBLE_EQ(s_round_energy(c, e), expected);
+}
+
+TEST(CostModel, EnergyIgnoresKappaAndLatency) {
+  CostCounters a = counters::shared_memory(2, 2, 2, 2, 0);
+  CostCounters b = counters::shared_memory(2, 2, 2, 2, 50);
+  EXPECT_DOUBLE_EQ(s_round_energy(a, simple_energy()),
+                   s_round_energy(b, simple_energy()));
+}
+
+TEST(CostModel, PowerIsEnergyOverTime) {
+  const Cost c{10, 40};
+  EXPECT_DOUBLE_EQ(c.power(), 4);
+  const Cost zero{0, 40};
+  EXPECT_DOUBLE_EQ(zero.power(), 0);  // convention: no time, no power
+}
+
+TEST(CostModel, LocalCostRejectsCommunication) {
+  EXPECT_THROW((void)local_cost(counters::shared_memory(1, 0, 0, 0),
+                                simple_energy()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)local_cost(counters::message_passing(0, 1, 0, 0), simple_energy()),
+      std::invalid_argument);
+  const Cost c = local_cost(counters::local(2, 3), simple_energy());
+  EXPECT_DOUBLE_EQ(c.time, 5);
+  EXPECT_DOUBLE_EQ(c.energy, 2 * 4 + 3 * 1);
+}
+
+TEST(CostModel, SequentialSumsBoth) {
+  const Cost total = sequential({Cost{1, 2}, Cost{3, 4}, Cost{5, 6}});
+  EXPECT_DOUBLE_EQ(total.time, 9);
+  EXPECT_DOUBLE_EQ(total.energy, 12);
+}
+
+TEST(CostModel, ParallelTakesMaxTimeTotalEnergy) {
+  const Cost total = parallel({Cost{1, 2}, Cost{10, 4}, Cost{5, 6}});
+  EXPECT_DOUBLE_EQ(total.time, 10);
+  EXPECT_DOUBLE_EQ(total.energy, 12);
+}
+
+TEST(CostModel, EmptyCompositionsAreZero) {
+  EXPECT_EQ(sequential({}), (Cost{0, 0}));
+  EXPECT_EQ(parallel({}), (Cost{0, 0}));
+}
+
+// Property: parallel time <= sequential time, parallel energy == sequential
+// energy, for any collection of costs.
+class CompositionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompositionTest, ParallelNeverSlowerThanSequential) {
+  const int n = GetParam();
+  std::vector<Cost> parts;
+  for (int i = 0; i < n; ++i)
+    parts.push_back(Cost{static_cast<double>(i * i % 17 + 1),
+                         static_cast<double>(i % 5 + 1)});
+  const Cost seq = sequential(parts);
+  const Cost par = parallel(parts);
+  EXPECT_LE(par.time, seq.time);
+  EXPECT_DOUBLE_EQ(par.energy, seq.energy);
+  // Parallel power is >= sequential power (same energy in less or equal time).
+  if (par.time > 0) {
+    EXPECT_GE(par.power(), seq.power());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CompositionTest,
+                         ::testing::Values(1, 2, 3, 8, 33, 100));
+
+// Property: time is monotone in every parameter.
+class MonotoneParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MonotoneParamTest, TimeMonotoneInLatencyAndBandwidth) {
+  const double bump = GetParam();
+  CostCounters c = counters::shared_memory(5, 5, 5, 5, 1) +
+                   counters::message_passing(5, 5, 5, 5);
+  c.c_fp = 3;
+  const ProcessCounts pc{.intra = 2, .inter = 2};
+  MachineParams base = simple_params();
+  const double t0 = s_round_time(c, base, pc);
+
+  for (double MachineParams::*field :
+       {&MachineParams::ell_a, &MachineParams::ell_e, &MachineParams::g_sh_a,
+        &MachineParams::g_sh_e, &MachineParams::L_a, &MachineParams::L_e,
+        &MachineParams::g_mp_a, &MachineParams::g_mp_e}) {
+    MachineParams p = base;
+    p.*field += bump;
+    EXPECT_GE(s_round_time(c, p, pc), t0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MonotoneParamTest,
+                         ::testing::Values(0.0, 0.5, 1.0, 10.0, 1000.0));
+
+}  // namespace
+}  // namespace stamp

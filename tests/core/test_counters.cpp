@@ -1,0 +1,144 @@
+#include "core/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace stamp {
+namespace {
+
+TEST(Counters, DefaultIsZero) {
+  const CostCounters c;
+  EXPECT_EQ(c.local_ops(), 0);
+  EXPECT_EQ(c.shm_accesses(), 0);
+  EXPECT_EQ(c.msg_ops(), 0);
+  EXPECT_FALSE(c.uses_shared_memory());
+  EXPECT_FALSE(c.uses_message_passing());
+  EXPECT_EQ(c.kappa, 0);
+}
+
+TEST(Counters, LocalBuilder) {
+  const CostCounters c = counters::local(3, 5);
+  EXPECT_EQ(c.c_fp, 3);
+  EXPECT_EQ(c.c_int, 5);
+  EXPECT_EQ(c.local_ops(), 8);
+  EXPECT_FALSE(c.uses_shared_memory());
+  EXPECT_FALSE(c.uses_message_passing());
+}
+
+TEST(Counters, SharedMemoryBuilder) {
+  const CostCounters c = counters::shared_memory(1, 2, 3, 4, 5);
+  EXPECT_EQ(c.d_r_a, 1);
+  EXPECT_EQ(c.d_w_a, 2);
+  EXPECT_EQ(c.d_r_e, 3);
+  EXPECT_EQ(c.d_w_e, 4);
+  EXPECT_EQ(c.kappa, 5);
+  EXPECT_EQ(c.shm_accesses(), 10);
+  EXPECT_TRUE(c.uses_shared_memory());
+  EXPECT_FALSE(c.uses_message_passing());
+}
+
+TEST(Counters, MessagePassingBuilder) {
+  const CostCounters c = counters::message_passing(1, 2, 3, 4);
+  EXPECT_EQ(c.m_s_a, 1);
+  EXPECT_EQ(c.m_r_a, 2);
+  EXPECT_EQ(c.m_s_e, 3);
+  EXPECT_EQ(c.m_r_e, 4);
+  EXPECT_EQ(c.msg_ops(), 10);
+  EXPECT_TRUE(c.uses_message_passing());
+  EXPECT_FALSE(c.uses_shared_memory());
+}
+
+TEST(Counters, AdditionIsComponentwiseExceptKappa) {
+  CostCounters a = counters::local(1, 2);
+  a.kappa = 7;
+  CostCounters b = counters::shared_memory(1, 1, 1, 1, 3);
+  b.c_fp = 10;
+  const CostCounters sum = a + b;
+  EXPECT_EQ(sum.c_fp, 11);
+  EXPECT_EQ(sum.c_int, 2);
+  EXPECT_EQ(sum.shm_accesses(), 4);
+  // kappa combines by max: it is a worst-case bound, not a count.
+  EXPECT_EQ(sum.kappa, 7);
+}
+
+TEST(Counters, ScaledMultipliesAdditiveFieldsOnly) {
+  CostCounters c = counters::message_passing(2, 2, 4, 4);
+  c.c_fp = 3;
+  c.kappa = 5;
+  const CostCounters s = c.scaled(10);
+  EXPECT_EQ(s.c_fp, 30);
+  EXPECT_EQ(s.m_s_a, 20);
+  EXPECT_EQ(s.m_r_e, 40);
+  EXPECT_EQ(s.kappa, 5);  // a bound does not scale with repetition
+}
+
+TEST(Counters, MaxIsComponentwise) {
+  CostCounters a = counters::local(5, 1);
+  CostCounters b = counters::local(2, 9);
+  b.kappa = 3;
+  const CostCounters m = CostCounters::max(a, b);
+  EXPECT_EQ(m.c_fp, 5);
+  EXPECT_EQ(m.c_int, 9);
+  EXPECT_EQ(m.kappa, 3);
+}
+
+TEST(Counters, EqualityAndStream) {
+  CostCounters a = counters::local(1, 1);
+  CostCounters b = counters::local(1, 1);
+  EXPECT_EQ(a, b);
+  b.c_int = 2;
+  EXPECT_NE(a, b);
+  std::ostringstream os;
+  os << a;
+  EXPECT_NE(os.str().find("c_fp=1"), std::string::npos);
+}
+
+TEST(Counters, StreamShowsOnlyUsedSections) {
+  std::ostringstream os_local;
+  os_local << counters::local(1, 1);
+  EXPECT_EQ(os_local.str().find("d_r_a"), std::string::npos);
+  EXPECT_EQ(os_local.str().find("m_s_a"), std::string::npos);
+
+  std::ostringstream os_shm;
+  os_shm << counters::shared_memory(1, 0, 0, 0);
+  EXPECT_NE(os_shm.str().find("d_r_a"), std::string::npos);
+}
+
+// Property: (a + b) + c == a + (b + c) for the additive fields.
+class CounterAssocTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CounterAssocTest, AdditionAssociative) {
+  const int k = GetParam();
+  CostCounters a = counters::local(k, 2 * k);
+  CostCounters b = counters::shared_memory(k, k, k, k, k);
+  CostCounters c = counters::message_passing(1, k, 1, k);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CounterAssocTest,
+                         ::testing::Values(0, 1, 2, 5, 17, 100, 1000));
+
+// Property: scaled(k1).scaled(k2) == scaled(k1*k2).
+class CounterScaleTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(CounterScaleTest, ScalingComposes) {
+  const auto [k1, k2] = GetParam();
+  CostCounters c = counters::message_passing(3, 3, 7, 7);
+  c.c_fp = 11;
+  c.c_int = 13;
+  const CostCounters lhs = c.scaled(k1).scaled(k2);
+  const CostCounters rhs = c.scaled(k1 * k2);
+  EXPECT_DOUBLE_EQ(lhs.c_fp, rhs.c_fp);
+  EXPECT_DOUBLE_EQ(lhs.m_s_e, rhs.m_s_e);
+  EXPECT_DOUBLE_EQ(lhs.m_r_a, rhs.m_r_a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CounterScaleTest,
+    ::testing::Values(std::pair{1.0, 1.0}, std::pair{2.0, 3.0},
+                      std::pair{0.5, 4.0}, std::pair{10.0, 0.1}));
+
+}  // namespace
+}  // namespace stamp

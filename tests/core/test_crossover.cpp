@@ -1,0 +1,124 @@
+#include "core/crossover.hpp"
+
+#include "core/analysis.hpp"
+#include "core/cost_model.hpp"
+#include "models/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stamp {
+namespace {
+
+TEST(Crossover, ValidatesBracket) {
+  const CostFn f = [](long long x) { return static_cast<double>(x); };
+  EXPECT_THROW((void)find_crossover(f, f, 5, 5), std::invalid_argument);
+  EXPECT_THROW((void)find_crossover(f, f, 6, 5), std::invalid_argument);
+}
+
+TEST(Crossover, LinearVsConstant) {
+  // f = x, g = 10: g wins until x < 10; winner flips at x = 10 (tie) -> 11.
+  const CostFn f = [](long long x) { return static_cast<double>(x); };
+  const CostFn g = [](long long) { return 10.0; };
+  const auto c = find_crossover(f, g, 1, 100);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->at, 11);  // first x where g strictly wins over f's reign at lo
+  EXPECT_LE(c->f_before, c->g_before);  // x = 10 is an exact tie
+  EXPECT_GT(c->f_after, c->g_after);
+}
+
+TEST(Crossover, NoCrossoverReturnsEmpty) {
+  const CostFn f = [](long long x) { return static_cast<double>(x); };
+  const CostFn g = [](long long x) { return static_cast<double>(x) + 5; };
+  EXPECT_FALSE(find_crossover(f, g, 1, 1000).has_value());
+}
+
+TEST(Crossover, FirstWinSemantics) {
+  // f = 100/x (improves), g = 10 (flat): f starts losing, wins for x > 10.
+  const CostFn f = [](long long x) { return 100.0 / static_cast<double>(x); };
+  const CostFn g = [](long long) { return 10.0; };
+  const auto x = first_win(f, g, 1, 1000);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(*x, 11);
+  // Already winning at lo -> nothing to find.
+  EXPECT_FALSE(first_win(f, g, 50, 1000).has_value());
+  // Never winning -> empty.
+  const CostFn h = [](long long) { return 1.0; };
+  EXPECT_FALSE(first_win(g, h, 1, 1000).has_value());
+}
+
+TEST(Crossover, PaperPowerWallCrossover) {
+  // Equal-power speedup p^(2/3) crosses 2 between p = 2 and p = 3
+  // (2^1.5 ~ 2.83): the paper's "more than 2 with the 8 cores" has slack.
+  const CostFn speedup_deficit = [](long long p) {
+    return 2.0 - std::pow(static_cast<double>(p), 2.0 / 3.0);
+  };
+  const CostFn zero = [](long long) { return 0.0; };
+  const auto c = first_win(speedup_deficit, zero, 1, 64);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, 3);  // first integer core count beating speedup 2
+}
+
+TEST(Crossover, PramVsStampGrowsApart) {
+  // PRAM and a communication-charging model never cross back: the gap is
+  // monotone, so no crossover exists once STAMP is more expensive.
+  MachineParams mp;
+  const CostFn pram = [](long long n) {
+    return models::pram_round_time(models::jacobi_round(static_cast<int>(n)));
+  };
+  const CostFn stamp_cost = [&](long long n) {
+    ProcessCounts pc;
+    pc.inter = static_cast<int>(n) - 1;
+    return s_round_time(analysis::jacobi_round_counters(static_cast<int>(n)),
+                        mp, pc);
+  };
+  EXPECT_FALSE(find_crossover(pram, stamp_cost, 2, 4096).has_value());
+}
+
+TEST(Crossover, BspVsLogPBarrierAmortization) {
+  // Light rounds: BSP pays the barrier, LogP doesn't -> LogP wins. As the
+  // per-round h-relation grows, LogP's per-message overhead (o at both ends)
+  // eventually exceeds BSP's bandwidth-only charge: a real crossover.
+  const models::BspParams bsp{.g = 4, .l = 50};
+  const models::LogPParams logp{.L = 40, .o = 3, .g = 4};
+  const CostFn bsp_cost = [&](long long msgs) {
+    models::RoundSpec r;
+    r.msgs_out = r.msgs_in = static_cast<double>(msgs);
+    return models::bsp_round_time(r, bsp);
+  };
+  const CostFn logp_cost = [&](long long msgs) {
+    models::RoundSpec r;
+    r.msgs_out = r.msgs_in = static_cast<double>(msgs);
+    return models::logp_round_time(r, logp);
+  };
+  const auto c = find_crossover(logp_cost, bsp_cost, 1, 1000);
+  ASSERT_TRUE(c.has_value());
+  // At the crossover BSP becomes the cheaper model.
+  EXPECT_LT(c->g_after, c->f_after);
+  EXPECT_GT(c->at, 1);
+}
+
+// Property: the reported crossover is a true adjacent-integer winner change.
+class CrossoverSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossoverSweep, AdjacentWinnerChange) {
+  const int k = GetParam();
+  const CostFn f = [&](long long x) {
+    return 3.0 * static_cast<double>(x) + 7;
+  };
+  const CostFn g = [&](long long x) {
+    return static_cast<double>(x * x) / k;
+  };
+  const auto c = find_crossover(f, g, 1, 10'000);
+  if (!c.has_value()) return;
+  const double fb = f(c->at - 1), gb = g(c->at - 1);
+  const double fa = f(c->at), ga = g(c->at);
+  // The winner at `at` differs from the winner just before.
+  EXPECT_NE(fb < gb, fa < ga);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrossoverSweep, ::testing::Values(1, 2, 5, 40, 300));
+
+}  // namespace
+}  // namespace stamp

@@ -1,0 +1,152 @@
+#include "core/envelope.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp {
+namespace {
+
+TEST(Envelope, UnconstrainedAlwaysFeasible) {
+  const std::vector<double> powers{100, 200, 300};
+  const EnvelopeCheck c = check_processor(powers, PowerEnvelope{});
+  EXPECT_TRUE(c.feasible);
+  EXPECT_DOUBLE_EQ(c.demand, 600);
+}
+
+TEST(Envelope, CapRespected) {
+  PowerEnvelope env;
+  env.per_processor = 10;
+  EXPECT_TRUE(check_processor(std::vector<double>{4, 5}, env).feasible);
+  EXPECT_FALSE(check_processor(std::vector<double>{4, 7}, env).feasible);
+  const EnvelopeCheck c = check_processor(std::vector<double>{4, 5}, env);
+  EXPECT_DOUBLE_EQ(c.slack, 1);
+}
+
+TEST(Envelope, ExactBoundaryFeasible) {
+  PowerEnvelope env;
+  env.per_processor = 9;
+  EXPECT_TRUE(check_processor(std::vector<double>{4.5, 4.5}, env).feasible);
+}
+
+TEST(Envelope, MaxProcessesAdmissionRule) {
+  PowerEnvelope env;
+  env.per_processor = 10;
+  EXPECT_EQ(max_processes_per_processor(3, env, 8), 3);   // 3*3=9 <= 10 < 12
+  EXPECT_EQ(max_processes_per_processor(5, env, 8), 2);
+  EXPECT_EQ(max_processes_per_processor(10, env, 8), 1);
+  EXPECT_EQ(max_processes_per_processor(11, env, 8), 0);  // can't host even one
+}
+
+TEST(Envelope, MaxProcessesExactDivision) {
+  // The floating-point guard: cap exactly k * p must admit k.
+  PowerEnvelope env;
+  env.per_processor = 3 * 2.5;
+  EXPECT_EQ(max_processes_per_processor(2.5, env, 8), 3);
+}
+
+TEST(Envelope, MaxProcessesThreadLimited) {
+  PowerEnvelope env;
+  env.per_processor = 1000;
+  EXPECT_EQ(max_processes_per_processor(1, env, 4), 4);  // threads bind first
+}
+
+TEST(Envelope, ZeroPowerOrNoCapGivesThreadLimit) {
+  EXPECT_EQ(max_processes_per_processor(0, PowerEnvelope{}, 4), 4);
+  PowerEnvelope env;
+  env.per_processor = 5;
+  EXPECT_EQ(max_processes_per_processor(0, env, 4), 4);
+}
+
+TEST(Envelope, PaperJacobiExample) {
+  // Per-thread power (x+y) w_int, cap 3 (x+y) w_int, 4-thread Niagara core:
+  // at most 3 threads may run the algorithm.
+  const double x = 2, y = 3, w_int = 1;
+  const double per_thread = (x + y) * w_int;
+  PowerEnvelope env;
+  env.per_processor = 3 * (x + y) * w_int;
+  EXPECT_EQ(max_processes_per_processor(per_thread, env, 4), 3);
+}
+
+TEST(SystemCheck, SizesMustMatch) {
+  const std::vector<double> powers{1, 2};
+  const std::vector<int> procs{0};
+  EXPECT_THROW(check_system(powers, procs, Topology{}, PowerEnvelope{}),
+               std::invalid_argument);
+}
+
+TEST(SystemCheck, OutOfRangeProcessorRejected) {
+  const Topology topo{.chips = 1, .processors_per_chip = 2,
+                      .threads_per_processor = 2};
+  const std::vector<double> powers{1};
+  const std::vector<int> procs{5};
+  EXPECT_THROW(check_system(powers, procs, topo, PowerEnvelope{}),
+               std::invalid_argument);
+}
+
+TEST(SystemCheck, PerProcessorViolationIdentified) {
+  const Topology topo{.chips = 1, .processors_per_chip = 2,
+                      .threads_per_processor = 2};
+  PowerEnvelope env;
+  env.per_processor = 5;
+  const std::vector<double> powers{3, 3, 2};  // procs 0,0,1 -> proc0 demand 6
+  const std::vector<int> procs{0, 0, 1};
+  const SystemCheck c = check_system(powers, procs, topo, env);
+  EXPECT_FALSE(c.feasible);
+  EXPECT_EQ(c.first_violation_processor, 0);
+  EXPECT_FALSE(c.processors[0].feasible);
+  EXPECT_TRUE(c.processors[1].feasible);
+}
+
+TEST(SystemCheck, ChipCapAggregatesProcessors) {
+  const Topology topo{.chips = 2, .processors_per_chip = 2,
+                      .threads_per_processor = 2};
+  PowerEnvelope env;
+  env.per_chip = 10;
+  // chip 0 hosts processors 0 and 1; total 12 > 10.
+  const std::vector<double> powers{6, 6};
+  const std::vector<int> procs{0, 1};
+  EXPECT_FALSE(check_system(powers, procs, topo, env).feasible);
+  // Spread over two chips: processors 0 and 2.
+  const std::vector<int> spread{0, 2};
+  EXPECT_TRUE(check_system(powers, spread, topo, env).feasible);
+}
+
+TEST(SystemCheck, SystemCapBindsLast) {
+  const Topology topo{.chips = 2, .processors_per_chip = 2,
+                      .threads_per_processor = 2};
+  PowerEnvelope env;
+  env.system = 10;
+  const std::vector<double> powers{4, 4, 4};
+  const std::vector<int> procs{0, 1, 2};
+  const SystemCheck c = check_system(powers, procs, topo, env);
+  EXPECT_FALSE(c.feasible);
+  EXPECT_DOUBLE_EQ(c.system.demand, 12);
+  EXPECT_FALSE(c.system.feasible);
+}
+
+// Property: demand is permutation-invariant and additive.
+class SystemCheckPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SystemCheckPropertyTest, TotalDemandMatchesSum) {
+  const int n = GetParam();
+  const Topology topo{.chips = 2, .processors_per_chip = 4,
+                      .threads_per_processor = 8};
+  std::vector<double> powers;
+  std::vector<int> procs;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    powers.push_back(1.0 + (i % 5));
+    procs.push_back(i % topo.total_processors());
+    sum += powers.back();
+  }
+  PowerEnvelope env;
+  env.system = 1e9;
+  const SystemCheck c = check_system(powers, procs, topo, env);
+  EXPECT_DOUBLE_EQ(c.system.demand, sum);
+  EXPECT_TRUE(c.feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SystemCheckPropertyTest,
+                         ::testing::Values(0, 1, 5, 16, 64));
+
+}  // namespace
+}  // namespace stamp

@@ -1,0 +1,87 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stamp {
+namespace {
+
+TEST(Metrics, Definitions) {
+  const Cost c{10, 50};  // T=10, E=50, P=5
+  const Metrics m = metrics_from(c);
+  EXPECT_DOUBLE_EQ(m.D, 10);
+  EXPECT_DOUBLE_EQ(m.PDP, 50);          // P*D = E
+  EXPECT_DOUBLE_EQ(m.EDP, 500);         // E*D
+  EXPECT_DOUBLE_EQ(m.ED2P, 5000);       // E*D^2
+}
+
+TEST(Metrics, MetricValueSelectsField) {
+  const Cost c{2, 8};
+  EXPECT_DOUBLE_EQ(metric_value(c, Objective::D), 2);
+  EXPECT_DOUBLE_EQ(metric_value(c, Objective::PDP), 8);
+  EXPECT_DOUBLE_EQ(metric_value(c, Objective::EDP), 16);
+  EXPECT_DOUBLE_EQ(metric_value(c, Objective::ED2P), 32);
+}
+
+TEST(Metrics, Names) {
+  EXPECT_EQ(to_string(Objective::D), "D");
+  EXPECT_EQ(to_string(Objective::PDP), "PDP");
+  EXPECT_EQ(to_string(Objective::EDP), "EDP");
+  EXPECT_EQ(to_string(Objective::ED2P), "ED2P");
+}
+
+TEST(Metrics, SelectBestEmpty) {
+  EXPECT_EQ(select_best({}, Objective::D), -1);
+}
+
+TEST(Metrics, DifferentObjectivesPickDifferentAlgorithms) {
+  // Algorithm A: fast but hungry. Algorithm B: slow but frugal.
+  const std::vector<Cost> candidates{{10, 1000}, {40, 100}};
+  EXPECT_EQ(select_best(candidates, Objective::D), 0);    // A wins on delay
+  EXPECT_EQ(select_best(candidates, Objective::PDP), 1);  // B wins on energy
+  // EDP: A = 10000, B = 4000 -> B. ED2P: A = 100000, B = 160000 -> A.
+  EXPECT_EQ(select_best(candidates, Objective::EDP), 1);
+  EXPECT_EQ(select_best(candidates, Objective::ED2P), 0);
+}
+
+TEST(Metrics, TiesResolveToFirst) {
+  const std::vector<Cost> candidates{{5, 5}, {5, 5}};
+  EXPECT_EQ(select_best(candidates, Objective::EDP), 0);
+}
+
+// Property: the selected candidate truly minimizes the objective.
+class SelectionTest : public ::testing::TestWithParam<Objective> {};
+
+TEST_P(SelectionTest, SelectedIsMinimal) {
+  const Objective o = GetParam();
+  std::vector<Cost> candidates;
+  for (int i = 1; i <= 20; ++i)
+    candidates.push_back(Cost{static_cast<double>((i * 13) % 7 + 1),
+                              static_cast<double>((i * 29) % 11 + 1)});
+  const int best = select_best(candidates, o);
+  ASSERT_GE(best, 0);
+  for (const Cost& c : candidates)
+    EXPECT_LE(metric_value(candidates[static_cast<std::size_t>(best)], o),
+              metric_value(c, o));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllObjectives, SelectionTest,
+                         ::testing::Values(Objective::D, Objective::PDP,
+                                           Objective::EDP, Objective::ED2P));
+
+// Property: scaling time by k scales D by k, PDP by 1 (unchanged energy...
+// actually energy is unchanged), EDP by k, ED2P by k^2.
+TEST(Metrics, ScalingLaws) {
+  const Cost c{3, 7};
+  const Cost scaled{6, 7};  // time doubled, energy equal
+  const Metrics m1 = metrics_from(c);
+  const Metrics m2 = metrics_from(scaled);
+  EXPECT_DOUBLE_EQ(m2.D, 2 * m1.D);
+  EXPECT_DOUBLE_EQ(m2.PDP, m1.PDP);
+  EXPECT_DOUBLE_EQ(m2.EDP, 2 * m1.EDP);
+  EXPECT_DOUBLE_EQ(m2.ED2P, 4 * m1.ED2P);
+}
+
+}  // namespace
+}  // namespace stamp

@@ -1,0 +1,173 @@
+#include "core/process.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp {
+namespace {
+
+MachineParams params() {
+  MachineParams p;
+  p.ell_a = 2;
+  p.ell_e = 10;
+  p.g_sh_a = 0.5;
+  p.g_sh_e = 2;
+  p.L_a = 5;
+  p.L_e = 50;
+  p.g_mp_a = 1;
+  p.g_mp_e = 4;
+  return p;
+}
+
+EnergyParams energy() { return EnergyParams{}; }
+
+const ProcessCounts kIntraOnly{.intra = 3, .inter = 0};
+
+TEST(SUnit, SumsRoundsAndOutsideWork) {
+  SUnit unit;
+  unit.add_round(counters::local(10, 0));
+  unit.add_round(counters::message_passing(2, 2, 0, 0));
+  unit.add_local(1, 2);
+
+  const Cost c = unit.cost(params(), energy(), kIntraOnly);
+  // round1: 10 compute; round2: L_a + g_mp_a*4 = 9; outside: 3.
+  EXPECT_DOUBLE_EQ(c.time, 10 + 9 + 3);
+
+  const CostCounters totals = unit.total_counters();
+  EXPECT_DOUBLE_EQ(totals.c_fp, 11);
+  EXPECT_DOUBLE_EQ(totals.c_int, 2);
+  EXPECT_DOUBLE_EQ(totals.m_s_a, 2);
+}
+
+TEST(SUnit, EachRoundPaysItsOwnLatency) {
+  SUnit one_round;
+  one_round.add_round(counters::message_passing(4, 4, 0, 0));
+  SUnit two_rounds;
+  two_rounds.add_round(counters::message_passing(2, 2, 0, 0));
+  two_rounds.add_round(counters::message_passing(2, 2, 0, 0));
+
+  const double t1 = one_round.cost(params(), energy(), kIntraOnly).time;
+  const double t2 = two_rounds.cost(params(), energy(), kIntraOnly).time;
+  // Same bandwidth total, but the split version pays L_a twice.
+  EXPECT_DOUBLE_EQ(t2 - t1, params().L_a);
+}
+
+TEST(StampProcess, SumsUnits) {
+  SUnit unit;
+  unit.add_round(counters::local(5, 5));
+  StampProcess proc(Attributes{}, "p");
+  proc.add_unit(unit);
+  proc.add_unit(unit);
+  const Cost c = proc.cost(params(), energy(), kIntraOnly);
+  EXPECT_DOUBLE_EQ(c.time, 20);
+  EXPECT_EQ(proc.unit_count(), 2u);
+}
+
+TEST(StampProcess, RepeatedUnitsMatchExplicitCopies) {
+  SUnit unit;
+  unit.add_round(counters::message_passing(1, 1, 1, 1));
+  unit.add_local(2, 0);
+
+  StampProcess repeated;
+  repeated.add_repeated(unit, 50);
+
+  StampProcess explicit_copies;
+  for (int i = 0; i < 50; ++i) explicit_copies.add_unit(unit);
+
+  const Cost a = repeated.cost(params(), energy(), {.intra = 1, .inter = 1});
+  const Cost b = explicit_copies.cost(params(), energy(), {.intra = 1, .inter = 1});
+  EXPECT_DOUBLE_EQ(a.time, b.time);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+  EXPECT_EQ(repeated.unit_count(), 50u);
+}
+
+TEST(StampProcess, ZeroRepetitionsIgnored) {
+  StampProcess p;
+  p.add_repeated(SUnit{}, 0);
+  EXPECT_EQ(p.unit_count(), 0u);
+}
+
+TEST(ParallelCost, MaxTimeTotalEnergy) {
+  SUnit fast;
+  fast.add_local(10, 0);
+  SUnit slow;
+  slow.add_local(100, 0);
+  std::vector<StampProcess> procs;
+  procs.emplace_back().add_unit(fast);
+  procs.emplace_back().add_unit(slow);
+  const Cost c = parallel_cost(procs, params(), energy(), kIntraOnly);
+  EXPECT_DOUBLE_EQ(c.time, 100);
+  EXPECT_DOUBLE_EQ(c.energy, 110 * EnergyParams{}.w_fp);
+}
+
+TEST(CostExpr, LeafKinds) {
+  const Cost fixed = CostExpr::fixed({7, 3}).evaluate(params(), energy(), {});
+  EXPECT_EQ(fixed, (Cost{7, 3}));
+
+  const Cost local = CostExpr::local(2, 3).evaluate(params(), energy(), {});
+  EXPECT_DOUBLE_EQ(local.time, 5);
+}
+
+TEST(CostExpr, SeqAndParCompose) {
+  auto expr = CostExpr::seq({CostExpr::fixed({1, 1}),
+                             CostExpr::par({CostExpr::fixed({10, 2}),
+                                            CostExpr::fixed({4, 8})})});
+  const Cost c = expr.evaluate(params(), energy(), {});
+  EXPECT_DOUBLE_EQ(c.time, 1 + 10);
+  EXPECT_DOUBLE_EQ(c.energy, 1 + 10);
+}
+
+TEST(CostExpr, RepeatScales) {
+  auto expr = CostExpr::repeat(CostExpr::fixed({3, 2}), 7);
+  const Cost c = expr.evaluate(params(), energy(), {});
+  EXPECT_DOUBLE_EQ(c.time, 21);
+  EXPECT_DOUBLE_EQ(c.energy, 14);
+}
+
+TEST(CostExpr, NestedStampsEvaluate) {
+  // A nested STAMP: an outer process that spawns two parallel inner STAMPs,
+  // each of which is a loop of 10 message rounds.
+  auto inner = CostExpr::repeat(
+      CostExpr::round(counters::message_passing(1, 1, 0, 0)), 10);
+  auto outer = CostExpr::seq({CostExpr::local(5, 5),
+                              CostExpr::par({inner, inner}),
+                              CostExpr::local(0, 2)});
+  const Cost c = outer.evaluate(params(), energy(), kIntraOnly);
+  const double inner_t = 10 * (params().L_a + params().g_mp_a * 2);
+  EXPECT_DOUBLE_EQ(c.time, 10 + inner_t + 2);
+  EXPECT_EQ(outer.leaf_count(), 4u);
+  EXPECT_EQ(outer.height(), 4u);  // seq -> par -> repeat -> round
+}
+
+TEST(CostExpr, LeafCountAndHeight) {
+  auto leaf = CostExpr::fixed({1, 1});
+  EXPECT_EQ(leaf.leaf_count(), 1u);
+  EXPECT_EQ(leaf.height(), 1u);
+  auto tree = CostExpr::par({leaf, CostExpr::seq({leaf, leaf, leaf})});
+  EXPECT_EQ(tree.leaf_count(), 4u);
+  EXPECT_EQ(tree.height(), 3u);
+}
+
+// Property: evaluating repeat(e, a+b) equals seq of repeat(e,a), repeat(e,b).
+class RepeatSplitTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(RepeatSplitTest, RepeatDistributesOverSeq) {
+  const auto [a, b] = GetParam();
+  auto body = CostExpr::round(counters::shared_memory(2, 1, 1, 0, 1));
+  const Cost lhs =
+      CostExpr::repeat(body, a + b).evaluate(params(), energy(), kIntraOnly);
+  const Cost rhs =
+      CostExpr::seq({CostExpr::repeat(body, a), CostExpr::repeat(body, b)})
+          .evaluate(params(), energy(), kIntraOnly);
+  EXPECT_DOUBLE_EQ(lhs.time, rhs.time);
+  EXPECT_DOUBLE_EQ(lhs.energy, rhs.energy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RepeatSplitTest,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{0, 0},
+                                           std::pair<std::size_t, std::size_t>{1, 0},
+                                           std::pair<std::size_t, std::size_t>{3, 4},
+                                           std::pair<std::size_t, std::size_t>{10, 90}));
+
+}  // namespace
+}  // namespace stamp

@@ -1,0 +1,232 @@
+#include "core/spec.hpp"
+
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace stamp::spec {
+namespace {
+
+MachineModel niagara_no_cap() {
+  MachineModel m = presets::niagara();
+  m.envelope = PowerEnvelope{};
+  return m;
+}
+
+TEST(Spec, BuilderValidates) {
+  ProcessBuilder b("p", Attributes{});
+  EXPECT_THROW(b.replicas(0), ParamError);
+}
+
+TEST(Spec, TotalCountersAggregate) {
+  ProcessBuilder b("p", Attributes{});
+  b.loop(counters::message_passing(2, 2, 0, 0), 10, 0, 3).local(5, 5);
+  const ProcessSpec spec = b.build();
+  const CostCounters t = spec.total_counters();
+  EXPECT_DOUBLE_EQ(t.m_s_a, 20);
+  EXPECT_DOUBLE_EQ(t.m_r_a, 20);
+  EXPECT_DOUBLE_EQ(t.c_int, 35);  // 10 loop checks (3 each) + 5 local
+  EXPECT_DOUBLE_EQ(t.c_fp, 5);
+}
+
+TEST(Spec, TooManyProcessorsRejected) {
+  Program prog;
+  prog.add(ProcessBuilder("big", Attributes{.distribution = Distribution::InterProc})
+               .replicas(9));  // niagara has 8 processors
+  EXPECT_THROW((void)prog.evaluate(niagara_no_cap()), ParamError);
+}
+
+TEST(Spec, IntraSpecPacksInterSpecSpreads) {
+  Program prog;
+  prog.add(ProcessBuilder("packed",
+                          Attributes{.distribution = Distribution::IntraProc})
+               .replicas(4)
+               .local(10, 0));
+  prog.add(ProcessBuilder("spread",
+                          Attributes{.distribution = Distribution::InterProc})
+               .replicas(3)
+               .local(10, 0));
+  const Evaluation eval = prog.evaluate(niagara_no_cap());
+  ASSERT_EQ(eval.specs.size(), 2u);
+  EXPECT_EQ(eval.specs[0].processors_spanned, 1);  // 4 replicas on one core
+  EXPECT_EQ(eval.specs[1].processors_spanned, 3);  // one per core
+  EXPECT_EQ(eval.processors_used, 4);
+  EXPECT_EQ(eval.hardware_threads_used, 7);
+}
+
+TEST(Spec, JacobiSpecMatchesClosedForm) {
+  // The paper's Jacobi as a spec: n replicas, each looping over the S-round
+  // counters of Section 4, evaluated at the lower-bound parameters.
+  const int n = 8;
+  const int iters = 20;
+  const analysis::JacobiParams lb = analysis::jacobi_lower_bound_params(n);
+
+  MachineModel m;
+  m.topology = {.chips = 1, .processors_per_chip = 1,
+                .threads_per_processor = n};  // single wide core: one L
+  m.params = {.ell_a = 0, .ell_e = 0, .g_sh_a = 0, .g_sh_e = 0,
+              .L_a = lb.L, .L_e = lb.L, .g_mp_a = lb.g, .g_mp_e = lb.g};
+  m.energy.w_int = 1;
+  m.energy.w_fp = 2;
+  m.energy.w_m_s = m.energy.w_m_r = 2;
+
+  Program prog;
+  prog.add(ProcessBuilder(
+               "jacobi", Attributes{Distribution::IntraProc,
+                                    ExecMode::Asynchronous, CommMode::Synchronous})
+               .replicas(n)
+               .loop(analysis::jacobi_round_counters(n), iters, 0, 3));
+
+  const Evaluation eval = prog.evaluate(m);
+  const analysis::JacobiAnalysis a = analysis::jacobi(n, lb, m.energy);
+  // Per-replica time = iters * (T_S-round + 3 outside ops).
+  EXPECT_NEAR(eval.specs[0].per_replica.time, iters * (a.T_s_round + 3), 1e-9);
+  EXPECT_NEAR(eval.specs[0].per_replica.energy, iters * (a.E_s_round + 3), 1e-9);
+  // Power bound of the paper holds for the spec evaluation too.
+  EXPECT_LE(eval.specs[0].power,
+            analysis::jacobi_power_upper_bound(2, 2, 1) + 1e-9);
+}
+
+TEST(Spec, SplitFollowsPlacementNotKeyword) {
+  // 8 replicas marked intra on 4-thread cores span 2 processors: only 3 of 7
+  // peers are truly intra, so some communication must be charged inter.
+  Program prog;
+  CostCounters round = counters::message_passing(7, 7, 0, 0);
+  round.c_int = 1;
+  prog.add(ProcessBuilder("span",
+                          Attributes{.distribution = Distribution::IntraProc})
+               .replicas(8)
+               .unit(round));
+  const MachineModel m = niagara_no_cap();
+  const Evaluation spanning = prog.evaluate(m);
+
+  Program all_intra;
+  all_intra.add(
+      ProcessBuilder("fit", Attributes{.distribution = Distribution::IntraProc})
+          .replicas(4)
+          .unit(round));
+  const Evaluation fitting = all_intra.evaluate(m);
+
+  // The spanning spec pays inter latency/bandwidth; the fitting one does not.
+  EXPECT_GT(spanning.specs[0].per_replica.time, fitting.specs[0].per_replica.time);
+}
+
+TEST(Spec, ParallelCompositionRules) {
+  Program prog;
+  prog.add(ProcessBuilder("slow", Attributes{}).local(100, 0));
+  prog.add(ProcessBuilder("fast", Attributes{}).replicas(3).local(10, 0));
+  const Evaluation eval = prog.evaluate(niagara_no_cap());
+  const double w_fp = niagara_no_cap().energy.w_fp;
+  EXPECT_DOUBLE_EQ(eval.total.time, 100);               // max
+  EXPECT_DOUBLE_EQ(eval.total.energy, (100 + 30) * w_fp);  // sum
+}
+
+TEST(Spec, EnvelopeCheckedPerProcessor) {
+  MachineModel m = presets::niagara();
+  // Find the per-replica power of a hot spec, then cap below 4x it.
+  Program prog;
+  prog.add(ProcessBuilder("hot", Attributes{.distribution = Distribution::IntraProc})
+               .replicas(4)
+               .loop(counters::local(100, 0), 10));
+  m.envelope = PowerEnvelope{};
+  const Evaluation unconstrained = prog.evaluate(m);
+  const double per = unconstrained.specs[0].power;
+
+  m.envelope.per_processor = 3.5 * per;  // 4 co-located replicas exceed it
+  m.envelope.per_chip = 0;
+  m.envelope.system = 0;
+  const Evaluation capped = prog.evaluate(m);
+  EXPECT_FALSE(capped.fits_envelope);
+
+  // The inter version spreads and fits.
+  Program spread;
+  spread.add(ProcessBuilder("hot", Attributes{.distribution = Distribution::InterProc})
+                 .replicas(4)
+                 .loop(counters::local(100, 0), 10));
+  EXPECT_TRUE(spread.evaluate(m).fits_envelope);
+}
+
+TEST(Spec, DescribePrintsPaperStyle) {
+  Program prog;
+  prog.add(ProcessBuilder("transfer",
+                          Attributes{Distribution::IntraProc,
+                                     ExecMode::Transactional,
+                                     CommMode::Synchronous})
+               .replicas(2)
+               .unit(analysis::transfer_counters(0, true)));
+  std::ostringstream os;
+  prog.describe(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("transfer [intra_proc, trans_exec, synch_comm] x2"),
+            std::string::npos);
+  EXPECT_NE(out.find("S-round"), std::string::npos);
+}
+
+TEST(Spec, MetricsDerivedFromTotal) {
+  Program prog;
+  prog.add(ProcessBuilder("p", Attributes{}).local(0, 10));
+  const Evaluation eval = prog.evaluate(niagara_no_cap());
+  EXPECT_DOUBLE_EQ(eval.metrics.D, eval.total.time);
+  EXPECT_DOUBLE_EQ(eval.metrics.PDP, eval.total.energy);
+  EXPECT_DOUBLE_EQ(eval.metrics.EDP, eval.total.energy * eval.total.time);
+}
+
+// Property sweeps over the spec evaluator.
+class SpecReplicaSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpecReplicaSweep, EnergyScalesLinearlyTimeStaysPerReplica) {
+  // Local-only replicas: total energy is replicas x per-replica energy and
+  // total time equals the per-replica time (parallel composition).
+  const int r = GetParam();
+  Program prog;
+  prog.add(ProcessBuilder("w", Attributes{.distribution = Distribution::InterProc})
+               .replicas(r)
+               .local(100, 20));
+  const MachineModel m = niagara_no_cap();
+  if (r > m.topology.total_processors()) {
+    EXPECT_THROW((void)prog.evaluate(m), ParamError);
+    return;
+  }
+  const Evaluation eval = prog.evaluate(m);
+  const double per_energy = 100 * m.energy.w_fp + 20 * m.energy.w_int;
+  EXPECT_DOUBLE_EQ(eval.total.energy, r * per_energy);
+  EXPECT_DOUBLE_EQ(eval.total.time, 120);
+  EXPECT_EQ(eval.hardware_threads_used, r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SpecReplicaSweep,
+                         ::testing::Values(1, 2, 5, 8, 9));
+
+class SpecIntraGroupSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpecIntraGroupSweep, MoreCoLocationNeverSlowsCommunication) {
+  // For a communication-only spec on a machine with wide cores, raising the
+  // thread count per processor (more true co-location) must not increase the
+  // per-replica time.
+  const int tpp = GetParam();
+  MachineModel m = niagara_no_cap();
+  m.topology.threads_per_processor = tpp;
+  m.topology.processors_per_chip = 16;
+  Program prog;
+  CostCounters round = counters::message_passing(7, 7, 0, 0);
+  round.c_int = 1;
+  prog.add(ProcessBuilder("comm",
+                          Attributes{.distribution = Distribution::IntraProc})
+               .replicas(8)
+               .unit(round));
+  static double prev_time = -1;
+  const Evaluation eval = prog.evaluate(m);
+  if (prev_time >= 0) {
+    EXPECT_LE(eval.total.time, prev_time + 1e-9);
+  }
+  prev_time = eval.total.time;
+}
+
+// Ordered sweep: growing thread width strictly improves co-location.
+INSTANTIATE_TEST_SUITE_P(Sweep, SpecIntraGroupSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace stamp::spec

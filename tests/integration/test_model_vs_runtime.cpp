@@ -1,0 +1,194 @@
+/// Integration: the closed-form analyses of core/analysis.hpp must agree with
+/// what the instrumented runtime actually measures when the paper's
+/// algorithms really execute on threads.
+
+#include "algo/apsp.hpp"
+#include "algo/jacobi.hpp"
+#include "core/analysis.hpp"
+#include "core/core.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp {
+namespace {
+
+const Topology kTopo{.chips = 1, .processors_per_chip = 8,
+                     .threads_per_processor = 4};
+
+TEST(ModelVsRuntime, JacobiMeasuredCountsEqualAnalyticCounts) {
+  const int n = 8;
+  const algo::LinearSystem sys = algo::make_diagonally_dominant_system(n, 77);
+  algo::JacobiOptions opt;
+  opt.processes = n;
+  const algo::DistributedJacobiResult dist =
+      algo::jacobi_distributed(sys, kTopo, opt);
+
+  const CostCounters analytic = analysis::jacobi_round_counters(n);
+  for (const auto& rec : dist.run.recorders) {
+    for (const auto& unit : rec.units()) {
+      ASSERT_EQ(unit.rounds.size(), 1u);
+      const CostCounters& round = unit.rounds[0];
+      EXPECT_DOUBLE_EQ(round.local_ops(), analytic.local_ops());
+      EXPECT_DOUBLE_EQ(round.msg_ops(), analytic.msg_ops());
+    }
+  }
+}
+
+TEST(ModelVsRuntime, JacobiModelTimeMatchesMeasuredCost) {
+  // Evaluate the measured counters under the same (L, g) the closed form
+  // uses; per-round model times must agree exactly.
+  const int n = 6;
+  const algo::LinearSystem sys = algo::make_diagonally_dominant_system(n, 13);
+  algo::JacobiOptions opt;
+  opt.processes = n;
+  opt.distribution = Distribution::InterProc;
+  const algo::DistributedJacobiResult dist =
+      algo::jacobi_distributed(sys, kTopo, opt);
+
+  MachineParams mp;
+  mp.L_a = 0;
+  mp.L_e = 5;
+  mp.g_mp_a = 0;
+  mp.g_mp_e = 0.5;
+  mp.ell_a = 0;
+  mp.ell_e = 0;
+  mp.g_sh_a = 0;
+  mp.g_sh_e = 0;
+  const EnergyParams ep;
+
+  const analysis::JacobiAnalysis closed =
+      analysis::jacobi(n, {.L = 5, .g = 0.5}, ep);
+
+  // All peers are inter under one_per_processor with n <= 8.
+  const ProcessCounts pc{.intra = 0, .inter = n - 1};
+  const auto& round = dist.run.recorders[0].units().front().rounds[0];
+  const double measured_round_time = s_round_time(round, mp, pc);
+  EXPECT_DOUBLE_EQ(measured_round_time, closed.T_s_round);
+
+  const double measured_round_energy = s_round_energy(round, ep);
+  EXPECT_DOUBLE_EQ(measured_round_energy, closed.E_s_round);
+}
+
+TEST(ModelVsRuntime, JacobiSUnitRespectsPaperBounds) {
+  // T_S-unit >= 2n + 6/n + 7 >= 2n at the lower-bound parameters; the
+  // measured unit cost evaluated at those parameters must respect it, and
+  // the measured power must respect P <= (x+y) w_int.
+  const int n = 8;
+  const algo::LinearSystem sys = algo::make_diagonally_dominant_system(n, 5);
+  algo::JacobiOptions opt;
+  opt.processes = n;
+  const algo::DistributedJacobiResult dist =
+      algo::jacobi_distributed(sys, kTopo, opt);
+
+  const analysis::JacobiParams lb = analysis::jacobi_lower_bound_params(n);
+  MachineParams mp;
+  mp.ell_a = mp.ell_e = 0;
+  mp.g_sh_a = mp.g_sh_e = 0;
+  mp.L_a = mp.L_e = lb.L;
+  mp.g_mp_a = mp.g_mp_e = lb.g;
+
+  const double x = 2, y = 2;
+  EnergyParams ep;
+  ep.w_int = 1;
+  ep.w_fp = x;
+  ep.w_m_s = ep.w_m_r = y;
+
+  for (const auto& rec : dist.run.recorders) {
+    const StampProcess proc = rec.to_process(Attributes{});
+    const ProcessCounts pc{.intra = n - 1, .inter = 0};
+    const Cost unit_cost = proc.cost(mp, ep, pc);
+    const double per_unit_time =
+        unit_cost.time / static_cast<double>(rec.unit_count());
+    EXPECT_GE(per_unit_time + 1e-9, analysis::jacobi_T_s_unit_lower_bound(n));
+    EXPECT_LE(unit_cost.power(),
+              analysis::jacobi_power_upper_bound(x, y, ep.w_int) + 1e-9);
+  }
+}
+
+TEST(ModelVsRuntime, ApspMeasuredReadsMatchAnalytic) {
+  const int n = 6;
+  const algo::Graph g = algo::make_random_graph(n, 19, 0.5);
+  algo::ApspOptions opt;
+  opt.comm = CommMode::Synchronous;
+  opt.distribution = Distribution::InterProc;
+  const algo::ApspResult r = algo::apsp_distributed(g, kTopo, opt);
+
+  const CostCounters analytic = analysis::apsp_round_counters(n);
+  for (int p = 0; p < n; ++p) {
+    const auto& rec = r.run.recorders[static_cast<std::size_t>(p)];
+    for (const auto& unit : rec.units()) {
+      ASSERT_EQ(unit.rounds.size(), 1u);
+      // Reads are exact; writes happen only on improvement, local ops exact.
+      EXPECT_DOUBLE_EQ(unit.rounds[0].d_r_a + unit.rounds[0].d_r_e,
+                       analytic.d_r_e);
+      EXPECT_DOUBLE_EQ(unit.rounds[0].local_ops(), analytic.local_ops());
+      EXPECT_LE(unit.rounds[0].d_w_a + unit.rounds[0].d_w_e, analytic.d_w_e);
+    }
+  }
+}
+
+TEST(ModelVsRuntime, PlacementChangesModelCostNotResults) {
+  // Running the same Jacobi under intra vs inter placement must produce the
+  // same solution but different model costs (the distribution trade-off).
+  const int n = 8;
+  const algo::LinearSystem sys = algo::make_diagonally_dominant_system(n, 3);
+  algo::JacobiOptions intra;
+  intra.processes = 8;
+  intra.distribution = Distribution::IntraProc;
+  algo::JacobiOptions inter = intra;
+  inter.distribution = Distribution::InterProc;
+
+  const auto r_intra = algo::jacobi_distributed(sys, kTopo, intra);
+  const auto r_inter = algo::jacobi_distributed(sys, kTopo, inter);
+
+  for (std::size_t i = 0; i < r_intra.solution.x.size(); ++i)
+    EXPECT_DOUBLE_EQ(r_intra.solution.x[i], r_inter.solution.x[i]);
+
+  const MachineModel m = presets::niagara();
+  const Cost c_intra =
+      r_intra.run.total_cost(r_intra.placement, m.params, m.energy);
+  const Cost c_inter =
+      r_inter.run.total_cost(r_inter.placement, m.params, m.energy);
+  EXPECT_LT(c_intra.time, c_inter.time);       // intra communication is faster
+  EXPECT_DOUBLE_EQ(c_intra.energy, c_inter.energy);  // same ops, same energy
+}
+
+TEST(ModelVsRuntime, EnvelopeDecisionFromMeasurement) {
+  // Close the loop of the paper's power-envelope example: measure Jacobi,
+  // compute per-thread power, derive the admissible thread count, and check
+  // it against the closed-form 3-of-4 answer.
+  const int n = 8;
+  const algo::LinearSystem sys = algo::make_diagonally_dominant_system(n, 7);
+  algo::JacobiOptions opt;
+  opt.processes = n;
+  const auto dist = algo::jacobi_distributed(sys, kTopo, opt);
+
+  const double x = 2, y = 2;
+  EnergyParams ep;
+  ep.w_int = 1;
+  ep.w_fp = x;
+  ep.w_m_s = ep.w_m_r = y;
+  const analysis::JacobiParams lb = analysis::jacobi_lower_bound_params(n);
+  MachineParams mp;
+  mp.ell_a = mp.ell_e = 0;
+  mp.g_sh_a = mp.g_sh_e = 0;
+  mp.L_a = mp.L_e = lb.L;
+  mp.g_mp_a = mp.g_mp_e = lb.g;
+
+  const StampProcess proc = dist.run.recorders[0].to_process(Attributes{});
+  const Cost c = proc.cost(mp, ep, {.intra = n - 1, .inter = 0});
+  const double measured_power = c.power();
+
+  PowerEnvelope env;
+  env.per_processor = 3 * (x + y) * ep.w_int;
+  const int admissible = max_processes_per_processor(measured_power, env, 4);
+  // Measured power is below the analytic bound, so at least 3 threads fit;
+  // the paper's conclusion is that not more than 3 *bound-level* threads do.
+  EXPECT_GE(admissible, 3);
+  EXPECT_EQ(analysis::jacobi_max_threads_per_processor(
+                x, y, ep.w_int, env.per_processor, 4),
+            3);
+}
+
+}  // namespace
+}  // namespace stamp

@@ -1,0 +1,127 @@
+/// Integration: replaying recorded runs on the machine simulator must agree
+/// with the analytic model to first order — same energy at nominal frequency,
+/// times within the latency/contention corrections the simulator adds.
+
+#include "algo/jacobi.hpp"
+#include "core/core.hpp"
+#include "machine/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp {
+namespace {
+
+MachineModel flat_machine() {
+  MachineModel m;
+  m.topology = {.chips = 1, .processors_per_chip = 8, .threads_per_processor = 4};
+  m.params = {.ell_a = 1,
+              .ell_e = 4,
+              .g_sh_a = 0.25,
+              .g_sh_e = 1,
+              .L_a = 2,
+              .L_e = 8,
+              .g_mp_a = 0.5,
+              .g_mp_e = 1};
+  m.energy = {.w_fp = 4, .w_int = 1, .w_d_r = 2, .w_d_w = 2, .w_m_s = 3, .w_m_r = 3};
+  m.validate();
+  return m;
+}
+
+TEST(ModelVsSim, EnergyIdenticalAtNominalFrequency) {
+  // Energy in both the model and the simulator is a pure per-operation sum,
+  // so they must agree exactly when f = 1 everywhere.
+  const int n = 6;
+  const algo::LinearSystem sys = algo::make_diagonally_dominant_system(n, 55);
+  algo::JacobiOptions opt;
+  opt.processes = n;
+  const auto dist = algo::jacobi_distributed(sys, flat_machine().topology, opt);
+
+  const MachineModel m = flat_machine();
+  std::vector<machine::ProcessTrace> traces;
+  for (const auto& rec : dist.run.recorders)
+    traces.push_back(machine::trace_of_recorder(rec, CommMode::Synchronous));
+
+  const machine::SimResult sim = machine::replay(traces, dist.placement, m);
+  const Cost model = dist.run.total_cost(dist.placement, m.params, m.energy);
+  EXPECT_NEAR(sim.energy, model.energy, 1e-6);
+}
+
+TEST(ModelVsSim, SimTimeWithinFirstOrderOfModel) {
+  // The analytic time is a per-process bound that ignores queuing, and the
+  // simulator adds barrier-wait and contention. Agreement requirement: same
+  // order of magnitude, sim >= model's pure-compute floor, and within 4x.
+  const int n = 8;
+  const algo::LinearSystem sys = algo::make_diagonally_dominant_system(n, 91);
+  algo::JacobiOptions opt;
+  opt.processes = n;
+  const auto dist = algo::jacobi_distributed(sys, flat_machine().topology, opt);
+
+  const MachineModel m = flat_machine();
+  std::vector<machine::ProcessTrace> traces;
+  for (const auto& rec : dist.run.recorders)
+    traces.push_back(machine::trace_of_recorder(rec, CommMode::Synchronous));
+
+  const machine::SimResult sim = machine::replay(traces, dist.placement, m);
+  const Cost model = dist.run.total_cost(dist.placement, m.params, m.energy);
+
+  EXPECT_GT(sim.makespan, 0);
+  EXPECT_GT(model.time, 0);
+  const double ratio = sim.makespan / model.time;
+  EXPECT_GT(ratio, 0.25) << "sim " << sim.makespan << " model " << model.time;
+  EXPECT_LT(ratio, 4.0) << "sim " << sim.makespan << " model " << model.time;
+}
+
+TEST(ModelVsSim, IntraPlacementFasterInBoth) {
+  const int n = 4;
+  const algo::LinearSystem sys = algo::make_diagonally_dominant_system(n, 12);
+  const MachineModel m = flat_machine();
+
+  auto run_variant = [&](Distribution d) {
+    algo::JacobiOptions opt;
+    opt.processes = n;
+    opt.distribution = d;
+    const auto dist = algo::jacobi_distributed(sys, m.topology, opt);
+    std::vector<machine::ProcessTrace> traces;
+    for (const auto& rec : dist.run.recorders)
+      traces.push_back(machine::trace_of_recorder(rec, CommMode::Synchronous));
+    const machine::SimResult sim = machine::replay(traces, dist.placement, m);
+    const Cost model = dist.run.total_cost(dist.placement, m.params, m.energy);
+    return std::pair<double, double>(model.time, sim.makespan);
+  };
+
+  const auto [model_intra, sim_intra] = run_variant(Distribution::IntraProc);
+  const auto [model_inter, sim_inter] = run_variant(Distribution::InterProc);
+  EXPECT_LT(model_intra, model_inter);
+  EXPECT_LT(sim_intra, sim_inter);
+}
+
+TEST(ModelVsSim, DvfsTradeTimeForPower) {
+  // Run the same trace at f = 1 and f = 1/2 on every core: the simulator must
+  // show the f^3 power law the Section 2.1 argument relies on.
+  const int n = 4;
+  const algo::LinearSystem sys = algo::make_diagonally_dominant_system(n, 8);
+  algo::JacobiOptions opt;
+  opt.processes = n;
+  const MachineModel m = flat_machine();
+  const auto dist = algo::jacobi_distributed(sys, m.topology, opt);
+  std::vector<machine::ProcessTrace> traces;
+  for (const auto& rec : dist.run.recorders)
+    traces.push_back(machine::trace_of_recorder(rec, CommMode::Synchronous));
+
+  const machine::SimResult nominal = machine::replay(traces, dist.placement, m);
+  machine::SimConfig halved;
+  halved.operating_points.assign(
+      static_cast<std::size_t>(m.topology.total_processors()),
+      machine::OperatingPoint{.frequency = 0.5});
+  const machine::SimResult slow =
+      machine::replay(traces, dist.placement, m, halved);
+
+  // Compute slows 2x (communication latencies unchanged), energy of compute
+  // ops drops 4x; overall: slower and lower-energy.
+  EXPECT_GT(slow.makespan, nominal.makespan);
+  EXPECT_LT(slow.energy, nominal.energy);
+  EXPECT_LT(slow.power(), nominal.power());
+}
+
+}  // namespace
+}  // namespace stamp

@@ -1,0 +1,91 @@
+/// Integration: the Table 1 experiment end to end — the same workload in all
+/// four (execution, communication) quadrants, with model costs attached.
+
+#include "algo/histogram.hpp"
+#include "core/core.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp {
+namespace {
+
+const Topology kTopo{.chips = 1, .processors_per_chip = 8,
+                     .threads_per_processor = 4};
+
+algo::HistogramWorkload workload() {
+  algo::HistogramWorkload w;
+  w.processes = 8;
+  w.bins = 4;
+  w.items_per_process = 1000;
+  w.rounds = 4;
+  w.skew = 1.0;
+  return w;
+}
+
+TEST(Table1, EnumerationMatchesPaper) {
+  const auto& combos = table1_combinations();
+  ASSERT_EQ(combos.size(), 4u);
+  // Row 1: synchronous comm; row 2: asynchronous comm.
+  EXPECT_EQ(combos[0].exec, ExecMode::Transactional);
+  EXPECT_EQ(combos[0].comm, CommMode::Synchronous);
+  EXPECT_EQ(combos[1].exec, ExecMode::Asynchronous);
+  EXPECT_EQ(combos[1].comm, CommMode::Synchronous);
+  EXPECT_EQ(combos[2].exec, ExecMode::Transactional);
+  EXPECT_EQ(combos[2].comm, CommMode::Asynchronous);
+  EXPECT_EQ(combos[3].exec, ExecMode::Asynchronous);
+  EXPECT_EQ(combos[3].comm, CommMode::Asynchronous);
+  EXPECT_EQ(combos[0].exec_keyword, "trans_exec");
+  EXPECT_EQ(combos[0].comm_keyword, "synch_comm");
+}
+
+TEST(Table1, AllQuadrantsComputeTheSameAnswer) {
+  const algo::HistogramWorkload w = workload();
+  const std::vector<long long> ref = algo::histogram_reference(w);
+  for (const ModeCombination& combo : table1_combinations()) {
+    const algo::HistogramRunResult r =
+        algo::run_histogram(kTopo, w, combo.exec, combo.comm);
+    EXPECT_EQ(r.bins, ref) << combo.exec_keyword << "/" << combo.comm_keyword;
+  }
+}
+
+TEST(Table1, QuadrantsDifferInModelCost) {
+  const algo::HistogramWorkload w = workload();
+  const MachineModel m = presets::niagara();
+
+  std::vector<Cost> costs;
+  for (const ModeCombination& combo : table1_combinations()) {
+    const algo::HistogramRunResult r =
+        algo::run_histogram(kTopo, w, combo.exec, combo.comm);
+    costs.push_back(r.run.total_cost(r.placement, m.params, m.energy));
+  }
+  // The privatized async/async variant does no shared communication during
+  // the parallel phase: it must be the cheapest in time and energy.
+  for (std::size_t i = 0; i + 1 < costs.size(); ++i) {
+    EXPECT_LT(costs[3].time, costs[i].time) << "quadrant " << i;
+    EXPECT_LT(costs[3].energy, costs[i].energy) << "quadrant " << i;
+  }
+}
+
+TEST(Table1, TransactionalQuadrantsShowRollbackKappa) {
+  algo::HistogramWorkload w = workload();
+  w.preemption_points = true;  // observable conflicts on any host
+  const algo::HistogramRunResult r = algo::run_histogram(
+      kTopo, w, ExecMode::Transactional, CommMode::Asynchronous);
+  // kappa comes from STM retries here; with 8 processes on 4 hot bins there
+  // must be at least some aborts, hence nonzero kappa somewhere.
+  double max_kappa = 0;
+  for (const auto& rec : r.run.recorders)
+    max_kappa = std::max(max_kappa, rec.totals().kappa);
+  EXPECT_GT(r.stm_aborts + static_cast<std::uint64_t>(max_kappa), 0u);
+}
+
+TEST(Table1, SynchronousQuadrantsSerializeOrBarrier) {
+  const algo::HistogramWorkload w = workload();
+  const algo::HistogramRunResult r = algo::run_histogram(
+      kTopo, w, ExecMode::Asynchronous, CommMode::Synchronous);
+  // The queued-cell variant must observe serialization under 8 writers.
+  EXPECT_GE(r.worst_serialization, 1);
+}
+
+}  // namespace
+}  // namespace stamp

@@ -1,0 +1,145 @@
+#include "machine/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stamp::machine {
+namespace {
+
+const Topology kTopo{.chips = 2, .processors_per_chip = 4,
+                     .threads_per_processor = 4};  // 8 processors
+
+std::vector<double> uniform_power(double p) {
+  return std::vector<double>(8, p);
+}
+
+TEST(Governor, ValidatesInputs) {
+  EXPECT_THROW((void)fit_envelope(uniform_power(1), kTopo, PowerEnvelope{}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)fit_envelope(uniform_power(1), kTopo, PowerEnvelope{}, 1.0, 2.0),
+      std::invalid_argument);
+  EXPECT_THROW((void)fit_envelope(std::vector<double>(3, 1.0), kTopo,
+                                  PowerEnvelope{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_envelope(std::vector<double>(8, -1.0), kTopo,
+                                  PowerEnvelope{}),
+               std::invalid_argument);
+}
+
+TEST(Governor, NoCapsMeansFullSpeed) {
+  const GovernorResult r = fit_envelope(uniform_power(5), kTopo, PowerEnvelope{});
+  EXPECT_TRUE(r.feasible);
+  for (const OperatingPoint& p : r.points) EXPECT_DOUBLE_EQ(p.frequency, 1.0);
+  EXPECT_DOUBLE_EQ(r.worst_slowdown, 1.0);
+}
+
+TEST(Governor, PerCoreCapScalesByCubeRoot) {
+  PowerEnvelope env;
+  env.per_processor = 1.0;
+  const GovernorResult r = fit_envelope(uniform_power(8), kTopo, env);
+  EXPECT_TRUE(r.feasible);
+  for (const OperatingPoint& p : r.points) {
+    EXPECT_NEAR(p.frequency, 0.5, 1e-12);  // cbrt(1/8)
+    EXPECT_NEAR(scaled_power(8, p), 1.0, 1e-12);  // exactly at the cap
+  }
+  EXPECT_NEAR(r.worst_slowdown, 2.0, 1e-12);
+}
+
+TEST(Governor, CoresUnderCapStayAtFullSpeed) {
+  PowerEnvelope env;
+  env.per_processor = 10.0;
+  std::vector<double> powers(8, 1.0);
+  powers[3] = 80.0;  // only this core is hot
+  const GovernorResult r = fit_envelope(powers, kTopo, env);
+  EXPECT_TRUE(r.feasible);
+  for (int c = 0; c < 8; ++c) {
+    if (c == 3) {
+      EXPECT_NEAR(r.points[3].frequency, 0.5, 1e-12);
+    } else {
+      EXPECT_DOUBLE_EQ(r.points[static_cast<std::size_t>(c)].frequency, 1.0);
+    }
+  }
+}
+
+TEST(Governor, ChipCapScalesWholeChipUniformly) {
+  PowerEnvelope env;
+  env.per_chip = 4.0;  // each chip's 4 cores at power 8 each = 32 >> 4
+  const GovernorResult r = fit_envelope(uniform_power(8), kTopo, env);
+  EXPECT_TRUE(r.feasible);
+  const double expected = std::cbrt(4.0 / 32.0);
+  for (const OperatingPoint& p : r.points)
+    EXPECT_NEAR(p.frequency, expected, 1e-12);
+  // Chip power exactly at the cap.
+  double chip0 = 0;
+  for (int c = 0; c < 4; ++c)
+    chip0 += scaled_power(8, r.points[static_cast<std::size_t>(c)]);
+  EXPECT_NEAR(chip0, 4.0, 1e-9);
+}
+
+TEST(Governor, SystemCapAppliesAfterChipCaps) {
+  PowerEnvelope env;
+  env.system = 8.0;  // total nominal demand 64
+  const GovernorResult r = fit_envelope(uniform_power(8), kTopo, env);
+  double total = 0;
+  for (int c = 0; c < 8; ++c)
+    total += scaled_power(8, r.points[static_cast<std::size_t>(c)]);
+  EXPECT_NEAR(total, 8.0, 1e-9);
+}
+
+TEST(Governor, InfeasibleBelowFloor) {
+  PowerEnvelope env;
+  env.per_processor = 1e-9;  // would need f ~ 0
+  const GovernorResult r =
+      fit_envelope(uniform_power(100), kTopo, env, 1.0, 0.1);
+  EXPECT_FALSE(r.feasible);
+  for (const OperatingPoint& p : r.points)
+    EXPECT_DOUBLE_EQ(p.frequency, 0.1);  // clamped to the floor
+}
+
+TEST(Governor, IdleCoresDoNotBindFeasibility) {
+  PowerEnvelope env;
+  env.per_processor = 1.0;
+  std::vector<double> powers(8, 0.0);
+  powers[0] = 1.0;  // exactly at cap
+  const GovernorResult r = fit_envelope(powers, kTopo, env);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.points[0].frequency, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.min_frequency_used, 1.0);  // idle cores excluded
+}
+
+// Property: after fitting, every level of the envelope is respected (when
+// feasible), for a sweep of cap tightness.
+class GovernorSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GovernorSweep, CapsRespectedWhenFeasible) {
+  const double cap = GetParam();
+  PowerEnvelope env;
+  env.per_processor = cap;
+  env.per_chip = 3 * cap;
+  env.system = 5 * cap;
+  std::vector<double> powers;
+  for (int c = 0; c < 8; ++c) powers.push_back(1.0 + c);
+  const GovernorResult r = fit_envelope(powers, kTopo, env, 1.0, 0.01);
+  if (!r.feasible) GTEST_SKIP() << "cap too tight for the floor";
+  for (int c = 0; c < 8; ++c)
+    EXPECT_LE(scaled_power(powers[static_cast<std::size_t>(c)],
+                           r.points[static_cast<std::size_t>(c)]),
+              env.per_processor + 1e-9);
+  for (int chip = 0; chip < 2; ++chip) {
+    double demand = 0;
+    for (int i = 0; i < 4; ++i) {
+      const int c = chip * 4 + i;
+      demand += scaled_power(powers[static_cast<std::size_t>(c)],
+                             r.points[static_cast<std::size_t>(c)]);
+    }
+    EXPECT_LE(demand, env.per_chip + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GovernorSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace stamp::machine

@@ -1,0 +1,91 @@
+#include "machine/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stamp::machine {
+namespace {
+
+TEST(Power, DynamicPowerIsCubic) {
+  EXPECT_DOUBLE_EQ(dynamic_power({.frequency = 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(dynamic_power({.frequency = 2.0}), 8.0);
+  EXPECT_DOUBLE_EQ(dynamic_power({.frequency = 0.5}), 0.125);
+}
+
+TEST(Power, TimeAndEnergyScales) {
+  const OperatingPoint half{.frequency = 0.5};
+  EXPECT_DOUBLE_EQ(time_scale(half), 2.0);    // half speed
+  EXPECT_DOUBLE_EQ(energy_scale(half), 0.25); // quarter energy per op
+  const OperatingPoint nominal{};
+  EXPECT_DOUBLE_EQ(time_scale(nominal), 1.0);
+  EXPECT_DOUBLE_EQ(energy_scale(nominal), 1.0);
+}
+
+TEST(Power, OperatingPointValidation) {
+  EXPECT_THROW(OperatingPoint{.frequency = 0}.validate(), std::invalid_argument);
+  EXPECT_THROW(OperatingPoint{.frequency = -2}.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(OperatingPoint{.frequency = 0.1}.validate());
+}
+
+TEST(Power, PaperExampleEightCoresAtHalfFrequency) {
+  // "1 processor core clocked at frequency f consumes the same dynamic power
+  // as 8 cores, each clocked at f/2."
+  const PowerWallPoint one{.cores = 1, .frequency = 1.0};
+  const PowerWallPoint eight{.cores = 8, .frequency = 0.5};
+  EXPECT_DOUBLE_EQ(one.total_power(), eight.total_power());
+  // "if we can get a speedup of more than 2 with the 8 cores, we will get a
+  // better performance with the same power": 8 cores at f/2 run work W in
+  // W/4 vs W -> speedup 4 > 2 at perfect efficiency.
+  const double work = 1000;
+  EXPECT_DOUBLE_EQ(one.parallel_time(work) / eight.parallel_time(work), 4.0);
+}
+
+TEST(Power, EqualPowerFrequencyIsCubeRoot) {
+  EXPECT_DOUBLE_EQ(equal_power_frequency(1), 1.0);
+  EXPECT_DOUBLE_EQ(equal_power_frequency(8), 0.5);
+  EXPECT_NEAR(equal_power_frequency(27), 1.0 / 3.0, 1e-12);
+  EXPECT_THROW((void)equal_power_frequency(0), std::invalid_argument);
+}
+
+TEST(Power, EqualPowerSpeedupIsTwoThirdsPower) {
+  EXPECT_DOUBLE_EQ(equal_power_speedup(1), 1.0);
+  EXPECT_DOUBLE_EQ(equal_power_speedup(8), 4.0);  // 8^(2/3)
+  EXPECT_NEAR(equal_power_speedup(27), 9.0, 1e-12);
+  // Efficiency scales the speedup linearly.
+  EXPECT_DOUBLE_EQ(equal_power_speedup(8, 0.5), 2.0);
+  EXPECT_THROW((void)equal_power_speedup(8, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)equal_power_speedup(8, 1.5), std::invalid_argument);
+}
+
+TEST(Power, EnergyAtEqualPowerDropsWithCores) {
+  // Same power budget, shorter runtime => less energy for the same work.
+  const double work = 1e6;
+  const PowerWallPoint one{.cores = 1, .frequency = 1.0};
+  const PowerWallPoint eight{.cores = 8, .frequency = equal_power_frequency(8)};
+  EXPECT_NEAR(one.total_power(), eight.total_power(), 1e-9);
+  EXPECT_LT(eight.energy(work), one.energy(work));
+}
+
+TEST(Power, ParallelTimeValidatesEfficiency) {
+  const PowerWallPoint p{.cores = 4, .frequency = 1.0};
+  EXPECT_THROW((void)p.parallel_time(100, 0), std::invalid_argument);
+  EXPECT_THROW((void)p.parallel_time(100, 1.0001), std::invalid_argument);
+}
+
+// Property: speedup at equal power is monotone in core count and crosses 2
+// exactly at cores = 2^(3/2) ~ 2.83 (so 3 cores already beat speedup 2).
+class EqualPowerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EqualPowerTest, SpeedupMonotone) {
+  const int cores = GetParam();
+  EXPECT_GT(equal_power_speedup(cores + 1), equal_power_speedup(cores));
+  EXPECT_NEAR(equal_power_speedup(cores),
+              std::pow(static_cast<double>(cores), 2.0 / 3.0), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EqualPowerTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 64));
+
+}  // namespace
+}  // namespace stamp::machine

@@ -1,0 +1,199 @@
+#include "machine/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp::machine {
+namespace {
+
+using runtime::PlacementMap;
+
+MachineModel test_machine() {
+  MachineModel m;
+  m.name = "test";
+  m.topology = {.chips = 1, .processors_per_chip = 4, .threads_per_processor = 4};
+  m.params = {.ell_a = 2,
+              .ell_e = 10,
+              .g_sh_a = 0.5,
+              .g_sh_e = 2,
+              .L_a = 5,
+              .L_e = 20,
+              .g_mp_a = 1,
+              .g_mp_e = 2};
+  m.energy = {.w_fp = 4, .w_int = 1, .w_d_r = 2, .w_d_w = 2, .w_m_s = 3, .w_m_r = 3};
+  m.validate();
+  return m;
+}
+
+TEST(Simulator, ComputeOnlyTraceTakesAmountTime) {
+  const MachineModel m = test_machine();
+  const PlacementMap pm = PlacementMap::fill_first(m.topology, 1);
+  std::vector<ProcessTrace> traces{
+      {TraceOp{TraceOp::Kind::Compute, 100, true, 40}}};
+  const SimResult r = replay(traces, pm, m);
+  EXPECT_DOUBLE_EQ(r.makespan, 100);
+  EXPECT_DOUBLE_EQ(r.energy, 40 * 4 + 60 * 1);
+}
+
+TEST(Simulator, ParallelComputeOverlaps) {
+  const MachineModel m = test_machine();
+  const PlacementMap pm = PlacementMap::fill_first(m.topology, 4);
+  std::vector<ProcessTrace> traces(
+      4, {TraceOp{TraceOp::Kind::Compute, 50, true, 0}});
+  const SimResult r = replay(traces, pm, m);
+  EXPECT_DOUBLE_EQ(r.makespan, 50);  // threads compute independently
+  EXPECT_DOUBLE_EQ(r.energy, 4 * 50 * 1);
+}
+
+TEST(Simulator, SharedPipelineSerializesCoLocatedCompute) {
+  MachineModel m = test_machine();
+  const PlacementMap pm = PlacementMap::fill_first(m.topology, 4);
+  std::vector<ProcessTrace> traces(
+      4, {TraceOp{TraceOp::Kind::Compute, 50, true, 0}});
+  SimConfig cfg;
+  cfg.share_pipeline = true;
+  const SimResult r = replay(traces, pm, m, cfg);
+  EXPECT_DOUBLE_EQ(r.makespan, 200);  // 4 threads share one pipeline
+}
+
+TEST(Simulator, ShmLatencyAndBandwidth) {
+  const MachineModel m = test_machine();
+  const PlacementMap pm = PlacementMap::fill_first(m.topology, 1);
+  std::vector<ProcessTrace> traces{
+      {TraceOp{TraceOp::Kind::ShmRead, 10, false, 0}}};
+  const SimResult r = replay(traces, pm, m);
+  // One request run: bandwidth 2 * 10 + latency 10.
+  EXPECT_DOUBLE_EQ(r.makespan, 2 * 10 + 10);
+  EXPECT_DOUBLE_EQ(r.energy, 10 * m.energy.w_d_r);
+}
+
+TEST(Simulator, L2ContentionQueuesAcrossProcessors) {
+  const MachineModel m = test_machine();
+  // Two processes on different cores, both hammering the chip's L2.
+  const PlacementMap pm = PlacementMap::one_per_processor(m.topology, 2);
+  std::vector<ProcessTrace> traces(
+      2, {TraceOp{TraceOp::Kind::ShmRead, 10, false, 0}});
+  const SimResult r = replay(traces, pm, m);
+  // The L2 port serializes: second process finishes at 2*20 + ell.
+  EXPECT_DOUBLE_EQ(r.makespan, 2 * (2 * 10) + 10);
+  EXPECT_GT(r.l2_utilization[0], 0.75);
+}
+
+TEST(Simulator, L1PortsArePerCore) {
+  const MachineModel m = test_machine();
+  const PlacementMap pm = PlacementMap::one_per_processor(m.topology, 2);
+  std::vector<ProcessTrace> traces(
+      2, {TraceOp{TraceOp::Kind::ShmRead, 10, true, 0}});
+  const SimResult r = replay(traces, pm, m);
+  // Separate L1s: no queueing. 0.5 * 10 + 2.
+  EXPECT_DOUBLE_EQ(r.makespan, 0.5 * 10 + 2);
+}
+
+TEST(Simulator, MessageRoundTrip) {
+  const MachineModel m = test_machine();
+  const PlacementMap pm = PlacementMap::one_per_processor(m.topology, 2);
+  std::vector<ProcessTrace> traces(2);
+  traces[0] = {TraceOp{TraceOp::Kind::MsgSend, 1, false, 0}};
+  traces[1] = {TraceOp{TraceOp::Kind::MsgRecv, 1, false, 0}};
+  const SimResult r = replay(traces, pm, m);
+  // send: router service 2 (done at 2), arrival 2 + L_e = 22; recv: +g = 24.
+  EXPECT_DOUBLE_EQ(r.finish_times[1], 2 + 20 + 2);
+  EXPECT_DOUBLE_EQ(r.energy, m.energy.w_m_s + m.energy.w_m_r);
+}
+
+TEST(Simulator, IntraMessagesFasterThanInter) {
+  const MachineModel m = test_machine();
+  auto run_with = [&](Distribution d) {
+    const PlacementMap pm = PlacementMap::for_distribution(m.topology, 2, d);
+    const bool intra = d == Distribution::IntraProc;
+    std::vector<ProcessTrace> traces(2);
+    traces[0] = {TraceOp{TraceOp::Kind::MsgSend, 1, intra, 0}};
+    traces[1] = {TraceOp{TraceOp::Kind::MsgRecv, 1, intra, 0}};
+    return replay(traces, pm, m).makespan;
+  };
+  EXPECT_LT(run_with(Distribution::IntraProc), run_with(Distribution::InterProc));
+}
+
+TEST(Simulator, BarrierAlignsProcesses) {
+  const MachineModel m = test_machine();
+  const PlacementMap pm = PlacementMap::fill_first(m.topology, 2);
+  std::vector<ProcessTrace> traces(2);
+  traces[0] = {TraceOp{TraceOp::Kind::Compute, 10, true, 0},
+               TraceOp{TraceOp::Kind::Barrier, 1, false, 0},
+               TraceOp{TraceOp::Kind::Compute, 5, true, 0}};
+  traces[1] = {TraceOp{TraceOp::Kind::Compute, 100, true, 0},
+               TraceOp{TraceOp::Kind::Barrier, 1, false, 0},
+               TraceOp{TraceOp::Kind::Compute, 5, true, 0}};
+  const SimResult r = replay(traces, pm, m);
+  // Both released at 100 + 1 (barrier latency), finish at 106.
+  EXPECT_DOUBLE_EQ(r.finish_times[0], 106);
+  EXPECT_DOUBLE_EQ(r.finish_times[1], 106);
+  EXPECT_EQ(r.barrier_episodes, 1u);
+}
+
+TEST(Simulator, DvfsSlowsAndSavesEnergy) {
+  const MachineModel m = test_machine();
+  const PlacementMap pm = PlacementMap::fill_first(m.topology, 1);
+  const std::vector<ProcessTrace> traces{
+      {TraceOp{TraceOp::Kind::Compute, 100, true, 0}}};
+  SimConfig slow;
+  slow.operating_points = {OperatingPoint{.frequency = 0.5}};
+  const SimResult nominal = replay(traces, pm, m);
+  const SimResult halved = replay(traces, pm, m, slow);
+  EXPECT_DOUBLE_EQ(halved.makespan, 2 * nominal.makespan);
+  EXPECT_DOUBLE_EQ(halved.energy, 0.25 * nominal.energy);
+  // Power drops by f^3 = 8x.
+  EXPECT_NEAR(halved.power(), nominal.power() / 8.0, 1e-9);
+}
+
+TEST(Simulator, DeadlockDetected) {
+  const MachineModel m = test_machine();
+  const PlacementMap pm = PlacementMap::fill_first(m.topology, 1);
+  // A receive with no sender anywhere.
+  std::vector<ProcessTrace> traces{{TraceOp{TraceOp::Kind::MsgRecv, 1, true, 0}}};
+  EXPECT_THROW((void)replay(traces, pm, m), std::runtime_error);
+}
+
+TEST(Simulator, MismatchedSizesRejected) {
+  const MachineModel m = test_machine();
+  const PlacementMap pm = PlacementMap::fill_first(m.topology, 2);
+  std::vector<ProcessTrace> traces(1);
+  EXPECT_THROW((void)replay(traces, pm, m), std::invalid_argument);
+}
+
+TEST(Simulator, UnequalBarrierCountsHandled) {
+  const MachineModel m = test_machine();
+  const PlacementMap pm = PlacementMap::fill_first(m.topology, 2);
+  std::vector<ProcessTrace> traces(2);
+  traces[0] = {TraceOp{TraceOp::Kind::Compute, 5, true, 0},
+               TraceOp{TraceOp::Kind::Barrier, 1, false, 0},
+               TraceOp{TraceOp::Kind::Barrier, 1, false, 0}};
+  traces[1] = {TraceOp{TraceOp::Kind::Barrier, 1, false, 0}};
+  const SimResult r = replay(traces, pm, m);
+  // Episode 1 includes both; episode 2 only process 0.
+  EXPECT_EQ(r.barrier_episodes, 2u);
+}
+
+// Property: all-to-all message rounds complete and makespan grows with the
+// process count (more router traffic).
+class SimScaleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimScaleTest, AllToAllScales) {
+  const int n = GetParam();
+  MachineModel m = test_machine();
+  m.topology = {.chips = 1, .processors_per_chip = 8, .threads_per_processor = 4};
+  const PlacementMap pm = PlacementMap::one_per_processor(m.topology, n);
+  std::vector<ProcessTrace> traces(
+      static_cast<std::size_t>(n),
+      {TraceOp{TraceOp::Kind::MsgSend, static_cast<double>(n - 1), false, 0},
+       TraceOp{TraceOp::Kind::MsgRecv, static_cast<double>(n - 1), false, 0}});
+  const SimResult r = replay(traces, pm, m);
+  EXPECT_GT(r.makespan, 0);
+  EXPECT_DOUBLE_EQ(r.energy,
+                   static_cast<double>(n) * (n - 1) *
+                       (m.energy.w_m_s + m.energy.w_m_r));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimScaleTest, ::testing::Values(2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace stamp::machine

@@ -1,0 +1,147 @@
+#include "machine/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp::machine {
+namespace {
+
+TEST(Trace, RoundOrderIsComputeSendReceive) {
+  // Rounds exchange internally (send before receive) so replay never
+  // deadlocks on the first round; see trace_of_round.
+  CostCounters c;
+  c.m_r_e = 2;
+  c.c_fp = 5;
+  c.c_int = 5;
+  c.m_s_e = 2;
+  const ProcessTrace t = trace_of_round(c, CommMode::Asynchronous);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].kind, TraceOp::Kind::Compute);
+  EXPECT_DOUBLE_EQ(t[0].amount, 10);
+  EXPECT_DOUBLE_EQ(t[0].fp, 5);
+  EXPECT_EQ(t[1].kind, TraceOp::Kind::MsgSend);
+  EXPECT_EQ(t[2].kind, TraceOp::Kind::MsgRecv);
+}
+
+TEST(Trace, SharedMemoryRoundOrder) {
+  CostCounters c = counters::shared_memory(3, 2, 4, 1);
+  c.c_int = 7;
+  const ProcessTrace t = trace_of_round(c, CommMode::Asynchronous);
+  // reads (intra, inter), compute, writes (intra, inter)
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t[0].kind, TraceOp::Kind::ShmRead);
+  EXPECT_TRUE(t[0].intra);
+  EXPECT_EQ(t[1].kind, TraceOp::Kind::ShmRead);
+  EXPECT_FALSE(t[1].intra);
+  EXPECT_EQ(t[2].kind, TraceOp::Kind::Compute);
+  EXPECT_EQ(t[3].kind, TraceOp::Kind::ShmWrite);
+  EXPECT_EQ(t[4].kind, TraceOp::Kind::ShmWrite);
+}
+
+TEST(Trace, SynchronousCommAppendsBarrier) {
+  CostCounters c = counters::message_passing(1, 1, 0, 0);
+  const ProcessTrace sync_trace = trace_of_round(c, CommMode::Synchronous);
+  const ProcessTrace async_trace = trace_of_round(c, CommMode::Asynchronous);
+  EXPECT_EQ(barrier_count(sync_trace), 1u);
+  EXPECT_EQ(barrier_count(async_trace), 0u);
+}
+
+TEST(Trace, LocalOnlyRoundHasNoBarrier) {
+  const ProcessTrace t =
+      trace_of_round(counters::local(5, 5), CommMode::Synchronous);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].kind, TraceOp::Kind::Compute);
+}
+
+TEST(Trace, EmptyCountersGiveEmptyTrace) {
+  EXPECT_TRUE(trace_of_round(CostCounters{}, CommMode::Synchronous).empty());
+}
+
+TEST(Trace, RecorderTracePreservesRoundStructure) {
+  runtime::Recorder r;
+  for (int unit = 0; unit < 2; ++unit) {
+    r.begin_unit();
+    r.begin_round();
+    r.count_fp(3);
+    r.msg_send(false, 1);
+    r.msg_recv(false, 1);
+    r.end_round();
+    r.count_int(2);
+    r.end_unit();
+  }
+  const ProcessTrace t = trace_of_recorder(r, CommMode::Synchronous);
+  // Per unit: compute, send, recv, barrier, outside-compute = 5 ops.
+  ASSERT_EQ(t.size(), 10u);
+  EXPECT_EQ(barrier_count(t), 2u);
+  EXPECT_EQ(t[4].kind, TraceOp::Kind::Compute);  // outside-of-round work
+  EXPECT_DOUBLE_EQ(t[4].amount, 2);
+}
+
+TEST(Trace, RecorderTraceIncludesStray) {
+  runtime::Recorder r;
+  r.count_fp(5);  // stray local work, no unit
+  const ProcessTrace t = trace_of_recorder(r, CommMode::Asynchronous);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].kind, TraceOp::Kind::Compute);
+  EXPECT_DOUBLE_EQ(t[0].amount, 5);
+}
+
+TEST(Trace, ProcessTracePreservesTotals) {
+  StampProcess proc;
+  SUnit unit;
+  CostCounters round = counters::message_passing(2, 2, 1, 1);
+  round.c_fp = 4;
+  unit.add_round(round);
+  unit.add_local(1, 1);
+  proc.add_repeated(unit, 3);
+
+  const ProcessTrace t = trace_of_process(proc, CommMode::Asynchronous);
+  double sends = 0, recvs = 0, compute = 0;
+  for (const TraceOp& op : t) {
+    if (op.kind == TraceOp::Kind::MsgSend) sends += op.amount;
+    if (op.kind == TraceOp::Kind::MsgRecv) recvs += op.amount;
+    if (op.kind == TraceOp::Kind::Compute) compute += op.amount;
+  }
+  EXPECT_DOUBLE_EQ(sends, 9);    // 3 * (2+1)
+  EXPECT_DOUBLE_EQ(recvs, 9);
+  EXPECT_DOUBLE_EQ(compute, 18); // 3 * (4 fp + 2 local outside)
+}
+
+// Property: totals of a recorder-derived trace match the recorder's totals.
+class TraceTotalsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceTotalsTest, TraceConservesCounts) {
+  const int units = GetParam();
+  runtime::Recorder r;
+  for (int u = 0; u < units; ++u) {
+    runtime::UnitScope scope(r);
+    runtime::RoundScope round(r);
+    r.count_fp(u + 1);
+    r.shm_read(u % 2 == 0, u + 2);
+    r.shm_write(u % 2 == 1, 1);
+    r.msg_send(false, u % 3);
+    r.msg_recv(false, u % 3);
+  }
+  const CostCounters totals = r.totals();
+  const ProcessTrace t = trace_of_recorder(r, CommMode::Asynchronous);
+  double reads = 0, writes = 0, sends = 0, recvs = 0, compute = 0;
+  for (const TraceOp& op : t) {
+    switch (op.kind) {
+      case TraceOp::Kind::ShmRead: reads += op.amount; break;
+      case TraceOp::Kind::ShmWrite: writes += op.amount; break;
+      case TraceOp::Kind::MsgSend: sends += op.amount; break;
+      case TraceOp::Kind::MsgRecv: recvs += op.amount; break;
+      case TraceOp::Kind::Compute: compute += op.amount; break;
+      case TraceOp::Kind::Barrier: break;
+    }
+  }
+  EXPECT_DOUBLE_EQ(reads, totals.d_r_a + totals.d_r_e);
+  EXPECT_DOUBLE_EQ(writes, totals.d_w_a + totals.d_w_e);
+  EXPECT_DOUBLE_EQ(sends, totals.m_s_a + totals.m_s_e);
+  EXPECT_DOUBLE_EQ(recvs, totals.m_r_a + totals.m_r_e);
+  EXPECT_DOUBLE_EQ(compute, totals.local_ops());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TraceTotalsTest, ::testing::Values(1, 2, 5, 12));
+
+}  // namespace
+}  // namespace stamp::machine

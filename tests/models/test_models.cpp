@@ -1,0 +1,141 @@
+#include "models/models.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp::models {
+namespace {
+
+TEST(RoundSpecs, JacobiShape) {
+  const RoundSpec r = jacobi_round(10);
+  EXPECT_DOUBLE_EQ(r.local_ops, 20);
+  EXPECT_DOUBLE_EQ(r.msgs_out, 9);
+  EXPECT_DOUBLE_EQ(r.msgs_in, 9);
+  EXPECT_DOUBLE_EQ(r.shm_reads, 0);
+}
+
+TEST(RoundSpecs, ApspShape) {
+  const RoundSpec r = apsp_round(8);
+  EXPECT_DOUBLE_EQ(r.local_ops, 128);
+  EXPECT_DOUBLE_EQ(r.shm_reads, 64);
+  EXPECT_DOUBLE_EQ(r.shm_writes, 8);
+  EXPECT_DOUBLE_EQ(r.max_location_accesses, 8);
+}
+
+TEST(Pram, CommunicationIsUnitCost) {
+  RoundSpec r;
+  r.local_ops = 10;
+  r.msgs_out = 5;
+  r.msgs_in = 5;
+  EXPECT_DOUBLE_EQ(pram_round_time(r), 20);
+  // PRAM cannot distinguish a chatty round from a local one of equal ops:
+  RoundSpec local;
+  local.local_ops = 20;
+  EXPECT_DOUBLE_EQ(pram_round_time(local), pram_round_time(r));
+}
+
+TEST(Bsp, ChargesBandwidthAndBarrier) {
+  RoundSpec r;
+  r.local_ops = 10;
+  r.msgs_out = 4;
+  r.msgs_in = 2;
+  const BspParams p{.g = 3, .l = 50};
+  // h = max(out, in) with no shm: 4. 10 + 3*4 + 50.
+  EXPECT_DOUBLE_EQ(bsp_round_time(r, p), 72);
+}
+
+TEST(Bsp, BarrierChargedEvenWithoutCommunication) {
+  RoundSpec r;
+  r.local_ops = 10;
+  const BspParams p{.g = 3, .l = 50};
+  EXPECT_DOUBLE_EQ(bsp_round_time(r, p), 60);  // the over-synchrony critique
+}
+
+TEST(LogP, OverheadAndGapAndLatency) {
+  RoundSpec r;
+  r.local_ops = 10;
+  r.msgs_out = 3;
+  r.msgs_in = 3;
+  const LogPParams p{.L = 40, .o = 2, .g = 4};
+  // 10 + o*(3+3) + g*(3-1) + L = 10 + 12 + 8 + 40.
+  EXPECT_DOUBLE_EQ(logp_round_time(r, p), 70);
+}
+
+TEST(LogP, NoCommunicationNoLatency) {
+  RoundSpec r;
+  r.local_ops = 10;
+  EXPECT_DOUBLE_EQ(logp_round_time(r, LogPParams{}), 10);
+}
+
+TEST(LogGP, LongMessagesAddPerWordGap) {
+  RoundSpec r;
+  r.msgs_out = 2;
+  r.msgs_in = 0;
+  LogGPParams p{.L = 10, .o = 1, .g = 2, .G = 0.5, .words_per_message = 11};
+  // 0 + o*2 + g*1 + G*10*2 + L = 2 + 2 + 10 + 10 = 24.
+  EXPECT_DOUBLE_EQ(loggp_round_time(r, p), 24);
+  // With 1-word messages LogGP degenerates to LogP.
+  p.words_per_message = 1;
+  const LogPParams lp{.L = 10, .o = 1, .g = 2};
+  EXPECT_DOUBLE_EQ(loggp_round_time(r, p), logp_round_time(r, lp));
+}
+
+TEST(Qsm, PhaseIsMaxOfThreeTerms) {
+  RoundSpec r;
+  r.local_ops = 10;
+  r.shm_reads = 2;
+  r.shm_writes = 1;
+  r.max_location_accesses = 100;  // a hot location dominates
+  const QsmParams p{.g = 4};
+  EXPECT_DOUBLE_EQ(qsm_round_time(r, p), 100);
+  r.max_location_accesses = 1;
+  EXPECT_DOUBLE_EQ(qsm_round_time(r, p), 12);  // bandwidth term 4*3
+  r.shm_reads = 0;
+  r.shm_writes = 0;
+  EXPECT_DOUBLE_EQ(qsm_round_time(r, p), 10);  // compute term
+}
+
+TEST(AllModels, RoundsComposeLinearly) {
+  const RoundSpec r = jacobi_round(8);
+  EXPECT_DOUBLE_EQ(pram_time(r, 10), 10 * pram_round_time(r));
+  EXPECT_DOUBLE_EQ(bsp_time(r, 10, BspParams{}), 10 * bsp_round_time(r, BspParams{}));
+  EXPECT_DOUBLE_EQ(logp_time(r, 10, LogPParams{}),
+                   10 * logp_round_time(r, LogPParams{}));
+  EXPECT_DOUBLE_EQ(loggp_time(r, 10, LogGPParams{}),
+                   10 * loggp_round_time(r, LogGPParams{}));
+  EXPECT_DOUBLE_EQ(qsm_time(r, 10, QsmParams{}),
+                   10 * qsm_round_time(r, QsmParams{}));
+}
+
+// The paper's Section 2.2 ordering argument: PRAM underestimates every
+// communicating round; BSP charges at least the barrier over LogP-like
+// models for barrier-free workloads.
+class ModelOrderingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelOrderingTest, PramIsAlwaysTheCheapest) {
+  const int n = GetParam();
+  const BspParams bsp{.g = 4, .l = 50};
+  const LogPParams logp{.L = 40, .o = 2, .g = 4};
+  for (const RoundSpec& r : {jacobi_round(n), apsp_round(n)}) {
+    const double pram = pram_round_time(r);
+    EXPECT_LE(pram, bsp_round_time(r, bsp) + 1e-9);
+    EXPECT_LE(pram, logp_round_time(r, logp) + 1e-9);
+    // QSM can beat PRAM on compute-bound rounds (max vs sum) but not on the
+    // communication-bound Jacobi exchange with g >= 1.
+  }
+}
+
+TEST_P(ModelOrderingTest, ReductionStepCosts) {
+  const int n = GetParam();
+  (void)n;
+  const RoundSpec step = reduction_step(1);
+  EXPECT_DOUBLE_EQ(step.msgs_out, 1);
+  EXPECT_DOUBLE_EQ(step.msgs_in, 1);
+  const LogPParams logp{.L = 40, .o = 2, .g = 4};
+  EXPECT_DOUBLE_EQ(logp_round_time(step, logp), 1 + 2 * 2 + 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ModelOrderingTest,
+                         ::testing::Values(2, 4, 16, 64, 256));
+
+}  // namespace
+}  // namespace stamp::models

@@ -1,0 +1,85 @@
+#include "models/speedup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stamp::models {
+namespace {
+
+TEST(Speedup, ArgumentsValidated) {
+  EXPECT_THROW((void)amdahl_speedup(-0.1, 4), std::invalid_argument);
+  EXPECT_THROW((void)amdahl_speedup(1.1, 4), std::invalid_argument);
+  EXPECT_THROW((void)amdahl_speedup(0.5, 0), std::invalid_argument);
+  EXPECT_THROW((void)gustafson_speedup(0.5, 0), std::invalid_argument);
+}
+
+TEST(Speedup, AmdahlKnownValues) {
+  EXPECT_DOUBLE_EQ(amdahl_speedup(0.0, 8), 8.0);     // perfect parallel
+  EXPECT_DOUBLE_EQ(amdahl_speedup(1.0, 8), 1.0);     // fully serial
+  EXPECT_DOUBLE_EQ(amdahl_speedup(0.5, 2), 4.0 / 3); // textbook
+  EXPECT_NEAR(amdahl_speedup(0.1, 8), 1.0 / (0.1 + 0.9 / 8), 1e-12);
+}
+
+TEST(Speedup, GustafsonKnownValues) {
+  EXPECT_DOUBLE_EQ(gustafson_speedup(0.0, 8), 8.0);
+  EXPECT_DOUBLE_EQ(gustafson_speedup(1.0, 8), 1.0);
+  EXPECT_DOUBLE_EQ(gustafson_speedup(0.25, 5), 4.0);  // 5 - 0.25*4
+}
+
+TEST(Speedup, AmdahlLimit) {
+  EXPECT_TRUE(std::isinf(amdahl_limit(0.0)));
+  EXPECT_DOUBLE_EQ(amdahl_limit(0.1), 10.0);
+  EXPECT_DOUBLE_EQ(amdahl_limit(1.0), 1.0);
+}
+
+TEST(Speedup, EqualPowerPerfectParallelIsTwoThirdsLaw) {
+  for (int p : {1, 8, 27, 64}) {
+    EXPECT_NEAR(equal_power_amdahl_speedup(0.0, p),
+                std::pow(static_cast<double>(p), 2.0 / 3.0), 1e-12);
+  }
+}
+
+TEST(Speedup, SerialFractionCapsEqualPowerBenefit) {
+  // With s = 10%, the equal-power speedup peaks and then declines: adding
+  // cores forces f down while Amdahl saturates.
+  const int best = optimal_equal_power_cores(0.1, 512);
+  EXPECT_GT(best, 1);
+  EXPECT_LT(best, 512);
+  const double peak = equal_power_amdahl_speedup(0.1, best);
+  EXPECT_GT(peak, equal_power_amdahl_speedup(0.1, 1));
+  EXPECT_GT(peak, equal_power_amdahl_speedup(0.1, 512));
+}
+
+TEST(Speedup, FullyParallelWantsAllTheCores) {
+  // s = 0: speedup = p^(2/3) is monotone, so the optimum is the max.
+  EXPECT_EQ(optimal_equal_power_cores(0.0, 256), 256);
+}
+
+TEST(Speedup, FullySerialWantsOneCore) {
+  // s = 1: parallelism never helps; frequency penalty always hurts.
+  EXPECT_EQ(optimal_equal_power_cores(1.0, 256), 1);
+}
+
+// Property: Gustafson >= Amdahl for the same (s, p); both in [1, p].
+class SpeedupSweep
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(SpeedupSweep, LawsOrderedAndBounded) {
+  const auto [s, p] = GetParam();
+  const double a = amdahl_speedup(s, p);
+  const double g = gustafson_speedup(s, p);
+  EXPECT_GE(g + 1e-12, a);
+  EXPECT_GE(a, 1.0 - 1e-12);
+  EXPECT_LE(a, p + 1e-12);
+  EXPECT_GE(g, 1.0 - 1e-12);
+  EXPECT_LE(g, p + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpeedupSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.05, 0.3, 0.9, 1.0),
+                       ::testing::Values(1, 2, 8, 64, 1024)));
+
+}  // namespace
+}  // namespace stamp::models

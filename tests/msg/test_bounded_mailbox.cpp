@@ -1,0 +1,122 @@
+#include "msg/bounded_mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace stamp::msg {
+namespace {
+
+TEST(BoundedMailbox, CapacityValidated) {
+  EXPECT_THROW(BoundedMailbox<int>(0), std::invalid_argument);
+  const BoundedMailbox<int> box(3);
+  EXPECT_EQ(box.capacity(), 3u);
+}
+
+TEST(BoundedMailbox, FifoWithinCapacity) {
+  BoundedMailbox<int> box(4);
+  for (int i = 0; i < 4; ++i) box.send(i);
+  EXPECT_EQ(box.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(box.receive(), i);
+}
+
+TEST(BoundedMailbox, TrySendFailsWhenFull) {
+  BoundedMailbox<int> box(2);
+  int v = 1;
+  EXPECT_TRUE(box.try_send(v));
+  v = 2;
+  EXPECT_TRUE(box.try_send(v));
+  v = 3;
+  EXPECT_FALSE(box.try_send(v));
+  EXPECT_EQ(v, 3);  // value untouched on failure
+  (void)box.receive();
+  EXPECT_TRUE(box.try_send(v));
+}
+
+TEST(BoundedMailbox, FullSenderBlocksUntilReceive) {
+  BoundedMailbox<int> box(1);
+  box.send(1);
+  std::atomic<bool> sent{false};
+  std::jthread producer([&] {
+    box.send(2);  // blocks: full
+    sent.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(sent.load());
+  EXPECT_EQ(box.receive(), 1);  // frees a slot
+  producer.join();
+  EXPECT_TRUE(sent.load());
+  EXPECT_EQ(box.receive(), 2);
+}
+
+TEST(BoundedMailbox, CloseUnblocksBlockedSender) {
+  BoundedMailbox<int> box(1);
+  box.send(1);
+  std::atomic<bool> threw{false};
+  std::jthread producer([&] {
+    try {
+      box.send(2);
+    } catch (const BoundedMailboxClosed&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  box.close();
+  producer.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(BoundedMailbox, CloseDrainsThenThrows) {
+  BoundedMailbox<int> box(2);
+  box.send(7);
+  box.close();
+  EXPECT_EQ(box.receive(), 7);
+  EXPECT_THROW((void)box.receive(), BoundedMailboxClosed);
+  int v = 1;
+  EXPECT_THROW((void)box.try_send(v), BoundedMailboxClosed);
+  EXPECT_TRUE(box.closed());
+}
+
+TEST(BoundedMailbox, TryReceiveNonBlocking) {
+  BoundedMailbox<int> box(2);
+  EXPECT_FALSE(box.try_receive().has_value());
+  box.send(5);
+  const auto v = box.try_receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(BoundedMailbox, BackpressureBoundsQueue) {
+  // A fast producer against a slow consumer: the queue must never exceed the
+  // capacity, and nothing may be lost.
+  constexpr int kMessages = 2000;
+  constexpr std::size_t kCapacity = 8;
+  BoundedMailbox<int> box(kCapacity);
+  std::atomic<std::size_t> max_seen{0};
+  std::jthread producer([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      box.send(i);
+      std::size_t sz = box.size();
+      std::size_t prev = max_seen.load();
+      while (sz > prev && !max_seen.compare_exchange_weak(prev, sz)) {
+      }
+    }
+  });
+  long long sum = 0;
+  for (int i = 0; i < kMessages; ++i) sum += box.receive();
+  producer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kMessages) * (kMessages - 1) / 2);
+  EXPECT_LE(max_seen.load(), kCapacity);
+}
+
+TEST(BoundedMailbox, CapacityOneActsAsRendezvousPipe) {
+  BoundedMailbox<int> box(1);
+  std::jthread producer([&] {
+    for (int i = 0; i < 100; ++i) box.send(i);
+  });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(box.receive(), i);
+}
+
+}  // namespace
+}  // namespace stamp::msg

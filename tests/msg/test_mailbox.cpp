@@ -1,0 +1,128 @@
+#include "msg/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace stamp::msg {
+namespace {
+
+TEST(Mailbox, FifoWithinSingleSender) {
+  Mailbox<int> box;
+  for (int i = 0; i < 10; ++i) box.send(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(box.receive(), i);
+}
+
+TEST(Mailbox, TryReceiveEmpty) {
+  Mailbox<int> box;
+  EXPECT_FALSE(box.try_receive().has_value());
+  box.send(7);
+  const auto v = box.try_receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(Mailbox, SizeAndEmpty) {
+  Mailbox<std::string> box;
+  EXPECT_TRUE(box.empty());
+  box.send("a");
+  box.send("b");
+  EXPECT_EQ(box.size(), 2u);
+  (void)box.receive();
+  EXPECT_EQ(box.size(), 1u);
+}
+
+TEST(Mailbox, MoveOnlyPayloadsWork) {
+  Mailbox<std::unique_ptr<int>> box;
+  box.send(std::make_unique<int>(5));
+  const auto p = box.receive();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(Mailbox, CloseUnblocksReceiversAndRejectsSenders) {
+  Mailbox<int> box;
+  box.send(1);
+  box.close();
+  EXPECT_EQ(box.receive(), 1);           // drains queued messages
+  EXPECT_THROW((void)box.receive(), MailboxClosed);  // then throws
+  EXPECT_THROW(box.send(2), MailboxClosed);
+  EXPECT_TRUE(box.closed());
+}
+
+TEST(Mailbox, BlockedReceiverWakesOnSend) {
+  Mailbox<int> box;
+  std::atomic<int> got{-1};
+  std::jthread receiver([&] { got.store(box.receive()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(got.load(), -1);  // still blocked
+  box.send(42);
+  receiver.join();
+  EXPECT_EQ(got.load(), 42);
+}
+
+TEST(Mailbox, BlockedReceiverWakesOnClose) {
+  Mailbox<int> box;
+  std::atomic<bool> threw{false};
+  std::jthread receiver([&] {
+    try {
+      (void)box.receive();
+    } catch (const MailboxClosed&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  box.close();
+  receiver.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(Mailbox, ManyProducersOneConsumerDeliversEverything) {
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 1000;
+  Mailbox<int> box;
+  {
+    std::vector<std::jthread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) box.send(p * kPerProducer + i);
+      });
+    }
+  }
+  std::set<int> received;
+  for (int i = 0; i < kProducers * kPerProducer; ++i)
+    received.insert(box.receive());
+  EXPECT_EQ(received.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  EXPECT_EQ(*received.begin(), 0);
+  EXPECT_EQ(*received.rbegin(), kProducers * kPerProducer - 1);
+}
+
+TEST(Mailbox, ConcurrentProducersAndConsumers) {
+  constexpr int kMessages = 4000;
+  Mailbox<int> box;
+  std::atomic<long long> sum{0};
+  std::atomic<int> consumed{0};
+  {
+    std::vector<std::jthread> workers;
+    for (int c = 0; c < 4; ++c) {
+      workers.emplace_back([&] {
+        while (consumed.fetch_add(1) < kMessages) sum += box.receive();
+      });
+    }
+    for (int p = 0; p < 4; ++p) {
+      workers.emplace_back([&, p] {
+        for (int i = p; i < kMessages; i += 4) box.send(i);
+      });
+    }
+    // Consumers that over-claimed (fetch_add >= kMessages) exit immediately.
+  }
+  EXPECT_EQ(sum.load(), static_cast<long long>(kMessages) * (kMessages - 1) / 2);
+}
+
+}  // namespace
+}  // namespace stamp::msg

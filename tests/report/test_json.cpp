@@ -1,0 +1,129 @@
+#include "report/json.hpp"
+
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace stamp::report {
+namespace {
+
+std::string render(void (*build)(JsonWriter&)) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  build(w);
+  EXPECT_TRUE(w.complete());
+  return os.str();
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(render([](JsonWriter& w) { w.value("hi"); }), "\"hi\"");
+  EXPECT_EQ(render([](JsonWriter& w) { w.value(42LL); }), "42");
+  EXPECT_EQ(render([](JsonWriter& w) { w.value(true); }), "true");
+  EXPECT_EQ(render([](JsonWriter& w) { w.null(); }), "null");
+}
+
+TEST(Json, NumbersFormatted) {
+  EXPECT_EQ(render([](JsonWriter& w) { w.value(1.5); }), "1.5");
+  // NaN/Inf become null (JSON has no such literals).
+  EXPECT_EQ(render([](JsonWriter& w) {
+              w.value(std::numeric_limits<double>::quiet_NaN());
+            }),
+            "null");
+  EXPECT_EQ(render([](JsonWriter& w) {
+              w.value(std::numeric_limits<double>::infinity());
+            }),
+            "null");
+}
+
+TEST(Json, ObjectAndArray) {
+  const std::string out = render([](JsonWriter& w) {
+    w.begin_object();
+    w.kv("name", "stamp");
+    w.key("values");
+    w.begin_array();
+    w.value(1LL);
+    w.value(2LL);
+    w.end_array();
+    w.kv("ok", true);
+    w.end_object();
+  });
+  EXPECT_EQ(out, R"({"name":"stamp","values":[1,2],"ok":true})");
+}
+
+TEST(Json, NestedContainers) {
+  const std::string out = render([](JsonWriter& w) {
+    w.begin_array();
+    w.begin_object();
+    w.kv("a", 1LL);
+    w.end_object();
+    w.begin_object();
+    w.kv("b", 2LL);
+    w.end_object();
+    w.end_array();
+  });
+  EXPECT_EQ(out, R"([{"a":1},{"b":2}])");
+}
+
+TEST(Json, Escaping) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("x\x01y", 3)), "x\\u0001y");
+  const std::string out =
+      render([](JsonWriter& w) { w.value("quote\" and \\slash"); });
+  EXPECT_EQ(out, "\"quote\\\" and \\\\slash\"");
+}
+
+TEST(Json, StructureErrorsThrow) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(1LL), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w(os);
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key at root
+  }
+  {
+    JsonWriter w(os);
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("k");
+    EXPECT_THROW(w.key("k2"), std::logic_error);  // two keys in a row
+  }
+  {
+    JsonWriter w(os);
+    w.value(1LL);
+    EXPECT_THROW(w.value(2LL), std::logic_error);  // two roots
+  }
+}
+
+TEST(Json, CompleteTracksState) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  EXPECT_FALSE(w.complete());
+  w.begin_object();
+  EXPECT_FALSE(w.complete());
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(Json, TableExport) {
+  Table t("results", {"name", "count", "ratio"});
+  t.add_row({Cell{std::string("alpha")}, Cell{3LL}, Cell{0.5}});
+  t.add_row({Cell{std::string("beta")}, Cell{7LL}, Cell{1.25}});
+  std::ostringstream os;
+  t.write_json(os);
+  EXPECT_EQ(os.str(),
+            R"({"title":"results","rows":[)"
+            R"({"name":"alpha","count":3,"ratio":0.5},)"
+            R"({"name":"beta","count":7,"ratio":1.25}]})");
+}
+
+}  // namespace
+}  // namespace stamp::report

@@ -1,0 +1,97 @@
+#include "report/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace stamp::report {
+namespace {
+
+TEST(Stats, EmptySampleIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0);
+  EXPECT_EQ(s.stddev, 0);
+}
+
+TEST(Stats, SingleValue) {
+  const std::vector<double> v{5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 5);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0);
+  EXPECT_DOUBLE_EQ(s.p50, 5);
+}
+
+TEST(Stats, KnownSample) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5);
+  EXPECT_DOUBLE_EQ(s.min, 2);
+  EXPECT_DOUBLE_EQ(s.max, 9);
+  // Sample stddev with n-1: sqrt(32/7).
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 1), 40);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0 / 3.0), 20);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> v{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25);
+}
+
+TEST(Stats, PercentileClampsQ) {
+  const std::vector<double> v{1, 2};
+  EXPECT_DOUBLE_EQ(percentile(v, -1), 1);
+  EXPECT_DOUBLE_EQ(percentile(v, 2), 2);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(110, 100), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(90, 100), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(0, 0), 0);
+  EXPECT_TRUE(std::isinf(relative_error(1, 0)));
+  EXPECT_DOUBLE_EQ(relative_error(-5, -4), 0.25);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> v{1, 4, 16};
+  EXPECT_NEAR(geometric_mean(v), 4, 1e-12);
+  const std::vector<double> with_zero{1, 0, 4};
+  EXPECT_DOUBLE_EQ(geometric_mean(with_zero), 0);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0);
+}
+
+// Property: min <= p50 <= p90 <= p99 <= max and mean in [min, max].
+class SummaryPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SummaryPropertyTest, OrderingInvariants) {
+  const int n = GetParam();
+  std::vector<double> v;
+  for (int i = 0; i < n; ++i)
+    v.push_back(std::sin(i * 0.7) * 100 + (i % 13));
+  const Summary s = summarize(v);
+  EXPECT_LE(s.min, s.p50);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_GE(s.mean, s.min);
+  EXPECT_LE(s.mean, s.max);
+  EXPECT_GE(s.stddev, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SummaryPropertyTest,
+                         ::testing::Values(1, 2, 10, 100, 1000));
+
+}  // namespace
+}  // namespace stamp::report

@@ -1,0 +1,93 @@
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace stamp::report {
+namespace {
+
+TEST(Table, RequiresHeaders) {
+  EXPECT_THROW(Table("t", {}), std::invalid_argument);
+}
+
+TEST(Table, RowWidthEnforced) {
+  Table t("t", {"a", "b"});
+  EXPECT_THROW(t.add_row({Cell{1LL}}), std::invalid_argument);
+  EXPECT_NO_THROW(t.add_row({Cell{1LL}, Cell{2LL}}));
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(Table, FormatsCellTypes) {
+  Table t("t", {"x"});
+  EXPECT_EQ(t.format_cell(Cell{std::string("hi")}), "hi");
+  EXPECT_EQ(t.format_cell(Cell{42LL}), "42");
+  EXPECT_EQ(t.format_cell(Cell{1.5}), "1.500");
+  t.set_precision(1);
+  EXPECT_EQ(t.format_cell(Cell{1.55}), "1.6");
+}
+
+TEST(Table, PrintContainsHeadersAndValues) {
+  Table t("My Title", {"name", "value"});
+  t.add_row({Cell{std::string("alpha")}, Cell{3.25}});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("My Title"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("3.250"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);  // box rules
+}
+
+TEST(Table, StreamOperator) {
+  Table t("t", {"a"});
+  t.add_text_row({"v"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t("csv", {"plain", "with,comma", "with\"quote"});
+  t.add_row({Cell{std::string("a,b")}, Cell{std::string("c\"d")}, Cell{7LL}});
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# csv"), std::string::npos);
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"c\"\"d\""), std::string::npos);
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+}
+
+TEST(Table, CsvRowsLineUp) {
+  Table t("t", {"a", "b"});
+  t.add_row({Cell{1LL}, Cell{2LL}});
+  t.add_row({Cell{3LL}, Cell{4LL}});
+  std::ostringstream os;
+  t.write_csv(os);
+  std::istringstream is(os.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 4);  // comment + header + 2 rows
+}
+
+TEST(Table, ColumnsWidenToFit) {
+  Table t("t", {"x"});
+  t.add_text_row({"a-very-long-cell-value"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("a-very-long-cell-value"), std::string::npos);
+}
+
+TEST(PrintSection, EmitsBanner) {
+  std::ostringstream os;
+  print_section(os, "hello");
+  EXPECT_NE(os.str().find("== hello"), std::string::npos);
+  EXPECT_NE(os.str().find("===="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stamp::report

@@ -1,0 +1,110 @@
+#include "runtime/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace stamp::runtime {
+namespace {
+
+TEST(PhaseBarrier, RejectsNonPositiveParties) {
+  EXPECT_THROW(PhaseBarrier(0), std::invalid_argument);
+  EXPECT_THROW(PhaseBarrier(-3), std::invalid_argument);
+}
+
+TEST(PhaseBarrier, SinglePartyNeverBlocks) {
+  PhaseBarrier b(1);
+  for (int i = 0; i < 100; ++i) b.arrive_and_wait();
+  EXPECT_EQ(b.phase(), 100u);
+}
+
+TEST(PhaseBarrier, AllThreadsSeeEachPhaseTogether) {
+  constexpr int kThreads = 8;
+  constexpr int kPhases = 200;
+  PhaseBarrier barrier(kThreads);
+  std::atomic<int> in_phase{0};
+  std::atomic<bool> violation{false};
+
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int phase = 0; phase < kPhases; ++phase) {
+          in_phase.fetch_add(1);
+          barrier.arrive_and_wait();
+          // Between barriers every thread has arrived: counter is a multiple
+          // of kThreads at the moment the barrier releases.
+          const int count = in_phase.load();
+          if (count % kThreads != 0 && count < (phase + 1) * kThreads)
+            violation.store(true);
+          barrier.arrive_and_wait();
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(barrier.phase(), 2u * kPhases);
+}
+
+TEST(PhaseBarrier, OrderingAcrossPhases) {
+  // A value written before the barrier must be visible after it.
+  constexpr int kThreads = 4;
+  PhaseBarrier barrier(kThreads);
+  std::vector<int> values(kThreads, 0);
+
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        values[static_cast<std::size_t>(t)] = t + 1;
+        barrier.arrive_and_wait();
+        int sum = 0;
+        for (int v : values) sum += v;
+        EXPECT_EQ(sum, kThreads * (kThreads + 1) / 2);
+        barrier.arrive_and_wait();
+      });
+    }
+  }
+}
+
+TEST(SenseBarrier, RejectsNonPositiveParties) {
+  EXPECT_THROW(SenseBarrier(0), std::invalid_argument);
+}
+
+TEST(SenseBarrier, SinglePartyNeverBlocks) {
+  SenseBarrier b(1);
+  for (int i = 0; i < 100; ++i) b.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(SenseBarrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 500;
+  SenseBarrier barrier(kThreads);
+  std::vector<std::atomic<int>> counters(kThreads);
+  std::atomic<bool> violation{false};
+
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int phase = 0; phase < kPhases; ++phase) {
+          counters[static_cast<std::size_t>(t)].store(phase + 1);
+          barrier.arrive_and_wait();
+          for (int u = 0; u < kThreads; ++u) {
+            // No thread may still be in a previous phase after the barrier.
+            if (counters[static_cast<std::size_t>(u)].load() < phase + 1)
+              violation.store(true);
+          }
+          barrier.arrive_and_wait();
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(violation.load());
+}
+
+}  // namespace
+}  // namespace stamp::runtime

@@ -1,0 +1,192 @@
+#include "runtime/instrument.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp::runtime {
+namespace {
+
+TEST(Recorder, EmptyTotalsAreZero) {
+  const Recorder r;
+  EXPECT_EQ(r.totals(), CostCounters{});
+  EXPECT_EQ(r.unit_count(), 0u);
+  EXPECT_FALSE(r.in_round());
+}
+
+TEST(Recorder, CountsOutsideAnyUnitGoToStray) {
+  Recorder r;
+  r.count_fp(3);
+  r.msg_send(true, 2);
+  EXPECT_EQ(r.unit_count(), 0u);
+  EXPECT_DOUBLE_EQ(r.totals().c_fp, 3);
+  EXPECT_DOUBLE_EQ(r.totals().m_s_a, 2);
+  EXPECT_DOUBLE_EQ(r.stray().c_fp, 3);
+}
+
+TEST(Recorder, RoundAndOutsideSeparated) {
+  Recorder r;
+  r.begin_unit();
+  r.count_int(1);  // outside round
+  r.begin_round();
+  r.count_fp(10);
+  r.shm_read(false, 4);
+  r.end_round();
+  r.count_int(2);  // outside again
+  r.end_unit();
+
+  ASSERT_EQ(r.units().size(), 1u);
+  const Recorder::UnitRecord& u = r.units().front();
+  ASSERT_EQ(u.rounds.size(), 1u);
+  EXPECT_DOUBLE_EQ(u.rounds[0].c_fp, 10);
+  EXPECT_DOUBLE_EQ(u.rounds[0].d_r_e, 4);
+  EXPECT_DOUBLE_EQ(u.outside.c_int, 3);
+}
+
+TEST(Recorder, BeginRoundOpensUnitImplicitly) {
+  Recorder r;
+  r.begin_round();
+  r.count_fp(1);
+  r.end_round();
+  r.end_unit();
+  EXPECT_EQ(r.unit_count(), 1u);
+}
+
+TEST(Recorder, BeginRoundClosesPreviousRound) {
+  Recorder r;
+  r.begin_unit();
+  r.begin_round();
+  r.count_fp(1);
+  r.begin_round();  // implicit end of round 1
+  r.count_fp(2);
+  r.end_round();
+  r.end_unit();
+  ASSERT_EQ(r.units().front().rounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.units().front().rounds[0].c_fp, 1);
+  EXPECT_DOUBLE_EQ(r.units().front().rounds[1].c_fp, 2);
+}
+
+TEST(Recorder, IntraInterClassification) {
+  Recorder r;
+  r.begin_round();
+  r.shm_read(true, 3);
+  r.shm_read(false, 5);
+  r.shm_write(true, 1);
+  r.shm_write(false, 2);
+  r.msg_send(true, 7);
+  r.msg_send(false, 8);
+  r.msg_recv(true, 9);
+  r.msg_recv(false, 10);
+  r.end_round();
+  const CostCounters t = r.totals();
+  EXPECT_DOUBLE_EQ(t.d_r_a, 3);
+  EXPECT_DOUBLE_EQ(t.d_r_e, 5);
+  EXPECT_DOUBLE_EQ(t.d_w_a, 1);
+  EXPECT_DOUBLE_EQ(t.d_w_e, 2);
+  EXPECT_DOUBLE_EQ(t.m_s_a, 7);
+  EXPECT_DOUBLE_EQ(t.m_s_e, 8);
+  EXPECT_DOUBLE_EQ(t.m_r_a, 9);
+  EXPECT_DOUBLE_EQ(t.m_r_e, 10);
+}
+
+TEST(Recorder, KappaKeepsMaximum) {
+  Recorder r;
+  r.begin_round();
+  r.observe_kappa(3);
+  r.observe_kappa(1);
+  r.observe_kappa(7);
+  r.end_round();
+  EXPECT_DOUBLE_EQ(r.totals().kappa, 7);
+}
+
+TEST(Recorder, ToProcessPreservesCost) {
+  Recorder r;
+  for (int unit = 0; unit < 3; ++unit) {
+    r.begin_unit();
+    r.count_int(1);
+    r.begin_round();
+    r.count_fp(10);
+    r.msg_send(false, 2);
+    r.msg_recv(false, 2);
+    r.end_round();
+    r.count_int(2);
+    r.end_unit();
+  }
+  const StampProcess proc = r.to_process(Attributes{});
+  EXPECT_EQ(proc.unit_count(), 3u);
+
+  const MachineParams mp;
+  const EnergyParams ep;
+  const ProcessCounts pc{.intra = 0, .inter = 1};
+  // 3 units, each: 3 int outside + round(10 fp + L_e + g*(4)).
+  const double per_unit = 3 + 10 + mp.L_e + mp.g_mp_e * 4;
+  EXPECT_DOUBLE_EQ(proc.cost(mp, ep, pc).time, 3 * per_unit);
+}
+
+TEST(Recorder, ToProcessFoldsStrayIntoTrailingUnit) {
+  Recorder r;
+  r.begin_unit();
+  r.count_fp(1);
+  r.end_unit();
+  r.count_int(5);  // stray local
+  const StampProcess proc = r.to_process(Attributes{});
+  EXPECT_EQ(proc.unit_count(), 2u);
+  EXPECT_DOUBLE_EQ(proc.total_counters().c_int, 5);
+}
+
+TEST(Recorder, ClearResets) {
+  Recorder r;
+  r.begin_round();
+  r.count_fp(10);
+  r.end_round();
+  r.clear();
+  EXPECT_EQ(r.totals(), CostCounters{});
+  EXPECT_EQ(r.unit_count(), 0u);
+}
+
+TEST(RecorderScopes, RaiiMatchesManualCalls) {
+  Recorder manual;
+  manual.begin_unit();
+  manual.begin_round();
+  manual.count_fp(4);
+  manual.end_round();
+  manual.end_unit();
+
+  Recorder raii;
+  {
+    UnitScope u(raii);
+    {
+      RoundScope s(raii);
+      raii.count_fp(4);
+    }
+  }
+  EXPECT_EQ(raii.totals(), manual.totals());
+  EXPECT_EQ(raii.unit_count(), manual.unit_count());
+}
+
+// Property: totals equal the sum over the structured view.
+class RecorderTotalsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecorderTotalsTest, TotalsMatchStructure) {
+  const int units = GetParam();
+  Recorder r;
+  for (int u = 0; u < units; ++u) {
+    UnitScope scope(r);
+    r.count_int(u + 1);
+    for (int round = 0; round <= u % 3; ++round) {
+      RoundScope rs(r);
+      r.count_fp(round + 1);
+      r.shm_write(u % 2 == 0, 2);
+    }
+  }
+  CostCounters manual;
+  for (const Recorder::UnitRecord& u : r.units()) {
+    manual += u.outside;
+    for (const CostCounters& round : u.rounds) manual += round;
+  }
+  EXPECT_EQ(r.totals(), manual);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RecorderTotalsTest,
+                         ::testing::Values(0, 1, 2, 5, 20));
+
+}  // namespace
+}  // namespace stamp::runtime

@@ -1,0 +1,123 @@
+#include "runtime/placement_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp::runtime {
+namespace {
+
+const Topology kNiagara{.chips = 1, .processors_per_chip = 8,
+                        .threads_per_processor = 4};
+const Topology kServer{.chips = 2, .processors_per_chip = 4,
+                       .threads_per_processor = 2};
+
+TEST(PlacementMap, FillFirstCoLocates) {
+  const PlacementMap pm = PlacementMap::fill_first(kNiagara, 6);
+  // First four on processor 0, next two on processor 1.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(pm.processor_of(i), 0);
+  EXPECT_EQ(pm.processor_of(4), 1);
+  EXPECT_EQ(pm.processor_of(5), 1);
+  EXPECT_TRUE(pm.same_processor(0, 3));
+  EXPECT_FALSE(pm.same_processor(3, 4));
+}
+
+TEST(PlacementMap, FillFirstWithThreadLimit) {
+  const PlacementMap pm = PlacementMap::fill_first(kNiagara, 6, 3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(pm.processor_of(i), 0);
+  for (int i = 3; i < 6; ++i) EXPECT_EQ(pm.processor_of(i), 1);
+}
+
+TEST(PlacementMap, OnePerProcessorSpreads) {
+  const PlacementMap pm = PlacementMap::one_per_processor(kNiagara, 8);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(pm.processor_of(i), i);
+  EXPECT_FALSE(pm.same_processor(0, 1));
+}
+
+TEST(PlacementMap, OnePerProcessorWrapsOntoSecondThread) {
+  const PlacementMap pm = PlacementMap::one_per_processor(kNiagara, 10);
+  EXPECT_EQ(pm.processor_of(8), 0);
+  EXPECT_EQ(pm.slot_of(8).thread, 1);
+  EXPECT_TRUE(pm.same_processor(0, 8));
+}
+
+TEST(PlacementMap, SpansChips) {
+  const PlacementMap pm = PlacementMap::one_per_processor(kServer, 8);
+  EXPECT_EQ(pm.slot_of(0).chip, 0);
+  EXPECT_EQ(pm.slot_of(4).chip, 1);
+  EXPECT_EQ(pm.processor_of(4), 4);
+}
+
+TEST(PlacementMap, CapacityEnforced) {
+  EXPECT_THROW(PlacementMap::fill_first(kNiagara, 33), std::invalid_argument);
+  EXPECT_THROW(PlacementMap::one_per_processor(kNiagara, 33),
+               std::invalid_argument);
+  EXPECT_NO_THROW(PlacementMap::fill_first(kNiagara, 32));
+}
+
+TEST(PlacementMap, SlotValidation) {
+  std::vector<Slot> bad{{.chip = 0, .processor = 99, .thread = 0}};
+  EXPECT_THROW(PlacementMap(kNiagara, bad), std::invalid_argument);
+}
+
+TEST(PlacementMap, DuplicateSlotRejected) {
+  std::vector<Slot> dup{{.chip = 0, .processor = 0, .thread = 0},
+                        {.chip = 0, .processor = 0, .thread = 0}};
+  EXPECT_THROW(PlacementMap(kNiagara, dup), std::invalid_argument);
+}
+
+TEST(PlacementMap, ProcessCountsForDistribution) {
+  const PlacementMap intra = PlacementMap::fill_first(kNiagara, 4);
+  const ProcessCounts pc_intra = intra.process_counts_for(0);
+  EXPECT_EQ(pc_intra.intra, 3);
+  EXPECT_EQ(pc_intra.inter, 0);
+
+  const PlacementMap inter = PlacementMap::one_per_processor(kNiagara, 4);
+  const ProcessCounts pc_inter = inter.process_counts_for(0);
+  EXPECT_EQ(pc_inter.intra, 0);
+  EXPECT_EQ(pc_inter.inter, 3);
+}
+
+TEST(PlacementMap, Occupancy) {
+  const PlacementMap pm = PlacementMap::fill_first(kNiagara, 6);
+  const std::vector<int> occ = pm.occupancy();
+  EXPECT_EQ(occ[0], 4);
+  EXPECT_EQ(occ[1], 2);
+  EXPECT_EQ(occ[2], 0);
+}
+
+TEST(PlacementMap, ForDistributionDispatch) {
+  const PlacementMap a =
+      PlacementMap::for_distribution(kNiagara, 4, Distribution::IntraProc);
+  EXPECT_EQ(a.occupancy()[0], 4);
+  const PlacementMap b =
+      PlacementMap::for_distribution(kNiagara, 4, Distribution::InterProc);
+  EXPECT_EQ(b.occupancy()[0], 1);
+}
+
+TEST(PlacementMap, OutOfRangeAccess) {
+  const PlacementMap pm = PlacementMap::fill_first(kNiagara, 2);
+  EXPECT_THROW((void)pm.slot_of(2), std::out_of_range);
+  EXPECT_THROW((void)pm.slot_of(-1), std::out_of_range);
+}
+
+// Property: for any process count, intra+inter peers == n-1 for each process,
+// and same_processor is symmetric.
+class PlacementPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlacementPropertyTest, PeerAccounting) {
+  const int n = GetParam();
+  for (const Distribution d : {Distribution::IntraProc, Distribution::InterProc}) {
+    const PlacementMap pm = PlacementMap::for_distribution(kNiagara, n, d);
+    for (int i = 0; i < n; ++i) {
+      const ProcessCounts pc = pm.process_counts_for(i);
+      EXPECT_EQ(pc.intra + pc.inter, n - 1);
+      for (int j = 0; j < n; ++j)
+        EXPECT_EQ(pm.same_processor(i, j), pm.same_processor(j, i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PlacementPropertyTest,
+                         ::testing::Values(1, 2, 3, 8, 17, 32));
+
+}  // namespace
+}  // namespace stamp::runtime

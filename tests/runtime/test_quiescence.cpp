@@ -1,0 +1,148 @@
+#include "runtime/quiescence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace stamp::runtime {
+namespace {
+
+TEST(Quiescence, RejectsNonPositiveParties) {
+  EXPECT_THROW(QuiescenceDetector(0), std::invalid_argument);
+}
+
+TEST(Quiescence, SinglePartyQuiescesImmediately) {
+  QuiescenceDetector qd(1);
+  const long c0 = qd.sweep_begin();
+  EXPECT_TRUE(qd.try_quiesce(0, c0));
+  EXPECT_TRUE(qd.done());
+}
+
+TEST(Quiescence, PublicationInvalidatesOldSample) {
+  QuiescenceDetector qd(1);
+  const long c0 = qd.sweep_begin();
+  qd.published();
+  EXPECT_FALSE(qd.try_quiesce(0, c0));  // counter moved past c0
+  const long c1 = qd.sweep_begin();
+  EXPECT_TRUE(qd.try_quiesce(0, c1));
+}
+
+TEST(Quiescence, NeedsEveryParty) {
+  QuiescenceDetector qd(3);
+  const long c0 = qd.sweep_begin();
+  EXPECT_FALSE(qd.try_quiesce(0, c0));
+  EXPECT_FALSE(qd.try_quiesce(1, c0));
+  EXPECT_FALSE(qd.done());
+  EXPECT_TRUE(qd.try_quiesce(2, c0));
+  EXPECT_TRUE(qd.done());
+}
+
+TEST(Quiescence, StaleQuietMarksDoNotCount) {
+  QuiescenceDetector qd(2);
+  const long c0 = qd.sweep_begin();
+  EXPECT_FALSE(qd.try_quiesce(0, c0));  // 0 quiet at epoch c0
+  qd.published();                       // epoch advances
+  const long c1 = qd.sweep_begin();
+  // 1 is quiet at the new epoch, but 0's mark is stale: not done.
+  EXPECT_FALSE(qd.try_quiesce(1, c1));
+  EXPECT_FALSE(qd.done());
+  // 0 re-quiesces at the current epoch: done.
+  EXPECT_TRUE(qd.try_quiesce(0, c1));
+}
+
+TEST(Quiescence, RunToQuiescenceCountsSweeps) {
+  QuiescenceDetector qd(1);
+  int work_left = 5;
+  const int sweeps = run_to_quiescence(
+      qd, 0,
+      [&] {
+        if (work_left > 0) {
+          --work_left;
+          return true;
+        }
+        return false;
+      },
+      100);
+  EXPECT_EQ(sweeps, 6);  // 5 publishing + 1 quiet
+  EXPECT_TRUE(qd.done());
+}
+
+TEST(Quiescence, ActiveLimitBoundsPublishingSweeps) {
+  QuiescenceDetector qd(1);
+  const int sweeps = run_to_quiescence(qd, 0, [] { return true; }, 10);
+  EXPECT_EQ(sweeps, 10);
+  // Exhausting the budget aborts globally so peers do not hang.
+  EXPECT_TRUE(qd.done());
+  EXPECT_TRUE(qd.aborted());
+}
+
+TEST(Quiescence, BudgetExhaustionReleasesPeers) {
+  // One party burns its budget without ever quiescing; the other must still
+  // return promptly instead of spinning to the idle limit.
+  QuiescenceDetector qd(2);
+  std::jthread runaway([&] {
+    (void)run_to_quiescence(qd, 0, [] { return true; }, 50);
+  });
+  const int peer_sweeps =
+      run_to_quiescence(qd, 1, [] { return false; }, 50);
+  runaway.join();
+  EXPECT_TRUE(qd.done());
+  EXPECT_TRUE(qd.aborted());
+  EXPECT_LT(peer_sweeps, 1'000'000);
+}
+
+TEST(Quiescence, CleanQuiescenceIsNotAborted) {
+  QuiescenceDetector qd(1);
+  (void)run_to_quiescence(qd, 0, [] { return false; }, 10);
+  EXPECT_TRUE(qd.done());
+  EXPECT_FALSE(qd.aborted());
+}
+
+TEST(Quiescence, ConcurrentDiffusionTerminatesExactly) {
+  // A token-diffusion system: each thread owns a counter; a thread "works"
+  // while its value is below a target that depends on its neighbour, so work
+  // cascades. All threads must stop, and only after all work is done.
+  constexpr int kThreads = 8;
+  constexpr int kTarget = 200;
+  QuiescenceDetector qd(kThreads);
+  std::vector<std::atomic<int>> values(kThreads);
+  for (auto& v : values) v.store(0);
+
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        (void)run_to_quiescence(
+            qd, t,
+            [&] {
+              // Work while behind the left neighbour (or the target for 0).
+              const int left =
+                  t == 0 ? kTarget
+                         : values[static_cast<std::size_t>(t - 1)].load();
+              const int mine = values[static_cast<std::size_t>(t)].load();
+              if (mine < left) {
+                values[static_cast<std::size_t>(t)].fetch_add(1);
+                return true;
+              }
+              return false;
+            },
+            /*active_limit=*/kTarget * kThreads + 10);
+      });
+    }
+  }
+  EXPECT_TRUE(qd.done());
+  for (const auto& v : values) EXPECT_EQ(v.load(), kTarget);
+}
+
+TEST(Quiescence, PublicationsCounted) {
+  QuiescenceDetector qd(2);
+  EXPECT_EQ(qd.publications(), 0);
+  qd.published();
+  qd.published();
+  EXPECT_EQ(qd.publications(), 2);
+}
+
+}  // namespace
+}  // namespace stamp::runtime

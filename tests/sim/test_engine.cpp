@@ -1,0 +1,133 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stamp::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZeroEmpty) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0);
+  EXPECT_TRUE(e.empty());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(5, [&](Engine&) { order.push_back(2); });
+  e.schedule_at(1, [&](Engine&) { order.push_back(1); });
+  e.schedule_at(9, [&](Engine&) { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 9);
+}
+
+TEST(Engine, SimultaneousEventsAreFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    e.schedule_at(4, [&, i](Engine&) { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  double fired_at = -1;
+  e.schedule_at(10, [&](Engine& eng) {
+    eng.schedule_in(5, [&](Engine& inner) { fired_at = inner.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15);
+}
+
+TEST(Engine, PastSchedulingRejected) {
+  Engine e;
+  e.schedule_at(10, [](Engine&) {});
+  (void)e.step();
+  EXPECT_THROW(e.schedule_at(5, [](Engine&) {}), std::invalid_argument);
+  EXPECT_THROW(e.schedule_in(-1, [](Engine&) {}), std::invalid_argument);
+}
+
+TEST(Engine, CascadedEventsAllRun) {
+  Engine e;
+  int count = 0;
+  std::function<void(Engine&)> chain = [&](Engine& eng) {
+    ++count;
+    if (count < 100) eng.schedule_in(1, chain);
+  };
+  e.schedule_at(0, chain);
+  const std::size_t processed = e.run();
+  EXPECT_EQ(processed, 100u);
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(e.now(), 99);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  for (int t = 0; t < 10; ++t)
+    e.schedule_at(t, [&](Engine&) { ++fired; });
+  (void)e.run_until(4.5);
+  EXPECT_EQ(fired, 5);  // t = 0..4
+  EXPECT_DOUBLE_EQ(e.now(), 4.5);
+  EXPECT_EQ(e.pending(), 5u);
+}
+
+TEST(Engine, EventBudgetGuardsRunaway) {
+  Engine e;
+  std::function<void(Engine&)> forever = [&](Engine& eng) {
+    eng.schedule_in(1, forever);
+  };
+  e.schedule_at(0, forever);
+  EXPECT_THROW(e.run(1000), std::runtime_error);
+}
+
+TEST(FifoServer, IdleServerServesImmediately) {
+  FifoServer s;
+  EXPECT_DOUBLE_EQ(s.serve(10, 3), 13);
+  EXPECT_DOUBLE_EQ(s.next_free(), 13);
+}
+
+TEST(FifoServer, BusyServerQueues) {
+  FifoServer s;
+  (void)s.serve(0, 10);
+  // Arrives at 2 while busy until 10: starts at 10, done at 15.
+  EXPECT_DOUBLE_EQ(s.serve(2, 5), 15);
+}
+
+TEST(FifoServer, GapsLeaveServerIdle) {
+  FifoServer s;
+  (void)s.serve(0, 1);
+  EXPECT_DOUBLE_EQ(s.serve(100, 1), 101);
+  EXPECT_DOUBLE_EQ(s.busy_time(), 2);
+}
+
+TEST(FifoServer, NegativeServiceRejected) {
+  FifoServer s;
+  EXPECT_THROW((void)s.serve(0, -1), std::invalid_argument);
+}
+
+// Property: total busy time equals the sum of service times regardless of
+// arrival pattern.
+class FifoServerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FifoServerTest, BusyTimeAdds) {
+  const int n = GetParam();
+  FifoServer s;
+  double total = 0;
+  for (int i = 0; i < n; ++i) {
+    const double service = (i % 7) * 0.5;
+    (void)s.serve((i * 13) % 50, service);
+    total += service;
+  }
+  EXPECT_DOUBLE_EQ(s.busy_time(), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FifoServerTest, ::testing::Values(1, 5, 50, 500));
+
+}  // namespace
+}  // namespace stamp::sim

@@ -1,0 +1,65 @@
+#include "stm/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace stamp::stm {
+namespace {
+
+TEST(Contention, FactoryKnowsAllPolicies) {
+  for (const char* name : {"passive", "polite", "backoff", "karma"}) {
+    const auto manager = make_manager(name);
+    ASSERT_NE(manager, nullptr);
+    EXPECT_EQ(manager->name(), name);
+  }
+}
+
+TEST(Contention, FactoryRejectsUnknown) {
+  EXPECT_THROW(make_manager("aggressive"), std::invalid_argument);
+  EXPECT_THROW(make_manager(""), std::invalid_argument);
+}
+
+TEST(Contention, PassiveReturnsImmediately) {
+  PassiveManager m;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 1000; ++i) m.on_abort({i, 10, 10});
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(100));
+}
+
+TEST(Contention, PoliteSpinsWithoutSleeping) {
+  PoliteManager m(16);
+  // Just exercise a range of attempts; the contract is "terminates".
+  for (int attempt = 1; attempt <= 12; ++attempt) m.on_abort({attempt, 0, 0});
+  SUCCEED();
+}
+
+TEST(Contention, BackoffBoundedByCap) {
+  BackoffManager m(std::chrono::nanoseconds(100), std::chrono::microseconds(50));
+  const auto start = std::chrono::steady_clock::now();
+  for (int attempt = 1; attempt <= 30; ++attempt) m.on_abort({attempt, 0, 0});
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // 30 aborts, each <= ~50us sleep (+ scheduling): far below a second.
+  EXPECT_LT(elapsed, std::chrono::seconds(1));
+}
+
+TEST(Contention, KarmaTerminatesAcrossWorkloads) {
+  KarmaManager m(std::chrono::microseconds(1));
+  for (int attempt = 1; attempt <= 10; ++attempt) {
+    m.on_abort({attempt, 0, 0});        // no karma
+    m.on_abort({attempt, 1000, 1000});  // lots of karma
+  }
+  SUCCEED();
+}
+
+TEST(Contention, ZeroBaseBackoffIsNoop) {
+  BackoffManager m(std::chrono::nanoseconds(0), std::chrono::nanoseconds(0));
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 1; i < 100; ++i) m.on_abort({i, 0, 0});
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(100));
+}
+
+}  // namespace
+}  // namespace stamp::stm

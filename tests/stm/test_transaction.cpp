@@ -1,0 +1,192 @@
+#include "stm/transaction.hpp"
+
+#include "stm/tvar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace stamp::stm {
+namespace {
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  std::atomic<std::uint64_t> clock_{0};
+};
+
+TEST_F(TransactionTest, ReadSeesInitialValue) {
+  TVar<int> v(42);
+  Transaction tx(clock_);
+  EXPECT_EQ(tx.read(v), 42);
+  EXPECT_EQ(tx.reads(), 1u);
+}
+
+TEST_F(TransactionTest, ReadOwnWrite) {
+  TVar<int> v(1);
+  Transaction tx(clock_);
+  tx.write(v, 5);
+  EXPECT_EQ(tx.read(v), 5);
+  EXPECT_EQ(v.peek(), 1);  // not yet committed
+}
+
+TEST_F(TransactionTest, WriteIsBufferedUntilCommit) {
+  TVar<int> v(1);
+  Transaction tx(clock_);
+  tx.write(v, 9);
+  EXPECT_EQ(v.peek(), 1);
+  tx.commit();
+  EXPECT_EQ(v.peek(), 9);
+  EXPECT_EQ(v.lock().version(), clock_.load());
+  EXPECT_FALSE(v.lock().locked());
+}
+
+TEST_F(TransactionTest, SecondWriteOverwritesBuffer) {
+  TVar<int> v(0);
+  Transaction tx(clock_);
+  tx.write(v, 1);
+  tx.write(v, 2);
+  EXPECT_EQ(tx.writes(), 1u);  // one distinct variable
+  tx.commit();
+  EXPECT_EQ(v.peek(), 2);
+}
+
+TEST_F(TransactionTest, ReadOnlyCommitIsTrivial) {
+  TVar<int> v(3);
+  Transaction tx(clock_);
+  (void)tx.read(v);
+  EXPECT_NO_THROW(tx.commit());
+  EXPECT_EQ(clock_.load(), 0u);  // no version consumed
+}
+
+TEST_F(TransactionTest, ReadConflictsWithLockedVar) {
+  TVar<int> v(1);
+  ASSERT_TRUE(v.lock().try_lock(0));  // someone else holds the write lock
+  Transaction tx(clock_);
+  EXPECT_THROW((void)tx.read(v), TxConflict);
+}
+
+TEST_F(TransactionTest, ReadConflictsWithNewerVersion) {
+  TVar<int> v(1);
+  Transaction tx(clock_);  // rv = 0
+  // A committer bumps the version past the reader's snapshot.
+  clock_.store(5);
+  ASSERT_TRUE(v.lock().try_lock(5));
+  v.store_committed(99);
+  v.lock().unlock_to_version(5);
+  EXPECT_THROW((void)tx.read(v), TxConflict);
+}
+
+TEST_F(TransactionTest, CommitConflictsWhenWriteTargetMoved) {
+  TVar<int> v(1);
+  Transaction tx(clock_);
+  (void)tx.read(v);
+  tx.write(v, 2);
+  // Concurrent commit advances v's version beyond tx's read version.
+  clock_.store(3);
+  ASSERT_TRUE(v.lock().try_lock(3));
+  v.store_committed(50);
+  v.lock().unlock_to_version(3);
+  EXPECT_THROW(tx.commit(), TxConflict);
+  EXPECT_EQ(v.peek(), 50);  // loser's buffer discarded
+  EXPECT_FALSE(v.lock().locked());
+}
+
+TEST_F(TransactionTest, FailedCommitReleasesAllAcquiredLocks) {
+  TVar<int> a(1);
+  TVar<int> b(2);
+  Transaction tx(clock_);
+  tx.write(a, 10);
+  tx.write(b, 20);
+  // Lock b externally so phase 1 fails partway.
+  ASSERT_TRUE(b.lock().try_lock(0));
+  EXPECT_THROW(tx.commit(), TxConflict);
+  EXPECT_FALSE(a.lock().locked());  // a must have been restored
+  b.lock().unlock_restore();
+}
+
+TEST_F(TransactionTest, ReadSetValidatedAtCommit) {
+  TVar<int> read_var(1);
+  TVar<int> write_var(2);
+  Transaction tx(clock_);
+  (void)tx.read(read_var);
+  tx.write(write_var, 9);
+  // Another transaction commits to read_var, invalidating the snapshot, and
+  // also advances the clock so the rv+1 shortcut does not skip validation.
+  clock_.store(1);
+  ASSERT_TRUE(read_var.lock().try_lock(1));
+  read_var.store_committed(100);
+  read_var.lock().unlock_to_version(1);
+  EXPECT_THROW(tx.commit(), TxConflict);
+  EXPECT_EQ(write_var.peek(), 2);
+}
+
+TEST_F(TransactionTest, Tl2ShortcutSkipsValidationWhenNoInterleaving) {
+  TVar<int> read_var(1);
+  TVar<int> write_var(2);
+  Transaction tx(clock_);
+  (void)tx.read(read_var);
+  tx.write(write_var, 9);
+  // No concurrent commits: wv == rv+1 and the commit must succeed.
+  EXPECT_NO_THROW(tx.commit());
+  EXPECT_EQ(write_var.peek(), 9);
+}
+
+TEST_F(TransactionTest, MarkRollbackDropsSubtransactionWrites) {
+  TVar<int> a(1);
+  TVar<int> b(2);
+  Transaction tx(clock_);
+  tx.write(a, 10);
+  const std::size_t mark = tx.mark();
+  tx.write(b, 20);
+  tx.rollback_to(mark);
+  tx.commit();
+  EXPECT_EQ(a.peek(), 10);
+  EXPECT_EQ(b.peek(), 2);  // rolled back
+}
+
+TEST_F(TransactionTest, RollbackPastEndRejected) {
+  Transaction tx(clock_);
+  EXPECT_THROW(tx.rollback_to(3), TxUsageError);
+}
+
+TEST_F(TransactionTest, CancelThrows) {
+  Transaction tx(clock_);
+  EXPECT_THROW(tx.cancel(), TxCancelled);
+}
+
+TEST_F(TransactionTest, ModifyComposesReadAndWrite) {
+  TVar<int> v(10);
+  Transaction tx(clock_);
+  tx.modify(v, [](int& x) { x *= 3; });
+  tx.commit();
+  EXPECT_EQ(v.peek(), 30);
+}
+
+TEST_F(TransactionTest, ManySequentialTransactionsAdvanceClock) {
+  TVar<long> v(0);
+  for (int i = 0; i < 100; ++i) {
+    Transaction tx(clock_);
+    tx.write(v, tx.read(v) + 1);
+    tx.commit();
+  }
+  EXPECT_EQ(v.peek(), 100);
+  EXPECT_EQ(clock_.load(), 100u);
+  EXPECT_EQ(v.lock().version(), 100u);
+}
+
+TEST_F(TransactionTest, SixteenByteValuesSupported) {
+  struct Wide {
+    double a;
+    double b;
+  };
+  TVar<Wide> v(Wide{1, 2});
+  Transaction tx(clock_);
+  const Wide w = tx.read(v);
+  EXPECT_DOUBLE_EQ(w.a, 1);
+  tx.write(v, Wide{3, 4});
+  tx.commit();
+  EXPECT_DOUBLE_EQ(v.peek().b, 4);
+}
+
+}  // namespace
+}  // namespace stamp::stm

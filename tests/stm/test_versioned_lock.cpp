@@ -1,0 +1,80 @@
+#include "stm/versioned_lock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp::stm {
+namespace {
+
+TEST(VersionedLock, StartsUnlockedAtVersionZero) {
+  const VersionedLock lock;
+  EXPECT_FALSE(lock.locked());
+  EXPECT_EQ(lock.version(), 0u);
+  EXPECT_TRUE(lock.valid_for(0));
+}
+
+TEST(VersionedLock, WordDecoding) {
+  EXPECT_TRUE(VersionedLock::is_locked(0b1));
+  EXPECT_FALSE(VersionedLock::is_locked(0b10));
+  EXPECT_EQ(VersionedLock::version_of(0b10), 1u);
+  EXPECT_EQ(VersionedLock::version_of(0b101), 0b10u);
+}
+
+TEST(VersionedLock, TryLockSucceedsWhenFresh) {
+  VersionedLock lock;
+  EXPECT_TRUE(lock.try_lock(0));
+  EXPECT_TRUE(lock.locked());
+}
+
+TEST(VersionedLock, TryLockFailsWhenLocked) {
+  VersionedLock lock;
+  ASSERT_TRUE(lock.try_lock(0));
+  EXPECT_FALSE(lock.try_lock(100));
+}
+
+TEST(VersionedLock, TryLockFailsWhenVersionAdvanced) {
+  VersionedLock lock;
+  ASSERT_TRUE(lock.try_lock(0));
+  lock.unlock_to_version(5);
+  // A transaction with read version 3 must not lock version-5 data.
+  EXPECT_FALSE(lock.try_lock(3));
+  // But read version 5 (or later) may.
+  EXPECT_TRUE(lock.try_lock(5));
+}
+
+TEST(VersionedLock, UnlockToVersionPublishes) {
+  VersionedLock lock;
+  ASSERT_TRUE(lock.try_lock(0));
+  lock.unlock_to_version(9);
+  EXPECT_FALSE(lock.locked());
+  EXPECT_EQ(lock.version(), 9u);
+}
+
+TEST(VersionedLock, UnlockRestoreKeepsVersion) {
+  VersionedLock lock;
+  ASSERT_TRUE(lock.try_lock(0));
+  lock.unlock_to_version(4);
+  ASSERT_TRUE(lock.try_lock(4));
+  lock.unlock_restore();
+  EXPECT_FALSE(lock.locked());
+  EXPECT_EQ(lock.version(), 4u);
+}
+
+TEST(VersionedLock, ValidForRespectsVersionAndLockBit) {
+  VersionedLock lock;
+  ASSERT_TRUE(lock.try_lock(0));
+  EXPECT_FALSE(lock.valid_for(10));  // locked
+  lock.unlock_to_version(7);
+  EXPECT_FALSE(lock.valid_for(6));  // too new
+  EXPECT_TRUE(lock.valid_for(7));
+  EXPECT_TRUE(lock.valid_for(8));
+}
+
+TEST(VersionedLock, ValidForCommitterToleratesOwnLock) {
+  VersionedLock lock;
+  ASSERT_TRUE(lock.try_lock(0));
+  EXPECT_TRUE(lock.valid_for_committer(0, /*owned_by_me=*/true));
+  EXPECT_FALSE(lock.valid_for_committer(0, /*owned_by_me=*/false));
+}
+
+}  // namespace
+}  // namespace stamp::stm
