@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_airline.dir/bench_airline.cpp.o"
+  "CMakeFiles/bench_airline.dir/bench_airline.cpp.o.d"
+  "bench_airline"
+  "bench_airline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_airline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

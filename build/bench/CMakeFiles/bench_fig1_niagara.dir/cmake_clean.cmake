@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_niagara.dir/bench_fig1_niagara.cpp.o"
+  "CMakeFiles/bench_fig1_niagara.dir/bench_fig1_niagara.cpp.o.d"
+  "bench_fig1_niagara"
+  "bench_fig1_niagara.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_niagara.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_models_compare.dir/bench_models_compare.cpp.o"
+  "CMakeFiles/bench_models_compare.dir/bench_models_compare.cpp.o.d"
+  "bench_models_compare"
+  "bench_models_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_models_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

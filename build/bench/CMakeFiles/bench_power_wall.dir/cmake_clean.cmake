@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_power_wall.dir/bench_power_wall.cpp.o"
+  "CMakeFiles/bench_power_wall.dir/bench_power_wall.cpp.o.d"
+  "bench_power_wall"
+  "bench_power_wall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_power_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

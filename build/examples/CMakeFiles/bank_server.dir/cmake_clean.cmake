@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_server.dir/bank_server.cpp.o"
+  "CMakeFiles/bank_server.dir/bank_server.cpp.o.d"
+  "bank_server"
+  "bank_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_booking.dir/flight_booking.cpp.o"
+  "CMakeFiles/flight_booking.dir/flight_booking.cpp.o.d"
+  "flight_booking"
+  "flight_booking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_booking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_monitor.dir/heat_monitor.cpp.o"
+  "CMakeFiles/heat_monitor.dir/heat_monitor.cpp.o.d"
+  "heat_monitor"
+  "heat_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_advisor.dir/power_advisor.cpp.o"
+  "CMakeFiles/power_advisor.dir/power_advisor.cpp.o.d"
+  "power_advisor"
+  "power_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_jacobi_solver "/root/repo/build/examples/jacobi_solver" "16" "4")
+set_tests_properties(example_jacobi_solver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bank_server "/root/repo/build/examples/bank_server" "4" "500" "0.3")
+set_tests_properties(example_bank_server PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_flight_booking "/root/repo/build/examples/flight_booking" "4" "300" "100")
+set_tests_properties(example_flight_booking PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_apsp_roadmap "/root/repo/build/examples/apsp_roadmap" "10" "0.3")
+set_tests_properties(example_apsp_roadmap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_power_advisor "/root/repo/build/examples/power_advisor" "niagara" "EDP")
+set_tests_properties(example_power_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_model_explorer "/root/repo/build/examples/model_explorer" "12")
+set_tests_properties(example_model_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat_monitor "/root/repo/build/examples/heat_monitor" "24" "4" "100")
+set_tests_properties(example_heat_monitor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat_monitor_json "/root/repo/build/examples/heat_monitor" "16" "2" "50" "--json")
+set_tests_properties(example_heat_monitor_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/airline.cpp" "src/algo/CMakeFiles/stamp_algo.dir/airline.cpp.o" "gcc" "src/algo/CMakeFiles/stamp_algo.dir/airline.cpp.o.d"
+  "/root/repo/src/algo/apsp.cpp" "src/algo/CMakeFiles/stamp_algo.dir/apsp.cpp.o" "gcc" "src/algo/CMakeFiles/stamp_algo.dir/apsp.cpp.o.d"
+  "/root/repo/src/algo/banking.cpp" "src/algo/CMakeFiles/stamp_algo.dir/banking.cpp.o" "gcc" "src/algo/CMakeFiles/stamp_algo.dir/banking.cpp.o.d"
+  "/root/repo/src/algo/bfs.cpp" "src/algo/CMakeFiles/stamp_algo.dir/bfs.cpp.o" "gcc" "src/algo/CMakeFiles/stamp_algo.dir/bfs.cpp.o.d"
+  "/root/repo/src/algo/gauss_seidel.cpp" "src/algo/CMakeFiles/stamp_algo.dir/gauss_seidel.cpp.o" "gcc" "src/algo/CMakeFiles/stamp_algo.dir/gauss_seidel.cpp.o.d"
+  "/root/repo/src/algo/histogram.cpp" "src/algo/CMakeFiles/stamp_algo.dir/histogram.cpp.o" "gcc" "src/algo/CMakeFiles/stamp_algo.dir/histogram.cpp.o.d"
+  "/root/repo/src/algo/jacobi.cpp" "src/algo/CMakeFiles/stamp_algo.dir/jacobi.cpp.o" "gcc" "src/algo/CMakeFiles/stamp_algo.dir/jacobi.cpp.o.d"
+  "/root/repo/src/algo/kmeans.cpp" "src/algo/CMakeFiles/stamp_algo.dir/kmeans.cpp.o" "gcc" "src/algo/CMakeFiles/stamp_algo.dir/kmeans.cpp.o.d"
+  "/root/repo/src/algo/matmul.cpp" "src/algo/CMakeFiles/stamp_algo.dir/matmul.cpp.o" "gcc" "src/algo/CMakeFiles/stamp_algo.dir/matmul.cpp.o.d"
+  "/root/repo/src/algo/pagerank.cpp" "src/algo/CMakeFiles/stamp_algo.dir/pagerank.cpp.o" "gcc" "src/algo/CMakeFiles/stamp_algo.dir/pagerank.cpp.o.d"
+  "/root/repo/src/algo/prefix_sum.cpp" "src/algo/CMakeFiles/stamp_algo.dir/prefix_sum.cpp.o" "gcc" "src/algo/CMakeFiles/stamp_algo.dir/prefix_sum.cpp.o.d"
+  "/root/repo/src/algo/reduce.cpp" "src/algo/CMakeFiles/stamp_algo.dir/reduce.cpp.o" "gcc" "src/algo/CMakeFiles/stamp_algo.dir/reduce.cpp.o.d"
+  "/root/repo/src/algo/replicated_db.cpp" "src/algo/CMakeFiles/stamp_algo.dir/replicated_db.cpp.o" "gcc" "src/algo/CMakeFiles/stamp_algo.dir/replicated_db.cpp.o.d"
+  "/root/repo/src/algo/sample_sort.cpp" "src/algo/CMakeFiles/stamp_algo.dir/sample_sort.cpp.o" "gcc" "src/algo/CMakeFiles/stamp_algo.dir/sample_sort.cpp.o.d"
+  "/root/repo/src/algo/stencil.cpp" "src/algo/CMakeFiles/stamp_algo.dir/stencil.cpp.o" "gcc" "src/algo/CMakeFiles/stamp_algo.dir/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/stamp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/stamp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/stamp_stm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

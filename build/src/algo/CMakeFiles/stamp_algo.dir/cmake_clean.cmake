@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stamp_algo.dir/airline.cpp.o"
+  "CMakeFiles/stamp_algo.dir/airline.cpp.o.d"
+  "CMakeFiles/stamp_algo.dir/apsp.cpp.o"
+  "CMakeFiles/stamp_algo.dir/apsp.cpp.o.d"
+  "CMakeFiles/stamp_algo.dir/banking.cpp.o"
+  "CMakeFiles/stamp_algo.dir/banking.cpp.o.d"
+  "CMakeFiles/stamp_algo.dir/bfs.cpp.o"
+  "CMakeFiles/stamp_algo.dir/bfs.cpp.o.d"
+  "CMakeFiles/stamp_algo.dir/gauss_seidel.cpp.o"
+  "CMakeFiles/stamp_algo.dir/gauss_seidel.cpp.o.d"
+  "CMakeFiles/stamp_algo.dir/histogram.cpp.o"
+  "CMakeFiles/stamp_algo.dir/histogram.cpp.o.d"
+  "CMakeFiles/stamp_algo.dir/jacobi.cpp.o"
+  "CMakeFiles/stamp_algo.dir/jacobi.cpp.o.d"
+  "CMakeFiles/stamp_algo.dir/kmeans.cpp.o"
+  "CMakeFiles/stamp_algo.dir/kmeans.cpp.o.d"
+  "CMakeFiles/stamp_algo.dir/matmul.cpp.o"
+  "CMakeFiles/stamp_algo.dir/matmul.cpp.o.d"
+  "CMakeFiles/stamp_algo.dir/pagerank.cpp.o"
+  "CMakeFiles/stamp_algo.dir/pagerank.cpp.o.d"
+  "CMakeFiles/stamp_algo.dir/prefix_sum.cpp.o"
+  "CMakeFiles/stamp_algo.dir/prefix_sum.cpp.o.d"
+  "CMakeFiles/stamp_algo.dir/reduce.cpp.o"
+  "CMakeFiles/stamp_algo.dir/reduce.cpp.o.d"
+  "CMakeFiles/stamp_algo.dir/replicated_db.cpp.o"
+  "CMakeFiles/stamp_algo.dir/replicated_db.cpp.o.d"
+  "CMakeFiles/stamp_algo.dir/sample_sort.cpp.o"
+  "CMakeFiles/stamp_algo.dir/sample_sort.cpp.o.d"
+  "CMakeFiles/stamp_algo.dir/stencil.cpp.o"
+  "CMakeFiles/stamp_algo.dir/stencil.cpp.o.d"
+  "libstamp_algo.a"
+  "libstamp_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stamp_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

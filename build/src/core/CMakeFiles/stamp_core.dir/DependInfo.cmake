@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/stamp_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/stamp_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/attributes.cpp" "src/core/CMakeFiles/stamp_core.dir/attributes.cpp.o" "gcc" "src/core/CMakeFiles/stamp_core.dir/attributes.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/stamp_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/stamp_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/counters.cpp" "src/core/CMakeFiles/stamp_core.dir/counters.cpp.o" "gcc" "src/core/CMakeFiles/stamp_core.dir/counters.cpp.o.d"
+  "/root/repo/src/core/crossover.cpp" "src/core/CMakeFiles/stamp_core.dir/crossover.cpp.o" "gcc" "src/core/CMakeFiles/stamp_core.dir/crossover.cpp.o.d"
+  "/root/repo/src/core/envelope.cpp" "src/core/CMakeFiles/stamp_core.dir/envelope.cpp.o" "gcc" "src/core/CMakeFiles/stamp_core.dir/envelope.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/stamp_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/stamp_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/stamp_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/stamp_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/stamp_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/stamp_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/process.cpp" "src/core/CMakeFiles/stamp_core.dir/process.cpp.o" "gcc" "src/core/CMakeFiles/stamp_core.dir/process.cpp.o.d"
+  "/root/repo/src/core/spec.cpp" "src/core/CMakeFiles/stamp_core.dir/spec.cpp.o" "gcc" "src/core/CMakeFiles/stamp_core.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

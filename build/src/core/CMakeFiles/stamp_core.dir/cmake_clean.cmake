@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stamp_core.dir/analysis.cpp.o"
+  "CMakeFiles/stamp_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/stamp_core.dir/attributes.cpp.o"
+  "CMakeFiles/stamp_core.dir/attributes.cpp.o.d"
+  "CMakeFiles/stamp_core.dir/cost_model.cpp.o"
+  "CMakeFiles/stamp_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/stamp_core.dir/counters.cpp.o"
+  "CMakeFiles/stamp_core.dir/counters.cpp.o.d"
+  "CMakeFiles/stamp_core.dir/crossover.cpp.o"
+  "CMakeFiles/stamp_core.dir/crossover.cpp.o.d"
+  "CMakeFiles/stamp_core.dir/envelope.cpp.o"
+  "CMakeFiles/stamp_core.dir/envelope.cpp.o.d"
+  "CMakeFiles/stamp_core.dir/metrics.cpp.o"
+  "CMakeFiles/stamp_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/stamp_core.dir/params.cpp.o"
+  "CMakeFiles/stamp_core.dir/params.cpp.o.d"
+  "CMakeFiles/stamp_core.dir/placement.cpp.o"
+  "CMakeFiles/stamp_core.dir/placement.cpp.o.d"
+  "CMakeFiles/stamp_core.dir/process.cpp.o"
+  "CMakeFiles/stamp_core.dir/process.cpp.o.d"
+  "CMakeFiles/stamp_core.dir/spec.cpp.o"
+  "CMakeFiles/stamp_core.dir/spec.cpp.o.d"
+  "libstamp_core.a"
+  "libstamp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stamp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/governor.cpp" "src/machine/CMakeFiles/stamp_machine.dir/governor.cpp.o" "gcc" "src/machine/CMakeFiles/stamp_machine.dir/governor.cpp.o.d"
+  "/root/repo/src/machine/power.cpp" "src/machine/CMakeFiles/stamp_machine.dir/power.cpp.o" "gcc" "src/machine/CMakeFiles/stamp_machine.dir/power.cpp.o.d"
+  "/root/repo/src/machine/simulator.cpp" "src/machine/CMakeFiles/stamp_machine.dir/simulator.cpp.o" "gcc" "src/machine/CMakeFiles/stamp_machine.dir/simulator.cpp.o.d"
+  "/root/repo/src/machine/trace.cpp" "src/machine/CMakeFiles/stamp_machine.dir/trace.cpp.o" "gcc" "src/machine/CMakeFiles/stamp_machine.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/stamp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/stamp_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stamp_machine.dir/governor.cpp.o"
+  "CMakeFiles/stamp_machine.dir/governor.cpp.o.d"
+  "CMakeFiles/stamp_machine.dir/power.cpp.o"
+  "CMakeFiles/stamp_machine.dir/power.cpp.o.d"
+  "CMakeFiles/stamp_machine.dir/simulator.cpp.o"
+  "CMakeFiles/stamp_machine.dir/simulator.cpp.o.d"
+  "CMakeFiles/stamp_machine.dir/trace.cpp.o"
+  "CMakeFiles/stamp_machine.dir/trace.cpp.o.d"
+  "libstamp_machine.a"
+  "libstamp_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stamp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

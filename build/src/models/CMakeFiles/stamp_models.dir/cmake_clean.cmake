@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stamp_models.dir/models.cpp.o"
+  "CMakeFiles/stamp_models.dir/models.cpp.o.d"
+  "CMakeFiles/stamp_models.dir/speedup.cpp.o"
+  "CMakeFiles/stamp_models.dir/speedup.cpp.o.d"
+  "libstamp_models.a"
+  "libstamp_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stamp_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

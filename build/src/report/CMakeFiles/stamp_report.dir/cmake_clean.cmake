@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stamp_report.dir/json.cpp.o"
+  "CMakeFiles/stamp_report.dir/json.cpp.o.d"
+  "CMakeFiles/stamp_report.dir/stats.cpp.o"
+  "CMakeFiles/stamp_report.dir/stats.cpp.o.d"
+  "CMakeFiles/stamp_report.dir/table.cpp.o"
+  "CMakeFiles/stamp_report.dir/table.cpp.o.d"
+  "libstamp_report.a"
+  "libstamp_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stamp_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

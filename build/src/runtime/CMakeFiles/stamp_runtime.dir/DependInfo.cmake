@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/executor.cpp" "src/runtime/CMakeFiles/stamp_runtime.dir/executor.cpp.o" "gcc" "src/runtime/CMakeFiles/stamp_runtime.dir/executor.cpp.o.d"
+  "/root/repo/src/runtime/instrument.cpp" "src/runtime/CMakeFiles/stamp_runtime.dir/instrument.cpp.o" "gcc" "src/runtime/CMakeFiles/stamp_runtime.dir/instrument.cpp.o.d"
+  "/root/repo/src/runtime/placement_map.cpp" "src/runtime/CMakeFiles/stamp_runtime.dir/placement_map.cpp.o" "gcc" "src/runtime/CMakeFiles/stamp_runtime.dir/placement_map.cpp.o.d"
+  "/root/repo/src/runtime/profile.cpp" "src/runtime/CMakeFiles/stamp_runtime.dir/profile.cpp.o" "gcc" "src/runtime/CMakeFiles/stamp_runtime.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/stamp_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stamp_runtime.dir/executor.cpp.o"
+  "CMakeFiles/stamp_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/stamp_runtime.dir/instrument.cpp.o"
+  "CMakeFiles/stamp_runtime.dir/instrument.cpp.o.d"
+  "CMakeFiles/stamp_runtime.dir/placement_map.cpp.o"
+  "CMakeFiles/stamp_runtime.dir/placement_map.cpp.o.d"
+  "CMakeFiles/stamp_runtime.dir/profile.cpp.o"
+  "CMakeFiles/stamp_runtime.dir/profile.cpp.o.d"
+  "libstamp_runtime.a"
+  "libstamp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stamp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stm/contention.cpp" "src/stm/CMakeFiles/stamp_stm.dir/contention.cpp.o" "gcc" "src/stm/CMakeFiles/stamp_stm.dir/contention.cpp.o.d"
+  "/root/repo/src/stm/transaction.cpp" "src/stm/CMakeFiles/stamp_stm.dir/transaction.cpp.o" "gcc" "src/stm/CMakeFiles/stamp_stm.dir/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/stamp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/stamp_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stamp_stm.dir/contention.cpp.o"
+  "CMakeFiles/stamp_stm.dir/contention.cpp.o.d"
+  "CMakeFiles/stamp_stm.dir/transaction.cpp.o"
+  "CMakeFiles/stamp_stm.dir/transaction.cpp.o.d"
+  "libstamp_stm.a"
+  "libstamp_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stamp_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algo/test_airline.cpp" "tests/CMakeFiles/test_algo.dir/algo/test_airline.cpp.o" "gcc" "tests/CMakeFiles/test_algo.dir/algo/test_airline.cpp.o.d"
+  "/root/repo/tests/algo/test_apsp.cpp" "tests/CMakeFiles/test_algo.dir/algo/test_apsp.cpp.o" "gcc" "tests/CMakeFiles/test_algo.dir/algo/test_apsp.cpp.o.d"
+  "/root/repo/tests/algo/test_banking.cpp" "tests/CMakeFiles/test_algo.dir/algo/test_banking.cpp.o" "gcc" "tests/CMakeFiles/test_algo.dir/algo/test_banking.cpp.o.d"
+  "/root/repo/tests/algo/test_bfs.cpp" "tests/CMakeFiles/test_algo.dir/algo/test_bfs.cpp.o" "gcc" "tests/CMakeFiles/test_algo.dir/algo/test_bfs.cpp.o.d"
+  "/root/repo/tests/algo/test_gauss_seidel.cpp" "tests/CMakeFiles/test_algo.dir/algo/test_gauss_seidel.cpp.o" "gcc" "tests/CMakeFiles/test_algo.dir/algo/test_gauss_seidel.cpp.o.d"
+  "/root/repo/tests/algo/test_histogram.cpp" "tests/CMakeFiles/test_algo.dir/algo/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_algo.dir/algo/test_histogram.cpp.o.d"
+  "/root/repo/tests/algo/test_jacobi.cpp" "tests/CMakeFiles/test_algo.dir/algo/test_jacobi.cpp.o" "gcc" "tests/CMakeFiles/test_algo.dir/algo/test_jacobi.cpp.o.d"
+  "/root/repo/tests/algo/test_kmeans.cpp" "tests/CMakeFiles/test_algo.dir/algo/test_kmeans.cpp.o" "gcc" "tests/CMakeFiles/test_algo.dir/algo/test_kmeans.cpp.o.d"
+  "/root/repo/tests/algo/test_matmul.cpp" "tests/CMakeFiles/test_algo.dir/algo/test_matmul.cpp.o" "gcc" "tests/CMakeFiles/test_algo.dir/algo/test_matmul.cpp.o.d"
+  "/root/repo/tests/algo/test_pagerank.cpp" "tests/CMakeFiles/test_algo.dir/algo/test_pagerank.cpp.o" "gcc" "tests/CMakeFiles/test_algo.dir/algo/test_pagerank.cpp.o.d"
+  "/root/repo/tests/algo/test_prefix_sum.cpp" "tests/CMakeFiles/test_algo.dir/algo/test_prefix_sum.cpp.o" "gcc" "tests/CMakeFiles/test_algo.dir/algo/test_prefix_sum.cpp.o.d"
+  "/root/repo/tests/algo/test_reduce.cpp" "tests/CMakeFiles/test_algo.dir/algo/test_reduce.cpp.o" "gcc" "tests/CMakeFiles/test_algo.dir/algo/test_reduce.cpp.o.d"
+  "/root/repo/tests/algo/test_replicated_db.cpp" "tests/CMakeFiles/test_algo.dir/algo/test_replicated_db.cpp.o" "gcc" "tests/CMakeFiles/test_algo.dir/algo/test_replicated_db.cpp.o.d"
+  "/root/repo/tests/algo/test_sample_sort.cpp" "tests/CMakeFiles/test_algo.dir/algo/test_sample_sort.cpp.o" "gcc" "tests/CMakeFiles/test_algo.dir/algo/test_sample_sort.cpp.o.d"
+  "/root/repo/tests/algo/test_stencil.cpp" "tests/CMakeFiles/test_algo.dir/algo/test_stencil.cpp.o" "gcc" "tests/CMakeFiles/test_algo.dir/algo/test_stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/stamp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/stamp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/stamp_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/stamp_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/stamp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stamp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/stamp_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_analysis.cpp" "tests/CMakeFiles/test_core.dir/core/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_analysis.cpp.o.d"
+  "/root/repo/tests/core/test_cost_model.cpp" "tests/CMakeFiles/test_core.dir/core/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cost_model.cpp.o.d"
+  "/root/repo/tests/core/test_counters.cpp" "tests/CMakeFiles/test_core.dir/core/test_counters.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_counters.cpp.o.d"
+  "/root/repo/tests/core/test_crossover.cpp" "tests/CMakeFiles/test_core.dir/core/test_crossover.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_crossover.cpp.o.d"
+  "/root/repo/tests/core/test_envelope.cpp" "tests/CMakeFiles/test_core.dir/core/test_envelope.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_envelope.cpp.o.d"
+  "/root/repo/tests/core/test_metrics.cpp" "tests/CMakeFiles/test_core.dir/core/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_metrics.cpp.o.d"
+  "/root/repo/tests/core/test_params.cpp" "tests/CMakeFiles/test_core.dir/core/test_params.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_params.cpp.o.d"
+  "/root/repo/tests/core/test_placement.cpp" "tests/CMakeFiles/test_core.dir/core/test_placement.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_placement.cpp.o.d"
+  "/root/repo/tests/core/test_process.cpp" "tests/CMakeFiles/test_core.dir/core/test_process.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_process.cpp.o.d"
+  "/root/repo/tests/core/test_spec.cpp" "tests/CMakeFiles/test_core.dir/core/test_spec.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/stamp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/stamp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/stamp_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/stamp_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/stamp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stamp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/stamp_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

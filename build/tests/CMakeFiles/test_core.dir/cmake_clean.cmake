@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_analysis.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_analysis.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cost_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_counters.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_counters.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_crossover.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_crossover.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_envelope.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_envelope.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_metrics.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_metrics.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_params.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_params.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_placement.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_placement.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_process.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_process.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_spec.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_spec.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

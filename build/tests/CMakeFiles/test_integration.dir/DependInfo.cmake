@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_model_vs_runtime.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_model_vs_runtime.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_model_vs_runtime.cpp.o.d"
+  "/root/repo/tests/integration/test_model_vs_sim.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_model_vs_sim.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_model_vs_sim.cpp.o.d"
+  "/root/repo/tests/integration/test_multichip.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_multichip.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_multichip.cpp.o.d"
+  "/root/repo/tests/integration/test_nested.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_nested.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_nested.cpp.o.d"
+  "/root/repo/tests/integration/test_spec_vs_runtime.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_spec_vs_runtime.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_spec_vs_runtime.cpp.o.d"
+  "/root/repo/tests/integration/test_table1.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_table1.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_table1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/stamp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/stamp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/stamp_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/stamp_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/stamp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stamp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/stamp_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

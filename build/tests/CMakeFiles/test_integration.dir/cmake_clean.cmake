@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_model_vs_runtime.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_model_vs_runtime.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_model_vs_sim.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_model_vs_sim.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_multichip.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_multichip.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_nested.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_nested.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_spec_vs_runtime.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_spec_vs_runtime.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_table1.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_table1.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

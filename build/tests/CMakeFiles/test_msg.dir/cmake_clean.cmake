@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msg.dir/msg/test_bounded_mailbox.cpp.o"
+  "CMakeFiles/test_msg.dir/msg/test_bounded_mailbox.cpp.o.d"
+  "CMakeFiles/test_msg.dir/msg/test_collectives.cpp.o"
+  "CMakeFiles/test_msg.dir/msg/test_collectives.cpp.o.d"
+  "CMakeFiles/test_msg.dir/msg/test_communicator.cpp.o"
+  "CMakeFiles/test_msg.dir/msg/test_communicator.cpp.o.d"
+  "CMakeFiles/test_msg.dir/msg/test_mailbox.cpp.o"
+  "CMakeFiles/test_msg.dir/msg/test_mailbox.cpp.o.d"
+  "test_msg"
+  "test_msg.pdb"
+  "test_msg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

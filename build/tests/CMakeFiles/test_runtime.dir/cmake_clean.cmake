@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/test_barrier.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_barrier.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_executor.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_executor.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_instrument.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_instrument.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_placement_map.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_placement_map.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_quiescence.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_quiescence.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shm.dir/shm/test_shared_region.cpp.o"
+  "CMakeFiles/test_shm.dir/shm/test_shared_region.cpp.o.d"
+  "CMakeFiles/test_shm.dir/shm/test_swmr_matrix.cpp.o"
+  "CMakeFiles/test_shm.dir/shm/test_swmr_matrix.cpp.o.d"
+  "test_shm"
+  "test_shm.pdb"
+  "test_shm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

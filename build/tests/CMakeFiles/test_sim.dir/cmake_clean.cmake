@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/machine/test_gating.cpp.o"
+  "CMakeFiles/test_sim.dir/machine/test_gating.cpp.o.d"
+  "CMakeFiles/test_sim.dir/machine/test_governor.cpp.o"
+  "CMakeFiles/test_sim.dir/machine/test_governor.cpp.o.d"
+  "CMakeFiles/test_sim.dir/machine/test_power.cpp.o"
+  "CMakeFiles/test_sim.dir/machine/test_power.cpp.o.d"
+  "CMakeFiles/test_sim.dir/machine/test_simulator.cpp.o"
+  "CMakeFiles/test_sim.dir/machine/test_simulator.cpp.o.d"
+  "CMakeFiles/test_sim.dir/machine/test_simulator_fuzz.cpp.o"
+  "CMakeFiles/test_sim.dir/machine/test_simulator_fuzz.cpp.o.d"
+  "CMakeFiles/test_sim.dir/machine/test_trace.cpp.o"
+  "CMakeFiles/test_sim.dir/machine/test_trace.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_engine.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_engine.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stm/test_contention.cpp" "tests/CMakeFiles/test_stm.dir/stm/test_contention.cpp.o" "gcc" "tests/CMakeFiles/test_stm.dir/stm/test_contention.cpp.o.d"
+  "/root/repo/tests/stm/test_stm_concurrent.cpp" "tests/CMakeFiles/test_stm.dir/stm/test_stm_concurrent.cpp.o" "gcc" "tests/CMakeFiles/test_stm.dir/stm/test_stm_concurrent.cpp.o.d"
+  "/root/repo/tests/stm/test_tarray.cpp" "tests/CMakeFiles/test_stm.dir/stm/test_tarray.cpp.o" "gcc" "tests/CMakeFiles/test_stm.dir/stm/test_tarray.cpp.o.d"
+  "/root/repo/tests/stm/test_transaction.cpp" "tests/CMakeFiles/test_stm.dir/stm/test_transaction.cpp.o" "gcc" "tests/CMakeFiles/test_stm.dir/stm/test_transaction.cpp.o.d"
+  "/root/repo/tests/stm/test_versioned_lock.cpp" "tests/CMakeFiles/test_stm.dir/stm/test_versioned_lock.cpp.o" "gcc" "tests/CMakeFiles/test_stm.dir/stm/test_versioned_lock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/stamp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/stamp_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/stamp_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/stamp_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/stamp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stamp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/stamp_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stm.dir/stm/test_contention.cpp.o"
+  "CMakeFiles/test_stm.dir/stm/test_contention.cpp.o.d"
+  "CMakeFiles/test_stm.dir/stm/test_stm_concurrent.cpp.o"
+  "CMakeFiles/test_stm.dir/stm/test_stm_concurrent.cpp.o.d"
+  "CMakeFiles/test_stm.dir/stm/test_tarray.cpp.o"
+  "CMakeFiles/test_stm.dir/stm/test_tarray.cpp.o.d"
+  "CMakeFiles/test_stm.dir/stm/test_transaction.cpp.o"
+  "CMakeFiles/test_stm.dir/stm/test_transaction.cpp.o.d"
+  "CMakeFiles/test_stm.dir/stm/test_versioned_lock.cpp.o"
+  "CMakeFiles/test_stm.dir/stm/test_versioned_lock.cpp.o.d"
+  "test_stm"
+  "test_stm.pdb"
+  "test_stm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
