@@ -1,13 +1,29 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every paper artifact. Outputs land in
-# test_output.txt and bench_output.txt at the repository root.
+# test_output.txt and bench_output.txt at the repository root, and the sweep
+# regression baseline in sweeps/baseline.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+# Pick a generator: reuse whatever an existing build tree was configured
+# with (mixing generators in one tree is a hard CMake error); otherwise
+# prefer Ninja when available and fall back to the default Makefiles.
+generator_args=()
+if [ ! -f build/CMakeCache.txt ] && command -v ninja >/dev/null 2>&1; then
+  generator_args=(-G Ninja)
+fi
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+cmake -B build "${generator_args[@]}"
+cmake --build build -j "$(nproc)"
+
+ctest --test-dir build --output-on-failure -j "$(nproc)" 2>&1 | tee test_output.txt
+
+# Refresh the sweep regression baseline (see README "CI and regression
+# gating"). Deliberately single-threaded: the artifact is byte-identical at
+# any pool width, so one thread keeps the refresh boring and reproducible.
+mkdir -p sweeps
+build/tools/stamp_sweep --grid canonical --threads 1 --out sweeps/baseline.json
+build/tools/stamp_gate sweeps/baseline.json sweeps/baseline.json
 
 : > bench_output.txt
 for b in build/bench/bench_*; do
@@ -16,4 +32,4 @@ for b in build/bench/bench_*; do
   "$b" 2>&1 | tee -a bench_output.txt
 done
 
-echo "Done: see test_output.txt and bench_output.txt"
+echo "Done: see test_output.txt, bench_output.txt, sweeps/baseline.json"

@@ -91,4 +91,46 @@ double qsm_time(const RoundSpec& r, int rounds, const QsmParams& p) {
   return rounds * qsm_round_time(r, p);
 }
 
+std::string_view to_string(ModelKind k) noexcept {
+  switch (k) {
+    case ModelKind::PRAM: return "PRAM";
+    case ModelKind::BSP: return "BSP";
+    case ModelKind::LogP: return "LogP";
+    case ModelKind::LogGP: return "LogGP";
+    case ModelKind::QSM: return "QSM";
+  }
+  return "?";
+}
+
+ClassicalParams classical_from_machine(const MachineParams& mp) {
+  ClassicalParams p;
+  p.bsp.g = mp.g_sh_e;
+  p.bsp.l = mp.ell_e;
+  p.logp.L = mp.L_e;
+  p.logp.o = mp.g_mp_a;
+  p.logp.g = mp.g_mp_e;
+  p.loggp.L = mp.L_e;
+  p.loggp.o = mp.g_mp_a;
+  p.loggp.g = mp.g_mp_e;
+  p.loggp.G = mp.g_mp_e / 8.0;
+  p.qsm.g = mp.g_sh_e;
+  return p;
+}
+
+double round_time(ModelKind kind, const RoundSpec& r, const ClassicalParams& p) {
+  switch (kind) {
+    case ModelKind::PRAM: return pram_round_time(r, p.pram);
+    case ModelKind::BSP: return bsp_round_time(r, p.bsp);
+    case ModelKind::LogP: return logp_round_time(r, p.logp);
+    case ModelKind::LogGP: return loggp_round_time(r, p.loggp);
+    case ModelKind::QSM: return qsm_round_time(r, p.qsm);
+  }
+  return 0;
+}
+
+double time(ModelKind kind, const RoundSpec& r, int rounds,
+            const ClassicalParams& p) {
+  return rounds * round_time(kind, r, p);
+}
+
 }  // namespace stamp::models

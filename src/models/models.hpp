@@ -9,6 +9,7 @@
 /// LogP/LogGP price messages but have no power model (none of these models
 /// has one — that is STAMP's contribution).
 
+#include "core/params.hpp"
 #include "models/round_spec.hpp"
 
 #include <span>
@@ -94,5 +95,45 @@ struct QsmParams {
 [[nodiscard]] double loggp_time(const RoundSpec& r, int rounds,
                                 const LogGPParams& p);
 [[nodiscard]] double qsm_time(const RoundSpec& r, int rounds, const QsmParams& p);
+
+// ---------------------------------------------------------------------------
+// Uniform dispatch over the five models
+// ---------------------------------------------------------------------------
+
+/// The five classical models as runtime-selectable kinds, in a fixed order
+/// that downstream artifacts (the sweep JSON schema) rely on.
+enum class ModelKind : int { PRAM = 0, BSP = 1, LogP = 2, LogGP = 3, QSM = 4 };
+
+inline constexpr int kModelKindCount = 5;
+
+[[nodiscard]] std::string_view to_string(ModelKind k) noexcept;
+
+/// All five models' parameters in one bundle, so callers can evaluate every
+/// model against one machine description.
+struct ClassicalParams {
+  PramParams pram{};
+  BspParams bsp{};
+  LogPParams logp{};
+  LogGPParams loggp{};
+  QsmParams qsm{};
+};
+
+/// First-order correspondence from STAMP machine parameters to the classical
+/// models' knobs, used by the sweep to report each model's prediction at
+/// every machine-grid point:
+///   BSP:   g = g_sh_e (inter-processor shm bandwidth), l = ell_e
+///   LogP:  L = L_e, o = g_mp_a (intra bandwidth factor as CPU overhead),
+///          g = g_mp_e
+///   LogGP: as LogP, with G = g_mp_e / 8 (per-word gap well below the
+///          per-message gap)
+///   QSM:   g = g_sh_e
+/// PRAM has no parameters — that absence is the Section 2.2 argument.
+[[nodiscard]] ClassicalParams classical_from_machine(const MachineParams& mp);
+
+/// `*_round_time` / `*_time` dispatched on `kind`.
+[[nodiscard]] double round_time(ModelKind kind, const RoundSpec& r,
+                                const ClassicalParams& p);
+[[nodiscard]] double time(ModelKind kind, const RoundSpec& r, int rounds,
+                          const ClassicalParams& p);
 
 }  // namespace stamp::models

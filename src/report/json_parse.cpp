@@ -1,0 +1,239 @@
+#include "report/json_parse.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+namespace stamp::report {
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) throw std::logic_error("JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::Number) throw std::logic_error("JsonValue: not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) throw std::logic_error("JsonValue: not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::Array) throw std::logic_error("JsonValue: not an array");
+  return items_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (kind_ != Kind::Object) throw std::logic_error("JsonValue: not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const Member& m : members_)
+    if (m.first == key) return &m.second;
+  return nullptr;
+}
+
+struct JsonValue::Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError(what, pos);
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  [[nodiscard]] char peek() const {
+    if (pos >= text.size())
+      throw JsonParseError("unexpected end of input", pos);
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (pos >= text.size() || text[pos] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind_ = Kind::String;
+        v.string_ = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.kind_ = Kind::Bool;
+        if (consume_literal("true"))
+          v.bool_ = true;
+        else if (consume_literal("false"))
+          v.bool_ = false;
+        else
+          fail("bad literal");
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.members_.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos;
+      return v;
+    }
+    for (;;) {
+      v.items_.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos >= text.size()) fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) fail("unterminated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          // UTF-8 encode the code point (the writer only emits \u00xx for
+          // control characters, but decode the full BMP for completeness).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-'))
+      ++pos;
+    if (pos == start) fail("expected a value");
+    double value = 0;
+    const auto [end, ec] =
+        std::from_chars(text.data() + start, text.data() + pos, value);
+    if (ec != std::errc{} || end != text.data() + pos) {
+      pos = start;
+      fail("bad number");
+    }
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.number_ = value;
+    return v;
+  }
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  Parser p{text};
+  JsonValue v = p.parse_value();
+  p.skip_ws();
+  if (p.pos != text.size())
+    throw JsonParseError("trailing characters after document", p.pos);
+  return v;
+}
+
+}  // namespace stamp::report

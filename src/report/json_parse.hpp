@@ -1,0 +1,68 @@
+#pragma once
+/// \file json_parse.hpp
+/// \brief A small JSON value tree and recursive-descent parser — the reading
+///        half of `json.hpp`'s writer, used by the regression gate to load
+///        sweep artifacts.
+///
+/// Covers the full JSON grammar the writer can emit (objects, arrays,
+/// strings with escapes, numbers, booleans, null). Object member order is
+/// preserved. Parse failures throw `JsonParseError` with a byte offset.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace stamp::report {
+
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  /// Parse one complete JSON document; trailing non-whitespace is an error.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  JsonValue() = default;  // null
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+
+  /// Typed accessors; each throws std::logic_error on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& items() const;      ///< array
+  [[nodiscard]] const std::vector<Member>& members() const;       ///< object
+
+  /// Object lookup: the value under `key`, or nullptr when absent (or when
+  /// this value is not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+ private:
+  struct Parser;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+}  // namespace stamp::report

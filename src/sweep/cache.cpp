@@ -1,0 +1,70 @@
+#include "sweep/cache.hpp"
+
+#include <cstring>
+
+namespace stamp::sweep {
+
+CostCache::CostCache(std::size_t shards) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+std::string CostCache::encode(std::span<const double> key) {
+  std::string out(key.size() * sizeof(double), '\0');
+  if (!key.empty()) std::memcpy(out.data(), key.data(), out.size());
+  return out;
+}
+
+CostCache::Shard& CostCache::shard_for(const std::string& encoded) {
+  const std::size_t h = std::hash<std::string>{}(encoded);
+  return *shards_[h % shards_.size()];
+}
+
+PointCost CostCache::get_or_compute(std::span<const double> key,
+                                    const std::function<PointCost()>& compute) {
+  const std::string encoded = encode(key);
+  Shard& shard = shard_for(encoded);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(encoded);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const PointCost value = compute();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  // emplace keeps an already-inserted value if another thread raced us.
+  return shard.map.emplace(encoded, value).first->second;
+}
+
+std::uint64_t CostCache::hits() const noexcept {
+  return hits_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CostCache::misses() const noexcept {
+  return misses_.load(std::memory_order_relaxed);
+}
+
+std::size_t CostCache::size() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    total += s->map.size();
+  }
+  return total;
+}
+
+void CostCache::clear() {
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    s->map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace stamp::sweep

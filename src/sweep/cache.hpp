@@ -1,0 +1,72 @@
+#pragma once
+/// \file cache.hpp
+/// \brief Sharded memoization of per-point sweep costs.
+///
+/// A sweep queries four metrics (D, PDP, EDP, ED²P) per grid point, but all
+/// four derive from one `(time, energy)` pair — so the expensive placement
+/// evaluation is keyed on the canonical parameter tuple and computed once;
+/// the other three queries are cache hits. The map is sharded by key hash so
+/// pool workers evaluating different points rarely contend on a lock.
+
+#include "core/cost_model.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace stamp::sweep {
+
+/// The memoized quantity: the parallel-composition cost of the point's best
+/// placement, its power-envelope feasibility, and the process count the
+/// selection chose.
+struct PointCost {
+  Cost cost{};
+  bool feasible = true;
+  int processes = 0;  ///< best process count found for the point
+
+  friend bool operator==(const PointCost&, const PointCost&) = default;
+};
+
+class CostCache {
+ public:
+  /// `shards` buckets each with their own lock; rounded up to at least 1.
+  explicit CostCache(std::size_t shards = 16);
+
+  /// Return the cached value for `key` (the canonical parameter tuple of a
+  /// grid point), computing it with `compute` on a miss. `compute` runs
+  /// outside any shard lock, so concurrent misses on *different* keys never
+  /// serialize; concurrent misses on the same key may both compute (the
+  /// first inserted value wins — computation is deterministic, so both
+  /// results are identical anyway).
+  PointCost get_or_compute(std::span<const double> key,
+                           const std::function<PointCost()>& compute);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept;
+  [[nodiscard]] std::uint64_t misses() const noexcept;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::string, PointCost> map;
+  };
+
+  /// Bitwise encoding of the tuple: exact (no formatting round-trip) and
+  /// hashable as a string.
+  static std::string encode(std::span<const double> key);
+
+  Shard& shard_for(const std::string& encoded);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace stamp::sweep

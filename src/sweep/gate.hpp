@@ -1,0 +1,80 @@
+#pragma once
+/// \file gate.hpp
+/// \brief The regression gate: compare a fresh sweep artifact against a
+///        checked-in baseline with per-metric relative tolerances.
+///
+/// CI runs `tools/stamp_gate sweeps/baseline.json <fresh>` on every PR; a
+/// non-zero exit means a cost-model constant, a placement strategy, or the
+/// serialization drifted. The comparison is structural *and* numeric:
+/// points are keyed by their full parameter tuple, every metric and every
+/// classical-model prediction is checked, and NaN (serialized as JSON null)
+/// is always a failure — a silent NaN is the worst kind of drift.
+
+#include "report/json_parse.hpp"
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stamp::sweep {
+
+/// Relative tolerance per metric. A drift passes when
+/// |fresh - base| <= tol * max(|base|, |fresh|) — exactly-at-tolerance is a
+/// pass. The model defaults are tight because the model is deterministic
+/// arithmetic; loosen them only for artifacts produced from measured runs.
+struct GateTolerances {
+  double D = 0.02;
+  double PDP = 0.02;
+  double EDP = 0.05;
+  double ED2P = 0.05;
+  double models = 0.02;  ///< applies to every classical-model entry
+
+  /// Tolerance for a metric name ("D", "PDP", "EDP", "ED2P"; anything else
+  /// gets `models`).
+  [[nodiscard]] double for_metric(std::string_view name) const noexcept;
+};
+
+/// One reason the gate failed.
+struct GateIssue {
+  enum class Kind {
+    MissingInBaseline,  ///< fresh has a point the baseline lacks
+    MissingInFresh,     ///< baseline has a point the fresh sweep lacks
+    MissingMetric,      ///< a point lacks a metric the other side has
+    NotANumber,         ///< a metric is NaN/null on either side
+    FeasibilityFlip,    ///< feasible flag differs
+    Drift,              ///< relative difference exceeds tolerance
+    SchemaMismatch,     ///< schema/axes/workload differ
+  };
+
+  Kind kind = Kind::Drift;
+  std::string point;   ///< canonical "axis=value,..." key ("" for schema)
+  std::string metric;  ///< metric or model name ("" when structural)
+  double baseline = 0;
+  double fresh = 0;
+  double relative = 0;  ///< |fresh-base| / max(|base|, |fresh|)
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct GateReport {
+  bool ok = true;
+  std::size_t points_compared = 0;
+  std::vector<GateIssue> issues;
+};
+
+/// Compare two parsed `stamp-sweep/v1` documents.
+/// Throws report::JsonParseError / std::runtime_error on malformed documents.
+[[nodiscard]] GateReport compare_sweeps(const report::JsonValue& baseline,
+                                        const report::JsonValue& fresh,
+                                        const GateTolerances& tol = {});
+
+/// Parse both documents from text and compare.
+[[nodiscard]] GateReport compare_sweeps_text(std::string_view baseline,
+                                             std::string_view fresh,
+                                             const GateTolerances& tol = {});
+
+/// Human-readable report (one line per issue plus a verdict).
+void print_report(const GateReport& report, std::ostream& os);
+
+}  // namespace stamp::sweep

@@ -1,0 +1,58 @@
+#include "sweep/grid.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace stamp::sweep {
+
+ParamGrid& ParamGrid::axis(std::string name, std::vector<double> values) {
+  if (values.empty())
+    throw std::invalid_argument("ParamGrid: axis '" + name + "' has no values");
+  if (axis_index(name) >= 0)
+    throw std::invalid_argument("ParamGrid: duplicate axis '" + name + "'");
+  // Guard the size product against overflow before accepting the axis.
+  std::size_t product = values.size();
+  for (const GridAxis& a : axes_) {
+    if (product > std::numeric_limits<std::size_t>::max() / a.values.size())
+      throw std::invalid_argument("ParamGrid: grid size overflows size_t");
+    product *= a.values.size();
+  }
+  axes_.push_back(GridAxis{std::move(name), std::move(values)});
+  return *this;
+}
+
+std::size_t ParamGrid::size() const noexcept {
+  if (axes_.empty()) return 0;
+  std::size_t product = 1;
+  for (const GridAxis& a : axes_) product *= a.values.size();
+  return product;
+}
+
+std::vector<double> ParamGrid::point(std::size_t index) const {
+  if (index >= size()) throw std::out_of_range("ParamGrid::point: bad index");
+  std::vector<double> out(axes_.size());
+  // Mixed-radix decode, last axis fastest.
+  for (std::size_t k = axes_.size(); k-- > 0;) {
+    const std::vector<double>& vals = axes_[k].values;
+    out[k] = vals[index % vals.size()];
+    index /= vals.size();
+  }
+  return out;
+}
+
+int ParamGrid::axis_index(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < axes_.size(); ++i)
+    if (axes_[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+double ParamGrid::value(std::span<const double> point,
+                        std::string_view axis) const {
+  const int i = axis_index(axis);
+  if (i < 0 || static_cast<std::size_t>(i) >= point.size())
+    throw std::invalid_argument("ParamGrid::value: no axis named '" +
+                                std::string(axis) + "'");
+  return point[static_cast<std::size_t>(i)];
+}
+
+}  // namespace stamp::sweep

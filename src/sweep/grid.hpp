@@ -1,0 +1,56 @@
+#pragma once
+/// \file grid.hpp
+/// \brief Cartesian parameter grids with a canonical, deterministic point
+///        ordering — the index space a sweep evaluates.
+///
+/// A grid is an ordered list of named axes; point `i` decodes by mixed-radix
+/// expansion with the *last* axis varying fastest (row-major), so enumeration
+/// order is a pure function of the grid definition. Everything downstream
+/// (memoization keys, JSON artifacts, the regression gate) relies on that
+/// determinism.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stamp::sweep {
+
+/// One named dimension of the grid.
+struct GridAxis {
+  std::string name;
+  std::vector<double> values;
+};
+
+class ParamGrid {
+ public:
+  /// Append an axis. Throws std::invalid_argument on an empty value list or a
+  /// duplicate name. Returns *this for chaining.
+  ParamGrid& axis(std::string name, std::vector<double> values);
+
+  [[nodiscard]] const std::vector<GridAxis>& axes() const noexcept {
+    return axes_;
+  }
+
+  /// Number of grid points: the product of axis sizes (0 for a grid with no
+  /// axes — an empty grid has nothing to evaluate).
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Decode point `index` into one value per axis, in axis order.
+  /// Throws std::out_of_range for `index >= size()`.
+  [[nodiscard]] std::vector<double> point(std::size_t index) const;
+
+  /// Position of the named axis, or -1 when absent.
+  [[nodiscard]] int axis_index(std::string_view name) const noexcept;
+
+  /// Value of the named axis within a decoded point.
+  /// Throws std::invalid_argument when the axis does not exist.
+  [[nodiscard]] double value(std::span<const double> point,
+                             std::string_view axis) const;
+
+ private:
+  std::vector<GridAxis> axes_;
+};
+
+}  // namespace stamp::sweep

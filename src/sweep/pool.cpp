@@ -1,0 +1,143 @@
+#include "sweep/pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stamp::sweep {
+
+Pool::Pool(int threads) : threads_(threads) {
+  if (threads < 1) throw std::invalid_argument("Pool: threads must be >= 1");
+  deques_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int id = 1; id < threads; ++id)
+    workers_.emplace_back([this, id] { worker_main(id); });
+}
+
+Pool::~Pool() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::uint64_t Pool::steals() const noexcept {
+  return steals_.load(std::memory_order_relaxed);
+}
+
+void Pool::worker_main(int id) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      work_available_.wait(lock, [this] {
+        return shutting_down_ || pending_.load(std::memory_order_acquire) > 0;
+      });
+      if (shutting_down_) return;
+    }
+    drain(id);
+  }
+}
+
+bool Pool::try_pop_own(int id, Chunk& out) {
+  WorkerDeque& d = *deques_[static_cast<std::size_t>(id)];
+  std::lock_guard<std::mutex> lock(d.mutex);
+  if (d.chunks.empty()) return false;
+  out = d.chunks.back();  // LIFO for the owner
+  d.chunks.pop_back();
+  return true;
+}
+
+bool Pool::try_steal(int thief, Chunk& out) {
+  for (int k = 1; k < threads_; ++k) {
+    const int victim = (thief + k) % threads_;
+    WorkerDeque& d = *deques_[static_cast<std::size_t>(victim)];
+    std::lock_guard<std::mutex> lock(d.mutex);
+    if (d.chunks.empty()) continue;
+    out = d.chunks.front();  // FIFO for thieves
+    d.chunks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void Pool::run_chunk(const Chunk& c) {
+  const std::function<void(std::size_t)>* body = body_;
+  std::size_t executed = 0;
+  try {
+    for (std::size_t i = c.begin; i < c.end; ++i) {
+      (*body)(i);
+      ++executed;
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  // Unexecuted indices of a throwing chunk still count as done so the loop
+  // drains; the exception is rethrown by parallel_for.
+  pending_.fetch_sub(c.end - c.begin, std::memory_order_acq_rel);
+}
+
+void Pool::drain(int id) {
+  Chunk c;
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (try_pop_own(id, c)) {
+      run_chunk(c);
+    } else if (try_steal(id, c)) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      run_chunk(c);
+    } else {
+      // Remaining indices are being executed by other workers; the loop is
+      // about to finish, so a yield-spin is cheap and avoids cv churn.
+      std::this_thread::yield();
+    }
+  }
+}
+
+void Pool::parallel_for(std::size_t n,
+                        const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+
+  // One loop at a time: the deques and counters are per-pool, not per-loop.
+  std::lock_guard<std::mutex> exclusive(loop_mutex_);
+
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    first_error_ = nullptr;
+  }
+  body_ = &body;
+  pending_.store(n, std::memory_order_release);
+
+  // Chunk the index space: ~8 chunks per worker amortizes deque traffic while
+  // leaving enough slack for stealing to balance uneven work.
+  const std::size_t target_chunks =
+      static_cast<std::size_t>(threads_) * 8;
+  const std::size_t chunk_size = std::max<std::size_t>(
+      1, (n + target_chunks - 1) / target_chunks);
+  int next_worker = 0;
+  for (std::size_t begin = 0; begin < n; begin += chunk_size) {
+    const Chunk c{begin, std::min(begin + chunk_size, n)};
+    WorkerDeque& d = *deques_[static_cast<std::size_t>(next_worker)];
+    {
+      std::lock_guard<std::mutex> lock(d.mutex);
+      d.chunks.push_back(c);
+    }
+    next_worker = (next_worker + 1) % threads_;
+  }
+  work_available_.notify_all();
+
+  drain(0);  // the caller is worker 0
+
+  body_ = nullptr;
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace stamp::sweep

@@ -1,0 +1,91 @@
+#pragma once
+/// \file pool.hpp
+/// \brief A work-stealing thread pool driving parameter-sweep evaluation.
+///
+/// The pool executes index-space loops (`parallel_for`) by chunking the index
+/// range and distributing the chunks round-robin over per-worker deques.
+/// Each worker pops from the back of its own deque (LIFO, cache-friendly) and,
+/// when empty, steals from the front of a peer's deque (FIFO, takes the
+/// oldest — and under round-robin distribution the largest remaining —
+/// contiguous chunk). The calling thread participates as worker 0, so
+/// `Pool(1)` degenerates to a plain serial loop with no threads spawned.
+///
+/// Scheduling is dynamic, so callers that need deterministic output must key
+/// results by index (write into a pre-sized array), never by completion order.
+/// `run_sweep` does exactly that, which is how an N-thread sweep produces
+/// byte-identical artifacts to a 1-thread sweep.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stamp::sweep {
+
+class Pool {
+ public:
+  /// A pool of `threads` workers total. `threads - 1` background threads are
+  /// spawned; the thread calling `parallel_for` acts as worker 0. Throws
+  /// std::invalid_argument for `threads < 1`.
+  explicit Pool(int threads);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Total workers, including the caller.
+  [[nodiscard]] int threads() const noexcept { return threads_; }
+
+  /// Run `body(i)` for every i in [0, n), distributing work over all workers.
+  /// Blocks until every index completed. If any invocation throws, the first
+  /// exception is rethrown here after the loop has drained. Only one
+  /// parallel_for may be active at a time (guarded internally).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Number of successful steals since construction (observability; also lets
+  /// tests prove stealing actually happens).
+  [[nodiscard]] std::uint64_t steals() const noexcept;
+
+ private:
+  struct Chunk {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  struct WorkerDeque {
+    std::mutex mutex;
+    std::deque<Chunk> chunks;
+  };
+
+  void worker_main(int id);
+  bool try_pop_own(int id, Chunk& out);
+  bool try_steal(int thief, Chunk& out);
+  void run_chunk(const Chunk& c);
+  /// Work until the current loop has no pending indices. Worker 0 (the
+  /// caller) uses this to participate.
+  void drain(int id);
+
+  int threads_;
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::vector<std::thread> workers_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_available_;
+  std::mutex loop_mutex_;  ///< serializes concurrent parallel_for callers
+  bool shutting_down_ = false;
+
+  // State of the in-flight parallel_for (valid while pending_ > 0).
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::atomic<std::size_t> pending_{0};  ///< indices not yet completed
+  std::atomic<std::uint64_t> steals_{0};
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace stamp::sweep

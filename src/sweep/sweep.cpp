@@ -1,0 +1,279 @@
+#include "sweep/sweep.hpp"
+
+#include "report/json.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stamp::sweep {
+namespace {
+
+/// Everything one grid point pins down.
+struct PointSetup {
+  MachineModel machine;
+  ProcessProfile profile;
+  int processes = 0;
+  PlacementStrategy strategy = PlacementStrategy::FillFirst;
+};
+
+double axis_or(const SweepConfig& cfg, std::span<const double> vals,
+               std::string_view name, double fallback) {
+  const int i = cfg.grid.axis_index(name);
+  return i >= 0 ? vals[static_cast<std::size_t>(i)] : fallback;
+}
+
+PointSetup setup_point(const SweepConfig& cfg, std::span<const double> vals) {
+  PointSetup s;
+  s.machine = cfg.base;
+  Topology& t = s.machine.topology;
+  t.processors_per_chip = static_cast<int>(
+      axis_or(cfg, vals, axes::kCores, t.processors_per_chip));
+  t.threads_per_processor = static_cast<int>(
+      axis_or(cfg, vals, axes::kThreadsPerCore, t.threads_per_processor));
+  MachineParams& p = s.machine.params;
+  p.ell_e = axis_or(cfg, vals, axes::kEllE, p.ell_e);
+  p.L_e = axis_or(cfg, vals, axes::kLE, p.L_e);
+  p.g_sh_e = axis_or(cfg, vals, axes::kGShE, p.g_sh_e);
+  s.machine.validate();  // rejects nonsense grids (e.g. inter < intra)
+
+  s.profile = cfg.profile;
+  s.profile.kappa = axis_or(cfg, vals, axes::kKappa, s.profile.kappa);
+
+  s.processes = std::min(cfg.processes, t.total_threads());
+
+  const int code =
+      static_cast<int>(axis_or(cfg, vals, axes::kPlacement,
+                               static_cast<double>(PlacementStrategy::FillFirst)));
+  if (code < 0 || code > static_cast<int>(PlacementStrategy::Greedy))
+    throw std::invalid_argument("sweep: unknown placement strategy code " +
+                                std::to_string(code));
+  s.strategy = static_cast<PlacementStrategy>(code);
+  return s;
+}
+
+/// Split the total workload over n processes: additive counters divide,
+/// kappa (a per-location bound) and units do not.
+ProcessProfile strong_scaled(const ProcessProfile& total, int n) {
+  ProcessProfile p = total;
+  const double inv = 1.0 / n;
+  p.c_fp *= inv;
+  p.c_int *= inv;
+  p.d_r *= inv;
+  p.d_w *= inv;
+  p.m_s *= inv;
+  p.m_r *= inv;
+  return p;
+}
+
+PointCost placement_cost(const PointSetup& s, int n, Objective objective) {
+  const std::vector<ProcessProfile> profiles(
+      static_cast<std::size_t>(n), strong_scaled(s.profile, n));
+  PlacementResult r;
+  switch (s.strategy) {
+    case PlacementStrategy::FillFirst:
+      r = place_fill_first(profiles, s.machine, objective);
+      break;
+    case PlacementStrategy::RoundRobin:
+      r = place_round_robin(profiles, s.machine, objective);
+      break;
+    case PlacementStrategy::Greedy:
+      r = place_greedy(profiles, s.machine, objective);
+      break;
+  }
+  return PointCost{r.eval.total, r.eval.feasible, n};
+}
+
+/// The selection the sweep performs per point: best process count under the
+/// objective, preferring power-feasible candidates (the place_best rule).
+PointCost compute_point_cost(const PointSetup& s, Objective objective) {
+  const int limit = std::max(1, std::min(s.processes,
+                                         s.machine.topology.total_threads()));
+  PointCost best{};
+  bool have = false;
+  auto consider = [&](int n) {
+    const PointCost c = placement_cost(s, n, objective);
+    const bool better_feasibility = c.feasible && !best.feasible;
+    const bool same_feasibility = c.feasible == best.feasible;
+    if (!have || better_feasibility ||
+        (same_feasibility && metric_value(c.cost, objective) <
+                                 metric_value(best.cost, objective))) {
+      best = c;
+      have = true;
+    }
+  };
+  for (int n = 1; n < limit; n *= 2) consider(n);
+  consider(limit);
+  return best;
+}
+
+SweepRecord evaluate_point(const SweepConfig& cfg, std::size_t index,
+                           CostCache& cache) {
+  SweepRecord rec;
+  rec.index = index;
+  rec.params = cfg.grid.point(index);
+  const PointSetup s = setup_point(cfg, rec.params);
+
+  // Four metric queries against the memoized placement evaluation: the first
+  // misses and computes, D/PDP/EDP/ED²P then share the one (T, E) pair.
+  const auto compute = [&] { return compute_point_cost(s, cfg.objective); };
+  for (const Objective o :
+       {Objective::D, Objective::PDP, Objective::EDP, Objective::ED2P}) {
+    const PointCost pc = cache.get_or_compute(rec.params, compute);
+    rec.feasible = pc.feasible;
+    rec.processes = pc.processes;
+    const double v = metric_value(pc.cost, o);
+    switch (o) {
+      case Objective::D: rec.metrics.D = v; break;
+      case Objective::PDP: rec.metrics.PDP = v; break;
+      case Objective::EDP: rec.metrics.EDP = v; break;
+      case Objective::ED2P: rec.metrics.ED2P = v; break;
+    }
+  }
+
+  // Classical baselines: the per-process round implied by STAMP's selected
+  // process count, priced by each model on the point's machine parameters
+  // (closed-form, cheap — no memoization needed).
+  const ProcessProfile per_process = strong_scaled(s.profile, rec.processes);
+  models::RoundSpec rs;
+  rs.local_ops = per_process.c_fp + per_process.c_int;
+  rs.msgs_out = per_process.m_s;
+  rs.msgs_in = per_process.m_r;
+  rs.shm_reads = per_process.d_r;
+  rs.shm_writes = per_process.d_w;
+  rs.max_location_accesses = per_process.kappa;
+  const models::ClassicalParams cp =
+      models::classical_from_machine(s.machine.params);
+  for (int k = 0; k < models::kModelKindCount; ++k)
+    rec.classical[static_cast<std::size_t>(k)] =
+        models::round_time(static_cast<models::ModelKind>(k), rs, cp);
+  return rec;
+}
+
+SweepResult make_result_shell(const SweepConfig& cfg) {
+  SweepResult out;
+  out.axis_names.reserve(cfg.grid.axes().size());
+  for (const GridAxis& a : cfg.grid.axes()) out.axis_names.push_back(a.name);
+  out.workload = cfg.workload;
+  out.objective = cfg.objective;
+  out.records.resize(cfg.grid.size());
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(PlacementStrategy s) noexcept {
+  switch (s) {
+    case PlacementStrategy::FillFirst: return "fill-first";
+    case PlacementStrategy::RoundRobin: return "round-robin";
+    case PlacementStrategy::Greedy: return "greedy";
+  }
+  return "?";
+}
+
+SweepConfig SweepConfig::canonical() {
+  SweepConfig c;
+  c.grid.axis(std::string(axes::kCores), {2, 4, 8, 16})
+      .axis(std::string(axes::kThreadsPerCore), {1, 2, 4})
+      .axis(std::string(axes::kEllE), {12, 40})
+      .axis(std::string(axes::kLE), {24, 96})
+      .axis(std::string(axes::kGShE), {2, 8})
+      .axis(std::string(axes::kKappa), {0, 8})
+      .axis(std::string(axes::kPlacement), {0, 1, 2});
+  c.base = presets::niagara();
+  // A communicating job whose distribution genuinely trades time against
+  // power: real local work plus both substrates' traffic. These are *total*
+  // counts, strong-scaled over the candidate process counts.
+  c.profile.c_fp = 2000;
+  c.profile.c_int = 4000;
+  c.profile.d_r = 1024;
+  c.profile.d_w = 256;
+  c.profile.m_s = 128;
+  c.profile.m_r = 128;
+  c.profile.units = 4;
+  c.processes = 64;
+  c.objective = Objective::EDP;
+  c.workload = "uniform-comm";
+  return c;
+}
+
+SweepConfig SweepConfig::tiny() {
+  SweepConfig c = canonical();
+  c.grid = ParamGrid{};
+  c.grid.axis(std::string(axes::kCores), {2, 4})
+      .axis(std::string(axes::kThreadsPerCore), {1, 2})
+      .axis(std::string(axes::kKappa), {0, 4})
+      .axis(std::string(axes::kPlacement), {0, 1});
+  c.workload = "uniform-comm-tiny";
+  return c;
+}
+
+SweepResult run_sweep_serial(const SweepConfig& cfg) {
+  SweepResult out = make_result_shell(cfg);
+  CostCache cache;
+  for (std::size_t i = 0; i < out.records.size(); ++i)
+    out.records[i] = evaluate_point(cfg, i, cache);
+  out.stats.cache_hits = cache.hits();
+  out.stats.cache_misses = cache.misses();
+  return out;
+}
+
+SweepResult run_sweep(const SweepConfig& cfg, Pool& pool) {
+  SweepResult out = make_result_shell(cfg);
+  CostCache cache(static_cast<std::size_t>(pool.threads()) * 8);
+  const std::uint64_t steals_before = pool.steals();
+  // Records are written by grid index into a pre-sized vector, so completion
+  // order (which is scheduling-dependent) never shows in the output.
+  pool.parallel_for(out.records.size(), [&](std::size_t i) {
+    out.records[i] = evaluate_point(cfg, i, cache);
+  });
+  out.stats.cache_hits = cache.hits();
+  out.stats.cache_misses = cache.misses();
+  out.stats.pool_steals = pool.steals() - steals_before;
+  return out;
+}
+
+void write_json(const SweepResult& result, std::ostream& os) {
+  report::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "stamp-sweep/v1");
+  w.kv("workload", result.workload);
+  w.kv("objective", to_string(result.objective));
+  w.key("axes").begin_array();
+  for (const std::string& name : result.axis_names) w.value(name);
+  w.end_array();
+  w.key("points").begin_array();
+  for (const SweepRecord& rec : result.records) {
+    w.begin_object();
+    w.key("params").begin_object();
+    for (std::size_t a = 0; a < result.axis_names.size(); ++a)
+      w.kv(result.axis_names[a], rec.params[a]);
+    w.end_object();
+    w.kv("processes", rec.processes);
+    w.kv("feasible", rec.feasible);
+    w.key("metrics").begin_object();
+    w.kv("D", rec.metrics.D);
+    w.kv("PDP", rec.metrics.PDP);
+    w.kv("EDP", rec.metrics.EDP);
+    w.kv("ED2P", rec.metrics.ED2P);
+    w.end_object();
+    w.key("models").begin_object();
+    for (int k = 0; k < models::kModelKindCount; ++k)
+      w.kv(models::to_string(static_cast<models::ModelKind>(k)),
+           rec.classical[static_cast<std::size_t>(k)]);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+std::string to_json(const SweepResult& result) {
+  std::ostringstream ss;
+  write_json(result, ss);
+  return ss.str();
+}
+
+}  // namespace stamp::sweep

@@ -1,0 +1,130 @@
+#pragma once
+/// \file sweep.hpp
+/// \brief The parameter-sweep engine: evaluate the STAMP cost model (and the
+///        classical baselines) over a Cartesian grid of machine parameters
+///        and thread placements, serially or on a work-stealing pool, with
+///        deterministic, gate-able JSON artifacts.
+///
+/// Each grid point describes one machine configuration (cores, hardware
+/// threads per core, inter-processor ℓ / L / g), one workload serialization
+/// bound κ, and one placement strategy. Evaluating a point answers the
+/// paper's selection question for that configuration: the total workload is
+/// strong-scaled across candidate process counts (1, 2, 4, ... up to the
+/// point's hardware thread count), each candidate's placement is evaluated,
+/// and the best count under the sweep objective wins. All four selection
+/// metrics (D, PDP, EDP, ED²P) derive from that one winning (T, E) pair —
+/// so the evaluation is memoized per canonical parameter tuple and the four
+/// metric queries share one computation. Records are stored by grid index,
+/// which makes an N-thread sweep byte-identical to a 1-thread sweep.
+
+#include "core/metrics.hpp"
+#include "core/params.hpp"
+#include "core/placement.hpp"
+#include "models/models.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/grid.hpp"
+#include "sweep/pool.hpp"
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stamp::sweep {
+
+/// Placement strategies a sweep can compare. Axis values are the enum's
+/// numeric codes.
+enum class PlacementStrategy : int { FillFirst = 0, RoundRobin = 1, Greedy = 2 };
+
+[[nodiscard]] std::string_view to_string(PlacementStrategy s) noexcept;
+
+/// Canonical axis names the engine understands. An axis that is absent from
+/// the grid keeps the base machine's (or profile's) value for every point.
+namespace axes {
+inline constexpr std::string_view kCores = "cores";
+inline constexpr std::string_view kThreadsPerCore = "threads_per_core";
+inline constexpr std::string_view kEllE = "ell_e";
+inline constexpr std::string_view kLE = "L_e";
+inline constexpr std::string_view kGShE = "g_sh_e";
+inline constexpr std::string_view kKappa = "kappa";
+inline constexpr std::string_view kPlacement = "placement";
+}  // namespace axes
+
+struct SweepConfig {
+  ParamGrid grid;
+
+  /// Non-swept machine parameters (name, chips, intra-processor latencies,
+  /// energy weights, power envelope) come from here.
+  MachineModel base = presets::niagara();
+
+  /// The *total* workload of the job; at each candidate process count n the
+  /// additive counters split n ways (strong scaling). `kappa` is a
+  /// per-location bound, so it is not divided; the κ axis overrides it.
+  ProcessProfile profile;
+
+  /// Upper bound on the process counts tried per point (further clamped to
+  /// the point's hardware thread count). Candidates are the powers of two up
+  /// to the bound, plus the bound itself.
+  int processes = 64;
+
+  /// Objective handed to the placement strategy (all four metrics are
+  /// recorded regardless).
+  Objective objective = Objective::EDP;
+
+  std::string workload = "uniform-comm";
+
+  /// The checked-in baseline configuration: a 576-point grid
+  /// (4 cores × 3 threads/core × 2 ℓ_e × 2 L_e × 2 g_sh_e × 2 κ ×
+  /// 3 placements) over a Niagara-like chip with a communicating workload.
+  [[nodiscard]] static SweepConfig canonical();
+
+  /// A 16-point grid for smoke tests.
+  [[nodiscard]] static SweepConfig tiny();
+};
+
+/// One evaluated grid point.
+struct SweepRecord {
+  std::size_t index = 0;           ///< grid index (records stay sorted by it)
+  std::vector<double> params;      ///< axis values, grid-axis order
+  int processes = 0;               ///< selected process count
+  bool feasible = false;           ///< power-envelope feasibility
+  Metrics metrics{};               ///< D / PDP / EDP / ED²P of the placement
+  std::array<double, models::kModelKindCount> classical{};  ///< round times
+
+  friend bool operator==(const SweepRecord&, const SweepRecord&) = default;
+};
+
+struct SweepStats {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t pool_steals = 0;
+
+  friend bool operator==(const SweepStats&, const SweepStats&) = default;
+};
+
+struct SweepResult {
+  std::vector<std::string> axis_names;
+  std::string workload;
+  Objective objective = Objective::EDP;
+  std::vector<SweepRecord> records;  ///< one per grid point, by index
+  SweepStats stats;                  ///< not serialized (runtime detail)
+};
+
+/// Evaluate every grid point on the calling thread (reference path; also what
+/// `bench_sweep` compares the pool against).
+[[nodiscard]] SweepResult run_sweep_serial(const SweepConfig& cfg);
+
+/// Evaluate on `pool`. Output is identical (including byte-identical JSON)
+/// to the serial run for any pool width.
+[[nodiscard]] SweepResult run_sweep(const SweepConfig& cfg, Pool& pool);
+
+/// Serialize in the stable `stamp-sweep/v1` schema: fixed key order, records
+/// sorted by grid index, numbers via JsonWriter's canonical formatting.
+void write_json(const SweepResult& result, std::ostream& os);
+
+/// Convenience: the artifact as a string.
+[[nodiscard]] std::string to_json(const SweepResult& result);
+
+}  // namespace stamp::sweep

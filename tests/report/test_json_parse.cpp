@@ -1,0 +1,118 @@
+#include "report/json_parse.hpp"
+
+#include "report/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace stamp::report {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("0.125").as_number(), 0.125);
+  EXPECT_EQ(JsonValue::parse(R"("hello")").as_string(), "hello");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\/d")").as_string(), "a\"b\\c/d");
+  EXPECT_EQ(JsonValue::parse(R"("tab\there\nnewline")").as_string(),
+            "tab\there\nnewline");
+  EXPECT_EQ(JsonValue::parse(R"("\b\f\r")").as_string(), "\b\f\r");
+  // \uXXXX decodes to UTF-8: é is U+00E9, ∑ is U+2211.
+  EXPECT_EQ(JsonValue::parse(R"("é")").as_string(), "\xC3\xA9");
+  EXPECT_EQ(JsonValue::parse(R"("∑")").as_string(), "\xE2\x88\x91");
+}
+
+TEST(JsonParse, ArraysAndNesting) {
+  const JsonValue v = JsonValue::parse(R"([1, [2, 3], {"k": [true]}])");
+  ASSERT_EQ(v.kind(), JsonValue::Kind::Array);
+  ASSERT_EQ(v.items().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.items()[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(v.items()[1].items()[1].as_number(), 3.0);
+  EXPECT_TRUE(v.items()[2].find("k")->items()[0].as_bool());
+  EXPECT_TRUE(JsonValue::parse("[]").items().empty());
+  EXPECT_TRUE(JsonValue::parse("{}").members().empty());
+}
+
+TEST(JsonParse, ObjectMemberOrderIsPreserved) {
+  const JsonValue v = JsonValue::parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(JsonParse, FindHandlesPresentAbsentAndNonObject) {
+  const JsonValue v = JsonValue::parse(R"({"x": 7})");
+  ASSERT_NE(v.find("x"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find("x")->as_number(), 7.0);
+  EXPECT_EQ(v.find("y"), nullptr);
+  EXPECT_EQ(JsonValue::parse("[1]").find("x"), nullptr);
+}
+
+TEST(JsonParse, KindMismatchThrows) {
+  const JsonValue n = JsonValue::parse("3");
+  EXPECT_THROW((void)n.as_bool(), std::logic_error);
+  EXPECT_THROW((void)n.as_string(), std::logic_error);
+  EXPECT_THROW((void)n.items(), std::logic_error);
+  EXPECT_THROW((void)n.members(), std::logic_error);
+}
+
+TEST(JsonParse, MalformedDocumentsThrowWithOffset) {
+  for (const char* bad :
+       {"", "{", "[1,", R"({"a" 1})", R"({"a":})", "tru", "1.2.3",
+        R"("unterminated)", R"("bad \x escape")", "[1] trailing", "{,}",
+        R"({"a":1,})"}) {
+    EXPECT_THROW((void)JsonValue::parse(bad), JsonParseError) << bad;
+  }
+  try {
+    (void)JsonValue::parse("[1, }");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_GE(e.offset(), 4u);
+  }
+}
+
+TEST(JsonParse, RoundTripsTheWriter) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object()
+      .kv("name", "sweep \"x\"\n")
+      .kv("pi", 3.141592653589793)
+      .kv("count", 576)
+      .kv("ok", true)
+      .key("nan");
+  w.value(std::numeric_limits<double>::quiet_NaN());  // writer emits null
+  w.key("list").begin_array().value(1).value(2.5).end_array().end_object();
+  ASSERT_TRUE(w.complete());
+
+  const JsonValue v = JsonValue::parse(os.str());
+  EXPECT_EQ(v.find("name")->as_string(), "sweep \"x\"\n");
+  // The writer prints 15 significant digits, so the round trip is near-exact
+  // rather than bit-exact.
+  EXPECT_NEAR(v.find("pi")->as_number(), 3.141592653589793, 1e-14);
+  EXPECT_DOUBLE_EQ(v.find("count")->as_number(), 576.0);
+  EXPECT_TRUE(v.find("ok")->as_bool());
+  EXPECT_TRUE(v.find("nan")->is_null());
+  ASSERT_EQ(v.find("list")->items().size(), 2u);
+  EXPECT_DOUBLE_EQ(v.find("list")->items()[1].as_number(), 2.5);
+}
+
+TEST(JsonParse, WhitespaceEverywhereIsFine) {
+  const JsonValue v =
+      JsonValue::parse("  \n\t{ \"a\" :\r\n [ 1 , 2 ] }  \n");
+  ASSERT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("a")->items().size(), 2u);
+}
+
+}  // namespace
+}  // namespace stamp::report

@@ -1,0 +1,87 @@
+#include "sweep/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace stamp::sweep {
+namespace {
+
+TEST(Cache, MissComputesThenHitsShareTheValue) {
+  CostCache cache;
+  int computes = 0;
+  const std::vector<double> key{1, 2, 3};
+  auto compute = [&] {
+    ++computes;
+    return PointCost{{10, 20}, true, 4};
+  };
+  const PointCost first = cache.get_or_compute(key, compute);
+  const PointCost second = cache.get_or_compute(key, compute);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Cache, DistinctKeysComputeSeparately) {
+  CostCache cache;
+  int computes = 0;
+  auto make = [&](double t) {
+    return [&computes, t] {
+      ++computes;
+      return PointCost{{t, t}, true, 1};
+    };
+  };
+  (void)cache.get_or_compute(std::vector<double>{1}, make(1));
+  (void)cache.get_or_compute(std::vector<double>{2}, make(2));
+  // A key is its full tuple, not a prefix.
+  (void)cache.get_or_compute(std::vector<double>{1, 0}, make(3));
+  EXPECT_EQ(computes, 3);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(Cache, ClearResetsEverything) {
+  CostCache cache;
+  (void)cache.get_or_compute(std::vector<double>{1},
+                             [] { return PointCost{}; });
+  (void)cache.get_or_compute(std::vector<double>{1},
+                             [] { return PointCost{}; });
+  cache.clear();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Cache, ConcurrentQueriesAccountForEveryLookup) {
+  CostCache cache(8);
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 32;
+  constexpr int kQueriesPerThread = 400;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        const double key = (q + t) % kKeys;
+        const PointCost pc = cache.get_or_compute(
+            std::vector<double>{key},
+            [key] { return PointCost{{key, 2 * key}, true, 1}; });
+        // Whoever computed it, the value for this key is deterministic.
+        ASSERT_EQ(pc.cost.time, key);
+        ASSERT_EQ(pc.cost.energy, 2 * key);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads) * kQueriesPerThread);
+  EXPECT_GE(cache.misses(), static_cast<std::uint64_t>(kKeys));
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+}
+
+}  // namespace
+}  // namespace stamp::sweep

@@ -1,0 +1,71 @@
+#include "sweep/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace stamp::sweep {
+namespace {
+
+TEST(Grid, SizeIsProductOfAxisSizes) {
+  ParamGrid g;
+  EXPECT_EQ(g.size(), 0u);  // no axes, nothing to evaluate
+  g.axis("a", {1, 2, 3});
+  EXPECT_EQ(g.size(), 3u);
+  g.axis("b", {10, 20});
+  EXPECT_EQ(g.size(), 6u);
+  g.axis("c", {0});
+  EXPECT_EQ(g.size(), 6u);
+}
+
+TEST(Grid, LastAxisVariesFastest) {
+  ParamGrid g;
+  g.axis("hi", {0, 1}).axis("lo", {5, 6, 7});
+  EXPECT_EQ(g.point(0), (std::vector<double>{0, 5}));
+  EXPECT_EQ(g.point(1), (std::vector<double>{0, 6}));
+  EXPECT_EQ(g.point(2), (std::vector<double>{0, 7}));
+  EXPECT_EQ(g.point(3), (std::vector<double>{1, 5}));
+  EXPECT_EQ(g.point(5), (std::vector<double>{1, 7}));
+}
+
+TEST(Grid, EveryPointIsDistinct) {
+  ParamGrid g;
+  g.axis("a", {1, 2}).axis("b", {3, 4, 5}).axis("c", {6, 7});
+  std::set<std::vector<double>> seen;
+  for (std::size_t i = 0; i < g.size(); ++i) seen.insert(g.point(i));
+  EXPECT_EQ(seen.size(), g.size());
+}
+
+TEST(Grid, ValueLooksUpByAxisName) {
+  ParamGrid g;
+  g.axis("cores", {2, 4}).axis("kappa", {0, 8});
+  const std::vector<double> p = g.point(3);
+  EXPECT_EQ(g.value(p, "cores"), 4);
+  EXPECT_EQ(g.value(p, "kappa"), 8);
+  EXPECT_THROW((void)g.value(p, "nope"), std::invalid_argument);
+}
+
+TEST(Grid, AxisIndexFindsAxes) {
+  ParamGrid g;
+  g.axis("x", {1}).axis("y", {2});
+  EXPECT_EQ(g.axis_index("x"), 0);
+  EXPECT_EQ(g.axis_index("y"), 1);
+  EXPECT_EQ(g.axis_index("z"), -1);
+}
+
+TEST(Grid, RejectsBadAxes) {
+  ParamGrid g;
+  EXPECT_THROW(g.axis("empty", {}), std::invalid_argument);
+  g.axis("a", {1});
+  EXPECT_THROW(g.axis("a", {2}), std::invalid_argument);  // duplicate
+}
+
+TEST(Grid, PointIndexOutOfRangeThrows) {
+  ParamGrid g;
+  g.axis("a", {1, 2});
+  EXPECT_THROW((void)g.point(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace stamp::sweep

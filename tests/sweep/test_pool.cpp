@@ -1,0 +1,107 @@
+#include "sweep/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace stamp::sweep {
+namespace {
+
+TEST(Pool, RejectsNonPositiveWidth) {
+  EXPECT_THROW(Pool(0), std::invalid_argument);
+  EXPECT_THROW(Pool(-3), std::invalid_argument);
+}
+
+TEST(Pool, SingleThreadRunsEveryIndexInline) {
+  Pool pool(1);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(pool.steals(), 0u);  // nobody to steal from
+}
+
+TEST(Pool, EveryIndexExactlyOnceAcrossWorkers) {
+  Pool pool(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Pool, ZeroItemsReturnsImmediately) {
+  Pool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(Pool, PoolIsReusableAcrossLoops) {
+  Pool pool(3);
+  std::atomic<long long> sum{0};
+  for (int rep = 0; rep < 20; ++rep) {
+    sum.store(0);
+    pool.parallel_for(1000, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 999LL * 1000 / 2);
+  }
+}
+
+TEST(Pool, UnevenWorkStillCompletes) {
+  Pool pool(4);
+  std::atomic<int> done{0};
+  pool.parallel_for(64, [&](std::size_t i) {
+    if (i % 16 == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 64);
+}
+
+// A scheduling scenario in which at least one steal MUST happen for the loop
+// to finish. With Pool(2) and 4 single-index chunks, distribution is
+// round-robin: worker 0 (the caller) owns {0, 2}, worker 1 owns {1, 3}.
+// Owners pop LIFO, so worker 1 starts with index 3 — which blocks until
+// index 1 runs. Index 1 sits in worker 1's deque behind the blocked owner,
+// so only a steal (by the caller, after it drains 2 and 0) can run it. If
+// stealing were broken this test would deadlock rather than pass.
+TEST(Pool, StealsWorkFromABlockedPeer) {
+  Pool pool(2);
+  std::atomic<bool> index1_done{false};
+  pool.parallel_for(4, [&](std::size_t i) {
+    if (i == 3) {
+      while (!index1_done.load(std::memory_order_acquire))
+        std::this_thread::yield();
+    }
+    if (i == 1) index1_done.store(true, std::memory_order_release);
+  });
+  EXPECT_GE(pool.steals(), 1u);
+}
+
+TEST(Pool, FirstExceptionPropagatesAndLoopDrains) {
+  Pool pool(4);
+  std::atomic<int> executed{0};
+  auto run = [&] {
+    pool.parallel_for(100, [&](std::size_t i) {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      if (i == 37) throw std::runtime_error("boom at 37");
+    });
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+  // The pool must be usable again after a throwing loop.
+  std::atomic<int> after{0};
+  pool.parallel_for(10, [&](std::size_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 10);
+}
+
+}  // namespace
+}  // namespace stamp::sweep

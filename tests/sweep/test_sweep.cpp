@@ -1,0 +1,140 @@
+#include "sweep/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace stamp::sweep {
+namespace {
+
+TEST(Sweep, CanonicalGridIsLargeEnoughToGate) {
+  const SweepConfig cfg = SweepConfig::canonical();
+  EXPECT_GE(cfg.grid.size(), 256u);  // the acceptance floor
+  EXPECT_EQ(cfg.grid.size(), 576u);
+}
+
+TEST(Sweep, SerialRunIsDeterministic) {
+  const SweepConfig cfg = SweepConfig::tiny();
+  const SweepResult a = run_sweep_serial(cfg);
+  const SweepResult b = run_sweep_serial(cfg);
+  EXPECT_EQ(a.records, b.records);
+}
+
+TEST(Sweep, PooledRecordsMatchSerialRecords) {
+  const SweepConfig cfg = SweepConfig::tiny();
+  const SweepResult serial = run_sweep_serial(cfg);
+  Pool pool(4);
+  const SweepResult pooled = run_sweep(cfg, pool);
+  EXPECT_EQ(serial.records, pooled.records);
+}
+
+// The acceptance property: over a >= 256-point grid, a 4-thread pool emits
+// byte-identical JSON to a 1-thread pool (and to the serial reference).
+TEST(Sweep, JsonIsByteIdenticalAcrossPoolWidths) {
+  const SweepConfig cfg = SweepConfig::canonical();
+  ASSERT_GE(cfg.grid.size(), 256u);
+  Pool one(1);
+  Pool four(4);
+  const std::string json1 = to_json(run_sweep(cfg, one));
+  const std::string json4 = to_json(run_sweep(cfg, four));
+  EXPECT_EQ(json1, json4);
+  EXPECT_EQ(json1, to_json(run_sweep_serial(cfg)));
+}
+
+// The memoization contract: the four metric queries per point share one
+// placement evaluation — exactly 1 miss and 3 hits per grid point.
+TEST(Sweep, MemoizationServesThreeOfFourMetricQueries) {
+  const SweepConfig cfg = SweepConfig::tiny();
+  const SweepResult r = run_sweep_serial(cfg);
+  const auto points = static_cast<std::uint64_t>(cfg.grid.size());
+  EXPECT_EQ(r.stats.cache_misses, points);
+  EXPECT_EQ(r.stats.cache_hits, 3 * points);
+}
+
+TEST(Sweep, PooledCacheAccountsForEveryQuery) {
+  const SweepConfig cfg = SweepConfig::tiny();
+  Pool pool(4);
+  const SweepResult r = run_sweep(cfg, pool);
+  const auto points = static_cast<std::uint64_t>(cfg.grid.size());
+  // Racing misses on one key may double-compute, but every query is counted
+  // and at least one miss per point is unavoidable.
+  EXPECT_EQ(r.stats.cache_hits + r.stats.cache_misses, 4 * points);
+  EXPECT_GE(r.stats.cache_misses, points);
+}
+
+TEST(Sweep, MetricsAreConsistentDerivationsOfOneCost) {
+  const SweepResult r = run_sweep_serial(SweepConfig::tiny());
+  for (const SweepRecord& rec : r.records) {
+    EXPECT_DOUBLE_EQ(rec.metrics.EDP, rec.metrics.PDP * rec.metrics.D);
+    EXPECT_DOUBLE_EQ(rec.metrics.ED2P, rec.metrics.EDP * rec.metrics.D);
+    EXPECT_GT(rec.metrics.D, 0);
+    EXPECT_GT(rec.metrics.PDP, 0);
+  }
+}
+
+TEST(Sweep, RecordsAreSortedByGridIndexWithDecodedParams) {
+  const SweepConfig cfg = SweepConfig::tiny();
+  const SweepResult r = run_sweep_serial(cfg);
+  ASSERT_EQ(r.records.size(), cfg.grid.size());
+  for (std::size_t i = 0; i < r.records.size(); ++i) {
+    EXPECT_EQ(r.records[i].index, i);
+    EXPECT_EQ(r.records[i].params, cfg.grid.point(i));
+  }
+}
+
+TEST(Sweep, SelectsAProcessCountWithinTheHardwareBound) {
+  const SweepConfig cfg = SweepConfig::canonical();
+  const SweepResult r = run_sweep_serial(cfg);
+  for (const SweepRecord& rec : r.records) {
+    const int cores = static_cast<int>(
+        cfg.grid.value(rec.params, axes::kCores));
+    const int tpc = static_cast<int>(
+        cfg.grid.value(rec.params, axes::kThreadsPerCore));
+    EXPECT_GE(rec.processes, 1);
+    EXPECT_LE(rec.processes, std::min(cfg.processes, cores * tpc));
+  }
+}
+
+TEST(Sweep, ClassicalModelPredictionsAreFinite) {
+  const SweepResult r = run_sweep_serial(SweepConfig::tiny());
+  for (const SweepRecord& rec : r.records)
+    for (const double t : rec.classical) {
+      EXPECT_TRUE(std::isfinite(t));
+      EXPECT_GT(t, 0);
+    }
+}
+
+TEST(Sweep, MachineParameterAxesActuallyChangeTheMetrics) {
+  // Two points that differ only in ell_e must price shared-memory latency
+  // differently somewhere in the grid (sanity against dead axes).
+  const SweepConfig cfg = SweepConfig::canonical();
+  const SweepResult r = run_sweep_serial(cfg);
+  const int ell_axis = cfg.grid.axis_index(std::string(axes::kEllE));
+  ASSERT_GE(ell_axis, 0);
+  bool any_difference = false;
+  for (std::size_t i = 0; i + 1 < r.records.size() && !any_difference; ++i) {
+    for (std::size_t j = i + 1; j < r.records.size(); ++j) {
+      std::vector<double> a = r.records[i].params;
+      std::vector<double> b = r.records[j].params;
+      a[static_cast<std::size_t>(ell_axis)] = 0;
+      b[static_cast<std::size_t>(ell_axis)] = 0;
+      if (a == b && r.records[i].metrics != r.records[j].metrics) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Sweep, JsonArtifactCarriesTheStableSchema) {
+  const std::string json = to_json(run_sweep_serial(SweepConfig::tiny()));
+  EXPECT_NE(json.find("\"schema\":\"stamp-sweep/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"points\":["), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":{\"D\":"), std::string::npos);
+  EXPECT_NE(json.find("\"models\":{\"PRAM\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stamp::sweep

@@ -1,0 +1,107 @@
+/// \file stamp_gate.cpp
+/// \brief CLI regression gate: compare a fresh sweep artifact against the
+///        checked-in baseline.
+///
+/// Exit codes: 0 = within tolerance, 1 = drift or structural mismatch,
+/// 2 = usage / IO / parse error. CI treats anything non-zero as a red PR.
+///
+/// Usage:
+///   stamp_gate <baseline.json> <fresh.json> [--tol METRIC=REL ...]
+///   (METRIC is one of D, PDP, EDP, ED2P, models)
+
+#include "sweep/gate.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <baseline.json> <fresh.json> [--tol METRIC=REL ...]\n"
+               "  METRIC: D | PDP | EDP | ED2P | models\n"
+               "  exit 0 = within tolerance, 1 = drift, 2 = usage/IO error\n";
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool apply_tolerance(stamp::sweep::GateTolerances& tol,
+                     const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos) return false;
+  const std::string name = spec.substr(0, eq);
+  double value = 0;
+  try {
+    value = std::stod(spec.substr(eq + 1));
+  } catch (...) {
+    return false;
+  }
+  if (value < 0) return false;
+  if (name == "D")
+    tol.D = value;
+  else if (name == "PDP")
+    tol.PDP = value;
+  else if (name == "EDP")
+    tol.EDP = value;
+  else if (name == "ED2P")
+    tol.ED2P = value;
+  else if (name == "models")
+    tol.models = value;
+  else
+    return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string fresh_path;
+  stamp::sweep::GateTolerances tol;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tol") {
+      if (i + 1 >= argc || !apply_tolerance(tol, argv[++i]))
+        return usage(argv[0]);
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (fresh_path.empty()) {
+      fresh_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (baseline_path.empty() || fresh_path.empty()) return usage(argv[0]);
+
+  std::string baseline_text;
+  std::string fresh_text;
+  if (!read_file(baseline_path, baseline_text)) {
+    std::cerr << "stamp_gate: cannot read baseline '" << baseline_path << "'\n";
+    return 2;
+  }
+  if (!read_file(fresh_path, fresh_text)) {
+    std::cerr << "stamp_gate: cannot read fresh sweep '" << fresh_path << "'\n";
+    return 2;
+  }
+
+  try {
+    const stamp::sweep::GateReport report =
+        stamp::sweep::compare_sweeps_text(baseline_text, fresh_text, tol);
+    stamp::sweep::print_report(report, std::cout);
+    return report.ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "stamp_gate: " << e.what() << "\n";
+    return 2;
+  }
+}

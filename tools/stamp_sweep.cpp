@@ -1,0 +1,107 @@
+/// \file stamp_sweep.cpp
+/// \brief CLI sweep runner: evaluate a parameter grid on the work-stealing
+///        pool and emit the stable `stamp-sweep/v1` JSON artifact.
+///
+/// This is what CI (and scripts/run_all.sh) runs to produce the artifact the
+/// regression gate compares against `sweeps/baseline.json`. The output is
+/// byte-identical for any --threads value, so refreshing the baseline on a
+/// different machine or core count is safe.
+///
+/// Usage:
+///   stamp_sweep [--grid canonical|tiny] [--threads N] [--out FILE] [--stats]
+
+#include "sweep/sweep.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--grid canonical|tiny] [--threads N] [--out FILE] [--stats]\n"
+               "  --grid     grid preset to evaluate (default: canonical)\n"
+               "  --threads  pool width; 0 = hardware concurrency (default)\n"
+               "  --out      output file (default: stdout)\n"
+               "  --stats    print cache/steal statistics to stderr\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string grid = "canonical";
+  std::string out_path;
+  int threads = 0;
+  bool stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--grid") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      grid = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      threads = std::atoi(v);
+      if (threads < 0) return usage(argv[0]);
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      out_path = v;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  stamp::sweep::SweepConfig cfg;
+  if (grid == "canonical") {
+    cfg = stamp::sweep::SweepConfig::canonical();
+  } else if (grid == "tiny") {
+    cfg = stamp::sweep::SweepConfig::tiny();
+  } else {
+    std::cerr << "unknown grid preset '" << grid << "'\n";
+    return usage(argv[0]);
+  }
+
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+  }
+
+  try {
+    stamp::sweep::Pool pool(threads);
+    const stamp::sweep::SweepResult result = stamp::sweep::run_sweep(cfg, pool);
+
+    if (out_path.empty() || out_path == "-") {
+      stamp::sweep::write_json(result, std::cout);
+    } else {
+      std::ofstream os(out_path, std::ios::binary);
+      if (!os) {
+        std::cerr << "cannot open '" << out_path << "' for writing\n";
+        return 2;
+      }
+      stamp::sweep::write_json(result, os);
+    }
+
+    if (stats) {
+      std::cerr << "sweep: " << result.records.size() << " points, "
+                << threads << " threads, cache " << result.stats.cache_hits
+                << " hits / " << result.stats.cache_misses << " misses, "
+                << result.stats.pool_steals << " steals\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "stamp_sweep: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
