@@ -4,7 +4,7 @@
 /// Usage: jacobi_solver [n] [processes]
 
 #include "algo/jacobi.hpp"
-#include "core/core.hpp"
+#include "api/stamp.hpp"
 #include "report/table.hpp"
 
 #include <cstdlib>
@@ -38,26 +38,26 @@ int main(int argc, char** argv) {
             << " in " << result.solution.iterations << " iterations; residual "
             << algo::jacobi_residual(sys, result.solution.x) << "\n\n";
 
-  // Per-process instrumentation -> model costs.
+  // Per-process instrumentation -> model costs, via the Evaluator facade.
+  const Evaluator evaluator({.machine = machine});
+  const Evaluation ev = evaluator.evaluate(result.run, result.placement);
+
   report::Table table("Per-process model costs",
                       {"process", "fp ops", "msgs", "T model", "E model", "P"});
   table.set_precision(1);
-  const std::vector<Cost> costs =
-      result.run.process_costs(result.placement, machine.params, machine.energy);
-  for (std::size_t i = 0; i < costs.size(); ++i) {
+  for (std::size_t i = 0; i < ev.process_costs.size(); ++i) {
     const CostCounters t = result.run.recorders[i].totals();
     table.add_row({static_cast<long long>(i), t.c_fp, t.msg_ops(),
-                   costs[i].time, costs[i].energy, costs[i].power()});
+                   ev.process_costs[i].time, ev.process_costs[i].energy,
+                   ev.process_costs[i].power()});
   }
   table.print(std::cout);
 
-  const Cost total =
-      result.run.total_cost(result.placement, machine.params, machine.energy);
-  std::cout << "\nParallel composition: " << total << "\n"
-            << "Metrics: " << metrics_from(total) << "\n";
+  std::cout << "\nParallel composition: " << ev.total << "\n"
+            << "Metrics: " << ev.metrics << "\n";
 
   // The Section 4 power-envelope advice for this machine.
-  const double per_thread = costs.front().power();
+  const double per_thread = ev.process_costs.front().power();
   const int admissible = max_processes_per_processor(
       per_thread, machine.envelope, machine.topology.threads_per_processor);
   std::cout << "\nEnvelope advice: per-thread power " << per_thread

@@ -9,7 +9,7 @@
 /// Usage: power_advisor [embedded|desktop|server|niagara] [D|PDP|EDP|ED2P]
 
 #include "algo/histogram.hpp"
-#include "core/core.hpp"
+#include "api/stamp.hpp"
 #include "report/table.hpp"
 
 #include <cstring>
@@ -41,6 +41,8 @@ int main(int argc, char** argv) {
   const MachineModel machine = preset_by_name(argc > 1 ? argv[1] : "niagara");
   const Objective objective = objective_by_name(argc > 2 ? argv[2] : "EDP");
 
+  const Evaluator eval({.machine = machine, .objective = objective});
+
   std::cout << "Advisor for machine '" << machine.name << "', objective "
             << to_string(objective) << "\n\n";
 
@@ -69,10 +71,10 @@ int main(int argc, char** argv) {
   for (const Variant& v : variants) {
     const algo::HistogramRunResult r =
         algo::run_histogram(machine.topology, w, v.exec, v.comm);
-    const Cost c = r.run.total_cost(r.placement, machine.params, machine.energy);
-    costs.push_back(c);
-    table.add_row({std::string(v.name), c.time, c.energy,
-                   metric_value(c, objective)});
+    const Evaluation e = eval.evaluate(r.run, r.placement);
+    costs.push_back(e.total);
+    table.add_row({std::string(v.name), e.total.time, e.total.energy,
+                   e.objective_value});
   }
   table.print(std::cout);
   const int best = select_best(costs, objective);
@@ -88,7 +90,7 @@ int main(int argc, char** argv) {
   const std::vector<ProcessProfile> profiles(
       static_cast<std::size_t>(w.processes), profile);
 
-  const PlacementResult placement = place_best(profiles, machine, objective);
+  const PlacementResult placement = eval.best_placement(profiles);
   std::cout << "Recommended placement (" << placement.strategy << "): ";
   for (int p : placement.eval.placement.processor_of) std::cout << p << ' ';
   std::cout << "\n  objective " << placement.eval.objective << ", feasible: "

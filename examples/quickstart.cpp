@@ -1,16 +1,16 @@
 /// Quickstart: the STAMP workflow in one file.
 ///
-/// 1. Describe a machine (or pick a preset).
+/// 1. Describe a machine (or pick a preset) and hand it to a
+///    `stamp::Evaluator` — the single entry point to the stack.
 /// 2. Write a STAMP program against the runtime API — processes, S-rounds,
 ///    communication through the instrumented substrates.
 /// 3. Run it for real on threads; the recorders capture the operation counts
 ///    the cost model needs.
-/// 4. Evaluate execution time / energy / power, check the power envelope, and
-///    pick placements with the model.
+/// 4. Read the evaluation: execution time / energy / power, the four
+///    selection metrics, and power-envelope feasibility, all from one call.
 
-#include "core/core.hpp"
+#include "api/stamp.hpp"
 #include "msg/communicator.hpp"
-#include "runtime/executor.hpp"
 
 #include <iostream>
 #include <numeric>
@@ -19,8 +19,8 @@ int main() {
   using namespace stamp;
 
   // -- 1. The machine: Figure 1's Niagara (8 cores x 4 threads). -------------
-  const MachineModel machine = presets::niagara();
-  std::cout << "Machine: " << machine << "\n\n";
+  const Evaluator eval({.machine = presets::niagara()});
+  std::cout << "Machine: " << eval.machine() << "\n\n";
 
   // -- 2/3. A tiny STAMP program: 4 processes compute partial sums and
   //         exchange them every round [intra_proc, async_exec, synch_comm].
@@ -28,9 +28,8 @@ int main() {
   constexpr int kRounds = 3;
   msg::Communicator<long> comm(kProcesses, CommMode::Synchronous);
 
-  const runtime::RunResult run = runtime::run_distributed(
-      machine.topology, kProcesses, Distribution::IntraProc,
-      [&](runtime::Context& ctx) {
+  const auto [outcome, evaluation] = eval.run_and_evaluate(
+      kProcesses, Distribution::IntraProc, [&](runtime::Context& ctx) {
         long value = ctx.id() + 1;
         for (int round = 0; round < kRounds; ++round) {
           const runtime::UnitScope unit(ctx.recorder());  // one S-unit
@@ -49,22 +48,14 @@ int main() {
       });
 
   // -- 4. Model evaluation. ----------------------------------------------------
-  const runtime::PlacementMap placement = runtime::PlacementMap::for_distribution(
-      machine.topology, kProcesses, Distribution::IntraProc);
-  const Cost cost = run.total_cost(placement, machine.params, machine.energy);
-  const Metrics m = metrics_from(cost);
-
-  std::cout << "Recorded per process: " << run.recorders[0].totals() << "\n";
-  std::cout << "Model cost (parallel composition): " << cost << "\n";
-  std::cout << "Metrics: " << m << "\n";
-
-  // Envelope check: does this fit one Niagara core's power budget?
-  std::vector<double> powers;
-  for (const Cost& c : run.process_costs(placement, machine.params, machine.energy))
-    powers.push_back(c.power());
-  const EnvelopeCheck check = check_processor(powers, machine.envelope);
-  std::cout << "Power on the shared core: " << check.demand << " vs cap "
-            << check.cap << " -> " << (check.feasible ? "fits" : "DOES NOT FIT")
+  std::cout << "Recorded per process: " << outcome.run.recorders[0].totals()
             << "\n";
+  std::cout << "Model cost (parallel composition): " << evaluation.total << "\n";
+  std::cout << "Metrics: " << evaluation.metrics << "\n";
+
+  // Envelope check: does this fit the Niagara cores' power budgets?
+  std::cout << "Power on the shared core: " << evaluation.envelope.system.demand
+            << " total vs system cap " << evaluation.envelope.system.cap
+            << " -> " << (evaluation.feasible ? "fits" : "DOES NOT FIT") << "\n";
   return 0;
 }

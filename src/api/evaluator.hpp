@@ -1,0 +1,152 @@
+#pragma once
+/// \file evaluator.hpp
+/// \brief `stamp::Evaluator` — the single public entry point to the STAMP
+///        stack.
+///
+/// Callers used to thread five subsystem types by hand: a `MachineModel`
+/// into `runtime::run_distributed`, its `RunResult` plus a `PlacementMap`
+/// into the cost model, per-process powers into the envelope checker,
+/// synthesized traces into `machine::replay`, and a `SweepConfig` plus a
+/// `Pool` into the sweep engine. The Evaluator owns the machine and the
+/// objective once and exposes each workflow as one call — and because every
+/// evaluation funnels through it, the observability layer (`src/obs/`) hangs
+/// off the same object: construct with `tracing`/`metrics` on (or flip them
+/// later) and every simulator replay, executor run, pool loop, and cache
+/// access records spans and metrics you can export as Chrome trace JSON.
+///
+/// The old free functions remain as thin delegating shims with
+/// `STAMP_DEPRECATED` notes (see `core/compat.hpp`).
+
+#include "core/core.hpp"
+#include "machine/simulator.hpp"
+#include "machine/trace.hpp"
+#include "obs/obs.hpp"
+#include "runtime/executor.hpp"
+#include "sweep/sweep.hpp"
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stamp {
+
+/// Everything an Evaluator pins down at construction.
+struct EvaluatorOptions {
+  MachineModel machine = presets::niagara();
+  Objective objective = Objective::EDP;
+  /// Enable the process-wide span recorder / metrics registry on
+  /// construction. Both default off; when off, the instrumented subsystems
+  /// pay one relaxed atomic load per site and record nothing.
+  bool tracing = false;
+  bool metrics = false;
+};
+
+/// Full model evaluation of one execution (or one profile set) on the
+/// Evaluator's machine.
+struct Evaluation {
+  std::vector<Cost> process_costs;  ///< per-process analytic cost
+  Cost total;                       ///< parallel composition (max T, sum E)
+  Metrics metrics;                  ///< D / PDP / EDP / ED²P of `total`
+  double objective_value = 0;       ///< metric_value(total, objective)
+  SystemCheck envelope;             ///< hierarchical power feasibility
+  bool feasible = false;            ///< envelope.feasible
+};
+
+/// A run together with the placement that shaped its costs.
+struct RunOutcome {
+  runtime::RunResult run;
+  runtime::PlacementMap placement;
+};
+
+class Evaluator {
+ public:
+  Evaluator() : Evaluator(EvaluatorOptions{}) {}
+  explicit Evaluator(EvaluatorOptions options);
+
+  [[nodiscard]] const MachineModel& machine() const noexcept {
+    return options_.machine;
+  }
+  [[nodiscard]] Objective objective() const noexcept {
+    return options_.objective;
+  }
+
+  // -- execute ---------------------------------------------------------------
+
+  /// Run `body` as `processes` STAMP processes placed per `distribution` on
+  /// the Evaluator's machine topology. Blocks until all processes complete.
+  [[nodiscard]] RunOutcome run(int processes, Distribution distribution,
+                               const runtime::ProcessBody& body) const;
+
+  // -- evaluate --------------------------------------------------------------
+
+  /// Price a finished run's recorded counters under `placement` with the
+  /// machine's cost model, and check the power envelope.
+  [[nodiscard]] Evaluation evaluate(const runtime::RunResult& run,
+                                    const runtime::PlacementMap& placement) const;
+
+  /// Convenience: run, then evaluate under the same placement.
+  [[nodiscard]] std::pair<RunOutcome, Evaluation> run_and_evaluate(
+      int processes, Distribution distribution,
+      const runtime::ProcessBody& body) const;
+
+  // -- decide ----------------------------------------------------------------
+
+  /// Best placement of `profiles` on the machine under the Evaluator's
+  /// objective: best of {fill-first, round-robin, greedy, exact-if-uniform}.
+  [[nodiscard]] PlacementResult best_placement(
+      std::span<const ProcessProfile> profiles) const;
+
+  // -- simulate --------------------------------------------------------------
+
+  /// Replay per-process traces on the explicit-resource machine simulator.
+  [[nodiscard]] machine::SimResult simulate(
+      const std::vector<machine::ProcessTrace>& traces,
+      const runtime::PlacementMap& placement,
+      const machine::SimConfig& config = {}) const;
+
+  /// Synthesize traces from a finished run's recorders (preserving the
+  /// S-unit/S-round structure) and replay them.
+  [[nodiscard]] machine::SimResult simulate_run(
+      const runtime::RunResult& run, const runtime::PlacementMap& placement,
+      CommMode comm = CommMode::Synchronous,
+      const machine::SimConfig& config = {}) const;
+
+  // -- sweep -----------------------------------------------------------------
+
+  /// Evaluate a parameter grid; `threads` > 1 uses a work-stealing pool and
+  /// produces a byte-identical artifact to the serial run. The config's own
+  /// base machine and objective apply (a sweep explores many machines; the
+  /// Evaluator's machine is not forced onto it).
+  [[nodiscard]] sweep::SweepResult sweep(const sweep::SweepConfig& config,
+                                         int threads = 1) const;
+
+  // -- observability ---------------------------------------------------------
+
+  /// Flip the process-wide recorders (shared by all Evaluators by design:
+  /// the subsystems they observe are process-wide too).
+  static void set_tracing(bool on) noexcept { obs::set_tracing_enabled(on); }
+  [[nodiscard]] static bool tracing() noexcept { return obs::tracing_enabled(); }
+  static void set_metrics(bool on) noexcept { obs::set_metrics_enabled(on); }
+  [[nodiscard]] static bool metrics_on() noexcept {
+    return obs::metrics_enabled();
+  }
+
+  /// Export everything recorded so far as Chrome trace_event JSON
+  /// (chrome://tracing, Perfetto).
+  static void write_trace(std::ostream& os);
+  [[nodiscard]] static std::string trace_json();
+  /// Drop recorded spans (thread registrations survive).
+  static void clear_trace();
+
+  /// The process-wide metrics registry and its flat JSON export.
+  [[nodiscard]] static obs::MetricsRegistry& metrics_registry() noexcept {
+    return obs::MetricsRegistry::global();
+  }
+  static void write_metrics(std::ostream& os);
+
+ private:
+  EvaluatorOptions options_;
+};
+
+}  // namespace stamp

@@ -1,0 +1,18 @@
+#pragma once
+/// \file stamp.hpp
+/// \brief Umbrella header: the whole STAMP stack behind one include.
+///
+///     #include "api/stamp.hpp"
+///     stamp::Evaluator eval({.machine = stamp::presets::niagara()});
+///
+/// Pulls in the facade (`stamp::Evaluator`) plus every subsystem it fronts,
+/// so one include gives the core model, the instrumented runtime, the machine
+/// simulator, the sweep engine, and the observability layer.
+
+#include "api/evaluator.hpp"
+#include "core/core.hpp"
+#include "machine/simulator.hpp"
+#include "machine/trace.hpp"
+#include "obs/obs.hpp"
+#include "runtime/executor.hpp"
+#include "sweep/sweep.hpp"

@@ -1,0 +1,16 @@
+#pragma once
+/// \file compat.hpp
+/// \brief Deprecation markers for pre-`stamp::Evaluator` entry points.
+///
+/// Superseded entry points stay available as thin shims so downstream code
+/// keeps compiling, but carry a `STAMP_DEPRECATED` note pointing at the
+/// facade replacement. The attribute is opt-in (define `STAMP_WARN_DEPRECATED`
+/// or configure with `-DSTAMP_WARN_DEPRECATED=ON`) so the in-tree substrates
+/// and tests, which still exercise the old surface directly, build quietly by
+/// default.
+
+#if defined(STAMP_WARN_DEPRECATED)
+#define STAMP_DEPRECATED(msg) [[deprecated(msg)]]
+#else
+#define STAMP_DEPRECATED(msg)
+#endif

@@ -18,6 +18,7 @@
 /// peers co-located with it; the counters split accordingly and the standard
 /// cost formulas apply.
 
+#include "core/compat.hpp"
 #include "core/cost_model.hpp"
 #include "core/envelope.hpp"
 #include "core/metrics.hpp"
@@ -105,6 +106,7 @@ struct PlacementResult {
     Objective objective, int max_processes = 64);
 
 /// Convenience: best of {fill-first, round-robin, greedy, exact-if-uniform}.
+STAMP_DEPRECATED("use stamp::Evaluator::best_placement (api/stamp.hpp)")
 [[nodiscard]] PlacementResult place_best(std::span<const ProcessProfile> profiles,
                                          const MachineModel& machine,
                                          Objective objective);

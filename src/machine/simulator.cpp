@@ -1,5 +1,8 @@
 #include "machine/simulator.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -40,6 +43,25 @@ SimResult replay(const std::vector<ProcessTrace>& traces,
   if (n != placement.process_count())
     throw std::invalid_argument("replay: traces vs placement size mismatch");
   machine.validate();
+
+  // Observability: one span for the replay, one per barrier episode (the
+  // simulator's realization of S-round boundaries), counters at the end.
+  // All of it is behind one relaxed atomic load when disabled.
+  const obs::Clock::time_point wall_start = obs::Clock::now();
+  obs::ScopedSpan replay_span = obs::ScopedSpan::if_enabled("sim.replay", "sim");
+  replay_span.arg("processes", static_cast<double>(n));
+  obs::ScopedSpan round_span;
+  auto begin_round = [&](std::size_t episode) {
+    round_span = obs::ScopedSpan();  // close the previous round's span first
+    round_span = obs::ScopedSpan::if_enabled("sim.round", "sim");
+    round_span.arg("episode", static_cast<double>(episode));
+  };
+  if (obs::tracing_enabled()) begin_round(0);
+  std::uint64_t ops_compute = 0;
+  std::uint64_t ops_shm = 0;
+  std::uint64_t ops_msg = 0;
+  std::uint64_t recv_stalls = 0;
+  std::uint64_t send_loopbacks = 0;
 
   const MachineParams& mp = machine.params;
   const EnergyParams& ep = machine.energy;
@@ -130,6 +152,7 @@ SimResult replay(const std::vector<ProcessTrace>& traces,
     }
     ++episodes_completed;
     ++barrier_episodes;
+    if (obs::tracing_enabled()) begin_round(episodes_completed);
   };
 
   auto runnable = [&](int i) {
@@ -158,10 +181,13 @@ SimResult replay(const std::vector<ProcessTrace>& traces,
           procs[static_cast<std::size_t>(i)].t < procs[static_cast<std::size_t>(pick)].t)
         pick = i;
     }
-    if (pick < 0)
+    if (pick < 0) {
+      if (obs::tracing_enabled())
+        obs::TraceRecorder::global().instant("sim.deadlock", "sim");
       throw std::runtime_error(
           "machine::replay: deadlock (no runnable process; mismatched "
           "receives or barriers)");
+    }
 
     const auto ui = static_cast<std::size_t>(pick);
     ProcState& p = procs[ui];
@@ -182,6 +208,7 @@ SimResult replay(const std::vector<ProcessTrace>& traces,
         core_active[static_cast<std::size_t>(core)] += duration;
         const double int_ops = op.amount - op.fp;
         energy += (op.fp * ep.w_fp + int_ops * ep.w_int) * es;
+        ++ops_compute;
         ++p.pc;
         break;
       }
@@ -195,6 +222,7 @@ SimResult replay(const std::vector<ProcessTrace>& traces,
         p.t = port.serve(p.t, g * op.amount) + ell;
         core_active[static_cast<std::size_t>(core)] += g * op.amount + ell;
         energy += op.amount * (read ? ep.w_d_r : ep.w_d_w) * es;
+        ++ops_shm;
         ++p.pc;
         break;
       }
@@ -208,6 +236,7 @@ SimResult replay(const std::vector<ProcessTrace>& traces,
         for (long long m = 0; m < k; ++m) {
           const sim::Time done = port.serve(p.t, g);
           const int peer = pick_peer(pick, op.intra);
+          if (peer < 0) ++send_loopbacks;
           const auto dest = static_cast<std::size_t>(peer >= 0 ? peer : pick);
           inbox_push(procs[dest].inbox, done + L);
         }
@@ -216,6 +245,7 @@ SimResult replay(const std::vector<ProcessTrace>& traces,
         core_active[static_cast<std::size_t>(core)] +=
             g * static_cast<double>(k);
         energy += static_cast<double>(k) * ep.w_m_s * es;
+        ++ops_msg;
         ++p.pc;
         break;
       }
@@ -225,11 +255,13 @@ SimResult replay(const std::vector<ProcessTrace>& traces,
         sim::Time ready = p.t;
         for (long long m = 0; m < k; ++m)
           ready = std::max(ready, inbox_pop(p.inbox));
+        if (ready > p.t) ++recv_stalls;
         // Receive processing occupies the receiver for g per message.
         p.t = ready + g * static_cast<double>(k);
         core_active[static_cast<std::size_t>(core)] +=
             g * static_cast<double>(k);
         energy += static_cast<double>(k) * ep.w_m_r * es;
+        ++ops_msg;
         ++p.pc;
         break;
       }
@@ -282,6 +314,21 @@ SimResult replay(const std::vector<ProcessTrace>& traces,
   result.l1_utilization = utilization(l1);
   result.l2_utilization = utilization(l2);
   result.router_utilization = utilization(router);
+
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    reg.counter("sim.replays").add();
+    reg.counter("sim.barrier_episodes").add(barrier_episodes);
+    reg.counter("sim.ops.compute").add(ops_compute);
+    reg.counter("sim.ops.shm").add(ops_shm);
+    reg.counter("sim.ops.msg").add(ops_msg);
+    reg.counter("sim.recv_stalls").add(recv_stalls);
+    reg.counter("sim.send_loopbacks").add(send_loopbacks);
+    reg.histogram("sim.replay_ns").record(obs::nanos_since(wall_start));
+  }
+  round_span = obs::ScopedSpan();  // args must land on replay_span (innermost)
+  replay_span.arg("barrier_episodes", static_cast<double>(barrier_episodes));
+  replay_span.arg("makespan", result.makespan);
   return result;
 }
 

@@ -1,0 +1,30 @@
+#pragma once
+/// \file clock.hpp
+/// \brief Wall-clock helpers for the observability layer.
+///
+/// Chrome's trace_event format timestamps in microseconds; spans are stamped
+/// against a per-recorder epoch so traces start near t = 0 and stay readable
+/// in chrome://tracing without offset gymnastics.
+
+#include <chrono>
+
+namespace stamp::obs {
+
+using Clock = std::chrono::steady_clock;
+
+/// Microseconds elapsed since `epoch`, as the double Chrome expects.
+[[nodiscard]] inline double micros_since(Clock::time_point epoch) noexcept {
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch)
+      .count();
+}
+
+/// Nanoseconds elapsed since `start`, for latency histograms.
+[[nodiscard]] inline std::uint64_t nanos_since(Clock::time_point start) noexcept {
+  const auto d = Clock::now() - start;
+  return d.count() > 0 ? static_cast<std::uint64_t>(
+                             std::chrono::duration_cast<std::chrono::nanoseconds>(d)
+                                 .count())
+                       : 0;
+}
+
+}  // namespace stamp::obs

@@ -1,0 +1,99 @@
+#include "obs/export.hpp"
+
+#include "report/json.hpp"
+#include "report/json_parse.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stamp::obs {
+
+void write_chrome_trace(std::span<const TraceEvent> events, std::ostream& os) {
+  report::JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const TraceEvent& ev : events) {
+    w.begin_object();
+    w.kv("name", ev.name);
+    w.kv("cat", ev.category);
+    w.kv("ph", std::string_view(&ev.phase, 1));
+    w.kv("ts", ev.ts_us);
+    if (ev.phase == 'X') w.kv("dur", ev.dur_us);
+    w.kv("pid", 1);
+    w.kv("tid", ev.tid);
+    if (!ev.args.empty()) {
+      w.key("args").begin_object();
+      for (const auto& [key, value] : ev.args) w.kv(key, value);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  os << "\n";
+}
+
+std::string chrome_trace_json(std::span<const TraceEvent> events) {
+  std::ostringstream ss;
+  write_chrome_trace(events, ss);
+  return ss.str();
+}
+
+namespace {
+
+[[noreturn]] void bad_trace(std::size_t index, const std::string& what) {
+  throw std::runtime_error("trace event " + std::to_string(index) + ": " + what);
+}
+
+const report::JsonValue& field(const report::JsonValue& event, std::size_t index,
+                               const char* key) {
+  const report::JsonValue* v = event.find(key);
+  if (!v) bad_trace(index, std::string("missing \"") + key + "\"");
+  return *v;
+}
+
+}  // namespace
+
+TraceSummary summarize_chrome_trace(const report::JsonValue& doc) {
+  if (doc.kind() != report::JsonValue::Kind::Object)
+    throw std::runtime_error("trace: root is not an object");
+  const report::JsonValue* events = doc.find("traceEvents");
+  if (!events) throw std::runtime_error("trace: missing \"traceEvents\"");
+  if (events->kind() != report::JsonValue::Kind::Array)
+    throw std::runtime_error("trace: \"traceEvents\" is not an array");
+
+  TraceSummary summary;
+  for (std::size_t i = 0; i < events->items().size(); ++i) {
+    const report::JsonValue& ev = events->items()[i];
+    if (ev.kind() != report::JsonValue::Kind::Object)
+      bad_trace(i, "not an object");
+    const std::string& name = field(ev, i, "name").as_string();
+    const std::string& cat = field(ev, i, "cat").as_string();
+    const std::string& ph = field(ev, i, "ph").as_string();
+    const double ts = field(ev, i, "ts").as_number();
+    (void)field(ev, i, "tid").as_number();
+    if (ts < 0) bad_trace(i, "negative ts");
+    if (ph == "X") {
+      const double dur = field(ev, i, "dur").as_number();
+      if (dur < 0) bad_trace(i, "negative dur");
+      ++summary.complete_spans;
+      summary.total_span_us += dur;
+    } else if (ph == "i") {
+      ++summary.instants;
+    } else {
+      bad_trace(i, "unsupported phase \"" + ph + "\"");
+    }
+    ++summary.events;
+    ++summary.events_by_category[cat];
+    ++summary.events_by_name[name];
+  }
+  return summary;
+}
+
+TraceSummary summarize_chrome_trace(const std::string& json_text) {
+  return summarize_chrome_trace(report::JsonValue::parse(json_text));
+}
+
+}  // namespace stamp::obs

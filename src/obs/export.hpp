@@ -1,0 +1,51 @@
+#pragma once
+/// \file export.hpp
+/// \brief Exporters for recorded observability data: Chrome trace_event JSON
+///        (loadable in chrome://tracing or Perfetto) and a structural
+///        validator/summarizer for the emitted traces.
+
+#include "obs/span.hpp"
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stamp::report {
+class JsonValue;
+}  // namespace stamp::report
+
+namespace stamp::obs {
+
+/// Write `events` in Chrome's JSON-object trace format:
+///   {"traceEvents": [{"name": ..., "cat": ..., "ph": "X", "ts": ...,
+///    "dur": ..., "pid": 1, "tid": ..., "args": {...}}, ...],
+///    "displayTimeUnit": "ms"}
+/// Timestamps are microseconds, per the format. The output parses back
+/// through `report::JsonValue::parse`.
+void write_chrome_trace(std::span<const TraceEvent> events, std::ostream& os);
+[[nodiscard]] std::string chrome_trace_json(std::span<const TraceEvent> events);
+
+/// What a structurally valid trace contained.
+struct TraceSummary {
+  std::size_t events = 0;
+  std::size_t complete_spans = 0;  ///< ph == "X"
+  std::size_t instants = 0;        ///< ph == "i"
+  double total_span_us = 0;        ///< sum of "X" durations
+  std::map<std::string, std::size_t> events_by_category;
+  std::map<std::string, std::size_t> events_by_name;
+};
+
+/// Validate a parsed Chrome trace document and summarize it. Throws
+/// std::runtime_error naming the first structural problem: missing
+/// "traceEvents", an event that is not an object, a missing/ill-typed
+/// name/cat/ph/ts/tid field, a negative ts, or an "X" event without a
+/// non-negative "dur".
+[[nodiscard]] TraceSummary summarize_chrome_trace(const report::JsonValue& doc);
+
+/// Convenience: parse then summarize.
+[[nodiscard]] TraceSummary summarize_chrome_trace(const std::string& json_text);
+
+}  // namespace stamp::obs

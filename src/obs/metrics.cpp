@@ -1,0 +1,163 @@
+#include "obs/metrics.hpp"
+
+#include "report/json.hpp"
+
+#include <functional>
+#include <ostream>
+#include <sstream>
+
+namespace stamp::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+void set_metrics_enabled(bool on) noexcept {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t shards) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for(std::string_view name) const {
+  const std::size_t h = std::hash<std::string_view>{}(name);
+  return *shards_[h % shards_.size()];
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Shard& s = shard_for(name);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.counters.find(name);
+  if (it == s.counters.end())
+    it = s.counters.emplace(std::string(name), std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Shard& s = shard_for(name);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.gauges.find(name);
+  if (it == s.gauges.end())
+    it = s.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  Shard& s = shard_for(name);
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.histograms.find(name);
+  if (it == s.histograms.end())
+    it = s.histograms.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  // Collect per kind into name-sorted maps (shards partition by hash, so a
+  // merge across shards is needed to restore global name order).
+  std::map<std::string, MetricSample> counters;
+  std::map<std::string, MetricSample> gauges;
+  std::map<std::string, MetricSample> histograms;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [name, c] : shard->counters) {
+      MetricSample m;
+      m.kind = MetricSample::Kind::Counter;
+      m.name = name;
+      m.value = static_cast<double>(c->value());
+      counters.emplace(name, std::move(m));
+    }
+    for (const auto& [name, g] : shard->gauges) {
+      MetricSample m;
+      m.kind = MetricSample::Kind::Gauge;
+      m.name = name;
+      m.value = g->value();
+      gauges.emplace(name, std::move(m));
+    }
+    for (const auto& [name, h] : shard->histograms) {
+      MetricSample m;
+      m.kind = MetricSample::Kind::Histogram;
+      m.name = name;
+      m.count = h->count();
+      m.sum = h->sum();
+      m.value = h->mean();
+      for (int i = 0; i < Histogram::kBucketCount; ++i) {
+        const std::uint64_t n = h->bucket(i);
+        if (n > 0) m.buckets.emplace_back(Histogram::bucket_lower(i), n);
+      }
+      histograms.emplace(name, std::move(m));
+    }
+  }
+  std::vector<MetricSample> out;
+  out.reserve(counters.size() + gauges.size() + histograms.size());
+  for (auto& [_, m] : counters) out.push_back(std::move(m));
+  for (auto& [_, m] : gauges) out.push_back(std::move(m));
+  for (auto& [_, m] : histograms) out.push_back(std::move(m));
+  return out;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const std::vector<MetricSample> samples = snapshot();
+  report::JsonWriter w(os);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const MetricSample& m : samples)
+    if (m.kind == MetricSample::Kind::Counter) w.kv(m.name, m.value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const MetricSample& m : samples)
+    if (m.kind == MetricSample::Kind::Gauge) w.kv(m.name, m.value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const MetricSample& m : samples) {
+    if (m.kind != MetricSample::Kind::Histogram) continue;
+    w.key(m.name).begin_object();
+    w.kv("count", static_cast<long long>(m.count));
+    w.kv("sum", static_cast<long long>(m.sum));
+    w.kv("mean", m.value);
+    w.key("buckets").begin_array();
+    for (const auto& [lower, n] : m.buckets) {
+      w.begin_array();
+      w.value(static_cast<long long>(lower));
+      w.value(static_cast<long long>(n));
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  os << "\n";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream ss;
+  write_json(ss);
+  return ss.str();
+}
+
+void MetricsRegistry::reset() {
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [_, c] : shard->counters) c->reset();
+    for (const auto& [_, g] : shard->gauges) g->reset();
+    for (const auto& [_, h] : shard->histograms) h->reset();
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry(16);
+  return *registry;  // never destroyed: instruments outlive static teardown
+}
+
+}  // namespace stamp::obs

@@ -1,0 +1,171 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief A lock-sharded registry of named counters, gauges, and histograms.
+///
+/// Instruments are cheap to update (one atomic RMW) and stable in memory:
+/// the registry hands out references that stay valid for its lifetime, so hot
+/// paths can look an instrument up once and then update lock-free. Lookup
+/// itself takes only the owning shard's lock, so concurrent lookups of
+/// different names rarely contend.
+///
+/// Instrumented library code guards every update behind
+/// `obs::metrics_enabled()` — a single relaxed atomic load — so the disabled
+/// default costs one predictable branch per site.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stamp::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A point-in-time level (queue depth, active workers, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Fixed log2-bucket histogram of non-negative integer samples (typically
+/// latencies in nanoseconds). Bucket 0 holds exact zeros; bucket i >= 1 holds
+/// samples in [2^(i-1), 2^i). Recording is one relaxed RMW per sample plus
+/// the running sum, so concurrent recorders never serialize.
+class Histogram {
+ public:
+  /// Bucket 0 plus one bucket per bit position of a 64-bit sample.
+  static constexpr int kBucketCount = 65;
+
+  /// Index of the bucket that holds `v`.
+  [[nodiscard]] static constexpr int bucket_of(std::uint64_t v) noexcept {
+    return std::bit_width(v);  // 0 -> 0, [2^(i-1), 2^i) -> i
+  }
+  /// Smallest sample landing in bucket `i` (inclusive).
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower(int i) noexcept {
+    return i <= 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(int i) const noexcept {
+    return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n > 0 ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+  }
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// One flattened instrument, for export and inspection.
+struct MetricSample {
+  enum class Kind { Counter, Gauge, Histogram };
+  Kind kind = Kind::Counter;
+  std::string name;
+  double value = 0;                         ///< counter/gauge value; histogram mean
+  std::uint64_t count = 0;                  ///< histogram sample count
+  std::uint64_t sum = 0;                    ///< histogram sample sum
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;  ///< (lower, n)
+};
+
+class MetricsRegistry {
+ public:
+  /// `shards` hash buckets, each with its own lock; rounded up to 1.
+  explicit MetricsRegistry(std::size_t shards = 8);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create by name. References stay valid for the registry's
+  /// lifetime; a name identifies one instrument per kind.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  /// All instruments, sorted by (kind, name). Non-zero-cost (locks every
+  /// shard); meant for export, not hot paths.
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  /// Flat metrics JSON: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, mean, buckets: [[lower, n], ...]}}}.
+  /// Keys are sorted; empty histogram buckets are omitted. The output parses
+  /// back through `report::JsonValue::parse`.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
+
+  /// Zero every instrument (references stay valid).
+  void reset();
+
+  /// The process-wide registry the instrumented subsystems report into.
+  [[nodiscard]] static MetricsRegistry& global();
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::string_view name) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// The branch every instrumented site takes: one relaxed load.
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool on) noexcept;
+
+}  // namespace stamp::obs

@@ -1,0 +1,15 @@
+#pragma once
+/// \file obs.hpp
+/// \brief Umbrella header for the observability layer: spans, metrics,
+///        exporters.
+///
+/// The layer is disabled by default; enabling it (`set_tracing_enabled`,
+/// `set_metrics_enabled`, or `stamp::Evaluator`'s options) flips one atomic
+/// flag per facility. Instrumented subsystems — the machine simulator, the
+/// runtime executor, the sweep pool and cache — check that flag and record
+/// into the process-wide `TraceRecorder::global()` / `MetricsRegistry::global()`.
+
+#include "obs/clock.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"

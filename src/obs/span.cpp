@@ -1,0 +1,148 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+namespace stamp::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+
+/// Identity of the next TraceRecorder; lets the thread-local cache tell a
+/// new recorder apart from a destroyed one that reused the same address.
+std::atomic<std::uint64_t> g_next_recorder_id{1};
+
+struct TlEntry {
+  const void* recorder = nullptr;
+  std::uint64_t id = 0;
+  std::shared_ptr<void> log;
+};
+thread_local std::vector<TlEntry> tl_logs;
+}  // namespace detail
+
+void set_tracing_enabled(bool on) noexcept {
+  TraceRecorder::global().set_enabled(on);
+}
+
+TraceRecorder::TraceRecorder()
+    : epoch_(Clock::now()),
+      id_(detail::g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+void TraceRecorder::set_enabled(bool on) noexcept {
+  enabled_.store(on, std::memory_order_relaxed);
+  if (this == &global())
+    detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+TraceRecorder::ThreadLog& TraceRecorder::local_log() {
+  for (const detail::TlEntry& e : detail::tl_logs)
+    if (e.recorder == this && e.id == id_)
+      return *static_cast<ThreadLog*>(e.log.get());
+
+  auto log = std::make_shared<ThreadLog>();
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    log->tid = next_tid_++;
+    logs_.push_back(log);
+  }
+  detail::tl_logs.push_back({this, id_, log});
+  return *log;
+}
+
+void TraceRecorder::begin(std::string name, std::string category) {
+  if (!enabled()) return;
+  const double ts = micros_since(epoch_);
+  ThreadLog& log = local_log();
+  const std::lock_guard<std::mutex> lock(log.mutex);
+  log.stack.push_back({std::move(name), std::move(category), ts, {}});
+}
+
+void TraceRecorder::arg(std::string key, double value) {
+  if (!enabled()) return;
+  ThreadLog& log = local_log();
+  const std::lock_guard<std::mutex> lock(log.mutex);
+  if (!log.stack.empty())
+    log.stack.back().args.emplace_back(std::move(key), value);
+}
+
+void TraceRecorder::end() {
+  if (!enabled()) return;
+  const double now = micros_since(epoch_);
+  ThreadLog& log = local_log();
+  const std::lock_guard<std::mutex> lock(log.mutex);
+  if (log.stack.empty()) return;
+  OpenSpan open = std::move(log.stack.back());
+  log.stack.pop_back();
+  TraceEvent ev;
+  ev.name = std::move(open.name);
+  ev.category = std::move(open.category);
+  ev.phase = 'X';
+  ev.ts_us = open.ts_us;
+  ev.dur_us = std::max(0.0, now - open.ts_us);
+  ev.tid = log.tid;
+  ev.args = std::move(open.args);
+  log.events.push_back(std::move(ev));
+}
+
+void TraceRecorder::instant(std::string name, std::string category) {
+  if (!enabled()) return;
+  const double ts = micros_since(epoch_);
+  ThreadLog& log = local_log();
+  const std::lock_guard<std::mutex> lock(log.mutex);
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.category = std::move(category);
+  ev.phase = 'i';
+  ev.ts_us = ts;
+  ev.tid = log.tid;
+  log.events.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    logs = logs_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& log : logs) {
+    const std::lock_guard<std::mutex> lock(log->mutex);
+    out.insert(out.end(), log->events.begin(), log->events.end());
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.ts_us != b.ts_us ? a.ts_us < b.ts_us : a.tid < b.tid;
+  });
+  return out;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::size_t n = 0;
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& log : logs_) {
+    const std::lock_guard<std::mutex> log_lock(log->mutex);
+    n += log->events.size();
+  }
+  return n;
+}
+
+void TraceRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& log : logs_) {
+    const std::lock_guard<std::mutex> log_lock(log->mutex);
+    log->events.clear();
+    log->stack.clear();
+  }
+}
+
+int TraceRecorder::thread_count() const {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  return static_cast<int>(logs_.size());
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;  // never destroyed: spans may close during static teardown
+}
+
+}  // namespace stamp::obs

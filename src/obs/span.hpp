@@ -1,0 +1,163 @@
+#pragma once
+/// \file span.hpp
+/// \brief Thread-local span recording: nested begin/end scopes, instant
+///        events, and a process-wide recorder behind one atomic flag.
+///
+/// Each thread appends to its own log (one mutex per log, uncontended except
+/// during snapshot), so recording never serializes threads against each
+/// other. Spans nest per thread via an open-span stack; `snapshot()` merges
+/// all logs into one timestamp-sorted event list for export.
+///
+/// The disabled default is free-ish by design: instrumented code creates
+/// spans through `ScopedSpan::if_enabled`, which reads one relaxed atomic
+/// and branches — no allocation, no clock read, no lock.
+
+#include "obs/clock.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stamp::obs {
+
+/// One recorded event, Chrome trace_event flavored.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';   ///< 'X' = complete span, 'i' = instant
+  double ts_us = 0;   ///< start, microseconds since the recorder's epoch
+  double dur_us = 0;  ///< duration ('X' only)
+  int tid = 0;        ///< recorder-assigned thread id (1-based)
+  std::vector<std::pair<std::string, double>> args;  ///< numeric annotations
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Enable/disable recording. While disabled, begin/end/instant are no-ops
+  /// (so a half-open span across a disable simply never completes).
+  void set_enabled(bool on) noexcept;
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Open a span on the calling thread. Every begin must be matched by an
+  /// `end` on the same thread; nesting is per thread.
+  void begin(std::string name, std::string category);
+  /// Attach a numeric annotation to the innermost open span (no-op without
+  /// one).
+  void arg(std::string key, double value);
+  /// Close the innermost open span (no-op without one).
+  void end();
+  /// A zero-duration marker.
+  void instant(std::string name, std::string category);
+
+  /// All completed events from every thread, sorted by (ts, tid). Open spans
+  /// are not included.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  /// Completed events recorded so far (cheaper than snapshot().size()).
+  [[nodiscard]] std::size_t event_count() const;
+  /// Drop all completed events and open spans; keeps thread registrations
+  /// and the epoch.
+  void clear();
+
+  /// Number of distinct threads that have recorded into this recorder.
+  [[nodiscard]] int thread_count() const;
+
+  /// The process-wide recorder the instrumented subsystems report into.
+  [[nodiscard]] static TraceRecorder& global();
+
+ private:
+  struct OpenSpan {
+    std::string name;
+    std::string category;
+    double ts_us = 0;
+    std::vector<std::pair<std::string, double>> args;
+  };
+  struct ThreadLog {
+    mutable std::mutex mutex;
+    int tid = 0;
+    std::vector<TraceEvent> events;
+    std::vector<OpenSpan> stack;
+  };
+
+  [[nodiscard]] ThreadLog& local_log();
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadLog>> logs_;
+  int next_tid_ = 1;
+  std::atomic<bool> enabled_{false};
+  Clock::time_point epoch_;
+  const std::uint64_t id_;  ///< distinguishes recorders reusing an address
+};
+
+namespace detail {
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace detail
+
+/// The branch every instrumented site takes: one relaxed load. True iff the
+/// process-wide recorder is enabled.
+[[nodiscard]] inline bool tracing_enabled() noexcept {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+/// Enable/disable the process-wide recorder (and the fast flag).
+void set_tracing_enabled(bool on) noexcept;
+
+/// RAII span. Inactive instances (default-constructed, or `if_enabled` with
+/// tracing off) cost one branch in the destructor.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(TraceRecorder& recorder, std::string name, std::string category)
+      : recorder_(&recorder) {
+    recorder.begin(std::move(name), std::move(category));
+  }
+
+  /// Record on the process-wide recorder iff tracing is enabled.
+  [[nodiscard]] static ScopedSpan if_enabled(const char* name,
+                                             const char* category) {
+    return tracing_enabled() ? ScopedSpan(TraceRecorder::global(), name, category)
+                             : ScopedSpan();
+  }
+
+  ScopedSpan(ScopedSpan&& o) noexcept : recorder_(std::exchange(o.recorder_, nullptr)) {}
+  ScopedSpan& operator=(ScopedSpan&& o) noexcept {
+    if (this != &o) {
+      finish();
+      recorder_ = std::exchange(o.recorder_, nullptr);
+    }
+    return *this;
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { finish(); }
+
+  [[nodiscard]] bool active() const noexcept { return recorder_ != nullptr; }
+
+  /// Annotate the span (no-op when inactive).
+  void arg(std::string key, double value) {
+    if (recorder_) recorder_->arg(std::move(key), value);
+  }
+
+ private:
+  void finish() noexcept {
+    if (recorder_) {
+      recorder_->end();
+      recorder_ = nullptr;
+    }
+  }
+
+  TraceRecorder* recorder_ = nullptr;
+};
+
+}  // namespace stamp::obs

@@ -1,5 +1,8 @@
 #include "runtime/executor.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -41,12 +44,21 @@ RunResult run_processes(const PlacementMap& placement, const ProcessBody& body) 
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
+  obs::ScopedSpan run_span = obs::ScopedSpan::if_enabled("runtime.run", "runtime");
+  run_span.arg("processes", static_cast<double>(n));
+
   const auto start = std::chrono::steady_clock::now();
   {
     std::vector<std::jthread> threads;
     threads.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
       threads.emplace_back([&, i] {
+        // Each OS thread records under its own tid; the span covers the whole
+        // process body, and its wall time feeds the latency histogram.
+        obs::ScopedSpan process_span =
+            obs::ScopedSpan::if_enabled("runtime.process", "runtime");
+        process_span.arg("process", static_cast<double>(i));
+        const obs::Clock::time_point t0 = obs::Clock::now();
         Context ctx(i, result.recorders[static_cast<std::size_t>(i)], placement);
         try {
           body(ctx);
@@ -54,12 +66,21 @@ RunResult run_processes(const PlacementMap& placement, const ProcessBody& body) 
           const std::scoped_lock lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
+        if (obs::metrics_enabled())
+          obs::MetricsRegistry::global()
+              .histogram("runtime.process_ns")
+              .record(obs::nanos_since(t0));
       });
     }
   }  // jthreads join here
   result.wall_time = std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::steady_clock::now() - start);
 
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    reg.counter("runtime.runs").add();
+    reg.counter("runtime.processes").add(static_cast<std::uint64_t>(n));
+  }
   if (first_error) std::rethrow_exception(first_error);
   return result;
 }

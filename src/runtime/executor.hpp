@@ -10,6 +10,7 @@
 /// per-process counter records feed the analytic cost model — this is the
 /// "measured" column of the benches.
 
+#include "core/compat.hpp"
 #include "core/cost_model.hpp"
 #include "runtime/instrument.hpp"
 #include "runtime/placement_map.hpp"
@@ -82,6 +83,7 @@ struct RunResult {
                                       const ProcessBody& body);
 
 /// Convenience: place `n` processes per `distribution` on `topology`, run.
+STAMP_DEPRECATED("use stamp::Evaluator::run (api/stamp.hpp)")
 [[nodiscard]] RunResult run_distributed(const Topology& topology, int n,
                                         Distribution distribution,
                                         const ProcessBody& body);

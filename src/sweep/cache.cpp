@@ -1,10 +1,15 @@
 #include "sweep/cache.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+#include <algorithm>
 #include <cstring>
 
 namespace stamp::sweep {
 
-CostCache::CostCache(std::size_t shards) {
+CostCache::CostCache(std::size_t shards, std::size_t max_entries_per_shard)
+    : max_entries_per_shard_(max_entries_per_shard) {
   if (shards == 0) shards = 1;
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i)
@@ -31,14 +36,33 @@ PointCost CostCache::get_or_compute(std::span<const double> key,
     auto it = shard.map.find(encoded);
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::metrics_enabled())
+        obs::MetricsRegistry::global().counter("cache.hits").add();
       return it->second;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  const PointCost value = compute();
+  if (obs::metrics_enabled())
+    obs::MetricsRegistry::global().counter("cache.misses").add();
+  PointCost value;
+  {
+    obs::ScopedSpan span = obs::ScopedSpan::if_enabled("cache.compute", "cache");
+    value = compute();
+  }
   std::lock_guard<std::mutex> lock(shard.mutex);
   // emplace keeps an already-inserted value if another thread raced us.
-  return shard.map.emplace(encoded, value).first->second;
+  const auto [it, inserted] = shard.map.emplace(encoded, value);
+  if (inserted && max_entries_per_shard_ > 0) {
+    shard.order.push_back(encoded);
+    if (shard.map.size() > max_entries_per_shard_) {
+      shard.map.erase(shard.order.front());
+      shard.order.erase(shard.order.begin());
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::metrics_enabled())
+        obs::MetricsRegistry::global().counter("cache.evictions").add();
+    }
+  }
+  return it->second;
 }
 
 std::uint64_t CostCache::hits() const noexcept {
@@ -47,6 +71,10 @@ std::uint64_t CostCache::hits() const noexcept {
 
 std::uint64_t CostCache::misses() const noexcept {
   return misses_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CostCache::evictions() const noexcept {
+  return evictions_.load(std::memory_order_relaxed);
 }
 
 std::size_t CostCache::size() const {
@@ -62,9 +90,11 @@ void CostCache::clear() {
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> lock(s->mutex);
     s->map.clear();
+    s->order.clear();
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace stamp::sweep

@@ -36,7 +36,11 @@ struct PointCost {
 class CostCache {
  public:
   /// `shards` buckets each with their own lock; rounded up to at least 1.
-  explicit CostCache(std::size_t shards = 16);
+  /// `max_entries_per_shard` bounds each shard's size: when an insert would
+  /// exceed it, the oldest entry of that shard is evicted (FIFO). 0 =
+  /// unbounded (the default — sweeps rely on full memoization).
+  explicit CostCache(std::size_t shards = 16,
+                     std::size_t max_entries_per_shard = 0);
 
   /// Return the cached value for `key` (the canonical parameter tuple of a
   /// grid point), computing it with `compute` on a miss. `compute` runs
@@ -49,6 +53,7 @@ class CostCache {
 
   [[nodiscard]] std::uint64_t hits() const noexcept;
   [[nodiscard]] std::uint64_t misses() const noexcept;
+  [[nodiscard]] std::uint64_t evictions() const noexcept;
   [[nodiscard]] std::size_t size() const;
   void clear();
 
@@ -56,6 +61,8 @@ class CostCache {
   struct Shard {
     std::mutex mutex;
     std::unordered_map<std::string, PointCost> map;
+    /// Insertion order, for FIFO eviction under a size bound.
+    std::vector<std::string> order;
   };
 
   /// Bitwise encoding of the tuple: exact (no formatting round-trip) and
@@ -65,8 +72,10 @@ class CostCache {
   Shard& shard_for(const std::string& encoded);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t max_entries_per_shard_ = 0;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace stamp::sweep

@@ -1,5 +1,8 @@
 #include "sweep/pool.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -66,6 +69,10 @@ bool Pool::try_steal(int thief, Chunk& out) {
 void Pool::run_chunk(const Chunk& c) {
   const std::function<void(std::size_t)>* body = body_;
   std::size_t executed = 0;
+  obs::ScopedSpan chunk_span = obs::ScopedSpan::if_enabled("pool.chunk", "pool");
+  chunk_span.arg("begin", static_cast<double>(c.begin));
+  chunk_span.arg("end", static_cast<double>(c.end));
+  const obs::Clock::time_point t0 = obs::Clock::now();
   try {
     for (std::size_t i = c.begin; i < c.end; ++i) {
       (*body)(i);
@@ -74,6 +81,12 @@ void Pool::run_chunk(const Chunk& c) {
   } catch (...) {
     std::lock_guard<std::mutex> lock(error_mutex_);
     if (!first_error_) first_error_ = std::current_exception();
+  }
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    reg.counter("pool.chunks").add();
+    reg.counter("pool.indices").add(c.end - c.begin);
+    reg.histogram("pool.chunk_ns").record(obs::nanos_since(t0));
   }
   // Unexecuted indices of a throwing chunk still count as done so the loop
   // drains; the exception is rethrown by parallel_for.
@@ -87,6 +100,8 @@ void Pool::drain(int id) {
       run_chunk(c);
     } else if (try_steal(id, c)) {
       steals_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::metrics_enabled())
+        obs::MetricsRegistry::global().counter("pool.steals").add();
       run_chunk(c);
     } else {
       // Remaining indices are being executed by other workers; the loop is
@@ -103,6 +118,11 @@ void Pool::parallel_for(std::size_t n,
   // One loop at a time: the deques and counters are per-pool, not per-loop.
   std::lock_guard<std::mutex> exclusive(loop_mutex_);
 
+  obs::ScopedSpan loop_span =
+      obs::ScopedSpan::if_enabled("pool.parallel_for", "pool");
+  loop_span.arg("n", static_cast<double>(n));
+  loop_span.arg("workers", static_cast<double>(threads_));
+
   {
     std::lock_guard<std::mutex> lock(error_mutex_);
     first_error_ = nullptr;
@@ -117,6 +137,7 @@ void Pool::parallel_for(std::size_t n,
   const std::size_t chunk_size = std::max<std::size_t>(
       1, (n + target_chunks - 1) / target_chunks);
   int next_worker = 0;
+  std::size_t chunks_queued = 0;
   for (std::size_t begin = 0; begin < n; begin += chunk_size) {
     const Chunk c{begin, std::min(begin + chunk_size, n)};
     WorkerDeque& d = *deques_[static_cast<std::size_t>(next_worker)];
@@ -124,11 +145,22 @@ void Pool::parallel_for(std::size_t n,
       std::lock_guard<std::mutex> lock(d.mutex);
       d.chunks.push_back(c);
     }
+    ++chunks_queued;
     next_worker = (next_worker + 1) % threads_;
+  }
+  if (obs::metrics_enabled()) {
+    // Depth right after distribution, before workers drain it: the high-water
+    // mark of this loop's queue.
+    obs::MetricsRegistry::global()
+        .gauge("pool.queue_depth")
+        .set(static_cast<double>(chunks_queued));
   }
   work_available_.notify_all();
 
   drain(0);  // the caller is worker 0
+
+  if (obs::metrics_enabled())
+    obs::MetricsRegistry::global().gauge("pool.queue_depth").set(0);
 
   body_ = nullptr;
   std::exception_ptr err;

@@ -1,5 +1,6 @@
 #include "sweep/sweep.hpp"
 
+#include "obs/span.hpp"
 #include "report/json.hpp"
 
 #include <algorithm>
@@ -10,19 +11,13 @@
 namespace stamp::sweep {
 namespace {
 
-/// Everything one grid point pins down.
-struct PointSetup {
-  MachineModel machine;
-  ProcessProfile profile;
-  int processes = 0;
-  PlacementStrategy strategy = PlacementStrategy::FillFirst;
-};
-
 double axis_or(const SweepConfig& cfg, std::span<const double> vals,
                std::string_view name, double fallback) {
   const int i = cfg.grid.axis_index(name);
   return i >= 0 ? vals[static_cast<std::size_t>(i)] : fallback;
 }
+
+}  // namespace
 
 PointSetup setup_point(const SweepConfig& cfg, std::span<const double> vals) {
   PointSetup s;
@@ -53,8 +48,6 @@ PointSetup setup_point(const SweepConfig& cfg, std::span<const double> vals) {
   return s;
 }
 
-/// Split the total workload over n processes: additive counters divide,
-/// kappa (a per-location bound) and units do not.
 ProcessProfile strong_scaled(const ProcessProfile& total, int n) {
   ProcessProfile p = total;
   const double inv = 1.0 / n;
@@ -66,6 +59,8 @@ ProcessProfile strong_scaled(const ProcessProfile& total, int n) {
   p.m_r *= inv;
   return p;
 }
+
+namespace {
 
 PointCost placement_cost(const PointSetup& s, int n, Objective objective) {
   const std::vector<ProcessProfile> profiles(
@@ -110,6 +105,8 @@ PointCost compute_point_cost(const PointSetup& s, Objective objective) {
 
 SweepRecord evaluate_point(const SweepConfig& cfg, std::size_t index,
                            CostCache& cache) {
+  obs::ScopedSpan span = obs::ScopedSpan::if_enabled("sweep.point", "sweep");
+  span.arg("index", static_cast<double>(index));
   SweepRecord rec;
   rec.index = index;
   rec.params = cfg.grid.point(index);
@@ -210,6 +207,8 @@ SweepConfig SweepConfig::tiny() {
 }
 
 SweepResult run_sweep_serial(const SweepConfig& cfg) {
+  obs::ScopedSpan span = obs::ScopedSpan::if_enabled("sweep.run", "sweep");
+  span.arg("points", static_cast<double>(cfg.grid.size()));
   SweepResult out = make_result_shell(cfg);
   CostCache cache;
   for (std::size_t i = 0; i < out.records.size(); ++i)
@@ -220,6 +219,9 @@ SweepResult run_sweep_serial(const SweepConfig& cfg) {
 }
 
 SweepResult run_sweep(const SweepConfig& cfg, Pool& pool) {
+  obs::ScopedSpan span = obs::ScopedSpan::if_enabled("sweep.run", "sweep");
+  span.arg("points", static_cast<double>(cfg.grid.size()));
+  span.arg("threads", static_cast<double>(pool.threads()));
   SweepResult out = make_result_shell(cfg);
   CostCache cache(static_cast<std::size_t>(pool.threads()) * 8);
   const std::uint64_t steals_before = pool.steals();

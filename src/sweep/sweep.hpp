@@ -17,6 +17,7 @@
 /// metric queries share one computation. Records are stored by grid index,
 /// which makes an N-thread sweep byte-identical to a 1-thread sweep.
 
+#include "core/compat.hpp"
 #include "core/metrics.hpp"
 #include "core/params.hpp"
 #include "core/placement.hpp"
@@ -28,6 +29,7 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -84,6 +86,27 @@ struct SweepConfig {
   [[nodiscard]] static SweepConfig tiny();
 };
 
+/// Everything one grid point pins down: the machine the point describes, the
+/// total workload profile with the point's κ, the process-count bound, and
+/// the placement strategy. Public so tools can re-derive a point's
+/// configuration — e.g. to replay its winning placement on the machine
+/// simulator.
+struct PointSetup {
+  MachineModel machine;
+  ProcessProfile profile;  ///< total workload (strong-scale before placing)
+  int processes = 0;
+  PlacementStrategy strategy = PlacementStrategy::FillFirst;
+};
+
+/// Resolve a grid point's axis values against the sweep's base machine and
+/// profile. `values` must follow the grid's axis order (`grid.point(i)`).
+[[nodiscard]] PointSetup setup_point(const SweepConfig& cfg,
+                                     std::span<const double> values);
+
+/// Split the total workload over n processes: additive counters divide,
+/// kappa (a per-location bound) and units do not.
+[[nodiscard]] ProcessProfile strong_scaled(const ProcessProfile& total, int n);
+
 /// One evaluated grid point.
 struct SweepRecord {
   std::size_t index = 0;           ///< grid index (records stay sorted by it)
@@ -114,10 +137,12 @@ struct SweepResult {
 
 /// Evaluate every grid point on the calling thread (reference path; also what
 /// `bench_sweep` compares the pool against).
+STAMP_DEPRECATED("use stamp::Evaluator::sweep (api/stamp.hpp)")
 [[nodiscard]] SweepResult run_sweep_serial(const SweepConfig& cfg);
 
 /// Evaluate on `pool`. Output is identical (including byte-identical JSON)
 /// to the serial run for any pool width.
+STAMP_DEPRECATED("use stamp::Evaluator::sweep (api/stamp.hpp)")
 [[nodiscard]] SweepResult run_sweep(const SweepConfig& cfg, Pool& pool);
 
 /// Serialize in the stable `stamp-sweep/v1` schema: fixed key order, records

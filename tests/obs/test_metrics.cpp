@@ -1,0 +1,176 @@
+#include "obs/metrics.hpp"
+
+#include "report/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace stamp::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketEdges) {
+  // Bucket 0 holds exact zeros; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_of(7), 3);
+  EXPECT_EQ(Histogram::bucket_of(8), 4);
+  EXPECT_EQ(Histogram::bucket_of((std::uint64_t{1} << 63) - 1), 63);
+  EXPECT_EQ(Histogram::bucket_of(std::uint64_t{1} << 63), 64);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64);
+
+  EXPECT_EQ(Histogram::bucket_lower(0), 0u);
+  EXPECT_EQ(Histogram::bucket_lower(1), 1u);
+  EXPECT_EQ(Histogram::bucket_lower(2), 2u);
+  EXPECT_EQ(Histogram::bucket_lower(3), 4u);
+  EXPECT_EQ(Histogram::bucket_lower(64), std::uint64_t{1} << 63);
+
+  Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(4);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableInstrument) {
+  MetricsRegistry reg(4);
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(reg.counter("x").value(), 7u);
+  // Same name, different kind: distinct instruments.
+  reg.gauge("x").set(1.5);
+  EXPECT_EQ(reg.counter("x").value(), 7u);
+  EXPECT_DOUBLE_EQ(reg.gauge("x").value(), 1.5);
+}
+
+TEST(MetricsRegistry, SnapshotSortedByKindThenName) {
+  MetricsRegistry reg(4);
+  reg.counter("b").add(2);
+  reg.counter("a").add(1);
+  reg.gauge("depth").set(3);
+  reg.histogram("lat").record(5);
+  const std::vector<MetricSample> snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].name, "a");
+  EXPECT_EQ(snap[0].kind, MetricSample::Kind::Counter);
+  EXPECT_EQ(snap[1].name, "b");
+  EXPECT_EQ(snap[2].name, "depth");
+  EXPECT_EQ(snap[2].kind, MetricSample::Kind::Gauge);
+  EXPECT_EQ(snap[3].name, "lat");
+  EXPECT_EQ(snap[3].kind, MetricSample::Kind::Histogram);
+  EXPECT_EQ(snap[3].count, 1u);
+  EXPECT_EQ(snap[3].sum, 5u);
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesAreExact) {
+  MetricsRegistry reg(8);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.counter("hits").add();
+        reg.histogram("lat").record(static_cast<std::uint64_t>(i % 17));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.counter("hits").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.histogram("lat").count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(MetricsRegistry, JsonRoundTripsThroughParser) {
+  MetricsRegistry reg(4);
+  reg.counter("sim.replays").add(3);
+  reg.gauge("pool.queue_depth").set(2.5);
+  reg.histogram("pool.chunk_ns").record(0);
+  reg.histogram("pool.chunk_ns").record(5);
+  reg.histogram("pool.chunk_ns").record(5);
+
+  const report::JsonValue doc = report::JsonValue::parse(reg.to_json());
+  const report::JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("sim.replays"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->find("sim.replays")->as_number(), 3.0);
+
+  const report::JsonValue* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("pool.queue_depth")->as_number(), 2.5);
+
+  const report::JsonValue* histograms = doc.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const report::JsonValue* h = histograms->find("pool.chunk_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->find("count")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(h->find("sum")->as_number(), 10.0);
+  const report::JsonValue* buckets = h->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  // Two non-empty buckets: [0 lower 0] x1 and [4,8) x2.
+  ASSERT_EQ(buckets->items().size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets->items()[0].items()[0].as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(buckets->items()[0].items()[1].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(buckets->items()[1].items()[0].as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(buckets->items()[1].items()[1].as_number(), 2.0);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsReferences) {
+  MetricsRegistry reg(2);
+  Counter& c = reg.counter("n");
+  c.add(9);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&reg.counter("n"), &c);
+}
+
+TEST(MetricsEnabled, FlagFlips) {
+  EXPECT_FALSE(metrics_enabled());
+  set_metrics_enabled(true);
+  EXPECT_TRUE(metrics_enabled());
+  set_metrics_enabled(false);
+  EXPECT_FALSE(metrics_enabled());
+}
+
+}  // namespace
+}  // namespace stamp::obs

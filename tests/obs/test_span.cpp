@@ -1,0 +1,195 @@
+#include "obs/span.hpp"
+
+#include "obs/export.hpp"
+#include "report/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace stamp::obs {
+namespace {
+
+TEST(TraceRecorder, DisabledRecordsNothing) {
+  TraceRecorder rec;
+  rec.begin("a", "cat");
+  rec.instant("mark", "cat");
+  rec.end();
+  EXPECT_EQ(rec.event_count(), 0u);
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST(TraceRecorder, NestedSpansCloseInnermostFirst) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.begin("outer", "t");
+  rec.begin("inner", "t");
+  rec.arg("k", 7);  // attaches to the innermost open span
+  rec.end();
+  rec.end();
+  const std::vector<TraceEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Events complete inner-first; snapshot sorts by start time, so the outer
+  // span (earlier ts) comes first.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_TRUE(events[0].args.empty());
+  ASSERT_EQ(events[1].args.size(), 1u);
+  EXPECT_EQ(events[1].args[0].first, "k");
+  EXPECT_DOUBLE_EQ(events[1].args[0].second, 7.0);
+  // The inner span starts no earlier and ends no later than the outer one.
+  EXPECT_GE(events[1].ts_us, events[0].ts_us);
+  EXPECT_LE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us);
+}
+
+TEST(TraceRecorder, ThreadsGetDistinctTids) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec] {
+      rec.begin("work", "t");
+      rec.end();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<TraceEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads));
+  std::set<int> tids;
+  for (const TraceEvent& e : events) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(rec.thread_count(), kThreads);
+}
+
+TEST(TraceRecorder, NestingIsPerThread) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.begin("main-outer", "t");
+  std::thread other([&rec] {
+    rec.begin("other", "t");
+    rec.arg("who", 2);  // must attach to "other", not "main-outer"
+    rec.end();
+  });
+  other.join();
+  rec.end();
+  const std::vector<TraceEvent> events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  for (const TraceEvent& e : events) {
+    if (e.name == "other") {
+      ASSERT_EQ(e.args.size(), 1u);
+      EXPECT_EQ(e.args[0].first, "who");
+    } else {
+      EXPECT_TRUE(e.args.empty());
+    }
+  }
+}
+
+TEST(TraceRecorder, InstantsAndClear) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.instant("tick", "clock");
+  ASSERT_EQ(rec.event_count(), 1u);
+  const std::vector<TraceEvent> events = rec.snapshot();
+  EXPECT_EQ(events[0].phase, 'i');
+  EXPECT_DOUBLE_EQ(events[0].dur_us, 0.0);
+  rec.clear();
+  EXPECT_EQ(rec.event_count(), 0u);
+  // The recorder still records after clear.
+  rec.begin("again", "t");
+  rec.end();
+  EXPECT_EQ(rec.event_count(), 1u);
+}
+
+TEST(TraceRecorder, HalfOpenSpanAcrossDisableNeverCompletes) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.begin("open", "t");
+  rec.set_enabled(false);
+  rec.end();  // no-op while disabled
+  EXPECT_EQ(rec.event_count(), 0u);
+}
+
+TEST(ScopedSpan, InactiveWhenTracingDisabled) {
+  ASSERT_FALSE(tracing_enabled());
+  {
+    ScopedSpan span = ScopedSpan::if_enabled("noop", "t");
+    EXPECT_FALSE(span.active());
+    span.arg("k", 1);  // must be a no-op, not a crash
+  }
+  EXPECT_EQ(TraceRecorder::global().event_count(), 0u);
+}
+
+TEST(ScopedSpan, RecordsOnGlobalWhenEnabled) {
+  set_tracing_enabled(true);
+  TraceRecorder::global().clear();
+  {
+    ScopedSpan span = ScopedSpan::if_enabled("scoped", "t");
+    EXPECT_TRUE(span.active());
+    span.arg("n", 3);
+  }
+  const std::vector<TraceEvent> events = TraceRecorder::global().snapshot();
+  set_tracing_enabled(false);
+  TraceRecorder::global().clear();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "scoped");
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].args[0].second, 3.0);
+}
+
+TEST(ChromeExport, RoundTripsThroughJsonParser) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.begin("outer", "sweep");
+  rec.arg("points", 16);
+  rec.begin("inner", "cache");
+  rec.end();
+  rec.end();
+  rec.instant("marker", "sim");
+
+  const std::string json = chrome_trace_json(rec.snapshot());
+  const report::JsonValue doc = report::JsonValue::parse(json);
+  const report::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items().size(), 3u);
+  std::set<std::string> categories;
+  for (const report::JsonValue& e : events->items()) {
+    categories.insert(e.find("cat")->as_string());
+    EXPECT_DOUBLE_EQ(e.find("pid")->as_number(), 1.0);
+    EXPECT_GE(e.find("ts")->as_number(), 0.0);
+  }
+  EXPECT_EQ(categories, (std::set<std::string>{"sweep", "cache", "sim"}));
+
+  // The validator accepts its own exporter's output and counts correctly.
+  const TraceSummary summary = summarize_chrome_trace(json);
+  EXPECT_EQ(summary.events, 3u);
+  EXPECT_EQ(summary.complete_spans, 2u);
+  EXPECT_EQ(summary.instants, 1u);
+}
+
+TEST(ChromeExport, ValidatorRejectsStructuralProblems) {
+  EXPECT_THROW(summarize_chrome_trace(std::string("{}")), std::runtime_error);
+  EXPECT_THROW(summarize_chrome_trace(std::string("{\"traceEvents\": 3}")),
+               std::runtime_error);
+  EXPECT_THROW(
+      summarize_chrome_trace(std::string(
+          R"({"traceEvents":[{"name":"a","cat":"c","ph":"X","ts":-1,"dur":0,"pid":1,"tid":1}]})")),
+      std::runtime_error);
+  EXPECT_THROW(
+      summarize_chrome_trace(std::string(
+          R"({"traceEvents":[{"name":"a","cat":"c","ph":"Q","ts":0,"dur":0,"pid":1,"tid":1}]})")),
+      std::runtime_error);
+  // A minimal valid trace passes.
+  const TraceSummary s = summarize_chrome_trace(std::string(
+      R"({"traceEvents":[{"name":"a","cat":"c","ph":"X","ts":0,"dur":2,"pid":1,"tid":1}]})"));
+  EXPECT_EQ(s.events, 1u);
+  EXPECT_DOUBLE_EQ(s.total_span_us, 2.0);
+}
+
+}  // namespace
+}  // namespace stamp::obs

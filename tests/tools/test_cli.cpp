@@ -1,0 +1,149 @@
+#include "tools/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace stamp::tools {
+namespace {
+
+/// argv helper: gtest owns the strings, the parser sees char**.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : args_(std::move(args)) {
+    ptrs_.push_back(const_cast<char*>("prog"));
+    for (std::string& a : args_) ptrs_.push_back(a.data());
+  }
+  [[nodiscard]] int argc() const { return static_cast<int>(ptrs_.size()); }
+  [[nodiscard]] char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> args_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(Cli, ParsesFlagsOptionsAndPositionals) {
+  std::string grid;
+  int threads = 0;
+  bool stats = false;
+  std::string input;
+  Cli cli("prog", "test");
+  cli.option_string("grid", &grid, "NAME", "grid")
+      .option_int("threads", &threads, "N", "threads")
+      .flag("stats", &stats, "stats")
+      .positional("input", &input, "input file");
+
+  Argv argv({"--grid", "tiny", "in.json", "--threads", "8", "--stats"});
+  EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Ok);
+  EXPECT_EQ(grid, "tiny");
+  EXPECT_EQ(threads, 8);
+  EXPECT_TRUE(stats);
+  EXPECT_EQ(input, "in.json");
+}
+
+TEST(Cli, DefaultsSurviveWhenOptionsAbsent) {
+  std::string grid = "canonical";
+  int threads = 4;
+  Cli cli("prog", "test");
+  cli.option_string("grid", &grid, "NAME", "grid")
+      .option_int("threads", &threads, "N", "threads");
+  Argv argv({});
+  EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Ok);
+  EXPECT_EQ(grid, "canonical");
+  EXPECT_EQ(threads, 4);
+}
+
+TEST(Cli, RepeatableOptionAccumulates) {
+  std::vector<std::string> tols;
+  Cli cli("prog", "test");
+  cli.option_list("tol", &tols, "SPEC", "tolerance");
+  Argv argv({"--tol", "D=0.1", "--tol", "EDP=0.2"});
+  EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Ok);
+  EXPECT_EQ(tols, (std::vector<std::string>{"D=0.1", "EDP=0.2"}));
+}
+
+TEST(Cli, ErrorsOnUnknownOptionMissingValueAndBadInt) {
+  {
+    Cli cli("prog", "test");
+    Argv argv({"--bogus"});
+    EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Error);
+  }
+  {
+    int threads = 0;
+    Cli cli("prog", "test");
+    cli.option_int("threads", &threads, "N", "threads");
+    Argv argv({"--threads"});
+    EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Error);
+  }
+  {
+    int threads = 0;
+    Cli cli("prog", "test");
+    cli.option_int("threads", &threads, "N", "threads");
+    Argv argv({"--threads", "lots"});
+    EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Error);
+  }
+  {
+    int threads = 0;
+    Cli cli("prog", "test");
+    cli.option_int("threads", &threads, "N", "threads");
+    Argv argv({"--threads", "-3"});
+    EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Error);
+  }
+}
+
+TEST(Cli, ErrorsOnMissingAndExtraPositionals) {
+  {
+    std::string a;
+    Cli cli("prog", "test");
+    cli.positional("a", &a, "first");
+    Argv argv({});
+    EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Error);
+  }
+  {
+    std::string a;
+    Cli cli("prog", "test");
+    cli.positional("a", &a, "first");
+    Argv argv({"one", "two"});
+    EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Error);
+  }
+}
+
+TEST(Cli, HelpShortCircuitsAndListsEveryOption) {
+  std::string grid;
+  bool stats = false;
+  std::string input;
+  Cli cli("prog", "does things");
+  cli.option_string("grid", &grid, "NAME", "the grid preset")
+      .flag("stats", &stats, "print stats")
+      .positional("input", &input, "input file");
+
+  Argv argv({"--help"});
+  testing::internal::CaptureStdout();
+  const Cli::Parse result = cli.parse(argv.argc(), argv.argv());
+  const std::string help = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(result, Cli::Parse::Help);
+  EXPECT_NE(help.find("usage: prog"), std::string::npos);
+  EXPECT_NE(help.find("does things"), std::string::npos);
+  EXPECT_NE(help.find("--grid NAME"), std::string::npos);
+  EXPECT_NE(help.find("the grid preset"), std::string::npos);
+  EXPECT_NE(help.find("--stats"), std::string::npos);
+  EXPECT_NE(help.find("<input>"), std::string::npos);
+  EXPECT_NE(help.find("--help"), std::string::npos);
+}
+
+TEST(Cli, GeneratedUsageNamesPositionalsInOrder) {
+  std::string a;
+  std::string b;
+  Cli cli("gate", "compare");
+  cli.positional("baseline.json", &a, "baseline")
+      .positional("fresh.json", &b, "fresh");
+  std::ostringstream ss;
+  cli.print_usage(ss);
+  EXPECT_EQ(ss.str(), "usage: gate <baseline.json> <fresh.json>\n");
+}
+
+}  // namespace
+}  // namespace stamp::tools

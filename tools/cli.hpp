@@ -1,0 +1,210 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Shared argv parsing for the STAMP CLIs.
+///
+/// Every tool used to hand-roll the same loop: walk argv, match `--name`,
+/// fetch the value, fall through to a hand-formatted usage() on any mistake.
+/// This header replaces that with a declarative option table; `--help`/-h and
+/// the usage/help text are generated from the table, so the help can never
+/// drift from what the parser actually accepts.
+///
+///   stamp::tools::Cli cli("stamp_sweep", "evaluate a parameter grid");
+///   cli.option_string("grid", &grid, "canonical|tiny", "grid preset")
+///      .option_int("threads", &threads, "N", "pool width; 0 = hardware")
+///      .flag("stats", &stats, "print statistics to stderr");
+///   switch (cli.parse(argc, argv)) {
+///     case Cli::Parse::Help: return 0;
+///     case Cli::Parse::Error: return 2;
+///     case Cli::Parse::Ok: break;
+///   }
+///
+/// Header-only on purpose: the tools are single-file executables and this
+/// keeps them that way.
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace stamp::tools {
+
+class Cli {
+ public:
+  enum class Parse { Ok, Help, Error };
+
+  Cli(std::string program, std::string summary)
+      : program_(std::move(program)), summary_(std::move(summary)) {}
+
+  /// `--name` with no value; sets `*target` to true when present.
+  Cli& flag(std::string name, bool* target, std::string help) {
+    options_.push_back({std::move(name), "", std::move(help), Kind::Flag,
+                        target, nullptr, nullptr, nullptr});
+    return *this;
+  }
+
+  /// `--name VALUE`, stored as a string.
+  Cli& option_string(std::string name, std::string* target,
+                     std::string value_name, std::string help) {
+    options_.push_back({std::move(name), std::move(value_name), std::move(help),
+                        Kind::String, nullptr, target, nullptr, nullptr});
+    return *this;
+  }
+
+  /// `--name N`, parsed as a non-negative integer.
+  Cli& option_int(std::string name, int* target, std::string value_name,
+                  std::string help) {
+    options_.push_back({std::move(name), std::move(value_name), std::move(help),
+                        Kind::Int, nullptr, nullptr, target, nullptr});
+    return *this;
+  }
+
+  /// Repeatable `--name VALUE`; every occurrence appends to `*target`.
+  Cli& option_list(std::string name, std::vector<std::string>* target,
+                   std::string value_name, std::string help) {
+    options_.push_back({std::move(name), std::move(value_name), std::move(help),
+                        Kind::List, nullptr, nullptr, nullptr, target});
+    return *this;
+  }
+
+  /// Required positional argument, consumed in declaration order.
+  Cli& positional(std::string name, std::string* target, std::string help) {
+    positionals_.push_back({std::move(name), std::move(help), target});
+    return *this;
+  }
+
+  /// Parse argv. Prints help to stdout on `--help`/`-h`; prints the problem
+  /// plus a usage line to stderr on error.
+  [[nodiscard]] Parse parse(int argc, char** argv) {
+    std::size_t next_positional = 0;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        print_help(std::cout);
+        return Parse::Help;
+      }
+      if (arg.rfind("--", 0) == 0) {
+        Option* opt = find(arg.substr(2));
+        if (opt == nullptr) return error("unknown option '" + arg + "'");
+        if (opt->kind == Kind::Flag) {
+          *opt->flag_target = true;
+          continue;
+        }
+        if (i + 1 >= argc)
+          return error("option '" + arg + "' expects a value");
+        const std::string value = argv[++i];
+        switch (opt->kind) {
+          case Kind::String:
+            *opt->string_target = value;
+            break;
+          case Kind::Int: {
+            const std::optional<int> n = parse_int(value);
+            if (!n)
+              return error("option '" + arg + "' expects a non-negative " +
+                           "integer, got '" + value + "'");
+            *opt->int_target = *n;
+            break;
+          }
+          case Kind::List:
+            opt->list_target->push_back(value);
+            break;
+          case Kind::Flag:
+            break;  // handled above
+        }
+        continue;
+      }
+      if (next_positional >= positionals_.size())
+        return error("unexpected argument '" + arg + "'");
+      *positionals_[next_positional++].target = arg;
+    }
+    if (next_positional < positionals_.size())
+      return error("missing required argument <" +
+                   positionals_[next_positional].name + ">");
+    return Parse::Ok;
+  }
+
+  void print_usage(std::ostream& os) const {
+    os << "usage: " << program_;
+    if (!options_.empty()) os << " [options]";
+    for (const Positional& p : positionals_) os << " <" << p.name << ">";
+    os << "\n";
+  }
+
+  void print_help(std::ostream& os) const {
+    print_usage(os);
+    os << "\n" << summary_ << "\n";
+    if (!positionals_.empty()) {
+      os << "\narguments:\n";
+      for (const Positional& p : positionals_)
+        print_row(os, "<" + p.name + ">", p.help);
+    }
+    os << "\noptions:\n";
+    for (const Option& o : options_) {
+      std::string left = "--" + o.name;
+      if (o.kind != Kind::Flag) left += " " + o.value_name;
+      print_row(os, left, o.help + (o.kind == Kind::List ? " (repeatable)" : ""));
+    }
+    print_row(os, "--help, -h", "show this help and exit");
+  }
+
+ private:
+  enum class Kind { Flag, String, Int, List };
+
+  struct Option {
+    std::string name;
+    std::string value_name;
+    std::string help;
+    Kind kind;
+    bool* flag_target;
+    std::string* string_target;
+    int* int_target;
+    std::vector<std::string>* list_target;
+  };
+
+  struct Positional {
+    std::string name;
+    std::string help;
+    std::string* target;
+  };
+
+  Option* find(const std::string& name) {
+    for (Option& o : options_)
+      if (o.name == name) return &o;
+    return nullptr;
+  }
+
+  static std::optional<int> parse_int(const std::string& s) {
+    if (s.empty()) return std::nullopt;
+    char* end = nullptr;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size() || v < 0 || v > 1'000'000'000)
+      return std::nullopt;
+    return static_cast<int>(v);
+  }
+
+  Parse error(const std::string& message) const {
+    std::cerr << program_ << ": " << message << "\n";
+    print_usage(std::cerr);
+    std::cerr << "run '" << program_ << " --help' for details\n";
+    return Parse::Error;
+  }
+
+  static void print_row(std::ostream& os, const std::string& left,
+                        const std::string& right) {
+    constexpr std::size_t kColumn = 26;
+    os << "  " << left;
+    if (left.size() + 2 < kColumn)
+      os << std::string(kColumn - left.size() - 2, ' ');
+    else
+      os << "\n" << std::string(kColumn, ' ');
+    os << right << "\n";
+  }
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Option> options_;
+  std::vector<Positional> positionals_;
+};
+
+}  // namespace stamp::tools

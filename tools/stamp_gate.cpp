@@ -5,26 +5,20 @@
 /// Exit codes: 0 = within tolerance, 1 = drift or structural mismatch,
 /// 2 = usage / IO / parse error. CI treats anything non-zero as a red PR.
 ///
-/// Usage:
-///   stamp_gate <baseline.json> <fresh.json> [--tol METRIC=REL ...]
-///   (METRIC is one of D, PDP, EDP, ED2P, models)
+/// Usage: see `stamp_gate --help` (generated from the option table).
 
+#include "cli.hpp"
 #include "sweep/gate.hpp"
 
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
-int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " <baseline.json> <fresh.json> [--tol METRIC=REL ...]\n"
-               "  METRIC: D | PDP | EDP | ED2P | models\n"
-               "  exit 0 = within tolerance, 1 = drift, 2 = usage/IO error\n";
-  return 2;
-}
+using stamp::tools::Cli;
 
 bool read_file(const std::string& path, std::string& out) {
   std::ifstream is(path, std::ios::binary);
@@ -67,22 +61,30 @@ bool apply_tolerance(stamp::sweep::GateTolerances& tol,
 int main(int argc, char** argv) {
   std::string baseline_path;
   std::string fresh_path;
-  stamp::sweep::GateTolerances tol;
+  std::vector<std::string> tolerance_specs;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--tol") {
-      if (i + 1 >= argc || !apply_tolerance(tol, argv[++i]))
-        return usage(argv[0]);
-    } else if (baseline_path.empty()) {
-      baseline_path = arg;
-    } else if (fresh_path.empty()) {
-      fresh_path = arg;
-    } else {
-      return usage(argv[0]);
+  Cli cli("stamp_gate",
+          "Compare a fresh stamp-sweep/v1 artifact against a baseline. "
+          "Exit 0 = within tolerance, 1 = drift, 2 = usage/IO error.");
+  cli.positional("baseline.json", &baseline_path, "checked-in baseline artifact")
+      .positional("fresh.json", &fresh_path, "freshly produced artifact")
+      .option_list("tol", &tolerance_specs, "METRIC=REL",
+                   "relative tolerance override; METRIC is one of "
+                   "D, PDP, EDP, ED2P, models");
+  switch (cli.parse(argc, argv)) {
+    case Cli::Parse::Help: return 0;
+    case Cli::Parse::Error: return 2;
+    case Cli::Parse::Ok: break;
+  }
+
+  stamp::sweep::GateTolerances tol;
+  for (const std::string& spec : tolerance_specs) {
+    if (!apply_tolerance(tol, spec)) {
+      std::cerr << "stamp_gate: bad --tol '" << spec
+                << "' (expected METRIC=REL, METRIC in D|PDP|EDP|ED2P|models)\n";
+      return 2;
     }
   }
-  if (baseline_path.empty() || fresh_path.empty()) return usage(argv[0]);
 
   std::string baseline_text;
   std::string fresh_text;

@@ -5,29 +5,163 @@
 /// This is what CI (and scripts/run_all.sh) runs to produce the artifact the
 /// regression gate compares against `sweeps/baseline.json`. The output is
 /// byte-identical for any --threads value, so refreshing the baseline on a
-/// different machine or core count is safe.
+/// different machine or core count is safe. Tracing (`--trace`) records the
+/// sweep through the observability layer and additionally replays the best
+/// feasible point's winning configuration on the machine simulator, so one
+/// trace shows all three hot layers (sweep/pool/cache and the simulator);
+/// the artifact itself is unaffected.
 ///
-/// Usage:
-///   stamp_sweep [--grid canonical|tiny] [--threads N] [--out FILE] [--stats]
+/// Usage: see `stamp_sweep --help` (generated from the option table).
 
-#include "sweep/sweep.hpp"
+#include "api/stamp.hpp"
+#include "cli.hpp"
 
-#include <cstring>
+#include <cmath>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace {
 
-int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--grid canonical|tiny] [--threads N] [--out FILE] [--stats]\n"
-               "  --grid     grid preset to evaluate (default: canonical)\n"
-               "  --threads  pool width; 0 = hardware concurrency (default)\n"
-               "  --out      output file (default: stdout)\n"
-               "  --stats    print cache/steal statistics to stderr\n";
-  return 2;
+using stamp::tools::Cli;
+
+/// Index of the record to replay under --trace: best objective value among
+/// feasible points (any point if none are feasible).
+std::size_t pick_winner(const stamp::sweep::SweepResult& result,
+                        stamp::Objective objective) {
+  std::size_t best = 0;
+  bool have = false;
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    const stamp::sweep::SweepRecord& rec = result.records[i];
+    const stamp::sweep::SweepRecord& cur = result.records[best];
+    const bool better_feasibility = rec.feasible && !cur.feasible;
+    const bool same_feasibility = rec.feasible == cur.feasible;
+    const double v = stamp::metric_value(rec.metrics, objective);
+    const double b = stamp::metric_value(cur.metrics, objective);
+    if (!have || better_feasibility || (same_feasibility && v < b)) {
+      best = i;
+      have = true;
+    }
+  }
+  return best;
+}
+
+/// Replay the winning point's configuration on the explicit-resource machine
+/// simulator so the trace contains simulator spans alongside the sweep's own.
+void replay_winner(const stamp::sweep::SweepConfig& cfg,
+                   const stamp::sweep::SweepResult& result) {
+  if (result.records.empty()) return;
+  const std::size_t w = pick_winner(result, cfg.objective);
+  const stamp::sweep::SweepRecord& rec = result.records[w];
+  const stamp::sweep::PointSetup setup = stamp::sweep::setup_point(cfg, rec.params);
+  const int n = std::max(1, rec.processes);
+
+  const stamp::runtime::PlacementMap placement =
+      stamp::runtime::PlacementMap::for_distribution(
+          setup.machine.topology, n, stamp::Distribution::IntraProc);
+  const stamp::ProcessProfile per_process =
+      stamp::sweep::strong_scaled(setup.profile, n);
+
+  const int units = std::max(1, static_cast<int>(std::lround(per_process.units)));
+  const auto un = static_cast<std::size_t>(n);
+
+  std::vector<stamp::CostCounters> rounds(un);
+  std::vector<long long> sends_intra(un, 0);
+  std::vector<long long> sends_inter(un, 0);
+  for (int p = 0; p < n; ++p) {
+    const stamp::ProcessCounts pc = placement.process_counts_for(p);
+    const int peers = pc.intra + pc.inter;
+    const double intra_fraction =
+        peers > 0 ? static_cast<double>(pc.intra) / peers : 0.0;
+    rounds[static_cast<std::size_t>(p)] = per_process.split(intra_fraction);
+    sends_intra[static_cast<std::size_t>(p)] =
+        std::llround(rounds[static_cast<std::size_t>(p)].m_s_a);
+    sends_inter[static_cast<std::size_t>(p)] =
+        std::llround(rounds[static_cast<std::size_t>(p)].m_s_e);
+  }
+
+  // The simulator routes each sent message round-robin over the sender's
+  // eligible peers (falling back to self), so per-receiver delivery counts
+  // need not equal the profile's m_r. Emulate that routing — it depends only
+  // on each sender's own cursor, so it is schedule-independent — and issue
+  // exactly the delivered count as each round's receive, or the replay
+  // deadlocks on a receive that can never be satisfied.
+  std::vector<std::size_t> intra_cursor(un, 0);
+  std::vector<std::size_t> inter_cursor(un, 0);
+  auto pick_peer = [&](int from, bool intra) -> int {
+    std::size_t& cursor = intra ? intra_cursor[static_cast<std::size_t>(from)]
+                                : inter_cursor[static_cast<std::size_t>(from)];
+    for (int tries = 0; tries < n; ++tries) {
+      const int candidate = static_cast<int>((cursor + tries) % un);
+      if (candidate == from) continue;
+      if (placement.same_processor(from, candidate) == intra) {
+        cursor = static_cast<std::size_t>(candidate) + 1;
+        return candidate;
+      }
+    }
+    return -1;
+  };
+  std::vector<std::vector<long long>> delivered(
+      static_cast<std::size_t>(units), std::vector<long long>(un, 0));
+  for (int u = 0; u < units; ++u) {
+    for (int p = 0; p < n; ++p) {
+      for (long long m = 0; m < sends_intra[static_cast<std::size_t>(p)]; ++m) {
+        const int peer = pick_peer(p, true);
+        ++delivered[static_cast<std::size_t>(u)]
+                   [static_cast<std::size_t>(peer >= 0 ? peer : p)];
+      }
+      for (long long m = 0; m < sends_inter[static_cast<std::size_t>(p)]; ++m) {
+        const int peer = pick_peer(p, false);
+        ++delivered[static_cast<std::size_t>(u)]
+                   [static_cast<std::size_t>(peer >= 0 ? peer : p)];
+      }
+    }
+  }
+
+  std::vector<stamp::machine::ProcessTrace> traces;
+  traces.reserve(un);
+  using Op = stamp::machine::TraceOp;
+  for (int p = 0; p < n; ++p) {
+    const stamp::CostCounters& round = rounds[static_cast<std::size_t>(p)];
+    stamp::machine::ProcessTrace trace;
+    auto push = [&](Op::Kind kind, double amount, bool intra, double fp = 0) {
+      if (amount > 0) trace.push_back({kind, amount, intra, fp});
+    };
+    for (int u = 0; u < units; ++u) {
+      // Not trace_of_round's canonical receive-first order: with every
+      // process running the identical round, nobody would have sent yet.
+      // Sends go ahead of receives; the barrier keeps units aligned.
+      push(Op::Kind::Compute, round.local_ops(), false, round.c_fp);
+      push(Op::Kind::ShmRead, round.d_r_a, true);
+      push(Op::Kind::ShmRead, round.d_r_e, false);
+      push(Op::Kind::ShmWrite, round.d_w_a, true);
+      push(Op::Kind::ShmWrite, round.d_w_e, false);
+      push(Op::Kind::MsgSend, round.m_s_a, true);
+      push(Op::Kind::MsgSend, round.m_s_e, false);
+      push(Op::Kind::MsgRecv,
+           static_cast<double>(delivered[static_cast<std::size_t>(u)]
+                                        [static_cast<std::size_t>(p)]),
+           false);
+      trace.push_back({Op::Kind::Barrier, 0, false, 0});
+    }
+    traces.push_back(std::move(trace));
+  }
+
+  const stamp::Evaluator eval({.machine = setup.machine});
+  const stamp::machine::SimResult sim = eval.simulate(traces, placement);
+  std::cerr << "trace: replayed winning point " << rec.index << " ("
+            << n << " processes) on the simulator: makespan " << sim.makespan
+            << ", energy " << sim.energy << "\n";
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os << text;
+  return static_cast<bool>(os);
 }
 
 }  // namespace
@@ -35,32 +169,29 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string grid = "canonical";
   std::string out_path;
+  std::string trace_path;
+  std::string metrics_path;
   int threads = 0;
   bool stats = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--grid") {
-      const char* v = next();
-      if (!v) return usage(argv[0]);
-      grid = v;
-    } else if (arg == "--threads") {
-      const char* v = next();
-      if (!v) return usage(argv[0]);
-      threads = std::atoi(v);
-      if (threads < 0) return usage(argv[0]);
-    } else if (arg == "--out") {
-      const char* v = next();
-      if (!v) return usage(argv[0]);
-      out_path = v;
-    } else if (arg == "--stats") {
-      stats = true;
-    } else {
-      return usage(argv[0]);
-    }
+  Cli cli("stamp_sweep",
+          "Evaluate a STAMP parameter grid and emit the deterministic "
+          "stamp-sweep/v1 JSON artifact.");
+  cli.option_string("grid", &grid, "canonical|tiny",
+                    "grid preset to evaluate (default: canonical)")
+      .option_int("threads", &threads, "N",
+                  "pool width; 0 = hardware concurrency (default)")
+      .option_string("out", &out_path, "FILE", "output file (default: stdout)")
+      .option_string("trace", &trace_path, "FILE",
+                     "record a Chrome trace of the sweep (plus a simulator "
+                     "replay of the winning point) to FILE")
+      .option_string("metrics", &metrics_path, "FILE",
+                     "record the metrics registry as JSON to FILE")
+      .flag("stats", &stats, "print cache/steal statistics to stderr");
+  switch (cli.parse(argc, argv)) {
+    case Cli::Parse::Help: return 0;
+    case Cli::Parse::Error: return 2;
+    case Cli::Parse::Ok: break;
   }
 
   stamp::sweep::SweepConfig cfg;
@@ -69,8 +200,8 @@ int main(int argc, char** argv) {
   } else if (grid == "tiny") {
     cfg = stamp::sweep::SweepConfig::tiny();
   } else {
-    std::cerr << "unknown grid preset '" << grid << "'\n";
-    return usage(argv[0]);
+    std::cerr << "stamp_sweep: unknown grid preset '" << grid << "'\n";
+    return 2;
   }
 
   if (threads == 0) {
@@ -79,18 +210,37 @@ int main(int argc, char** argv) {
   }
 
   try {
-    stamp::sweep::Pool pool(threads);
-    const stamp::sweep::SweepResult result = stamp::sweep::run_sweep(cfg, pool);
+    stamp::Evaluator::set_tracing(!trace_path.empty());
+    stamp::Evaluator::set_metrics(!metrics_path.empty());
+
+    const stamp::Evaluator eval({.machine = cfg.base, .objective = cfg.objective});
+    const stamp::sweep::SweepResult result = eval.sweep(cfg, threads);
 
     if (out_path.empty() || out_path == "-") {
       stamp::sweep::write_json(result, std::cout);
     } else {
       std::ofstream os(out_path, std::ios::binary);
       if (!os) {
-        std::cerr << "cannot open '" << out_path << "' for writing\n";
+        std::cerr << "stamp_sweep: cannot open '" << out_path << "' for writing\n";
         return 2;
       }
       stamp::sweep::write_json(result, os);
+    }
+
+    if (!trace_path.empty()) {
+      replay_winner(cfg, result);
+      if (!write_text(trace_path, stamp::Evaluator::trace_json())) {
+        std::cerr << "stamp_sweep: cannot write trace '" << trace_path << "'\n";
+        return 2;
+      }
+    }
+    if (!metrics_path.empty()) {
+      std::ostringstream ss;
+      stamp::Evaluator::write_metrics(ss);
+      if (!write_text(metrics_path, ss.str())) {
+        std::cerr << "stamp_sweep: cannot write metrics '" << metrics_path << "'\n";
+        return 2;
+      }
     }
 
     if (stats) {

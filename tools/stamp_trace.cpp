@@ -1,0 +1,102 @@
+/// \file stamp_trace.cpp
+/// \brief CLI trace inspector: validate and summarize Chrome trace_event JSON
+///        produced by the observability layer (`stamp_sweep --trace`,
+///        `stamp::Evaluator::write_trace`).
+///
+/// Exit codes: 0 = trace is well-formed, 1 = malformed trace, 2 = usage / IO
+/// error. CI runs `stamp_trace --validate` over the artifact it uploads, so a
+/// broken exporter turns the PR red instead of shipping an unloadable trace.
+///
+/// Usage: see `stamp_trace --help` (generated from the option table).
+
+#include "cli.hpp"
+#include "obs/export.hpp"
+#include "report/json_parse.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using stamp::tools::Cli;
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+void print_summary(const stamp::obs::TraceSummary& s, std::ostream& os) {
+  os << "events:          " << s.events << "\n"
+     << "complete spans:  " << s.complete_spans << "\n"
+     << "instants:        " << s.instants << "\n"
+     << "total span time: " << s.total_span_us << " us\n";
+  os << "by category:\n";
+  for (const auto& [category, count] : s.events_by_category)
+    os << "  " << category << ": " << count << "\n";
+}
+
+void print_top(const stamp::obs::TraceSummary& s, std::size_t top,
+               std::ostream& os) {
+  std::vector<std::pair<std::string, std::size_t>> names(
+      s.events_by_name.begin(), s.events_by_name.end());
+  std::sort(names.begin(), names.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (names.size() > top) names.resize(top);
+  os << "top events by count:\n";
+  for (const auto& [name, count] : names)
+    os << "  " << count << "  " << name << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  bool validate = false;
+  bool summary = false;
+  int top = 0;
+
+  Cli cli("stamp_trace",
+          "Validate and summarize a Chrome trace_event JSON file produced by "
+          "the STAMP observability layer.");
+  cli.positional("trace.json", &trace_path, "trace file to inspect")
+      .flag("validate", &validate,
+            "check well-formedness only; exit 0/1, no output on success")
+      .flag("summary", &summary, "print event counts and span totals")
+      .option_int("top", &top, "N", "print the N most frequent event names");
+  switch (cli.parse(argc, argv)) {
+    case Cli::Parse::Help: return 0;
+    case Cli::Parse::Error: return 2;
+    case Cli::Parse::Ok: break;
+  }
+  if (!validate && !summary && top == 0) summary = true;
+
+  std::string text;
+  if (!read_file(trace_path, text)) {
+    std::cerr << "stamp_trace: cannot read '" << trace_path << "'\n";
+    return 2;
+  }
+
+  stamp::obs::TraceSummary s;
+  try {
+    s = stamp::obs::summarize_chrome_trace(text);
+  } catch (const std::exception& e) {
+    std::cerr << "stamp_trace: malformed trace: " << e.what() << "\n";
+    return 1;
+  }
+
+  if (summary) print_summary(s, std::cout);
+  if (top > 0) print_top(s, static_cast<std::size_t>(top), std::cout);
+  if (validate && !summary && top == 0)
+    std::cerr << "stamp_trace: ok (" << s.events << " events)\n";
+  return 0;
+}
