@@ -59,6 +59,15 @@ std::pair<RunOutcome, Evaluation> Evaluator::run_and_evaluate(
   return {std::move(outcome), std::move(ev)};
 }
 
+runtime::SupervisedResult Evaluator::run_supervised(
+    int processes, Distribution distribution, const runtime::ProcessBody& body,
+    int max_failovers) const {
+  const runtime::PlacementMap placement =
+      runtime::PlacementMap::for_distribution(options_.machine.topology,
+                                              processes, distribution);
+  return runtime::run_supervised(placement, body, max_failovers);
+}
+
 PlacementResult Evaluator::best_placement(
     std::span<const ProcessProfile> profiles) const {
   return place_best(profiles, options_.machine, options_.objective);

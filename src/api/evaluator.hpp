@@ -18,6 +18,7 @@
 /// `STAMP_DEPRECATED` notes (see `core/compat.hpp`).
 
 #include "core/core.hpp"
+#include "fault/fault.hpp"
 #include "machine/simulator.hpp"
 #include "machine/trace.hpp"
 #include "obs/obs.hpp"
@@ -89,6 +90,32 @@ class Evaluator {
   [[nodiscard]] std::pair<RunOutcome, Evaluation> run_and_evaluate(
       int processes, Distribution distribution,
       const runtime::ProcessBody& body) const;
+
+  /// Like `run`, but supervised: an injected fail-stop retires the hosting
+  /// processor and the whole program re-runs on the surviving placement
+  /// (fill-first over the remaining processors, same process count).
+  [[nodiscard]] runtime::SupervisedResult run_supervised(
+      int processes, Distribution distribution,
+      const runtime::ProcessBody& body, int max_failovers = 1) const;
+
+  // -- fault injection -------------------------------------------------------
+
+  /// Arm `plan` on the process-wide fault injector (shared by all Evaluators,
+  /// like the obs recorders: the hook sites it drives are process-wide). With
+  /// no plan armed every hook site costs one relaxed atomic load. Same seed
+  /// => same fault schedule at any thread count.
+  static void with_faults(const fault::FaultPlan& plan) {
+    fault::Injector::global().arm(plan);
+  }
+  /// Stop injecting; counters stay readable until the next `with_faults`.
+  static void clear_faults() noexcept { fault::Injector::global().disarm(); }
+  [[nodiscard]] static bool faults_armed() noexcept {
+    return fault::Injector::global().armed();
+  }
+  /// The process-wide injector (for reading injection counters).
+  [[nodiscard]] static fault::Injector& injector() noexcept {
+    return fault::Injector::global();
+  }
 
   // -- decide ----------------------------------------------------------------
 

@@ -1,0 +1,14 @@
+#pragma once
+/// \file fault.hpp
+/// \brief Umbrella header for the deterministic fault-injection and
+///        resilience layer: plans, the injector, retry policies.
+///
+/// Disabled by default; arming a `FaultPlan` on `Injector::global()` (or via
+/// `stamp::Evaluator::with_faults`) flips one atomic flag. Hook sites live in
+/// the STM commit path, the mailboxes, the executor, and the machine
+/// simulator; each pays one relaxed load when injection is off.
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "fault/prng.hpp"
+#include "fault/retry.hpp"

@@ -1,0 +1,124 @@
+#include "fault/injector.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace stamp::fault {
+
+namespace detail {
+std::atomic<bool> g_injection_enabled{false};
+}  // namespace detail
+
+namespace {
+
+thread_local std::uint64_t t_actor_key = 0;
+
+/// One stream per (site, key): full-avalanche so shard selection and draws
+/// are uncorrelated across sites sharing a numeric key.
+[[nodiscard]] std::uint64_t stream_of(FaultSite site,
+                                      std::uint64_t key) noexcept {
+  return mix64(key ^ (0x517CC1B727220A95ull * (site_index(site) + 1)));
+}
+
+}  // namespace
+
+Injector::Injector() {
+  shards_.reserve(kShardCount);
+  for (std::size_t i = 0; i < kShardCount; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+void Injector::arm(const FaultPlan& plan) {
+  plan.validate();
+  plan_ = plan;
+  for (auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    shard->keys.clear();
+  }
+  for (auto& c : injected_) c.store(0, std::memory_order_relaxed);
+  for (auto& c : decisions_) c.store(0, std::memory_order_relaxed);
+  armed_ = true;
+  detail::g_injection_enabled.store(plan_.any_armed(),
+                                    std::memory_order_relaxed);
+}
+
+void Injector::disarm() noexcept {
+  armed_ = false;
+  detail::g_injection_enabled.store(false, std::memory_order_relaxed);
+}
+
+Injector::Shard& Injector::shard_for(std::uint64_t stream) noexcept {
+  return *shards_[static_cast<std::size_t>(stream % kShardCount)];
+}
+
+std::optional<Injection> Injector::decide(FaultSite site, std::uint64_t key) {
+  if (!injection_enabled()) return std::nullopt;
+  const SiteSpec& spec = plan_.spec(site);
+  if (!spec.armed()) return std::nullopt;
+  // A key filter rejects without touching the stream: the filtered key's
+  // schedule is identical whether or not other keys exist.
+  if (spec.only_key >= 0 && key != static_cast<std::uint64_t>(spec.only_key))
+    return std::nullopt;
+
+  decisions_[site_index(site)].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t stream = stream_of(site, key);
+  bool fire = false;
+  {
+    Shard& shard = shard_for(stream);
+    const std::scoped_lock lock(shard.mutex);
+    KeyState& state = shard.keys[stream];
+    const std::uint64_t n = state.decisions++;
+    fire = state.injected < spec.max_per_key &&
+           u01(counter_draw(plan_.seed, stream, n)) < spec.probability;
+    if (fire) ++state.injected;
+  }
+  if (!fire) return std::nullopt;
+
+  injected_[site_index(site)].fetch_add(1, std::memory_order_relaxed);
+  if (obs::tracing_enabled())
+    obs::TraceRecorder::global().instant(
+        std::string("fault.") + site_name(site), "fault");
+  if (obs::metrics_enabled())
+    obs::MetricsRegistry::global()
+        .counter(std::string("fault.") + site_name(site))
+        .add();
+  return Injection{spec.magnitude};
+}
+
+std::optional<Injection> Injector::decide_here(FaultSite site) {
+  return decide(site, t_actor_key);
+}
+
+std::uint64_t Injector::injected(FaultSite site) const noexcept {
+  return injected_[site_index(site)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t Injector::decisions(FaultSite site) const noexcept {
+  return decisions_[site_index(site)].load(std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Injector::injected_by_site()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    const std::uint64_t n = injected(site);
+    if (n > 0) out.emplace_back(site_name(site), n);
+  }
+  return out;
+}
+
+Injector& Injector::global() {
+  static Injector instance;
+  return instance;
+}
+
+ActorScope::ActorScope(std::uint64_t key) noexcept : previous_(t_actor_key) {
+  t_actor_key = key;
+}
+
+ActorScope::~ActorScope() { t_actor_key = previous_; }
+
+std::uint64_t current_actor() noexcept { return t_actor_key; }
+
+}  // namespace stamp::fault

@@ -1,0 +1,162 @@
+#pragma once
+/// \file injector.hpp
+/// \brief The process-wide fault injector: deterministic, seeded decisions
+///        behind one relaxed atomic branch (the same disabled-is-free pattern
+///        as `src/obs/`).
+///
+/// Instrumented subsystems ask `injection_enabled()` (one relaxed load) and,
+/// only when armed, call `Injector::global().decide(site, key)`. A decision
+/// is a pure function of (plan seed, site, key, per-(site,key) decision
+/// index): per-key counters make the schedule independent of thread
+/// interleaving as long as each actor's own decision sequence is
+/// deterministic — which it is, because an actor's decisions follow its
+/// program order. Same seed => same fault schedule at any worker count.
+///
+/// Every injection emits an `obs` instant event (when tracing is on) and a
+/// `fault.<site>` metrics counter (when metrics are on), plus always-on
+/// internal counters the chaos report reads.
+
+#include "fault/plan.hpp"
+#include "fault/prng.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace stamp::fault {
+
+/// Thrown by a fail-stop injection inside an executor process body; the
+/// supervised executor catches it and re-runs on the surviving placement.
+class ProcessFailure : public std::runtime_error {
+ public:
+  explicit ProcessFailure(int process)
+      : std::runtime_error("injected fail-stop in process " +
+                           std::to_string(process)),
+        process_(process) {}
+
+  [[nodiscard]] int process() const noexcept { return process_; }
+
+ private:
+  int process_;
+};
+
+/// Thrown by the machine simulator when a SimCoreFail decision fires for an
+/// occupied core: the replay cannot continue on the dead core. Callers
+/// re-place around the core (PlacementMap::fill_first_excluding) and replay
+/// again — the simulated twin of the supervised executor's failover.
+class CoreFailure : public std::runtime_error {
+ public:
+  explicit CoreFailure(int core)
+      : std::runtime_error("injected core failure on core " +
+                           std::to_string(core)),
+        core_(core) {}
+
+  [[nodiscard]] int core() const noexcept { return core_; }
+
+ private:
+  int core_;
+};
+
+/// What a fired decision tells the hook site.
+struct Injection {
+  double magnitude = 0;  ///< the site spec's magnitude, verbatim
+};
+
+namespace detail {
+extern std::atomic<bool> g_injection_enabled;
+}  // namespace detail
+
+/// The branch every hook site takes: one relaxed load. True iff a plan is
+/// armed on the process-wide injector.
+[[nodiscard]] inline bool injection_enabled() noexcept {
+  return detail::g_injection_enabled.load(std::memory_order_relaxed);
+}
+
+class Injector {
+ public:
+  Injector();
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Install `plan` and reset all decision state. Not thread-safe against
+  /// in-flight decisions: arm/disarm between workloads, not during them.
+  void arm(const FaultPlan& plan);
+
+  /// Stop injecting (the fast flag goes false); decision state is kept so
+  /// reports can still be read, and cleared by the next `arm`.
+  void disarm() noexcept;
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+  /// One decision for `key`'s stream at `site`. Returns the injection (with
+  /// the site's magnitude) when it fires, nullopt otherwise. Deterministic in
+  /// (seed, site, key, decision index); never fires when disarmed.
+  std::optional<Injection> decide(FaultSite site, std::uint64_t key);
+
+  /// Like `decide`, keyed by the calling thread's actor key (see ActorScope).
+  /// Hook sites with no process/task id at hand use this.
+  std::optional<Injection> decide_here(FaultSite site);
+
+  /// Always-on counters since the last `arm` (deterministic under the same
+  /// guarantee as the decisions themselves).
+  [[nodiscard]] std::uint64_t injected(FaultSite site) const noexcept;
+  [[nodiscard]] std::uint64_t decisions(FaultSite site) const noexcept;
+
+  /// (site name, injected count) for every site with a non-zero count, in
+  /// site declaration order — the chaos report's "faults" object.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  injected_by_site() const;
+
+  /// The process-wide injector all hook sites consult.
+  [[nodiscard]] static Injector& global();
+
+ private:
+  struct KeyState {
+    std::uint64_t decisions = 0;
+    std::uint64_t injected = 0;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, KeyState> keys;
+  };
+
+  static constexpr std::size_t kShardCount = 16;
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t stream) noexcept;
+
+  FaultPlan plan_{};
+  bool armed_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::array<std::atomic<std::uint64_t>, kFaultSiteCount> injected_{};
+  std::array<std::atomic<std::uint64_t>, kFaultSiteCount> decisions_{};
+};
+
+/// RAII thread-local actor key for `decide_here`. The executor scopes each
+/// process thread to its process id; the chaos harness scopes each logical
+/// task to its task id — which is what makes mailbox-level decisions
+/// deterministic at any worker count.
+class ActorScope {
+ public:
+  explicit ActorScope(std::uint64_t key) noexcept;
+  ~ActorScope();
+
+  ActorScope(const ActorScope&) = delete;
+  ActorScope& operator=(const ActorScope&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
+
+/// The calling thread's actor key (0 when no ActorScope is active).
+[[nodiscard]] std::uint64_t current_actor() noexcept;
+
+}  // namespace stamp::fault

@@ -1,0 +1,60 @@
+#include "fault/plan.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace stamp::fault {
+
+const char* site_name(FaultSite s) noexcept {
+  switch (s) {
+    case FaultSite::StmAbort: return "stm_abort";
+    case FaultSite::MsgDrop: return "msg_drop";
+    case FaultSite::MsgDelay: return "msg_delay";
+    case FaultSite::MsgDuplicate: return "msg_duplicate";
+    case FaultSite::ProcStall: return "proc_stall";
+    case FaultSite::ProcFailStop: return "proc_fail_stop";
+    case FaultSite::SimLatencySpike: return "sim_latency_spike";
+    case FaultSite::SimCoreFail: return "sim_core_fail";
+  }
+  return "unknown";
+}
+
+std::optional<FaultSite> site_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    if (name == site_name(site)) return site;
+  }
+  return std::nullopt;
+}
+
+FaultPlan& FaultPlan::with(FaultSite site, double probability, double magnitude,
+                           std::uint64_t max_per_key, std::int64_t only_key) {
+  SiteSpec& s = sites[site_index(site)];
+  s.probability = probability;
+  s.magnitude = magnitude;
+  s.max_per_key = max_per_key;
+  s.only_key = only_key;
+  return *this;
+}
+
+bool FaultPlan::any_armed() const noexcept {
+  for (const SiteSpec& s : sites)
+    if (s.armed()) return true;
+  return false;
+}
+
+void FaultPlan::validate() const {
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    const SiteSpec& s = sites[i];
+    if (s.probability < 0 || s.probability > 1)
+      throw std::invalid_argument(
+          std::string("FaultPlan: probability outside [0,1] for site ") +
+          site_name(static_cast<FaultSite>(i)));
+    if (s.magnitude < 0)
+      throw std::invalid_argument(
+          std::string("FaultPlan: negative magnitude for site ") +
+          site_name(static_cast<FaultSite>(i)));
+  }
+}
+
+}  // namespace stamp::fault

@@ -1,0 +1,55 @@
+#pragma once
+/// \file prng.hpp
+/// \brief Counter-based splittable pseudo-randomness for deterministic fault
+///        injection.
+///
+/// Every injection decision is a pure function of (seed, stream, counter):
+/// there is no sequential generator state shared between threads, so the
+/// fault schedule cannot depend on OS scheduling. A "stream" identifies one
+/// logical actor (a STAMP process id, a chaos task id, a simulated core);
+/// the counter is that actor's decision index. Two runs with the same seed
+/// visit the same (stream, counter) pairs and therefore draw the same bits —
+/// the determinism guarantee the chaos harness is built on.
+///
+/// The mixer is the SplitMix64 finalizer (Steele, Lea & Flood), chained once
+/// per input word; it passes avalanche tests and is a handful of arithmetic
+/// ops, cheap enough to sit on an armed hot path.
+
+#include <cstdint>
+
+namespace stamp::fault {
+
+/// SplitMix64 finalizer: a bijective mix with full avalanche.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// The draw for decision `counter` of `stream` under `seed`. Stateless.
+[[nodiscard]] constexpr std::uint64_t counter_draw(
+    std::uint64_t seed, std::uint64_t stream, std::uint64_t counter) noexcept {
+  return mix64(mix64(mix64(seed) ^ stream) ^ counter);
+}
+
+/// Map 64 random bits to a double in [0, 1).
+[[nodiscard]] constexpr double u01(std::uint64_t bits) noexcept {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// A tiny sequential SplitMix64 generator for places that want a plain
+/// stream of numbers (plan derivation, tests). Not used on injection paths —
+/// those are counter-based by design.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept { return mix64(state_++); }
+  constexpr double next_u01() noexcept { return u01(next()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace stamp::fault

@@ -1,0 +1,41 @@
+#include "fault/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+namespace stamp::fault {
+
+std::chrono::nanoseconds RetryPolicy::backoff_for(int attempt,
+                                                  std::uint64_t stream) const {
+  if (base_backoff.count() <= 0 || attempt < 1)
+    return std::chrono::nanoseconds{0};
+  const double base = static_cast<double>(base_backoff.count());
+  const double cap = static_cast<double>(max_backoff.count());
+  double ns = base * std::pow(multiplier, attempt - 1);
+  ns = std::min(ns, cap);
+  if (jitter > 0) {
+    const double draw = u01(counter_draw(
+        jitter_seed, stream, static_cast<std::uint64_t>(attempt)));
+    ns *= (1.0 - jitter) + jitter * draw;
+  }
+  return std::chrono::nanoseconds(static_cast<std::int64_t>(ns));
+}
+
+void RetryPolicy::validate() const {
+  if (base_backoff.count() < 0 || max_backoff.count() < 0)
+    throw std::invalid_argument("RetryPolicy: negative backoff");
+  if (multiplier < 1.0)
+    throw std::invalid_argument("RetryPolicy: multiplier must be >= 1");
+  if (jitter < 0 || jitter > 1)
+    throw std::invalid_argument("RetryPolicy: jitter outside [0,1]");
+  if (deadline.count() < 0)
+    throw std::invalid_argument("RetryPolicy: negative deadline");
+}
+
+void RetryState::backoff() const {
+  const std::chrono::nanoseconds ns = policy_.backoff_for(retries_, stream_);
+  if (ns.count() > 0) std::this_thread::sleep_for(ns);
+}
+
+}  // namespace stamp::fault

@@ -1,0 +1,135 @@
+#pragma once
+/// \file retry.hpp
+/// \brief `RetryPolicy` — bounded retries, exponential backoff with
+///        deterministic jitter, and deadline support.
+///
+/// One policy object serves every retry loop in the stack: the STM
+/// `atomically` loop consults it between attempts, mailbox timeout helpers
+/// use its deadline arithmetic, and callers can wrap arbitrary flaky
+/// operations with `retry_call`. Jitter is derived from the counter-based
+/// PRNG — (jitter_seed, stream, attempt) — so a seeded run backs off by the
+/// same amounts every time, on every machine.
+///
+/// The default-constructed policy is "retry forever, no backoff, no
+/// deadline", which is exactly the pre-existing behaviour of the STM loop —
+/// adopting the policy is a no-op until someone tightens it.
+
+#include "fault/prng.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace stamp::fault {
+
+/// Thrown when a retry loop exhausts its attempt budget.
+class RetryExhausted : public std::runtime_error {
+ public:
+  explicit RetryExhausted(int retries)
+      : std::runtime_error("retry budget exhausted after " +
+                           std::to_string(retries) + " retries"),
+        retries_(retries) {}
+
+  [[nodiscard]] int retries() const noexcept { return retries_; }
+
+ private:
+  int retries_;
+};
+
+/// Thrown when a retry loop runs past its deadline.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  DeadlineExceeded() : std::runtime_error("deadline exceeded") {}
+};
+
+struct RetryPolicy {
+  /// Retries allowed after the first attempt; negative = unbounded.
+  int max_retries = -1;
+  /// Backoff before retry k is `base_backoff * multiplier^(k-1)`, capped at
+  /// `max_backoff`, then jittered. Zero base = no sleeping (spin retry).
+  std::chrono::nanoseconds base_backoff{0};
+  double multiplier = 2.0;
+  std::chrono::nanoseconds max_backoff{std::chrono::milliseconds(10)};
+  /// Fraction of the backoff replaced by a deterministic draw in [0, 1):
+  /// sleep = backoff * (1 - jitter + jitter * u01(draw)). Zero = no jitter.
+  double jitter = 0.0;
+  std::uint64_t jitter_seed = 0;
+  /// Total wall-clock budget measured from RetryState construction; zero =
+  /// no deadline.
+  std::chrono::nanoseconds deadline{0};
+
+  [[nodiscard]] static RetryPolicy unbounded() noexcept { return {}; }
+  [[nodiscard]] static RetryPolicy bounded(int retries) noexcept {
+    RetryPolicy p;
+    p.max_retries = retries;
+    return p;
+  }
+
+  /// The (jittered) backoff before retry `attempt` (1-based) on `stream`.
+  [[nodiscard]] std::chrono::nanoseconds backoff_for(
+      int attempt, std::uint64_t stream) const;
+
+  /// Throws std::invalid_argument on nonsensical fields.
+  void validate() const;
+};
+
+/// Per-loop retry bookkeeping: counts attempts against the policy's budget
+/// and clock. Construct when the operation starts (the deadline is measured
+/// from construction).
+class RetryState {
+ public:
+  explicit RetryState(const RetryPolicy& policy, std::uint64_t stream = 0)
+      : policy_(policy),
+        stream_(stream),
+        start_(std::chrono::steady_clock::now()) {}
+
+  /// Account one failed attempt. Returns false when the retry budget or the
+  /// deadline is exhausted (the caller should stop retrying).
+  [[nodiscard]] bool allow_retry() {
+    ++retries_;
+    if (policy_.max_retries >= 0 && retries_ > policy_.max_retries)
+      return false;
+    return !deadline_passed();
+  }
+
+  /// True once the policy's deadline has passed (never with no deadline).
+  [[nodiscard]] bool deadline_passed() const {
+    if (policy_.deadline.count() <= 0) return false;
+    return std::chrono::steady_clock::now() - start_ >= policy_.deadline;
+  }
+
+  /// Sleep this retry's deterministic backoff (no-op for zero base).
+  void backoff() const;
+
+  [[nodiscard]] int retries() const noexcept { return retries_; }
+
+ private:
+  RetryPolicy policy_;
+  std::uint64_t stream_;
+  std::chrono::steady_clock::time_point start_;
+  int retries_ = 0;
+};
+
+/// Run `op` until it succeeds. `op` reports failure by returning an empty
+/// optional; the loop backs off between attempts and throws RetryExhausted /
+/// DeadlineExceeded when the policy's budget runs out.
+template <typename F>
+auto retry_call(const RetryPolicy& policy, std::uint64_t stream, F&& op)
+    -> typename std::invoke_result_t<F&>::value_type {
+  RetryState state(policy, stream);
+  for (;;) {
+    auto result = op();
+    if (result.has_value()) return *std::move(result);
+    if (!state.allow_retry()) {
+      if (state.deadline_passed()) throw DeadlineExceeded();
+      throw RetryExhausted(state.retries() - 1);
+    }
+    state.backoff();
+  }
+}
+
+}  // namespace stamp::fault

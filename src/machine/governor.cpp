@@ -85,4 +85,32 @@ GovernorResult fit_envelope(std::span<const double> nominal_core_power,
   return result;
 }
 
+DegradeResult degrade_threads(double per_thread_power, const Topology& topology,
+                              const PowerEnvelope& envelope,
+                              double min_acceptable_frequency,
+                              double max_frequency) {
+  topology.validate();
+  if (per_thread_power < 0)
+    throw std::invalid_argument("degrade_threads: negative per-thread power");
+  if (min_acceptable_frequency <= 0 ||
+      min_acceptable_frequency > max_frequency)
+    throw std::invalid_argument("degrade_threads: bad frequency floor");
+
+  const auto procs = static_cast<std::size_t>(topology.total_processors());
+  DegradeResult result;
+  for (int k = topology.threads_per_processor; k >= 1; --k) {
+    const std::vector<double> powers(procs, k * per_thread_power);
+    GovernorResult fit =
+        fit_envelope(powers, topology, envelope, max_frequency,
+                     min_acceptable_frequency);
+    result.threads_per_processor = k;
+    result.degraded = k < topology.threads_per_processor;
+    result.feasible = fit.feasible;
+    result.governor = std::move(fit);
+    if (result.feasible) return result;
+  }
+  // Even one thread per core overshoots: report the k = 1 fit, infeasible.
+  return result;
+}
+
 }  // namespace stamp::machine

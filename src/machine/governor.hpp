@@ -41,6 +41,30 @@ struct GovernorResult {
                                           double max_frequency = 1.0,
                                           double min_frequency = 0.05);
 
+/// What thread-shedding degradation settled on.
+struct DegradeResult {
+  int threads_per_processor = 0;  ///< threads per core the envelope can host
+  GovernorResult governor;        ///< the frequency fit at that thread count
+  bool degraded = false;  ///< true when threads were shed below the topology's
+  bool feasible = true;   ///< false when even one thread per core won't fit
+};
+
+/// Graceful degradation when DVFS alone cannot acceptably meet the envelope:
+/// shed hardware threads per core. Each occupied core's nominal power is
+/// `k * per_thread_power` when k of its threads run. Starting from the full
+/// `topology.threads_per_processor`, k is reduced until `fit_envelope` is
+/// feasible without any core dropping below `min_acceptable_frequency`. The
+/// default floor of 1.0 means threads are shed rather than slowed — exactly
+/// the paper's conclusion that under a `3(x+y)·w_int` per-core cap at most
+/// 3 of a core's 4 hardware threads can run. A floor below 1.0 lets DVFS
+/// absorb part of the overshoot before the next thread is shed. When even
+/// k = 1 does not fit, the result reports infeasible and carries the k = 1
+/// fit (clamped at the floor).
+[[nodiscard]] DegradeResult degrade_threads(
+    double per_thread_power, const Topology& topology,
+    const PowerEnvelope& envelope, double min_acceptable_frequency = 1.0,
+    double max_frequency = 1.0);
+
 /// Power a core dissipates at operating point `p` given its nominal demand.
 [[nodiscard]] inline double scaled_power(double nominal_power,
                                          const OperatingPoint& p) noexcept {

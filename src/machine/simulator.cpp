@@ -1,5 +1,6 @@
 #include "machine/simulator.hpp"
 
+#include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -89,6 +90,36 @@ SimResult replay(const std::vector<ProcessTrace>& traces,
     freq[static_cast<std::size_t>(i)] = op.frequency;
     e_scale[static_cast<std::size_t>(i)] = energy_scale(op);
   }
+
+  // Fault injection, simulator sites. SimCoreFail is decided once per
+  // occupied core (keyed by the global core id) before the replay starts;
+  // a fired decision kills the replay with CoreFailure so the caller can
+  // re-place around the dead core. SimLatencySpike is decided per memory/
+  // send op (keyed by the process id) and multiplies that op's service
+  // demand by the spec's magnitude — a transient slow path, not extra work,
+  // so energy is not scaled. The replay is single-threaded, so both streams
+  // are deterministic by construction.
+  if (fault::injection_enabled()) {
+    std::vector<bool> core_used(static_cast<std::size_t>(cores), false);
+    for (int i = 0; i < n; ++i) {
+      const int core = core_of[static_cast<std::size_t>(i)];
+      core_used[static_cast<std::size_t>(core)] = true;
+    }
+    for (int c = 0; c < cores; ++c) {
+      if (!core_used[static_cast<std::size_t>(c)]) continue;
+      if (fault::Injector::global().decide(fault::FaultSite::SimCoreFail,
+                                           static_cast<std::uint64_t>(c)))
+        throw fault::CoreFailure(c);
+    }
+  }
+  auto spiked = [](int process, double demand) {
+    if (!fault::injection_enabled()) return demand;
+    if (const auto spike = fault::Injector::global().decide(
+            fault::FaultSite::SimLatencySpike,
+            static_cast<std::uint64_t>(process)))
+      return demand * std::max(1.0, spike->magnitude);
+    return demand;
+  };
 
   // Per-process remaining-barrier bookkeeping for unequal barrier counts.
   std::vector<std::size_t> total_barriers(static_cast<std::size_t>(n), 0);
@@ -219,8 +250,9 @@ SimResult replay(const std::vector<ProcessTrace>& traces,
         const double ell = op.intra ? mp.ell_a : mp.ell_e;
         sim::FifoServer& port = op.intra ? l1[static_cast<std::size_t>(core)]
                                          : l2[static_cast<std::size_t>(chip)];
-        p.t = port.serve(p.t, g * op.amount) + ell;
-        core_active[static_cast<std::size_t>(core)] += g * op.amount + ell;
+        const double demand = spiked(pick, g * op.amount);
+        p.t = port.serve(p.t, demand) + ell;
+        core_active[static_cast<std::size_t>(core)] += demand + ell;
         energy += op.amount * (read ? ep.w_d_r : ep.w_d_w) * es;
         ++ops_shm;
         ++p.pc;
@@ -228,7 +260,8 @@ SimResult replay(const std::vector<ProcessTrace>& traces,
       }
       case TraceOp::Kind::MsgSend: {
         const long long k = msg_count(op.amount);
-        const double g = op.intra ? mp.g_mp_a : mp.g_mp_e;
+        // One spike decision per send op; a fired spike slows all k messages.
+        const double g = spiked(pick, op.intra ? mp.g_mp_a : mp.g_mp_e);
         const double L = op.intra ? mp.L_a : mp.L_e;
         sim::FifoServer& port = op.intra
                                     ? core_msg[static_cast<std::size_t>(core)]

@@ -10,11 +10,15 @@
 /// "blocked processes in message passing" behaviour, so this is also the
 /// building block for rendezvous-style channels (capacity 1).
 
+#include "msg/fault_hooks.hpp"
+
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 
 namespace stamp::msg {
@@ -37,13 +41,52 @@ class BoundedMailbox {
   BoundedMailbox& operator=(const BoundedMailbox&) = delete;
 
   /// Blocks while the mailbox is full; throws BoundedMailboxClosed if closed.
+  /// With fault injection armed the send may be dropped, delayed, or (when
+  /// there is spare capacity) duplicated.
   void send(T value) {
+    const detail::SendFaults faults = detail::check_send_faults();
+    if (faults.drop) return;
     std::unique_lock lock(mutex_);
     not_full_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
     if (closed_) throw BoundedMailboxClosed();
     queue_.push_back(std::move(value));
+    const bool duplicated = maybe_duplicate(faults);
     lock.unlock();
-    not_empty_.notify_one();
+    if (duplicated)
+      not_empty_.notify_all();
+    else
+      not_empty_.notify_one();
+  }
+
+  /// Like `send`, but gives up after `timeout` instead of blocking
+  /// indefinitely on a full mailbox. Returns true once enqueued; on timeout
+  /// returns false with `value` untouched, so the caller can retry or shed
+  /// the message. Throws BoundedMailboxClosed if the mailbox closes while
+  /// waiting. A dropped (injected) send reports true: the sender handed the
+  /// message off, the transit lost it.
+  template <typename Rep, typename Period>
+  [[nodiscard]] bool send_for(T& value,
+                              std::chrono::duration<Rep, Period> timeout) {
+    const detail::SendFaults faults = detail::check_send_faults();
+    if (faults.drop) {
+      T lost = std::move(value);
+      static_cast<void>(lost);
+      return true;
+    }
+    std::unique_lock lock(mutex_);
+    if (!not_full_.wait_for(lock, timeout, [&] {
+          return queue_.size() < capacity_ || closed_;
+        }))
+      return false;
+    if (closed_) throw BoundedMailboxClosed();
+    queue_.push_back(std::move(value));
+    const bool duplicated = maybe_duplicate(faults);
+    lock.unlock();
+    if (duplicated)
+      not_empty_.notify_all();
+    else
+      not_empty_.notify_one();
+    return true;
   }
 
   /// Non-blocking send; returns false when full (value untouched) and throws
@@ -71,6 +114,24 @@ class BoundedMailbox {
     return value;
   }
 
+  /// Like `receive`, but gives up after `timeout`: returns nullopt when no
+  /// message arrived in time. Throws BoundedMailboxClosed once the mailbox is
+  /// closed and drained.
+  template <typename Rep, typename Period>
+  [[nodiscard]] std::optional<T> recv_for(
+      std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [&] { return !queue_.empty() || closed_; }))
+      return std::nullopt;
+    if (queue_.empty()) throw BoundedMailboxClosed();
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
   [[nodiscard]] std::optional<T> try_receive() {
     std::optional<T> value;
     {
@@ -84,6 +145,14 @@ class BoundedMailbox {
   }
 
   /// Close: senders and blocked senders throw; receivers drain then throw.
+  ///
+  /// Shutdown-race audit: `closed_` is only written under `mutex_`, and both
+  /// wait predicates (`not_full_`'s and `not_empty_`'s) test it, so the two
+  /// notify_all calls below cannot race with a waiter re-checking a stale
+  /// predicate — a sender blocked on a full queue and a receiver blocked on
+  /// an empty one are BOTH guaranteed to wake and observe `closed_`.
+  /// (Regression-tested with two simultaneously blocked senders in
+  /// tests/msg/test_bounded_mailbox.cpp.)
   void close() {
     {
       const std::scoped_lock lock(mutex_);
@@ -104,6 +173,21 @@ class BoundedMailbox {
   }
 
  private:
+  /// Duplication is best-effort under a capacity: the copy is enqueued only
+  /// when space remains (a duplicate must never turn into a blocking send).
+  /// Caller holds `mutex_`; returns whether a second message was enqueued.
+  [[nodiscard]] bool maybe_duplicate(const detail::SendFaults& faults) {
+    if constexpr (std::is_copy_constructible_v<T>) {
+      if (faults.duplicate && queue_.size() < capacity_) {
+        queue_.push_back(queue_.back());
+        return true;
+      }
+    } else {
+      static_cast<void>(faults);
+    }
+    return false;
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_full_;

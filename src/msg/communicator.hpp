@@ -47,6 +47,10 @@ class Communicator {
   [[nodiscard]] CommMode mode() const noexcept { return mode_; }
 
   /// Point-to-point send; charged to `ctx`'s process as one message send.
+  /// Fault injection applies at the underlying mailbox (drop/delay/dup keyed
+  /// by the sending process — the executor scopes each process thread to its
+  /// id); the send cost is charged either way, because a message lost in
+  /// transit was still paid for by the sender.
   void send(runtime::Context& ctx, int to, T value) {
     check_peer(to);
     ctx.recorder().msg_send(ctx.intra_with(to));

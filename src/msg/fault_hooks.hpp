@@ -1,0 +1,44 @@
+#pragma once
+/// \file fault_hooks.hpp
+/// \brief The message-layer fault hook shared by Mailbox and BoundedMailbox.
+///
+/// Each send consults three sites in a fixed order — MsgDelay, MsgDrop,
+/// MsgDuplicate — so every site's per-actor decision stream advances exactly
+/// once per send regardless of which faults fire (that fixed cadence is what
+/// keeps the schedule deterministic). Decisions are keyed by the calling
+/// thread's ActorScope; the executor scopes each process thread to its
+/// process id, so Communicator sends inherit a stable key. Costs one relaxed
+/// load when injection is off.
+
+#include "fault/injector.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace stamp::msg::detail {
+
+/// What the fault layer decided for one send.
+struct SendFaults {
+  bool drop = false;       ///< discard the message instead of enqueueing
+  bool duplicate = false;  ///< enqueue a second copy (copyable T only)
+};
+
+/// Runs the per-send decision cadence. A fired MsgDelay sleeps here, before
+/// any lock is taken (the delay models transit latency, not lock hold time);
+/// its magnitude is in nanoseconds. Drop beats duplicate when both fire.
+inline SendFaults check_send_faults() {
+  SendFaults faults;
+  if (!fault::injection_enabled()) return faults;
+  auto& injector = fault::Injector::global();
+  if (const auto delay = injector.decide_here(fault::FaultSite::MsgDelay)) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::nano>(delay->magnitude));
+  }
+  faults.drop = injector.decide_here(fault::FaultSite::MsgDrop).has_value();
+  faults.duplicate =
+      injector.decide_here(fault::FaultSite::MsgDuplicate).has_value();
+  if (faults.drop) faults.duplicate = false;
+  return faults;
+}
+
+}  // namespace stamp::msg::detail

@@ -4,11 +4,14 @@
 ///        processes ("an S-unit receives messages by reading from its
 ///        incoming message queue").
 
+#include "msg/fault_hooks.hpp"
+
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 
 namespace stamp::msg {
@@ -29,13 +32,28 @@ class Mailbox {
   Mailbox& operator=(const Mailbox&) = delete;
 
   /// Enqueue one message. Throws MailboxClosed if the mailbox was closed.
+  /// With fault injection armed, the send may be dropped (message lost in
+  /// transit — the enqueue never happens), delayed, or duplicated.
   void send(T value) {
+    const detail::SendFaults faults = detail::check_send_faults();
+    if (faults.drop) return;
+    bool duplicated = false;
     {
       const std::scoped_lock lock(mutex_);
       if (closed_) throw MailboxClosed();
       queue_.push_back(std::move(value));
+      if constexpr (std::is_copy_constructible_v<T>) {
+        if (faults.duplicate) {
+          queue_.push_back(queue_.back());
+          duplicated = true;
+        }
+      }
     }
-    cv_.notify_one();
+    // Two messages need two wakeups; notify_all covers any number of waiters.
+    if (duplicated)
+      cv_.notify_all();
+    else
+      cv_.notify_one();
   }
 
   /// Blocks until a message is available; throws MailboxClosed once the

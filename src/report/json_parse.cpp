@@ -39,8 +39,15 @@ const JsonValue* JsonValue::find(std::string_view key) const noexcept {
 }
 
 struct JsonValue::Parser {
+  /// Containers may nest at most this deep. The parser recurses per nesting
+  /// level, so without a cap a hostile input like 100k copies of '[' walks
+  /// straight off the call stack — a crash, not an exception. Far deeper than
+  /// any artifact the writer emits, far shallower than any stack.
+  static constexpr int kMaxDepth = 256;
+
   std::string_view text;
   std::size_t pos = 0;
+  int depth = 0;
 
   [[noreturn]] void fail(const std::string& what) const {
     throw JsonParseError(what, pos);
@@ -74,8 +81,14 @@ struct JsonValue::Parser {
   JsonValue parse_value() {
     skip_ws();
     switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{':
+      case '[': {
+        if (depth >= kMaxDepth) fail("nesting too deep");
+        ++depth;
+        JsonValue v = peek() == '{' ? parse_object() : parse_array();
+        --depth;
+        return v;
+      }
       case '"': {
         JsonValue v;
         v.kind_ = Kind::String;

@@ -6,7 +6,10 @@
 ///
 /// Covers the full JSON grammar the writer can emit (objects, arrays,
 /// strings with escapes, numbers, booleans, null). Object member order is
-/// preserved. Parse failures throw `JsonParseError` with a byte offset.
+/// preserved. Parse failures throw `JsonParseError` with a byte offset —
+/// never UB: malformed input of any shape (truncation, bad escapes,
+/// non-finite numbers, containers nested deeper than 256 levels) is rejected
+/// with an exception, so callers feeding untrusted files stay crash-free.
 
 #include <cstddef>
 #include <stdexcept>

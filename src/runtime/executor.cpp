@@ -1,5 +1,6 @@
 #include "runtime/executor.hpp"
 
+#include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -8,6 +9,25 @@
 #include <thread>
 
 namespace stamp::runtime {
+
+namespace {
+
+/// Executor hook sites, keyed by the process id. A fired ProcStall sleeps
+/// `magnitude` nanoseconds before the body starts; a fired ProcFailStop
+/// throws fault::ProcessFailure, which run_processes rethrows after joining
+/// all threads and run_supervised turns into a re-placement.
+void maybe_inject_process_faults(int process) {
+  if (!fault::injection_enabled()) return;
+  auto& injector = fault::Injector::global();
+  const auto key = static_cast<std::uint64_t>(process);
+  if (const auto stall = injector.decide(fault::FaultSite::ProcStall, key))
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::nano>(stall->magnitude));
+  if (injector.decide(fault::FaultSite::ProcFailStop, key))
+    throw fault::ProcessFailure(process);
+}
+
+}  // namespace
 
 std::vector<Cost> RunResult::process_costs(const PlacementMap& placement,
                                            const MachineParams& mp,
@@ -60,7 +80,11 @@ RunResult run_processes(const PlacementMap& placement, const ProcessBody& body) 
         process_span.arg("process", static_cast<double>(i));
         const obs::Clock::time_point t0 = obs::Clock::now();
         Context ctx(i, result.recorders[static_cast<std::size_t>(i)], placement);
+        // The thread acts as process i for the whole body: mailbox-level
+        // fault decisions made on this thread draw from process i's streams.
+        const fault::ActorScope actor(static_cast<std::uint64_t>(i));
         try {
+          maybe_inject_process_faults(i);
           body(ctx);
         } catch (...) {
           const std::scoped_lock lock(error_mutex);
@@ -83,6 +107,32 @@ RunResult run_processes(const PlacementMap& placement, const ProcessBody& body) 
   }
   if (first_error) std::rethrow_exception(first_error);
   return result;
+}
+
+SupervisedResult run_supervised(const PlacementMap& placement,
+                                const ProcessBody& body, int max_failovers) {
+  SupervisedResult supervised;
+  supervised.placement = placement;
+  const int n = placement.process_count();
+  for (;;) {
+    try {
+      supervised.result = run_processes(supervised.placement, body);
+      return supervised;
+    } catch (const fault::ProcessFailure& failure) {
+      if (static_cast<int>(supervised.failed_processes.size()) >=
+          max_failovers)
+        throw;
+      supervised.failed_processes.push_back(failure.process());
+      supervised.excluded_processors.push_back(
+          supervised.placement.processor_of(failure.process()));
+      if (obs::tracing_enabled())
+        obs::TraceRecorder::global().instant("runtime.failover", "runtime");
+      if (obs::metrics_enabled())
+        obs::MetricsRegistry::global().counter("runtime.failovers").add();
+      supervised.placement = PlacementMap::fill_first_excluding(
+          placement.topology(), n, supervised.excluded_processors);
+    }
+  }
 }
 
 RunResult run_distributed(const Topology& topology, int n,

@@ -82,6 +82,28 @@ struct RunResult {
 [[nodiscard]] RunResult run_processes(const PlacementMap& placement,
                                       const ProcessBody& body);
 
+/// What `run_supervised` did to complete the run.
+struct SupervisedResult {
+  RunResult result;       ///< the successful run (failed attempts discarded)
+  PlacementMap placement; ///< the placement the successful run used
+  std::vector<int> failed_processes;    ///< fail-stopped process ids, in order
+  std::vector<int> excluded_processors; ///< processors retired across failovers
+
+  [[nodiscard]] bool failed_over() const noexcept {
+    return !failed_processes.empty();
+  }
+};
+
+/// Supervised execution: like `run_processes`, but an injected fail-stop
+/// (fault::ProcessFailure) retires the hosting processor and re-runs the
+/// whole program on the surviving placement (same process count, fill-first
+/// over the remaining processors). Gives up — rethrowing the failure — after
+/// `max_failovers` re-placements, or when the survivors cannot host all
+/// processes. Other exceptions propagate unchanged.
+[[nodiscard]] SupervisedResult run_supervised(const PlacementMap& placement,
+                                              const ProcessBody& body,
+                                              int max_failovers = 1);
+
 /// Convenience: place `n` processes per `distribution` on `topology`, run.
 STAMP_DEPRECATED("use stamp::Evaluator::run (api/stamp.hpp)")
 [[nodiscard]] RunResult run_distributed(const Topology& topology, int n,

@@ -45,6 +45,42 @@ PlacementMap PlacementMap::fill_first(const Topology& t, int n,
   return PlacementMap(t, std::move(slots));
 }
 
+PlacementMap PlacementMap::fill_first_excluding(
+    const Topology& t, int n, const std::vector<int>& excluded_processors,
+    int max_threads_per_processor) {
+  const int per_proc = max_threads_per_processor > 0
+                           ? std::min(max_threads_per_processor,
+                                      t.threads_per_processor)
+                           : t.threads_per_processor;
+  std::vector<bool> excluded(static_cast<std::size_t>(t.total_processors()),
+                             false);
+  for (const int p : excluded_processors) {
+    if (p < 0 || p >= t.total_processors())
+      throw std::invalid_argument(
+          "fill_first_excluding: excluded processor outside topology");
+    excluded[static_cast<std::size_t>(p)] = true;
+  }
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<std::size_t>(n));
+  int placed = 0;
+  for (int proc_global = 0;
+       proc_global < t.total_processors() && placed < n; ++proc_global) {
+    if (excluded[static_cast<std::size_t>(proc_global)]) continue;
+    for (int thread = 0; thread < per_proc && placed < n; ++thread) {
+      Slot s;
+      s.chip = proc_global / t.processors_per_chip;
+      s.processor = proc_global % t.processors_per_chip;
+      s.thread = thread;
+      slots.push_back(s);
+      ++placed;
+    }
+  }
+  if (placed < n)
+    throw std::invalid_argument(
+        "fill_first_excluding: not enough surviving hardware threads");
+  return PlacementMap(t, std::move(slots));
+}
+
 PlacementMap PlacementMap::one_per_processor(const Topology& t, int n) {
   const int procs = t.total_processors();
   if (n > procs * t.threads_per_processor)

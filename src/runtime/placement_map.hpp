@@ -41,6 +41,14 @@ class PlacementMap {
   [[nodiscard]] static PlacementMap fill_first(const Topology& t, int n,
                                                int max_threads_per_processor = 0);
 
+  /// `fill_first`, but never placing a process on any of the given global
+  /// processor ids — the surviving placement after fail-stop faults retire
+  /// processors (run_supervised's re-placement). Throws when the surviving
+  /// processors cannot host n processes.
+  [[nodiscard]] static PlacementMap fill_first_excluding(
+      const Topology& t, int n, const std::vector<int>& excluded_processors,
+      int max_threads_per_processor = 0);
+
   /// Place n processes one per processor, wrapping when all processors are
   /// used (the natural realization of `inter_proc`).
   [[nodiscard]] static PlacementMap one_per_processor(const Topology& t, int n);

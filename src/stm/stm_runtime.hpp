@@ -10,6 +10,8 @@
 /// rollbacks an `atomically` call suffered feeds kappa, matching the paper's
 /// "in the worst case ... the number of possible rollbacks".
 
+#include "fault/injector.hpp"
+#include "fault/retry.hpp"
 #include "runtime/executor.hpp"
 #include "shm/shared_region.hpp"
 #include "stm/contention.hpp"
@@ -61,24 +63,44 @@ class StmRuntime {
     return *manager_;
   }
 
+  /// Budget for the `atomically` retry loop. The default is unbounded with
+  /// no backoff and no deadline — the historical behaviour. A bounded policy
+  /// makes `atomically` throw fault::RetryExhausted / fault::DeadlineExceeded
+  /// once the budget runs out (after charging and counting the final abort).
+  void set_retry_policy(const fault::RetryPolicy& policy) {
+    policy.validate();
+    retry_policy_ = policy;
+  }
+  [[nodiscard]] const fault::RetryPolicy& retry_policy() const noexcept {
+    return retry_policy_;
+  }
+
   /// Runs `body(Transaction&)` atomically, retrying on conflicts until it
   /// commits. Returns the body's value. A TxCancelled escape propagates
-  /// (use try_atomically for the optional-returning form).
+  /// (use try_atomically for the optional-returning form). With fault
+  /// injection armed, the FaultSite::StmAbort stream (keyed by the process
+  /// id) can force transient aborts between body success and commit; they
+  /// count as ordinary conflicts, so they stress exactly the retry/kappa
+  /// machinery the model prices.
   template <typename F>
   auto atomically(runtime::Context& ctx, F&& body)
       -> std::invoke_result_t<F&, Transaction&> {
     using R = std::invoke_result_t<F&, Transaction&>;
     const bool intra = shm::resolve_intra(scope_, ctx.placement());
+    const auto stream = static_cast<std::uint64_t>(ctx.id());
+    fault::RetryState retry_state(retry_policy_, stream);
     std::uint64_t retries = 0;
     for (int attempt = 1;; ++attempt) {
       Transaction tx(clock_);
       try {
         if constexpr (std::is_void_v<R>) {
           body(tx);
+          maybe_inject_abort(stream);
           finish_commit(ctx, tx, intra, retries);
           return;
         } else {
           R result = body(tx);
+          maybe_inject_abort(stream);
           finish_commit(ctx, tx, intra, retries);
           return result;
         }
@@ -87,6 +109,12 @@ class StmRuntime {
         charge_aborted_attempt(ctx, tx, intra);
         stats_.note_abort();
         manager_->on_abort(ConflictInfo{attempt, tx.reads(), tx.writes()});
+        if (!retry_state.allow_retry()) {
+          ctx.recorder().observe_kappa(static_cast<double>(retries));
+          if (retry_state.deadline_passed()) throw fault::DeadlineExceeded();
+          throw fault::RetryExhausted(static_cast<int>(retries));
+        }
+        retry_state.backoff();
       } catch (const TxCancelled&) {
         charge_aborted_attempt(ctx, tx, intra);
         ctx.recorder().observe_kappa(static_cast<double>(retries));
@@ -112,6 +140,15 @@ class StmRuntime {
   }
 
  private:
+  /// The StmAbort hook: one relaxed load when injection is off; when armed,
+  /// a fired decision aborts the attempt just before its two-phase commit
+  /// (reads happened and are charged; buffered writes never land).
+  static void maybe_inject_abort(std::uint64_t stream) {
+    if (!fault::injection_enabled()) return;
+    if (fault::Injector::global().decide(fault::FaultSite::StmAbort, stream))
+      throw TxConflict{};
+  }
+
   void finish_commit(runtime::Context& ctx, Transaction& tx, bool intra,
                      std::uint64_t retries) {
     const auto reads = static_cast<double>(tx.reads());
@@ -135,6 +172,7 @@ class StmRuntime {
   StmStats stats_;
   std::unique_ptr<ContentionManager> manager_;
   shm::Scope scope_;
+  fault::RetryPolicy retry_policy_ = fault::RetryPolicy::unbounded();
 };
 
 /// Closed-nested subtransaction: runs `body` against the parent transaction;

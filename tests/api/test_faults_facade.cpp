@@ -1,0 +1,59 @@
+#include "api/stamp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp {
+namespace {
+
+TEST(EvaluatorFaults, WithFaultsArmsAndClearFaultsDisarms) {
+  ASSERT_FALSE(Evaluator::faults_armed());
+  fault::FaultPlan plan;
+  plan.seed = 5;
+  plan.with(fault::FaultSite::StmAbort, 0.1);
+  Evaluator::with_faults(plan);
+  EXPECT_TRUE(Evaluator::faults_armed());
+  EXPECT_TRUE(fault::injection_enabled());
+  EXPECT_EQ(Evaluator::injector().plan().seed, 5u);
+  Evaluator::clear_faults();
+  EXPECT_FALSE(Evaluator::faults_armed());
+  EXPECT_FALSE(fault::injection_enabled());
+}
+
+TEST(EvaluatorFaults, WithFaultsValidatesThePlan) {
+  fault::FaultPlan bad;
+  bad.with(fault::FaultSite::StmAbort, 2.0);
+  EXPECT_THROW(Evaluator::with_faults(bad), std::invalid_argument);
+  EXPECT_FALSE(Evaluator::faults_armed());
+}
+
+TEST(EvaluatorFaults, RunSupervisedCompletesAfterInjectedFailStop) {
+  const Evaluator eval;
+  fault::FaultPlan plan;
+  plan.with(fault::FaultSite::ProcFailStop, 1.0, 0, /*max_per_key=*/1,
+            /*only_key=*/1);
+  Evaluator::with_faults(plan);
+  const runtime::SupervisedResult sr = eval.run_supervised(
+      4, Distribution::IntraProc,
+      [](runtime::Context& ctx) { ctx.int_ops(10 * (ctx.id() + 1)); });
+  Evaluator::clear_faults();
+  ASSERT_TRUE(sr.failed_over());
+  EXPECT_EQ(sr.failed_processes, std::vector<int>{1});
+  EXPECT_DOUBLE_EQ(sr.result.total_counters().c_int, 10 + 20 + 30 + 40);
+  // The supervised run's result prices like any other run.
+  const Evaluation evaluation = eval.evaluate(sr.result, sr.placement);
+  EXPECT_GT(evaluation.total.time, 0);
+}
+
+TEST(EvaluatorFaults, InjectionCountersAreReadableAfterClear) {
+  fault::FaultPlan plan;
+  plan.with(fault::FaultSite::StmAbort, 1.0, 0, /*max_per_key=*/2);
+  Evaluator::with_faults(plan);
+  (void)Evaluator::injector().decide(fault::FaultSite::StmAbort, 0);
+  (void)Evaluator::injector().decide(fault::FaultSite::StmAbort, 0);
+  Evaluator::clear_faults();
+  // disarm() keeps counters for post-mortem reads.
+  EXPECT_EQ(Evaluator::injector().injected(fault::FaultSite::StmAbort), 2u);
+}
+
+}  // namespace
+}  // namespace stamp

@@ -1,0 +1,224 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace stamp::fault {
+namespace {
+
+/// Arm/disarm the global injector for one test, guaranteeing cleanup.
+class ArmedPlan {
+ public:
+  explicit ArmedPlan(const FaultPlan& plan) { Injector::global().arm(plan); }
+  ~ArmedPlan() { Injector::global().disarm(); }
+};
+
+std::vector<bool> schedule_of(FaultSite site, std::uint64_t key, int n) {
+  std::vector<bool> fired;
+  fired.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    fired.push_back(Injector::global().decide(site, key).has_value());
+  return fired;
+}
+
+TEST(Injector, DisarmedNeverFiresAndFlagIsOff) {
+  Injector::global().disarm();
+  EXPECT_FALSE(injection_enabled());
+  EXPECT_FALSE(Injector::global().decide(FaultSite::StmAbort, 0).has_value());
+}
+
+TEST(Injector, ArmSetsFlagAndDisarmClearsIt) {
+  FaultPlan plan;
+  plan.with(FaultSite::StmAbort, 0.5);
+  const ArmedPlan armed(plan);
+  EXPECT_TRUE(injection_enabled());
+  EXPECT_TRUE(Injector::global().armed());
+  Injector::global().disarm();
+  EXPECT_FALSE(injection_enabled());
+}
+
+TEST(Injector, SameSeedGivesSameSchedule) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.with(FaultSite::MsgDrop, 0.3);
+
+  std::vector<bool> first;
+  {
+    const ArmedPlan armed(plan);
+    first = schedule_of(FaultSite::MsgDrop, 7, 200);
+  }
+  {
+    const ArmedPlan armed(plan);
+    EXPECT_EQ(schedule_of(FaultSite::MsgDrop, 7, 200), first);
+  }
+
+  int fired = 0;
+  for (const bool f : first) fired += f ? 1 : 0;
+  EXPECT_GT(fired, 0);    // p=0.3 over 200 decisions must fire sometimes
+  EXPECT_LT(fired, 200);  // ... and must not always fire
+}
+
+TEST(Injector, DifferentSeedsGiveDifferentSchedules) {
+  FaultPlan a;
+  a.seed = 1;
+  a.with(FaultSite::MsgDrop, 0.5);
+  FaultPlan b = a;
+  b.seed = 2;
+
+  std::vector<bool> sa;
+  {
+    const ArmedPlan armed(a);
+    sa = schedule_of(FaultSite::MsgDrop, 0, 100);
+  }
+  const ArmedPlan armed(b);
+  EXPECT_NE(schedule_of(FaultSite::MsgDrop, 0, 100), sa);
+}
+
+TEST(Injector, SitesAndKeysAreIndependentStreams) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.with(FaultSite::MsgDrop, 0.5).with(FaultSite::MsgDuplicate, 0.5);
+
+  std::vector<bool> drop_alone;
+  {
+    const ArmedPlan armed(plan);
+    drop_alone = schedule_of(FaultSite::MsgDrop, 3, 100);
+  }
+  // Interleaving decisions on another site and another key must not perturb
+  // the (MsgDrop, key 3) stream.
+  const ArmedPlan armed(plan);
+  std::vector<bool> drop_interleaved;
+  for (int i = 0; i < 100; ++i) {
+    static_cast<void>(Injector::global().decide(FaultSite::MsgDuplicate, 3));
+    static_cast<void>(Injector::global().decide(FaultSite::MsgDrop, 4));
+    drop_interleaved.push_back(
+        Injector::global().decide(FaultSite::MsgDrop, 3).has_value());
+  }
+  EXPECT_EQ(drop_interleaved, drop_alone);
+}
+
+TEST(Injector, OnlyKeyTargetsASingleActor) {
+  FaultPlan plan;
+  plan.with(FaultSite::ProcFailStop, 1.0, 0, /*max_per_key=*/1,
+            /*only_key=*/2);
+  const ArmedPlan armed(plan);
+  EXPECT_FALSE(
+      Injector::global().decide(FaultSite::ProcFailStop, 0).has_value());
+  EXPECT_FALSE(
+      Injector::global().decide(FaultSite::ProcFailStop, 1).has_value());
+  EXPECT_TRUE(
+      Injector::global().decide(FaultSite::ProcFailStop, 2).has_value());
+  // max_per_key=1: the targeted key fires exactly once.
+  EXPECT_FALSE(
+      Injector::global().decide(FaultSite::ProcFailStop, 2).has_value());
+  EXPECT_EQ(Injector::global().injected(FaultSite::ProcFailStop), 1u);
+}
+
+TEST(Injector, MaxPerKeyCapsEachKeySeparately) {
+  FaultPlan plan;
+  plan.with(FaultSite::StmAbort, 1.0, 0, /*max_per_key=*/3);
+  const ArmedPlan armed(plan);
+  for (std::uint64_t key = 0; key < 2; ++key) {
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+      fired += Injector::global().decide(FaultSite::StmAbort, key) ? 1 : 0;
+    EXPECT_EQ(fired, 3) << "key " << key;
+  }
+  EXPECT_EQ(Injector::global().injected(FaultSite::StmAbort), 6u);
+  EXPECT_EQ(Injector::global().decisions(FaultSite::StmAbort), 20u);
+}
+
+TEST(Injector, MagnitudeIsDeliveredVerbatim) {
+  FaultPlan plan;
+  plan.with(FaultSite::SimLatencySpike, 1.0, 4.5);
+  const ArmedPlan armed(plan);
+  const auto injection =
+      Injector::global().decide(FaultSite::SimLatencySpike, 0);
+  ASSERT_TRUE(injection.has_value());
+  EXPECT_DOUBLE_EQ(injection->magnitude, 4.5);
+}
+
+TEST(Injector, ActorScopeKeysDecideHere) {
+  FaultPlan plan;
+  plan.with(FaultSite::MsgDrop, 1.0, 0, /*max_per_key=*/1, /*only_key=*/5);
+  const ArmedPlan armed(plan);
+  EXPECT_EQ(current_actor(), 0u);
+  {
+    const ActorScope scope(5);
+    EXPECT_EQ(current_actor(), 5u);
+    EXPECT_TRUE(Injector::global().decide_here(FaultSite::MsgDrop));
+    {
+      const ActorScope inner(6);
+      EXPECT_EQ(current_actor(), 6u);
+      EXPECT_FALSE(Injector::global().decide_here(FaultSite::MsgDrop));
+    }
+    EXPECT_EQ(current_actor(), 5u);  // nesting restores the outer key
+  }
+  EXPECT_EQ(current_actor(), 0u);
+}
+
+TEST(Injector, ParallelScheduleMatchesSerialSchedule) {
+  // Each actor draws its own decision stream; running four actors on four
+  // threads must give every actor exactly the schedule it gets serially.
+  constexpr int kActors = 4;
+  constexpr int kDecisions = 100;
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.with(FaultSite::MsgDrop, 0.4);
+
+  std::vector<std::vector<bool>> serial(kActors);
+  {
+    const ArmedPlan armed(plan);
+    for (int a = 0; a < kActors; ++a)
+      serial[static_cast<std::size_t>(a)] =
+          schedule_of(FaultSite::MsgDrop, static_cast<std::uint64_t>(a),
+                      kDecisions);
+  }
+
+  const ArmedPlan armed(plan);
+  std::vector<std::vector<bool>> parallel(kActors);
+  std::vector<std::thread> threads;
+  threads.reserve(kActors);
+  for (int a = 0; a < kActors; ++a) {
+    threads.emplace_back([a, &parallel] {
+      const ActorScope scope(static_cast<std::uint64_t>(a));
+      auto& mine = parallel[static_cast<std::size_t>(a)];
+      mine.reserve(kDecisions);
+      for (int i = 0; i < kDecisions; ++i)
+        mine.push_back(
+            Injector::global().decide_here(FaultSite::MsgDrop).has_value());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(Injector, InjectedBySiteListsOnlyFiringSites) {
+  FaultPlan plan;
+  plan.with(FaultSite::StmAbort, 1.0).with(FaultSite::MsgDrop, 0.0);
+  const ArmedPlan armed(plan);
+  static_cast<void>(Injector::global().decide(FaultSite::StmAbort, 0));
+  static_cast<void>(Injector::global().decide(FaultSite::MsgDrop, 0));
+  const auto by_site = Injector::global().injected_by_site();
+  ASSERT_EQ(by_site.size(), 1u);
+  EXPECT_EQ(by_site[0].first, "stm_abort");
+  EXPECT_EQ(by_site[0].second, 1u);
+}
+
+TEST(Injector, ArmResetsCounters) {
+  FaultPlan plan;
+  plan.with(FaultSite::StmAbort, 1.0);
+  Injector::global().arm(plan);
+  static_cast<void>(Injector::global().decide(FaultSite::StmAbort, 0));
+  EXPECT_EQ(Injector::global().injected(FaultSite::StmAbort), 1u);
+  Injector::global().arm(plan);  // re-arm: counters and key state reset
+  EXPECT_EQ(Injector::global().injected(FaultSite::StmAbort), 0u);
+  EXPECT_EQ(Injector::global().decisions(FaultSite::StmAbort), 0u);
+  Injector::global().disarm();
+}
+
+}  // namespace
+}  // namespace stamp::fault

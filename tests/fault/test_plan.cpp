@@ -1,0 +1,64 @@
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace stamp::fault {
+namespace {
+
+TEST(FaultPlan, SiteNamesRoundTrip) {
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    const auto back = site_from_name(site_name(site));
+    ASSERT_TRUE(back.has_value()) << site_name(site);
+    EXPECT_EQ(*back, site);
+  }
+  EXPECT_FALSE(site_from_name("no_such_site").has_value());
+  EXPECT_FALSE(site_from_name("").has_value());
+}
+
+TEST(FaultPlan, DefaultPlanIsInert) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.any_armed());
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i)
+    EXPECT_FALSE(plan.spec(static_cast<FaultSite>(i)).armed());
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, WithBuilderArmsOneSite) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.with(FaultSite::MsgDrop, 0.5, 2.0, /*max_per_key=*/3, /*only_key=*/1);
+  EXPECT_TRUE(plan.any_armed());
+  const SiteSpec& spec = plan.spec(FaultSite::MsgDrop);
+  EXPECT_DOUBLE_EQ(spec.probability, 0.5);
+  EXPECT_DOUBLE_EQ(spec.magnitude, 2.0);
+  EXPECT_EQ(spec.max_per_key, 3u);
+  EXPECT_EQ(spec.only_key, 1);
+  EXPECT_FALSE(plan.spec(FaultSite::StmAbort).armed());
+}
+
+TEST(FaultPlan, WithChainsFluently) {
+  FaultPlan plan;
+  plan.with(FaultSite::StmAbort, 0.1).with(FaultSite::MsgDelay, 0.2, 1000.0);
+  EXPECT_TRUE(plan.spec(FaultSite::StmAbort).armed());
+  EXPECT_TRUE(plan.spec(FaultSite::MsgDelay).armed());
+}
+
+TEST(FaultPlan, ValidateRejectsBadFields) {
+  FaultPlan plan;
+  plan.with(FaultSite::StmAbort, 1.5);
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+
+  FaultPlan negative;
+  negative.with(FaultSite::StmAbort, -0.1);
+  EXPECT_THROW(negative.validate(), std::invalid_argument);
+
+  FaultPlan magnitude;
+  magnitude.with(FaultSite::MsgDelay, 0.5, -1.0);
+  EXPECT_THROW(magnitude.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stamp::fault

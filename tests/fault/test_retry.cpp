@@ -1,0 +1,137 @@
+#include "fault/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+
+namespace stamp::fault {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+TEST(RetryPolicy, DefaultIsUnboundedSpinRetry) {
+  const RetryPolicy policy = RetryPolicy::unbounded();
+  EXPECT_LT(policy.max_retries, 0);
+  EXPECT_EQ(policy.base_backoff.count(), 0);
+  EXPECT_EQ(policy.deadline.count(), 0);
+  EXPECT_NO_THROW(policy.validate());
+
+  RetryState state(policy);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(state.allow_retry());
+  EXPECT_EQ(state.retries(), 1000);
+}
+
+TEST(RetryPolicy, BoundedBudgetStopsAfterMaxRetries) {
+  RetryState state(RetryPolicy::bounded(3));
+  EXPECT_TRUE(state.allow_retry());   // retry 1
+  EXPECT_TRUE(state.allow_retry());   // retry 2
+  EXPECT_TRUE(state.allow_retry());   // retry 3
+  EXPECT_FALSE(state.allow_retry());  // budget spent
+  EXPECT_FALSE(state.deadline_passed());
+}
+
+TEST(RetryPolicy, ZeroRetriesMeansFailImmediately) {
+  RetryState state(RetryPolicy::bounded(0));
+  EXPECT_FALSE(state.allow_retry());
+}
+
+TEST(RetryPolicy, BackoffGrowsGeometricallyAndCaps) {
+  RetryPolicy policy;
+  policy.base_backoff = nanoseconds(100);
+  policy.multiplier = 2.0;
+  policy.max_backoff = nanoseconds(350);
+  EXPECT_EQ(policy.backoff_for(1, 0), nanoseconds(100));
+  EXPECT_EQ(policy.backoff_for(2, 0), nanoseconds(200));
+  EXPECT_EQ(policy.backoff_for(3, 0), nanoseconds(350));  // capped, not 400
+  EXPECT_EQ(policy.backoff_for(10, 0), nanoseconds(350));
+}
+
+TEST(RetryPolicy, JitterIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.base_backoff = nanoseconds(1000);
+  policy.multiplier = 1.0;
+  policy.jitter = 0.5;
+  policy.jitter_seed = 42;
+  bool saw_jitter = false;
+  for (int attempt = 1; attempt <= 32; ++attempt) {
+    const nanoseconds ns = policy.backoff_for(attempt, /*stream=*/7);
+    // sleep = backoff * (1 - j + j*u01) with j=0.5 => [500, 1000) ns.
+    EXPECT_GE(ns, nanoseconds(500)) << "attempt " << attempt;
+    EXPECT_LE(ns, nanoseconds(1000)) << "attempt " << attempt;
+    EXPECT_EQ(ns, policy.backoff_for(attempt, 7));  // same inputs, same draw
+    if (ns != nanoseconds(1000)) saw_jitter = true;
+  }
+  EXPECT_TRUE(saw_jitter);
+  // Streams draw independent jitter sequences.
+  bool streams_differ = false;
+  for (int attempt = 1; attempt <= 32 && !streams_differ; ++attempt)
+    streams_differ =
+        policy.backoff_for(attempt, 7) != policy.backoff_for(attempt, 8);
+  EXPECT_TRUE(streams_differ);
+}
+
+TEST(RetryPolicy, ValidateRejectsBadFields) {
+  RetryPolicy jitter;
+  jitter.jitter = 1.5;
+  EXPECT_THROW(jitter.validate(), std::invalid_argument);
+
+  RetryPolicy multiplier;
+  multiplier.multiplier = 0.5;
+  EXPECT_THROW(multiplier.validate(), std::invalid_argument);
+
+  RetryPolicy backoff;
+  backoff.base_backoff = nanoseconds(-1);
+  EXPECT_THROW(backoff.validate(), std::invalid_argument);
+}
+
+TEST(RetryPolicy, DeadlineTripsAllowRetry) {
+  RetryPolicy policy;
+  policy.deadline = nanoseconds(1);  // effectively already passed
+  RetryState state(policy);
+  while (!state.deadline_passed()) {
+  }
+  EXPECT_FALSE(state.allow_retry());
+  EXPECT_TRUE(state.deadline_passed());
+}
+
+TEST(RetryCall, ReturnsFirstSuccess) {
+  int calls = 0;
+  const int value = retry_call(RetryPolicy::bounded(5), 0,
+                               [&calls]() -> std::optional<int> {
+                                 if (++calls < 3) return std::nullopt;
+                                 return 42;
+                               });
+  EXPECT_EQ(value, 42);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryCall, ThrowsRetryExhaustedWithCount) {
+  int calls = 0;
+  try {
+    static_cast<void>(retry_call(RetryPolicy::bounded(2), 0,
+                                 [&calls]() -> std::optional<int> {
+                                   ++calls;
+                                   return std::nullopt;
+                                 }));
+    FAIL() << "expected RetryExhausted";
+  } catch (const RetryExhausted& e) {
+    EXPECT_EQ(e.retries(), 2);
+  }
+  EXPECT_EQ(calls, 3);  // first attempt + 2 retries
+}
+
+TEST(RetryCall, ThrowsDeadlineExceededWhenClockRunsOut) {
+  RetryPolicy policy;
+  policy.deadline = microseconds(200);
+  EXPECT_THROW(
+      static_cast<void>(retry_call(
+          policy, 0, []() -> std::optional<int> { return std::nullopt; })),
+      DeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace stamp::fault

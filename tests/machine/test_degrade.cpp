@@ -1,0 +1,97 @@
+#include "machine/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stamp::machine {
+namespace {
+
+const Topology kTopo{.chips = 1, .processors_per_chip = 4,
+                     .threads_per_processor = 4};
+
+TEST(Degrade, ValidatesInputs) {
+  EXPECT_THROW((void)degrade_threads(-1.0, kTopo, PowerEnvelope{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)degrade_threads(1.0, kTopo, PowerEnvelope{}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)degrade_threads(1.0, kTopo, PowerEnvelope{}, 1.0, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Degrade, NoCapsKeepsEveryThread) {
+  const DegradeResult r = degrade_threads(1.0, kTopo, PowerEnvelope{});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.threads_per_processor, 4);
+  EXPECT_DOUBLE_EQ(r.governor.min_frequency_used, 1.0);
+}
+
+TEST(Degrade, PaperThreeOfFourUnderPerCoreCap) {
+  // The paper's Niagara conclusion: under a per-core power limit of
+  // 3(x+y)w_int — three times one thread's demand — at most 3 of the core's
+  // 4 hardware threads can run. With the default frequency floor of 1.0,
+  // DVFS cannot absorb the overshoot, so exactly one thread is shed.
+  PowerEnvelope env;
+  env.per_processor = 3.0;  // 3x the per-thread power below
+  const DegradeResult r = degrade_threads(1.0, kTopo, env);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.threads_per_processor, 3);
+  // At k = 3 the cores sit exactly at the cap, at full frequency.
+  EXPECT_DOUBLE_EQ(r.governor.min_frequency_used, 1.0);
+  EXPECT_DOUBLE_EQ(r.governor.worst_slowdown, 1.0);
+}
+
+TEST(Degrade, TighterCapShedsMoreThreads) {
+  PowerEnvelope env;
+  env.per_processor = 1.5;  // hosts one thread, not two
+  const DegradeResult r = degrade_threads(1.0, kTopo, env);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.threads_per_processor, 1);
+}
+
+TEST(Degrade, FloorBelowOneLetsDvfsAbsorbOvershoot) {
+  // 4 threads demand 4.0 against a 3.5 cap: required f = cbrt(3.5/4) ~ 0.956.
+  // With the floor relaxed to 0.9, DVFS absorbs it and no thread is shed.
+  PowerEnvelope env;
+  env.per_processor = 3.5;
+  const DegradeResult r =
+      degrade_threads(1.0, kTopo, env, /*min_acceptable_frequency=*/0.9);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.threads_per_processor, 4);
+  EXPECT_NEAR(r.governor.min_frequency_used, std::cbrt(3.5 / 4.0), 1e-12);
+}
+
+TEST(Degrade, InfeasibleWhenEvenOneThreadOvershoots) {
+  PowerEnvelope env;
+  env.per_processor = 0.5;  // below one thread's demand, floor at 1.0
+  const DegradeResult r = degrade_threads(1.0, kTopo, env);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.threads_per_processor, 1);  // carries the k = 1 fit
+}
+
+TEST(Degrade, ChipCapDegradesToo) {
+  // Chip cap of 8 over 4 cores: k = 2 gives chip power 8, k = 3 gives 12.
+  PowerEnvelope env;
+  env.per_chip = 8.0;
+  const DegradeResult r = degrade_threads(1.0, kTopo, env);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.threads_per_processor, 2);
+}
+
+TEST(Degrade, ZeroPowerThreadsNeverDegrade) {
+  PowerEnvelope env;
+  env.per_processor = 0.1;
+  const DegradeResult r = degrade_threads(0.0, kTopo, env);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(r.threads_per_processor, 4);
+}
+
+}  // namespace
+}  // namespace stamp::machine

@@ -67,6 +67,87 @@ TEST(BoundedMailbox, CloseUnblocksBlockedSender) {
   EXPECT_TRUE(threw.load());
 }
 
+TEST(BoundedMailbox, CloseUnblocksTwoBlockedSendersAtOnce) {
+  // Shutdown-race regression: close() must wake EVERY blocked sender, not
+  // just one. With two senders parked on a full queue, a notify_one (or a
+  // predicate that misses closed_) would leave the second thread blocked
+  // forever and this test would hang.
+  BoundedMailbox<int> box(1);
+  box.send(1);
+  std::atomic<int> threw{0};
+  auto blocked_sender = [&](int value) {
+    try {
+      box.send(value);
+    } catch (const BoundedMailboxClosed&) {
+      threw.fetch_add(1);
+    }
+  };
+  std::jthread first(blocked_sender, 2);
+  std::jthread second(blocked_sender, 3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(threw.load(), 0);  // both parked on the full queue
+  box.close();
+  first.join();
+  second.join();
+  EXPECT_EQ(threw.load(), 2);
+}
+
+TEST(BoundedMailbox, SendForTimesOutWhenFull) {
+  BoundedMailbox<int> box(1);
+  box.send(1);
+  int v = 2;
+  EXPECT_FALSE(box.send_for(v, std::chrono::milliseconds(5)));
+  EXPECT_EQ(v, 2);  // value untouched on timeout
+  EXPECT_EQ(box.receive(), 1);
+  EXPECT_TRUE(box.send_for(v, std::chrono::milliseconds(5)));
+  EXPECT_EQ(box.receive(), 2);
+}
+
+TEST(BoundedMailbox, SendForSucceedsOnceASlotFrees) {
+  BoundedMailbox<int> box(1);
+  box.send(1);
+  std::jthread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(box.receive(), 1);
+  });
+  int v = 2;
+  EXPECT_TRUE(box.send_for(v, std::chrono::seconds(5)));
+  consumer.join();
+  EXPECT_EQ(box.receive(), 2);
+}
+
+TEST(BoundedMailbox, SendForThrowsWhenClosedWhileWaiting) {
+  BoundedMailbox<int> box(1);
+  box.send(1);
+  std::jthread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.close();
+  });
+  int v = 2;
+  EXPECT_THROW((void)box.send_for(v, std::chrono::seconds(5)),
+               BoundedMailboxClosed);
+}
+
+TEST(BoundedMailbox, RecvForTimesOutOnEmptyAndDeliversWhenFed) {
+  BoundedMailbox<int> box(2);
+  EXPECT_FALSE(box.recv_for(std::chrono::milliseconds(5)).has_value());
+  box.send(9);
+  const auto v = box.recv_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(BoundedMailbox, RecvForDrainsThenThrowsAfterClose) {
+  BoundedMailbox<int> box(2);
+  box.send(7);
+  box.close();
+  const auto v = box.recv_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  EXPECT_THROW((void)box.recv_for(std::chrono::milliseconds(5)),
+               BoundedMailboxClosed);
+}
+
 TEST(BoundedMailbox, CloseDrainsThenThrows) {
   BoundedMailbox<int> box(2);
   box.send(7);

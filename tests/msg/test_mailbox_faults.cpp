@@ -1,0 +1,173 @@
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "msg/bounded_mailbox.hpp"
+#include "msg/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+namespace stamp::msg {
+namespace {
+
+class ArmedPlan {
+ public:
+  explicit ArmedPlan(const fault::FaultPlan& plan) {
+    fault::Injector::global().arm(plan);
+  }
+  ~ArmedPlan() { fault::Injector::global().disarm(); }
+};
+
+int drain(Mailbox<int>& box) {
+  int count = 0;
+  while (box.try_receive().has_value()) ++count;
+  return count;
+}
+
+TEST(MailboxFaults, DisarmedSendsAreLossless) {
+  fault::Injector::global().disarm();
+  Mailbox<int> box;
+  for (int i = 0; i < 100; ++i) box.send(i);
+  EXPECT_EQ(box.size(), 100u);
+}
+
+TEST(MailboxFaults, CertainDropLosesEveryMessage) {
+  fault::FaultPlan plan;
+  plan.with(fault::FaultSite::MsgDrop, 1.0);
+  const ArmedPlan armed(plan);
+  Mailbox<int> box;
+  for (int i = 0; i < 10; ++i) box.send(i);
+  EXPECT_EQ(box.size(), 0u);
+  EXPECT_EQ(fault::Injector::global().injected(fault::FaultSite::MsgDrop),
+            10u);
+}
+
+TEST(MailboxFaults, CertainDuplicateDoublesEveryMessage) {
+  fault::FaultPlan plan;
+  plan.with(fault::FaultSite::MsgDuplicate, 1.0);
+  const ArmedPlan armed(plan);
+  Mailbox<int> box;
+  for (int i = 0; i < 5; ++i) box.send(i);
+  EXPECT_EQ(box.size(), 10u);
+  // Duplicates are adjacent copies of the original.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(box.receive(), i);
+    EXPECT_EQ(box.receive(), i);
+  }
+}
+
+TEST(MailboxFaults, DropBeatsDuplicate) {
+  fault::FaultPlan plan;
+  plan.with(fault::FaultSite::MsgDrop, 1.0)
+      .with(fault::FaultSite::MsgDuplicate, 1.0);
+  const ArmedPlan armed(plan);
+  Mailbox<int> box;
+  for (int i = 0; i < 10; ++i) box.send(i);
+  EXPECT_EQ(box.size(), 0u);  // a dropped message cannot also duplicate
+}
+
+TEST(MailboxFaults, MoveOnlyTypesSkipDuplication) {
+  fault::FaultPlan plan;
+  plan.with(fault::FaultSite::MsgDuplicate, 1.0);
+  const ArmedPlan armed(plan);
+  Mailbox<std::unique_ptr<int>> box;
+  box.send(std::make_unique<int>(7));
+  EXPECT_EQ(box.size(), 1u);  // move-only T: the duplicate is silently elided
+}
+
+TEST(MailboxFaults, DelayOnlySlowsButNeverLoses) {
+  fault::FaultPlan plan;
+  plan.with(fault::FaultSite::MsgDelay, 1.0, /*magnitude=*/100.0);  // 100 ns
+  const ArmedPlan armed(plan);
+  Mailbox<int> box;
+  for (int i = 0; i < 20; ++i) box.send(i);
+  EXPECT_EQ(box.size(), 20u);
+  EXPECT_EQ(fault::Injector::global().injected(fault::FaultSite::MsgDelay),
+            20u);
+}
+
+TEST(MailboxFaults, ScheduleIsDeterministicPerActor) {
+  fault::FaultPlan plan;
+  plan.seed = 42;
+  plan.with(fault::FaultSite::MsgDrop, 0.3);
+
+  const auto run = [&plan] {
+    const ArmedPlan armed(plan);
+    std::vector<int> delivered;
+    for (std::uint64_t actor = 0; actor < 3; ++actor) {
+      const fault::ActorScope scope(actor);
+      Mailbox<int> box;
+      for (int i = 0; i < 50; ++i) box.send(i);
+      delivered.push_back(drain(box));
+    }
+    return delivered;
+  };
+
+  const std::vector<int> first = run();
+  EXPECT_EQ(run(), first);  // same seed, same actors => same losses
+  int total = 0;
+  for (const int n : first) total += n;
+  EXPECT_GT(total, 0);
+  EXPECT_LT(total, 150);
+}
+
+TEST(MailboxFaults, OnlyKeyTargetsOneActorsTraffic) {
+  fault::FaultPlan plan;
+  plan.with(fault::FaultSite::MsgDrop, 1.0, 0,
+            /*max_per_key=*/std::numeric_limits<std::uint64_t>::max(),
+            /*only_key=*/1);
+  const ArmedPlan armed(plan);
+  Mailbox<int> box;
+  {
+    const fault::ActorScope scope(0);
+    box.send(1);
+  }
+  {
+    const fault::ActorScope scope(1);
+    box.send(2);  // dropped: this actor is targeted
+  }
+  EXPECT_EQ(box.size(), 1u);
+  EXPECT_EQ(box.receive(), 1);
+}
+
+TEST(BoundedMailboxFaults, CertainDropNeverBlocksOnAFullQueue) {
+  fault::FaultPlan plan;
+  plan.with(fault::FaultSite::MsgDrop, 1.0);
+  const ArmedPlan armed(plan);
+  BoundedMailbox<int> box(1);
+  // Every send is dropped in transit, so even capacity 1 never fills and the
+  // sender never blocks.
+  for (int i = 0; i < 10; ++i) box.send(i);
+  EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(BoundedMailboxFaults, DuplicateRespectsCapacity) {
+  fault::FaultPlan plan;
+  plan.with(fault::FaultSite::MsgDuplicate, 1.0);
+  const ArmedPlan armed(plan);
+  BoundedMailbox<int> box(3);
+  box.send(1);  // enqueues 1 + duplicate => size 2
+  box.send(2);  // enqueues 2; duplicate elided (queue full at 3)
+  EXPECT_EQ(box.size(), 3u);
+  EXPECT_EQ(box.receive(), 1);
+  EXPECT_EQ(box.receive(), 1);
+  EXPECT_EQ(box.receive(), 2);
+}
+
+TEST(BoundedMailboxFaults, DroppedSendForReportsHandedOff) {
+  fault::FaultPlan plan;
+  plan.with(fault::FaultSite::MsgDrop, 1.0);
+  const ArmedPlan armed(plan);
+  BoundedMailbox<int> box(1);
+  int v = 5;
+  // The sender handed the message to the transit; the transit lost it.
+  EXPECT_TRUE(box.send_for(v, std::chrono::milliseconds(5)));
+  EXPECT_EQ(box.size(), 0u);
+}
+
+}  // namespace
+}  // namespace stamp::msg

@@ -1,0 +1,118 @@
+/// \file test_json_corpus.cpp
+/// \brief Hostile-input corpus for the JSON parser: every malformed document
+///        must raise JsonParseError — never crash, hang, or return garbage —
+///        because stamp_gate feeds it externally produced artifacts.
+
+#include "report/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace stamp::report {
+namespace {
+
+/// Exercise one input end-to-end: either it parses or it throws
+/// JsonParseError. Anything else (another exception type, UB caught by a
+/// sanitizer) fails the test.
+bool parses(const std::string& text) {
+  try {
+    (void)JsonValue::parse(text);
+    return true;
+  } catch (const JsonParseError&) {
+    return false;
+  }
+}
+
+TEST(JsonCorpus, TruncationsOfAValidDocumentNeverCrash) {
+  const std::string doc =
+      R"({"schema":"stamp-sweep/v1","points":[{"D":1.5,"ok":true},null]})";
+  // Every proper prefix is malformed; every one must throw cleanly.
+  for (std::size_t len = 0; len < doc.size(); ++len)
+    EXPECT_FALSE(parses(doc.substr(0, len))) << "prefix length " << len;
+  EXPECT_TRUE(parses(doc));
+}
+
+TEST(JsonCorpus, DeepNestingIsRejectedNotStackOverflowed) {
+  // 100k unclosed '[' would recurse off the stack without the depth cap.
+  const std::string deep_open(100000, '[');
+  EXPECT_FALSE(parses(deep_open));
+
+  std::string deep_closed(50000, '[');
+  deep_closed.append(50000, ']');
+  EXPECT_FALSE(parses(deep_closed));
+
+  std::string deep_objects;
+  for (int i = 0; i < 10000; ++i) deep_objects += R"({"a":)";
+  deep_objects += "1";
+  for (int i = 0; i < 10000; ++i) deep_objects += "}";
+  EXPECT_FALSE(parses(deep_objects));
+
+  // Nesting under the cap stays accepted.
+  std::string shallow(200, '[');
+  shallow.append(200, ']');
+  EXPECT_TRUE(parses(shallow));
+}
+
+TEST(JsonCorpus, NonFiniteNumberSpellingsAreRejected) {
+  for (const char* bad : {"NaN", "nan", "Infinity", "-Infinity", "inf",
+                          "-inf", "1e999999", R"({"x": NaN})",
+                          R"([Infinity])"}) {
+    EXPECT_FALSE(parses(bad)) << bad;
+  }
+}
+
+TEST(JsonCorpus, DuplicateKeysParseWithFirstWins) {
+  // Duplicate keys are legal JSON (RFC 8259 leaves semantics open); the
+  // parser preserves both members and find() returns the first.
+  const JsonValue v = JsonValue::parse(R"({"k": 1, "k": 2})");
+  ASSERT_EQ(v.members().size(), 2u);
+  EXPECT_DOUBLE_EQ(v.find("k")->as_number(), 1.0);
+}
+
+TEST(JsonCorpus, MalformedEscapesAndStringsAreRejected) {
+  for (const char* bad :
+       {R"("\q")", R"("\u12")", R"("\u12G4")", R"("\)", R"("\u)",
+        "\"unterminated", R"({"a": "b)", R"(")"}) {
+    EXPECT_FALSE(parses(bad)) << bad;
+  }
+}
+
+TEST(JsonCorpus, StructuralGarbageIsRejected) {
+  for (const char* bad :
+       {"", "   ", ",", ":", "}", "]", "{]", "[}", "[,]", "{:1}", "[1 2]",
+        R"({"a": 1 "b": 2})", R"({42: "numeric key"})", "[1]]", "{}{}",
+        "truefalse", "nul", "+1", "--1", "0x10", "'single'"}) {
+    EXPECT_FALSE(parses(bad)) << bad;
+  }
+}
+
+TEST(JsonCorpus, BinaryGarbageNeverCrashes) {
+  // Every single byte value as a one-byte document, plus a few longer blobs.
+  for (int b = 0; b < 256; ++b) {
+    const std::string one(1, static_cast<char>(b));
+    (void)parses(one);  // must not crash; most throw, digits parse
+  }
+  const std::vector<std::string> blobs = {
+      std::string("\x00\x01\x02", 3),
+      std::string(1024, '\xFF'),
+      "{\"k\": \"\x80\x81\"}",  // raw high bytes inside a string
+  };
+  for (const std::string& blob : blobs) (void)parses(blob);
+}
+
+TEST(JsonCorpus, HugeFlatDocumentsStayLinear) {
+  // Breadth is fine (no recursion involved): a 50k-element flat array.
+  std::string flat = "[0";
+  for (int i = 1; i < 50000; ++i) {
+    flat += ',';
+    flat += std::to_string(i % 10);
+  }
+  flat += ']';
+  const JsonValue v = JsonValue::parse(flat);
+  EXPECT_EQ(v.items().size(), 50000u);
+}
+
+}  // namespace
+}  // namespace stamp::report

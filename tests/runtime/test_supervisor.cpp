@@ -1,0 +1,146 @@
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "runtime/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+namespace stamp::runtime {
+namespace {
+
+const Topology kTopo{.chips = 1, .processors_per_chip = 4,
+                     .threads_per_processor = 4};
+
+class ArmedPlan {
+ public:
+  explicit ArmedPlan(const fault::FaultPlan& plan) {
+    fault::Injector::global().arm(plan);
+  }
+  ~ArmedPlan() { fault::Injector::global().disarm(); }
+};
+
+fault::FaultPlan fail_stop_process(int process) {
+  fault::FaultPlan plan;
+  plan.with(fault::FaultSite::ProcFailStop, 1.0, 0, /*max_per_key=*/1,
+            /*only_key=*/process);
+  return plan;
+}
+
+TEST(FillFirstExcluding, SkipsRetiredProcessors) {
+  // Exclude processor 0: four processes land on processor 1's four threads.
+  const PlacementMap pm = PlacementMap::fill_first_excluding(kTopo, 4, {0});
+  for (int p = 0; p < 4; ++p) EXPECT_EQ(pm.processor_of(p), 1);
+  EXPECT_EQ(pm.process_count(), 4);
+}
+
+TEST(FillFirstExcluding, SpillsAcrossSurvivors) {
+  const PlacementMap pm = PlacementMap::fill_first_excluding(kTopo, 6, {1, 2});
+  for (int p = 0; p < 4; ++p) EXPECT_EQ(pm.processor_of(p), 0);
+  for (int p = 4; p < 6; ++p) EXPECT_EQ(pm.processor_of(p), 3);
+}
+
+TEST(FillFirstExcluding, EmptyExclusionMatchesFillFirst) {
+  const PlacementMap a = PlacementMap::fill_first(kTopo, 8);
+  const PlacementMap b = PlacementMap::fill_first_excluding(kTopo, 8, {});
+  for (int p = 0; p < 8; ++p) EXPECT_EQ(a.slot_of(p), b.slot_of(p));
+}
+
+TEST(FillFirstExcluding, ThrowsWhenSurvivorsCannotHostAll) {
+  // 3 surviving processors x 4 threads = 12 slots < 13 processes.
+  EXPECT_THROW(
+      (void)PlacementMap::fill_first_excluding(kTopo, 13, {2}),
+      std::invalid_argument);
+}
+
+TEST(FillFirstExcluding, RejectsBadProcessorIds) {
+  EXPECT_THROW((void)PlacementMap::fill_first_excluding(kTopo, 1, {4}),
+               std::invalid_argument);
+  EXPECT_THROW((void)PlacementMap::fill_first_excluding(kTopo, 1, {-1}),
+               std::invalid_argument);
+}
+
+TEST(Supervisor, NoFaultsBehavesLikeRunProcesses) {
+  fault::Injector::global().disarm();
+  const PlacementMap pm = PlacementMap::fill_first(kTopo, 4);
+  const SupervisedResult sr = run_supervised(pm, [](Context& ctx) {
+    ctx.int_ops(100 * (ctx.id() + 1));
+  });
+  EXPECT_FALSE(sr.failed_over());
+  EXPECT_TRUE(sr.failed_processes.empty());
+  EXPECT_TRUE(sr.excluded_processors.empty());
+  EXPECT_DOUBLE_EQ(sr.result.total_counters().c_int, 100 + 200 + 300 + 400);
+  EXPECT_EQ(sr.placement.processor_of(0), pm.processor_of(0));
+}
+
+TEST(Supervisor, FailoverRetiresProcessorAndCompletes) {
+  const ArmedPlan armed(fail_stop_process(2));
+  const PlacementMap pm = PlacementMap::fill_first(kTopo, 4);
+  const SupervisedResult sr = run_supervised(pm, [](Context& ctx) {
+    ctx.int_ops(100 * (ctx.id() + 1));
+  });
+  ASSERT_TRUE(sr.failed_over());
+  ASSERT_EQ(sr.failed_processes.size(), 1u);
+  EXPECT_EQ(sr.failed_processes[0], 2);
+  // Process 2 lived on processor 0 (fill-first, 4 threads per processor).
+  ASSERT_EQ(sr.excluded_processors.size(), 1u);
+  EXPECT_EQ(sr.excluded_processors[0], 0);
+  // The surviving placement hosts all four processes off processor 0...
+  for (int p = 0; p < 4; ++p) EXPECT_NE(sr.placement.processor_of(p), 0);
+  // ...and the completed run recorded every process's work exactly once.
+  EXPECT_DOUBLE_EQ(sr.result.total_counters().c_int, 100 + 200 + 300 + 400);
+}
+
+TEST(Supervisor, ResultMatchesFaultFreeRunOnSurvivingPlacement) {
+  const auto body = [](Context& ctx) {
+    ctx.int_ops(10 * (ctx.id() + 1));
+    ctx.fp_ops(3);
+  };
+  SupervisedResult sr = [&] {
+    const ArmedPlan armed(fail_stop_process(1));
+    return run_supervised(PlacementMap::fill_first(kTopo, 4), body);
+  }();
+  ASSERT_TRUE(sr.failed_over());
+  const RunResult reference = run_processes(sr.placement, body);
+  EXPECT_DOUBLE_EQ(sr.result.total_counters().c_int,
+                   reference.total_counters().c_int);
+  EXPECT_DOUBLE_EQ(sr.result.total_counters().c_fp,
+                   reference.total_counters().c_fp);
+}
+
+TEST(Supervisor, GivesUpWhenFailoversExhausted) {
+  // Every process fail-stops on every attempt: no budget survives that.
+  fault::FaultPlan plan;
+  plan.with(fault::FaultSite::ProcFailStop, 1.0);
+  const ArmedPlan armed(plan);
+  EXPECT_THROW((void)run_supervised(PlacementMap::fill_first(kTopo, 4),
+                                    [](Context&) {}, /*max_failovers=*/2),
+               fault::ProcessFailure);
+}
+
+TEST(Supervisor, OtherExceptionsPropagateUnchanged) {
+  fault::Injector::global().disarm();
+  EXPECT_THROW((void)run_supervised(PlacementMap::fill_first(kTopo, 2),
+                                    [](Context& ctx) {
+                                      if (ctx.id() == 1)
+                                        throw std::logic_error("not a fault");
+                                    }),
+               std::logic_error);
+}
+
+TEST(Supervisor, ProcStallDelaysButCompletes) {
+  fault::FaultPlan plan;
+  plan.with(fault::FaultSite::ProcStall, 1.0, /*magnitude=*/1000.0);  // 1 us
+  const ArmedPlan armed(plan);
+  const SupervisedResult sr = run_supervised(
+      PlacementMap::fill_first(kTopo, 4),
+      [](Context& ctx) { ctx.int_ops(1); });
+  EXPECT_FALSE(sr.failed_over());
+  EXPECT_DOUBLE_EQ(sr.result.total_counters().c_int, 4);
+  EXPECT_EQ(fault::Injector::global().injected(fault::FaultSite::ProcStall),
+            4u);
+}
+
+}  // namespace
+}  // namespace stamp::runtime

@@ -1,0 +1,398 @@
+/// \file stamp_chaos.cpp
+/// \brief Seeded chaos campaigns over the STAMP stack: arm a deterministic
+///        FaultPlan, run a fixed scenario suite through the real subsystems
+///        (STM retry loop, mailboxes, supervised executor, machine simulator,
+///        governor), and emit a stamp-chaos/v1 JSON report.
+///
+/// Determinism contract: the report is a pure function of the seed. Fault
+/// decisions are keyed by logical actor (process id, task id, core id), never
+/// by thread identity, and the report contains no wall-clock data and no
+/// worker counts — so `--jobs 1` and `--jobs 4` produce byte-identical
+/// output. CI diffs exactly that.
+
+#include "api/evaluator.hpp"
+#include "fault/fault.hpp"
+#include "machine/governor.hpp"
+#include "machine/trace.hpp"
+#include "msg/mailbox.hpp"
+#include "report/json.hpp"
+#include "runtime/executor.hpp"
+#include "stm/stm.hpp"
+#include "stm/tarray.hpp"
+#include "sweep/pool.hpp"
+#include "cli.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using stamp::Distribution;
+using stamp::Evaluator;
+using stamp::Topology;
+
+struct ScenarioReport {
+  std::string name;
+  /// Integer observations (counts, ids, booleans as 0/1), insertion order.
+  std::vector<std::pair<std::string, long long>> counts;
+  /// Model quantities (makespans, energies, kappa), insertion order.
+  std::vector<std::pair<std::string, double>> numbers;
+  /// Injections by site, from the injector (site declaration order).
+  std::vector<std::pair<std::string, std::uint64_t>> faults;
+};
+
+void snapshot_faults(ScenarioReport& report) {
+  report.faults = Evaluator::injector().injected_by_site();
+}
+
+/// Disjoint-TVar transactions under a forced-abort storm: every abort is an
+/// injected one, so the retry/kappa machinery is exercised with a schedule
+/// that is deterministic per process stream.
+ScenarioReport scenario_stm_storm(std::uint64_t seed) {
+  constexpr int kProcesses = 4;
+  constexpr int kTxnsPerProcess = 64;
+  stamp::fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.with(stamp::fault::FaultSite::StmAbort, 0.25);
+  Evaluator::with_faults(plan);
+
+  Evaluator eval;
+  stamp::stm::StmRuntime rt;
+  stamp::stm::TArray<int> slots(kProcesses, 0);
+  const auto outcome = eval.run(
+      kProcesses, Distribution::IntraProc, [&](stamp::runtime::Context& ctx) {
+        for (int i = 0; i < kTxnsPerProcess; ++i) {
+          rt.atomically(ctx, [&](stamp::stm::Transaction& tx) {
+            auto& var = slots.var(static_cast<std::size_t>(ctx.id()));
+            tx.write(var, tx.read(var) + 1);
+          });
+        }
+      });
+
+  ScenarioReport report;
+  report.name = "stm_storm";
+  report.counts.emplace_back(
+      "commits", static_cast<long long>(rt.stats().commits.load()));
+  report.counts.emplace_back(
+      "aborts", static_cast<long long>(rt.stats().aborts.load()));
+  report.counts.emplace_back(
+      "max_retries", static_cast<long long>(rt.stats().max_retries.load()));
+  report.numbers.emplace_back("kappa_total",
+                              outcome.run.total_counters().kappa);
+  snapshot_faults(report);
+  Evaluator::clear_faults();
+  return report;
+}
+
+/// A certain-abort site against a bounded retry budget: the first transaction
+/// exhausts its budget (RetryExhausted), the per-key injection cap then runs
+/// out mid-way through the second, and the rest commit clean.
+ScenarioReport scenario_stm_retry_budget(std::uint64_t seed) {
+  constexpr int kTxns = 4;
+  stamp::fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.with(stamp::fault::FaultSite::StmAbort, 1.0, 0.0, /*max_per_key=*/5);
+  Evaluator::with_faults(plan);
+
+  Evaluator eval;
+  stamp::stm::StmRuntime rt;
+  rt.set_retry_policy(stamp::fault::RetryPolicy::bounded(3));
+  stamp::stm::TVar<int> v(0);
+  long long exhausted = 0;
+  const auto outcome =
+      eval.run(1, Distribution::IntraProc, [&](stamp::runtime::Context& ctx) {
+        for (int i = 0; i < kTxns; ++i) {
+          try {
+            rt.atomically(ctx, [&](stamp::stm::Transaction& tx) {
+              tx.write(v, tx.read(v) + 1);
+            });
+          } catch (const stamp::fault::RetryExhausted&) {
+            ++exhausted;
+          }
+        }
+      });
+  static_cast<void>(outcome);
+
+  ScenarioReport report;
+  report.name = "stm_retry_budget";
+  report.counts.emplace_back(
+      "commits", static_cast<long long>(rt.stats().commits.load()));
+  report.counts.emplace_back(
+      "aborts", static_cast<long long>(rt.stats().aborts.load()));
+  report.counts.emplace_back("retry_exhausted", exhausted);
+  report.counts.emplace_back("committed_value",
+                             static_cast<long long>(v.peek()));
+  snapshot_faults(report);
+  Evaluator::clear_faults();
+  return report;
+}
+
+/// Independent mailbox tasks fanned out over a work-stealing pool. Each task
+/// scopes its own actor key, so drop/delay/duplicate decisions follow the
+/// task, not the worker thread — this is the scenario that proves the
+/// any-worker-count determinism guarantee.
+ScenarioReport scenario_mailbox_pipeline(std::uint64_t seed, int jobs) {
+  constexpr std::size_t kTasks = 16;
+  constexpr int kMessagesPerTask = 32;
+  stamp::fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.with(stamp::fault::FaultSite::MsgDrop, 0.2);
+  plan.with(stamp::fault::FaultSite::MsgDuplicate, 0.15);
+  plan.with(stamp::fault::FaultSite::MsgDelay, 0.1, /*magnitude=*/1000.0);
+  Evaluator::with_faults(plan);
+
+  std::vector<long long> delivered(kTasks, 0);
+  stamp::sweep::Pool pool(jobs);
+  pool.parallel_for(kTasks, [&](std::size_t task) {
+    const stamp::fault::ActorScope actor(100 + task);
+    stamp::msg::Mailbox<int> box;
+    for (int m = 0; m < kMessagesPerTask; ++m) box.send(m);
+    while (box.try_receive()) ++delivered[task];
+  });
+
+  long long total_delivered = 0;
+  for (const long long d : delivered) total_delivered += d;
+
+  ScenarioReport report;
+  report.name = "mailbox_pipeline";
+  report.counts.emplace_back(
+      "sent", static_cast<long long>(kTasks) * kMessagesPerTask);
+  report.counts.emplace_back("delivered", total_delivered);
+  snapshot_faults(report);
+  Evaluator::clear_faults();
+  return report;
+}
+
+/// Fail-stop exactly process 2 once; the supervised executor retires its
+/// processor and re-runs on the survivors. The surviving run's counters must
+/// equal a fault-free reference run on the same surviving placement.
+ScenarioReport scenario_supervised_failover(std::uint64_t seed) {
+  constexpr int kProcesses = 4;
+  stamp::fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.with(stamp::fault::FaultSite::ProcFailStop, 1.0, 0.0,
+            /*max_per_key=*/1, /*only_key=*/2);
+  Evaluator::with_faults(plan);
+
+  const auto body = [](stamp::runtime::Context& ctx) {
+    ctx.int_ops(100.0 * (ctx.id() + 1));
+    ctx.fp_ops(10.0 * (ctx.id() + 1));
+  };
+  Evaluator eval;
+  const auto supervised =
+      eval.run_supervised(kProcesses, Distribution::IntraProc, body);
+
+  ScenarioReport report;
+  report.name = "supervised_failover";
+  snapshot_faults(report);
+  Evaluator::clear_faults();
+
+  const auto reference =
+      stamp::runtime::run_processes(supervised.placement, body);
+  const auto got = supervised.result.total_counters();
+  const auto want = reference.total_counters();
+  const bool matches = got.c_int == want.c_int && got.c_fp == want.c_fp;
+
+  report.counts.emplace_back("failed_over", supervised.failed_over() ? 1 : 0);
+  report.counts.emplace_back("failed_process",
+                             supervised.failed_processes.empty()
+                                 ? -1
+                                 : supervised.failed_processes.front());
+  report.counts.emplace_back(
+      "excluded_processor", supervised.excluded_processors.empty()
+                                ? -1
+                                : supervised.excluded_processors.front());
+  report.counts.emplace_back("matches_reference", matches ? 1 : 0);
+  report.numbers.emplace_back("total_int_ops", got.c_int);
+  return report;
+}
+
+/// Kill simulated core 0 (replay throws CoreFailure), re-place around it,
+/// and replay under latency spikes: the degraded makespan is the price of
+/// surviving the failure.
+ScenarioReport scenario_sim_degraded(std::uint64_t seed) {
+  constexpr int kProcesses = 4;
+  stamp::fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.with(stamp::fault::FaultSite::SimCoreFail, 1.0, 0.0, /*max_per_key=*/1,
+            /*only_key=*/0);
+  plan.with(stamp::fault::FaultSite::SimLatencySpike, 0.4, /*magnitude=*/4.0);
+  Evaluator::with_faults(plan);
+
+  Evaluator eval;
+  const Topology topo = eval.machine().topology;
+  std::vector<stamp::machine::ProcessTrace> traces(
+      static_cast<std::size_t>(kProcesses));
+  for (auto& trace : traces) {
+    trace.push_back(
+        {stamp::machine::TraceOp::Kind::Compute, 100.0, false, 20.0});
+    trace.push_back({stamp::machine::TraceOp::Kind::ShmRead, 50.0, true, 0.0});
+    trace.push_back({stamp::machine::TraceOp::Kind::Compute, 50.0, false, 0.0});
+    trace.push_back({stamp::machine::TraceOp::Kind::ShmWrite, 25.0, true, 0.0});
+  }
+
+  long long failed_core = -1;
+  stamp::machine::SimResult result;
+  auto placement =
+      stamp::runtime::PlacementMap::one_per_processor(topo, kProcesses);
+  try {
+    result = eval.simulate(traces, placement);
+  } catch (const stamp::fault::CoreFailure& failure) {
+    failed_core = failure.core();
+    placement = stamp::runtime::PlacementMap::fill_first_excluding(
+        topo, kProcesses, {failure.core()});
+    result = eval.simulate(traces, placement);
+  }
+
+  ScenarioReport report;
+  report.name = "sim_degraded";
+  report.counts.emplace_back("failed_core", failed_core);
+  report.numbers.emplace_back("makespan", result.makespan);
+  report.numbers.emplace_back("energy", result.energy);
+  snapshot_faults(report);
+  Evaluator::clear_faults();
+  return report;
+}
+
+/// No injection: the governor's graceful-degradation lever alone. A per-core
+/// cap worth 3 threads of nominal power on a 4-thread core must shed exactly
+/// one thread — the paper's 3-of-4-threads conclusion.
+ScenarioReport scenario_governor_degrade(std::uint64_t seed) {
+  static_cast<void>(seed);
+  Evaluator eval;
+  const Topology topo = eval.machine().topology;
+  stamp::PowerEnvelope envelope;
+  envelope.per_processor = 3.0;  // 3x the per-thread nominal power below
+  const auto degraded =
+      stamp::machine::degrade_threads(1.0, topo, envelope);
+
+  ScenarioReport report;
+  report.name = "governor_degrade";
+  report.counts.emplace_back("threads_per_processor",
+                             degraded.threads_per_processor);
+  report.counts.emplace_back("degraded", degraded.degraded ? 1 : 0);
+  report.counts.emplace_back("feasible", degraded.feasible ? 1 : 0);
+  report.numbers.emplace_back("min_frequency",
+                              degraded.governor.min_frequency_used);
+  report.numbers.emplace_back("worst_slowdown",
+                              degraded.governor.worst_slowdown);
+  return report;
+}
+
+void write_report(std::ostream& os, std::uint64_t seed,
+                  const std::vector<ScenarioReport>& scenarios) {
+  stamp::report::JsonWriter json(os);
+  json.begin_object();
+  json.kv("schema", "stamp-chaos/v1");
+  json.kv("seed", static_cast<long long>(seed));
+  json.key("scenarios").begin_array();
+  for (const ScenarioReport& s : scenarios) {
+    json.begin_object();
+    json.kv("name", s.name);
+    for (const auto& [k, v] : s.counts) json.kv(k, v);
+    for (const auto& [k, v] : s.numbers) json.kv(k, v);
+    json.key("faults").begin_object();
+    for (const auto& [site, n] : s.faults)
+      json.kv(site, static_cast<long long>(n));
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  os << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int seed = 42;
+  int jobs = 1;
+  std::string out;
+  std::vector<std::string> only;
+  bool list = false;
+
+  stamp::tools::Cli cli("stamp_chaos",
+                        "run seeded fault-injection campaigns and emit a "
+                        "stamp-chaos/v1 report (byte-identical at any --jobs)");
+  cli.option_int("seed", &seed, "N", "fault plan seed (default 42)")
+      .option_int("jobs", &jobs, "N",
+                  "pool width for fan-out scenarios; 0 = hardware")
+      .option_string("out", &out, "FILE",
+                     "write the report here (default stdout)")
+      .option_list("only", &only, "NAME", "run just this scenario")
+      .flag("list", &list, "list scenario names and exit");
+  switch (cli.parse(argc, argv)) {
+    case stamp::tools::Cli::Parse::Help:
+      return 0;
+    case stamp::tools::Cli::Parse::Error:
+      return 2;
+    case stamp::tools::Cli::Parse::Ok:
+      break;
+  }
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+
+  const std::vector<std::string> names = {
+      "stm_storm",       "stm_retry_budget",    "mailbox_pipeline",
+      "supervised_failover", "sim_degraded",    "governor_degrade"};
+  if (list) {
+    for (const std::string& n : names) std::cout << n << "\n";
+    return 0;
+  }
+  for (const std::string& n : only) {
+    if (std::find(names.begin(), names.end(), n) == names.end()) {
+      std::cerr << "stamp_chaos: unknown scenario '" << n << "'\n";
+      return 2;
+    }
+  }
+  const auto selected = [&](const std::string& n) {
+    return only.empty() || std::find(only.begin(), only.end(), n) != only.end();
+  };
+
+  const auto useed = static_cast<std::uint64_t>(seed);
+  std::vector<ScenarioReport> reports;
+  try {
+    if (selected("stm_storm")) reports.push_back(scenario_stm_storm(useed));
+    if (selected("stm_retry_budget"))
+      reports.push_back(scenario_stm_retry_budget(useed));
+    if (selected("mailbox_pipeline"))
+      reports.push_back(scenario_mailbox_pipeline(useed, jobs));
+    if (selected("supervised_failover"))
+      reports.push_back(scenario_supervised_failover(useed));
+    if (selected("sim_degraded"))
+      reports.push_back(scenario_sim_degraded(useed));
+    if (selected("governor_degrade"))
+      reports.push_back(scenario_governor_degrade(useed));
+  } catch (const std::exception& e) {
+    stamp::Evaluator::clear_faults();
+    std::cerr << "stamp_chaos: scenario failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::ostringstream buffer;
+  write_report(buffer, useed, reports);
+  if (out.empty()) {
+    std::cout << buffer.str();
+  } else {
+    std::ofstream file(out, std::ios::binary);
+    if (!file) {
+      std::cerr << "stamp_chaos: cannot open '" << out << "' for writing\n";
+      return 2;
+    }
+    file << buffer.str();
+    if (!file.good()) {
+      std::cerr << "stamp_chaos: write to '" << out << "' failed\n";
+      return 2;
+    }
+  }
+  return 0;
+}

@@ -3,11 +3,15 @@
 ///        checked-in baseline.
 ///
 /// Exit codes: 0 = within tolerance, 1 = drift or structural mismatch,
-/// 2 = usage / IO / parse error. CI treats anything non-zero as a red PR.
+/// 2 = usage / IO error, 3 = an input file is not valid JSON (the message
+/// names the offending file and the byte offset). CI treats anything
+/// non-zero as a red PR; 3 specifically means "fix the artifact, not the
+/// code".
 ///
 /// Usage: see `stamp_gate --help` (generated from the option table).
 
 #include "cli.hpp"
+#include "report/json_parse.hpp"
 #include "sweep/gate.hpp"
 
 #include <fstream>
@@ -65,7 +69,8 @@ int main(int argc, char** argv) {
 
   Cli cli("stamp_gate",
           "Compare a fresh stamp-sweep/v1 artifact against a baseline. "
-          "Exit 0 = within tolerance, 1 = drift, 2 = usage/IO error.");
+          "Exit 0 = within tolerance, 1 = drift, 2 = usage/IO error, "
+          "3 = unparseable JSON input.");
   cli.positional("baseline.json", &baseline_path, "checked-in baseline artifact")
       .positional("fresh.json", &fresh_path, "freshly produced artifact")
       .option_list("tol", &tolerance_specs, "METRIC=REL",
@@ -96,6 +101,24 @@ int main(int argc, char** argv) {
     std::cerr << "stamp_gate: cannot read fresh sweep '" << fresh_path << "'\n";
     return 2;
   }
+
+  // Pre-parse both inputs so an unparseable file gets its own exit code and
+  // a message naming the file — a truncated or corrupt baseline should read
+  // as "regenerate the artifact", not as model drift.
+  const auto check_parses = [](const std::string& path,
+                               const std::string& text) {
+    try {
+      static_cast<void>(stamp::report::JsonValue::parse(text));
+      return true;
+    } catch (const stamp::report::JsonParseError& e) {
+      std::cerr << "stamp_gate: '" << path
+                << "' is not valid JSON: " << e.what() << "\n";
+      return false;
+    }
+  };
+  if (!check_parses(baseline_path, baseline_text) ||
+      !check_parses(fresh_path, fresh_text))
+    return 3;
 
   try {
     const stamp::sweep::GateReport report =
