@@ -1,19 +1,35 @@
-/// P2 — sweep-engine throughput: serial evaluation vs the work-stealing
-/// `sweep::Pool` over the canonical 576-point machine-parameter grid.
+/// P2 — sweep-engine throughput: serial evaluation vs the range-claiming
+/// work-stealing `sweep::Pool` over an 8-axis machine-parameter grid (the
+/// canonical 7 axes plus a `processes` bound axis: 1152 points).
 ///
 /// This is the scaling claim behind the CI pipeline: turning the one-shot
 /// benches into a grid sweep only pays off if the sweep itself runs as fast
 /// as the hardware allows. The table reports wall time, points/s, speedup
-/// over serial, memoization hit rate, and how many chunks were stolen —
-/// stealing is what keeps the speedup near the worker count even though
+/// over serial, memoization hit rate, and how many range splits were stolen
+/// — stealing is what keeps the speedup near the worker count even though
 /// grid points differ in cost (greedy placement at 16 cores is far more
 /// work than fill-first at 2).
+///
+/// Besides the human-readable table, the bench emits a machine-readable
+/// `BENCH_sweep.json` (`stamp-bench-sweep/v1`): points/sec for the serial
+/// path and each pool width, cache hit rate, and steal counts. CI's bench
+/// job uploads it as an artifact and gates it against the checked-in
+/// `bench/BENCH_sweep.json` baseline: the run fails if serial points/sec
+/// regresses more than 20% (pass `--baseline FILE`; absolute throughput is
+/// machine-dependent, so refresh the baseline when hardware changes).
+///
+/// Usage: bench_sweep [--out FILE] [--baseline FILE] [--reps N]
 
+#include "report/json.hpp"
+#include "report/json_parse.hpp"
 #include "report/table.hpp"
 #include "sweep/sweep.hpp"
 
 #include <chrono>
+#include <fstream>
+#include <functional>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,55 +54,105 @@ double best_seconds(int reps, const std::function<void()>& fn) {
   return best;
 }
 
+double hit_rate_of(const stamp::sweep::SweepStats& stats) {
+  const double total =
+      static_cast<double>(stats.cache_hits + stats.cache_misses);
+  return total > 0 ? static_cast<double>(stats.cache_hits) / total : 0.0;
+}
+
+struct PoolSample {
+  int threads = 0;
+  double seconds = 0;
+  double points_per_sec = 0;
+  double hit_rate = 0;
+  std::uint64_t steals = 0;
+};
+
+/// The bench grid: the canonical 7 axes plus a `processes` bound axis, so
+/// the JSON reports throughput on an 8-axis, 1152-point design space.
+stamp::sweep::SweepConfig bench_config() {
+  stamp::sweep::SweepConfig cfg = stamp::sweep::SweepConfig::canonical();
+  cfg.grid.axis(std::string(stamp::sweep::axes::kProcesses), {16, 64});
+  cfg.workload = "uniform-comm-bench8";
+  return cfg;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stamp;
+
+  std::string out_path = "BENCH_sweep.json";
+  std::string baseline_path;
+  int reps = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_sweep: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--baseline") {
+      baseline_path = next();
+    } else if (arg == "--reps") {
+      reps = std::stoi(next());
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: bench_sweep [--out FILE] [--baseline FILE] "
+                   "[--reps N]\n";
+      return 0;
+    } else {
+      std::cerr << "bench_sweep: unknown option '" << arg << "'\n";
+      return 2;
+    }
+  }
 
   report::print_section(std::cout, "P2: parameter-sweep engine throughput");
 
-  const sweep::SweepConfig cfg = sweep::SweepConfig::canonical();
+  const sweep::SweepConfig cfg = bench_config();
   const std::size_t points = cfg.grid.size();
-  constexpr int kReps = 5;
 
   // Reference: plain serial loop, no pool involved.
   sweep::SweepResult serial_result;
   const double serial_s =
-      best_seconds(kReps, [&] { serial_result = sweep::run_sweep_serial(cfg); });
+      best_seconds(reps, [&] { serial_result = sweep::run_sweep_serial(cfg); });
+  const double serial_pps = static_cast<double>(points) / serial_s;
 
   report::Table table(
-      "Canonical grid: " + std::to_string(points) + " points, best of " +
-          std::to_string(kReps),
+      "8-axis grid: " + std::to_string(points) + " points, best of " +
+          std::to_string(reps),
       {"configuration", "time [ms]", "points/s", "speedup", "hit rate", "steals"});
   table.set_precision(2);
+  table.add_row({std::string("serial"), serial_s * 1e3, serial_pps, 1.0,
+                 hit_rate_of(serial_result.stats), 0.0});
 
-  const double serial_hit_rate =
-      static_cast<double>(serial_result.stats.cache_hits) /
-      static_cast<double>(serial_result.stats.cache_hits +
-                          serial_result.stats.cache_misses);
-  table.add_row({std::string("serial"), serial_s * 1e3,
-                 static_cast<double>(points) / serial_s, 1.0, serial_hit_rate,
-                 0.0});
-
-  std::vector<int> widths{1, 2, 4};
+  std::vector<int> widths{1, 2, 4, 8};
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  if (hw > 4) widths.push_back(hw);
+  if (hw > 8) widths.push_back(hw);
 
+  std::vector<PoolSample> samples;
   double speedup_at_4 = 0;
   for (const int threads : widths) {
     sweep::Pool pool(threads);
     sweep::SweepResult result;
+    const std::uint64_t steals_before = pool.steals();
     const double s =
-        best_seconds(kReps, [&] { result = sweep::run_sweep(cfg, pool); });
-    const double hit_rate =
-        static_cast<double>(result.stats.cache_hits) /
-        static_cast<double>(result.stats.cache_hits +
-                            result.stats.cache_misses);
+        best_seconds(reps, [&] { result = sweep::run_sweep(cfg, pool); });
+    PoolSample sample;
+    sample.threads = threads;
+    sample.seconds = s;
+    sample.points_per_sec = static_cast<double>(points) / s;
+    sample.hit_rate = hit_rate_of(result.stats);
+    sample.steals = pool.steals() - steals_before;  // across all reps
+    samples.push_back(sample);
     const double speedup = serial_s / s;
     if (threads == 4) speedup_at_4 = speedup;
     table.add_row({"pool(" + std::to_string(threads) + ")", s * 1e3,
-                   static_cast<double>(points) / s, speedup, hit_rate,
-                   static_cast<double>(result.stats.pool_steals)});
+                   sample.points_per_sec, speedup, sample.hit_rate,
+                   static_cast<double>(sample.steals)});
 
     // The scaling contract: identical output at every pool width.
     if (result.records != serial_result.records) {
@@ -109,6 +175,75 @@ int main() {
     } else {
       std::cout << "WARNING: pool(4) speedup " << speedup_at_4
                 << "x is below the 2x acceptance floor (noisy machine?)\n";
+    }
+  }
+
+  // -- machine-readable artifact ---------------------------------------------
+  if (!out_path.empty()) {
+    std::ofstream os(out_path, std::ios::binary);
+    if (!os) {
+      std::cerr << "bench_sweep: cannot open '" << out_path << "'\n";
+      return 2;
+    }
+    report::JsonWriter w(os);
+    w.begin_object();
+    w.kv("schema", "stamp-bench-sweep/v1");
+    w.key("grid").begin_object();
+    w.kv("axes", static_cast<long long>(cfg.grid.axes().size()));
+    w.kv("points", static_cast<long long>(points));
+    w.end_object();
+    w.kv("reps", reps);
+    w.kv("hardware_threads", hw);
+    w.key("serial").begin_object();
+    w.kv("ms", serial_s * 1e3);
+    w.kv("points_per_sec", serial_pps);
+    w.kv("cache_hit_rate", hit_rate_of(serial_result.stats));
+    w.end_object();
+    w.key("pools").begin_array();
+    for (const PoolSample& s : samples) {
+      w.begin_object();
+      w.kv("threads", s.threads);
+      w.kv("ms", s.seconds * 1e3);
+      w.kv("points_per_sec", s.points_per_sec);
+      w.kv("cache_hit_rate", s.hit_rate);
+      w.kv("steals", static_cast<long long>(s.steals));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << "\n";
+    std::cout << "\nwrote " << out_path << "\n";
+  }
+
+  // -- regression gate against a checked-in baseline -------------------------
+  if (!baseline_path.empty()) {
+    std::ifstream is(baseline_path, std::ios::binary);
+    if (!is) {
+      std::cerr << "bench_sweep: cannot read baseline '" << baseline_path
+                << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    double base_pps = 0;
+    try {
+      const report::JsonValue base = report::JsonValue::parse(text.str());
+      const report::JsonValue* serial = base.find("serial");
+      const report::JsonValue* pps =
+          serial ? serial->find("points_per_sec") : nullptr;
+      if (!pps) throw std::runtime_error("missing serial.points_per_sec");
+      base_pps = pps->as_number();
+    } catch (const std::exception& e) {
+      std::cerr << "bench_sweep: bad baseline: " << e.what() << "\n";
+      return 2;
+    }
+    const double ratio = serial_pps / base_pps;
+    std::cout << "gate: serial " << serial_pps << " points/s vs baseline "
+              << base_pps << " (" << ratio << "x)\n";
+    if (ratio < 0.8) {
+      std::cerr << "FAIL: serial points/sec regressed more than 20% against "
+                << baseline_path << "\n";
+      return 1;
     }
   }
   return 0;

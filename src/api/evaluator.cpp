@@ -94,8 +94,10 @@ machine::SimResult Evaluator::simulate_run(const runtime::RunResult& run,
 sweep::SweepResult Evaluator::sweep(const sweep::SweepConfig& config,
                                     int threads) const {
   if (threads <= 1) return sweep::run_sweep_serial(config);
-  sweep::Pool pool(threads);
-  return sweep::run_sweep(config, pool);
+  std::lock_guard<std::mutex> lock(sweep_pool_mutex_);
+  if (!sweep_pool_ || sweep_pool_->threads() != threads)
+    sweep_pool_ = std::make_unique<sweep::Pool>(threads);
+  return sweep::run_sweep(config, *sweep_pool_);
 }
 
 void Evaluator::write_trace(std::ostream& os) {

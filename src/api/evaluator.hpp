@@ -26,6 +26,8 @@
 #include "sweep/sweep.hpp"
 
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -144,7 +146,9 @@ class Evaluator {
   /// Evaluate a parameter grid; `threads` > 1 uses a work-stealing pool and
   /// produces a byte-identical artifact to the serial run. The config's own
   /// base machine and objective apply (a sweep explores many machines; the
-  /// Evaluator's machine is not forced onto it).
+  /// Evaluator's machine is not forced onto it). The pool is cached on the
+  /// Evaluator and reused by later `sweep` calls of the same width, so a
+  /// loop of sweeps spawns its worker threads once, not per call.
   [[nodiscard]] sweep::SweepResult sweep(const sweep::SweepConfig& config,
                                          int threads = 1) const;
 
@@ -174,6 +178,12 @@ class Evaluator {
 
  private:
   EvaluatorOptions options_;
+  /// Sweep-pool cache: rebuilt only when a `sweep` call asks for a different
+  /// width. Mutable because pooling threads is a caching detail of the
+  /// logically-const sweep; the mutex serializes concurrent sweep calls on
+  /// one Evaluator (the pool itself allows only one loop at a time anyway).
+  mutable std::mutex sweep_pool_mutex_;
+  mutable std::unique_ptr<sweep::Pool> sweep_pool_;
 };
 
 }  // namespace stamp

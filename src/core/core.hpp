@@ -8,6 +8,7 @@
 #include "core/crossover.hpp"
 #include "core/counters.hpp"
 #include "core/envelope.hpp"
+#include "core/function_ref.hpp"
 #include "core/metrics.hpp"
 #include "core/params.hpp"
 #include "core/placement.hpp"

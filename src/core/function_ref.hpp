@@ -1,0 +1,71 @@
+#pragma once
+/// \file function_ref.hpp
+/// \brief `core::function_ref` — a non-owning, trivially copyable reference
+///        to a callable (two words: object pointer + trampoline pointer).
+///
+/// `std::function` type-erases by *owning* a copy of the callable, which
+/// costs an allocation for captures beyond the small-buffer size and an
+/// indirect call through a vtable-like dispatch on every invocation. Hot
+/// paths that only need to *borrow* a callable for the duration of one call
+/// (`Pool::parallel_for`, `CostCache::get_or_compute`) pay for none of that
+/// with a `function_ref`: construction is two pointer stores, invocation is
+/// one indirect call, and nothing is ever allocated.
+///
+/// The referenced callable must outlive every invocation. Binding a
+/// temporary lambda in a call expression is fine — the temporary lives until
+/// the full expression (the call) ends — but *storing* a `function_ref`
+/// built from a temporary is a dangling reference, exactly like
+/// `std::string_view`.
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace stamp::core {
+
+template <class Signature>
+class function_ref;  // undefined; only the R(Args...) partial spec exists
+
+template <class R, class... Args>
+class function_ref<R(Args...)> {
+ public:
+  function_ref() = delete;  // there is no "empty" reference
+
+  /// Bind any callable invocable as R(Args...). Intentionally implicit so
+  /// lambdas convert at call sites, mirroring std::function.
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, function_ref> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  function_ref(F&& f) noexcept {
+    using Callable = std::remove_reference_t<F>;
+    if constexpr (std::is_function_v<Callable>) {
+      // A function lvalue: store the function pointer itself. The
+      // function-pointer <-> void* round-trip is conditionally supported
+      // but universal on the POSIX platforms this project targets.
+      obj_ = reinterpret_cast<void*>(std::addressof(f));
+      call_ = [](void* obj, Args... args) -> R {
+        return std::invoke(reinterpret_cast<Callable*>(obj),
+                           std::forward<Args>(args)...);
+      };
+    } else {
+      obj_ = const_cast<void*>(static_cast<const void*>(std::addressof(f)));
+      call_ = [](void* obj, Args... args) -> R {
+        return std::invoke(*static_cast<Callable*>(obj),
+                           std::forward<Args>(args)...);
+      };
+    }
+  }
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace stamp::core

@@ -4,9 +4,46 @@
 #include "obs/span.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstring>
+#include <stdexcept>
 
 namespace stamp::sweep {
+namespace {
+
+/// Canonical bit pattern of one key component: -0.0 collapses to 0.0 (equal
+/// grid values must share a cache line), NaN/Inf are rejected (a NaN key
+/// would never match itself; an Inf grid value is a config bug upstream).
+std::uint64_t canonical_bits(double v) {
+  if (!std::isfinite(v))
+    throw std::invalid_argument(
+        "CostCache: key component is NaN or infinite");
+  if (v == 0.0) v = 0.0;  // maps -0.0 onto +0.0
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+/// splitmix64 finalizer: the standard strong 64-bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Map a (well-mixed) hash to a probe start in a power-of-two slot array.
+/// Fibonacci hashing over the high bits keeps the probe sequence decorrelated
+/// from shard selection, which uses the hash modulo the shard count.
+constexpr std::size_t probe_start(std::uint64_t hash,
+                                  std::size_t mask) noexcept {
+  return static_cast<std::size_t>((hash * 0x9E3779B97F4A7C15ull) >> 32) & mask;
+}
+
+constexpr std::size_t kInitialSlots = 16;
+
+}  // namespace
 
 CostCache::CostCache(std::size_t shards, std::size_t max_entries_per_shard)
     : max_entries_per_shard_(max_entries_per_shard) {
@@ -16,53 +53,192 @@ CostCache::CostCache(std::size_t shards, std::size_t max_entries_per_shard)
     shards_.push_back(std::make_unique<Shard>());
 }
 
-std::string CostCache::encode(std::span<const double> key) {
-  std::string out(key.size() * sizeof(double), '\0');
-  if (!key.empty()) std::memcpy(out.data(), key.data(), out.size());
-  return out;
+std::uint64_t CostCache::hash_key(std::span<const double> key) {
+  // Length-seeded so a tuple and its prefix never hash alike.
+  std::uint64_t h = mix64(0x5354414D50ull ^ key.size());  // "STAMP"
+  for (const double v : key) h = mix64(h ^ canonical_bits(v));
+  return h;
 }
 
-CostCache::Shard& CostCache::shard_for(const std::string& encoded) {
-  const std::size_t h = std::hash<std::string>{}(encoded);
-  return *shards_[h % shards_.size()];
+CostCache::Shard& CostCache::shard_for(std::uint64_t hash) {
+  return *shards_[static_cast<std::size_t>(hash % shards_.size())];
+}
+
+std::int32_t CostCache::find_locked(Shard& shard, std::uint64_t hash,
+                                    std::span<const double> key) const {
+  if (shard.slots.empty()) return -1;
+  const std::size_t mask = shard.slots.size() - 1;
+  std::size_t idx = probe_start(hash, mask);
+  for (;;) {
+    const std::int32_t s = shard.slots[idx];
+    if (s == kEmptySlot) return -1;
+    if (s != kTombstone) {
+      const Entry& e = shard.entries[static_cast<std::size_t>(s)];
+      if (e.hash == hash && e.key_len == key.size()) {
+        // Verify the full tuple: a 64-bit collision degrades to one more
+        // probe step, never a wrong value. `==` treats -0.0 and 0.0 as the
+        // same component, matching the canonical hash.
+        const double* stored = shard.key_arena.data() + e.key_offset;
+        bool equal = true;
+        for (std::size_t i = 0; i < key.size(); ++i) {
+          if (!(stored[i] == key[i])) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) return s;
+      }
+    }
+    idx = (idx + 1) & mask;
+  }
+}
+
+void CostCache::rehash_locked(Shard& shard, std::size_t min_slots) {
+  std::size_t cap = kInitialSlots;
+  while (cap < min_slots) cap *= 2;
+  std::vector<std::int32_t> fresh(cap, kEmptySlot);
+  const std::size_t mask = cap - 1;
+  for (const std::int32_t s : shard.slots) {
+    if (s < 0) continue;  // empty or tombstone
+    const Entry& e = shard.entries[static_cast<std::size_t>(s)];
+    std::size_t idx = probe_start(e.hash, mask);
+    while (fresh[idx] != kEmptySlot) idx = (idx + 1) & mask;
+    fresh[idx] = s;
+  }
+  shard.slots = std::move(fresh);
+  shard.tombstones = 0;
+}
+
+void CostCache::evict_oldest_locked(Shard& shard) {
+  const std::int32_t victim = shard.fifo[shard.fifo_head];
+  shard.fifo_head = (shard.fifo_head + 1) % shard.fifo.size();
+  --shard.fifo_size;
+
+  const Entry& e = shard.entries[static_cast<std::size_t>(victim)];
+  const std::size_t mask = shard.slots.size() - 1;
+  std::size_t idx = probe_start(e.hash, mask);
+  while (shard.slots[idx] != victim) idx = (idx + 1) & mask;
+  shard.slots[idx] = kTombstone;
+  ++shard.tombstones;
+  --shard.live;
+  shard.free.push_back(victim);  // the arena span is reused with the entry
+
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::metrics_enabled())
+    obs::MetricsRegistry::global().counter("cache.evictions").add();
+}
+
+PointCost CostCache::insert_locked(Shard& shard, std::uint64_t hash,
+                                   std::span<const double> key,
+                                   const PointCost& value) {
+  if (max_entries_per_shard_ > 0 && shard.live >= max_entries_per_shard_)
+    evict_oldest_locked(shard);
+
+  // Keep the probe chains short: grow (or purge tombstones) at 70% load.
+  if (shard.slots.empty()) {
+    shard.slots.assign(kInitialSlots, kEmptySlot);
+  } else if ((shard.live + shard.tombstones + 1) * 10 >=
+             shard.slots.size() * 7) {
+    rehash_locked(shard, shard.live * 2 + kInitialSlots);
+  }
+
+  // Entry storage: reuse a freed entry when its arena span fits the new
+  // tuple (always true in a sweep — every key has the grid's arity), else
+  // carve fresh arena space.
+  std::int32_t entry_index;
+  if (!shard.free.empty() &&
+      shard.entries[static_cast<std::size_t>(shard.free.back())].key_len ==
+          key.size()) {
+    entry_index = shard.free.back();
+    shard.free.pop_back();
+  } else {
+    entry_index = static_cast<std::int32_t>(shard.entries.size());
+    Entry fresh;
+    fresh.key_offset = static_cast<std::uint32_t>(shard.key_arena.size());
+    fresh.key_len = static_cast<std::uint32_t>(key.size());
+    shard.key_arena.resize(shard.key_arena.size() + key.size());
+    shard.entries.push_back(fresh);
+  }
+  Entry& e = shard.entries[static_cast<std::size_t>(entry_index)];
+  e.hash = hash;
+  e.value = value;
+  double* stored = shard.key_arena.data() + e.key_offset;
+  for (std::size_t i = 0; i < key.size(); ++i)
+    stored[i] = key[i] == 0.0 ? 0.0 : key[i];  // store canonicalized
+
+  // Link into the slot array, preferring the first tombstone on the chain.
+  const std::size_t mask = shard.slots.size() - 1;
+  std::size_t idx = probe_start(hash, mask);
+  std::size_t place = shard.slots.size();  // sentinel: none yet
+  while (shard.slots[idx] != kEmptySlot) {
+    if (shard.slots[idx] == kTombstone && place == shard.slots.size())
+      place = idx;
+    idx = (idx + 1) & mask;
+  }
+  if (place == shard.slots.size()) {
+    place = idx;
+  } else {
+    --shard.tombstones;
+  }
+  shard.slots[place] = entry_index;
+  ++shard.live;
+
+  // FIFO ring bookkeeping (bounded mode): entry indices in insertion order.
+  if (max_entries_per_shard_ > 0) {
+    if (shard.fifo_size == shard.fifo.size()) {
+      // Grow the ring, re-linearized from head. Capacity is bounded by the
+      // shard's entry bound, so growth stops once the cache is warm.
+      std::vector<std::int32_t> grown;
+      grown.reserve(std::max<std::size_t>(8, shard.fifo.size() * 2));
+      for (std::size_t i = 0; i < shard.fifo_size; ++i)
+        grown.push_back(
+            shard.fifo[(shard.fifo_head + i) % shard.fifo.size()]);
+      grown.resize(std::max<std::size_t>(8, shard.fifo.size() * 2));
+      shard.fifo = std::move(grown);
+      shard.fifo_head = 0;
+    }
+    shard.fifo[(shard.fifo_head + shard.fifo_size) % shard.fifo.size()] =
+        entry_index;
+    ++shard.fifo_size;
+  }
+  return e.value;
 }
 
 PointCost CostCache::get_or_compute(std::span<const double> key,
-                                    const std::function<PointCost()>& compute) {
-  const std::string encoded = encode(key);
-  Shard& shard = shard_for(encoded);
+                                    core::function_ref<PointCost()> compute) {
+  const std::uint64_t hash = hash_key(key);  // validates the tuple
+  Shard& shard = shard_for(hash);
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.map.find(encoded);
-    if (it != shard.map.end()) {
+    const std::int32_t found = find_locked(shard, hash, key);
+    if (found >= 0) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       if (obs::metrics_enabled())
         obs::MetricsRegistry::global().counter("cache.hits").add();
-      return it->second;
+      return shard.entries[static_cast<std::size_t>(found)].value;
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  if (obs::metrics_enabled())
-    obs::MetricsRegistry::global().counter("cache.misses").add();
   PointCost value;
   {
     obs::ScopedSpan span = obs::ScopedSpan::if_enabled("cache.compute", "cache");
     value = compute();
   }
   std::lock_guard<std::mutex> lock(shard.mutex);
-  // emplace keeps an already-inserted value if another thread raced us.
-  const auto [it, inserted] = shard.map.emplace(encoded, value);
-  if (inserted && max_entries_per_shard_ > 0) {
-    shard.order.push_back(encoded);
-    if (shard.map.size() > max_entries_per_shard_) {
-      shard.map.erase(shard.order.front());
-      shard.order.erase(shard.order.begin());
-      evictions_.fetch_add(1, std::memory_order_relaxed);
-      if (obs::metrics_enabled())
-        obs::MetricsRegistry::global().counter("cache.evictions").add();
-    }
+  // Re-probe: another thread may have raced us to the same key. The loser
+  // counts as a hit (the entry exists; inserting again would double-count
+  // the miss, duplicate the FIFO slot, and let eviction evict a live entry
+  // while its stale twin survives — the drift this accounting forbids).
+  const std::int32_t found = find_locked(shard, hash, key);
+  if (found >= 0) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metrics_enabled())
+      obs::MetricsRegistry::global().counter("cache.hits").add();
+    return shard.entries[static_cast<std::size_t>(found)].value;
   }
-  return it->second;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::metrics_enabled())
+    obs::MetricsRegistry::global().counter("cache.misses").add();
+  return insert_locked(shard, hash, key, value);
 }
 
 std::uint64_t CostCache::hits() const noexcept {
@@ -81,7 +257,7 @@ std::size_t CostCache::size() const {
   std::size_t total = 0;
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> lock(s->mutex);
-    total += s->map.size();
+    total += s->live;
   }
   return total;
 }
@@ -89,8 +265,15 @@ std::size_t CostCache::size() const {
 void CostCache::clear() {
   for (const auto& s : shards_) {
     std::lock_guard<std::mutex> lock(s->mutex);
-    s->map.clear();
-    s->order.clear();
+    s->slots.clear();
+    s->live = 0;
+    s->tombstones = 0;
+    s->entries.clear();
+    s->free.clear();
+    s->key_arena.clear();
+    s->fifo.clear();
+    s->fifo_head = 0;
+    s->fifo_size = 0;
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);

@@ -5,19 +5,31 @@
 /// A sweep queries four metrics (D, PDP, EDP, ED²P) per grid point, but all
 /// four derive from one `(time, energy)` pair — so the expensive placement
 /// evaluation is keyed on the canonical parameter tuple and computed once;
-/// the other three queries are cache hits. The map is sharded by key hash so
-/// pool workers evaluating different points rarely contend on a lock.
+/// the other three queries are cache hits. The table is sharded by key hash
+/// so pool workers evaluating different points rarely contend on a lock.
+///
+/// Keys are canonicalized before hashing: `-0.0` collapses to `0.0` (they
+/// are the same grid value; a bitwise key would silently defeat memoization)
+/// and NaN/Inf components are rejected with `std::invalid_argument` (a NaN
+/// key can never match itself, so caching one is always a bug upstream).
+/// Each shard is an open-addressing table over a canonical 64-bit tuple
+/// hash; the full tuple is stored inline (in a shard-local arena, not as a
+/// heap string per entry) and verified on every probe, so a hash collision
+/// degrades to a probe step, never a wrong value. Lookups allocate nothing.
+///
+/// Under a size bound, eviction is FIFO through a real fixed-capacity ring
+/// of entry indices — `size()` and `evictions()` stay exact even when
+/// concurrent misses race on one key (a racing loser never double-inserts
+/// or double-counts; see `get_or_compute`).
 
 #include "core/cost_model.hpp"
+#include "core/function_ref.hpp"
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace stamp::sweep {
@@ -45,11 +57,22 @@ class CostCache {
   /// Return the cached value for `key` (the canonical parameter tuple of a
   /// grid point), computing it with `compute` on a miss. `compute` runs
   /// outside any shard lock, so concurrent misses on *different* keys never
-  /// serialize; concurrent misses on the same key may both compute (the
-  /// first inserted value wins — computation is deterministic, so both
-  /// results are identical anyway).
+  /// serialize; concurrent misses on the same key may both compute, but only
+  /// the first result is inserted (computation is deterministic, so both
+  /// results are identical anyway). Counters account every lookup exactly
+  /// once: a lookup is a miss iff it inserted the entry, so
+  /// `hits() + misses()` equals the number of calls and `misses()` equals
+  /// the number of inserts — no double-counting when misses race.
+  ///
+  /// Throws std::invalid_argument if any key component is NaN or infinite.
   PointCost get_or_compute(std::span<const double> key,
-                           const std::function<PointCost()>& compute);
+                           core::function_ref<PointCost()> compute);
+
+  /// The canonical 64-bit tuple hash (exposed for tests): length-seeded
+  /// splitmix over the canonicalized bit patterns, so `-0.0` and `0.0` hash
+  /// identically and a tuple never collides with its own prefix.
+  /// Throws std::invalid_argument on NaN/Inf components.
+  [[nodiscard]] static std::uint64_t hash_key(std::span<const double> key);
 
   [[nodiscard]] std::uint64_t hits() const noexcept;
   [[nodiscard]] std::uint64_t misses() const noexcept;
@@ -58,18 +81,45 @@ class CostCache {
   void clear();
 
  private:
-  struct Shard {
-    std::mutex mutex;
-    std::unordered_map<std::string, PointCost> map;
-    /// Insertion order, for FIFO eviction under a size bound.
-    std::vector<std::string> order;
+  /// One stored tuple → value binding. The key doubles live in the shard's
+  /// `key_arena` at [key_offset, key_offset + key_len).
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::uint32_t key_offset = 0;
+    std::uint32_t key_len = 0;
+    PointCost value{};
   };
 
-  /// Bitwise encoding of the tuple: exact (no formatting round-trip) and
-  /// hashable as a string.
-  static std::string encode(std::span<const double> key);
+  struct Shard {
+    std::mutex mutex;
+    /// Open-addressing slot array (power-of-two size): kEmptySlot,
+    /// kTombstone, or an index into `entries`.
+    std::vector<std::int32_t> slots;
+    std::size_t live = 0;        ///< entries currently reachable
+    std::size_t tombstones = 0;  ///< deleted slots awaiting rehash
+    std::vector<Entry> entries;      ///< stable-index entry store
+    std::vector<std::int32_t> free;  ///< reusable `entries` indices
+    std::vector<double> key_arena;   ///< inline tuple storage
+    /// FIFO ring of entry indices in insertion order (bounded mode only).
+    std::vector<std::int32_t> fifo;
+    std::size_t fifo_head = 0;
+    std::size_t fifo_size = 0;
+  };
 
-  Shard& shard_for(const std::string& encoded);
+  static constexpr std::int32_t kEmptySlot = -1;
+  static constexpr std::int32_t kTombstone = -2;
+
+  Shard& shard_for(std::uint64_t hash);
+
+  /// Probe `shard` for `key`; returns the entry index or -1. Lock held.
+  std::int32_t find_locked(Shard& shard, std::uint64_t hash,
+                           std::span<const double> key) const;
+  /// Insert a new entry (key known absent). Lock held. Grows/rehashes or
+  /// FIFO-evicts as needed.
+  PointCost insert_locked(Shard& shard, std::uint64_t hash,
+                          std::span<const double> key, const PointCost& value);
+  void rehash_locked(Shard& shard, std::size_t min_slots);
+  void evict_oldest_locked(Shard& shard);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t max_entries_per_shard_ = 0;

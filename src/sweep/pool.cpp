@@ -10,9 +10,7 @@ namespace stamp::sweep {
 
 Pool::Pool(int threads) : threads_(threads) {
   if (threads < 1) throw std::invalid_argument("Pool: threads must be >= 1");
-  deques_.reserve(static_cast<std::size_t>(threads));
-  for (int i = 0; i < threads; ++i)
-    deques_.push_back(std::make_unique<WorkerDeque>());
+  slots_ = std::make_unique<Slot[]>(static_cast<std::size_t>(threads));
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int id = 1; id < threads; ++id)
     workers_.emplace_back([this, id] { worker_main(id); });
@@ -31,6 +29,10 @@ std::uint64_t Pool::steals() const noexcept {
   return steals_.load(std::memory_order_relaxed);
 }
 
+std::uint64_t Pool::wakeups() const noexcept {
+  return wakeups_.load(std::memory_order_relaxed);
+}
+
 void Pool::worker_main(int id) {
   for (;;) {
     {
@@ -40,44 +42,85 @@ void Pool::worker_main(int id) {
       });
       if (shutting_down_) return;
     }
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
     drain(id);
   }
 }
 
-bool Pool::try_pop_own(int id, Chunk& out) {
-  WorkerDeque& d = *deques_[static_cast<std::size_t>(id)];
-  std::lock_guard<std::mutex> lock(d.mutex);
-  if (d.chunks.empty()) return false;
-  out = d.chunks.back();  // LIFO for the owner
-  d.chunks.pop_back();
-  return true;
+bool Pool::claim_own(int id, std::size_t& begin, std::size_t& end) {
+  std::atomic<std::uint64_t>& r = slots_[static_cast<std::size_t>(id)].range;
+  std::uint64_t cur = r.load(std::memory_order_acquire);
+  for (;;) {
+    const std::size_t b = unpack_begin(cur);
+    const std::size_t e = unpack_end(cur);
+    if (b >= e) return false;
+    const std::size_t k = std::min(claim_, e - b);
+    if (r.compare_exchange_weak(cur, pack(b + k, e),
+                                std::memory_order_acq_rel,
+                                std::memory_order_acquire)) {
+      begin = b;
+      end = b + k;
+      return true;
+    }
+    // cur was refreshed by the failed CAS; retry against the new value.
+  }
 }
 
-bool Pool::try_steal(int thief, Chunk& out) {
-  for (int k = 1; k < threads_; ++k) {
-    const int victim = (thief + k) % threads_;
-    WorkerDeque& d = *deques_[static_cast<std::size_t>(victim)];
-    std::lock_guard<std::mutex> lock(d.mutex);
-    if (d.chunks.empty()) continue;
-    out = d.chunks.front();  // FIFO for thieves
-    d.chunks.pop_front();
+bool Pool::try_steal(int thief, std::size_t& begin, std::size_t& end) {
+  for (;;) {
+    // Pick the victim with the most remaining work so one split rebalances
+    // as much as possible; the scan is wait-free (plain atomic loads).
+    int victim = -1;
+    std::uint64_t victim_range = 0;
+    std::size_t victim_rem = 0;
+    for (int k = 1; k < threads_; ++k) {
+      const int v = (thief + k) % threads_;
+      const std::uint64_t cur =
+          slots_[static_cast<std::size_t>(v)].range.load(
+              std::memory_order_acquire);
+      const std::size_t rem = remaining(cur);
+      if (rem > victim_rem) {
+        victim = v;
+        victim_range = cur;
+        victim_rem = rem;
+      }
+    }
+    if (victim < 0) return false;  // nothing left anywhere
+
+    const std::size_t b = unpack_begin(victim_range);
+    const std::size_t e = unpack_end(victim_range);
+    // The thief takes the back half [mid, e); the victim keeps [b, mid).
+    // A size-1 range is taken whole (mid == b).
+    const std::size_t mid = b + victim_rem / 2;
+    std::uint64_t expected = victim_range;
+    if (!slots_[static_cast<std::size_t>(victim)].range.compare_exchange_strong(
+            expected, pack(b, mid), std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      continue;  // someone moved it; rescan for the (new) largest range
+    }
+    // Run the first batch now; park the rest in our own slot, where peers
+    // can steal it back if we turn out to be the slow one. Our slot is
+    // empty here (we only steal after claim_own failed, and only the owner
+    // ever installs into its own slot).
+    const std::size_t k = std::min(claim_, e - mid);
+    if (mid + k < e)
+      slots_[static_cast<std::size_t>(thief)].range.store(
+          pack(mid + k, e), std::memory_order_release);
+    begin = mid;
+    end = mid + k;
     return true;
   }
-  return false;
 }
 
-void Pool::run_chunk(const Chunk& c) {
-  const std::function<void(std::size_t)>* body = body_;
-  std::size_t executed = 0;
+void Pool::run_range(std::size_t begin, std::size_t end) {
+  const core::function_ref<void(std::size_t)> body = *body_;
+  const std::size_t base = base_;
   obs::ScopedSpan chunk_span = obs::ScopedSpan::if_enabled("pool.chunk", "pool");
-  chunk_span.arg("begin", static_cast<double>(c.begin));
-  chunk_span.arg("end", static_cast<double>(c.end));
+  chunk_span.arg("begin", static_cast<double>(base + begin));
+  chunk_span.arg("end", static_cast<double>(base + end));
   const obs::Clock::time_point t0 = obs::Clock::now();
   try {
-    for (std::size_t i = c.begin; i < c.end; ++i) {
-      (*body)(i);
-      ++executed;
-    }
+    for (std::size_t i = begin; i < end; ++i) body(base + i);
   } catch (...) {
     std::lock_guard<std::mutex> lock(error_mutex_);
     if (!first_error_) first_error_ = std::current_exception();
@@ -85,24 +128,25 @@ void Pool::run_chunk(const Chunk& c) {
   if (obs::metrics_enabled()) {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
     reg.counter("pool.chunks").add();
-    reg.counter("pool.indices").add(c.end - c.begin);
+    reg.counter("pool.indices").add(end - begin);
     reg.histogram("pool.chunk_ns").record(obs::nanos_since(t0));
   }
-  // Unexecuted indices of a throwing chunk still count as done so the loop
-  // drains; the exception is rethrown by parallel_for.
-  pending_.fetch_sub(c.end - c.begin, std::memory_order_acq_rel);
+  // Unexecuted indices of a throwing batch still count as done so the loop
+  // drains; the exception is rethrown (once) by parallel_for.
+  pending_.fetch_sub(end - begin, std::memory_order_acq_rel);
 }
 
 void Pool::drain(int id) {
-  Chunk c;
+  std::size_t begin = 0;
+  std::size_t end = 0;
   while (pending_.load(std::memory_order_acquire) > 0) {
-    if (try_pop_own(id, c)) {
-      run_chunk(c);
-    } else if (try_steal(id, c)) {
+    if (claim_own(id, begin, end)) {
+      run_range(begin, end);
+    } else if (try_steal(id, begin, end)) {
       steals_.fetch_add(1, std::memory_order_relaxed);
       if (obs::metrics_enabled())
         obs::MetricsRegistry::global().counter("pool.steals").add();
-      run_chunk(c);
+      run_range(begin, end);
     } else {
       // Remaining indices are being executed by other workers; the loop is
       // about to finish, so a yield-spin is cheap and avoids cv churn.
@@ -111,11 +155,44 @@ void Pool::drain(int id) {
   }
 }
 
-void Pool::parallel_for(std::size_t n,
-                        const std::function<void(std::size_t)>& body) {
-  if (n == 0) return;
+void Pool::run_slab(std::size_t base, std::size_t n) {
+  base_ = base;
+  // Claim granularity: ~8 batches per worker amortizes CAS traffic while
+  // leaving enough slack for stealing to balance uneven work.
+  claim_ = std::max<std::size_t>(
+      1, n / (static_cast<std::size_t>(threads_) * 8));
 
-  // One loop at a time: the deques and counters are per-pool, not per-loop.
+  // Publish the pending count *before* installing the ranges: a worker can
+  // only subtract from pending_ after claiming a range, and it can only see
+  // a range after this store — so no subtraction ever races ahead of it.
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    pending_.store(n, std::memory_order_release);
+  }
+
+  // Static partition: worker i owns one contiguous range of ~n/threads
+  // indices. Stealing rebalances dynamically from there.
+  const std::size_t per =
+      n / static_cast<std::size_t>(threads_);
+  const std::size_t extra =
+      n % static_cast<std::size_t>(threads_);
+  std::size_t cursor = 0;
+  for (int i = 0; i < threads_; ++i) {
+    const std::size_t len = per + (static_cast<std::size_t>(i) < extra ? 1 : 0);
+    slots_[static_cast<std::size_t>(i)].range.store(
+        pack(cursor, cursor + len), std::memory_order_release);
+    cursor += len;
+  }
+  work_available_.notify_all();
+
+  drain(0);  // the caller is worker 0
+}
+
+void Pool::parallel_for(std::size_t n,
+                        core::function_ref<void(std::size_t)> body) {
+  if (n == 0) return;  // no notify: an empty loop must not wake anyone
+
+  // One loop at a time: the slots and counters are per-pool, not per-loop.
   std::lock_guard<std::mutex> exclusive(loop_mutex_);
 
   obs::ScopedSpan loop_span =
@@ -128,39 +205,26 @@ void Pool::parallel_for(std::size_t n,
     first_error_ = nullptr;
   }
   body_ = &body;
-  pending_.store(n, std::memory_order_release);
 
-  // Chunk the index space: ~8 chunks per worker amortizes deque traffic while
-  // leaving enough slack for stealing to balance uneven work.
-  const std::size_t target_chunks =
-      static_cast<std::size_t>(threads_) * 8;
-  const std::size_t chunk_size = std::max<std::size_t>(
-      1, (n + target_chunks - 1) / target_chunks);
-  int next_worker = 0;
-  std::size_t chunks_queued = 0;
-  for (std::size_t begin = 0; begin < n; begin += chunk_size) {
-    const Chunk c{begin, std::min(begin + chunk_size, n)};
-    WorkerDeque& d = *deques_[static_cast<std::size_t>(next_worker)];
+  // Ranges pack (begin, end) into one 64-bit word, so a slab holds at most
+  // 2^31 indices; larger loops run as consecutive slabs (astronomically rare
+  // for sweeps — the canonical grid is 576 points).
+  constexpr std::size_t kSlab = std::size_t{1} << 31;
+  for (std::size_t base = 0; base < n; base += kSlab) {
+    run_slab(base, std::min(kSlab, n - base));
+    bool errored;
     {
-      std::lock_guard<std::mutex> lock(d.mutex);
-      d.chunks.push_back(c);
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      errored = first_error_ != nullptr;
     }
-    ++chunks_queued;
-    next_worker = (next_worker + 1) % threads_;
+    if (errored) break;  // don't start further slabs after a failure
   }
+
   if (obs::metrics_enabled()) {
-    // Depth right after distribution, before workers drain it: the high-water
-    // mark of this loop's queue.
-    obs::MetricsRegistry::global()
-        .gauge("pool.queue_depth")
-        .set(static_cast<double>(chunks_queued));
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    reg.counter("pool.loops").add();
+    reg.gauge("pool.queue_depth").set(0);
   }
-  work_available_.notify_all();
-
-  drain(0);  // the caller is worker 0
-
-  if (obs::metrics_enabled())
-    obs::MetricsRegistry::global().gauge("pool.queue_depth").set(0);
 
   body_ = nullptr;
   std::exception_ptr err;

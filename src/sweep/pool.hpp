@@ -2,26 +2,34 @@
 /// \file pool.hpp
 /// \brief A work-stealing thread pool driving parameter-sweep evaluation.
 ///
-/// The pool executes index-space loops (`parallel_for`) by chunking the index
-/// range and distributing the chunks round-robin over per-worker deques.
-/// Each worker pops from the back of its own deque (LIFO, cache-friendly) and,
-/// when empty, steals from the front of a peer's deque (FIFO, takes the
-/// oldest — and under round-robin distribution the largest remaining —
-/// contiguous chunk). The calling thread participates as worker 0, so
-/// `Pool(1)` degenerates to a plain serial loop with no threads spawned.
+/// The pool executes index-space loops (`parallel_for`) by statically
+/// partitioning the index range into one contiguous `(begin, end)` range per
+/// worker, stored as a single packed 64-bit atomic. Workers claim small
+/// batches from the *front* of their own range with a CAS (no locks, no
+/// queues, no allocation), and a worker whose range is empty steals by
+/// splitting the *largest* remaining peer range in half with a CAS on the
+/// victim's word — the thief takes the back half, installs what it does not
+/// immediately run into its own slot, and the victim keeps the front half.
+/// Because every transition of a range is one CAS on one word, claims and
+/// steals can never double-execute or drop an index.
+///
+/// The calling thread participates as worker 0, so `Pool(1)` degenerates to
+/// a plain serial loop with no threads spawned and nothing atomic contended.
+/// The loop body is passed as a non-owning `core::function_ref`: dispatch is
+/// one indirect call, and `parallel_for` never allocates.
 ///
 /// Scheduling is dynamic, so callers that need deterministic output must key
-/// results by index (write into a pre-sized array), never by completion order.
-/// `run_sweep` does exactly that, which is how an N-thread sweep produces
-/// byte-identical artifacts to a 1-thread sweep.
+/// results by index (write into a pre-sized array), never by completion
+/// order. `run_sweep` does exactly that, which is how an N-thread sweep
+/// produces byte-identical artifacts to a 1-thread sweep.
+
+#include "core/function_ref.hpp"
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -45,34 +53,60 @@ class Pool {
 
   /// Run `body(i)` for every i in [0, n), distributing work over all workers.
   /// Blocks until every index completed. If any invocation throws, the first
-  /// exception is rethrown here after the loop has drained. Only one
-  /// parallel_for may be active at a time (guarded internally).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+  /// exception is rethrown here (exactly once) after the loop has drained.
+  /// Only one parallel_for may be active at a time (guarded internally).
+  /// `n == 0` returns immediately without waking any worker.
+  void parallel_for(std::size_t n, core::function_ref<void(std::size_t)> body);
 
   /// Number of successful steals since construction (observability; also lets
   /// tests prove stealing actually happens).
   [[nodiscard]] std::uint64_t steals() const noexcept;
 
+  /// Number of times a background worker woke from its condition-variable
+  /// wait to join a loop. Lets tests prove an empty `parallel_for` causes no
+  /// wakeup storm (it never notifies, so this stays flat).
+  [[nodiscard]] std::uint64_t wakeups() const noexcept;
+
  private:
-  struct Chunk {
-    std::size_t begin = 0;
-    std::size_t end = 0;
-  };
-  struct WorkerDeque {
-    std::mutex mutex;
-    std::deque<Chunk> chunks;
+  /// One worker's remaining contiguous index range, packed `begin` in the
+  /// high 32 bits and `end` in the low 32 (slab-relative, so both always fit;
+  /// `parallel_for` runs larger loops as consecutive slabs). Padded to a
+  /// cache line so claims on one slot never false-share with a neighbor's.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> range{0};
   };
 
+  static constexpr std::uint64_t pack(std::size_t begin,
+                                      std::size_t end) noexcept {
+    return (static_cast<std::uint64_t>(begin) << 32) |
+           static_cast<std::uint64_t>(end);
+  }
+  static constexpr std::size_t unpack_begin(std::uint64_t r) noexcept {
+    return static_cast<std::size_t>(r >> 32);
+  }
+  static constexpr std::size_t unpack_end(std::uint64_t r) noexcept {
+    return static_cast<std::size_t>(r & 0xFFFFFFFFu);
+  }
+  static constexpr std::size_t remaining(std::uint64_t r) noexcept {
+    const std::size_t b = unpack_begin(r), e = unpack_end(r);
+    return e > b ? e - b : 0;
+  }
+
   void worker_main(int id);
-  bool try_pop_own(int id, Chunk& out);
-  bool try_steal(int thief, Chunk& out);
-  void run_chunk(const Chunk& c);
+  /// CAS a batch of up to `claim_` indices off the front of worker `id`'s
+  /// own range.
+  bool claim_own(int id, std::size_t& begin, std::size_t& end);
+  /// Split the largest remaining peer range: CAS its back half away, run the
+  /// first batch, park the rest in the thief's own (empty) slot.
+  bool try_steal(int thief, std::size_t& begin, std::size_t& end);
+  void run_range(std::size_t begin, std::size_t end);
   /// Work until the current loop has no pending indices. Worker 0 (the
   /// caller) uses this to participate.
   void drain(int id);
+  void run_slab(std::size_t base, std::size_t n);
 
   int threads_;
-  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::unique_ptr<Slot[]> slots_;  ///< one packed range per worker
   std::vector<std::thread> workers_;
 
   std::mutex state_mutex_;
@@ -80,10 +114,14 @@ class Pool {
   std::mutex loop_mutex_;  ///< serializes concurrent parallel_for callers
   bool shutting_down_ = false;
 
-  // State of the in-flight parallel_for (valid while pending_ > 0).
-  const std::function<void(std::size_t)>* body_ = nullptr;
+  // State of the in-flight parallel_for (readable by workers once they
+  // observe pending_ > 0 or claim a range: both are release/acquire edges).
+  const core::function_ref<void(std::size_t)>* body_ = nullptr;
+  std::size_t base_ = 0;   ///< slab offset added to every slab-relative index
+  std::size_t claim_ = 1;  ///< indices claimed per CAS (chunk granularity)
   std::atomic<std::size_t> pending_{0};  ///< indices not yet completed
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
   std::mutex error_mutex_;
   std::exception_ptr first_error_;
 };

@@ -36,7 +36,9 @@ PointSetup setup_point(const SweepConfig& cfg, std::span<const double> vals) {
   s.profile = cfg.profile;
   s.profile.kappa = axis_or(cfg, vals, axes::kKappa, s.profile.kappa);
 
-  s.processes = std::min(cfg.processes, t.total_threads());
+  const int proc_bound = static_cast<int>(
+      axis_or(cfg, vals, axes::kProcesses, static_cast<double>(cfg.processes)));
+  s.processes = std::min(proc_bound, t.total_threads());
 
   const int code =
       static_cast<int>(axis_or(cfg, vals, axes::kPlacement,
@@ -62,9 +64,24 @@ ProcessProfile strong_scaled(const ProcessProfile& total, int n) {
 
 namespace {
 
-PointCost placement_cost(const PointSetup& s, int n, Objective objective) {
-  const std::vector<ProcessProfile> profiles(
-      static_cast<std::size_t>(n), strong_scaled(s.profile, n));
+/// Per-worker scratch reused across every candidate process count and every
+/// grid point a worker evaluates: the profile arena is resized (never
+/// reallocated once warm — capacity grows to the largest candidate and
+/// stays) and the candidate list is rebuilt in place. This keeps the sweep
+/// hot path allocation-free after the first few points.
+struct PointScratch {
+  std::vector<ProcessProfile> profiles;
+  std::vector<int> candidates;
+};
+
+PointScratch& point_scratch() {
+  thread_local PointScratch scratch;
+  return scratch;
+}
+
+PointCost placement_cost(const PointSetup& s, int n, Objective objective,
+                         std::vector<ProcessProfile>& profiles) {
+  profiles.assign(static_cast<std::size_t>(n), strong_scaled(s.profile, n));
   PlacementResult r;
   switch (s.strategy) {
     case PlacementStrategy::FillFirst:
@@ -82,13 +99,20 @@ PointCost placement_cost(const PointSetup& s, int n, Objective objective) {
 
 /// The selection the sweep performs per point: best process count under the
 /// objective, preferring power-feasible candidates (the place_best rule).
+/// All candidates of the point are evaluated as one batch over the reused
+/// scratch arena.
 PointCost compute_point_cost(const PointSetup& s, Objective objective) {
   const int limit = std::max(1, std::min(s.processes,
                                          s.machine.topology.total_threads()));
+  PointScratch& scratch = point_scratch();
+  scratch.candidates.clear();
+  for (int n = 1; n < limit; n *= 2) scratch.candidates.push_back(n);
+  scratch.candidates.push_back(limit);
+
   PointCost best{};
   bool have = false;
-  auto consider = [&](int n) {
-    const PointCost c = placement_cost(s, n, objective);
+  for (const int n : scratch.candidates) {
+    const PointCost c = placement_cost(s, n, objective, scratch.profiles);
     const bool better_feasibility = c.feasible && !best.feasible;
     const bool same_feasibility = c.feasible == best.feasible;
     if (!have || better_feasibility ||
@@ -97,9 +121,7 @@ PointCost compute_point_cost(const PointSetup& s, Objective objective) {
       best = c;
       have = true;
     }
-  };
-  for (int n = 1; n < limit; n *= 2) consider(n);
-  consider(limit);
+  }
   return best;
 }
 
@@ -215,6 +237,7 @@ SweepResult run_sweep_serial(const SweepConfig& cfg) {
     out.records[i] = evaluate_point(cfg, i, cache);
   out.stats.cache_hits = cache.hits();
   out.stats.cache_misses = cache.misses();
+  out.stats.cache_evictions = cache.evictions();
   return out;
 }
 
@@ -232,6 +255,7 @@ SweepResult run_sweep(const SweepConfig& cfg, Pool& pool) {
   });
   out.stats.cache_hits = cache.hits();
   out.stats.cache_misses = cache.misses();
+  out.stats.cache_evictions = cache.evictions();
   out.stats.pool_steals = pool.steals() - steals_before;
   return out;
 }

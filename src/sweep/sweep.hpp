@@ -52,6 +52,9 @@ inline constexpr std::string_view kLE = "L_e";
 inline constexpr std::string_view kGShE = "g_sh_e";
 inline constexpr std::string_view kKappa = "kappa";
 inline constexpr std::string_view kPlacement = "placement";
+/// Upper bound on the process counts tried at the point (overrides
+/// `SweepConfig::processes`; still clamped to the point's hardware threads).
+inline constexpr std::string_view kProcesses = "processes";
 }  // namespace axes
 
 struct SweepConfig {
@@ -122,6 +125,7 @@ struct SweepRecord {
 struct SweepStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
   std::uint64_t pool_steals = 0;
 
   friend bool operator==(const SweepStats&, const SweepStats&) = default;

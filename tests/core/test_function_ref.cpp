@@ -1,0 +1,74 @@
+#include "core/function_ref.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <type_traits>
+
+namespace stamp::core {
+namespace {
+
+int twice(int x) { return 2 * x; }
+
+TEST(FunctionRef, BindsAFreeFunction) {
+  function_ref<int(int)> f = twice;
+  EXPECT_EQ(f(21), 42);
+}
+
+TEST(FunctionRef, BindsACapturingLambda) {
+  int base = 100;
+  auto add = [&base](int x) { return base + x; };
+  function_ref<int(int)> f = add;
+  EXPECT_EQ(f(7), 107);
+  base = 200;  // a reference, not a copy: sees the update
+  EXPECT_EQ(f(7), 207);
+}
+
+TEST(FunctionRef, BindsAMutableLambda) {
+  int calls = 0;
+  auto count = [calls]() mutable { return ++calls; };
+  function_ref<int()> f = count;
+  EXPECT_EQ(f(), 1);
+  EXPECT_EQ(f(), 2);  // mutates the referenced lambda, not a copy
+}
+
+TEST(FunctionRef, BindsAConstCallable) {
+  const auto square = [](int x) { return x * x; };
+  function_ref<int(int)> f = square;
+  EXPECT_EQ(f(9), 81);
+}
+
+TEST(FunctionRef, ForwardsReferenceArguments) {
+  auto append = [](std::string& s) { s += "!"; };
+  function_ref<void(std::string&)> f = append;
+  std::string s = "hi";
+  f(s);
+  EXPECT_EQ(s, "hi!");
+}
+
+TEST(FunctionRef, TemporaryIsValidForTheDurationOfACall) {
+  // The idiom every hot-path call site relies on: pass a lambda rvalue
+  // straight into a function taking function_ref by value.
+  auto invoke = [](function_ref<int(int)> f) { return f(5); };
+  EXPECT_EQ(invoke([](int x) { return x + 1; }), 6);
+}
+
+TEST(FunctionRef, IsTwoPointersAndTriviallyCopyable) {
+  using F = function_ref<void(int)>;
+  EXPECT_LE(sizeof(F), 2 * sizeof(void*));
+  EXPECT_TRUE(std::is_trivially_copyable_v<F>);
+  EXPECT_FALSE(std::is_default_constructible_v<F>);
+}
+
+TEST(FunctionRef, CopiesAliasTheSameCallable) {
+  int hits = 0;
+  auto bump = [&hits] { ++hits; };
+  function_ref<void()> a = bump;
+  function_ref<void()> b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  a();
+  b();
+  EXPECT_EQ(hits, 2);
+}
+
+}  // namespace
+}  // namespace stamp::core

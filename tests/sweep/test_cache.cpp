@@ -1,8 +1,13 @@
 #include "sweep/cache.hpp"
 
+#include "sweep/pool.hpp"
+
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -81,6 +86,152 @@ TEST(Cache, ConcurrentQueriesAccountForEveryLookup) {
             static_cast<std::uint64_t>(kThreads) * kQueriesPerThread);
   EXPECT_GE(cache.misses(), static_cast<std::uint64_t>(kKeys));
   EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+}
+
+// Satellite regression: -0.0 and 0.0 are the same grid value; a bitwise key
+// treated them as distinct and silently defeated memoization.
+TEST(Cache, NegativeZeroSharesTheEntryWithPositiveZero) {
+  CostCache cache;
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return PointCost{{1, 2}, true, 1};
+  };
+  (void)cache.get_or_compute(std::vector<double>{0.0, 5.0}, compute);
+  const PointCost hit =
+      cache.get_or_compute(std::vector<double>{-0.0, 5.0}, compute);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(hit.cost.time, 1);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(CostCache::hash_key(std::vector<double>{0.0, 5.0}),
+            CostCache::hash_key(std::vector<double>{-0.0, 5.0}));
+}
+
+// Satellite regression: NaN keys never match themselves and Inf grid values
+// are upstream bugs — both are rejected instead of poisoning the table.
+TEST(Cache, NonFiniteKeyComponentsThrow) {
+  CostCache cache;
+  auto compute = [] { return PointCost{}; };
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(
+      (void)cache.get_or_compute(std::vector<double>{1.0, nan}, compute),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)cache.get_or_compute(std::vector<double>{inf}, compute),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)cache.get_or_compute(std::vector<double>{-inf, 2.0}, compute),
+      std::invalid_argument);
+  // A rejected lookup counts as neither hit nor miss and inserts nothing.
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// Satellite regression: two threads missing on the SAME key concurrently
+// must produce exactly one insert — one miss, one hit, size 1, and no stale
+// FIFO slot (the old string-map path double-counted the miss and let the
+// eviction order drift from the live table).
+TEST(Cache, SameKeyRaceInsertsOnceAndCountsEveryLookupOnce) {
+  for (int rep = 0; rep < 50; ++rep) {
+    CostCache cache(1, 4);  // bounded, one shard: drift would be visible
+    std::atomic<int> in_compute{0};
+    std::atomic<int> computes{0};
+    const std::vector<double> key{3.25, -7.5};
+    auto worker = [&] {
+      (void)cache.get_or_compute(key, [&] {
+        in_compute.fetch_add(1, std::memory_order_acq_rel);
+        // Hold the compute window open until both threads are inside it
+        // (or the peer has already finished — then it hit, which is fine).
+        for (int spin = 0;
+             spin < 10000 && in_compute.load(std::memory_order_acquire) < 2;
+             ++spin)
+          std::this_thread::yield();
+        computes.fetch_add(1, std::memory_order_acq_rel);
+        return PointCost{{1, 1}, true, 2};
+      });
+    };
+    std::thread a(worker);
+    std::thread b(worker);
+    a.join();
+    b.join();
+    EXPECT_EQ(cache.hits() + cache.misses(), 2u);
+    EXPECT_EQ(cache.misses(), 1u) << "a racing miss must not double-count";
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    // Whether both threads computed or one hit directly, the entry is live:
+    const PointCost pc = cache.get_or_compute(key, [] {
+      ADD_FAILURE() << "recompute after a settled insert";
+      return PointCost{};
+    });
+    EXPECT_EQ(pc.processes, 2);
+  }
+}
+
+TEST(Cache, BoundedEvictionIsFifoAndCountersStayExact) {
+  CostCache cache(1, 3);  // one shard, three entries
+  auto make = [](double t) {
+    return [t] { return PointCost{{t, t}, true, 1}; };
+  };
+  for (double k = 1; k <= 5; ++k)
+    (void)cache.get_or_compute(std::vector<double>{k}, make(k));
+  // FIFO: keys 1 and 2 (the oldest) were evicted; 3, 4, 5 survive.
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_EQ(cache.misses(), 5u);
+  int recomputes = 0;
+  for (double k = 3; k <= 5; ++k) {
+    (void)cache.get_or_compute(std::vector<double>{k}, [&] {
+      ++recomputes;
+      return PointCost{};
+    });
+  }
+  EXPECT_EQ(recomputes, 0) << "surviving keys must still hit";
+  // Key 1 was evicted, so it recomputes (evicting 3, the now-oldest).
+  (void)cache.get_or_compute(std::vector<double>{1}, make(1));
+  EXPECT_EQ(cache.evictions(), 3u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+// Satellite stress: bounded eviction churning under the work-stealing pool.
+// The invariants that used to drift (size vs the eviction order, miss
+// counts) must hold exactly after heavy concurrent mixed hit/miss/evict
+// traffic, and every lookup must observe its key's deterministic value.
+TEST(Cache, BoundedEvictionStressUnderPool) {
+  CostCache cache(4, 8);  // at most 32 live entries
+  Pool pool(4);
+  constexpr std::size_t kQueries = 20'000;
+  constexpr int kKeys = 96;  // 3x the bound: constant eviction pressure
+  pool.parallel_for(kQueries, [&](std::size_t i) {
+    const double key = static_cast<double>((i * 17) % kKeys);
+    const PointCost pc = cache.get_or_compute(
+        std::vector<double>{key, key / 2},
+        [key] { return PointCost{{key, 3 * key}, true, 1}; });
+    ASSERT_EQ(pc.cost.time, key);
+    ASSERT_EQ(pc.cost.energy, 3 * key);
+  });
+  EXPECT_EQ(cache.hits() + cache.misses(), kQueries);
+  EXPECT_LE(cache.size(), 32u);
+  EXPECT_GE(cache.misses(), static_cast<std::uint64_t>(kKeys));
+  // Every insert beyond the capacity evicted exactly one entry.
+  EXPECT_EQ(cache.evictions() + cache.size(),
+            static_cast<std::size_t>(cache.misses()));
+}
+
+TEST(Cache, HashIsLengthSeededAndOrderSensitive) {
+  const std::vector<double> ab{1.0, 2.0};
+  const std::vector<double> ba{2.0, 1.0};
+  const std::vector<double> a{1.0};
+  EXPECT_NE(CostCache::hash_key(ab), CostCache::hash_key(ba));
+  EXPECT_NE(CostCache::hash_key(ab), CostCache::hash_key(a));
+  EXPECT_EQ(CostCache::hash_key(ab), CostCache::hash_key(ab));
+  EXPECT_THROW(
+      (void)CostCache::hash_key(
+          std::vector<double>{std::numeric_limits<double>::quiet_NaN()}),
+      std::invalid_argument);
 }
 
 }  // namespace

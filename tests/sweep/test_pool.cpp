@@ -66,23 +66,94 @@ TEST(Pool, UnevenWorkStillCompletes) {
 }
 
 // A scheduling scenario in which at least one steal MUST happen for the loop
-// to finish. With Pool(2) and 4 single-index chunks, distribution is
-// round-robin: worker 0 (the caller) owns {0, 2}, worker 1 owns {1, 3}.
-// Owners pop LIFO, so worker 1 starts with index 3 — which blocks until
-// index 1 runs. Index 1 sits in worker 1's deque behind the blocked owner,
-// so only a steal (by the caller, after it drains 2 and 0) can run it. If
-// stealing were broken this test would deadlock rather than pass.
+// to finish. With Pool(2) and n = 16, the static partition gives worker 0
+// (the caller) the range [0, 8) and worker 1 the range [8, 16). Owners claim
+// from the front, so the first index worker 1 can run is 8 — and the body
+// blocks index 8 until some index > 8 has executed. Worker 1 is stuck, so an
+// index > 8 can only run after a steal splits worker 1's remaining range
+// (whichever worker ends up running index 8, stolen back halves always run
+// before the range's front). If stealing were broken this test would
+// deadlock rather than pass.
 TEST(Pool, StealsWorkFromABlockedPeer) {
   Pool pool(2);
-  std::atomic<bool> index1_done{false};
-  pool.parallel_for(4, [&](std::size_t i) {
-    if (i == 3) {
-      while (!index1_done.load(std::memory_order_acquire))
+  std::atomic<int> high_done{0};
+  pool.parallel_for(16, [&](std::size_t i) {
+    if (i > 8) high_done.fetch_add(1, std::memory_order_acq_rel);
+    if (i == 8) {
+      while (high_done.load(std::memory_order_acquire) == 0)
         std::this_thread::yield();
     }
-    if (i == 1) index1_done.store(true, std::memory_order_release);
   });
   EXPECT_GE(pool.steals(), 1u);
+}
+
+// Satellite regression: an empty loop returns without notifying, so repeated
+// parallel_for(0) calls cause no worker wakeup storm (and no deadlock).
+TEST(Pool, EmptyLoopNeverWakesWorkers) {
+  Pool pool(4);
+  const std::uint64_t wakeups_before = pool.wakeups();
+  for (int rep = 0; rep < 1000; ++rep)
+    pool.parallel_for(0, [](std::size_t) { FAIL() << "body ran for n == 0"; });
+  EXPECT_EQ(pool.wakeups(), wakeups_before);
+  EXPECT_EQ(pool.steals(), 0u);
+  // The pool is still fully functional afterwards.
+  std::atomic<int> ran{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+// Satellite regression: fewer indices than workers leaves some workers with
+// empty ranges; every index must still run exactly once and the loop must
+// terminate (idle workers yield-spin until pending hits zero).
+TEST(Pool, FewerItemsThanWorkersCompletes) {
+  Pool pool(8);
+  for (std::size_t n = 1; n < 8; ++n) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+// Satellite regression: a body that throws on the *last* index still
+// rethrows exactly once after the loop drains — every other index executes.
+TEST(Pool, ThrowOnLastIndexRethrowsExactlyOnceAfterDrain) {
+  Pool pool(4);
+  constexpr std::size_t kN = 128;
+  std::atomic<int> executed{0};
+  int caught = 0;
+  try {
+    pool.parallel_for(kN, [&](std::size_t i) {
+      if (i == kN - 1) throw std::runtime_error("boom at the end");
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+  } catch (const std::runtime_error&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);
+  EXPECT_EQ(executed.load(), static_cast<int>(kN) - 1);
+  // And the pool is reusable after the failed loop.
+  std::atomic<int> after{0};
+  pool.parallel_for(10, [&](std::size_t) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 10);
+}
+
+// Range-claiming sanity at scale: a large loop sums every index exactly once
+// across many workers (CAS claims/splits never drop or double-run an index).
+TEST(Pool, LargeLoopSumsEveryIndexOnce) {
+  Pool pool(4);
+  constexpr std::size_t kN = 1 << 20;
+  std::atomic<long long> sum{0};
+  pool.parallel_for(kN, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+  });
+  const long long n = static_cast<long long>(kN);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
 TEST(Pool, FirstExceptionPropagatesAndLoopDrains) {

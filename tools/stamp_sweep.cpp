@@ -181,6 +181,7 @@ int main(int argc, char** argv) {
                     "grid preset to evaluate (default: canonical)")
       .option_int("threads", &threads, "N",
                   "pool width; 0 = hardware concurrency (default)")
+      .option_int("jobs", &threads, "N", "alias for --threads")
       .option_string("out", &out_path, "FILE", "output file (default: stdout)")
       .option_string("trace", &trace_path, "FILE",
                      "record a Chrome trace of the sweep (plus a simulator "
@@ -246,7 +247,8 @@ int main(int argc, char** argv) {
     if (stats) {
       std::cerr << "sweep: " << result.records.size() << " points, "
                 << threads << " threads, cache " << result.stats.cache_hits
-                << " hits / " << result.stats.cache_misses << " misses, "
+                << " hits / " << result.stats.cache_misses << " misses / "
+                << result.stats.cache_evictions << " evictions, "
                 << result.stats.pool_steals << " steals\n";
     }
   } catch (const std::exception& e) {
