@@ -1,7 +1,7 @@
 #pragma once
 /// \file function_ref.hpp
 /// \brief `core::function_ref` — a non-owning, trivially copyable reference
-///        to a callable (two words: object pointer + trampoline pointer).
+///        to a callable (two words: storage union + trampoline pointer).
 ///
 /// `std::function` type-erases by *owning* a copy of the callable, which
 /// costs an allocation for captures beyond the small-buffer size and an
@@ -42,30 +42,39 @@ class function_ref<R(Args...)> {
   function_ref(F&& f) noexcept {
     using Callable = std::remove_reference_t<F>;
     if constexpr (std::is_function_v<Callable>) {
-      // A function lvalue: store the function pointer itself. The
-      // function-pointer <-> void* round-trip is conditionally supported
-      // but universal on the POSIX platforms this project targets.
-      obj_ = reinterpret_cast<void*>(std::addressof(f));
-      call_ = [](void* obj, Args... args) -> R {
-        return std::invoke(reinterpret_cast<Callable*>(obj),
+      // A function lvalue: store the function pointer in the union's
+      // function-pointer member. Converting between function-pointer types
+      // and back is fully defined ([expr.reinterpret.cast]), unlike the
+      // conditionally-supported round-trip through void*.
+      storage_.fn = reinterpret_cast<void (*)()>(std::addressof(f));
+      call_ = [](Storage s, Args... args) -> R {
+        return std::invoke(reinterpret_cast<Callable*>(s.fn),
                            std::forward<Args>(args)...);
       };
     } else {
-      obj_ = const_cast<void*>(static_cast<const void*>(std::addressof(f)));
-      call_ = [](void* obj, Args... args) -> R {
-        return std::invoke(*static_cast<Callable*>(obj),
+      storage_.obj =
+          const_cast<void*>(static_cast<const void*>(std::addressof(f)));
+      call_ = [](Storage s, Args... args) -> R {
+        return std::invoke(*static_cast<Callable*>(s.obj),
                            std::forward<Args>(args)...);
       };
     }
   }
 
   R operator()(Args... args) const {
-    return call_(obj_, std::forward<Args>(args)...);
+    return call_(storage_, std::forward<Args>(args)...);
   }
 
  private:
-  void* obj_;
-  R (*call_)(void*, Args...);
+  /// Object pointers and function pointers need not share a representation,
+  /// so each kind lives in its own union member; the trampoline knows which
+  /// member it stored.
+  union Storage {
+    void* obj;
+    void (*fn)();
+  };
+  Storage storage_;
+  R (*call_)(Storage, Args...);
 };
 
 }  // namespace stamp::core

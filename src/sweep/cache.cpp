@@ -142,16 +142,22 @@ PointCost CostCache::insert_locked(Shard& shard, std::uint64_t hash,
     rehash_locked(shard, shard.live * 2 + kInitialSlots);
   }
 
-  // Entry storage: reuse a freed entry when its arena span fits the new
-  // tuple (always true in a sweep — every key has the grid's arity), else
-  // carve fresh arena space.
-  std::int32_t entry_index;
-  if (!shard.free.empty() &&
-      shard.entries[static_cast<std::size_t>(shard.free.back())].key_len ==
-          key.size()) {
-    entry_index = shard.free.back();
-    shard.free.pop_back();
-  } else {
+  // Entry storage: reuse a freed entry whose arena span fits the new tuple.
+  // Scan the whole free list (newest first), not just the back — with mixed
+  // key arities a single mismatched entry parked at the back would otherwise
+  // block reuse of everything beneath it and grow the arena without bound.
+  // Sweeps are single-arity, so the scan finds a match at the back anyway.
+  std::int32_t entry_index = -1;
+  for (std::size_t i = shard.free.size(); i-- > 0;) {
+    const std::int32_t f = shard.free[i];
+    if (shard.entries[static_cast<std::size_t>(f)].key_len == key.size()) {
+      entry_index = f;
+      shard.free[i] = shard.free.back();  // order is irrelevant: swap-remove
+      shard.free.pop_back();
+      break;
+    }
+  }
+  if (entry_index < 0) {
     entry_index = static_cast<std::int32_t>(shard.entries.size());
     Entry fresh;
     fresh.key_offset = static_cast<std::uint32_t>(shard.key_arena.size());
@@ -251,6 +257,15 @@ std::uint64_t CostCache::misses() const noexcept {
 
 std::uint64_t CostCache::evictions() const noexcept {
   return evictions_.load(std::memory_order_relaxed);
+}
+
+std::size_t CostCache::entry_capacity() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    total += s->entries.size();
+  }
+  return total;
 }
 
 std::size_t CostCache::size() const {

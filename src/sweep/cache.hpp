@@ -78,6 +78,10 @@ class CostCache {
   [[nodiscard]] std::uint64_t misses() const noexcept;
   [[nodiscard]] std::uint64_t evictions() const noexcept;
   [[nodiscard]] std::size_t size() const;
+  /// Entry records ever allocated across all shards (live + reusable).
+  /// Test introspection: under a size bound this must stay O(bound) — freed
+  /// entries are reused per key arity, never stranded on the free list.
+  [[nodiscard]] std::size_t entry_capacity() const;
   void clear();
 
  private:

@@ -68,6 +68,11 @@ bool Pool::claim_own(int id, std::size_t& begin, std::size_t& end) {
 
 bool Pool::try_steal(int thief, std::size_t& begin, std::size_t& end) {
   for (;;) {
+    // The loop may have drained while we were scanning or losing CAS races;
+    // bail out rather than linger holding stale range snapshots (drain()
+    // re-checks pending_ anyway, and a prompt exit releases draining_ so the
+    // next run_slab can install fresh ranges).
+    if (pending_.load(std::memory_order_acquire) == 0) return false;
     // Pick the victim with the most remaining work so one split rebalances
     // as much as possible; the scan is wait-free (plain atomic loads).
     int victim = -1;
@@ -100,8 +105,10 @@ bool Pool::try_steal(int thief, std::size_t& begin, std::size_t& end) {
     }
     // Run the first batch now; park the rest in our own slot, where peers
     // can steal it back if we turn out to be the slow one. Our slot is
-    // empty here (we only steal after claim_own failed, and only the owner
-    // ever installs into its own slot).
+    // empty here: we only steal after claim_own failed, only the owner or
+    // run_slab ever installs into this slot, and run_slab cannot have run
+    // again underneath us — it quiesces on draining_ (which we hold) before
+    // writing any slot.
     const std::size_t k = std::min(claim_, e - mid);
     if (mid + k < e)
       slots_[static_cast<std::size_t>(thief)].range.store(
@@ -137,6 +144,16 @@ void Pool::run_range(std::size_t begin, std::size_t end) {
 }
 
 void Pool::drain(int id) {
+  // Announce ourselves for the duration: run_slab must not overwrite any
+  // per-loop state (slots, base_, claim_) while we might still be reading it
+  // with a stale snapshot. RAII so a throwing metrics hook cannot leak the
+  // count and wedge the next quiesce.
+  draining_.fetch_add(1, std::memory_order_acq_rel);
+  struct Leave {
+    std::atomic<int>& counter;
+    ~Leave() { counter.fetch_sub(1, std::memory_order_release); }
+  } leave{draining_};
+
   std::size_t begin = 0;
   std::size_t end = 0;
   while (pending_.load(std::memory_order_acquire) > 0) {
@@ -156,19 +173,21 @@ void Pool::drain(int id) {
 }
 
 void Pool::run_slab(std::size_t base, std::size_t n) {
+  // Quiesce: a straggler from the previous slab (or previous loop) can still
+  // be inside drain() after pending_ hit zero, holding a stale snapshot of a
+  // slot. If we reinstalled ranges underneath it, its steal CAS could
+  // succeed by ABA (consecutive same-size loops repack identical words) and
+  // its parked remainder would clobber a slot written below — losing indices
+  // and hanging the loop. Stragglers exit promptly (pending_ is zero), and
+  // no worker can re-enter drain() until pending_ is republished below.
+  while (draining_.load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
+
   base_ = base;
   // Claim granularity: ~8 batches per worker amortizes CAS traffic while
   // leaving enough slack for stealing to balance uneven work.
   claim_ = std::max<std::size_t>(
       1, n / (static_cast<std::size_t>(threads_) * 8));
-
-  // Publish the pending count *before* installing the ranges: a worker can
-  // only subtract from pending_ after claiming a range, and it can only see
-  // a range after this store — so no subtraction ever races ahead of it.
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    pending_.store(n, std::memory_order_release);
-  }
 
   // Static partition: worker i owns one contiguous range of ~n/threads
   // indices. Stealing rebalances dynamically from there.
@@ -182,6 +201,18 @@ void Pool::run_slab(std::size_t base, std::size_t n) {
     slots_[static_cast<std::size_t>(i)].range.store(
         pack(cursor, cursor + len), std::memory_order_release);
     cursor += len;
+  }
+
+  // Publish the pending count *after* installing the ranges: a worker only
+  // claims, steals, or subtracts from pending_ once drain() observes this
+  // store (acquire), which synchronizes with it — so every worker that
+  // touches a slot sees the fully installed partition (and base_/claim_
+  // above), and no subtraction can race ahead of the store. A worker that
+  // wakes early sees pending_ == 0 and leaves drain() without touching
+  // anything.
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    pending_.store(n, std::memory_order_release);
   }
   work_available_.notify_all();
 

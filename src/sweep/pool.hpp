@@ -101,7 +101,8 @@ class Pool {
   bool try_steal(int thief, std::size_t& begin, std::size_t& end);
   void run_range(std::size_t begin, std::size_t end);
   /// Work until the current loop has no pending indices. Worker 0 (the
-  /// caller) uses this to participate.
+  /// caller) uses this to participate. Holds `draining_` for its duration so
+  /// `run_slab` can quiesce stragglers before reinstalling ranges.
   void drain(int id);
   void run_slab(std::size_t base, std::size_t n);
 
@@ -120,6 +121,12 @@ class Pool {
   std::size_t base_ = 0;   ///< slab offset added to every slab-relative index
   std::size_t claim_ = 1;  ///< indices claimed per CAS (chunk granularity)
   std::atomic<std::size_t> pending_{0};  ///< indices not yet completed
+  /// Workers currently inside drain(). A straggler can linger in drain()
+  /// briefly after pending_ hits zero (mid-steal, holding a stale range
+  /// snapshot); run_slab spins until this is zero before overwriting the
+  /// slots, so a stale CAS can never resurrect indices by ABA and a stale
+  /// park can never clobber a freshly installed range.
+  std::atomic<int> draining_{0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> wakeups_{0};
   std::mutex error_mutex_;

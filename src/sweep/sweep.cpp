@@ -4,6 +4,8 @@
 #include "report/json.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -17,16 +19,30 @@ double axis_or(const SweepConfig& cfg, std::span<const double> vals,
   return i >= 0 ? vals[static_cast<std::size_t>(i)] : fallback;
 }
 
+/// An integer-coded axis value. The grid stores doubles, so validate before
+/// the narrowing cast: a non-finite or out-of-int-range value would make the
+/// cast undefined behavior, not just a nonsense parameter.
+int axis_int(const SweepConfig& cfg, std::span<const double> vals,
+             std::string_view name, int fallback) {
+  const double v = axis_or(cfg, vals, name, static_cast<double>(fallback));
+  if (!std::isfinite(v) ||
+      v < static_cast<double>(std::numeric_limits<int>::min()) ||
+      v > static_cast<double>(std::numeric_limits<int>::max()))
+    throw std::invalid_argument("sweep: axis '" + std::string(name) +
+                                "' value is not representable as int");
+  return static_cast<int>(v);
+}
+
 }  // namespace
 
 PointSetup setup_point(const SweepConfig& cfg, std::span<const double> vals) {
   PointSetup s;
   s.machine = cfg.base;
   Topology& t = s.machine.topology;
-  t.processors_per_chip = static_cast<int>(
-      axis_or(cfg, vals, axes::kCores, t.processors_per_chip));
-  t.threads_per_processor = static_cast<int>(
-      axis_or(cfg, vals, axes::kThreadsPerCore, t.threads_per_processor));
+  t.processors_per_chip =
+      axis_int(cfg, vals, axes::kCores, t.processors_per_chip);
+  t.threads_per_processor =
+      axis_int(cfg, vals, axes::kThreadsPerCore, t.threads_per_processor);
   MachineParams& p = s.machine.params;
   p.ell_e = axis_or(cfg, vals, axes::kEllE, p.ell_e);
   p.L_e = axis_or(cfg, vals, axes::kLE, p.L_e);
@@ -36,13 +52,16 @@ PointSetup setup_point(const SweepConfig& cfg, std::span<const double> vals) {
   s.profile = cfg.profile;
   s.profile.kappa = axis_or(cfg, vals, axes::kKappa, s.profile.kappa);
 
-  const int proc_bound = static_cast<int>(
-      axis_or(cfg, vals, axes::kProcesses, static_cast<double>(cfg.processes)));
+  const int proc_bound = axis_int(cfg, vals, axes::kProcesses, cfg.processes);
+  if (proc_bound < 1)
+    throw std::invalid_argument(
+        "sweep: processes axis value must be >= 1, got " +
+        std::to_string(proc_bound));
   s.processes = std::min(proc_bound, t.total_threads());
 
   const int code =
-      static_cast<int>(axis_or(cfg, vals, axes::kPlacement,
-                               static_cast<double>(PlacementStrategy::FillFirst)));
+      axis_int(cfg, vals, axes::kPlacement,
+               static_cast<int>(PlacementStrategy::FillFirst));
   if (code < 0 || code > static_cast<int>(PlacementStrategy::Greedy))
     throw std::invalid_argument("sweep: unknown placement strategy code " +
                                 std::to_string(code));

@@ -221,6 +221,33 @@ TEST(Cache, BoundedEvictionStressUnderPool) {
             static_cast<std::size_t>(cache.misses()));
 }
 
+// Regression: free-list reuse must match by key arity across the whole free
+// list. When mixed-arity keys interleave under a size bound, a mismatched
+// entry parked at the back used to block reuse of everything beneath it, so
+// every insert carved a fresh entry and arena span — unbounded growth under
+// a bounded cache. Entry capacity must stay O(bound), not O(inserts).
+TEST(Cache, MixedArityEvictionReusesFreedEntries) {
+  // One shard, ONE entry: with strictly alternating arities the evicted
+  // entry is always the opposite arity of the incoming key, so the back of
+  // the free list never matched and every one of the 200 inserts used to
+  // carve a fresh entry.
+  CostCache cache(1, 1);
+  for (int round = 0; round < 200; ++round) {
+    const double k = round;
+    if (round % 2 == 0)
+      (void)cache.get_or_compute(std::vector<double>{k},
+                                 [] { return PointCost{}; });
+    else
+      (void)cache.get_or_compute(std::vector<double>{k, k, k},
+                                 [] { return PointCost{}; });
+  }
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 199u);
+  // One live entry plus at most one parked free entry per arity (2 arities).
+  // Pre-fix this grew to 200.
+  EXPECT_LE(cache.entry_capacity(), 3u);
+}
+
 TEST(Cache, HashIsLengthSeededAndOrderSensitive) {
   const std::vector<double> ab{1.0, 2.0};
   const std::vector<double> ba{2.0, 1.0};

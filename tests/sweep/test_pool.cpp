@@ -143,6 +143,30 @@ TEST(Pool, ThrowOnLastIndexRethrowsExactlyOnceAfterDrain) {
   EXPECT_EQ(after.load(), 10);
 }
 
+// Regression for the cross-loop steal race: a worker that lingers in
+// try_steal after one loop drains holds a stale range snapshot; if the next
+// loop reinstalled ranges underneath it, the stale CAS could succeed by ABA
+// (back-to-back same-size loops repack identical (begin, end) words) and the
+// stale park would clobber a freshly installed slot — losing indices and
+// hanging parallel_for. run_slab now quiesces on the draining-worker count
+// before installing. Many short same-size loops with uneven bodies maximize
+// the window: stealing is frequent and loop turnover is constant.
+TEST(Pool, BackToBackSameSizeLoopsNeverLoseIndices) {
+  Pool pool(4);
+  constexpr int kReps = 2000;
+  constexpr std::size_t kN = 64;
+  std::atomic<long long> sum{0};
+  for (int rep = 0; rep < kReps; ++rep) {
+    pool.parallel_for(kN, [&](std::size_t i) {
+      if (i % 32 == 0) std::this_thread::yield();  // encourage steals
+      sum.fetch_add(static_cast<long long>(i) + 1,
+                    std::memory_order_relaxed);
+    });
+  }
+  const long long per_loop = static_cast<long long>(kN) * (kN + 1) / 2;
+  EXPECT_EQ(sum.load(), kReps * per_loop);
+}
+
 // Range-claiming sanity at scale: a large loop sums every index exactly once
 // across many workers (CAS claims/splits never drop or double-run an index).
 TEST(Pool, LargeLoopSumsEveryIndexOnce) {

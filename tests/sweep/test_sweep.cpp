@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
 
 namespace stamp::sweep {
 namespace {
@@ -126,6 +129,31 @@ TEST(Sweep, MachineParameterAxesActuallyChangeTheMetrics) {
     }
   }
   EXPECT_TRUE(any_difference);
+}
+
+// Regression: integer-coded axis values are validated *before* the
+// double -> int cast. A NaN, out-of-int-range, or non-positive processes
+// value used to hit the cast unchecked (UB for out-of-range, a silent
+// clamp-to-1 for non-positive); now every such value throws.
+TEST(Sweep, SetupPointRejectsUnrepresentableIntegerAxisValues) {
+  SweepConfig cfg = SweepConfig::tiny();
+  cfg.grid = ParamGrid{};
+  cfg.grid.axis(std::string(axes::kProcesses), {16});
+
+  EXPECT_EQ(setup_point(cfg, std::vector<double>{16}).processes, 16);
+  for (const double bad :
+       {std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(), 1e18, -3.0, 0.0}) {
+    EXPECT_THROW((void)setup_point(cfg, std::vector<double>{bad}),
+                 std::invalid_argument)
+        << "processes axis value " << bad;
+  }
+
+  cfg.grid = ParamGrid{};
+  cfg.grid.axis(std::string(axes::kPlacement), {0});
+  EXPECT_THROW(
+      (void)setup_point(cfg, std::vector<double>{-1e18}),
+      std::invalid_argument);  // pre-cast range check, not UB then a throw
 }
 
 TEST(Sweep, JsonArtifactCarriesTheStableSchema) {
