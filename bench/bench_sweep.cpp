@@ -20,6 +20,7 @@
 ///
 /// Usage: bench_sweep [--out FILE] [--baseline FILE] [--reps N]
 
+#include "report/atomic_file.hpp"
 #include "report/json.hpp"
 #include "report/json_parse.hpp"
 #include "report/table.hpp"
@@ -180,8 +181,11 @@ int main(int argc, char** argv) {
 
   // -- machine-readable artifact ---------------------------------------------
   if (!out_path.empty()) {
-    std::ofstream os(out_path, std::ios::binary);
-    if (!os) {
+    // Atomic temp-file + rename: a crash mid-write must never leave a torn
+    // report where the perf gate's baseline refresh would pick it up.
+    report::AtomicFileWriter writer(out_path);
+    std::ostream& os = writer.stream();
+    if (!writer.ok()) {
       std::cerr << "bench_sweep: cannot open '" << out_path << "'\n";
       return 2;
     }
@@ -212,6 +216,12 @@ int main(int argc, char** argv) {
     w.end_array();
     w.end_object();
     os << "\n";
+    try {
+      writer.commit();
+    } catch (const std::exception& e) {
+      std::cerr << "bench_sweep: " << e.what() << "\n";
+      return 2;
+    }
     std::cout << "\nwrote " << out_path << "\n";
   }
 

@@ -93,11 +93,17 @@ machine::SimResult Evaluator::simulate_run(const runtime::RunResult& run,
 
 sweep::SweepResult Evaluator::sweep(const sweep::SweepConfig& config,
                                     int threads) const {
-  if (threads <= 1) return sweep::run_sweep_serial(config);
+  return sweep(config, threads, sweep::SweepOptions{});
+}
+
+sweep::SweepResult Evaluator::sweep(const sweep::SweepConfig& config,
+                                    int threads,
+                                    const sweep::SweepOptions& options) const {
+  if (threads <= 1) return sweep::run_sweep_serial(config, options);
   std::lock_guard<std::mutex> lock(sweep_pool_mutex_);
   if (!sweep_pool_ || sweep_pool_->threads() != threads)
     sweep_pool_ = std::make_unique<sweep::Pool>(threads);
-  return sweep::run_sweep(config, *sweep_pool_);
+  return sweep::run_sweep(config, *sweep_pool_, options);
 }
 
 void Evaluator::write_trace(std::ostream& os) {

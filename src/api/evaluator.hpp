@@ -152,6 +152,14 @@ class Evaluator {
   [[nodiscard]] sweep::SweepResult sweep(const sweep::SweepConfig& config,
                                          int threads = 1) const;
 
+  /// Sweep with durability options: a write-ahead journal of completed
+  /// points, resume from a previous journal (the finished artifact is
+  /// byte-identical to an uninterrupted run at any width), cooperative
+  /// cancellation, and a per-point deadline. See `sweep::SweepOptions`.
+  [[nodiscard]] sweep::SweepResult sweep(const sweep::SweepConfig& config,
+                                         int threads,
+                                         const sweep::SweepOptions& options) const;
+
   // -- observability ---------------------------------------------------------
 
   /// Flip the process-wide recorders (shared by all Evaluators by design:

@@ -1,0 +1,59 @@
+#pragma once
+/// \file cancel.hpp
+/// \brief `core::CancelToken` — a cooperative, async-signal-safe cancellation
+///        flag shared between a controller and the workers it may stop.
+///
+/// The token is one lock-free atomic flag. Workers poll `cancelled()` (one
+/// relaxed-ish load, the same disabled-is-free discipline as `obs` and
+/// `fault`) at natural preemption points — a sweep checks per grid point, the
+/// pool checks per claimed index — and wind down *cooperatively*: work that
+/// already started is finished and accounted (and, in a journaled sweep,
+/// persisted) rather than abandoned half-done. Nothing is ever interrupted
+/// mid-evaluation, so cancellation can never corrupt an artifact or a
+/// journal.
+///
+/// `request_cancel()` is a single lock-free atomic store, which makes it
+/// legal to call from a POSIX signal handler — `stamp_sweep` trips the token
+/// from SIGINT/SIGTERM, drains in-flight points, fsyncs the journal, and
+/// exits with a distinct code. A token can be reused across runs via
+/// `reset()` (not signal-safe; call between runs, not during them).
+
+#include <atomic>
+
+namespace stamp::core {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request cooperative cancellation. Async-signal-safe (one lock-free
+  /// atomic store, see the static_assert below) and idempotent.
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  /// True once cancellation has been requested. The acquire pairs with
+  /// `request_cancel`'s release, so any state the controller wrote before
+  /// tripping the token is visible to a worker that observes the trip.
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Re-arm the token for another run. NOT async-signal-safe by contract:
+  /// only reset between runs, never while workers may still poll it.
+  void reset() noexcept { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// request_cancel is documented as callable from a signal handler; that is
+// only sound when the store cannot take a lock.
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "CancelToken requires a lock-free atomic<bool> for "
+              "async-signal-safety");
+
+}  // namespace stamp::core

@@ -64,6 +64,24 @@ class CoreFailure : public std::runtime_error {
   int core_;
 };
 
+/// Thrown by the sweep engine when a SweepPointFail decision fires for a grid
+/// point (key = grid index). The pool records it as the loop's first error
+/// and rethrows after draining, so every other in-flight point still
+/// completes (and journals) before the sweep fails — which is what makes the
+/// kill-and-resume loop deterministic.
+class SweepPointFailure : public std::runtime_error {
+ public:
+  explicit SweepPointFailure(std::size_t index)
+      : std::runtime_error("injected failure at sweep grid point " +
+                           std::to_string(index)),
+        index_(index) {}
+
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+ private:
+  std::size_t index_;
+};
+
 /// What a fired decision tells the hook site.
 struct Injection {
   double magnitude = 0;  ///< the site spec's magnitude, verbatim

@@ -15,6 +15,7 @@ const char* site_name(FaultSite s) noexcept {
     case FaultSite::ProcFailStop: return "proc_fail_stop";
     case FaultSite::SimLatencySpike: return "sim_latency_spike";
     case FaultSite::SimCoreFail: return "sim_core_fail";
+    case FaultSite::SweepPointFail: return "sweep_point_fail";
   }
   return "unknown";
 }

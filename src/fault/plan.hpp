@@ -28,9 +28,11 @@ enum class FaultSite : std::uint8_t {
   ProcFailStop,     ///< fail-stop a process (throws ProcessFailure)
   SimLatencySpike,  ///< scale a simulated op's service demand by `magnitude`
   SimCoreFail,      ///< kill a simulated core (replay throws CoreFailure)
+  SweepPointFail,   ///< fail a sweep grid-point evaluation (throws
+                    ///< SweepPointFailure; key = grid index)
 };
 
-inline constexpr std::size_t kFaultSiteCount = 8;
+inline constexpr std::size_t kFaultSiteCount = 9;
 
 [[nodiscard]] constexpr std::size_t site_index(FaultSite s) noexcept {
   return static_cast<std::size_t>(s);

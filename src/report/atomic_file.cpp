@@ -1,0 +1,115 @@
+#include "report/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace stamp::report {
+namespace {
+
+[[noreturn]] void fail(const std::string& step, const std::string& path) {
+  throw std::runtime_error("AtomicFileWriter: " + step + " '" + path +
+                           "' failed: " + std::strerror(errno));
+}
+
+/// fsync the file at `path` by (re)opening it read-only: the stream layer has
+/// already pushed its bytes to the kernel with flush/close, fsync then forces
+/// them to stable storage. No-op on platforms without fsync.
+void fsync_path(const std::string& path, const char* what) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail(std::string("open-for-fsync ") + what, path);
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail(std::string("fsync ") + what, path);
+  }
+  ::close(fd);
+#else
+  static_cast<void>(path);
+  static_cast<void>(what);
+#endif
+}
+
+[[nodiscard]] long current_pid() noexcept {
+#ifndef _WIN32
+  return static_cast<long>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+[[nodiscard]] std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)),
+      temp_path_(path_ + ".tmp." + std::to_string(current_pid())),
+      os_(temp_path_, std::ios::binary | std::ios::trunc) {}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) abort();
+}
+
+void AtomicFileWriter::abort() noexcept {
+  if (committed_ || aborted_) return;
+  aborted_ = true;
+  if (os_.is_open()) os_.close();
+  std::remove(temp_path_.c_str());
+}
+
+void AtomicFileWriter::commit() {
+  if (committed_) return;
+  if (aborted_)
+    throw std::runtime_error("AtomicFileWriter: commit after abort for '" +
+                             path_ + "'");
+  // Any earlier failure (open, a short write under ENOSPC) is latched in the
+  // stream state; surface it before touching the destination.
+  os_.flush();
+  const bool wrote_ok = os_.good();
+  os_.close();
+  if (!wrote_ok || os_.fail()) {
+    abort();
+    throw std::runtime_error("AtomicFileWriter: writing temp file '" +
+                             temp_path_ + "' failed (disk full or I/O error)");
+  }
+  try {
+    fsync_path(temp_path_, "temp file");
+  } catch (...) {
+    abort();
+    throw;
+  }
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    const int saved = errno;
+    abort();
+    errno = saved;
+    fail("rename over", path_);
+  }
+  committed_ = true;
+  // The rename is only durable once the directory entry is; a crash after
+  // this point can no longer lose or tear the artifact.
+  fsync_path(parent_dir(path_), "parent directory of");
+}
+
+void AtomicFileWriter::write_file(const std::string& path,
+                                  std::string_view content) {
+  AtomicFileWriter w(path);
+  w.stream() << content;
+  w.commit();
+}
+
+}  // namespace stamp::report

@@ -1,0 +1,168 @@
+#pragma once
+/// \file journal.hpp
+/// \brief `sweep::Journal` + `sweep::ResumeState` — a write-ahead journal of
+///        completed grid points (`stamp-journal/v1`) and the resume path
+///        that replays it.
+///
+/// A long canonical sweep that dies on SIGTERM or OOM-kill used to lose
+/// every evaluated point. The journal makes completed work durable: after a
+/// grid point is evaluated, one checksummed, line-delimited JSON record is
+/// appended (fsync-batched, so the hot path pays a flush every
+/// `sync_every` records, not per point). Because the sweep's artifact is
+/// byte-identical at any thread count, a resumed run that replays journaled
+/// records verbatim and evaluates only the missing points reproduces the
+/// *exact bytes* an uninterrupted run would have produced — `cmp` against
+/// `sweeps/baseline.json` is the acceptance test, not an approximation.
+///
+/// ## Format: `stamp-journal/v1`
+///
+/// One JSON object per line. Every line carries a CRC32 of its payload in a
+/// fixed-width frame, so a torn tail (the process died mid-append) is
+/// *detected and truncated*, never trusted and never fatal:
+///
+///   {"crc":"xxxxxxxx","rec":{...}}\n
+///
+/// where `xxxxxxxx` is the zero-padded lowercase CRC32 (IEEE) of the exact
+/// bytes of the `rec` value. Line 1 is a header record binding the journal
+/// to one sweep configuration (schema, workload, objective, axes, grid
+/// size); a journal replayed against a different grid is rejected loudly.
+/// Each further line is one completed point: index, axis values, selected
+/// process count, feasibility, the four metrics, and the classical model
+/// round times — everything `write_json` needs, serialized with the same
+/// canonical number formatting as the artifact so replaying a parsed record
+/// re-emits identical bytes.
+///
+/// `ResumeState::load` walks the file front to back and stops at the first
+/// line that fails its checksum, fails to parse, or contradicts the grid
+/// (bad index, mismatched axis values); everything before it is replayable,
+/// everything from it on is discarded. `Journal` opened for resume truncates
+/// the file back to that validated prefix before appending, so one crash
+/// can never snowball into an unparseable journal.
+
+#include "sweep/sweep.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stamp::sweep {
+
+/// CRC32 (IEEE 802.3, reflected) — the per-line checksum of the journal.
+/// Exposed for tests and external validators.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes) noexcept;
+
+inline constexpr std::string_view kJournalSchema = "stamp-journal/v1";
+
+/// The validated, replayable prefix of a journal file, bound to the grid it
+/// was recorded against.
+class ResumeState {
+ public:
+  /// Parse `path` against `cfg`. Throws std::runtime_error when the file
+  /// cannot be read, or when an *intact* header names a different sweep
+  /// (schema, workload, objective, axes, or grid size mismatch) — resuming
+  /// the wrong journal must be loud, not silently wrong. A torn or corrupt
+  /// header (or any torn/corrupt later line) is NOT an error: the journal is
+  /// treated as valid up to the last good line and truncated there by the
+  /// next `Journal`.
+  [[nodiscard]] static ResumeState load(const std::string& path,
+                                        const SweepConfig& cfg);
+
+  /// True when grid point `index` has a replayable journaled record.
+  [[nodiscard]] bool completed(std::size_t index) const noexcept {
+    return index < completed_.size() && completed_[index] != 0;
+  }
+
+  /// The journaled record for a completed point (axis values re-anchored to
+  /// the grid's exact doubles). Precondition: `completed(index)`.
+  [[nodiscard]] const SweepRecord& record(std::size_t index) const {
+    return records_[index];
+  }
+
+  /// Number of distinct completed points (duplicate lines for one index are
+  /// replayed once, never double-counted).
+  [[nodiscard]] std::size_t completed_points() const noexcept {
+    return completed_points_;
+  }
+
+  [[nodiscard]] std::size_t grid_points() const noexcept {
+    return completed_.size();
+  }
+
+  /// Byte length of the validated prefix; a resuming `Journal` truncates the
+  /// file to exactly this before appending.
+  [[nodiscard]] std::size_t valid_bytes() const noexcept {
+    return valid_bytes_;
+  }
+
+  /// True when the file held bytes past the validated prefix (a torn append
+  /// or corruption) that will be dropped on resume.
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+
+ private:
+  std::vector<SweepRecord> records_;
+  std::vector<char> completed_;
+  std::size_t completed_points_ = 0;
+  std::size_t valid_bytes_ = 0;
+  bool truncated_ = false;
+};
+
+/// Append-side of the write-ahead journal. Thread-safe: pool workers call
+/// `append` concurrently as points complete. Records are flushed+fsynced
+/// every `sync_every` appends and on destruction; an append that cannot be
+/// durably written throws (a sweep whose journal is silently lost would
+/// defeat the whole point).
+class Journal {
+ public:
+  static constexpr std::size_t kDefaultSyncEvery = 32;
+
+  /// Open `path` for appending. With no `resume` (or an empty validated
+  /// prefix) the file is recreated with a fresh header; with one, the file
+  /// is truncated back to `resume->valid_bytes()` and appended to. Throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit Journal(std::string path, const SweepConfig& cfg,
+                   const ResumeState* resume = nullptr,
+                   std::size_t sync_every = kDefaultSyncEvery);
+
+  /// Final flush + fsync, best-effort (errors already surfaced by append).
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Durably record one completed point. Thread-safe; fsyncs every
+  /// `sync_every` appends. Throws std::runtime_error on write failure.
+  void append(const SweepRecord& rec);
+
+  /// Flush and fsync now (e.g. after a cancelled run drained).
+  void sync();
+
+  /// Records appended by this writer (excludes replayed ones).
+  [[nodiscard]] std::uint64_t appended() const noexcept;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  // -- encoding (exposed so tests can build journals byte-by-byte) -----------
+
+  /// The framed header line for `cfg`, newline included.
+  [[nodiscard]] static std::string header_line(const SweepConfig& cfg);
+  /// The framed line for one completed point, newline included.
+  [[nodiscard]] static std::string record_line(const SweepRecord& rec);
+
+ private:
+  void sync_locked();
+
+  std::string path_;
+  std::mutex mutex_;
+  std::ofstream os_;
+  int sync_fd_ = -1;
+  std::size_t sync_every_;
+  std::size_t since_sync_ = 0;
+  std::atomic<std::uint64_t> appended_{0};
+};
+
+}  // namespace stamp::sweep

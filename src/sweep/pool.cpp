@@ -122,15 +122,27 @@ bool Pool::try_steal(int thief, std::size_t& begin, std::size_t& end) {
 void Pool::run_range(std::size_t begin, std::size_t end) {
   const core::function_ref<void(std::size_t)> body = *body_;
   const std::size_t base = base_;
+  const core::CancelToken* cancel = cancel_;
   obs::ScopedSpan chunk_span = obs::ScopedSpan::if_enabled("pool.chunk", "pool");
   chunk_span.arg("begin", static_cast<double>(base + begin));
   chunk_span.arg("end", static_cast<double>(base + end));
   const obs::Clock::time_point t0 = obs::Clock::now();
-  try {
-    for (std::size_t i = begin; i < end; ++i) body(base + i);
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(error_mutex_);
-    if (!first_error_) first_error_ = std::current_exception();
+  for (std::size_t i = begin; i < end; ++i) {
+    // Cancellation check at index granularity: a claimed-but-unrun index is
+    // skipped while still being subtracted from pending_ below, so the loop
+    // drains with exact accounting instead of wedging on the skipped tail.
+    if (cancel != nullptr && cancel->cancelled()) break;
+    // Errors are captured per index, not per batch: a throwing index must
+    // not take its batch-mates down with it, or which indices ran would
+    // depend on claim granularity (and therefore on pool width). Every
+    // other index still runs exactly once; parallel_for rethrows the first
+    // error after the loop drains.
+    try {
+      body(base + i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
   }
   if (obs::metrics_enabled()) {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
@@ -138,8 +150,8 @@ void Pool::run_range(std::size_t begin, std::size_t end) {
     reg.counter("pool.indices").add(end - begin);
     reg.histogram("pool.chunk_ns").record(obs::nanos_since(t0));
   }
-  // Unexecuted indices of a throwing batch still count as done so the loop
-  // drains; the exception is rethrown (once) by parallel_for.
+  // Skipped (cancelled) indices still count as done so the loop drains; any
+  // captured exception is rethrown (once) by parallel_for.
   pending_.fetch_sub(end - begin, std::memory_order_acq_rel);
 }
 
@@ -221,6 +233,12 @@ void Pool::run_slab(std::size_t base, std::size_t n) {
 
 void Pool::parallel_for(std::size_t n,
                         core::function_ref<void(std::size_t)> body) {
+  parallel_for(n, body, nullptr);
+}
+
+void Pool::parallel_for(std::size_t n,
+                        core::function_ref<void(std::size_t)> body,
+                        const core::CancelToken* cancel) {
   if (n == 0) return;  // no notify: an empty loop must not wake anyone
 
   // One loop at a time: the slots and counters are per-pool, not per-loop.
@@ -236,6 +254,10 @@ void Pool::parallel_for(std::size_t n,
     first_error_ = nullptr;
   }
   body_ = &body;
+  // Published to workers by the same release store of pending_ that
+  // publishes body_/base_/claim_ (run_slab), so every worker that joins the
+  // loop sees the token.
+  cancel_ = cancel;
 
   // Ranges pack (begin, end) into one 64-bit word, so a slab holds at most
   // 2^31 indices; larger loops run as consecutive slabs (astronomically rare
@@ -249,6 +271,7 @@ void Pool::parallel_for(std::size_t n,
       errored = first_error_ != nullptr;
     }
     if (errored) break;  // don't start further slabs after a failure
+    if (cancel != nullptr && cancel->cancelled()) break;  // nor after cancel
   }
 
   if (obs::metrics_enabled()) {
@@ -258,6 +281,7 @@ void Pool::parallel_for(std::size_t n,
   }
 
   body_ = nullptr;
+  cancel_ = nullptr;
   std::exception_ptr err;
   {
     std::lock_guard<std::mutex> lock(error_mutex_);

@@ -23,6 +23,7 @@
 /// order. `run_sweep` does exactly that, which is how an N-thread sweep
 /// produces byte-identical artifacts to a 1-thread sweep.
 
+#include "core/cancel.hpp"
 #include "core/function_ref.hpp"
 
 #include <atomic>
@@ -57,6 +58,17 @@ class Pool {
   /// Only one parallel_for may be active at a time (guarded internally).
   /// `n == 0` returns immediately without waking any worker.
   void parallel_for(std::size_t n, core::function_ref<void(std::size_t)> body);
+
+  /// Like the plain overload, with cooperative cancellation: once
+  /// `cancel->cancelled()` turns true (any thread, including a signal
+  /// handler), workers stop invoking `body` — indices already claimed but not
+  /// yet started are skipped, in-flight invocations finish normally, and the
+  /// loop drains with exact accounting (no lost indices, no deadlock) before
+  /// returning. The caller cannot tell which indices ran from the pool alone;
+  /// key results by index and inspect them (run_sweep does exactly that).
+  /// `cancel == nullptr` behaves like the plain overload.
+  void parallel_for(std::size_t n, core::function_ref<void(std::size_t)> body,
+                    const core::CancelToken* cancel);
 
   /// Number of successful steals since construction (observability; also lets
   /// tests prove stealing actually happens).
@@ -118,6 +130,7 @@ class Pool {
   // State of the in-flight parallel_for (readable by workers once they
   // observe pending_ > 0 or claim a range: both are release/acquire edges).
   const core::function_ref<void(std::size_t)>* body_ = nullptr;
+  const core::CancelToken* cancel_ = nullptr;  ///< loop's token (may be null)
   std::size_t base_ = 0;   ///< slab offset added to every slab-relative index
   std::size_t claim_ = 1;  ///< indices claimed per CAS (chunk granularity)
   std::atomic<std::size_t> pending_{0};  ///< indices not yet completed

@@ -1,14 +1,25 @@
 #include "sweep/sweep.hpp"
 
+#include "fault/injector.hpp"
+#include "fault/retry.hpp"
+#include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "report/json.hpp"
+#include "sweep/journal.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+// The plain run_sweep* overloads delegate to the options-taking ones; that
+// internal call must stay quiet under -DSTAMP_WARN_DEPRECATED=ON.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 
 namespace stamp::sweep {
 namespace {
@@ -199,6 +210,78 @@ SweepResult make_result_shell(const SweepConfig& cfg) {
   return out;
 }
 
+/// evaluate_point plus the durability hooks: the SweepPointFail injection
+/// site (keyed by grid index, so the fault schedule is identical at any
+/// worker count) and the per-point deadline watchdog. The watchdog is
+/// cooperative — it fails the sweep once the evaluation *returns* — which is
+/// honest about what it can do (surface a wedged point as an error instead
+/// of hanging the artifact forever), not a preemption mechanism.
+SweepRecord evaluate_point_guarded(const SweepConfig& cfg, std::size_t index,
+                                   CostCache& cache,
+                                   const SweepOptions& opts) {
+  if (fault::injection_enabled() &&
+      fault::Injector::global().decide(fault::FaultSite::SweepPointFail,
+                                       static_cast<std::uint64_t>(index)))
+    throw fault::SweepPointFailure(index);
+  if (opts.point_deadline.count() <= 0)
+    return evaluate_point(cfg, index, cache);
+  fault::RetryPolicy policy;
+  policy.deadline = opts.point_deadline;
+  const fault::RetryState watchdog(policy,
+                                   static_cast<std::uint64_t>(index));
+  SweepRecord rec = evaluate_point(cfg, index, cache);
+  if (watchdog.deadline_passed()) {
+    if (obs::metrics_enabled())
+      obs::MetricsRegistry::global()
+          .counter("sweep.point_deadline_exceeded")
+          .add();
+    throw fault::DeadlineExceeded();
+  }
+  return rec;
+}
+
+/// Replay the resume state's completed points into the result (verbatim —
+/// byte-identical serialization is the contract) and pre-seed the cost cache
+/// with their memoized placement evaluations, so a still-missing point that
+/// shares a replayed point's canonical parameter tuple hits instead of
+/// recomputing.
+void seed_from_resume(SweepResult& out, CostCache& cache,
+                      const ResumeState& resume) {
+  if (resume.grid_points() != out.records.size())
+    throw std::invalid_argument(
+        "sweep: resume state covers " + std::to_string(resume.grid_points()) +
+        " grid points but the sweep has " +
+        std::to_string(out.records.size()));
+  for (std::size_t i = 0; i < out.records.size(); ++i) {
+    if (!resume.completed(i)) continue;
+    const SweepRecord& rec = resume.record(i);
+    out.records[i] = rec;
+    const PointCost pc{Cost{rec.metrics.D, rec.metrics.PDP}, rec.feasible,
+                       rec.processes};
+    (void)cache.get_or_compute(rec.params, [&] { return pc; });
+    ++out.stats.resumed_points;
+  }
+  if (out.stats.resumed_points > 0 && obs::metrics_enabled())
+    obs::MetricsRegistry::global()
+        .counter("sweep.resume.replayed")
+        .add(out.stats.resumed_points);
+}
+
+/// Shared post-loop bookkeeping: make journaled records durable, count the
+/// points cancellation left unevaluated, and stamp the cancelled flag.
+void finish_run(SweepResult& out, const SweepOptions& opts,
+                std::uint64_t journaled) {
+  out.stats.journaled_points = journaled;
+  if (opts.journal != nullptr) opts.journal->sync();
+  out.cancelled = opts.cancel != nullptr && opts.cancel->cancelled();
+  if (out.cancelled) {
+    // An evaluated record always selects >= 1 process; a skipped one keeps
+    // the default 0, so the two are distinguishable without extra state.
+    for (const SweepRecord& rec : out.records)
+      if (rec.processes == 0) ++out.stats.skipped_points;
+  }
+}
+
 }  // namespace
 
 std::string_view to_string(PlacementStrategy s) noexcept {
@@ -248,34 +331,83 @@ SweepConfig SweepConfig::tiny() {
 }
 
 SweepResult run_sweep_serial(const SweepConfig& cfg) {
+  return run_sweep_serial(cfg, SweepOptions{});
+}
+
+SweepResult run_sweep_serial(const SweepConfig& cfg,
+                             const SweepOptions& options) {
   obs::ScopedSpan span = obs::ScopedSpan::if_enabled("sweep.run", "sweep");
   span.arg("points", static_cast<double>(cfg.grid.size()));
   SweepResult out = make_result_shell(cfg);
   CostCache cache;
-  for (std::size_t i = 0; i < out.records.size(); ++i)
-    out.records[i] = evaluate_point(cfg, i, cache);
+  if (options.resume != nullptr)
+    seed_from_resume(out, cache, *options.resume);
+  std::uint64_t journaled = 0;
+  try {
+    for (std::size_t i = 0; i < out.records.size(); ++i) {
+      if (options.cancel != nullptr && options.cancel->cancelled()) break;
+      if (options.resume != nullptr && options.resume->completed(i)) continue;
+      out.records[i] = evaluate_point_guarded(cfg, i, cache, options);
+      if (options.journal != nullptr) {
+        options.journal->append(out.records[i]);
+        ++journaled;
+      }
+    }
+  } catch (...) {
+    // A failed sweep must not lose the points that did complete: make the
+    // journal tail durable before the error reaches the caller.
+    if (options.journal != nullptr) options.journal->sync();
+    throw;
+  }
   out.stats.cache_hits = cache.hits();
   out.stats.cache_misses = cache.misses();
   out.stats.cache_evictions = cache.evictions();
+  finish_run(out, options, journaled);
   return out;
 }
 
 SweepResult run_sweep(const SweepConfig& cfg, Pool& pool) {
+  return run_sweep(cfg, pool, SweepOptions{});
+}
+
+SweepResult run_sweep(const SweepConfig& cfg, Pool& pool,
+                      const SweepOptions& options) {
   obs::ScopedSpan span = obs::ScopedSpan::if_enabled("sweep.run", "sweep");
   span.arg("points", static_cast<double>(cfg.grid.size()));
   span.arg("threads", static_cast<double>(pool.threads()));
   SweepResult out = make_result_shell(cfg);
   CostCache cache(static_cast<std::size_t>(pool.threads()) * 8);
+  if (options.resume != nullptr)
+    seed_from_resume(out, cache, *options.resume);
   const std::uint64_t steals_before = pool.steals();
+  std::atomic<std::uint64_t> journaled{0};
   // Records are written by grid index into a pre-sized vector, so completion
-  // order (which is scheduling-dependent) never shows in the output.
-  pool.parallel_for(out.records.size(), [&](std::size_t i) {
-    out.records[i] = evaluate_point(cfg, i, cache);
-  });
+  // order (which is scheduling-dependent) never shows in the output. On a
+  // point failure the pool drains every other in-flight point before
+  // rethrowing, so those points still reach the journal — that drain-then-
+  // fail order is what makes kill-and-resume deterministic.
+  try {
+    pool.parallel_for(
+        out.records.size(),
+        [&](std::size_t i) {
+          if (options.resume != nullptr && options.resume->completed(i))
+            return;
+          out.records[i] = evaluate_point_guarded(cfg, i, cache, options);
+          if (options.journal != nullptr) {
+            options.journal->append(out.records[i]);
+            journaled.fetch_add(1, std::memory_order_relaxed);
+          }
+        },
+        options.cancel);
+  } catch (...) {
+    if (options.journal != nullptr) options.journal->sync();
+    throw;
+  }
   out.stats.cache_hits = cache.hits();
   out.stats.cache_misses = cache.misses();
   out.stats.cache_evictions = cache.evictions();
   out.stats.pool_steals = pool.steals() - steals_before;
+  finish_run(out, options, journaled.load(std::memory_order_relaxed));
   return out;
 }
 
@@ -313,6 +445,10 @@ void write_json(const SweepResult& result, std::ostream& os) {
   w.end_array();
   w.end_object();
   os << "\n";
+  os.flush();
+  if (!os.good())
+    throw std::runtime_error(
+        "sweep: writing stamp-sweep/v1 artifact failed (output stream error)");
 }
 
 std::string to_json(const SweepResult& result) {

@@ -17,6 +17,7 @@
 /// metric queries share one computation. Records are stored by grid index,
 /// which makes an N-thread sweep byte-identical to a 1-thread sweep.
 
+#include "core/cancel.hpp"
 #include "core/compat.hpp"
 #include "core/metrics.hpp"
 #include "core/params.hpp"
@@ -27,6 +28,7 @@
 #include "sweep/pool.hpp"
 
 #include <array>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <span>
@@ -127,6 +129,9 @@ struct SweepStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
   std::uint64_t pool_steals = 0;
+  std::uint64_t resumed_points = 0;    ///< replayed verbatim from a journal
+  std::uint64_t journaled_points = 0;  ///< appended to the journal this run
+  std::uint64_t skipped_points = 0;    ///< left unevaluated by cancellation
 
   friend bool operator==(const SweepStats&, const SweepStats&) = default;
 };
@@ -137,6 +142,36 @@ struct SweepResult {
   Objective objective = Objective::EDP;
   std::vector<SweepRecord> records;  ///< one per grid point, by index
   SweepStats stats;                  ///< not serialized (runtime detail)
+  /// True when a CancelToken tripped before every point completed: the
+  /// records of skipped points are default-initialized, so the result must
+  /// not be serialized as a finished artifact. Not serialized itself.
+  bool cancelled = false;
+};
+
+class Journal;      // journal.hpp
+class ResumeState;  // journal.hpp
+
+/// Durability and lifecycle knobs for a sweep run. All default to "off", in
+/// which state `run_sweep(cfg, pool, {})` behaves exactly like the plain
+/// overload.
+struct SweepOptions {
+  /// Cooperative cancellation: checked per grid point (and per claimed pool
+  /// batch). In-flight points finish and are journaled; unstarted points are
+  /// skipped and the result comes back with `cancelled = true`.
+  const core::CancelToken* cancel = nullptr;
+  /// Write-ahead journal: every completed point is appended (checksummed,
+  /// fsync-batched) before the sweep finishes, so a crash loses at most the
+  /// unsynced tail, never the whole run.
+  Journal* journal = nullptr;
+  /// Replay state from a previous journal: completed points are copied into
+  /// the result verbatim (byte-identical serialization) and their memoized
+  /// costs pre-seed the CostCache; only missing points are evaluated.
+  const ResumeState* resume = nullptr;
+  /// Per-point watchdog (0 = none): an evaluation that takes longer than
+  /// this fails the sweep with fault::DeadlineExceeded once it returns,
+  /// instead of silently wedging a production run. Uses the same clock
+  /// plumbing as fault::RetryPolicy.
+  std::chrono::nanoseconds point_deadline{0};
 };
 
 /// Evaluate every grid point on the calling thread (reference path; also what
@@ -144,13 +179,28 @@ struct SweepResult {
 STAMP_DEPRECATED("use stamp::Evaluator::sweep (api/stamp.hpp)")
 [[nodiscard]] SweepResult run_sweep_serial(const SweepConfig& cfg);
 
+/// Serial run with durability options (journal, resume, cancellation,
+/// per-point deadline).
+STAMP_DEPRECATED("use stamp::Evaluator::sweep (api/stamp.hpp)")
+[[nodiscard]] SweepResult run_sweep_serial(const SweepConfig& cfg,
+                                           const SweepOptions& options);
+
 /// Evaluate on `pool`. Output is identical (including byte-identical JSON)
 /// to the serial run for any pool width.
 STAMP_DEPRECATED("use stamp::Evaluator::sweep (api/stamp.hpp)")
 [[nodiscard]] SweepResult run_sweep(const SweepConfig& cfg, Pool& pool);
 
+/// Pooled run with durability options. A resumed-and-completed sweep yields
+/// an artifact byte-identical to an uninterrupted run at any pool width.
+STAMP_DEPRECATED("use stamp::Evaluator::sweep (api/stamp.hpp)")
+[[nodiscard]] SweepResult run_sweep(const SweepConfig& cfg, Pool& pool,
+                                    const SweepOptions& options);
+
 /// Serialize in the stable `stamp-sweep/v1` schema: fixed key order, records
 /// sorted by grid index, numbers via JsonWriter's canonical formatting.
+/// Throws std::runtime_error when the stream reports failure (ENOSPC, a
+/// closed pipe): an artifact emitter must never "succeed" silently on a
+/// torn write.
 void write_json(const SweepResult& result, std::ostream& os);
 
 /// Convenience: the artifact as a string.

@@ -1,0 +1,45 @@
+#include "core/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace stamp::core {
+namespace {
+
+TEST(CancelToken, StartsClear) {
+  const CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, RequestSetsAndIsIdempotent) {
+  CancelToken token;
+  token.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.request_cancel();  // repeating the request must be harmless
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelToken, ResetRearmsForAnotherRun) {
+  CancelToken token;
+  token.request_cancel();
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+  token.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+// The cross-thread contract: a poller spinning on cancelled() must observe a
+// trip requested by another thread (release store / acquire load pairing).
+TEST(CancelToken, TripIsVisibleAcrossThreads) {
+  CancelToken token;
+  std::thread poller([&token] {
+    while (!token.cancelled()) std::this_thread::yield();
+  });
+  token.request_cancel();
+  poller.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+}  // namespace
+}  // namespace stamp::core

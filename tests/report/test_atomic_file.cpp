@@ -1,0 +1,121 @@
+#include "report/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace stamp::report {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return (fs::path(testing::TempDir()) / name).string();
+}
+
+TEST(AtomicFileWriter, CommitCreatesFileWithExactContent) {
+  const std::string path = temp_path("atomic_commit.txt");
+  fs::remove(path);
+  {
+    AtomicFileWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_FALSE(fs::exists(path));  // nothing at the real path before commit
+    writer.stream() << "hello\nworld\n";
+    writer.commit();
+  }
+  EXPECT_EQ(read_file(path), "hello\nworld\n");
+  fs::remove(path);
+}
+
+TEST(AtomicFileWriter, CommitRemovesTempFile) {
+  const std::string path = temp_path("atomic_temp_gone.txt");
+  std::string temp;
+  {
+    AtomicFileWriter writer(path);
+    temp = writer.temp_path();
+    writer.stream() << "x";
+    EXPECT_TRUE(fs::exists(temp));
+    writer.commit();
+  }
+  EXPECT_FALSE(fs::exists(temp));
+  fs::remove(path);
+}
+
+// The crash-safety property: a writer that never commits (the process died,
+// an error bailed out) must leave the destination byte-for-byte untouched
+// and unlink its temp file.
+TEST(AtomicFileWriter, DestructorWithoutCommitLeavesDestinationUntouched) {
+  const std::string path = temp_path("atomic_uncommitted.txt");
+  AtomicFileWriter::write_file(path, "original");
+  std::string temp;
+  {
+    AtomicFileWriter writer(path);
+    temp = writer.temp_path();
+    writer.stream() << "torn partial write";
+  }
+  EXPECT_EQ(read_file(path), "original");
+  EXPECT_FALSE(fs::exists(temp));
+  fs::remove(path);
+}
+
+TEST(AtomicFileWriter, AbortIsIdempotentAndCommitlessOverwriteKeepsOld) {
+  const std::string path = temp_path("atomic_abort.txt");
+  AtomicFileWriter::write_file(path, "keep me");
+  AtomicFileWriter writer(path);
+  writer.stream() << "discard me";
+  writer.abort();
+  writer.abort();  // second abort must be a no-op
+  EXPECT_FALSE(fs::exists(writer.temp_path()));
+  EXPECT_EQ(read_file(path), "keep me");
+  fs::remove(path);
+}
+
+TEST(AtomicFileWriter, CommitAtomicallyReplacesExistingFile) {
+  const std::string path = temp_path("atomic_replace.txt");
+  AtomicFileWriter::write_file(path, "old contents");
+  {
+    AtomicFileWriter writer(path);
+    writer.stream() << "new contents";
+    writer.commit();
+  }
+  EXPECT_EQ(read_file(path), "new contents");
+  fs::remove(path);
+}
+
+TEST(AtomicFileWriter, UnopenablePathReportsNotOkAndCommitThrows) {
+  const std::string path =
+      temp_path("no_such_dir_atomic") + "/nested/out.json";
+  AtomicFileWriter writer(path);
+  EXPECT_FALSE(writer.ok());
+  writer.stream() << "goes nowhere";
+  EXPECT_THROW(writer.commit(), std::runtime_error);
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(AtomicFileWriter, WriteFileConvenienceRoundTrips) {
+  const std::string path = temp_path("atomic_write_file.txt");
+  AtomicFileWriter::write_file(path, "payload \x01\x02 bytes\n");
+  EXPECT_EQ(read_file(path), "payload \x01\x02 bytes\n");
+  AtomicFileWriter::write_file(path, "second");
+  EXPECT_EQ(read_file(path), "second");
+  fs::remove(path);
+}
+
+TEST(AtomicFileWriter, WriteFileThrowsOnUnopenablePath) {
+  const std::string path = temp_path("no_such_dir_wf") + "/nested/out.json";
+  EXPECT_THROW(AtomicFileWriter::write_file(path, "x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace stamp::report

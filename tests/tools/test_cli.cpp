@@ -94,6 +94,92 @@ TEST(Cli, ErrorsOnUnknownOptionMissingValueAndBadInt) {
   }
 }
 
+TEST(Cli, UnknownOptionSuggestsNearestName) {
+  std::string grid;
+  int threads = 0;
+  Cli cli("prog", "test");
+  cli.option_string("grid", &grid, "NAME", "grid")
+      .option_int("threads", &threads, "N", "threads");
+  Argv argv({"--grd", "tiny"});
+  testing::internal::CaptureStderr();
+  const Cli::Parse result = cli.parse(argv.argc(), argv.argv());
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(result, Cli::Parse::Error);
+  EXPECT_NE(err.find("unknown option '--grd'"), std::string::npos);
+  EXPECT_NE(err.find("did you mean '--grid'?"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionFarFromEverythingGetsNoSuggestion) {
+  std::string grid;
+  Cli cli("prog", "test");
+  cli.option_string("grid", &grid, "NAME", "grid");
+  Argv argv({"--frobnicate"});
+  testing::internal::CaptureStderr();
+  const Cli::Parse result = cli.parse(argv.argc(), argv.argv());
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(result, Cli::Parse::Error);
+  EXPECT_EQ(err.find("did you mean"), std::string::npos);
+}
+
+TEST(Cli, DuplicateScalarOptionIsRejected) {
+  {
+    std::string grid;
+    Cli cli("prog", "test");
+    cli.option_string("grid", &grid, "NAME", "grid");
+    Argv argv({"--grid", "tiny", "--grid", "canonical"});
+    testing::internal::CaptureStderr();
+    const Cli::Parse result = cli.parse(argv.argc(), argv.argv());
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(result, Cli::Parse::Error);
+    EXPECT_NE(err.find("'--grid' given more than once"), std::string::npos);
+  }
+  {
+    int threads = 0;
+    Cli cli("prog", "test");
+    cli.option_int("threads", &threads, "N", "threads");
+    Argv argv({"--threads", "2", "--threads", "4"});
+    EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Error);
+  }
+}
+
+TEST(Cli, RepeatedFlagAndListStayAllowed) {
+  bool stats = false;
+  std::vector<std::string> tols;
+  Cli cli("prog", "test");
+  cli.flag("stats", &stats, "stats").option_list("tol", &tols, "SPEC", "tol");
+  Argv argv({"--stats", "--tol", "a", "--stats", "--tol", "b"});
+  EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Ok);
+  EXPECT_TRUE(stats);
+  EXPECT_EQ(tols, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Cli, ParsesDoubleOption) {
+  {
+    double prob = 0;
+    Cli cli("prog", "test");
+    cli.option_double("prob", &prob, "P", "probability");
+    Argv argv({"--prob", "0.25"});
+    EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Ok);
+    EXPECT_DOUBLE_EQ(prob, 0.25);
+  }
+  {
+    double prob = 0;
+    Cli cli("prog", "test");
+    cli.option_double("prob", &prob, "P", "probability");
+    Argv argv({"--prob", "1e-3"});
+    EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Ok);
+    EXPECT_DOUBLE_EQ(prob, 1e-3);
+  }
+  for (const char* bad : {"abc", "-0.5", "", "1.5x"}) {
+    double prob = 0;
+    Cli cli("prog", "test");
+    cli.option_double("prob", &prob, "P", "probability");
+    Argv argv({"--prob", bad});
+    EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Error)
+        << "value '" << bad << "'";
+  }
+}
+
 TEST(Cli, ErrorsOnMissingAndExtraPositionals) {
   {
     std::string a;

@@ -21,6 +21,7 @@
 /// Header-only on purpose: the tools are single-file executables and this
 /// keeps them that way.
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
@@ -40,7 +41,7 @@ class Cli {
   /// `--name` with no value; sets `*target` to true when present.
   Cli& flag(std::string name, bool* target, std::string help) {
     options_.push_back({std::move(name), "", std::move(help), Kind::Flag,
-                        target, nullptr, nullptr, nullptr});
+                        target, nullptr, nullptr, nullptr, nullptr});
     return *this;
   }
 
@@ -48,7 +49,8 @@ class Cli {
   Cli& option_string(std::string name, std::string* target,
                      std::string value_name, std::string help) {
     options_.push_back({std::move(name), std::move(value_name), std::move(help),
-                        Kind::String, nullptr, target, nullptr, nullptr});
+                        Kind::String, nullptr, target, nullptr, nullptr,
+                        nullptr});
     return *this;
   }
 
@@ -56,7 +58,16 @@ class Cli {
   Cli& option_int(std::string name, int* target, std::string value_name,
                   std::string help) {
     options_.push_back({std::move(name), std::move(value_name), std::move(help),
-                        Kind::Int, nullptr, nullptr, target, nullptr});
+                        Kind::Int, nullptr, nullptr, target, nullptr, nullptr});
+    return *this;
+  }
+
+  /// `--name X`, parsed as a non-negative floating-point number.
+  Cli& option_double(std::string name, double* target, std::string value_name,
+                     std::string help) {
+    options_.push_back({std::move(name), std::move(value_name), std::move(help),
+                        Kind::Double, nullptr, nullptr, nullptr, target,
+                        nullptr});
     return *this;
   }
 
@@ -64,7 +75,8 @@ class Cli {
   Cli& option_list(std::string name, std::vector<std::string>* target,
                    std::string value_name, std::string help) {
     options_.push_back({std::move(name), std::move(value_name), std::move(help),
-                        Kind::List, nullptr, nullptr, nullptr, target});
+                        Kind::List, nullptr, nullptr, nullptr, nullptr,
+                        target});
     return *this;
   }
 
@@ -85,12 +97,24 @@ class Cli {
         return Parse::Help;
       }
       if (arg.rfind("--", 0) == 0) {
-        Option* opt = find(arg.substr(2));
-        if (opt == nullptr) return error("unknown option '" + arg + "'");
+        const std::string name = arg.substr(2);
+        Option* opt = find(name);
+        if (opt == nullptr) {
+          std::string message = "unknown option '" + arg + "'";
+          const std::string near = nearest(name);
+          if (!near.empty()) message += " (did you mean '--" + near + "'?)";
+          return error(message);
+        }
         if (opt->kind == Kind::Flag) {
-          *opt->flag_target = true;
+          *opt->flag_target = true;  // idempotent; repeating it is harmless
           continue;
         }
+        // Scalar options take exactly one value: a silent last-one-wins on
+        // `--out a --out b` hides a typo'd command line, so repeats are
+        // rejected loudly. Lists are repeatable by contract.
+        if (opt->kind != Kind::List && opt->seen)
+          return error("option '" + arg + "' given more than once");
+        opt->seen = true;
         if (i + 1 >= argc)
           return error("option '" + arg + "' expects a value");
         const std::string value = argv[++i];
@@ -104,6 +128,14 @@ class Cli {
               return error("option '" + arg + "' expects a non-negative " +
                            "integer, got '" + value + "'");
             *opt->int_target = *n;
+            break;
+          }
+          case Kind::Double: {
+            const std::optional<double> x = parse_double(value);
+            if (!x)
+              return error("option '" + arg + "' expects a non-negative " +
+                           "number, got '" + value + "'");
+            *opt->double_target = *x;
             break;
           }
           case Kind::List:
@@ -149,7 +181,7 @@ class Cli {
   }
 
  private:
-  enum class Kind { Flag, String, Int, List };
+  enum class Kind { Flag, String, Int, Double, List };
 
   struct Option {
     std::string name;
@@ -159,7 +191,9 @@ class Cli {
     bool* flag_target;
     std::string* string_target;
     int* int_target;
+    double* double_target;
     std::vector<std::string>* list_target;
+    bool seen = false;  ///< a value-bearing scalar may appear only once
   };
 
   struct Positional {
@@ -181,6 +215,45 @@ class Cli {
     if (end != s.c_str() + s.size() || v < 0 || v > 1'000'000'000)
       return std::nullopt;
     return static_cast<int>(v);
+  }
+
+  static std::optional<double> parse_double(const std::string& s) {
+    if (s.empty()) return std::nullopt;
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size() || !(v >= 0)) return std::nullopt;
+    return v;
+  }
+
+  /// The known option name closest to `name` by edit distance, or "" when
+  /// nothing is close enough to plausibly be a typo.
+  [[nodiscard]] std::string nearest(const std::string& name) const {
+    std::string best;
+    std::size_t best_d = name.size();  // worse than this is not a typo
+    for (const Option& o : options_) {
+      const std::size_t d = edit_distance(name, o.name);
+      if (d < best_d) {
+        best = o.name;
+        best_d = d;
+      }
+    }
+    const std::size_t cutoff = std::max<std::size_t>(2, name.size() / 3);
+    return best_d <= cutoff ? best : std::string();
+  }
+
+  /// Levenshtein distance; option names are short, so the O(|a|·|b|)
+  /// two-row DP is plenty.
+  static std::size_t edit_distance(const std::string& a, const std::string& b) {
+    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      cur[0] = i;
+      for (std::size_t j = 1; j <= b.size(); ++j)
+        cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1,
+                           prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      std::swap(prev, cur);
+    }
+    return prev[b.size()];
   }
 
   Parse error(const std::string& message) const {

@@ -11,14 +11,30 @@
 /// trace shows all three hot layers (sweep/pool/cache and the simulator);
 /// the artifact itself is unaffected.
 ///
+/// Durability: `--journal FILE` appends a checksummed `stamp-journal/v1`
+/// record per completed point; `--resume FILE` replays such a journal and
+/// evaluates only the missing points, producing an artifact byte-identical
+/// to an uninterrupted run. SIGINT/SIGTERM trip a cooperative cancel token:
+/// in-flight points drain and reach the journal before the process exits.
+/// Artifacts land via an atomic temp-file + rename, never as a torn file.
+///
+/// Exit codes: 0 success; 2 usage or I/O error; 3 cancelled by signal
+/// (journal preserved, no artifact); 4 evaluation failure (injected point
+/// failure or per-point deadline; journal preserved, no artifact).
+///
 /// Usage: see `stamp_sweep --help` (generated from the option table).
 
 #include "api/stamp.hpp"
 #include "cli.hpp"
+#include "report/atomic_file.hpp"
+#include "sweep/journal.hpp"
 
+#include <chrono>
 #include <cmath>
-#include <fstream>
+#include <csignal>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -157,11 +173,19 @@ void replay_winner(const stamp::sweep::SweepConfig& cfg,
             << ", energy " << sim.energy << "\n";
 }
 
+/// Tripped by SIGINT/SIGTERM. `request_cancel` is one lock-free atomic
+/// store, so calling it from the handler is async-signal-safe.
+stamp::core::CancelToken g_cancel;
+
+extern "C" void handle_cancel_signal(int) { g_cancel.request_cancel(); }
+
 bool write_text(const std::string& path, const std::string& text) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return false;
-  os << text;
-  return static_cast<bool>(os);
+  try {
+    stamp::report::AtomicFileWriter::write_file(path, text);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -171,7 +195,12 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string trace_path;
   std::string metrics_path;
+  std::string journal_path;
+  std::string resume_path;
   int threads = 0;
+  int point_deadline_ms = 0;
+  int fail_seed = 0;
+  double fail_prob = 0;
   bool stats = false;
 
   Cli cli("stamp_sweep",
@@ -183,6 +212,20 @@ int main(int argc, char** argv) {
                   "pool width; 0 = hardware concurrency (default)")
       .option_int("jobs", &threads, "N", "alias for --threads")
       .option_string("out", &out_path, "FILE", "output file (default: stdout)")
+      .option_string("journal", &journal_path, "FILE",
+                     "append a stamp-journal/v1 record per completed point "
+                     "(crash-safe; enables resuming)")
+      .option_string("resume", &resume_path, "FILE",
+                     "replay a journal and evaluate only the missing points "
+                     "(implies journaling to FILE unless --journal is given)")
+      .option_int("point-deadline-ms", &point_deadline_ms, "MS",
+                  "fail the sweep if one point evaluation exceeds MS "
+                  "milliseconds (0 = no deadline)")
+      .option_int("fail-seed", &fail_seed, "SEED",
+                  "seed for injected sweep-point failures (chaos testing)")
+      .option_double("fail-prob", &fail_prob, "P",
+                     "per-point probability of an injected failure "
+                     "(chaos testing; default 0 = off)")
       .option_string("trace", &trace_path, "FILE",
                      "record a Chrome trace of the sweep (plus a simulator "
                      "replay of the winning point) to FILE")
@@ -194,6 +237,12 @@ int main(int argc, char** argv) {
     case Cli::Parse::Error: return 2;
     case Cli::Parse::Ok: break;
   }
+
+#ifdef SIGPIPE
+  // A closed stdout pipe must surface as a stream error (and exit 2), not
+  // kill the process mid-artifact with the default SIGPIPE disposition.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
 
   stamp::sweep::SweepConfig cfg;
   if (grid == "canonical") {
@@ -214,18 +263,82 @@ int main(int argc, char** argv) {
     stamp::Evaluator::set_tracing(!trace_path.empty());
     stamp::Evaluator::set_metrics(!metrics_path.empty());
 
+    // Resuming without an explicit journal keeps appending to the same file:
+    // a second interruption must not lose the first run's completed points.
+    if (journal_path.empty()) journal_path = resume_path;
+
+    std::unique_ptr<stamp::sweep::ResumeState> resume;
+    if (!resume_path.empty()) {
+      if (std::filesystem::exists(resume_path)) {
+        resume = std::make_unique<stamp::sweep::ResumeState>(
+            stamp::sweep::ResumeState::load(resume_path, cfg));
+        std::cerr << "stamp_sweep: resuming " << resume->completed_points()
+                  << "/" << resume->grid_points() << " points from '"
+                  << resume_path << "'"
+                  << (resume->truncated() ? " (torn tail truncated)" : "")
+                  << "\n";
+      } else {
+        std::cerr << "stamp_sweep: resume file '" << resume_path
+                  << "' does not exist; starting fresh\n";
+      }
+    }
+
+    std::unique_ptr<stamp::sweep::Journal> journal;
+    if (!journal_path.empty())
+      journal = std::make_unique<stamp::sweep::Journal>(journal_path, cfg,
+                                                        resume.get());
+
+    if (fail_prob > 0) {
+      stamp::fault::FaultPlan plan;
+      plan.seed = static_cast<std::uint64_t>(fail_seed);
+      plan.with(stamp::fault::FaultSite::SweepPointFail, fail_prob);
+      stamp::Evaluator::with_faults(plan);
+    }
+
+    std::signal(SIGINT, handle_cancel_signal);
+    std::signal(SIGTERM, handle_cancel_signal);
+
+    stamp::sweep::SweepOptions opts;
+    opts.cancel = &g_cancel;
+    opts.journal = journal.get();
+    opts.resume = resume.get();
+    opts.point_deadline = std::chrono::milliseconds(point_deadline_ms);
+
     const stamp::Evaluator eval({.machine = cfg.base, .objective = cfg.objective});
-    const stamp::sweep::SweepResult result = eval.sweep(cfg, threads);
+    stamp::sweep::SweepResult result;
+    try {
+      result = eval.sweep(cfg, threads, opts);
+    } catch (const std::exception& e) {
+      // The journal object (if any) already synced its tail in run_sweep's
+      // unwind path; completed points survive for --resume.
+      std::cerr << "stamp_sweep: sweep failed: " << e.what() << "\n";
+      if (journal)
+        std::cerr << "stamp_sweep: journal preserved at '" << journal_path
+                  << "'; rerun with --resume to continue\n";
+      return 4;
+    }
+
+    if (result.cancelled) {
+      std::cerr << "stamp_sweep: cancelled by signal after "
+                << (result.records.size() - result.stats.skipped_points)
+                << "/" << result.records.size() << " points";
+      if (journal)
+        std::cerr << "; journal preserved at '" << journal_path
+                  << "', rerun with --resume to continue";
+      std::cerr << "\n";
+      return 3;
+    }
 
     if (out_path.empty() || out_path == "-") {
       stamp::sweep::write_json(result, std::cout);
     } else {
-      std::ofstream os(out_path, std::ios::binary);
-      if (!os) {
+      stamp::report::AtomicFileWriter writer(out_path);
+      if (!writer.ok()) {
         std::cerr << "stamp_sweep: cannot open '" << out_path << "' for writing\n";
         return 2;
       }
-      stamp::sweep::write_json(result, os);
+      stamp::sweep::write_json(result, writer.stream());
+      writer.commit();
     }
 
     if (!trace_path.empty()) {
@@ -249,7 +362,9 @@ int main(int argc, char** argv) {
                 << threads << " threads, cache " << result.stats.cache_hits
                 << " hits / " << result.stats.cache_misses << " misses / "
                 << result.stats.cache_evictions << " evictions, "
-                << result.stats.pool_steals << " steals\n";
+                << result.stats.pool_steals << " steals, "
+                << result.stats.resumed_points << " resumed, "
+                << result.stats.journaled_points << " journaled\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "stamp_sweep: " << e.what() << "\n";
