@@ -1,38 +1,52 @@
 /// P2 — sweep-engine throughput: serial evaluation vs the range-claiming
-/// work-stealing `sweep::Pool` over an 8-axis machine-parameter grid (the
-/// canonical 7 axes plus a `processes` bound axis: 1152 points).
+/// work-stealing `sweep::Pool`, through the structure-of-arrays batch
+/// evaluator (sweep/batch.hpp).
 ///
-/// This is the scaling claim behind the CI pipeline: turning the one-shot
-/// benches into a grid sweep only pays off if the sweep itself runs as fast
-/// as the hardware allows. The table reports wall time, points/s, speedup
-/// over serial, memoization hit rate, and how many range splits were stolen
-/// — stealing is what keeps the speedup near the worker count even though
-/// grid points differ in cost (greedy placement at 16 cores is far more
-/// work than fill-first at 2).
+/// Two grid presets:
+///  - `--grid canonical` (default): the canonical 7 axes plus a `processes`
+///    bound axis — 1152 points. Small enough that the table doubles as a
+///    smoke check, but per-point work barely outweighs pool overhead, so
+///    scaling numbers on it are noise-bound.
+///  - `--grid large`: `SweepConfig::large()` — 1,179,648 streaming points.
+///    This is the scaling claim: with the batch evaluator amortizing decode,
+///    machine validation and cache probes over claimed ranges, parallelism
+///    finally has something to chew on, and the speedup curve is expected to
+///    be monotone in thread count.
+///
+/// The table reports wall time, points/s, speedup over serial, memoization
+/// hit rate, and how many range splits were stolen. Records are verified
+/// identical to the serial run at every pool width (the artifact is
+/// scheduling-independent).
 ///
 /// Besides the human-readable table, the bench emits a machine-readable
-/// `BENCH_sweep.json` (`stamp-bench-sweep/v1`): points/sec for the serial
-/// path and each pool width, cache hit rate, and steal counts. CI's bench
-/// job uploads it as an artifact and gates it against the checked-in
-/// `bench/BENCH_sweep.json` baseline: the run fails if serial points/sec
-/// regresses more than 20% (pass `--baseline FILE`; absolute throughput is
-/// machine-dependent, so refresh the baseline when hardware changes).
+/// `BENCH_sweep.json` (`stamp-bench-sweep/v1`). Gates:
+///  - `--baseline FILE`: fail if serial points/sec regresses more than 20%
+///    against the checked-in baseline (grids must match — comparing presets
+///    is apples to oranges).
+///  - `--gate-scaling X`: fail unless pool points/sec is monotone in thread
+///    count (5% noise tolerance) and the widest run that fits the hardware
+///    reaches min(X, hw/2)× serial. Thread counts above the *usable*
+///    hardware parallelism (`core::usable_hardware_threads`, affinity-aware)
+///    are reported but never gated; on a single-core box the gate is skipped
+///    outright — oversubscribed "speedup" is meaningless either way.
 ///
-/// Usage: bench_sweep [--out FILE] [--baseline FILE] [--reps N]
+/// Usage: bench_sweep [--grid canonical|large] [--out FILE]
+///                    [--baseline FILE] [--reps N] [--gate-scaling X]
 
+#include "core/hw.hpp"
 #include "report/atomic_file.hpp"
 #include "report/json.hpp"
 #include "report/json_parse.hpp"
 #include "report/table.hpp"
 #include "sweep/sweep.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
 namespace {
@@ -69,9 +83,9 @@ struct PoolSample {
   std::uint64_t steals = 0;
 };
 
-/// The bench grid: the canonical 7 axes plus a `processes` bound axis, so
-/// the JSON reports throughput on an 8-axis, 1152-point design space.
-stamp::sweep::SweepConfig bench_config() {
+/// The small bench grid: the canonical 7 axes plus a `processes` bound axis,
+/// so the JSON reports throughput on an 8-axis, 1152-point design space.
+stamp::sweep::SweepConfig canonical_bench_config() {
   stamp::sweep::SweepConfig cfg = stamp::sweep::SweepConfig::canonical();
   cfg.grid.axis(std::string(stamp::sweep::axes::kProcesses), {16, 64});
   cfg.workload = "uniform-comm-bench8";
@@ -83,9 +97,11 @@ stamp::sweep::SweepConfig bench_config() {
 int main(int argc, char** argv) {
   using namespace stamp;
 
+  std::string grid_name = "canonical";
   std::string out_path = "BENCH_sweep.json";
   std::string baseline_path;
-  int reps = 5;
+  int reps = 0;  // 0 = preset default (5 canonical, 2 large)
+  double gate_scaling = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -95,15 +111,19 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--out") {
+    if (arg == "--grid") {
+      grid_name = next();
+    } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--baseline") {
       baseline_path = next();
     } else if (arg == "--reps") {
       reps = std::stoi(next());
+    } else if (arg == "--gate-scaling") {
+      gate_scaling = std::stod(next());
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: bench_sweep [--out FILE] [--baseline FILE] "
-                   "[--reps N]\n";
+      std::cout << "usage: bench_sweep [--grid canonical|large] [--out FILE] "
+                   "[--baseline FILE] [--reps N] [--gate-scaling X]\n";
       return 0;
     } else {
       std::cerr << "bench_sweep: unknown option '" << arg << "'\n";
@@ -111,10 +131,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  sweep::SweepConfig cfg;
+  if (grid_name == "canonical") {
+    cfg = canonical_bench_config();
+    if (reps == 0) reps = 5;
+  } else if (grid_name == "large") {
+    cfg = sweep::SweepConfig::large();
+    if (reps == 0) reps = 2;
+  } else {
+    std::cerr << "bench_sweep: unknown grid '" << grid_name
+              << "' (canonical|large)\n";
+    return 2;
+  }
+
   report::print_section(std::cout, "P2: parameter-sweep engine throughput");
 
-  const sweep::SweepConfig cfg = bench_config();
   const std::size_t points = cfg.grid.size();
+  const int hw = core::usable_hardware_threads();
 
   // Reference: plain serial loop, no pool involved.
   sweep::SweepResult serial_result;
@@ -123,19 +156,21 @@ int main(int argc, char** argv) {
   const double serial_pps = static_cast<double>(points) / serial_s;
 
   report::Table table(
-      "8-axis grid: " + std::to_string(points) + " points, best of " +
-          std::to_string(reps),
-      {"configuration", "time [ms]", "points/s", "speedup", "hit rate", "steals"});
+      grid_name + " grid: " + std::to_string(points) + " points, best of " +
+          std::to_string(reps) + ", " + std::to_string(hw) +
+          " usable hw thread(s)",
+      {"configuration", "time [ms]", "points/s", "speedup", "hit rate",
+       "steals"});
   table.set_precision(2);
   table.add_row({std::string("serial"), serial_s * 1e3, serial_pps, 1.0,
                  hit_rate_of(serial_result.stats), 0.0});
 
   std::vector<int> widths{1, 2, 4, 8};
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  if (hw > 8) widths.push_back(hw);
+  if (std::find(widths.begin(), widths.end(), hw) == widths.end() && hw > 1)
+    widths.push_back(hw);
+  std::sort(widths.begin(), widths.end());
 
   std::vector<PoolSample> samples;
-  double speedup_at_4 = 0;
   for (const int threads : widths) {
     sweep::Pool pool(threads);
     sweep::SweepResult result;
@@ -149,10 +184,8 @@ int main(int argc, char** argv) {
     sample.hit_rate = hit_rate_of(result.stats);
     sample.steals = pool.steals() - steals_before;  // across all reps
     samples.push_back(sample);
-    const double speedup = serial_s / s;
-    if (threads == 4) speedup_at_4 = speedup;
     table.add_row({"pool(" + std::to_string(threads) + ")", s * 1e3,
-                   sample.points_per_sec, speedup, sample.hit_rate,
+                   sample.points_per_sec, serial_s / s, sample.hit_rate,
                    static_cast<double>(sample.steals)});
 
     // The scaling contract: identical output at every pool width.
@@ -166,18 +199,8 @@ int main(int argc, char** argv) {
 
   std::cout << "\nReading: records are verified identical to the serial run\n"
                "at every pool width (the artifact is scheduling-independent);\n"
-               "memoization serves 3 of the 4 metric queries per point.\n";
-  if (speedup_at_4 < 2.0) {
-    if (hw < 4) {
-      std::cout << "NOTE: pool(4) speedup " << speedup_at_4 << "x on "
-                << hw << " hardware thread(s) — a >= 2x speedup needs >= 4 "
-                   "cores; on one core the number above is pure pool "
-                   "overhead (should stay near 1x).\n";
-    } else {
-      std::cout << "WARNING: pool(4) speedup " << speedup_at_4
-                << "x is below the 2x acceptance floor (noisy machine?)\n";
-    }
-  }
+               "the batch evaluator probes the memoization cache once per "
+               "point.\n";
 
   // -- machine-readable artifact ---------------------------------------------
   if (!out_path.empty()) {
@@ -193,6 +216,7 @@ int main(int argc, char** argv) {
     w.begin_object();
     w.kv("schema", "stamp-bench-sweep/v1");
     w.key("grid").begin_object();
+    w.kv("name", grid_name);
     w.kv("axes", static_cast<long long>(cfg.grid.axes().size()));
     w.kv("points", static_cast<long long>(points));
     w.end_object();
@@ -225,6 +249,56 @@ int main(int argc, char** argv) {
     std::cout << "\nwrote " << out_path << "\n";
   }
 
+  // -- strong-scaling gate ----------------------------------------------------
+  if (gate_scaling > 0) {
+    if (hw < 2) {
+      std::cout << "gate-scaling: SKIPPED — only " << hw
+                << " usable hardware thread(s); a parallel speedup cannot "
+                   "exist here, run this gate on a multi-core runner\n";
+    } else {
+      bool ok = true;
+      // Monotone in thread count over the widths the hardware can actually
+      // run in parallel, with 5% noise tolerance. Oversubscribed widths
+      // (threads > hw) are reported above but not gated.
+      const PoolSample* prev = nullptr;
+      const PoolSample* widest = nullptr;
+      for (const PoolSample& s : samples) {
+        if (s.threads > hw) {
+          std::cout << "gate-scaling: pool(" << s.threads
+                    << ") skipped (only " << hw << " usable hw threads)\n";
+          continue;
+        }
+        if (prev != nullptr && s.points_per_sec < prev->points_per_sec * 0.95) {
+          std::cerr << "FAIL: points/sec not monotone in thread count: pool("
+                    << s.threads << ") " << s.points_per_sec << " < pool("
+                    << prev->threads << ") " << prev->points_per_sec
+                    << " (beyond 5% tolerance)\n";
+          ok = false;
+        }
+        prev = &s;
+        widest = &s;
+      }
+      // The widest gated run must beat serial by the requested factor,
+      // scaled down to what the hardware can deliver: min(X, hw/2) leaves
+      // 2x headroom for pool overhead on small machines.
+      const double required =
+          std::min(gate_scaling, static_cast<double>(hw) / 2.0);
+      if (widest != nullptr) {
+        const double speedup = widest->points_per_sec / serial_pps;
+        std::cout << "gate-scaling: pool(" << widest->threads << ") speedup "
+                  << speedup << "x vs required " << required << "x (requested "
+                  << gate_scaling << "x, " << hw << " usable hw threads)\n";
+        if (speedup < required) {
+          std::cerr << "FAIL: pool(" << widest->threads << ") speedup "
+                    << speedup << "x is below the required " << required
+                    << "x\n";
+          ok = false;
+        }
+      }
+      if (!ok) return 1;
+    }
+  }
+
   // -- regression gate against a checked-in baseline -------------------------
   if (!baseline_path.empty()) {
     std::ifstream is(baseline_path, std::ios::binary);
@@ -238,6 +312,11 @@ int main(int argc, char** argv) {
     double base_pps = 0;
     try {
       const report::JsonValue base = report::JsonValue::parse(text.str());
+      const report::JsonValue* grid = base.find("grid");
+      const report::JsonValue* name = grid ? grid->find("name") : nullptr;
+      if (name != nullptr && name->as_string() != grid_name)
+        throw std::runtime_error("baseline is for grid '" + name->as_string() +
+                                 "', this run used '" + grid_name + "'");
       const report::JsonValue* serial = base.find("serial");
       const report::JsonValue* pps =
           serial ? serial->find("points_per_sec") : nullptr;

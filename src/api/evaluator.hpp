@@ -144,11 +144,15 @@ class Evaluator {
   // -- sweep -----------------------------------------------------------------
 
   /// Evaluate a parameter grid; `threads` > 1 uses a work-stealing pool and
-  /// produces a byte-identical artifact to the serial run. The config's own
-  /// base machine and objective apply (a sweep explores many machines; the
-  /// Evaluator's machine is not forced onto it). The pool is cached on the
-  /// Evaluator and reused by later `sweep` calls of the same width, so a
-  /// loop of sweeps spawns its worker threads once, not per call.
+  /// produces a byte-identical artifact to the serial run. Evaluation
+  /// streams through the batch evaluator (sweep/batch.hpp): the grid is
+  /// decoded lazily in structure-of-arrays chunks, so a 10⁶–10⁸-point
+  /// config (e.g. `SweepConfig::large()`) costs memory only for its
+  /// records. The config's own base machine and objective apply (a sweep
+  /// explores many machines; the Evaluator's machine is not forced onto
+  /// it). The pool is cached on the Evaluator and reused by later `sweep`
+  /// calls of the same width, so a loop of sweeps spawns its worker threads
+  /// once, not per call.
   [[nodiscard]] sweep::SweepResult sweep(const sweep::SweepConfig& config,
                                          int threads = 1) const;
 

@@ -1,0 +1,24 @@
+#include "core/hw.hpp"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace stamp::core {
+
+int usable_hardware_threads() noexcept {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int n = CPU_COUNT(&mask);
+    if (n > 0) return n;
+  }
+#endif
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+}  // namespace stamp::core

@@ -1,0 +1,22 @@
+#pragma once
+/// \file hw.hpp
+/// \brief Detection of the parallelism actually available to this process.
+///
+/// `std::thread::hardware_concurrency()` answers the wrong question for a
+/// scaling bench twice over: it may return 0 ("unknown"), and it reports the
+/// machine-wide thread count even when the process is pinned (taskset,
+/// cgroup cpusets, CI runners) to a fraction of it. A bench that gates
+/// "speedup at N threads" against either number compares apples to oranges.
+/// `usable_hardware_threads` reports the CPU-affinity mask size where the
+/// platform exposes one, falling back to `hardware_concurrency`, and never
+/// returns less than 1.
+
+namespace stamp::core {
+
+/// Hardware threads this process can actually run on: the scheduling
+/// affinity mask size on Linux (a process pinned to 4 of 64 cores reports
+/// 4), `std::thread::hardware_concurrency()` elsewhere or when the mask is
+/// unavailable, and at least 1 always.
+[[nodiscard]] int usable_hardware_threads() noexcept;
+
+}  // namespace stamp::core

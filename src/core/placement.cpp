@@ -7,12 +7,9 @@
 #include <stdexcept>
 
 namespace stamp {
-namespace {
 
-/// Per-process cost when the process sits in a group of `group_size` out of
-/// `total` processes (uniform communication pattern assumption).
-Cost cost_in_group(const ProcessProfile& prof, int group_size, int total,
-                   const MachineModel& machine) {
+Cost process_cost_in_group(const ProcessProfile& prof, int group_size,
+                           int total, const MachineModel& machine) noexcept {
   const int peers = total - 1;
   const double intra_fraction =
       peers > 0 ? static_cast<double>(group_size - 1) / peers : 0.0;
@@ -22,6 +19,14 @@ Cost cost_in_group(const ProcessProfile& prof, int group_size, int total,
   pc.inter = total - group_size;
   return s_round_cost(per_unit, machine.params, machine.energy, pc)
       .scaled(prof.units);
+}
+
+namespace {
+
+/// Shorthand for the public kernel (kept: the call sites below predate it).
+Cost cost_in_group(const ProcessProfile& prof, int group_size, int total,
+                   const MachineModel& machine) {
+  return process_cost_in_group(prof, group_size, total, machine);
 }
 
 PlacementResult finish(std::span<const ProcessProfile> profiles,

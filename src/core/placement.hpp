@@ -65,6 +65,17 @@ struct PlacementEvaluation {
   bool feasible = false;
 };
 
+/// Per-process cost when the process sits in a group of `group_size` out of
+/// `total` processes under the uniform communication pattern assumption: the
+/// intra fraction is (group_size - 1) / (total - 1), the counters split
+/// accordingly, and the closed forms price one S-round scaled by the
+/// profile's units. This is the kernel every placement evaluation reduces
+/// to; the sweep's batch evaluator calls it directly to price uniform
+/// placements without materializing per-process profile vectors.
+[[nodiscard]] Cost process_cost_in_group(const ProcessProfile& prof,
+                                         int group_size, int total,
+                                         const MachineModel& machine) noexcept;
+
 /// Evaluate `placement` of `profiles` on `machine` under `objective`.
 /// Each process's intra fraction is (co-located peers)/(all peers).
 [[nodiscard]] PlacementEvaluation evaluate_placement(

@@ -1,6 +1,8 @@
 #include "models/models.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <stdexcept>
 
 namespace stamp::models {
 
@@ -131,6 +133,76 @@ double round_time(ModelKind kind, const RoundSpec& r, const ClassicalParams& p) 
 double time(ModelKind kind, const RoundSpec& r, int rounds,
             const ClassicalParams& p) {
   return rounds * round_time(kind, r, p);
+}
+
+void round_time_batch(ModelKind kind, const RoundSpecBatch& batch,
+                      const ClassicalParams& p, std::span<double> out) {
+  const std::size_t n = out.size();
+  if (batch.local_ops.size() != n || batch.msgs_out.size() != n ||
+      batch.msgs_in.size() != n || batch.shm_reads.size() != n ||
+      batch.shm_writes.size() != n || batch.max_location_accesses.size() != n)
+    throw std::invalid_argument(
+        "round_time_batch: all spans must match out.size()");
+  const double* c = batch.local_ops.data();
+  const double* mo = batch.msgs_out.data();
+  const double* mi = batch.msgs_in.data();
+  const double* sr = batch.shm_reads.data();
+  const double* sw = batch.shm_writes.data();
+  const double* ml = batch.max_location_accesses.data();
+  // Each loop repeats the scalar model's expressions verbatim (same
+  // operations, same order) with the parameters hoisted to scalars — the
+  // bit-identity contract with `round_time` depends on that.
+  switch (kind) {
+    case ModelKind::PRAM:
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = c[i] + mo[i] + mi[i] + sr[i] + sw[i];
+      return;
+    case ModelKind::BSP: {
+      const double g = p.bsp.g, l = p.bsp.l;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double h =
+            std::max(mo[i] + sr[i] + sw[i], mi[i] + sr[i] + sw[i]);
+        out[i] = c[i] + g * h + l;
+      }
+      return;
+    }
+    case ModelKind::LogP: {
+      const double L = p.logp.L, o = p.logp.o, g = p.logp.g;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double msgs = mo[i] + sr[i] + sw[i];
+        const double sends = msgs;
+        const double recvs = mi[i] + sr[i];
+        double t = c[i] + o * (sends + recvs);
+        if (sends > 1) t += g * (sends - 1);
+        if (sends + recvs > 0) t += L;
+        out[i] = t;
+      }
+      return;
+    }
+    case ModelKind::LogGP: {
+      const double L = p.loggp.L, o = p.loggp.o, g = p.loggp.g;
+      const double G = p.loggp.G, wpm = p.loggp.words_per_message;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double msgs = mo[i] + sr[i] + sw[i];
+        const double recvs = mi[i] + sr[i];
+        double t = c[i] + o * (msgs + recvs);
+        if (msgs > 1) t += g * (msgs - 1);
+        if (wpm > 1) t += G * (wpm - 1) * msgs;
+        if (msgs + recvs > 0) t += L;
+        out[i] = t;
+      }
+      return;
+    }
+    case ModelKind::QSM: {
+      const double g = p.qsm.g;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double accesses = sr[i] + sw[i] + mo[i] + mi[i];
+        out[i] = std::max({c[i], g * accesses, ml[i]});
+      }
+      return;
+    }
+  }
+  throw std::invalid_argument("round_time_batch: unknown model kind");
 }
 
 }  // namespace stamp::models

@@ -136,4 +136,26 @@ struct ClassicalParams {
 [[nodiscard]] double time(ModelKind kind, const RoundSpec& r, int rounds,
                           const ClassicalParams& p);
 
+/// A batch of round specifications in structure-of-arrays form: component
+/// `i` of every span describes one round. All spans must have equal length.
+/// This is the sweep engine's hot path — the per-model loops are written so
+/// the model parameters are loop-invariant scalars and the per-round data
+/// streams through contiguously, which lets the compiler vectorize them.
+struct RoundSpecBatch {
+  std::span<const double> local_ops;
+  std::span<const double> msgs_out;
+  std::span<const double> msgs_in;
+  std::span<const double> shm_reads;
+  std::span<const double> shm_writes;
+  std::span<const double> max_location_accesses;
+};
+
+/// Evaluate `round_time(kind, ...)` for every round in the batch into `out`.
+/// Bit-for-bit identical to calling the scalar `round_time` per element (the
+/// loops perform the same operations in the same order), so batched sweep
+/// artifacts stay byte-identical to the scalar reference path. Throws
+/// std::invalid_argument when any span's length differs from `out.size()`.
+void round_time_batch(ModelKind kind, const RoundSpecBatch& batch,
+                      const ClassicalParams& p, std::span<double> out);
+
 }  // namespace stamp::models

@@ -1,0 +1,135 @@
+#pragma once
+/// \file batch.hpp
+/// \brief The structure-of-arrays batch evaluator behind `run_sweep` — the
+///        sweep hot path for streaming million-point grids.
+///
+/// The scalar path paid, per grid point: one `grid.point()` allocation,
+/// eight axis-name lookups, a full `MachineModel` copy + `validate()`, four
+/// `CostCache` probes for one computation, a per-candidate profile-vector
+/// assign inside `place_*`, and five scalar classical-model calls. None of
+/// that work changes the artifact — so the batch evaluator restructures it
+/// without changing a single output bit:
+///
+///  - a claimed index range is decoded in one `ParamGrid::decode_chunk` call
+///    into thread-local structure-of-arrays scratch (zero per-batch
+///    allocation once warm);
+///  - consecutive points that share machine-axis values (the grid's slow
+///    axes) reuse one validated `MachineModel` instead of copy+validate per
+///    point;
+///  - the `CostCache` is probed once per point (all four metrics derive from
+///    the one memoized `(T, E)` pair), not once per metric;
+///  - uniform-profile placements (the only kind a sweep evaluates — every
+///    candidate strong-scales one total profile into n identical processes)
+///    are priced by `process_cost_in_group` over a per-group-size table
+///    computed in a tight closed-form loop, replicating `place_fill_first` /
+///    `place_round_robin` / `place_greedy` arithmetic exactly but without
+///    materializing profile vectors, `Placement` objects, or per-process
+///    cost vectors;
+///  - classical baselines are evaluated per machine-group run with
+///    `models::round_time_batch` (loop-invariant parameters, contiguous
+///    per-point data).
+///
+/// Bit-identity with the scalar reference is the contract, not an
+/// aspiration: `evaluate_point_reference` keeps the original scalar
+/// pipeline alive, the equivalence tests compare every record of real grids
+/// against it, and CI's sweep gate still `cmp`s artifacts against
+/// `sweeps/baseline.json` at several pool widths. PR 5's durability
+/// semantics survive per-index: resume-completed points are skipped, the
+/// fault-injection site and deadline watchdog fire per index, every
+/// completed point reaches the journal, and cancellation is honored between
+/// points.
+
+#include "core/metrics.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/sweep.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <span>
+
+namespace stamp::sweep {
+
+/// The original scalar selection for one point: strong-scale the profile
+/// over candidate process counts, place each candidate through the core
+/// `place_*` API, keep the best under the objective (feasible preferred).
+/// Kept as the reference implementation the batch path is tested against.
+[[nodiscard]] PointCost compute_point_cost_reference(const PointSetup& s,
+                                                     Objective objective);
+
+/// The original scalar evaluation of one grid point, cache-free: decode,
+/// setup, select, price the classical baselines. The batch evaluator must
+/// reproduce this record bit-for-bit for every index of every grid — the
+/// equivalence tests enforce it.
+[[nodiscard]] SweepRecord evaluate_point_reference(const SweepConfig& cfg,
+                                                   std::size_t index);
+
+/// Evaluates contiguous grid-index ranges into a pre-sized record array.
+/// One instance serves all workers of a sweep: per-thread scratch (SoA
+/// buffers, placement tables, the machine-group cache) lives in
+/// thread-local storage keyed to the evaluator instance, so concurrent
+/// `run_range` calls never share mutable state.
+class BatchEvaluator {
+ public:
+  /// Points decoded and staged per sub-batch. Large enough to amortize the
+  /// chunk decode and classical-model loops, small enough that the scratch
+  /// stays cache-resident (a sub-batch is ~14 SoA doubles per point).
+  static constexpr std::size_t kBatch = 256;
+
+  /// `cfg`, `cache`, and everything `options` points at must outlive the
+  /// evaluator.
+  BatchEvaluator(const SweepConfig& cfg, CostCache& cache,
+                 const SweepOptions& options);
+
+  /// Evaluate grid indices [begin, end) into `records` (indexed by grid
+  /// index). Resume-completed points are skipped; cancellation is checked
+  /// per point; each completed point is appended to the journal (in index
+  /// order within the range). Returns the number of points journaled.
+  ///
+  /// Error policy: with `fail_fast` (the serial driver), the first failing
+  /// point finishes and journals every point evaluated before it, then
+  /// rethrows — exactly the scalar serial semantics. Without it (pool
+  /// workers), a failing point is recorded into `*first_error` (under
+  /// `*error_mutex`) and every other point still runs, matching the pool's
+  /// drain-then-rethrow contract; the driver rethrows after the loop.
+  std::uint64_t run_range(std::size_t begin, std::size_t end,
+                          std::span<SweepRecord> records, bool fail_fast,
+                          std::mutex* error_mutex,
+                          std::exception_ptr* first_error);
+
+ private:
+  struct Scratch;
+
+  [[nodiscard]] Scratch& scratch() const;
+  std::uint64_t run_subbatch(std::size_t begin, std::size_t end,
+                             std::span<SweepRecord> records, bool fail_fast,
+                             std::mutex* error_mutex,
+                             std::exception_ptr* first_error, Scratch& sc);
+  void evaluate_one(std::size_t index, std::size_t slot, std::size_t count,
+                    SweepRecord& rec, Scratch& sc);
+  void setup_current(const SweepRecord& rec, Scratch& sc) const;
+  [[nodiscard]] PointCost compute_uniform_point(Scratch& sc) const;
+  [[nodiscard]] PointCost uniform_placement_cost(int n, Scratch& sc) const;
+  void greedy_assign(int n, Scratch& sc) const;
+  void finalize_classical(std::size_t base, std::size_t count,
+                          std::span<SweepRecord> records, Scratch& sc);
+
+  const SweepConfig* cfg_;
+  CostCache* cache_;
+  SweepOptions options_;
+  std::uint64_t id_;   ///< distinguishes evaluators sharing a thread's scratch
+  std::size_t naxes_;
+  // Axis positions resolved once (the scalar path re-ran the name lookups
+  // for every point).
+  int ax_cores_;
+  int ax_tpc_;
+  int ax_ell_;
+  int ax_le_;
+  int ax_gsh_;
+  int ax_kappa_;
+  int ax_place_;
+  int ax_procs_;
+};
+
+}  // namespace stamp::sweep

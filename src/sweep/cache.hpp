@@ -2,11 +2,13 @@
 /// \file cache.hpp
 /// \brief Sharded memoization of per-point sweep costs.
 ///
-/// A sweep queries four metrics (D, PDP, EDP, ED²P) per grid point, but all
+/// A sweep records four metrics (D, PDP, EDP, ED²P) per grid point, but all
 /// four derive from one `(time, energy)` pair — so the expensive placement
-/// evaluation is keyed on the canonical parameter tuple and computed once;
-/// the other three queries are cache hits. The table is sharded by key hash
-/// so pool workers evaluating different points rarely contend on a lock.
+/// evaluation is keyed on the canonical parameter tuple, computed once, and
+/// probed once per point by the batch evaluator; points that repeat a tuple
+/// (duplicate axis values, resume replays) hit instead of recomputing. The
+/// table is sharded by key hash so pool workers evaluating different points
+/// rarely contend on a lock.
 ///
 /// Keys are canonicalized before hashing: `-0.0` collapses to `0.0` (they
 /// are the same grid value; a bitwise key would silently defeat memoization)

@@ -1,5 +1,7 @@
 #include "sweep/grid.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -29,21 +31,113 @@ std::size_t ParamGrid::size() const noexcept {
 }
 
 std::vector<double> ParamGrid::point(std::size_t index) const {
-  if (index >= size()) throw std::out_of_range("ParamGrid::point: bad index");
   std::vector<double> out(axes_.size());
+  decode_into(index, out);
+  return out;
+}
+
+void ParamGrid::decode_into(std::size_t index, std::span<double> out) const {
+  if (index >= size())
+    throw std::out_of_range("ParamGrid::decode_into: bad index");
+  if (out.size() != axes_.size())
+    throw std::invalid_argument(
+        "ParamGrid::decode_into: output span must hold one value per axis");
   // Mixed-radix decode, last axis fastest.
   for (std::size_t k = axes_.size(); k-- > 0;) {
     const std::vector<double>& vals = axes_[k].values;
     out[k] = vals[index % vals.size()];
     index /= vals.size();
   }
-  return out;
+}
+
+void ParamGrid::decode_chunk(std::size_t begin, std::size_t end,
+                             std::span<double> out) const {
+  if (begin > end || end > size())
+    throw std::out_of_range("ParamGrid::decode_chunk: bad index range");
+  const std::size_t count = end - begin;
+  if (out.size() != axes_.size() * count)
+    throw std::invalid_argument(
+        "ParamGrid::decode_chunk: output span must hold axes() * (end - "
+        "begin) values");
+  if (count == 0) return;
+  // Axis k holds one value for `period` consecutive indices (the product of
+  // the sizes of the axes after it), so each column is a sequence of
+  // constant runs: find the run containing `begin`, then fill forward.
+  std::size_t period = 1;
+  for (std::size_t k = axes_.size(); k-- > 0;) {
+    const std::vector<double>& vals = axes_[k].values;
+    const std::size_t arity = vals.size();
+    double* col = out.data() + k * count;
+    std::size_t digit = (begin / period) % arity;
+    std::size_t run = period - begin % period;  // indices left in this run
+    std::size_t filled = 0;
+    while (filled < count) {
+      const double v = vals[digit];
+      const std::size_t len = std::min(run, count - filled);
+      for (std::size_t j = 0; j < len; ++j) col[filled + j] = v;
+      filled += len;
+      digit = digit + 1 == arity ? 0 : digit + 1;
+      run = period;
+    }
+    period *= arity;
+  }
 }
 
 int ParamGrid::axis_index(std::string_view name) const noexcept {
   for (std::size_t i = 0; i < axes_.size(); ++i)
     if (axes_[i].name == name) return static_cast<int>(i);
   return -1;
+}
+
+GridCursor::GridCursor(const ParamGrid& grid, std::size_t start)
+    : grid_(&grid), index_(start), size_(grid.size()) {
+  if (start > size_)
+    throw std::out_of_range("GridCursor: start index past the grid");
+  digits_.resize(grid.axes().size());
+  values_.resize(grid.axes().size());
+  if (index_ < size_) {
+    std::size_t rest = index_;
+    for (std::size_t k = digits_.size(); k-- > 0;) {
+      const std::vector<double>& vals = grid.axes()[k].values;
+      digits_[k] = rest % vals.size();
+      values_[k] = vals[digits_[k]];
+      rest /= vals.size();
+    }
+  }
+}
+
+void GridCursor::advance() noexcept {
+  if (done()) return;
+  ++index_;
+  if (done()) return;
+  // Mixed-radix increment with carry, last axis fastest: almost always one
+  // digit bump; a carry ripples only every `arity(last)` points.
+  for (std::size_t k = digits_.size(); k-- > 0;) {
+    const std::vector<double>& vals = grid_->axes()[k].values;
+    if (++digits_[k] < vals.size()) {
+      values_[k] = vals[digits_[k]];
+      return;
+    }
+    digits_[k] = 0;
+    values_[k] = vals[0];
+  }
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  if (count == 0)
+    throw std::invalid_argument("linspace: count must be >= 1");
+  if (!std::isfinite(lo) || !std::isfinite(hi))
+    throw std::invalid_argument("linspace: bounds must be finite");
+  std::vector<double> out(count);
+  if (count == 1) {
+    out[0] = lo;
+    return out;
+  }
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;  // endpoint exact regardless of rounding in the steps
+  return out;
 }
 
 double ParamGrid::value(std::span<const double> point,

@@ -120,28 +120,44 @@ bool Pool::try_steal(int thief, std::size_t& begin, std::size_t& end) {
 }
 
 void Pool::run_range(std::size_t begin, std::size_t end) {
-  const core::function_ref<void(std::size_t)> body = *body_;
   const std::size_t base = base_;
   const core::CancelToken* cancel = cancel_;
   obs::ScopedSpan chunk_span = obs::ScopedSpan::if_enabled("pool.chunk", "pool");
   chunk_span.arg("begin", static_cast<double>(base + begin));
   chunk_span.arg("end", static_cast<double>(base + end));
   const obs::Clock::time_point t0 = obs::Clock::now();
-  for (std::size_t i = begin; i < end; ++i) {
-    // Cancellation check at index granularity: a claimed-but-unrun index is
-    // skipped while still being subtracted from pending_ below, so the loop
-    // drains with exact accounting instead of wedging on the skipped tail.
-    if (cancel != nullptr && cancel->cancelled()) break;
-    // Errors are captured per index, not per batch: a throwing index must
-    // not take its batch-mates down with it, or which indices ran would
-    // depend on claim granularity (and therefore on pool width). Every
-    // other index still runs exactly once; parallel_for rethrows the first
-    // error after the loop drains.
-    try {
-      body(base + i);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+  if (range_body_ != nullptr) {
+    // Range-granular body: one invocation for the whole claimed interval.
+    // Cancellation is checked once up front (the body owns per-index
+    // checks); an exception abandons the rest of the interval, which is
+    // still subtracted from pending_ below so the loop drains.
+    if (cancel == nullptr || !cancel->cancelled()) {
+      try {
+        (*range_body_)(base + begin, base + end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+  } else {
+    const core::function_ref<void(std::size_t)> body = *body_;
+    for (std::size_t i = begin; i < end; ++i) {
+      // Cancellation check at index granularity: a claimed-but-unrun index
+      // is skipped while still being subtracted from pending_ below, so the
+      // loop drains with exact accounting instead of wedging on the skipped
+      // tail.
+      if (cancel != nullptr && cancel->cancelled()) break;
+      // Errors are captured per index, not per batch: a throwing index must
+      // not take its batch-mates down with it, or which indices ran would
+      // depend on claim granularity (and therefore on pool width). Every
+      // other index still runs exactly once; parallel_for rethrows the
+      // first error after the loop drains.
+      try {
+        body(base + i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
     }
   }
   if (obs::metrics_enabled()) {
@@ -240,10 +256,22 @@ void Pool::parallel_for(std::size_t n,
                         core::function_ref<void(std::size_t)> body,
                         const core::CancelToken* cancel) {
   if (n == 0) return;  // no notify: an empty loop must not wake anyone
-
   // One loop at a time: the slots and counters are per-pool, not per-loop.
   std::lock_guard<std::mutex> exclusive(loop_mutex_);
+  body_ = &body;
+  run_loop(n, cancel);
+}
 
+void Pool::parallel_for_ranges(
+    std::size_t n, core::function_ref<void(std::size_t, std::size_t)> body,
+    const core::CancelToken* cancel) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> exclusive(loop_mutex_);
+  range_body_ = &body;
+  run_loop(n, cancel);
+}
+
+void Pool::run_loop(std::size_t n, const core::CancelToken* cancel) {
   obs::ScopedSpan loop_span =
       obs::ScopedSpan::if_enabled("pool.parallel_for", "pool");
   loop_span.arg("n", static_cast<double>(n));
@@ -253,15 +281,14 @@ void Pool::parallel_for(std::size_t n,
     std::lock_guard<std::mutex> lock(error_mutex_);
     first_error_ = nullptr;
   }
-  body_ = &body;
   // Published to workers by the same release store of pending_ that
-  // publishes body_/base_/claim_ (run_slab), so every worker that joins the
-  // loop sees the token.
+  // publishes body_/range_body_/base_/claim_ (run_slab), so every worker
+  // that joins the loop sees the token.
   cancel_ = cancel;
 
   // Ranges pack (begin, end) into one 64-bit word, so a slab holds at most
-  // 2^31 indices; larger loops run as consecutive slabs (astronomically rare
-  // for sweeps — the canonical grid is 576 points).
+  // 2^31 indices; larger loops run as consecutive slabs (a 10^8-point
+  // streaming grid still fits one slab per 2^31 indices).
   constexpr std::size_t kSlab = std::size_t{1} << 31;
   for (std::size_t base = 0; base < n; base += kSlab) {
     run_slab(base, std::min(kSlab, n - base));
@@ -281,6 +308,7 @@ void Pool::parallel_for(std::size_t n,
   }
 
   body_ = nullptr;
+  range_body_ = nullptr;
   cancel_ = nullptr;
   std::exception_ptr err;
   {

@@ -70,6 +70,22 @@ class Pool {
   void parallel_for(std::size_t n, core::function_ref<void(std::size_t)> body,
                     const core::CancelToken* cancel);
 
+  /// Range-granular variant: every claimed (or stolen) batch is handed to
+  /// `body` as one contiguous `[begin, end)` interval instead of one call
+  /// per index. This is the batch evaluator's entry point — the body can
+  /// decode and evaluate the whole interval over structure-of-arrays
+  /// scratch without paying an indirect call per index. The union of all
+  /// intervals passed to `body` is exactly [0, n) with no overlap; interval
+  /// boundaries depend on scheduling, so the body must produce results that
+  /// do not (the sweep keys records by index). With `cancel`, the check is
+  /// per claimed range — a range-body that wants finer-grained cancellation
+  /// checks the token per index itself. If a body invocation throws, the
+  /// remaining indices of that range are counted as done (the loop still
+  /// drains) and the first exception is rethrown after the drain.
+  void parallel_for_ranges(
+      std::size_t n, core::function_ref<void(std::size_t, std::size_t)> body,
+      const core::CancelToken* cancel = nullptr);
+
   /// Number of successful steals since construction (observability; also lets
   /// tests prove stealing actually happens).
   [[nodiscard]] std::uint64_t steals() const noexcept;
@@ -117,6 +133,9 @@ class Pool {
   /// `run_slab` can quiesce stragglers before reinstalling ranges.
   void drain(int id);
   void run_slab(std::size_t base, std::size_t n);
+  /// The shared slab-loop driver behind both parallel_for flavors; expects
+  /// body_ or range_body_ (and cancel_) to be set, clears them on exit.
+  void run_loop(std::size_t n, const core::CancelToken* cancel);
 
   int threads_;
   std::unique_ptr<Slot[]> slots_;  ///< one packed range per worker
@@ -129,7 +148,10 @@ class Pool {
 
   // State of the in-flight parallel_for (readable by workers once they
   // observe pending_ > 0 or claim a range: both are release/acquire edges).
+  // Exactly one of body_ / range_body_ is non-null during a loop.
   const core::function_ref<void(std::size_t)>* body_ = nullptr;
+  const core::function_ref<void(std::size_t, std::size_t)>* range_body_ =
+      nullptr;
   const core::CancelToken* cancel_ = nullptr;  ///< loop's token (may be null)
   std::size_t base_ = 0;   ///< slab offset added to every slab-relative index
   std::size_t claim_ = 1;  ///< indices claimed per CAS (chunk granularity)

@@ -1,16 +1,17 @@
 #include "sweep/sweep.hpp"
 
-#include "fault/injector.hpp"
-#include "fault/retry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "report/json.hpp"
+#include "sweep/batch.hpp"
 #include "sweep/journal.hpp"
 
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <exception>
 #include <limits>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -94,112 +95,6 @@ ProcessProfile strong_scaled(const ProcessProfile& total, int n) {
 
 namespace {
 
-/// Per-worker scratch reused across every candidate process count and every
-/// grid point a worker evaluates: the profile arena is resized (never
-/// reallocated once warm — capacity grows to the largest candidate and
-/// stays) and the candidate list is rebuilt in place. This keeps the sweep
-/// hot path allocation-free after the first few points.
-struct PointScratch {
-  std::vector<ProcessProfile> profiles;
-  std::vector<int> candidates;
-};
-
-PointScratch& point_scratch() {
-  thread_local PointScratch scratch;
-  return scratch;
-}
-
-PointCost placement_cost(const PointSetup& s, int n, Objective objective,
-                         std::vector<ProcessProfile>& profiles) {
-  profiles.assign(static_cast<std::size_t>(n), strong_scaled(s.profile, n));
-  PlacementResult r;
-  switch (s.strategy) {
-    case PlacementStrategy::FillFirst:
-      r = place_fill_first(profiles, s.machine, objective);
-      break;
-    case PlacementStrategy::RoundRobin:
-      r = place_round_robin(profiles, s.machine, objective);
-      break;
-    case PlacementStrategy::Greedy:
-      r = place_greedy(profiles, s.machine, objective);
-      break;
-  }
-  return PointCost{r.eval.total, r.eval.feasible, n};
-}
-
-/// The selection the sweep performs per point: best process count under the
-/// objective, preferring power-feasible candidates (the place_best rule).
-/// All candidates of the point are evaluated as one batch over the reused
-/// scratch arena.
-PointCost compute_point_cost(const PointSetup& s, Objective objective) {
-  const int limit = std::max(1, std::min(s.processes,
-                                         s.machine.topology.total_threads()));
-  PointScratch& scratch = point_scratch();
-  scratch.candidates.clear();
-  for (int n = 1; n < limit; n *= 2) scratch.candidates.push_back(n);
-  scratch.candidates.push_back(limit);
-
-  PointCost best{};
-  bool have = false;
-  for (const int n : scratch.candidates) {
-    const PointCost c = placement_cost(s, n, objective, scratch.profiles);
-    const bool better_feasibility = c.feasible && !best.feasible;
-    const bool same_feasibility = c.feasible == best.feasible;
-    if (!have || better_feasibility ||
-        (same_feasibility && metric_value(c.cost, objective) <
-                                 metric_value(best.cost, objective))) {
-      best = c;
-      have = true;
-    }
-  }
-  return best;
-}
-
-SweepRecord evaluate_point(const SweepConfig& cfg, std::size_t index,
-                           CostCache& cache) {
-  obs::ScopedSpan span = obs::ScopedSpan::if_enabled("sweep.point", "sweep");
-  span.arg("index", static_cast<double>(index));
-  SweepRecord rec;
-  rec.index = index;
-  rec.params = cfg.grid.point(index);
-  const PointSetup s = setup_point(cfg, rec.params);
-
-  // Four metric queries against the memoized placement evaluation: the first
-  // misses and computes, D/PDP/EDP/ED²P then share the one (T, E) pair.
-  const auto compute = [&] { return compute_point_cost(s, cfg.objective); };
-  for (const Objective o :
-       {Objective::D, Objective::PDP, Objective::EDP, Objective::ED2P}) {
-    const PointCost pc = cache.get_or_compute(rec.params, compute);
-    rec.feasible = pc.feasible;
-    rec.processes = pc.processes;
-    const double v = metric_value(pc.cost, o);
-    switch (o) {
-      case Objective::D: rec.metrics.D = v; break;
-      case Objective::PDP: rec.metrics.PDP = v; break;
-      case Objective::EDP: rec.metrics.EDP = v; break;
-      case Objective::ED2P: rec.metrics.ED2P = v; break;
-    }
-  }
-
-  // Classical baselines: the per-process round implied by STAMP's selected
-  // process count, priced by each model on the point's machine parameters
-  // (closed-form, cheap — no memoization needed).
-  const ProcessProfile per_process = strong_scaled(s.profile, rec.processes);
-  models::RoundSpec rs;
-  rs.local_ops = per_process.c_fp + per_process.c_int;
-  rs.msgs_out = per_process.m_s;
-  rs.msgs_in = per_process.m_r;
-  rs.shm_reads = per_process.d_r;
-  rs.shm_writes = per_process.d_w;
-  rs.max_location_accesses = per_process.kappa;
-  const models::ClassicalParams cp =
-      models::classical_from_machine(s.machine.params);
-  for (int k = 0; k < models::kModelKindCount; ++k)
-    rec.classical[static_cast<std::size_t>(k)] =
-        models::round_time(static_cast<models::ModelKind>(k), rs, cp);
-  return rec;
-}
-
 SweepResult make_result_shell(const SweepConfig& cfg) {
   SweepResult out;
   out.axis_names.reserve(cfg.grid.axes().size());
@@ -208,36 +103,6 @@ SweepResult make_result_shell(const SweepConfig& cfg) {
   out.objective = cfg.objective;
   out.records.resize(cfg.grid.size());
   return out;
-}
-
-/// evaluate_point plus the durability hooks: the SweepPointFail injection
-/// site (keyed by grid index, so the fault schedule is identical at any
-/// worker count) and the per-point deadline watchdog. The watchdog is
-/// cooperative — it fails the sweep once the evaluation *returns* — which is
-/// honest about what it can do (surface a wedged point as an error instead
-/// of hanging the artifact forever), not a preemption mechanism.
-SweepRecord evaluate_point_guarded(const SweepConfig& cfg, std::size_t index,
-                                   CostCache& cache,
-                                   const SweepOptions& opts) {
-  if (fault::injection_enabled() &&
-      fault::Injector::global().decide(fault::FaultSite::SweepPointFail,
-                                       static_cast<std::uint64_t>(index)))
-    throw fault::SweepPointFailure(index);
-  if (opts.point_deadline.count() <= 0)
-    return evaluate_point(cfg, index, cache);
-  fault::RetryPolicy policy;
-  policy.deadline = opts.point_deadline;
-  const fault::RetryState watchdog(policy,
-                                   static_cast<std::uint64_t>(index));
-  SweepRecord rec = evaluate_point(cfg, index, cache);
-  if (watchdog.deadline_passed()) {
-    if (obs::metrics_enabled())
-      obs::MetricsRegistry::global()
-          .counter("sweep.point_deadline_exceeded")
-          .add();
-    throw fault::DeadlineExceeded();
-  }
-  return rec;
 }
 
 /// Replay the resume state's completed points into the result (verbatim —
@@ -330,6 +195,27 @@ SweepConfig SweepConfig::tiny() {
   return c;
 }
 
+SweepConfig SweepConfig::large() {
+  SweepConfig c = canonical();
+  c.grid = ParamGrid{};
+  // 4 × 3 × 16 × 16 × 8 × 8 × 3 × 2 = 1,179,648 points. The refined machine
+  // axes stay within the base preset's validity region (inter-processor
+  // ℓ/L/g never drop below the intra-processor values).
+  c.grid.axis(std::string(axes::kCores), {2, 4, 8, 16})
+      .axis(std::string(axes::kThreadsPerCore), {1, 2, 4})
+      .axis(std::string(axes::kEllE), linspace(8, 40, 16))
+      .axis(std::string(axes::kLE), linspace(16, 96, 16))
+      .axis(std::string(axes::kGShE), linspace(1, 8, 8))
+      .axis(std::string(axes::kKappa), linspace(0, 14, 8))
+      .axis(std::string(axes::kPlacement), {0, 1, 2})
+      .axis(std::string(axes::kProcesses), {16, 64});
+  c.workload = "uniform-comm-large";
+  // Over a million unique tuples: bound the cache so memoization does not
+  // grow with the grid (evictions change recompute rates, never results).
+  c.cache_entries_per_shard = 4096;
+  return c;
+}
+
 SweepResult run_sweep_serial(const SweepConfig& cfg) {
   return run_sweep_serial(cfg, SweepOptions{});
 }
@@ -339,20 +225,14 @@ SweepResult run_sweep_serial(const SweepConfig& cfg,
   obs::ScopedSpan span = obs::ScopedSpan::if_enabled("sweep.run", "sweep");
   span.arg("points", static_cast<double>(cfg.grid.size()));
   SweepResult out = make_result_shell(cfg);
-  CostCache cache;
+  CostCache cache(16, cfg.cache_entries_per_shard);
   if (options.resume != nullptr)
     seed_from_resume(out, cache, *options.resume);
+  BatchEvaluator evaluator(cfg, cache, options);
   std::uint64_t journaled = 0;
   try {
-    for (std::size_t i = 0; i < out.records.size(); ++i) {
-      if (options.cancel != nullptr && options.cancel->cancelled()) break;
-      if (options.resume != nullptr && options.resume->completed(i)) continue;
-      out.records[i] = evaluate_point_guarded(cfg, i, cache, options);
-      if (options.journal != nullptr) {
-        options.journal->append(out.records[i]);
-        ++journaled;
-      }
-    }
+    journaled = evaluator.run_range(0, out.records.size(), out.records,
+                                    /*fail_fast=*/true, nullptr, nullptr);
   } catch (...) {
     // A failed sweep must not lose the points that did complete: make the
     // journal tail durable before the error reaches the caller.
@@ -376,32 +256,45 @@ SweepResult run_sweep(const SweepConfig& cfg, Pool& pool,
   span.arg("points", static_cast<double>(cfg.grid.size()));
   span.arg("threads", static_cast<double>(pool.threads()));
   SweepResult out = make_result_shell(cfg);
-  CostCache cache(static_cast<std::size_t>(pool.threads()) * 8);
+  CostCache cache(static_cast<std::size_t>(pool.threads()) * 8,
+                  cfg.cache_entries_per_shard);
   if (options.resume != nullptr)
     seed_from_resume(out, cache, *options.resume);
   const std::uint64_t steals_before = pool.steals();
+  BatchEvaluator evaluator(cfg, cache, options);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
   std::atomic<std::uint64_t> journaled{0};
   // Records are written by grid index into a pre-sized vector, so completion
   // order (which is scheduling-dependent) never shows in the output. On a
-  // point failure the pool drains every other in-flight point before
-  // rethrowing, so those points still reach the journal — that drain-then-
-  // fail order is what makes kill-and-resume deterministic.
+  // point failure every other point still runs (and reaches the journal)
+  // before the first error is rethrown — that drain-then-fail order is what
+  // makes kill-and-resume deterministic.
   try {
-    pool.parallel_for(
+    pool.parallel_for_ranges(
         out.records.size(),
-        [&](std::size_t i) {
-          if (options.resume != nullptr && options.resume->completed(i))
-            return;
-          out.records[i] = evaluate_point_guarded(cfg, i, cache, options);
-          if (options.journal != nullptr) {
-            options.journal->append(out.records[i]);
-            journaled.fetch_add(1, std::memory_order_relaxed);
-          }
+        [&](std::size_t begin, std::size_t end) {
+          journaled.fetch_add(
+              evaluator.run_range(begin, end, out.records,
+                                  /*fail_fast=*/false, &error_mutex,
+                                  &first_error),
+              std::memory_order_relaxed);
         },
         options.cancel);
   } catch (...) {
     if (options.journal != nullptr) options.journal->sync();
     throw;
+  }
+  {
+    std::exception_ptr err;
+    {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      err = first_error;
+    }
+    if (err) {
+      if (options.journal != nullptr) options.journal->sync();
+      std::rethrow_exception(err);
+    }
   }
   out.stats.cache_hits = cache.hits();
   out.stats.cache_misses = cache.misses();

@@ -13,9 +13,15 @@
 /// point's hardware thread count), each candidate's placement is evaluated,
 /// and the best count under the sweep objective wins. All four selection
 /// metrics (D, PDP, EDP, ED²P) derive from that one winning (T, E) pair —
-/// so the evaluation is memoized per canonical parameter tuple and the four
-/// metric queries share one computation. Records are stored by grid index,
-/// which makes an N-thread sweep byte-identical to a 1-thread sweep.
+/// so the evaluation is memoized per canonical parameter tuple and probed
+/// once per point. Records are stored by grid index, which makes an N-thread
+/// sweep byte-identical to a 1-thread sweep.
+///
+/// Evaluation itself runs through the batch evaluator (batch.hpp): workers
+/// claim contiguous index ranges, stream-decode them into structure-of-arrays
+/// scratch, and price them in closed-form loops — grids are never
+/// materialized, so a 10⁶–10⁸-point sweep streams at constant memory (plus
+/// the records themselves).
 
 #include "core/cancel.hpp"
 #include "core/compat.hpp"
@@ -82,6 +88,13 @@ struct SweepConfig {
 
   std::string workload = "uniform-comm";
 
+  /// Bound on each CostCache shard (0 = unbounded). Cartesian grids rarely
+  /// repeat a full parameter tuple, so huge streaming grids should bound the
+  /// cache instead of letting memoization grow with the grid; the canonical
+  /// baseline grids stay unbounded (full memoization is part of their
+  /// contract). Eviction never changes results — only recompute rates.
+  std::size_t cache_entries_per_shard = 0;
+
   /// The checked-in baseline configuration: a 576-point grid
   /// (4 cores × 3 threads/core × 2 ℓ_e × 2 L_e × 2 g_sh_e × 2 κ ×
   /// 3 placements) over a Niagara-like chip with a communicating workload.
@@ -89,6 +102,12 @@ struct SweepConfig {
 
   /// A 16-point grid for smoke tests.
   [[nodiscard]] static SweepConfig tiny();
+
+  /// A 1,179,648-point streaming grid (the canonical machine axes refined
+  /// with linspace, crossed with κ, placement and process-bound axes) for
+  /// scaling benchmarks: large enough that per-point work dominates pool
+  /// overhead, never materialized (decoded on the fly), cache bounded.
+  [[nodiscard]] static SweepConfig large();
 };
 
 /// Everything one grid point pins down: the machine the point describes, the

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
 namespace stamp::models {
 namespace {
 
@@ -136,6 +140,69 @@ TEST_P(ModelOrderingTest, ReductionStepCosts) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ModelOrderingTest,
                          ::testing::Values(2, 4, 16, 64, 256));
+
+// The batch entry point behind the sweep engine: bit-for-bit equal to the
+// scalar round_time per element (same operations, same order), for every
+// model kind, over rounds with varied shapes (compute-only, chatty,
+// shm-heavy, fractional counters).
+TEST(Batch, RoundTimeBatchIsBitIdenticalToScalar) {
+  std::vector<RoundSpec> rounds = {jacobi_round(10), apsp_round(8),
+                                   reduction_step(3), RoundSpec{}};
+  RoundSpec odd;
+  odd.local_ops = 0.3;
+  odd.msgs_out = 7.7;
+  odd.msgs_in = 2.1;
+  odd.shm_reads = 13.9;
+  odd.shm_writes = 0.1;
+  odd.max_location_accesses = 5.5;
+  rounds.push_back(odd);
+
+  const std::size_t n = rounds.size();
+  std::vector<double> local(n), out_msgs(n), in_msgs(n), reads(n), writes(n),
+      max_loc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    local[i] = rounds[i].local_ops;
+    out_msgs[i] = rounds[i].msgs_out;
+    in_msgs[i] = rounds[i].msgs_in;
+    reads[i] = rounds[i].shm_reads;
+    writes[i] = rounds[i].shm_writes;
+    max_loc[i] = rounds[i].max_location_accesses;
+  }
+  const RoundSpecBatch batch{local, out_msgs, in_msgs, reads, writes, max_loc};
+
+  ClassicalParams p;
+  p.bsp = {.g = 3.7, .l = 51.2};
+  p.logp = {.L = 40.1, .o = 2.3, .g = 4.9};
+  p.loggp = {.L = 40.1, .o = 2.3, .g = 4.9, .G = 0.61, .words_per_message = 9};
+  p.qsm = {.g = 2.9};
+
+  std::vector<double> got(n);
+  for (int k = 0; k < kModelKindCount; ++k) {
+    const auto kind = static_cast<ModelKind>(k);
+    round_time_batch(kind, batch, p, got);
+    for (std::size_t i = 0; i < n; ++i) {
+      // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the contract is exact bits, not
+      // 4-ulp closeness — sweep artifacts are gated with cmp.
+      EXPECT_EQ(got[i], round_time(kind, rounds[i], p))
+          << to_string(kind) << " round " << i;
+    }
+  }
+}
+
+TEST(Batch, RoundTimeBatchRejectsMismatchedSpans) {
+  const std::vector<double> three(3, 1.0);
+  const std::vector<double> two(2, 1.0);
+  std::vector<double> out(3);
+  const RoundSpecBatch ragged{three, three, two, three, three, three};
+  EXPECT_THROW(
+      round_time_batch(ModelKind::PRAM, ragged, ClassicalParams{}, out),
+      std::invalid_argument);
+  const RoundSpecBatch square{three, three, three, three, three, three};
+  std::vector<double> short_out(2);
+  EXPECT_THROW(
+      round_time_batch(ModelKind::BSP, square, ClassicalParams{}, short_out),
+      std::invalid_argument);
+}
 
 }  // namespace
 }  // namespace stamp::models

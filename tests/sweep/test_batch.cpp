@@ -1,0 +1,161 @@
+// The batch evaluator's contract is bit-identity with the scalar reference
+// path (batch.hpp): every record of every grid, at every pool width, through
+// journal and resume. These tests compare real sweeps — the canonical
+// 576-point baseline grid included — record by record and byte by byte
+// against `evaluate_point_reference`, which keeps the original scalar
+// pipeline alive precisely so this comparison stays honest.
+
+#include "sweep/batch.hpp"
+
+#include "sweep/journal.hpp"
+#include "sweep/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace stamp::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return (fs::path(testing::TempDir()) / name).string();
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << bytes;
+}
+
+TEST(Batch, ReferencePathIsDeterministic) {
+  const SweepConfig cfg = SweepConfig::tiny();
+  for (std::size_t i = 0; i < cfg.grid.size(); ++i)
+    EXPECT_EQ(evaluate_point_reference(cfg, i),
+              evaluate_point_reference(cfg, i));
+}
+
+// Every record the batch path emits equals the scalar reference, over the
+// full canonical grid (the checked-in baseline's 576 points — this is the
+// grid CI `cmp`s against sweeps/baseline.json).
+TEST(Batch, MatchesScalarReferenceOnEveryCanonicalPoint) {
+  const SweepConfig cfg = SweepConfig::canonical();
+  const SweepResult r = run_sweep_serial(cfg);
+  ASSERT_EQ(r.records.size(), cfg.grid.size());
+  for (std::size_t i = 0; i < cfg.grid.size(); ++i)
+    EXPECT_EQ(r.records[i], evaluate_point_reference(cfg, i)) << "index " << i;
+}
+
+TEST(Batch, MatchesScalarReferenceAcrossPoolWidths) {
+  const SweepConfig cfg = SweepConfig::tiny();
+  for (const int width : {1, 4, 16}) {
+    Pool pool(width);
+    const SweepResult r = run_sweep(cfg, pool);
+    ASSERT_EQ(r.records.size(), cfg.grid.size());
+    for (std::size_t i = 0; i < cfg.grid.size(); ++i)
+      EXPECT_EQ(r.records[i], evaluate_point_reference(cfg, i))
+          << "width " << width << " index " << i;
+  }
+}
+
+// Chunk boundaries: kBatch-point sub-batches must not perturb records near
+// their edges. A grid sized to leave a ragged final sub-batch (2*kBatch + 3
+// points) is compared to the reference at the exact boundary indices.
+TEST(Batch, RaggedSubBatchBoundariesMatchTheReference) {
+  SweepConfig cfg = SweepConfig::tiny();
+  cfg.grid = ParamGrid{};
+  cfg.grid.axis(std::string(axes::kCores), {2, 4, 8, 16})
+      .axis(std::string(axes::kEllE), linspace(8, 40, 0x80 + 1))
+      .axis(std::string(axes::kKappa), {0});
+  ASSERT_EQ(cfg.grid.size(), 4u * 129u);  // 516 = 2*256 + 4: ragged tail
+  const SweepResult r = run_sweep_serial(cfg);
+  for (const std::size_t i :
+       {std::size_t{0}, BatchEvaluator::kBatch - 1, BatchEvaluator::kBatch,
+        2 * BatchEvaluator::kBatch - 1, 2 * BatchEvaluator::kBatch,
+        cfg.grid.size() - 1}) {
+    EXPECT_EQ(r.records[i], evaluate_point_reference(cfg, i)) << "index " << i;
+  }
+}
+
+// An axis with repeated values makes two grid points share a canonical
+// parameter tuple — the only way a Cartesian grid produces cache hits. The
+// batch path must hit (not recompute) and the duplicate points' records must
+// still match the reference independently.
+TEST(Batch, DuplicateAxisValuesHitTheCacheWithoutChangingRecords) {
+  SweepConfig cfg = SweepConfig::tiny();
+  cfg.grid = ParamGrid{};
+  cfg.grid.axis(std::string(axes::kCores), {4, 4})
+      .axis(std::string(axes::kKappa), {0, 8});
+  const SweepResult r = run_sweep_serial(cfg);
+  const auto points = static_cast<std::uint64_t>(cfg.grid.size());
+  EXPECT_EQ(r.stats.cache_hits + r.stats.cache_misses, points);
+  EXPECT_EQ(r.stats.cache_misses, 2u);  // two distinct tuples
+  EXPECT_EQ(r.stats.cache_hits, 2u);    // the duplicated-cores replays
+  for (std::size_t i = 0; i < cfg.grid.size(); ++i)
+    EXPECT_EQ(r.records[i], evaluate_point_reference(cfg, i)) << "index " << i;
+}
+
+// Resume byte-identity through the batch path: journal half the points of an
+// uninterrupted run, resume against that journal at several pool widths, and
+// require the artifact bytes (not just the records) to be identical to the
+// uninterrupted run's.
+TEST(Batch, ResumedRunsAreByteIdenticalAtEveryWidth) {
+  const SweepConfig cfg = SweepConfig::tiny();
+  const SweepResult full = run_sweep_serial(cfg);
+  const std::string want = to_json(full);
+
+  std::string journal_bytes{Journal::header_line(cfg)};
+  std::size_t journaled = 0;
+  for (std::size_t i = 0; i < full.records.size(); i += 2) {
+    journal_bytes += Journal::record_line(full.records[i]);
+    ++journaled;
+  }
+  const std::string path = temp_path("batch_resume.journal");
+  write_bytes(path, journal_bytes);
+  const ResumeState resume = ResumeState::load(path, cfg);
+  ASSERT_EQ(resume.completed_points(), journaled);
+
+  SweepOptions options;
+  options.resume = &resume;
+  const SweepResult serial = run_sweep_serial(cfg, options);
+  EXPECT_EQ(serial.stats.resumed_points, journaled);
+  EXPECT_EQ(to_json(serial), want);
+  for (const int width : {1, 4, 16}) {
+    Pool pool(width);
+    const SweepResult pooled = run_sweep(cfg, pool, options);
+    EXPECT_EQ(pooled.stats.resumed_points, journaled);
+    EXPECT_EQ(to_json(pooled), want) << "width " << width;
+  }
+}
+
+// A journaled batch run appends exactly the lines a byte-for-byte replay
+// needs: header + one framed record per point, in index order for the
+// serial driver.
+TEST(Batch, SerialJournalHoldsEveryRecordInIndexOrder) {
+  const SweepConfig cfg = SweepConfig::tiny();
+  const std::string path = temp_path("batch_journal.journal");
+  SweepResult result;
+  {
+    Journal journal(path, cfg);
+    SweepOptions options;
+    options.journal = &journal;
+    result = run_sweep_serial(cfg, options);
+    EXPECT_EQ(journal.appended(), cfg.grid.size());
+  }
+  EXPECT_EQ(result.stats.journaled_points, cfg.grid.size());
+
+  std::string want{Journal::header_line(cfg)};
+  for (const SweepRecord& rec : result.records)
+    want += Journal::record_line(rec);
+  std::ifstream is(path, std::ios::binary);
+  const std::string got((std::istreambuf_iterator<char>(is)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace stamp::sweep

@@ -26,6 +26,7 @@
 
 #include "api/stamp.hpp"
 #include "cli.hpp"
+#include "core/hw.hpp"
 #include "report/atomic_file.hpp"
 #include "sweep/journal.hpp"
 
@@ -206,7 +207,7 @@ int main(int argc, char** argv) {
   Cli cli("stamp_sweep",
           "Evaluate a STAMP parameter grid and emit the deterministic "
           "stamp-sweep/v1 JSON artifact.");
-  cli.option_string("grid", &grid, "canonical|tiny",
+  cli.option_string("grid", &grid, "canonical|tiny|large",
                     "grid preset to evaluate (default: canonical)")
       .option_int("threads", &threads, "N",
                   "pool width; 0 = hardware concurrency (default)")
@@ -249,15 +250,14 @@ int main(int argc, char** argv) {
     cfg = stamp::sweep::SweepConfig::canonical();
   } else if (grid == "tiny") {
     cfg = stamp::sweep::SweepConfig::tiny();
+  } else if (grid == "large") {
+    cfg = stamp::sweep::SweepConfig::large();
   } else {
     std::cerr << "stamp_sweep: unknown grid preset '" << grid << "'\n";
     return 2;
   }
 
-  if (threads == 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads < 1) threads = 1;
-  }
+  if (threads == 0) threads = stamp::core::usable_hardware_threads();
 
   try {
     stamp::Evaluator::set_tracing(!trace_path.empty());
