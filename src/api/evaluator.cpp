@@ -1,6 +1,7 @@
 #include "api/evaluator.hpp"
 
 #include "machine/trace.hpp"
+#include "search/search.hpp"
 
 #include <ostream>
 #include <sstream>
@@ -92,18 +93,42 @@ machine::SimResult Evaluator::simulate_run(const runtime::RunResult& run,
 }
 
 sweep::SweepResult Evaluator::sweep(const sweep::SweepConfig& config,
+                                    const sweep::SweepOptions& options) const {
+  if (options.threads <= 1) return sweep::run_sweep_serial(config, options);
+  // The lock covers the whole run: it both guards the pool cache and
+  // serializes concurrent sweep/optimize calls on one Evaluator (the pool
+  // supports only one parallel loop at a time anyway).
+  std::lock_guard<std::mutex> lock(sweep_pool_mutex_);
+  return sweep::run_sweep(config, *pool_for(options.threads), options);
+}
+
+sweep::SweepResult Evaluator::sweep(const sweep::SweepConfig& config,
                                     int threads) const {
-  return sweep(config, threads, sweep::SweepOptions{});
+  sweep::SweepOptions options;
+  options.threads = threads;
+  return sweep(config, options);
 }
 
 sweep::SweepResult Evaluator::sweep(const sweep::SweepConfig& config,
                                     int threads,
                                     const sweep::SweepOptions& options) const {
-  if (threads <= 1) return sweep::run_sweep_serial(config, options);
+  sweep::SweepOptions merged = options;
+  merged.threads = threads;
+  return sweep(config, merged);
+}
+
+SearchResult Evaluator::optimize(const SearchRequest& request) const {
+  if (request.threads <= 1 || request.method == SearchMethod::Anneal)
+    return search::run_search(request, nullptr);
   std::lock_guard<std::mutex> lock(sweep_pool_mutex_);
+  return search::run_search(request, pool_for(request.threads));
+}
+
+sweep::Pool* Evaluator::pool_for(int threads) const {
+  // Caller holds sweep_pool_mutex_.
   if (!sweep_pool_ || sweep_pool_->threads() != threads)
     sweep_pool_ = std::make_unique<sweep::Pool>(threads);
-  return sweep::run_sweep(config, *sweep_pool_, options);
+  return sweep_pool_.get();
 }
 
 void Evaluator::write_trace(std::ostream& os) {

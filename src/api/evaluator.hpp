@@ -17,6 +17,8 @@
 /// The old free functions remain as thin delegating shims with
 /// `STAMP_DEPRECATED` notes (see `core/compat.hpp`).
 
+#include "api/search_types.hpp"
+#include "core/compat.hpp"
 #include "core/core.hpp"
 #include "fault/fault.hpp"
 #include "machine/simulator.hpp"
@@ -143,26 +145,47 @@ class Evaluator {
 
   // -- sweep -----------------------------------------------------------------
 
-  /// Evaluate a parameter grid; `threads` > 1 uses a work-stealing pool and
-  /// produces a byte-identical artifact to the serial run. Evaluation
-  /// streams through the batch evaluator (sweep/batch.hpp): the grid is
-  /// decoded lazily in structure-of-arrays chunks, so a 10⁶–10⁸-point
-  /// config (e.g. `SweepConfig::large()`) costs memory only for its
-  /// records. The config's own base machine and objective apply (a sweep
-  /// explores many machines; the Evaluator's machine is not forced onto
-  /// it). The pool is cached on the Evaluator and reused by later `sweep`
-  /// calls of the same width, so a loop of sweeps spawns its worker threads
-  /// once, not per call.
-  [[nodiscard]] sweep::SweepResult sweep(const sweep::SweepConfig& config,
-                                         int threads = 1) const;
+  /// Evaluate a parameter grid exhaustively. `options` carries everything
+  /// that shapes the run: worker threads (`options.threads` > 1 uses a
+  /// work-stealing pool and produces a byte-identical artifact to the serial
+  /// run), a write-ahead journal of completed points, resume from a previous
+  /// journal, cooperative cancellation, and a per-point deadline — see
+  /// `sweep::SweepOptions`. Evaluation streams through the batch evaluator
+  /// (sweep/batch.hpp): the grid is decoded lazily in structure-of-arrays
+  /// chunks, so a 10⁶–10⁸-point config (e.g. `SweepConfig::large()`) costs
+  /// memory only for its records. The config's own base machine and
+  /// objective apply (a sweep explores many machines; the Evaluator's
+  /// machine is not forced onto it). The pool is cached on the Evaluator and
+  /// reused by later `sweep`/`optimize` calls of the same width, so a loop
+  /// of sweeps spawns its worker threads once, not per call.
+  [[nodiscard]] sweep::SweepResult sweep(
+      const sweep::SweepConfig& config,
+      const sweep::SweepOptions& options = {}) const;
 
-  /// Sweep with durability options: a write-ahead journal of completed
-  /// points, resume from a previous journal (the finished artifact is
-  /// byte-identical to an uninterrupted run at any width), cooperative
-  /// cancellation, and a per-point deadline. See `sweep::SweepOptions`.
+  /// \deprecated `threads` moved into `SweepOptions::threads` — call
+  /// `sweep(config, {.threads = threads})`.
+  STAMP_DEPRECATED(
+      "pass threads via SweepOptions::threads: sweep(config, options)")
+  [[nodiscard]] sweep::SweepResult sweep(const sweep::SweepConfig& config,
+                                         int threads) const;
+
+  /// \deprecated `threads` moved into `SweepOptions::threads` — call
+  /// `sweep(config, options)` with `options.threads` set.
+  STAMP_DEPRECATED(
+      "pass threads via SweepOptions::threads: sweep(config, options)")
   [[nodiscard]] sweep::SweepResult sweep(const sweep::SweepConfig& config,
                                          int threads,
                                          const sweep::SweepOptions& options) const;
+
+  // -- search ----------------------------------------------------------------
+
+  /// Find the grid's optimum without pricing every point. Dispatches on
+  /// `request.method` (src/search/search.hpp): branch-and-bound returns the
+  /// bit-identical winning record the exhaustive sweep's argmin would pick
+  /// while expanding only the subtrees its admissible bounds cannot prune;
+  /// annealing is a seeded heuristic; exhaustive is the oracle. Leaf pricing
+  /// reuses the Evaluator's cached pool when `request.threads` > 1.
+  [[nodiscard]] SearchResult optimize(const SearchRequest& request) const;
 
   // -- observability ---------------------------------------------------------
 
@@ -189,6 +212,11 @@ class Evaluator {
   static void write_metrics(std::ostream& os);
 
  private:
+  /// Returns the cached pool, rebuilding it when the width changed. The
+  /// caller must hold `sweep_pool_mutex_` (and keep holding it for the
+  /// duration of the parallel loop using the pool).
+  [[nodiscard]] sweep::Pool* pool_for(int threads) const;
+
   EvaluatorOptions options_;
   /// Sweep-pool cache: rebuilt only when a `sweep` call asks for a different
   /// width. Mutable because pooling threads is a caching detail of the

@@ -7,12 +7,15 @@
 ///
 /// Pulls in the facade (`stamp::Evaluator`) plus every subsystem it fronts,
 /// so one include gives the core model, the instrumented runtime, the machine
-/// simulator, the sweep engine, and the observability layer.
+/// simulator, the sweep engine, the guided search, and the observability
+/// layer.
 
 #include "api/evaluator.hpp"
+#include "api/search_types.hpp"
 #include "core/core.hpp"
 #include "machine/simulator.hpp"
 #include "machine/trace.hpp"
 #include "obs/obs.hpp"
 #include "runtime/executor.hpp"
+#include "search/search.hpp"
 #include "sweep/sweep.hpp"

@@ -117,7 +117,11 @@ struct PlacementResult {
     Objective objective, int max_processes = 64);
 
 /// Convenience: best of {fill-first, round-robin, greedy, exact-if-uniform}.
-STAMP_DEPRECATED("use stamp::Evaluator::best_placement (api/stamp.hpp)")
+/// \deprecated Scheduled for removal once the last in-tree caller migrates;
+/// new code must go through the facade.
+STAMP_DEPRECATED(
+    "use stamp::Evaluator::best_placement (api/stamp.hpp); place_best will "
+    "be removed in a future release")
 [[nodiscard]] PlacementResult place_best(std::span<const ProcessProfile> profiles,
                                          const MachineModel& machine,
                                          Objective objective);

@@ -105,7 +105,11 @@ struct SupervisedResult {
                                               int max_failovers = 1);
 
 /// Convenience: place `n` processes per `distribution` on `topology`, run.
-STAMP_DEPRECATED("use stamp::Evaluator::run (api/stamp.hpp)")
+/// \deprecated Scheduled for removal once the last in-tree caller migrates;
+/// new code must go through the facade.
+STAMP_DEPRECATED(
+    "use stamp::Evaluator::run (api/stamp.hpp); run_distributed will be "
+    "removed in a future release")
 [[nodiscard]] RunResult run_distributed(const Topology& topology, int n,
                                         Distribution distribution,
                                         const ProcessBody& body);

@@ -1,0 +1,121 @@
+#include "search/bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace stamp::search {
+namespace {
+
+/// Relative slack between a computed bound and the exactly-evaluated values
+/// it prunes against. The exact path accumulates its sums in a different
+/// association order than the closed forms here, so two mathematically equal
+/// quantities can differ by a few ulps; 1e-9 dwarfs that while costing no
+/// pruning power (distinct grid points differ by far more than 1e-9
+/// relative, and exact ties land strictly above the shaved bound, forcing
+/// the descend-and-tie-break path that exactness requires).
+constexpr double kSlack = 1.0 - 1e-9;
+
+}  // namespace
+
+BoundContext::BoundContext(const sweep::SweepConfig& cfg) : cfg_(&cfg) {
+  const auto range = [&](std::string_view name) {
+    AxisRange r;
+    r.index = cfg.grid.axis_index(name);
+    if (r.index >= 0) {
+      const auto& values =
+          cfg.grid.axes()[static_cast<std::size_t>(r.index)].values;
+      r.lo = *std::min_element(values.begin(), values.end());
+      r.hi = *std::max_element(values.begin(), values.end());
+    }
+    return r;
+  };
+  cores_ = range(sweep::axes::kCores);
+  tpc_ = range(sweep::axes::kThreadsPerCore);
+  ell_e_ = range(sweep::axes::kEllE);
+  le_ = range(sweep::axes::kLE);
+  gsh_e_ = range(sweep::axes::kGShE);
+  kappa_ = range(sweep::axes::kKappa);
+  procs_ = range(sweep::axes::kProcesses);
+
+  const ProcessProfile& p = cfg.profile;
+  const EnergyParams& w = cfg.base.energy;
+  energy_ = p.units * (p.c_fp * w.w_fp + p.c_int * w.w_int + p.d_r * w.w_d_r +
+                       p.d_w * w.w_d_w + p.m_s * w.w_m_s + p.m_r * w.w_m_r);
+  local_total_ = p.c_fp + p.c_int;
+  shm_total_ = p.d_r + p.d_w;
+  msg_total_ = p.m_s + p.m_r;
+}
+
+double BoundContext::resolve(const AxisRange& ax,
+                             std::span<const double> prefix, double base,
+                             bool want_hi) const noexcept {
+  if (ax.index < 0) return base;
+  const auto i = static_cast<std::size_t>(ax.index);
+  if (i < prefix.size()) return prefix[i];
+  return want_hi ? ax.hi : ax.lo;
+}
+
+double BoundContext::lower_bound(std::span<const double> prefix) const {
+  const MachineModel& base = cfg_->base;
+  const MachineParams& mp = base.params;
+  const Topology& topo = base.topology;
+
+  // Optimistic (range-min) communication parameters for the free suffix;
+  // exact values once the prefix fixes the axis.
+  const double ell_e = resolve(ell_e_, prefix, mp.ell_e, /*want_hi=*/false);
+  const double le = resolve(le_, prefix, mp.L_e, /*want_hi=*/false);
+  const double gsh_e = resolve(gsh_e_, prefix, mp.g_sh_e, /*want_hi=*/false);
+  const double kappa =
+      resolve(kappa_, prefix, cfg_->profile.kappa, /*want_hi=*/false);
+
+  // The largest process count any completion can select: candidates are
+  // clamped to min(process bound, total hardware threads), both maximized
+  // over the subtree. Scanning every n in [1, n_max] covers a superset of
+  // the real candidate set (powers of two plus the clamp), which is
+  // admissible — min over more candidates is never larger.
+  const double cores_hi =
+      resolve(cores_, prefix, topo.processors_per_chip, /*want_hi=*/true);
+  const double tpc_hi =
+      resolve(tpc_, prefix, topo.threads_per_processor, /*want_hi=*/true);
+  const double procs_hi = resolve(procs_, prefix,
+                                  static_cast<double>(cfg_->processes),
+                                  /*want_hi=*/true);
+  const int tpc_max = std::max(1, static_cast<int>(tpc_hi));
+  const int threads_max = topo.chips * std::max(1, static_cast<int>(cores_hi)) *
+                          tpc_max;
+  const int n_max =
+      std::max(1, std::min(static_cast<int>(std::min(
+                               procs_hi, static_cast<double>(threads_max))),
+                           threads_max));
+
+  double best_time = std::numeric_limits<double>::infinity();
+  for (int n = 1; n <= n_max; ++n) {
+    double t = local_total_ / n;
+    const int gmax = std::min(tpc_max, n);
+    // Largest intra fraction any placement of n processes can reach: a
+    // process in a full group of gmax under the uniform-communication split.
+    const double f_max =
+        n > 1 ? static_cast<double>(gmax - 1) / (n - 1) : 0.0;
+    if (shm_total_ > 0) {
+      t += kappa;
+      // Cheapest latency bracket over the group sizes available to some
+      // process: everyone co-located (intra only) when a processor can hold
+      // all n; otherwise at least one inter hop is unavoidable.
+      if (n > 1) t += gmax == n ? std::min(mp.ell_a, ell_e) : ell_e;
+      t += (shm_total_ / n) * (mp.g_sh_a * f_max + gsh_e * (1.0 - f_max));
+    }
+    if (msg_total_ > 0) {
+      if (n > 1) t += gmax == n ? std::min(mp.L_a, le) : le;
+      t += (msg_total_ / n) * (mp.g_mp_a * f_max + mp.g_mp_e * (1.0 - f_max));
+    }
+    best_time = std::min(best_time, t);
+  }
+  best_time *= cfg_->profile.units;
+
+  const double value =
+      metric_value(Cost{best_time, energy_}, cfg_->objective);
+  return std::max(0.0, value * kSlack);
+}
+
+}  // namespace stamp::search

@@ -1,0 +1,80 @@
+#pragma once
+/// \file bound.hpp
+/// \brief Admissible lower bounds on a sweep objective over a grid subtree —
+///        the pruning engine of the branch-and-bound search.
+///
+/// A subtree fixes a prefix of the grid's axes and leaves the suffix free.
+/// The bound relaxes the closed-form cost model (core/cost_model.hpp) to its
+/// optimistic envelope over every completion of the prefix:
+///
+///  - **Energy is exact.** Equation (2) charges per-operation energy with no
+///    latency, placement, or κ dependence, and strong scaling splits the
+///    total counters over n processes whose energies sum straight back — so
+///    every point of one config has the same total energy
+///    E = units · (c_fp·w_fp + c_int·w_int + d_r·w_dr + d_w·w_dw +
+///    m_s·w_ms + m_r·w_mr), whatever the machine axes say.
+///  - **Time is bounded per candidate process count.** For each n up to the
+///    subtree's largest possible count (a superset of the counts the real
+///    selection tries — taking the min over more candidates only lowers the
+///    bound), T(n) is bounded below by strong-scaled local work plus, per
+///    communication substrate, the smallest latency bracket any placement
+///    can achieve (all-intra when n fits one processor, otherwise at least
+///    one inter-processor hop) and the bandwidth term at the largest
+///    achievable intra fraction (inter bandwidth factors dominate intra by
+///    MachineParams::validate, so more co-location is never slower). Free
+///    machine axes (ℓ_e, L_e, g_sh_e) and κ enter at their axis minimum.
+///
+/// The objective bound combines exact E with the T bound (all four metrics
+/// are nondecreasing in T for fixed E), then shaves a relative epsilon so
+/// floating-point reassociation in the exact evaluation can never make a
+/// true value dip below its "admissible" bound: at exact equality the search
+/// must still descend and let the index tie-break decide, or it would not be
+/// bit-identical to the exhaustive argmin.
+
+#include "core/metrics.hpp"
+#include "sweep/sweep.hpp"
+
+#include <cstddef>
+#include <span>
+
+namespace stamp::search {
+
+/// Precomputed per-config state for subtree bounds. The referenced config
+/// must outlive the context.
+class BoundContext {
+ public:
+  explicit BoundContext(const sweep::SweepConfig& cfg);
+
+  /// Lower bound on the recorded objective value of every grid point whose
+  /// first `prefix.size()` axis values equal `prefix` (grid axis order).
+  /// Admissible against the sweep's actual selection: the selected candidate
+  /// of any completion scores at least this, whatever feasibility preference
+  /// picked. `prefix.size()` may be anything in [0, axes], including a full
+  /// point.
+  [[nodiscard]] double lower_bound(std::span<const double> prefix) const;
+
+  /// The exact total energy shared by every point of the config.
+  [[nodiscard]] double exact_energy() const noexcept { return energy_; }
+
+ private:
+  struct AxisRange {
+    int index = -1;  ///< axis position in the grid, -1 when absent
+    double lo = 0;   ///< min over the axis values
+    double hi = 0;   ///< max over the axis values
+  };
+
+  /// The fixed value when the axis is inside the prefix, otherwise the
+  /// range minimum (or maximum, for `want_hi`), otherwise `base`.
+  [[nodiscard]] double resolve(const AxisRange& ax,
+                               std::span<const double> prefix, double base,
+                               bool want_hi) const noexcept;
+
+  const sweep::SweepConfig* cfg_;
+  AxisRange cores_, tpc_, ell_e_, le_, gsh_e_, kappa_, procs_;
+  double energy_ = 0;       ///< exact total energy of any point
+  double local_total_ = 0;  ///< c_fp + c_int of the total profile
+  double shm_total_ = 0;    ///< d_r + d_w
+  double msg_total_ = 0;    ///< m_s + m_r
+};
+
+}  // namespace stamp::search

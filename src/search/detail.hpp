@@ -1,0 +1,39 @@
+#pragma once
+/// \file detail.hpp
+/// \brief Internals shared by the search engines (bnb/anneal/exhaustive).
+///        Not part of the public surface — include search/search.hpp.
+
+#include "api/search_types.hpp"
+#include "sweep/cache.hpp"
+
+#include <cstdint>
+
+namespace stamp::search::detail {
+
+/// Result skeleton with the request's identifying fields filled in.
+[[nodiscard]] SearchResult make_shell(const SearchRequest& request);
+
+/// Append a trace event, honoring `record_trace` and the truncation cap
+/// (recording is serial, so truncation is deterministic too).
+void push_event(const SearchRequest& request, SearchResult& result,
+                const SearchTraceEvent& event);
+
+/// Outcome of one annealing chain (also the branch-and-bound warm start).
+struct AnnealOutcome {
+  sweep::SweepRecord best{};
+  bool found = false;
+  bool cancelled = false;
+};
+
+/// Run `iterations` annealing steps plus the greedy polish, memoizing exact
+/// point evaluations in `cache` (shared with the caller so a warm start
+/// pre-seeds branch-and-bound leaf pricing). Updates `result.stats`
+/// (points_evaluated, incumbent_updates) and records incumbent trace events;
+/// everything drawn from the PRNG is keyed (seed, stream, counter), so the
+/// chain is a pure function of the request.
+[[nodiscard]] AnnealOutcome anneal_chain(const SearchRequest& request,
+                                         sweep::CostCache& cache,
+                                         std::uint64_t iterations,
+                                         SearchResult& result);
+
+}  // namespace stamp::search::detail

@@ -176,11 +176,13 @@ struct BatchEvaluator::Scratch {
 };
 
 BatchEvaluator::BatchEvaluator(const SweepConfig& cfg, CostCache& cache,
-                               const SweepOptions& options)
+                               const SweepOptions& options,
+                               std::size_t record_offset)
     : cfg_(&cfg),
       cache_(&cache),
       options_(options),
       id_(next_evaluator_id()),
+      offset_(record_offset),
       naxes_(cfg.grid.axes().size()),
       ax_cores_(cfg.grid.axis_index(axes::kCores)),
       ax_tpc_(cfg.grid.axis_index(axes::kThreadsPerCore)),
@@ -248,7 +250,7 @@ std::uint64_t BatchEvaluator::run_subbatch(std::size_t begin, std::size_t end,
     if (options_.cancel != nullptr && options_.cancel->cancelled()) break;
     if (options_.resume != nullptr && options_.resume->completed(idx))
       continue;
-    SweepRecord& rec = records[idx];
+    SweepRecord& rec = records[idx - offset_];
     try {
       evaluate_one(idx, i, m, rec, sc);
       sc.evaluated[i] = 1;
@@ -275,7 +277,7 @@ std::uint64_t BatchEvaluator::run_subbatch(std::size_t begin, std::size_t end,
   if (options_.journal != nullptr) {
     for (std::size_t i = 0; i < m; ++i) {
       if (sc.evaluated[i] == 0) continue;
-      options_.journal->append(records[begin + i]);
+      options_.journal->append(records[begin + i - offset_]);
       ++journaled;
     }
   }
@@ -598,7 +600,7 @@ void BatchEvaluator::finalize_classical(std::size_t base, std::size_t count,
       models::round_time_batch(static_cast<models::ModelKind>(k), batch, cp,
                                std::span<double>(sc.model_out.data(), len));
       for (std::size_t t = 0; t < len; ++t)
-        records[base + i + t].classical[static_cast<std::size_t>(k)] =
+        records[base + i + t - offset_].classical[static_cast<std::size_t>(k)] =
             sc.model_out[t];
     }
     i = j;

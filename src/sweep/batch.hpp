@@ -78,12 +78,16 @@ class BatchEvaluator {
   static constexpr std::size_t kBatch = 256;
 
   /// `cfg`, `cache`, and everything `options` points at must outlive the
-  /// evaluator.
+  /// evaluator. `record_offset` rebases the record array: grid index `i`
+  /// lands in `records[i - record_offset]`. The sweep drivers pass 0 with a
+  /// full-grid array; the guided search prices contiguous leaf windows into
+  /// block-local buffers by offsetting at the window's first index.
   BatchEvaluator(const SweepConfig& cfg, CostCache& cache,
-                 const SweepOptions& options);
+                 const SweepOptions& options, std::size_t record_offset = 0);
 
   /// Evaluate grid indices [begin, end) into `records` (indexed by grid
-  /// index). Resume-completed points are skipped; cancellation is checked
+  /// index minus the constructor's `record_offset`).
+  /// Resume-completed points are skipped; cancellation is checked
   /// per point; each completed point is appended to the journal (in index
   /// order within the range). Returns the number of points journaled.
   ///
@@ -119,6 +123,7 @@ class BatchEvaluator {
   CostCache* cache_;
   SweepOptions options_;
   std::uint64_t id_;   ///< distinguishes evaluators sharing a thread's scratch
+  std::size_t offset_;  ///< records[] rebase: grid index i -> records[i - offset_]
   std::size_t naxes_;
   // Axis positions resolved once (the scalar path re-ran the name lookups
   // for every point).

@@ -191,6 +191,11 @@ struct SweepOptions {
   /// instead of silently wedging a production run. Uses the same clock
   /// plumbing as fault::RetryPolicy.
   std::chrono::nanoseconds point_deadline{0};
+  /// Worker threads `Evaluator::sweep` (api/evaluator.hpp) evaluates with:
+  /// <= 1 runs serially, > 1 uses the evaluator's cached pool. The engine
+  /// entry points below ignore this field — `run_sweep(cfg, pool, options)`
+  /// parallelizes over the pool it is handed.
+  int threads = 1;
 };
 
 /// Evaluate every grid point on the calling thread (reference path; also what

@@ -87,11 +87,24 @@ TEST(Evaluator, BestPlacementMatchesPlaceBest) {
 TEST(Evaluator, SweepMatchesEngineAndThreadCountIsInvisible) {
   const Evaluator eval;
   const sweep::SweepConfig cfg = sweep::SweepConfig::tiny();
-  const std::string serial = sweep::to_json(eval.sweep(cfg, 1));
-  const std::string threaded = sweep::to_json(eval.sweep(cfg, 4));
+  const std::string serial = sweep::to_json(eval.sweep(cfg));
+  const std::string threaded =
+      sweep::to_json(eval.sweep(cfg, sweep::SweepOptions{.threads = 4}));
   const std::string engine = sweep::to_json(sweep::run_sweep_serial(cfg));
   EXPECT_EQ(serial, engine);
   EXPECT_EQ(serial, threaded);
+}
+
+TEST(Evaluator, DeprecatedSweepShimsMatchTheUnifiedSignature) {
+  // The pre-unification overloads (threads as a bare argument) must keep
+  // producing the identical artifact until their scheduled removal.
+  const Evaluator eval;
+  const sweep::SweepConfig cfg = sweep::SweepConfig::tiny();
+  const std::string unified =
+      sweep::to_json(eval.sweep(cfg, sweep::SweepOptions{.threads = 2}));
+  EXPECT_EQ(sweep::to_json(eval.sweep(cfg, 2)), unified);
+  EXPECT_EQ(sweep::to_json(eval.sweep(cfg, 2, sweep::SweepOptions{})),
+            unified);
 }
 
 TEST(Evaluator, TracingDoesNotPerturbTheSweepArtifact) {
@@ -99,11 +112,12 @@ TEST(Evaluator, TracingDoesNotPerturbTheSweepArtifact) {
   const sweep::SweepConfig cfg = sweep::SweepConfig::tiny();
 
   ASSERT_FALSE(Evaluator::tracing());
-  const std::string untraced = sweep::to_json(eval.sweep(cfg, 2));
+  const sweep::SweepOptions two_threads{.threads = 2};
+  const std::string untraced = sweep::to_json(eval.sweep(cfg, two_threads));
 
   Evaluator::set_tracing(true);
   Evaluator::set_metrics(true);
-  const std::string traced = sweep::to_json(eval.sweep(cfg, 2));
+  const std::string traced = sweep::to_json(eval.sweep(cfg, two_threads));
   Evaluator::set_tracing(false);
   Evaluator::set_metrics(false);
   Evaluator::clear_trace();
@@ -117,7 +131,7 @@ TEST(Evaluator, TraceCoversSimulatorPoolAndCacheLayers) {
   Evaluator::clear_trace();
 
   // Sweep on a pool: sweep + pool + cache spans.
-  (void)eval.sweep(sweep::SweepConfig::tiny(), 2);
+  (void)eval.sweep(sweep::SweepConfig::tiny(), sweep::SweepOptions{.threads = 2});
   // Execute and replay a run: runtime + sim spans.
   const RunOutcome outcome = eval.run(2, Distribution::IntraProc, tiny_body);
   (void)eval.simulate_run(outcome.run, outcome.placement);

@@ -1,0 +1,102 @@
+// Admissibility of the branch-and-bound lower bounds: for every axis prefix
+// of a grid, the bound must not exceed the objective value of any grid point
+// completing that prefix (the values the sweep actually records, feasibility
+// preference and all). Violations would silently prune the optimum — the
+// bit-identity property test would catch the symptom, this one catches the
+// cause at the exact prefix that broke.
+
+#include "api/stamp.hpp"
+#include "search/bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace stamp::search {
+namespace {
+
+/// Check every prefix depth of every grid point against the exhaustively
+/// evaluated records.
+void expect_admissible(const sweep::SweepConfig& cfg) {
+  SearchRequest req;
+  req.config = cfg;
+  req.method = SearchMethod::Exhaustive;
+  req.record_trace = false;
+  const Evaluator eval;
+  const sweep::SweepResult swept = eval.sweep(cfg);
+  ASSERT_EQ(swept.records.size(), cfg.grid.size());
+
+  const BoundContext ctx(cfg);
+  const std::size_t naxes = cfg.grid.axes().size();
+  for (const sweep::SweepRecord& rec : swept.records) {
+    const double value = metric_value(rec.metrics, cfg.objective);
+    for (std::size_t depth = 0; depth <= naxes; ++depth) {
+      const double bound =
+          ctx.lower_bound(std::span<const double>(rec.params.data(), depth));
+      ASSERT_LE(bound, value)
+          << "inadmissible bound at depth " << depth << " of grid index "
+          << rec.index;
+    }
+  }
+}
+
+TEST(SearchBound, AdmissibleOnCanonicalAllObjectives) {
+  for (int o = 0; o < 4; ++o) {
+    sweep::SweepConfig cfg = sweep::SweepConfig::canonical();
+    cfg.objective = static_cast<Objective>(o);
+    SCOPED_TRACE(std::string(to_string(cfg.objective)));
+    expect_admissible(cfg);
+  }
+}
+
+TEST(SearchBound, AdmissibleWithProcessAxis) {
+  sweep::SweepConfig cfg = sweep::SweepConfig::canonical();
+  cfg.grid.axis(std::string(sweep::axes::kProcesses), {1, 4, 16, 64});
+  expect_admissible(cfg);
+}
+
+TEST(SearchBound, AdmissibleOnLocalOnlyWorkload) {
+  // No communication at all: the shm/mp brackets must stay switched off in
+  // the bound exactly as they do in the cost model.
+  sweep::SweepConfig cfg = sweep::SweepConfig::canonical();
+  cfg.profile.d_r = cfg.profile.d_w = 0;
+  cfg.profile.m_s = cfg.profile.m_r = 0;
+  cfg.workload = "local-only";
+  expect_admissible(cfg);
+}
+
+TEST(SearchBound, EnergyIsExactAcrossTheGrid) {
+  // Equation (2) gives every point of one config the same total energy; the
+  // bound relies on that, so pin it against the evaluated records.
+  const sweep::SweepConfig cfg = sweep::SweepConfig::canonical();
+  const BoundContext ctx(cfg);
+  const Evaluator eval;
+  const sweep::SweepResult swept = eval.sweep(cfg);
+  for (const sweep::SweepRecord& rec : swept.records) {
+    // PDP = E for the recorded total cost.
+    EXPECT_DOUBLE_EQ(rec.metrics.PDP, ctx.exact_energy())
+        << "at grid index " << rec.index;
+  }
+}
+
+TEST(SearchBound, FullPointPrefixBoundsThatPointTightly) {
+  // At full depth every axis is fixed; the bound must still sit below the
+  // exact value (it relaxes placement and process count), but within the
+  // same order of magnitude — a vacuous bound (0, or -inf clamped) would
+  // make branch-and-bound exhaustive.
+  const sweep::SweepConfig cfg = sweep::SweepConfig::canonical();
+  const Evaluator eval;
+  const sweep::SweepResult swept = eval.sweep(cfg);
+  const BoundContext ctx(cfg);
+  for (const sweep::SweepRecord& rec : swept.records) {
+    const double bound = ctx.lower_bound(rec.params);
+    const double value = metric_value(rec.metrics, cfg.objective);
+    ASSERT_LE(bound, value);
+    ASSERT_GT(bound, 0.0) << "vacuous bound at grid index " << rec.index;
+  }
+}
+
+}  // namespace
+}  // namespace stamp::search

@@ -1,0 +1,264 @@
+// The guided search's exactness contract: on any grid, branch-and-bound
+// returns the bit-identical winning record the exhaustive argmin produces —
+// same index, same params, same metrics, same classical baselines — while
+// pruning. Checked on ~50 randomized grids across all four objectives, plus
+// the canonical config and the determinism/cancellation edges.
+
+#include "api/stamp.hpp"
+#include "fault/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stamp::search {
+namespace {
+
+/// A small random grid: a random subset of the known axes (plus always at
+/// least two axes so there is structure to search), random value subsets.
+sweep::SweepConfig random_config(std::uint64_t seed) {
+  fault::SplitMix64 rng(seed);
+  sweep::SweepConfig cfg;
+  const auto pick = [&](std::vector<double> all, std::size_t min_count) {
+    const std::size_t count =
+        min_count + rng.next() % (all.size() - min_count + 1);
+    // Keep a sorted prefix after a cheap shuffle so values stay distinct.
+    for (std::size_t i = all.size(); i-- > 1;)
+      std::swap(all[i], all[rng.next() % (i + 1)]);
+    all.resize(count);
+    return all;
+  };
+  cfg.grid.axis(std::string(sweep::axes::kCores), pick({1, 2, 4, 8}, 1))
+      .axis(std::string(sweep::axes::kThreadsPerCore), pick({1, 2, 4}, 1));
+  if (rng.next() % 2)
+    cfg.grid.axis(std::string(sweep::axes::kEllE), pick({6, 12, 24, 40}, 1));
+  if (rng.next() % 2)
+    cfg.grid.axis(std::string(sweep::axes::kLE), pick({24, 48, 96}, 1));
+  if (rng.next() % 2)
+    cfg.grid.axis(std::string(sweep::axes::kGShE), pick({1, 2, 4, 8}, 1));
+  if (rng.next() % 2)
+    cfg.grid.axis(std::string(sweep::axes::kKappa), pick({0, 4, 8, 16}, 1));
+  cfg.grid.axis(std::string(sweep::axes::kPlacement), pick({0, 1, 2}, 1));
+  if (rng.next() % 2)
+    cfg.grid.axis(std::string(sweep::axes::kProcesses), pick({4, 16, 64}, 1));
+
+  cfg.base = presets::niagara();
+  cfg.profile.c_fp = 500 + static_cast<double>(rng.next() % 4000);
+  cfg.profile.c_int = 500 + static_cast<double>(rng.next() % 8000);
+  cfg.profile.d_r = static_cast<double>(rng.next() % 2048);
+  cfg.profile.d_w = static_cast<double>(rng.next() % 512);
+  cfg.profile.m_s = static_cast<double>(rng.next() % 256);
+  cfg.profile.m_r = static_cast<double>(rng.next() % 256);
+  cfg.profile.kappa = static_cast<double>(rng.next() % 8);
+  cfg.profile.units = 1 + static_cast<double>(rng.next() % 4);
+  cfg.processes = 1 << (rng.next() % 7);
+  cfg.objective = static_cast<Objective>(seed % 4);
+  cfg.workload = "random-" + std::to_string(seed);
+  return cfg;
+}
+
+SearchRequest request_for(const sweep::SweepConfig& cfg, SearchMethod method,
+                          std::uint64_t seed = 1) {
+  SearchRequest req;
+  req.config = cfg;
+  req.method = method;
+  req.seed = seed;
+  return req;
+}
+
+TEST(SearchProperty, BnbMatchesExhaustiveArgminOnRandomGrids) {
+  for (std::uint64_t trial = 0; trial < 50; ++trial) {
+    const sweep::SweepConfig cfg = random_config(1000 + trial);
+    SCOPED_TRACE("trial " + std::to_string(trial) + " objective " +
+                 std::string(to_string(cfg.objective)) + " points " +
+                 std::to_string(cfg.grid.size()));
+
+    const SearchResult oracle =
+        run_search(request_for(cfg, SearchMethod::Exhaustive));
+    SearchRequest bnb = request_for(cfg, SearchMethod::BranchAndBound);
+    bnb.warm_start = trial % 2 == 0;  // exercise both incumbent paths
+    const SearchResult found = run_search(bnb);
+
+    ASSERT_TRUE(oracle.found);
+    ASSERT_TRUE(found.found);
+    EXPECT_EQ(found.best, oracle.best);  // bit-identical record
+    EXPECT_EQ(oracle.stats.points_evaluated, cfg.grid.size());
+  }
+}
+
+TEST(SearchProperty, BnbMatchesExhaustiveOnTenThousandPointGrids) {
+  for (const std::uint64_t seed : {7ull, 8ull}) {
+    sweep::SweepConfig cfg = random_config(seed);
+    // Densify axes until the grid passes ~10^4 points.
+    cfg.grid = sweep::ParamGrid{};
+    cfg.grid.axis(std::string(sweep::axes::kCores), {1, 2, 4, 8})
+        .axis(std::string(sweep::axes::kThreadsPerCore), {1, 2, 4})
+        .axis(std::string(sweep::axes::kEllE), sweep::linspace(6, 40, 8))
+        .axis(std::string(sweep::axes::kLE), sweep::linspace(24, 96, 8))
+        .axis(std::string(sweep::axes::kGShE), sweep::linspace(1, 8, 4))
+        .axis(std::string(sweep::axes::kKappa), {0, 8})
+        .axis(std::string(sweep::axes::kPlacement), {0, 1, 2})
+        .axis(std::string(sweep::axes::kProcesses), {4, 64});
+    cfg.objective = seed % 2 ? Objective::EDP : Objective::D;
+    ASSERT_GE(cfg.grid.size(), 10000u);
+
+    const SearchResult oracle =
+        run_search(request_for(cfg, SearchMethod::Exhaustive));
+    const SearchResult found =
+        run_search(request_for(cfg, SearchMethod::BranchAndBound));
+    ASSERT_TRUE(found.found);
+    EXPECT_EQ(found.best, oracle.best);
+    // The whole point: the winner without the whole grid.
+    EXPECT_LT(found.stats.points_evaluated, cfg.grid.size());
+  }
+}
+
+TEST(SearchProperty, AllObjectivesAgreeWithSweepWinner) {
+  for (int o = 0; o < 4; ++o) {
+    sweep::SweepConfig cfg = sweep::SweepConfig::canonical();
+    cfg.objective = static_cast<Objective>(o);
+    SCOPED_TRACE(std::string(to_string(cfg.objective)));
+
+    const Evaluator eval;
+    const sweep::SweepResult swept = eval.sweep(cfg);
+    const std::size_t winner =
+        best_record_index(swept.records, cfg.objective);
+    ASSERT_LT(winner, swept.records.size());
+
+    const SearchResult found =
+        eval.optimize(request_for(cfg, SearchMethod::BranchAndBound));
+    ASSERT_TRUE(found.found);
+    EXPECT_EQ(found.best, swept.records[winner]);
+  }
+}
+
+TEST(Search, ExhaustiveEvaluatesEverythingAndMatchesSweep) {
+  const sweep::SweepConfig cfg = sweep::SweepConfig::canonical();
+  const Evaluator eval;
+  const sweep::SweepResult swept = eval.sweep(cfg);
+  const SearchResult oracle =
+      eval.optimize(request_for(cfg, SearchMethod::Exhaustive));
+  ASSERT_TRUE(oracle.found);
+  EXPECT_EQ(oracle.stats.points_evaluated, cfg.grid.size());
+  EXPECT_EQ(oracle.best,
+            swept.records[best_record_index(swept.records, cfg.objective)]);
+}
+
+TEST(Search, BnbPrunesOnCanonical) {
+  const sweep::SweepConfig cfg = sweep::SweepConfig::canonical();
+  const SearchResult found =
+      run_search(request_for(cfg, SearchMethod::BranchAndBound));
+  ASSERT_TRUE(found.found);
+  EXPECT_GT(found.stats.nodes_pruned, 0u);
+  EXPECT_LT(found.stats.points_evaluated, cfg.grid.size());
+}
+
+TEST(Search, AnnealSameSeedIsByteIdentical) {
+  const sweep::SweepConfig cfg = sweep::SweepConfig::canonical();
+  SearchRequest req = request_for(cfg, SearchMethod::Anneal, 42);
+  const std::string a = to_json(run_search(req));
+  req.threads = 4;  // annealing is serial by contract; threads must not leak
+  const std::string b = to_json(run_search(req));
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(Search, AnnealDifferentSeedsSearchDifferently) {
+  const sweep::SweepConfig cfg = sweep::SweepConfig::canonical();
+  const SearchResult a = run_search(request_for(cfg, SearchMethod::Anneal, 1));
+  const SearchResult b = run_search(request_for(cfg, SearchMethod::Anneal, 2));
+  ASSERT_TRUE(a.found);
+  ASSERT_TRUE(b.found);
+  // Both must still land on *a* good point; the trajectories should differ.
+  EXPECT_NE(to_json(a), to_json(b));
+}
+
+TEST(Search, AnnealFindsCanonicalOptimum) {
+  // Not guaranteed in general, but canonical() is small and well-behaved;
+  // a failing seed here means the chain or polish regressed.
+  const sweep::SweepConfig cfg = sweep::SweepConfig::canonical();
+  const SearchResult oracle =
+      run_search(request_for(cfg, SearchMethod::Exhaustive));
+  const SearchResult found =
+      run_search(request_for(cfg, SearchMethod::Anneal, 42));
+  ASSERT_TRUE(found.found);
+  EXPECT_EQ(found.best, oracle.best);
+}
+
+TEST(Search, BnbArtifactIdenticalAcrossThreadCounts) {
+  sweep::SweepConfig cfg = sweep::SweepConfig::canonical();
+  cfg.grid.axis(std::string(sweep::axes::kProcesses), {4, 16, 64});
+  SearchRequest req = request_for(cfg, SearchMethod::BranchAndBound);
+  req.leaf_block = 1024;  // large leaves so the pool actually engages
+  const Evaluator eval;
+  const std::string serial = to_json(eval.optimize(req));
+  req.threads = 4;
+  const std::string pooled = to_json(eval.optimize(req));
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(Search, EmptyGridFindsNothing) {
+  SearchRequest req;
+  req.config.base = presets::niagara();
+  for (const SearchMethod m : {SearchMethod::BranchAndBound,
+                               SearchMethod::Anneal,
+                               SearchMethod::Exhaustive}) {
+    req.method = m;
+    const SearchResult res = run_search(req);
+    EXPECT_FALSE(res.found);
+    EXPECT_EQ(res.grid_points, 0u);
+    EXPECT_EQ(res.stats.points_evaluated, 0u);
+  }
+}
+
+TEST(Search, PreCancelledTokenCancelsEveryMethod) {
+  core::CancelToken token;
+  token.request_cancel();
+  SearchRequest req = request_for(sweep::SweepConfig::canonical(),
+                                  SearchMethod::BranchAndBound);
+  req.cancel = &token;
+  for (const SearchMethod m : {SearchMethod::BranchAndBound,
+                               SearchMethod::Anneal,
+                               SearchMethod::Exhaustive}) {
+    req.method = m;
+    const SearchResult res = run_search(req);
+    EXPECT_TRUE(res.cancelled);
+    EXPECT_FALSE(res.found);
+  }
+}
+
+TEST(Search, TraceCapTruncatesDeterministically) {
+  SearchRequest req = request_for(sweep::SweepConfig::canonical(),
+                                  SearchMethod::Exhaustive);
+  req.max_trace_events = 2;
+  const SearchResult res = run_search(req);
+  EXPECT_EQ(res.trace.size(), 2u);
+  EXPECT_TRUE(res.stats.trace_truncated);
+}
+
+TEST(Search, RecordBeatsOrdersLikeSweepWinner) {
+  sweep::SweepRecord feasible_slow, feasible_fast, infeasible_fast;
+  feasible_slow.index = 0;
+  feasible_slow.feasible = true;
+  feasible_slow.metrics.EDP = 10;
+  feasible_fast.index = 1;
+  feasible_fast.feasible = true;
+  feasible_fast.metrics.EDP = 5;
+  infeasible_fast.index = 2;
+  infeasible_fast.metrics.EDP = 1;
+
+  EXPECT_TRUE(record_beats(feasible_fast, feasible_slow, Objective::EDP));
+  EXPECT_TRUE(record_beats(feasible_slow, infeasible_fast, Objective::EDP));
+  EXPECT_FALSE(record_beats(infeasible_fast, feasible_fast, Objective::EDP));
+
+  // Equal value: the lower grid index wins, in both argument orders.
+  sweep::SweepRecord tie = feasible_fast;
+  tie.index = 7;
+  EXPECT_TRUE(record_beats(feasible_fast, tie, Objective::EDP));
+  EXPECT_FALSE(record_beats(tie, feasible_fast, Objective::EDP));
+}
+
+}  // namespace
+}  // namespace stamp::search

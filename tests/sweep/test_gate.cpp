@@ -6,6 +6,14 @@
 
 #include <string>
 
+// run_sweep/run_sweep_serial are deprecated in favor of Evaluator::sweep;
+// this file exercises the sweep engine directly on purpose (it is the layer
+// under test/measurement, below the facade).
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+
 namespace stamp::sweep {
 namespace {
 

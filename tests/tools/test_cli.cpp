@@ -231,5 +231,102 @@ TEST(Cli, GeneratedUsageNamesPositionalsInOrder) {
   EXPECT_EQ(ss.str(), "usage: gate <baseline.json> <fresh.json>\n");
 }
 
+Subcommands search_commands() {
+  Subcommands commands("stamp_search", "find the optimum");
+  commands.add("bnb", "exact branch-and-bound")
+      .add("anneal", "simulated annealing")
+      .add("exhaustive", "price every point");
+  return commands;
+}
+
+TEST(Subcommands, SelectsTheNamedCommand) {
+  const Subcommands commands = search_commands();
+  std::string command;
+  Argv argv({"anneal", "--seed", "7"});
+  EXPECT_EQ(commands.select(argv.argc(), argv.argv(), &command),
+            Cli::Parse::Ok);
+  EXPECT_EQ(command, "anneal");
+}
+
+TEST(Subcommands, UnknownCommandSuggestsTheNearestName) {
+  const Subcommands commands = search_commands();
+  std::string command;
+  Argv argv({"anneall"});
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(commands.select(argv.argc(), argv.argv(), &command),
+            Cli::Parse::Error);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("unknown command 'anneall'"), std::string::npos);
+  EXPECT_NE(err.find("did you mean 'anneal'?"), std::string::npos);
+}
+
+TEST(Subcommands, WildlyWrongCommandGetsNoSuggestion) {
+  const Subcommands commands = search_commands();
+  std::string command;
+  Argv argv({"frobnicate"});
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(commands.select(argv.argc(), argv.argv(), &command),
+            Cli::Parse::Error);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("did you mean"), std::string::npos);
+}
+
+TEST(Subcommands, MissingCommandAndLeadingOptionAreErrors) {
+  const Subcommands commands = search_commands();
+  std::string command;
+  {
+    Argv argv({});
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(commands.select(argv.argc(), argv.argv(), &command),
+              Cli::Parse::Error);
+    testing::internal::GetCapturedStderr();
+  }
+  {
+    Argv argv({"--seed", "7"});
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(commands.select(argv.argc(), argv.argv(), &command),
+              Cli::Parse::Error);
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("expected a command"), std::string::npos);
+  }
+}
+
+TEST(Subcommands, HelpListsEveryCommand) {
+  const Subcommands commands = search_commands();
+  std::string command;
+  Argv argv({"--help"});
+  testing::internal::CaptureStdout();
+  EXPECT_EQ(commands.select(argv.argc(), argv.argv(), &command),
+            Cli::Parse::Help);
+  const std::string help = testing::internal::GetCapturedStdout();
+  EXPECT_NE(help.find("usage: stamp_search <command> [options]"),
+            std::string::npos);
+  EXPECT_NE(help.find("bnb"), std::string::npos);
+  EXPECT_NE(help.find("anneal"), std::string::npos);
+  EXPECT_NE(help.find("exhaustive"), std::string::npos);
+  EXPECT_NE(help.find("stamp_search <command> --help"), std::string::npos);
+}
+
+TEST(Subcommands, PerSubcommandCliCarriesTheCompoundProgramName) {
+  // The pattern every subcommand tool uses: sub-Cli program = "prog cmd",
+  // parsed over argv shifted past the command. Its --help and errors must
+  // name the full compound command.
+  const Subcommands commands = search_commands();
+  std::string command;
+  Argv argv({"bnb", "--leaf-block", "128"});
+  ASSERT_EQ(commands.select(argv.argc(), argv.argv(), &command),
+            Cli::Parse::Ok);
+
+  int leaf_block = 64;
+  Cli cli(commands.program() + " " + command, "exact search");
+  cli.option_int("leaf-block", &leaf_block, "N", "leaf size");
+  EXPECT_EQ(cli.parse(argv.argc() - 1, argv.argv() + 1), Cli::Parse::Ok);
+  EXPECT_EQ(leaf_block, 128);
+
+  std::ostringstream ss;
+  cli.print_usage(ss);
+  EXPECT_EQ(ss.str(), "usage: stamp_search bnb [options]\n");
+}
+
 }  // namespace
 }  // namespace stamp::tools

@@ -31,6 +31,25 @@
 
 namespace stamp::tools {
 
+namespace detail {
+
+/// Levenshtein distance; option and command names are short, so the
+/// O(|a|·|b|) two-row DP is plenty.
+inline std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j)
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1,
+                         prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1)});
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace detail
+
 class Cli {
  public:
   enum class Parse { Ok, Help, Error };
@@ -231,7 +250,7 @@ class Cli {
     std::string best;
     std::size_t best_d = name.size();  // worse than this is not a typo
     for (const Option& o : options_) {
-      const std::size_t d = edit_distance(name, o.name);
+      const std::size_t d = detail::edit_distance(name, o.name);
       if (d < best_d) {
         best = o.name;
         best_d = d;
@@ -239,21 +258,6 @@ class Cli {
     }
     const std::size_t cutoff = std::max<std::size_t>(2, name.size() / 3);
     return best_d <= cutoff ? best : std::string();
-  }
-
-  /// Levenshtein distance; option names are short, so the O(|a|·|b|)
-  /// two-row DP is plenty.
-  static std::size_t edit_distance(const std::string& a, const std::string& b) {
-    std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-      cur[0] = i;
-      for (std::size_t j = 1; j <= b.size(); ++j)
-        cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1,
-                           prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1)});
-      std::swap(prev, cur);
-    }
-    return prev[b.size()];
   }
 
   Parse error(const std::string& message) const {
@@ -278,6 +282,117 @@ class Cli {
   std::string summary_;
   std::vector<Option> options_;
   std::vector<Positional> positionals_;
+};
+
+/// Subcommand dispatch for tools with several modes (`stamp_search bnb ...`).
+/// `select` only picks `argv[1]`; the caller then parses the remaining
+/// arguments with a per-subcommand `Cli` whose program name is
+/// `"<program> <command>"` — so `<program> <command> --help` prints that
+/// command's own option table:
+///
+///   stamp::tools::Subcommands commands("stamp_search", "find the optimum");
+///   commands.add("bnb", "exact branch-and-bound")
+///           .add("anneal", "seeded simulated annealing");
+///   std::string command;
+///   switch (commands.select(argc, argv, &command)) {
+///     case Cli::Parse::Help: return 0;
+///     case Cli::Parse::Error: return 2;
+///     case Cli::Parse::Ok: break;
+///   }
+///   Cli cli(commands.program() + " " + command, ...);
+///   ... cli.parse(argc - 1, argv + 1) ...
+class Subcommands {
+ public:
+  Subcommands(std::string program, std::string summary)
+      : program_(std::move(program)), summary_(std::move(summary)) {}
+
+  Subcommands& add(std::string name, std::string summary) {
+    commands_.push_back({std::move(name), std::move(summary)});
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& program() const noexcept {
+    return program_;
+  }
+
+  /// Pick the subcommand named by `argv[1]`. Prints the command list on
+  /// `--help`/`-h` (or a bare invocation is an error pointing at it);
+  /// unknown commands get a did-you-mean suggestion like unknown options do.
+  [[nodiscard]] Cli::Parse select(int argc, char** argv,
+                                  std::string* command) const {
+    if (argc < 2)
+      return error("expected a command");
+    const std::string first = argv[1];
+    if (first == "--help" || first == "-h") {
+      print_help(std::cout);
+      return Cli::Parse::Help;
+    }
+    if (first.rfind("-", 0) == 0)
+      return error("expected a command before options, got '" + first + "'");
+    for (const Command& c : commands_) {
+      if (c.name == first) {
+        *command = first;
+        return Cli::Parse::Ok;
+      }
+    }
+    std::string message = "unknown command '" + first + "'";
+    const std::string near = nearest(first);
+    if (!near.empty()) message += " (did you mean '" + near + "'?)";
+    return error(message);
+  }
+
+  void print_usage(std::ostream& os) const {
+    os << "usage: " << program_ << " <command> [options]\n";
+  }
+
+  void print_help(std::ostream& os) const {
+    print_usage(os);
+    os << "\n" << summary_ << "\n\ncommands:\n";
+    for (const Command& c : commands_) print_row(os, c.name, c.summary);
+    os << "\nrun '" << program_ << " <command> --help' for command options\n";
+  }
+
+ private:
+  struct Command {
+    std::string name;
+    std::string summary;
+  };
+
+  [[nodiscard]] std::string nearest(const std::string& name) const {
+    std::string best;
+    std::size_t best_d = name.size();
+    for (const Command& c : commands_) {
+      const std::size_t d = detail::edit_distance(name, c.name);
+      if (d < best_d) {
+        best = c.name;
+        best_d = d;
+      }
+    }
+    const std::size_t cutoff = std::max<std::size_t>(2, name.size() / 3);
+    return best_d <= cutoff ? best : std::string();
+  }
+
+  Cli::Parse error(const std::string& message) const {
+    std::cerr << program_ << ": " << message << "\n";
+    print_usage(std::cerr);
+    std::cerr << "run '" << program_ << " --help' for the command list\n";
+    return Cli::Parse::Error;
+  }
+
+  static void print_row(std::ostream& os, const std::string& left,
+                        const std::string& right) {
+    constexpr std::size_t kColumn = 26;
+    os << "  " << left;
+    if (left.size() + 2 < kColumn)
+      os << std::string(kColumn - left.size() - 2, ' ');
+    else
+      os << "\n" << std::string(kColumn, ' ');
+    os << right << "\n";
+  }
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Command> commands_;
 };
 
 }  // namespace stamp::tools

@@ -1,0 +1,218 @@
+/// \file stamp_search.cpp
+/// \brief CLI for the guided search: find a grid's optimal point without
+///        sweeping it, and emit the stable `stamp-search/v1` JSON artifact.
+///
+/// Subcommands select the engine (src/search/search.hpp):
+///
+///   stamp_search bnb        exact branch-and-bound — the bit-identical
+///                           winner of the exhaustive sweep, visiting a
+///                           fraction of the grid
+///   stamp_search anneal     seeded simulated annealing + greedy polish —
+///                           heuristic, a pure function of --seed
+///   stamp_search exhaustive price every point (the oracle the other two
+///                           are verified against in CI)
+///
+/// The artifact records the winner plus a deterministic trace of the search
+/// (nodes expanded, bounds, prunes, incumbent updates): the search trajectory
+/// is computed serially and worker threads only price leaf blocks, so the
+/// output is byte-identical for any --jobs value and across repeated runs of
+/// the same seed. Artifacts land via an atomic temp-file + rename.
+///
+/// Exit codes: 0 success; 2 usage or I/O error; 3 cancelled by signal.
+///
+/// Usage: see `stamp_search --help` and `stamp_search <command> --help`.
+
+#include "api/stamp.hpp"
+#include "cli.hpp"
+#include "core/hw.hpp"
+#include "report/atomic_file.hpp"
+
+#include <csignal>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+using stamp::tools::Cli;
+using stamp::tools::Subcommands;
+
+/// Tripped by SIGINT/SIGTERM. `request_cancel` is one lock-free atomic
+/// store, so calling it from the handler is async-signal-safe.
+stamp::core::CancelToken g_cancel;
+
+extern "C" void handle_cancel_signal(int) { g_cancel.request_cancel(); }
+
+bool write_text(const std::string& path, const std::string& text) {
+  try {
+    stamp::report::AtomicFileWriter::write_file(path, text);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Subcommands commands(
+      "stamp_search",
+      "Find the optimal point of a STAMP parameter grid without sweeping "
+      "it, and emit the deterministic stamp-search/v1 JSON artifact.");
+  commands
+      .add("bnb",
+           "exact branch-and-bound (bit-identical to the sweep's argmin)")
+      .add("anneal", "seeded simulated annealing + greedy local search")
+      .add("exhaustive", "price every point (the verification oracle)");
+
+  std::string command;
+  switch (commands.select(argc, argv, &command)) {
+    case Cli::Parse::Help: return 0;
+    case Cli::Parse::Error: return 2;
+    case Cli::Parse::Ok: break;
+  }
+
+  std::string grid = "canonical";
+  std::string out_path;
+  std::string metrics_path;
+  int threads = 0;
+  int seed = 1;
+  int iterations = 4096;
+  int leaf_block = 64;
+  int max_trace = 100000;
+  bool no_warm_start = false;
+  bool no_trace = false;
+  bool stats = false;
+
+  Cli cli(commands.program() + " " + command,
+          command == "bnb"
+              ? "Exact search: prune subtrees whose admissible lower bound "
+                "loses to the incumbent; the winner is byte-identical to "
+                "the exhaustive sweep's."
+          : command == "anneal"
+              ? "Heuristic search: a simulated-annealing chain over "
+                "single-axis steps plus a greedy polish, reproducible from "
+                "--seed."
+              : "Price the whole grid and scan for the argmin.");
+  cli.option_string("grid", &grid, "canonical|tiny|large",
+                    "grid preset to search (default: canonical)")
+      .option_string("out", &out_path, "FILE", "output file (default: stdout)")
+      .option_string("metrics", &metrics_path, "FILE",
+                     "record the metrics registry as JSON to FILE");
+  if (command != "anneal") {
+    cli.option_int("jobs", &threads, "N",
+                   "worker threads for exact point pricing; 0 = hardware "
+                   "concurrency (the artifact does not depend on this)");
+  }
+  if (command != "exhaustive") {
+    cli.option_int("seed", &seed, "N",
+                   "PRNG seed for the annealing chain (default: 1)");
+    cli.option_int("iterations", &iterations, "N",
+                   "annealing chain length (default: 4096)");
+  }
+  if (command == "bnb") {
+    cli.option_int("leaf-block", &leaf_block, "N",
+                   "subtrees of at most N points are priced exactly instead "
+                   "of expanded (default: 64)");
+    cli.flag("no-warm-start", &no_warm_start,
+             "skip the annealing warm start of the incumbent");
+  }
+  cli.flag("no-trace", &no_trace, "omit the per-event trace from the artifact")
+      .option_int("max-trace", &max_trace, "N",
+                  "keep at most N trace events (default: 100000)")
+      .flag("stats", &stats, "print search statistics to stderr");
+  switch (cli.parse(argc - 1, argv + 1)) {
+    case Cli::Parse::Help: return 0;
+    case Cli::Parse::Error: return 2;
+    case Cli::Parse::Ok: break;
+  }
+
+#ifdef SIGPIPE
+  // A closed stdout pipe must surface as a stream error (and exit 2), not
+  // kill the process mid-artifact with the default SIGPIPE disposition.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+
+  stamp::SearchRequest req;
+  if (grid == "canonical") {
+    req.config = stamp::sweep::SweepConfig::canonical();
+  } else if (grid == "tiny") {
+    req.config = stamp::sweep::SweepConfig::tiny();
+  } else if (grid == "large") {
+    req.config = stamp::sweep::SweepConfig::large();
+  } else {
+    std::cerr << "stamp_search: unknown grid preset '" << grid << "'\n";
+    return 2;
+  }
+  req.method = command == "bnb"      ? stamp::SearchMethod::BranchAndBound
+               : command == "anneal" ? stamp::SearchMethod::Anneal
+                                     : stamp::SearchMethod::Exhaustive;
+  req.seed = static_cast<std::uint64_t>(seed);
+  req.threads =
+      threads == 0 ? stamp::core::usable_hardware_threads() : threads;
+  req.warm_start = !no_warm_start;
+  req.anneal_iterations = static_cast<std::uint64_t>(iterations);
+  req.leaf_block = static_cast<std::size_t>(leaf_block);
+  req.record_trace = !no_trace;
+  req.max_trace_events = static_cast<std::size_t>(max_trace);
+  req.cancel = &g_cancel;
+
+  try {
+    stamp::Evaluator::set_metrics(!metrics_path.empty());
+
+    std::signal(SIGINT, handle_cancel_signal);
+    std::signal(SIGTERM, handle_cancel_signal);
+
+    const stamp::Evaluator eval(
+        {.machine = req.config.base, .objective = req.config.objective});
+    const stamp::SearchResult result = eval.optimize(req);
+
+    if (result.cancelled) {
+      std::cerr << "stamp_search: cancelled by signal after "
+                << result.stats.points_evaluated << " evaluated points\n";
+      return 3;
+    }
+
+    if (out_path.empty() || out_path == "-") {
+      stamp::search::write_json(result, std::cout);
+    } else {
+      stamp::report::AtomicFileWriter writer(out_path);
+      if (!writer.ok()) {
+        std::cerr << "stamp_search: cannot open '" << out_path
+                  << "' for writing\n";
+        return 2;
+      }
+      stamp::search::write_json(result, writer.stream());
+      writer.commit();
+    }
+
+    if (!metrics_path.empty()) {
+      std::ostringstream ss;
+      stamp::Evaluator::write_metrics(ss);
+      if (!write_text(metrics_path, ss.str())) {
+        std::cerr << "stamp_search: cannot write metrics '" << metrics_path
+                  << "'\n";
+        return 2;
+      }
+    }
+
+    if (stats) {
+      const stamp::SearchStats& s = result.stats;
+      std::cerr << "search: " << to_string(result.method) << " over "
+                << result.grid_points << " points: " << s.points_evaluated
+                << " evaluated ("
+                << (result.grid_points != 0
+                        ? 100.0 * static_cast<double>(s.points_evaluated) /
+                              static_cast<double>(result.grid_points)
+                        : 0.0)
+                << "%), " << s.nodes_expanded << " expanded, "
+                << s.nodes_pruned << " pruned, " << s.bound_evaluations
+                << " bounds, " << s.incumbent_updates
+                << " incumbent updates\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "stamp_search: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

@@ -45,33 +45,14 @@ namespace {
 
 using stamp::tools::Cli;
 
-/// Index of the record to replay under --trace: best objective value among
-/// feasible points (any point if none are feasible).
-std::size_t pick_winner(const stamp::sweep::SweepResult& result,
-                        stamp::Objective objective) {
-  std::size_t best = 0;
-  bool have = false;
-  for (std::size_t i = 0; i < result.records.size(); ++i) {
-    const stamp::sweep::SweepRecord& rec = result.records[i];
-    const stamp::sweep::SweepRecord& cur = result.records[best];
-    const bool better_feasibility = rec.feasible && !cur.feasible;
-    const bool same_feasibility = rec.feasible == cur.feasible;
-    const double v = stamp::metric_value(rec.metrics, objective);
-    const double b = stamp::metric_value(cur.metrics, objective);
-    if (!have || better_feasibility || (same_feasibility && v < b)) {
-      best = i;
-      have = true;
-    }
-  }
-  return best;
-}
-
 /// Replay the winning point's configuration on the explicit-resource machine
 /// simulator so the trace contains simulator spans alongside the sweep's own.
+/// The winner is the same argmin the guided search (src/search/) computes.
 void replay_winner(const stamp::sweep::SweepConfig& cfg,
                    const stamp::sweep::SweepResult& result) {
   if (result.records.empty()) return;
-  const std::size_t w = pick_winner(result, cfg.objective);
+  const std::size_t w =
+      stamp::search::best_record_index(result.records, cfg.objective);
   const stamp::sweep::SweepRecord& rec = result.records[w];
   const stamp::sweep::PointSetup setup = stamp::sweep::setup_point(cfg, rec.params);
   const int n = std::max(1, rec.processes);
@@ -303,11 +284,12 @@ int main(int argc, char** argv) {
     opts.journal = journal.get();
     opts.resume = resume.get();
     opts.point_deadline = std::chrono::milliseconds(point_deadline_ms);
+    opts.threads = threads;
 
     const stamp::Evaluator eval({.machine = cfg.base, .objective = cfg.objective});
     stamp::sweep::SweepResult result;
     try {
-      result = eval.sweep(cfg, threads, opts);
+      result = eval.sweep(cfg, opts);
     } catch (const std::exception& e) {
       // The journal object (if any) already synced its tail in run_sweep's
       // unwind path; completed points survive for --resume.
