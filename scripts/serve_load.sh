@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Load- and chaos-test the evaluation server from the outside: real
+# stamp_serve processes, real sockets, the stamp_call pipelining client.
+#
+# Phase A (availability + byte-identity): for each seed, a server is started
+# with the full transport/worker fault plan armed (every request's worker
+# crashes once, half the admissions are dropped in transit, some sends are
+# delayed). The client must still get every response, the responses must be
+# byte-identical to an uninjected server's, and SIGTERM must drain cleanly
+# (exit 0) with the metrics flushed.
+#
+# Phase B (backpressure): a deliberately tiny server (1 worker, queue depth
+# 1) is flooded with burn requests. Overload must surface as explicit 503
+# lines — bounded, counted, never a hang or unbounded memory — and the drain
+# must still exit 0.
+#
+# Usage: scripts/serve_load.sh [BUILD_DIR] [SEED...]
+#   BUILD_DIR defaults to "build"; seeds default to "1 7 42".
+# The caller (CI) wraps this script in `timeout` — nothing in here waits
+# unboundedly: stamp_call has a global deadline and the server is killed
+# hard if a graceful drain stalls.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift || true
+if [ $# -gt 0 ]; then SEEDS=("$@"); else SEEDS=(1 7 42); fi
+
+SERVE="$BUILD_DIR/tools/stamp_serve"
+CALL="$BUILD_DIR/tools/stamp_call"
+[ -x "$SERVE" ] && [ -x "$CALL" ] || {
+  echo "serve_load: build tool_stamp_serve and stamp_call first" >&2
+  exit 2
+}
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -KILL "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Start a server with the given extra flags; sets SERVER_PID and PORT.
+start_server() {
+  rm -f "$WORK/port"
+  "$SERVE" --port 0 --port-file "$WORK/port" "$@" 2>>"$WORK/server.log" &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$WORK/port" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || {
+      echo "serve_load: server died at startup; log:" >&2
+      cat "$WORK/server.log" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  [ -s "$WORK/port" ] || { echo "serve_load: no port file" >&2; exit 1; }
+  PORT="$(cat "$WORK/port")"
+}
+
+# SIGTERM the server and require a graceful exit code 0.
+drain_server() {
+  kill -TERM "$SERVER_PID"
+  local status=0
+  wait "$SERVER_PID" || status=$?
+  SERVER_PID=""
+  if [ "$status" -ne 0 ]; then
+    echo "serve_load: drain exited $status, want 0; log:" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+  fi
+}
+
+# A deterministic request mix (no stats op: stats is not byte-stable).
+make_requests() {
+  local out="$1"
+  : > "$out"
+  local id=1
+  for index in 0 3 7 11 15; do
+    echo "{\"id\":$id,\"op\":\"evaluate\",\"index\":$index}" >> "$out"
+    id=$((id + 1))
+  done
+  echo "{\"id\":$id,\"op\":\"sweep_chunk\",\"begin\":0,\"end\":8}" >> "$out"; id=$((id + 1))
+  echo "{\"id\":$id,\"op\":\"sweep_chunk\",\"begin\":8,\"end\":16}" >> "$out"; id=$((id + 1))
+  for n in 2 4 8; do
+    echo "{\"id\":$id,\"op\":\"best_placement\",\"processes\":$n}" >> "$out"
+    id=$((id + 1))
+  done
+  echo "{\"id\":$id,\"op\":\"search\",\"method\":\"bnb\",\"seed\":7}" >> "$out"; id=$((id + 1))
+  echo "{\"id\":$id,\"op\":\"search\",\"method\":\"anneal\",\"seed\":7}" >> "$out"
+}
+
+make_requests "$WORK/requests.ndjson"
+
+echo "== reference run (no faults) =="
+start_server --workers 2
+"$CALL" --port "$PORT" --timeout-ms 60000 --retry-ms 2000 \
+  --out "$WORK/expected.ndjson" "$WORK/requests.ndjson"
+drain_server
+[ -s "$WORK/expected.ndjson" ] || { echo "serve_load: empty reference" >&2; exit 1; }
+
+echo "== phase A: chaos availability + byte-identity =="
+for seed in "${SEEDS[@]}"; do
+  echo "-- seed $seed"
+  start_server --workers 2 --fault-seed "$seed" \
+    --metrics "$WORK/metrics_$seed.json" \
+    --inject serve_worker_fail=1.0,max=1 \
+    --inject msg_drop=0.5,max=1 \
+    --inject msg_delay=0.25,mag=20000000,max=1
+  "$CALL" --port "$PORT" --timeout-ms 60000 --retry-ms 2000 \
+    --out "$WORK/chaos_$seed.ndjson" "$WORK/requests.ndjson"
+  drain_server
+  cmp "$WORK/expected.ndjson" "$WORK/chaos_$seed.ndjson"
+  [ -s "$WORK/metrics_$seed.json" ] || {
+    echo "serve_load: metrics not flushed on drain" >&2
+    exit 1
+  }
+done
+
+echo "== phase B: overload backpressure =="
+: > "$WORK/burns.ndjson"
+for id in $(seq 1 12); do
+  echo "{\"id\":$id,\"op\":\"burn\",\"busy_ms\":300}" >> "$WORK/burns.ndjson"
+done
+start_server --workers 1 --queue-depth 1
+# No retry within the window: a 503 is a final answer for this phase.
+"$CALL" --port "$PORT" --timeout-ms 60000 --retry-ms 30000 \
+  --out "$WORK/burst.ndjson" "$WORK/burns.ndjson"
+drain_server
+total=$(wc -l < "$WORK/burst.ndjson")
+ok=$(grep -c '"status":200' "$WORK/burst.ndjson" || true)
+rejected=$(grep -c '"status":503' "$WORK/burst.ndjson" || true)
+echo "burst: $total answered, $ok ok, $rejected rejected"
+[ "$total" -eq 12 ] || { echo "serve_load: lost burst responses" >&2; exit 1; }
+[ "$rejected" -ge 1 ] || { echo "serve_load: queue never overflowed" >&2; exit 1; }
+[ "$ok" -ge 1 ] || { echo "serve_load: nothing succeeded under load" >&2; exit 1; }
+[ $((ok + rejected)) -eq 12 ] || {
+  echo "serve_load: unexpected status mix" >&2
+  exit 1
+}
+
+echo "serve_load: OK (seeds: ${SEEDS[*]})"

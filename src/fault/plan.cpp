@@ -16,6 +16,7 @@ const char* site_name(FaultSite s) noexcept {
     case FaultSite::SimLatencySpike: return "sim_latency_spike";
     case FaultSite::SimCoreFail: return "sim_core_fail";
     case FaultSite::SweepPointFail: return "sweep_point_fail";
+    case FaultSite::ServeWorkerFail: return "serve_worker_fail";
   }
   return "unknown";
 }

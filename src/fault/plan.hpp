@@ -30,9 +30,11 @@ enum class FaultSite : std::uint8_t {
   SimCoreFail,      ///< kill a simulated core (replay throws CoreFailure)
   SweepPointFail,   ///< fail a sweep grid-point evaluation (throws
                     ///< SweepPointFailure; key = grid index)
+  ServeWorkerFail,  ///< crash a serve worker mid-request (the supervisor
+                    ///< retries; key = request id)
 };
 
-inline constexpr std::size_t kFaultSiteCount = 9;
+inline constexpr std::size_t kFaultSiteCount = 10;
 
 [[nodiscard]] constexpr std::size_t site_index(FaultSite s) noexcept {
   return static_cast<std::size_t>(s);

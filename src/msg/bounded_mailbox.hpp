@@ -117,19 +117,38 @@ class BoundedMailbox {
   /// Like `receive`, but gives up after `timeout`: returns nullopt when no
   /// message arrived in time. Throws BoundedMailboxClosed once the mailbox is
   /// closed and drained.
+  ///
+  /// Written as an explicit predicate loop over `wait_until` rather than a
+  /// predicated `wait_for`, for two reasons. First, a spurious wakeup can
+  /// never surface as an early nullopt: every wakeup re-tests the real state
+  /// and only an expired deadline with a genuinely empty queue gives up.
+  /// Second, the timeout-vs-close race is decided deliberately: when the
+  /// deadline and a `close()` land together, close wins — the caller gets the
+  /// terminal BoundedMailboxClosed, not a nullopt that invites another wait
+  /// on a mailbox that will never deliver. (Regression-tested against
+  /// concurrent close in tests/msg/test_bounded_mailbox.cpp.)
   template <typename Rep, typename Period>
   [[nodiscard]] std::optional<T> recv_for(
       std::chrono::duration<Rep, Period> timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
     std::unique_lock lock(mutex_);
-    if (!not_empty_.wait_for(lock, timeout,
-                             [&] { return !queue_.empty() || closed_; }))
-      return std::nullopt;
-    if (queue_.empty()) throw BoundedMailboxClosed();
-    T value = std::move(queue_.front());
-    queue_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
-    return value;
+    for (;;) {
+      if (!queue_.empty()) {
+        T value = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return value;
+      }
+      if (closed_) throw BoundedMailboxClosed();
+      if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        // One final predicate check under the lock: a message or a close that
+        // raced the expiring deadline beats the timeout.
+        if (!queue_.empty()) continue;
+        if (closed_) throw BoundedMailboxClosed();
+        return std::nullopt;
+      }
+    }
   }
 
   [[nodiscard]] std::optional<T> try_receive() {

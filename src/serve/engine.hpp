@@ -1,0 +1,87 @@
+#pragma once
+/// \file engine.hpp
+/// \brief `ServeEngine` — the deterministic core of the evaluation server:
+///        one parsed request in, one response line out.
+///
+/// The engine owns what every request shares: the resolved grid
+/// configuration (a `SweepConfig` preset, fixed at startup — the server
+/// prices points of *one* declared grid, so responses are comparable and
+/// cacheable across requests and runs) and the long-lived `CostCache` in its
+/// TTL/admission mode. It knows nothing about sockets, queues, workers, or
+/// deadlines-as-wall-clock — the server layer (server.hpp) owns those and
+/// hands the engine a per-request `CancelToken` that a deadline or drain may
+/// trip; the engine honors it cooperatively between grid points.
+///
+/// Determinism contract: for every request kind except `stats` (which the
+/// server answers itself) and a tripped cancel, `handle()` is a pure
+/// function of (request, grid preset) — same bytes out on every call, under
+/// any concurrency, with any fault plan armed on the *transport* sites.
+/// That is the property the chaos scenario and serve-chaos CI job compare.
+
+#include "api/evaluator.hpp"
+#include "core/cancel.hpp"
+#include "serve/protocol.hpp"
+#include "sweep/cache.hpp"
+#include "sweep/sweep.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace stamp::serve {
+
+struct EngineOptions {
+  /// Grid preset the server prices: "tiny" or "canonical".
+  std::string grid = "tiny";
+  /// Shared-cache policy (sweep/cache.hpp). Defaults: modest bound with
+  /// admission control on — a serving cache is a working set, not a full
+  /// memoization table.
+  std::size_t cache_shards = 16;
+  std::size_t cache_entries_per_shard = 4096;
+  std::chrono::nanoseconds cache_ttl{0};
+  bool cache_admission = true;
+  /// Upper bound on `end - begin` of one sweep_chunk request: a chunk is a
+  /// unit of admission-controlled work, not a whole sweep.
+  std::uint64_t max_chunk_points = 4096;
+};
+
+class ServeEngine {
+ public:
+  /// Throws std::invalid_argument for an unknown grid preset.
+  explicit ServeEngine(const EngineOptions& options);
+
+  /// Execute one request and return its response line (no trailing '\n').
+  /// Never throws for request-shaped problems — those become 400/500
+  /// response lines; `cancel` tripping mid-evaluation becomes 504. `stats`
+  /// requests are the server's to answer and get a 400 here.
+  [[nodiscard]] std::string handle(const ServeRequest& request,
+                                   const core::CancelToken* cancel);
+
+  [[nodiscard]] const sweep::SweepConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::uint64_t grid_points() const noexcept {
+    return grid_points_;
+  }
+  [[nodiscard]] sweep::CostCache& cache() noexcept { return cache_; }
+
+ private:
+  [[nodiscard]] std::string handle_evaluate(const ServeRequest& request,
+                                            const core::CancelToken* cancel);
+  [[nodiscard]] std::string handle_sweep_chunk(const ServeRequest& request,
+                                               const core::CancelToken* cancel);
+  [[nodiscard]] std::string handle_search(const ServeRequest& request,
+                                          const core::CancelToken* cancel);
+  [[nodiscard]] std::string handle_best_placement(const ServeRequest& request);
+  [[nodiscard]] std::string handle_burn(const ServeRequest& request,
+                                        const core::CancelToken* cancel);
+
+  EngineOptions options_;
+  sweep::SweepConfig config_;
+  std::vector<std::string> axis_names_;
+  std::uint64_t grid_points_ = 0;
+  sweep::CostCache cache_;
+  Evaluator evaluator_;
+};
+
+}  // namespace stamp::serve

@@ -1,0 +1,260 @@
+#include "serve/protocol.hpp"
+
+#include "report/json.hpp"
+#include "report/json_parse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace stamp::serve {
+namespace {
+
+using report::JsonValue;
+using report::JsonWriter;
+
+/// A numeric field that must be a non-negative integer (ids, indices,
+/// millisecond durations). JSON numbers are doubles, so "integer" means
+/// integral-valued and exactly representable.
+std::uint64_t require_u64(const JsonValue& obj, std::string_view key,
+                          std::uint64_t fallback, bool required) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) {
+    if (required)
+      throw ProtocolError("missing field '" + std::string(key) + "'");
+    return fallback;
+  }
+  if (v->kind() != JsonValue::Kind::Number)
+    throw ProtocolError("field '" + std::string(key) + "' must be a number");
+  const double d = v->as_number();
+  if (!(d >= 0) || d != std::floor(d) || d > 9.007199254740992e15)
+    throw ProtocolError("field '" + std::string(key) +
+                        "' must be a non-negative integer");
+  return static_cast<std::uint64_t>(d);
+}
+
+SearchMethod parse_method(const JsonValue& obj) {
+  const JsonValue* v = obj.find("method");
+  if (v == nullptr) return SearchMethod::BranchAndBound;
+  if (v->kind() != JsonValue::Kind::String)
+    throw ProtocolError("field 'method' must be a string");
+  const std::string& m = v->as_string();
+  if (m == "bnb") return SearchMethod::BranchAndBound;
+  if (m == "anneal") return SearchMethod::Anneal;
+  if (m == "exhaustive") return SearchMethod::Exhaustive;
+  throw ProtocolError("unknown search method '" + m + "'");
+}
+
+/// The shared point payload: the record exactly as the sweep artifact
+/// serializes it (params keyed by axis name, selected process count,
+/// feasibility, all four metrics), so a serve response and a sweep artifact
+/// agree bit for bit on the same grid point.
+void write_point(JsonWriter& w, std::span<const std::string> axis_names,
+                 const sweep::SweepRecord& record) {
+  w.begin_object();
+  w.kv("index", static_cast<long long>(record.index));
+  w.key("params").begin_object();
+  const std::size_t naxes =
+      std::min(axis_names.size(), record.params.size());
+  for (std::size_t a = 0; a < naxes; ++a)
+    w.kv(axis_names[a], record.params[a]);
+  w.end_object();
+  w.kv("processes", record.processes);
+  w.kv("feasible", record.feasible);
+  w.key("metrics").begin_object();
+  w.kv("D", record.metrics.D);
+  w.kv("PDP", record.metrics.PDP);
+  w.kv("EDP", record.metrics.EDP);
+  w.kv("ED2P", record.metrics.ED2P);
+  w.end_object();
+  w.end_object();
+}
+
+/// Every response opens the same way; key order is part of the schema.
+JsonWriter& begin_response(JsonWriter& w, std::uint64_t id, int status,
+                           RequestKind kind) {
+  w.begin_object();
+  w.kv("schema", kSchema);
+  w.kv("id", static_cast<long long>(id));
+  w.kv("status", status);
+  w.kv("op", to_string(kind));
+  return w;
+}
+
+}  // namespace
+
+std::string_view to_string(RequestKind k) noexcept {
+  switch (k) {
+    case RequestKind::Evaluate: return "evaluate";
+    case RequestKind::SweepChunk: return "sweep_chunk";
+    case RequestKind::Search: return "search";
+    case RequestKind::BestPlacement: return "best_placement";
+    case RequestKind::Burn: return "burn";
+    case RequestKind::Stats: return "stats";
+  }
+  return "unknown";
+}
+
+namespace {
+void parse_body(const JsonValue& root, ServeRequest& req);
+}  // namespace
+
+ServeRequest parse_request(std::string_view line) {
+  JsonValue root;
+  try {
+    root = JsonValue::parse(line);
+  } catch (const report::JsonParseError& e) {
+    throw ProtocolError(std::string("bad JSON: ") + e.what());
+  }
+  if (root.kind() != JsonValue::Kind::Object)
+    throw ProtocolError("request must be a JSON object");
+
+  ServeRequest req;
+  req.id = require_u64(root, "id", 0, /*required=*/true);
+
+  // From here on the id is known: re-tag any parse failure with it so the
+  // 400 line reaches the matching client request instead of id 0.
+  try {
+    parse_body(root, req);
+  } catch (const ProtocolError& e) {
+    throw ProtocolError(e.what(), req.id);
+  }
+  return req;
+}
+
+namespace {
+
+void parse_body(const JsonValue& root, ServeRequest& req) {
+  const JsonValue* op = root.find("op");
+  if (op == nullptr || op->kind() != JsonValue::Kind::String)
+    throw ProtocolError("missing string field 'op'");
+  const std::string& name = op->as_string();
+  if (name == "evaluate") {
+    req.kind = RequestKind::Evaluate;
+    req.index = require_u64(root, "index", 0, /*required=*/true);
+  } else if (name == "sweep_chunk") {
+    req.kind = RequestKind::SweepChunk;
+    req.begin = require_u64(root, "begin", 0, /*required=*/true);
+    req.end = require_u64(root, "end", 0, /*required=*/true);
+  } else if (name == "search") {
+    req.kind = RequestKind::Search;
+    req.method = parse_method(root);
+    req.seed = require_u64(root, "seed", 1, /*required=*/false);
+  } else if (name == "best_placement") {
+    req.kind = RequestKind::BestPlacement;
+    const std::uint64_t n =
+        require_u64(root, "processes", 0, /*required=*/true);
+    if (n == 0 || n > 100000)
+      throw ProtocolError("field 'processes' must be in [1, 100000]");
+    req.processes = static_cast<int>(n);
+  } else if (name == "burn") {
+    req.kind = RequestKind::Burn;
+    req.busy_ms = require_u64(root, "busy_ms", 0, /*required=*/false);
+  } else if (name == "stats") {
+    req.kind = RequestKind::Stats;
+  } else {
+    throw ProtocolError("unknown op '" + name + "'");
+  }
+  req.deadline_ms = require_u64(root, "deadline_ms", 0, /*required=*/false);
+}
+
+}  // namespace
+
+std::string ok_evaluate(std::uint64_t id,
+                        std::span<const std::string> axis_names,
+                        const sweep::SweepRecord& record) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  begin_response(w, id, 200, RequestKind::Evaluate);
+  w.key("point");
+  write_point(w, axis_names, record);
+  w.end_object();
+  return os.str();
+}
+
+std::string ok_sweep_chunk(std::uint64_t id,
+                           std::span<const std::string> axis_names,
+                           std::uint64_t begin,
+                           std::span<const sweep::SweepRecord> records) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  begin_response(w, id, 200, RequestKind::SweepChunk);
+  w.kv("begin", static_cast<long long>(begin));
+  w.kv("end", static_cast<long long>(begin + records.size()));
+  w.key("points").begin_array();
+  for (const sweep::SweepRecord& rec : records)
+    write_point(w, axis_names, rec);
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+std::string ok_search(std::uint64_t id,
+                      std::span<const std::string> axis_names,
+                      const SearchResult& result) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  begin_response(w, id, 200, RequestKind::Search);
+  w.kv("method", to_string(result.method));
+  w.kv("seed", static_cast<long long>(result.seed));
+  w.kv("grid_points", static_cast<long long>(result.grid_points));
+  w.kv("found", result.found);
+  if (result.found) {
+    w.key("best");
+    write_point(w, axis_names, result.best);
+  }
+  w.key("stats").begin_object();
+  w.kv("nodes_expanded", static_cast<long long>(result.stats.nodes_expanded));
+  w.kv("nodes_pruned", static_cast<long long>(result.stats.nodes_pruned));
+  w.kv("leaf_blocks", static_cast<long long>(result.stats.leaf_blocks));
+  w.kv("points_evaluated",
+       static_cast<long long>(result.stats.points_evaluated));
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+std::string ok_best_placement(std::uint64_t id, int processes,
+                              const PlacementResult& result) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  begin_response(w, id, 200, RequestKind::BestPlacement);
+  w.kv("processes", processes);
+  w.kv("strategy", result.strategy);
+  w.kv("objective_value", result.eval.objective);
+  w.kv("feasible", result.eval.feasible);
+  w.key("total").begin_object();
+  w.kv("time", result.eval.total.time);
+  w.kv("energy", result.eval.total.energy);
+  w.end_object();
+  w.kv("placements_examined", result.placements_examined);
+  w.key("processor_of").begin_array();
+  for (const int p : result.eval.placement.processor_of) w.value(p);
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+std::string ok_burn(std::uint64_t id, std::uint64_t busy_ms) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  begin_response(w, id, 200, RequestKind::Burn);
+  w.kv("busy_ms", static_cast<long long>(busy_ms));
+  w.end_object();
+  return os.str();
+}
+
+std::string error_response(std::uint64_t id, int status,
+                           std::string_view message) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", kSchema);
+  w.kv("id", static_cast<long long>(id));
+  w.kv("status", status);
+  w.kv("error", message);
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace stamp::serve

@@ -1,0 +1,109 @@
+#pragma once
+/// \file protocol.hpp
+/// \brief The `stamp-serve/v1` wire protocol: newline-delimited JSON
+///        requests and responses, parsed with `report::JsonValue` and
+///        emitted with `report::JsonWriter`.
+///
+/// One request per line, one response line per request. Responses carry the
+/// request's `id` (clients pipeline and match on it), an HTTP-flavoured
+/// `status`, and a fixed key order — the response for a given request is a
+/// pure function of the request and the server's grid configuration, byte
+/// for byte, which is what the chaos harness and the serve-chaos CI job
+/// `cmp` against an uninjected run.
+///
+/// Requests:
+///   {"id":1,"op":"evaluate","index":5}
+///   {"id":2,"op":"sweep_chunk","begin":0,"end":16}
+///   {"id":3,"op":"search","method":"bnb","seed":7}
+///   {"id":4,"op":"best_placement","processes":8}
+///   {"id":5,"op":"burn","busy_ms":50}          (load generator)
+///   {"id":6,"op":"stats"}                      (not byte-stable; excluded
+///                                               from identity checks)
+/// Any request may add "deadline_ms" to override the server default.
+///
+/// Statuses: 200 ok · 400 bad request · 500 internal error ·
+/// 503 overloaded / draining (admission control) · 504 deadline exceeded.
+
+#include "api/search_types.hpp"
+#include "core/placement.hpp"
+#include "sweep/sweep.hpp"
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stamp::serve {
+
+inline constexpr std::string_view kSchema = "stamp-serve/v1";
+
+/// Thrown by `parse_request` on malformed input; the message becomes the
+/// 400 response body. Carries the request id when the line got far enough to
+/// have one, so the error response still reaches the right client request
+/// (a pipelining client matches responses by id; an id-less 400 would leave
+/// it retrying a request the server will never accept).
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what, std::uint64_t id = 0)
+      : std::runtime_error(what), id_(id) {}
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  std::uint64_t id_ = 0;
+};
+
+enum class RequestKind {
+  Evaluate,
+  SweepChunk,
+  Search,
+  BestPlacement,
+  Burn,
+  Stats,
+};
+
+[[nodiscard]] std::string_view to_string(RequestKind k) noexcept;
+
+/// One parsed request. Fields beyond `id`/`kind` are meaningful per kind.
+struct ServeRequest {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::Evaluate;
+  std::uint64_t index = 0;             ///< evaluate: grid index
+  std::uint64_t begin = 0;             ///< sweep_chunk: first grid index
+  std::uint64_t end = 0;               ///< sweep_chunk: one past the last
+  SearchMethod method = SearchMethod::BranchAndBound;  ///< search
+  std::uint64_t seed = 1;              ///< search
+  int processes = 1;                   ///< best_placement
+  std::uint64_t busy_ms = 0;           ///< burn: how long to occupy a worker
+  std::uint64_t deadline_ms = 0;       ///< 0 = server default
+};
+
+/// Parse one request line. Throws ProtocolError on anything malformed (bad
+/// JSON, unknown op, missing or mistyped fields, non-integral numbers).
+[[nodiscard]] ServeRequest parse_request(std::string_view line);
+
+// -- responses (each returns one line WITHOUT the trailing '\n') -------------
+
+[[nodiscard]] std::string ok_evaluate(std::uint64_t id,
+                                      std::span<const std::string> axis_names,
+                                      const sweep::SweepRecord& record);
+
+[[nodiscard]] std::string ok_sweep_chunk(
+    std::uint64_t id, std::span<const std::string> axis_names,
+    std::uint64_t begin, std::span<const sweep::SweepRecord> records);
+
+[[nodiscard]] std::string ok_search(std::uint64_t id,
+                                    std::span<const std::string> axis_names,
+                                    const SearchResult& result);
+
+[[nodiscard]] std::string ok_best_placement(std::uint64_t id, int processes,
+                                            const PlacementResult& result);
+
+[[nodiscard]] std::string ok_burn(std::uint64_t id, std::uint64_t busy_ms);
+
+/// An error line: {"schema":...,"id":N,"status":S,"error":"..."}.
+[[nodiscard]] std::string error_response(std::uint64_t id, int status,
+                                         std::string_view message);
+
+}  // namespace stamp::serve

@@ -1,0 +1,10 @@
+#pragma once
+/// \file serve.hpp
+/// \brief Umbrella header for the serving layer: socket plumbing, the
+///        stamp-serve/v1 protocol, the deterministic request engine, and the
+///        supervised server.
+
+#include "serve/engine.hpp"    // IWYU pragma: export
+#include "serve/protocol.hpp"  // IWYU pragma: export
+#include "serve/server.hpp"    // IWYU pragma: export
+#include "serve/socket.hpp"    // IWYU pragma: export

@@ -1,0 +1,198 @@
+#include "serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace stamp::serve {
+namespace {
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+/// poll one fd for readability; true when readable, false on timeout.
+/// EINTR restarts the wait (a SIGINT mid-poll is drain business, not EOF).
+bool poll_readable(int fd, int timeout_ms) {
+  for (;;) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return true;  // surface the error via the read
+  }
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket Socket::connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Socket{};
+  const sockaddr_in addr = loopback(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    ::close(fd);
+    return Socket{};
+  }
+  // Requests are single small lines that want answering now, not batching.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket(fd);
+}
+
+Socket::ReadStatus Socket::read_line(std::string& out, int timeout_ms,
+                                     std::size_t max_line) {
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      out.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return ReadStatus::Line;
+    }
+    if (buffer_.size() > max_line) return ReadStatus::Error;
+    if (fd_ < 0) return ReadStatus::Error;
+    if (!poll_readable(fd_, timeout_ms)) return ReadStatus::Timeout;
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::read(fd_, chunk, sizeof chunk);
+    } while (n < 0 && errno == EINTR);
+    if (n == 0) return buffer_.empty() ? ReadStatus::Eof : ReadStatus::Error;
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return ReadStatus::Error;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool Socket::write_all(std::string_view data) {
+  if (fd_ < 0) return false;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n;
+    do {
+      // MSG_NOSIGNAL: a vanished peer is a false return, never a SIGPIPE —
+      // the server must not depend on the tool having ignored the signal.
+      n = ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener Listener::open(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("serve: socket() failed: ") +
+                             std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  const sockaddr_in addr = loopback(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string what =
+        std::string("serve: bind(127.0.0.1:") + std::to_string(port) +
+        ") failed: " + std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error(what);
+  }
+  if (::listen(fd, backlog) < 0) {
+    const std::string what =
+        std::string("serve: listen() failed: ") + std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error(what);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const std::string what =
+        std::string("serve: getsockname() failed: ") + std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error(what);
+  }
+  Listener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+std::optional<Socket> Listener::accept_for(int timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  if (!poll_readable(fd_, timeout_ms)) return std::nullopt;
+  int fd;
+  do {
+    fd = ::accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return std::nullopt;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket(fd);
+}
+
+}  // namespace stamp::serve

@@ -1,0 +1,109 @@
+#pragma once
+/// \file socket.hpp
+/// \brief Minimal RAII TCP plumbing for the evaluation server — loopback
+///        only, line-oriented, poll-based timeouts.
+///
+/// The serve protocol (protocol.hpp) is newline-delimited JSON, so the
+/// socket layer exposes exactly two operations: read one '\n'-terminated
+/// line (buffered, with a poll timeout so reader threads can notice a drain
+/// request without being parked in `read(2)` forever) and write a whole
+/// buffer (looped over partial writes and EINTR). Everything binds to
+/// 127.0.0.1 — the server is an in-host evaluation sidecar, not an
+/// internet-facing daemon — and `port 0` requests an ephemeral port the
+/// caller reads back via `local_port()`, which is what lets tests and CI run
+/// many servers concurrently without coordinating port numbers.
+///
+/// Timeouts use `poll(2)` rather than socket options so a single Socket can
+/// mix waits of different lengths, and so EINTR (signals are part of the
+/// drain path) never turns into a spurious EOF.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace stamp::serve {
+
+/// One connected TCP stream, owned. Move-only; the destructor closes.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Connect to 127.0.0.1:`port`. Returns an invalid Socket on failure.
+  [[nodiscard]] static Socket connect_to(std::uint16_t port);
+
+  /// One step of reading a line: what happened within the timeout.
+  enum class ReadStatus {
+    Line,     ///< `out` holds one complete line (without the '\n')
+    Timeout,  ///< nothing arrived within the poll timeout; call again
+    Eof,      ///< peer closed cleanly with no partial line pending
+    Error,    ///< read error (or a partial line truncated by EOF)
+  };
+
+  /// Read the next newline-terminated line, waiting at most `timeout_ms`
+  /// for *progress* (each poll wakeup restarts the wait — a deadline is the
+  /// caller's loop, which is the point: the loop checks the drain flag).
+  /// Lines longer than `max_line` bytes are an Error, not a hang: a
+  /// misbehaving client cannot balloon server memory.
+  [[nodiscard]] ReadStatus read_line(std::string& out, int timeout_ms,
+                                     std::size_t max_line = 1 << 20);
+
+  /// Write the whole buffer, looping over partial writes and EINTR.
+  /// False on any write error (peer gone, EPIPE); the connection is then
+  /// useless and the caller should drop it.
+  [[nodiscard]] bool write_all(std::string_view data);
+
+  /// `shutdown(2)` both directions: a reader blocked in poll on this socket
+  /// wakes up with EOF. Used by drain to unstick connection readers.
+  void shutdown_both() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received but not yet returned as lines
+};
+
+/// A listening TCP socket on 127.0.0.1. Move-only.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind + listen on 127.0.0.1:`port` (0 = ephemeral). Throws
+  /// std::runtime_error with the errno text on failure — a server that
+  /// cannot bind must fail loudly at startup, not limp.
+  [[nodiscard]] static Listener open(std::uint16_t port, int backlog = 64);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// The bound port (resolves an ephemeral request to the real number).
+  [[nodiscard]] std::uint16_t local_port() const noexcept { return port_; }
+
+  /// Wait up to `timeout_ms` for one connection. nullopt on timeout or on a
+  /// transient accept error — the accept loop just polls again, which is
+  /// how it periodically notices the drain flag.
+  [[nodiscard]] std::optional<Socket> accept_for(int timeout_ms);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace stamp::serve

@@ -53,6 +53,41 @@ CostCache::CostCache(std::size_t shards, std::size_t max_entries_per_shard)
     shards_.push_back(std::make_unique<Shard>());
 }
 
+CostCache::CostCache(const CacheOptions& options)
+    : CostCache(options.shards, options.max_entries_per_shard) {
+  if (options.ttl.count() > 0)
+    ttl_ns_ = static_cast<std::uint64_t>(options.ttl.count());
+  admission_ = options.admission && max_entries_per_shard_ > 0;
+  clock_ = options.now_ns;
+}
+
+std::uint64_t CostCache::now_ns() const {
+  if (clock_) return clock_();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool CostCache::door_admit_locked(Shard& shard, std::uint64_t hash) {
+  if (shard.door.empty()) {
+    // Direct-mapped, sized ~2x the shard bound: collisions merely admit a
+    // key one miss early, which is a policy softening, never a correctness
+    // issue — and the mapping is deterministic for the admission tests.
+    std::size_t cap = kInitialSlots;
+    while (cap < max_entries_per_shard_ * 2) cap *= 2;
+    shard.door.assign(cap, 0);
+  }
+  const std::size_t idx = probe_start(hash, shard.door.size() - 1);
+  const std::uint64_t tag = hash | 1ull;
+  if (shard.door[idx] == tag) {
+    shard.door[idx] = 0;  // admitted: the slot is free for the next newcomer
+    return true;
+  }
+  shard.door[idx] = tag;
+  return false;
+}
+
 std::uint64_t CostCache::hash_key(std::span<const double> key) {
   // Length-seeded so a tuple and its prefix never hash alike.
   std::uint64_t h = mix64(0x5354414D50ull ^ key.size());  // "STAMP"
@@ -130,7 +165,7 @@ void CostCache::evict_oldest_locked(Shard& shard) {
 
 PointCost CostCache::insert_locked(Shard& shard, std::uint64_t hash,
                                    std::span<const double> key,
-                                   const PointCost& value) {
+                                   const PointCost& value, std::uint64_t now) {
   if (max_entries_per_shard_ > 0 && shard.live >= max_entries_per_shard_)
     evict_oldest_locked(shard);
 
@@ -168,6 +203,7 @@ PointCost CostCache::insert_locked(Shard& shard, std::uint64_t hash,
   Entry& e = shard.entries[static_cast<std::size_t>(entry_index)];
   e.hash = hash;
   e.value = value;
+  e.stamp = now;
   double* stored = shard.key_arena.data() + e.key_offset;
   for (std::size_t i = 0; i < key.size(); ++i)
     stored[i] = key[i] == 0.0 ? 0.0 : key[i];  // store canonicalized
@@ -214,14 +250,20 @@ PointCost CostCache::get_or_compute(std::span<const double> key,
                                     core::function_ref<PointCost()> compute) {
   const std::uint64_t hash = hash_key(key);  // validates the tuple
   Shard& shard = shard_for(hash);
+  const bool ttl_armed = ttl_ns_ > 0;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     const std::int32_t found = find_locked(shard, hash, key);
     if (found >= 0) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      if (obs::metrics_enabled())
-        obs::MetricsRegistry::global().counter("cache.hits").add();
-      return shard.entries[static_cast<std::size_t>(found)].value;
+      const Entry& e = shard.entries[static_cast<std::size_t>(found)];
+      if (!ttl_armed || !stale(e, now_ns())) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metrics_enabled())
+          obs::MetricsRegistry::global().counter("cache.hits").add();
+        return e.value;
+      }
+      // Stale: fall through and recompute; the entry is refreshed in place
+      // below (or by a racing thread, in which case we take its hit).
     }
   }
   PointCost value;
@@ -236,15 +278,43 @@ PointCost CostCache::get_or_compute(std::span<const double> key,
   // while its stale twin survives — the drift this accounting forbids).
   const std::int32_t found = find_locked(shard, hash, key);
   if (found >= 0) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    if (obs::metrics_enabled())
-      obs::MetricsRegistry::global().counter("cache.hits").add();
-    return shard.entries[static_cast<std::size_t>(found)].value;
+    Entry& e = shard.entries[static_cast<std::size_t>(found)];
+    const std::uint64_t now = ttl_armed ? now_ns() : 0;
+    if (!ttl_armed || !stale(e, now)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::metrics_enabled())
+        obs::MetricsRegistry::global().counter("cache.hits").add();
+      return e.value;
+    }
+    // Still stale under the lock: refresh in place. Exactly one thread per
+    // refresh reaches this line (a racing loser re-probes, sees the fresh
+    // stamp, and counts a hit above), so `expirations` stays exact.
+    e.value = value;
+    e.stamp = now;
+    expirations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metrics_enabled()) {
+      obs::MetricsRegistry::global().counter("cache.expirations").add();
+      obs::MetricsRegistry::global().counter("cache.misses").add();
+    }
+    return e.value;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   if (obs::metrics_enabled())
     obs::MetricsRegistry::global().counter("cache.misses").add();
-  return insert_locked(shard, hash, key, value);
+  if (admission_ && shard.live >= max_entries_per_shard_ &&
+      !door_admit_locked(shard, hash)) {
+    // Turned away: the caller still gets the computed value, the working
+    // set keeps its slot, and the key is remembered for a second chance.
+    admission_rejections_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metrics_enabled())
+      obs::MetricsRegistry::global()
+          .counter("cache.admission_rejections")
+          .add();
+    return value;
+  }
+  return insert_locked(shard, hash, key, value,
+                       ttl_armed ? now_ns() : 0);
 }
 
 std::uint64_t CostCache::hits() const noexcept {
@@ -257,6 +327,14 @@ std::uint64_t CostCache::misses() const noexcept {
 
 std::uint64_t CostCache::evictions() const noexcept {
   return evictions_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CostCache::expirations() const noexcept {
+  return expirations_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t CostCache::admission_rejections() const noexcept {
+  return admission_rejections_.load(std::memory_order_relaxed);
 }
 
 std::size_t CostCache::entry_capacity() const {
@@ -289,10 +367,13 @@ void CostCache::clear() {
     s->fifo.clear();
     s->fifo_head = 0;
     s->fifo_size = 0;
+    s->door.clear();
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
+  expirations_.store(0, std::memory_order_relaxed);
+  admission_rejections_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace stamp::sweep

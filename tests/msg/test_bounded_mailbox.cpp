@@ -148,6 +148,71 @@ TEST(BoundedMailbox, RecvForDrainsThenThrowsAfterClose) {
                BoundedMailboxClosed);
 }
 
+// Regression for the timeout-vs-arrival race in recv_for: a message (or a
+// close) that lands exactly as the deadline expires must beat the timeout.
+// The old predicate-form wait could wake on the deadline, skip the final
+// queue check, and report nullopt with a message sitting in the queue — a
+// lost wakeup the serve drain path turns into a dropped request. The loop
+// now re-checks the queue and the closed flag under the lock after a
+// timed-out wait; this test hammers that window: a receiver with a tiny
+// timeout races a sender timed to land on it, and every message must be
+// either delivered or still in the queue — never both lost and queued.
+TEST(BoundedMailbox, RecvForTimeoutRacingSendNeverLosesTheMessage) {
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedMailbox<int> box(1);
+    std::atomic<bool> go{false};
+    std::thread sender([&] {
+      while (!go.load(std::memory_order_acquire)) {}
+      box.send(round);
+    });
+    go.store(true, std::memory_order_release);
+    // A 0ms wait expires immediately: the wait_until returns timeout on
+    // nearly every round, so the final under-lock re-check is what must
+    // find any message that squeaked in.
+    const auto v = box.recv_for(std::chrono::milliseconds(0));
+    sender.join();
+    if (v.has_value()) {
+      EXPECT_EQ(*v, round);
+      EXPECT_EQ(box.size(), 0u);
+    } else {
+      // Timed out before the send landed: the message must still be there.
+      EXPECT_EQ(box.receive(), round);
+    }
+  }
+}
+
+// The companion race: close() arriving on the expiring deadline must surface
+// as BoundedMailboxClosed (the drain signal), not as a silent timeout the
+// receiver would misread as "try again" against a dead mailbox.
+TEST(BoundedMailbox, RecvForTimeoutRacingCloseThrowsNotTimesOut) {
+  constexpr int kRounds = 200;
+  int closed_seen = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedMailbox<int> box(1);
+    std::atomic<bool> go{false};
+    std::thread closer([&] {
+      while (!go.load(std::memory_order_acquire)) {}
+      box.close();
+    });
+    go.store(true, std::memory_order_release);
+    try {
+      // A nullopt here means the final under-lock check saw the mailbox
+      // still open; close() must have landed after recv_for returned. Either
+      // way an empty optional is only ever "open at timeout", never a
+      // swallowed close.
+      EXPECT_FALSE(box.recv_for(std::chrono::milliseconds(0)).has_value());
+    } catch (const BoundedMailboxClosed&) {
+      ++closed_seen;
+    }
+    closer.join();
+    EXPECT_TRUE(box.closed());
+  }
+  // Both outcomes are timing-dependent, but across 200 rounds the close must
+  // win at least once — otherwise the race under test never happened.
+  EXPECT_GT(closed_seen, 0);
+}
+
 TEST(BoundedMailbox, CloseDrainsThenThrows) {
   BoundedMailbox<int> box(2);
   box.send(7);

@@ -1,0 +1,118 @@
+// The deterministic request engine: for every op except stats, the response
+// line is a pure function of (request, grid preset). These tests pin that
+// purity (two engines, same bytes), the 400/504 error mapping, and the
+// chunk-bound guardrail.
+
+#include "serve/engine.hpp"
+
+#include "core/cancel.hpp"
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace stamp::serve {
+namespace {
+
+ServeRequest req(const std::string& line) { return parse_request(line); }
+
+TEST(ServeEngine, UnknownGridPresetThrowsAtConstruction) {
+  EngineOptions options;
+  options.grid = "gargantuan";
+  EXPECT_THROW(ServeEngine{options}, std::invalid_argument);
+}
+
+TEST(ServeEngine, ResponsesArePureFunctionsOfTheRequest) {
+  ServeEngine a{EngineOptions{}};
+  ServeEngine b{EngineOptions{}};
+  for (const char* line : {
+           R"({"id":1,"op":"evaluate","index":0})",
+           R"({"id":2,"op":"sweep_chunk","begin":0,"end":16})",
+           R"({"id":3,"op":"search","method":"bnb","seed":7})",
+           R"({"id":4,"op":"search","method":"anneal","seed":9})",
+           R"({"id":5,"op":"best_placement","processes":8})",
+       }) {
+    const std::string first = a.handle(req(line), nullptr);
+    EXPECT_EQ(first, a.handle(req(line), nullptr)) << line;  // repeat, warm
+    EXPECT_EQ(first, b.handle(req(line), nullptr)) << line;  // twin engine
+    EXPECT_NE(first.find("\"status\":200"), std::string::npos) << first;
+  }
+}
+
+TEST(ServeEngine, EvaluateMatchesTheChunkPath) {
+  ServeEngine engine{EngineOptions{}};
+  // The single-point op and the one-point chunk must price identically; the
+  // chunk response embeds the same point object.
+  const std::string point =
+      engine.handle(req(R"({"id":1,"op":"evaluate","index":3})"), nullptr);
+  const std::string chunk = engine.handle(
+      req(R"({"id":1,"op":"sweep_chunk","begin":3,"end":4})"), nullptr);
+  const auto brace = point.find("\"point\":");
+  ASSERT_NE(brace, std::string::npos);
+  const std::string body = point.substr(brace + 8);  // {...}}
+  EXPECT_NE(chunk.find(body.substr(0, body.size() - 1)), std::string::npos)
+      << "\npoint: " << point << "\nchunk: " << chunk;
+}
+
+TEST(ServeEngine, OutOfRangeRequestsAnswer400) {
+  ServeEngine engine{EngineOptions{}};  // tiny grid: 16 points
+  for (const char* line : {
+           R"({"id":1,"op":"evaluate","index":16})",
+           R"({"id":2,"op":"sweep_chunk","begin":4,"end":3})",
+           R"({"id":3,"op":"sweep_chunk","begin":0,"end":17})",
+       }) {
+    const std::string got = engine.handle(req(line), nullptr);
+    EXPECT_NE(got.find("\"status\":400"), std::string::npos) << got;
+  }
+}
+
+TEST(ServeEngine, OversizedChunksAnswer400) {
+  EngineOptions options;
+  options.max_chunk_points = 4;
+  ServeEngine engine{options};
+  const std::string ok = engine.handle(
+      req(R"({"id":1,"op":"sweep_chunk","begin":0,"end":4})"), nullptr);
+  EXPECT_NE(ok.find("\"status\":200"), std::string::npos);
+  const std::string too_big = engine.handle(
+      req(R"({"id":1,"op":"sweep_chunk","begin":0,"end":5})"), nullptr);
+  EXPECT_NE(too_big.find("\"status\":400"), std::string::npos);
+  EXPECT_NE(too_big.find("chunk too large"), std::string::npos);
+}
+
+TEST(ServeEngine, StatsIsNotAnEngineOp) {
+  ServeEngine engine{EngineOptions{}};
+  const std::string got =
+      engine.handle(req(R"({"id":1,"op":"stats"})"), nullptr);
+  EXPECT_NE(got.find("\"status\":400"), std::string::npos);
+}
+
+TEST(ServeEngine, TrippedCancelAnswers504) {
+  ServeEngine engine{EngineOptions{}};
+  core::CancelToken cancel;
+  cancel.request_cancel();
+  for (const char* line : {
+           R"({"id":1,"op":"evaluate","index":0})",
+           R"({"id":2,"op":"sweep_chunk","begin":0,"end":16})",
+           R"({"id":3,"op":"search"})",
+           R"({"id":4,"op":"burn","busy_ms":10000})",
+       }) {
+    const std::string got = engine.handle(req(line), &cancel);
+    EXPECT_NE(got.find("\"status\":504"), std::string::npos) << got;
+  }
+}
+
+TEST(ServeEngine, SharedCacheServesRepeatedRequests) {
+  ServeEngine engine{EngineOptions{}};
+  (void)engine.handle(req(R"({"id":1,"op":"sweep_chunk","begin":0,"end":16})"),
+                      nullptr);
+  const std::uint64_t misses = engine.cache().misses();
+  (void)engine.handle(req(R"({"id":2,"op":"sweep_chunk","begin":0,"end":16})"),
+                      nullptr);
+  EXPECT_EQ(engine.cache().misses(), misses);  // all hits the second time
+  EXPECT_GT(engine.cache().hits(), 0u);
+}
+
+}  // namespace
+}  // namespace stamp::serve

@@ -1,0 +1,124 @@
+// The stamp-serve/v1 wire protocol: request parsing (strict — anything
+// malformed is a ProtocolError carrying the request id once one was read)
+// and response building (fixed key order, canonical numbers, one line, no
+// trailing newline — the byte-identity contract the chaos harness cmp's).
+
+#include "serve/protocol.hpp"
+
+#include "report/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace stamp::serve {
+namespace {
+
+TEST(Protocol, ParsesEveryOpWithItsFields) {
+  const ServeRequest ev = parse_request(R"({"id":1,"op":"evaluate","index":5})");
+  EXPECT_EQ(ev.id, 1u);
+  EXPECT_EQ(ev.kind, RequestKind::Evaluate);
+  EXPECT_EQ(ev.index, 5u);
+
+  const ServeRequest ch =
+      parse_request(R"({"id":2,"op":"sweep_chunk","begin":3,"end":9})");
+  EXPECT_EQ(ch.kind, RequestKind::SweepChunk);
+  EXPECT_EQ(ch.begin, 3u);
+  EXPECT_EQ(ch.end, 9u);
+
+  const ServeRequest se =
+      parse_request(R"({"id":3,"op":"search","method":"anneal","seed":7})");
+  EXPECT_EQ(se.kind, RequestKind::Search);
+  EXPECT_EQ(se.method, SearchMethod::Anneal);
+  EXPECT_EQ(se.seed, 7u);
+
+  const ServeRequest bp =
+      parse_request(R"({"id":4,"op":"best_placement","processes":8})");
+  EXPECT_EQ(bp.kind, RequestKind::BestPlacement);
+  EXPECT_EQ(bp.processes, 8);
+
+  const ServeRequest burn =
+      parse_request(R"({"id":5,"op":"burn","busy_ms":50})");
+  EXPECT_EQ(burn.kind, RequestKind::Burn);
+  EXPECT_EQ(burn.busy_ms, 50u);
+
+  const ServeRequest st = parse_request(R"({"id":6,"op":"stats"})");
+  EXPECT_EQ(st.kind, RequestKind::Stats);
+}
+
+TEST(Protocol, SearchDefaultsAndDeadlineOverride) {
+  const ServeRequest se = parse_request(R"({"id":1,"op":"search"})");
+  EXPECT_EQ(se.method, SearchMethod::BranchAndBound);
+  EXPECT_EQ(se.seed, 1u);
+  EXPECT_EQ(se.deadline_ms, 0u);
+
+  const ServeRequest with_deadline =
+      parse_request(R"({"id":1,"op":"stats","deadline_ms":250})");
+  EXPECT_EQ(with_deadline.deadline_ms, 250u);
+}
+
+TEST(Protocol, MalformedRequestsThrow) {
+  EXPECT_THROW((void)parse_request("not json"), ProtocolError);
+  EXPECT_THROW((void)parse_request("[1,2]"), ProtocolError);
+  EXPECT_THROW((void)parse_request(R"({"op":"stats"})"), ProtocolError);
+  EXPECT_THROW((void)parse_request(R"({"id":1.5,"op":"stats"})"),
+               ProtocolError);
+  EXPECT_THROW((void)parse_request(R"({"id":-1,"op":"stats"})"),
+               ProtocolError);
+  EXPECT_THROW((void)parse_request(R"({"id":1})"), ProtocolError);
+  EXPECT_THROW((void)parse_request(R"({"id":1,"op":"evaluate"})"),
+               ProtocolError);
+  EXPECT_THROW((void)parse_request(R"({"id":1,"op":"sweep_chunk","begin":0})"),
+               ProtocolError);
+  EXPECT_THROW(
+      (void)parse_request(R"({"id":1,"op":"search","method":"psychic"})"),
+      ProtocolError);
+  EXPECT_THROW(
+      (void)parse_request(R"({"id":1,"op":"best_placement","processes":0})"),
+      ProtocolError);
+  EXPECT_THROW(
+      (void)parse_request(
+          R"({"id":1,"op":"best_placement","processes":100001})"),
+      ProtocolError);
+}
+
+// Once the id has been read, later parse failures carry it — the 400 line
+// must reach the matching pipelined request, not id 0.
+TEST(Protocol, ErrorsAfterTheIdCarryTheId) {
+  try {
+    (void)parse_request(R"({"id":42,"op":"warp"})");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.id(), 42u);
+  }
+  // But errors before the id (no id at all) report id 0.
+  try {
+    (void)parse_request(R"({"op":"stats"})");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.id(), 0u);
+  }
+}
+
+TEST(Protocol, ErrorResponseShapeAndRoundTrip) {
+  const std::string line = error_response(9, 503, "overloaded");
+  EXPECT_EQ(line,
+            R"({"schema":"stamp-serve/v1","id":9,"status":503,"error":"overloaded"})");
+  // Every response must parse back through the project's own JSON parser.
+  const auto root = report::JsonValue::parse(line);
+  EXPECT_EQ(root.find("status")->as_number(), 503.0);
+}
+
+TEST(Protocol, OkBurnShape) {
+  EXPECT_EQ(
+      ok_burn(3, 25),
+      R"({"schema":"stamp-serve/v1","id":3,"status":200,"op":"burn","busy_ms":25})");
+}
+
+TEST(Protocol, ResponsesAreSingleLines) {
+  const std::string line = error_response(1, 400, "nope");
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stamp::serve

@@ -107,6 +107,28 @@ TEST(Batch, DuplicateAxisValuesHitTheCacheWithoutChangingRecords) {
     EXPECT_EQ(r.records[i], evaluate_point_reference(cfg, i)) << "index " << i;
 }
 
+// The TTL/admission cache mode must be invisible to sweeps: a batch run
+// through a CacheOptions-constructed cache with the defaults (no TTL, no
+// admission) reproduces the classic sweep records bit for bit — this is the
+// in-process half of the CI gate that `cmp`s a fresh canonical sweep against
+// sweeps/baseline.json.
+TEST(Batch, CacheOptionsDefaultsLeaveSweepRecordsBitIdentical) {
+  const SweepConfig cfg = SweepConfig::tiny();
+  const SweepResult classic = run_sweep_serial(cfg);
+
+  CostCache cache{CacheOptions{}};
+  std::vector<SweepRecord> records(cfg.grid.size());
+  const SweepOptions options;
+  BatchEvaluator evaluator(cfg, cache, options);
+  (void)evaluator.run_range(0, cfg.grid.size(), records, /*fail_fast=*/true,
+                            nullptr, nullptr);
+  ASSERT_EQ(records.size(), classic.records.size());
+  for (std::size_t i = 0; i < records.size(); ++i)
+    EXPECT_EQ(records[i], classic.records[i]) << "index " << i;
+  EXPECT_EQ(cache.expirations(), 0u);
+  EXPECT_EQ(cache.admission_rejections(), 0u);
+}
+
 // Resume byte-identity through the batch path: journal half the points of an
 // uninterrupted run, resume against that journal at several pool widths, and
 // require the artifact bytes (not just the records) to be identical to the

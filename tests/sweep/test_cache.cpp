@@ -248,6 +248,179 @@ TEST(Cache, MixedArityEvictionReusesFreedEntries) {
   EXPECT_LE(cache.entry_capacity(), 3u);
 }
 
+// ---- TTL / admission mode (CacheOptions) -----------------------------------
+
+// The injectable clock for TTL tests: a plain function pointer, so the
+// current time lives in a global the test advances explicitly.
+std::atomic<std::uint64_t> g_fake_now_ns{0};
+std::uint64_t fake_now_ns() { return g_fake_now_ns.load(); }
+
+CacheOptions ttl_options(std::uint64_t ttl_ns) {
+  CacheOptions options;
+  options.shards = 1;
+  options.ttl = std::chrono::nanoseconds(ttl_ns);
+  options.now_ns = &fake_now_ns;
+  return options;
+}
+
+TEST(Cache, TtlStaleEntryIsRefreshedInPlace) {
+  g_fake_now_ns = 0;
+  CostCache cache{ttl_options(100)};
+  int computes = 0;
+  const std::vector<double> key{1, 2};
+  auto compute = [&] {
+    ++computes;
+    return PointCost{{double(computes), 0}, true, 1};
+  };
+
+  EXPECT_EQ(cache.get_or_compute(key, compute).cost.time, 1.0);
+  g_fake_now_ns = 100;  // age == ttl: still fresh (stale is age > ttl)
+  EXPECT_EQ(cache.get_or_compute(key, compute).cost.time, 1.0);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  g_fake_now_ns = 101;  // one past: stale, recomputed and refreshed in place
+  EXPECT_EQ(cache.get_or_compute(key, compute).cost.time, 2.0);
+  EXPECT_EQ(cache.expirations(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.entry_capacity(), 1u);  // same entry record, not a new one
+
+  // The refresh re-arms the TTL from the refresh time.
+  g_fake_now_ns = 150;
+  EXPECT_EQ(cache.get_or_compute(key, compute).cost.time, 2.0);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(computes, 2);
+}
+
+// Concurrent probes racing on one stale entry: every thread may compute, but
+// exactly one refresh is counted and every other lookup resolves as a hit of
+// the refreshed value — hits + misses still equals the number of calls.
+TEST(Cache, TtlConcurrentProbesOnStaleEntryCountOneExpiration) {
+  g_fake_now_ns = 0;
+  CostCache cache{ttl_options(10)};
+  const std::vector<double> key{7};
+  const PointCost value{{42, 7}, true, 2};
+  (void)cache.get_or_compute(key, [&] { return value; });
+  g_fake_now_ns = 1000;  // far past the ttl
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      const PointCost got = cache.get_or_compute(key, [&] { return value; });
+      EXPECT_EQ(got, value);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(cache.expirations(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);  // the initial insert + the one refresh
+  EXPECT_EQ(cache.hits(), static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Cache, AdmissionFirstMissOnFullShardIsRejectedSecondIsAdmitted) {
+  CacheOptions options;
+  options.shards = 1;
+  options.max_entries_per_shard = 2;
+  options.admission = true;
+  CostCache cache{options};
+  const std::vector<double> a{1}, b{2}, c{3};
+  const auto make = [](double t) {
+    return [t] { return PointCost{{t, 0}, true, 1}; };
+  };
+
+  // The shard fills without doorkeeper involvement.
+  (void)cache.get_or_compute(a, make(1));
+  (void)cache.get_or_compute(b, make(2));
+  EXPECT_EQ(cache.admission_rejections(), 0u);
+
+  // First sight of c on the full shard: computed, returned, NOT inserted.
+  EXPECT_EQ(cache.get_or_compute(c, make(3)).cost.time, 3.0);
+  EXPECT_EQ(cache.admission_rejections(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Second miss on c: the doorkeeper remembers it, so it earns the slot —
+  // evicting the FIFO-oldest entry (a).
+  EXPECT_EQ(cache.get_or_compute(c, make(3)).cost.time, 3.0);
+  EXPECT_EQ(cache.admission_rejections(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // c now hits; a was the eviction victim and misses (and is itself now
+  // subject to admission).
+  (void)cache.get_or_compute(c, make(3));
+  EXPECT_EQ(cache.hits(), 1u);
+  (void)cache.get_or_compute(a, make(1));
+  EXPECT_EQ(cache.admission_rejections(), 2u);
+}
+
+// Racing first-sight misses on one new key against a full shard: whatever
+// the interleaving, the doorkeeper rejects exactly one probe, exactly one
+// insert happens, and every remaining lookup is a hit — the counters are
+// exact, not approximate, under concurrency.
+TEST(Cache, AdmissionRejectionsAreCountedExactlyUnderConcurrency) {
+  CacheOptions options;
+  options.shards = 1;
+  options.max_entries_per_shard = 2;
+  options.admission = true;
+  CostCache cache{options};
+  (void)cache.get_or_compute(std::vector<double>{1},
+                             [] { return PointCost{}; });
+  (void)cache.get_or_compute(std::vector<double>{2},
+                             [] { return PointCost{}; });
+
+  constexpr int kThreads = 8;
+  const std::vector<double> fresh{3};
+  const PointCost value{{3, 0}, true, 1};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      const PointCost got = cache.get_or_compute(fresh, [&] { return value; });
+      EXPECT_EQ(got, value);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(cache.admission_rejections(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  // 2 fill misses + the rejected probe + the inserting probe; the other 6
+  // probes of `fresh` resolved as hits.
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(2 + kThreads));
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(Cache, ClearResetsTtlAndAdmissionState) {
+  g_fake_now_ns = 0;
+  CacheOptions options = ttl_options(10);
+  options.max_entries_per_shard = 1;
+  options.admission = true;
+  CostCache cache{options};
+  const std::vector<double> a{1}, b{2};
+  (void)cache.get_or_compute(a, [] { return PointCost{}; });
+  (void)cache.get_or_compute(b, [] { return PointCost{}; });  // rejected
+  g_fake_now_ns = 100;
+  (void)cache.get_or_compute(a, [] { return PointCost{}; });  // refresh
+  EXPECT_EQ(cache.admission_rejections(), 1u);
+  EXPECT_EQ(cache.expirations(), 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.expirations(), 0u);
+  EXPECT_EQ(cache.admission_rejections(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+  // A cleared doorkeeper has forgotten b: its next miss on a full shard is
+  // a first sight again.
+  (void)cache.get_or_compute(a, [] { return PointCost{}; });
+  (void)cache.get_or_compute(b, [] { return PointCost{}; });
+  EXPECT_EQ(cache.admission_rejections(), 1u);
+}
+
 TEST(Cache, HashIsLengthSeededAndOrderSensitive) {
   const std::vector<double> ab{1.0, 2.0};
   const std::vector<double> ba{2.0, 1.0};

@@ -197,6 +197,67 @@ TEST(Cli, ErrorsOnMissingAndExtraPositionals) {
   }
 }
 
+TEST(Cli, ParsesU64OptionBeyondIntRange) {
+  std::uint64_t ttl = 7;
+  std::uint64_t seed = 0;
+  Cli cli("prog", "test");
+  cli.option_u64("ttl-ns", &ttl, "NS", "ttl")
+      .option_u64("seed", &seed, "SEED", "seed");
+  Argv argv({"--ttl-ns", "86400000000000", "--seed", "18446744073709551615"});
+  EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Ok);
+  EXPECT_EQ(ttl, 86400000000000u);                    // a day of nanoseconds
+  EXPECT_EQ(seed, 18446744073709551615u);             // UINT64_MAX
+}
+
+TEST(Cli, U64RejectsSignsGarbageAndOverflow) {
+  std::uint64_t v = 3;
+  for (const char* bad : {"-1", "+2", "1.5", "abc", "", "18446744073709551616",
+                          "99999999999999999999999"}) {
+    Cli cli("prog", "test");
+    cli.option_u64("n", &v, "N", "n");
+    Argv argv({"--n", bad});
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Error) << bad;
+    testing::internal::GetCapturedStderr();
+    EXPECT_EQ(v, 3u) << "target clobbered by rejected value " << bad;
+  }
+}
+
+TEST(Cli, DuplicateU64OptionIsRejected) {
+  std::uint64_t v = 0;
+  Cli cli("prog", "test");
+  cli.option_u64("n", &v, "N", "n");
+  Argv argv({"--n", "1", "--n", "2"});
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Error);
+  testing::internal::GetCapturedStderr();
+}
+
+// The help column adapts to the widest `--name VALUE` row (clamped to a
+// sane band) so long option names — the serve tool has several — stay
+// aligned with their help text instead of overflowing the gutter.
+TEST(Cli, HelpColumnAlignsLongAndShortOptionRows) {
+  std::uint64_t n = 0;
+  bool quick = false;
+  Cli cli("prog", "test");
+  cli.option_u64("admission-wait-ms", &n, "MS", "pause budget")
+      .flag("q", &quick, "quick mode");
+  Argv argv({"--help"});
+  testing::internal::CaptureStdout();
+  EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Help);
+  const std::string help = testing::internal::GetCapturedStdout();
+  // Both help strings start in the same column.
+  const auto wait_line = help.find("--admission-wait-ms MS");
+  const auto quick_line = help.find("--q");
+  ASSERT_NE(wait_line, std::string::npos);
+  ASSERT_NE(quick_line, std::string::npos);
+  const auto wait_col = help.find("pause budget", wait_line) -
+                        (help.rfind('\n', wait_line) + 1);
+  const auto quick_col = help.find("quick mode", quick_line) -
+                         (help.rfind('\n', quick_line) + 1);
+  EXPECT_EQ(wait_col, quick_col) << help;
+}
+
 TEST(Cli, HelpShortCircuitsAndListsEveryOption) {
   std::string grid;
   bool stats = false;

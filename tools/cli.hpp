@@ -22,11 +22,14 @@
 /// keeps them that way.
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace stamp::tools {
@@ -48,6 +51,36 @@ inline std::size_t edit_distance(const std::string& a, const std::string& b) {
   return prev[b.size()];
 }
 
+/// Help rows align on one column sized to the longest left-hand cell (not a
+/// hard-coded width): a single long option used to wrap onto its own line
+/// while every other row sat at the fixed column, which made subcommand-less
+/// tools with one verbose flag read as two misaligned tables. The column is
+/// still capped so one pathological row cannot push the help text off-screen.
+inline constexpr std::size_t kMinHelpColumn = 26;
+inline constexpr std::size_t kMaxHelpColumn = 34;
+
+inline std::size_t help_column(
+    const std::vector<std::pair<std::string, std::string>>& rows) {
+  std::size_t column = kMinHelpColumn;
+  for (const auto& [left, right] : rows)
+    column = std::max(column, left.size() + 4);  // 2 indent + 2 gutter
+  return std::min(column, kMaxHelpColumn);
+}
+
+inline void print_rows(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, std::string>>& rows) {
+  const std::size_t column = help_column(rows);
+  for (const auto& [left, right] : rows) {
+    os << "  " << left;
+    if (left.size() + 2 < column)
+      os << std::string(column - left.size() - 2, ' ');
+    else
+      os << "\n" << std::string(column, ' ');
+    os << right << "\n";
+  }
+}
+
 }  // namespace detail
 
 class Cli {
@@ -60,7 +93,7 @@ class Cli {
   /// `--name` with no value; sets `*target` to true when present.
   Cli& flag(std::string name, bool* target, std::string help) {
     options_.push_back({std::move(name), "", std::move(help), Kind::Flag,
-                        target, nullptr, nullptr, nullptr, nullptr});
+                        target, nullptr, nullptr, nullptr, nullptr, nullptr});
     return *this;
   }
 
@@ -69,7 +102,7 @@ class Cli {
                      std::string value_name, std::string help) {
     options_.push_back({std::move(name), std::move(value_name), std::move(help),
                         Kind::String, nullptr, target, nullptr, nullptr,
-                        nullptr});
+                        nullptr, nullptr});
     return *this;
   }
 
@@ -77,7 +110,18 @@ class Cli {
   Cli& option_int(std::string name, int* target, std::string value_name,
                   std::string help) {
     options_.push_back({std::move(name), std::move(value_name), std::move(help),
-                        Kind::Int, nullptr, nullptr, target, nullptr, nullptr});
+                        Kind::Int, nullptr, nullptr, target, nullptr, nullptr,
+                        nullptr});
+    return *this;
+  }
+
+  /// `--name N`, parsed as a non-negative 64-bit integer — ports, queue
+  /// depths, TTLs and seeds outgrow `option_int`'s 1e9 cap.
+  Cli& option_u64(std::string name, std::uint64_t* target,
+                  std::string value_name, std::string help) {
+    options_.push_back({std::move(name), std::move(value_name), std::move(help),
+                        Kind::U64, nullptr, nullptr, nullptr, nullptr, nullptr,
+                        target});
     return *this;
   }
 
@@ -86,7 +130,7 @@ class Cli {
                      std::string help) {
     options_.push_back({std::move(name), std::move(value_name), std::move(help),
                         Kind::Double, nullptr, nullptr, nullptr, target,
-                        nullptr});
+                        nullptr, nullptr});
     return *this;
   }
 
@@ -95,7 +139,7 @@ class Cli {
                    std::string value_name, std::string help) {
     options_.push_back({std::move(name), std::move(value_name), std::move(help),
                         Kind::List, nullptr, nullptr, nullptr, nullptr,
-                        target});
+                        target, nullptr});
     return *this;
   }
 
@@ -157,6 +201,14 @@ class Cli {
             *opt->double_target = *x;
             break;
           }
+          case Kind::U64: {
+            const std::optional<std::uint64_t> n = parse_u64(value);
+            if (!n)
+              return error("option '" + arg + "' expects a non-negative " +
+                           "integer, got '" + value + "'");
+            *opt->u64_target = *n;
+            break;
+          }
           case Kind::List:
             opt->list_target->push_back(value);
             break;
@@ -187,20 +239,25 @@ class Cli {
     os << "\n" << summary_ << "\n";
     if (!positionals_.empty()) {
       os << "\narguments:\n";
+      std::vector<std::pair<std::string, std::string>> rows;
       for (const Positional& p : positionals_)
-        print_row(os, "<" + p.name + ">", p.help);
+        rows.emplace_back("<" + p.name + ">", p.help);
+      detail::print_rows(os, rows);
     }
     os << "\noptions:\n";
+    std::vector<std::pair<std::string, std::string>> rows;
     for (const Option& o : options_) {
       std::string left = "--" + o.name;
       if (o.kind != Kind::Flag) left += " " + o.value_name;
-      print_row(os, left, o.help + (o.kind == Kind::List ? " (repeatable)" : ""));
+      rows.emplace_back(std::move(left),
+                        o.help + (o.kind == Kind::List ? " (repeatable)" : ""));
     }
-    print_row(os, "--help, -h", "show this help and exit");
+    rows.emplace_back("--help, -h", "show this help and exit");
+    detail::print_rows(os, rows);
   }
 
  private:
-  enum class Kind { Flag, String, Int, Double, List };
+  enum class Kind { Flag, String, Int, Double, List, U64 };
 
   struct Option {
     std::string name;
@@ -212,6 +269,7 @@ class Cli {
     int* int_target;
     double* double_target;
     std::vector<std::string>* list_target;
+    std::uint64_t* u64_target;
     bool seen = false;  ///< a value-bearing scalar may appear only once
   };
 
@@ -244,6 +302,15 @@ class Cli {
     return v;
   }
 
+  static std::optional<std::uint64_t> parse_u64(const std::string& s) {
+    if (s.empty() || s[0] == '-' || s[0] == '+') return std::nullopt;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size() || errno == ERANGE) return std::nullopt;
+    return static_cast<std::uint64_t>(v);
+  }
+
   /// The known option name closest to `name` by edit distance, or "" when
   /// nothing is close enough to plausibly be a typo.
   [[nodiscard]] std::string nearest(const std::string& name) const {
@@ -265,17 +332,6 @@ class Cli {
     print_usage(std::cerr);
     std::cerr << "run '" << program_ << " --help' for details\n";
     return Parse::Error;
-  }
-
-  static void print_row(std::ostream& os, const std::string& left,
-                        const std::string& right) {
-    constexpr std::size_t kColumn = 26;
-    os << "  " << left;
-    if (left.size() + 2 < kColumn)
-      os << std::string(kColumn - left.size() - 2, ' ');
-    else
-      os << "\n" << std::string(kColumn, ' ');
-    os << right << "\n";
   }
 
   std::string program_;
@@ -348,7 +404,9 @@ class Subcommands {
   void print_help(std::ostream& os) const {
     print_usage(os);
     os << "\n" << summary_ << "\n\ncommands:\n";
-    for (const Command& c : commands_) print_row(os, c.name, c.summary);
+    std::vector<std::pair<std::string, std::string>> rows;
+    for (const Command& c : commands_) rows.emplace_back(c.name, c.summary);
+    detail::print_rows(os, rows);
     os << "\nrun '" << program_ << " <command> --help' for command options\n";
   }
 
@@ -377,17 +435,6 @@ class Subcommands {
     print_usage(std::cerr);
     std::cerr << "run '" << program_ << " --help' for the command list\n";
     return Cli::Parse::Error;
-  }
-
-  static void print_row(std::ostream& os, const std::string& left,
-                        const std::string& right) {
-    constexpr std::size_t kColumn = 26;
-    os << "  " << left;
-    if (left.size() + 2 < kColumn)
-      os << std::string(kColumn - left.size() - 2, ' ');
-    else
-      os << "\n" << std::string(kColumn, ' ');
-    os << right << "\n";
   }
 
   std::string program_;

@@ -1,0 +1,62 @@
+#pragma once
+/// \file signals.hpp
+/// \brief Shared SIGINT/SIGTERM (and SIGPIPE) plumbing for the STAMP CLIs —
+///        drain semantics defined once, used by stamp_sweep, stamp_serve and
+///        stamp_chaos.
+///
+/// Every long-running tool wants the same lifecycle: a first SIGINT/SIGTERM
+/// requests a *graceful* stop (trip a `core::CancelToken`, drain in-flight
+/// work, flush artifacts, exit with a distinct code), and a closed stdout
+/// pipe surfaces as a stream error rather than killing the process
+/// mid-artifact. `stamp_sweep` grew this ad hoc in PR 5; this header is that
+/// handler extracted so the tools cannot drift apart.
+///
+/// The handler itself is one lock-free atomic store (`request_cancel` is
+/// documented async-signal-safe), so installing it is sound for any signal.
+///
+///   stamp::tools::install_shutdown_handlers();
+///   ...
+///   opts.cancel = &stamp::tools::shutdown_token();
+///
+/// Header-only on purpose, like cli.hpp: the tools are single-file
+/// executables and this keeps them that way.
+
+#include "core/cancel.hpp"
+
+#include <csignal>
+
+namespace stamp::tools {
+
+/// The process-wide cancellation token the shutdown handlers trip. Tools
+/// poll it (or hand it to SweepOptions/SearchRequest/ServerOptions) to drain
+/// cooperatively instead of dying mid-write.
+inline core::CancelToken& shutdown_token() noexcept {
+  static core::CancelToken token;
+  return token;
+}
+
+namespace detail {
+extern "C" inline void handle_shutdown_signal(int) {
+  shutdown_token().request_cancel();
+}
+}  // namespace detail
+
+/// True once SIGINT or SIGTERM has been received (after
+/// `install_shutdown_handlers`).
+[[nodiscard]] inline bool shutdown_requested() noexcept {
+  return shutdown_token().cancelled();
+}
+
+/// Route SIGINT/SIGTERM into `shutdown_token()` and (where it exists) ignore
+/// SIGPIPE, so a closed output pipe surfaces as a failed stream write — and
+/// a nonzero exit — instead of the default kill-mid-artifact disposition.
+/// Idempotent; call once near the top of main().
+inline void install_shutdown_handlers() noexcept {
+  std::signal(SIGINT, detail::handle_shutdown_signal);
+  std::signal(SIGTERM, detail::handle_shutdown_signal);
+#ifdef SIGPIPE
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+}
+
+}  // namespace stamp::tools

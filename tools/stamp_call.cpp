@@ -1,0 +1,241 @@
+/// \file stamp_call.cpp
+/// \brief NDJSON client for stamp_serve: pipeline request lines over one
+///        connection, collect responses by id, and retry unanswered requests
+///        until everything is answered or a global timeout expires.
+///
+/// Requests are read from FILE (or stdin with `-`), one JSON object per line;
+/// each must carry a unique non-negative `id`. Responses are written in
+/// request order, deduplicated by id (the first response wins — the server's
+/// mailbox may duplicate work under fault injection, and retries re-ask). The
+/// engine is deterministic, so duplicates are byte-identical anyway; dedup
+/// keeps the output line count equal to the request line count.
+///
+/// Retrying makes the client the availability half of the chaos story: a
+/// dropped admission or a torn connection is survived by resending whatever
+/// ids are still unanswered on a fresh connection.
+///
+/// Exit codes: 0 all requests answered; 1 timeout with unanswered requests;
+/// 2 usage or I/O errors.
+
+#include "cli.hpp"
+#include "report/json_parse.hpp"
+#include "serve/socket.hpp"
+#include "signals.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace {
+
+using stamp::report::JsonValue;
+using stamp::serve::Socket;
+using stamp::tools::Cli;
+using ReadStatus = Socket::ReadStatus;
+
+struct Pending {
+  std::uint64_t id = 0;
+  std::string line;      ///< Request line as read (no trailing newline).
+  std::string response;  ///< First response seen for this id.
+  bool answered = false;
+};
+
+/// Extract the `id` field of a request or response line; nullopt if the line
+/// is not a JSON object with a non-negative integral `id`.
+std::optional<std::uint64_t> line_id(const std::string& line) {
+  JsonValue root;
+  try {
+    root = JsonValue::parse(line);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (root.kind() != JsonValue::Kind::Object) return std::nullopt;
+  const JsonValue* v = root.find("id");
+  if (v == nullptr || v->kind() != JsonValue::Kind::Number)
+    return std::nullopt;
+  const double d = v->as_number();
+  if (d < 0 || d != static_cast<double>(static_cast<std::uint64_t>(d)))
+    return std::nullopt;
+  return static_cast<std::uint64_t>(d);
+}
+
+bool read_requests(std::istream& in, std::vector<Pending>& pending) {
+  std::string line;
+  std::unordered_map<std::uint64_t, bool> seen;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto id = line_id(line);
+    if (!id.has_value()) {
+      std::cerr << "stamp_call: request line without a valid id: " << line
+                << "\n";
+      return false;
+    }
+    if (!seen.emplace(*id, true).second) {
+      std::cerr << "stamp_call: duplicate request id " << *id << "\n";
+      return false;
+    }
+    pending.push_back({*id, line, {}, false});
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t port = 0;
+  std::string port_file;
+  std::string out_path;
+  std::uint64_t timeout_ms = 30000;
+  std::uint64_t retry_ms = 1000;
+  bool quiet = false;
+  std::string input_path;
+
+  Cli cli("stamp_call",
+          "Send newline-delimited stamp-serve/v1 requests from FILE (or "
+          "stdin with '-') and print the responses in request order.");
+  cli.option_u64("port", &port, "PORT", "server port on 127.0.0.1")
+      .option_string("port-file", &port_file, "FILE",
+                     "read the port number from FILE (stamp_serve "
+                     "--port-file)")
+      .option_string("out", &out_path, "FILE",
+                     "write responses to FILE instead of stdout")
+      .option_u64("timeout-ms", &timeout_ms, "MS",
+                  "global deadline for the whole batch (default 30000)")
+      .option_u64("retry-ms", &retry_ms, "MS",
+                  "resend unanswered requests after this long without "
+                  "progress (default 1000)")
+      .flag("quiet", &quiet, "suppress the per-batch summary on stderr")
+      .positional("requests", &input_path,
+                  "file of request lines, or '-' for stdin");
+  switch (cli.parse(argc, argv)) {
+    case Cli::Parse::Help: return 0;
+    case Cli::Parse::Error: return 2;
+    case Cli::Parse::Ok: break;
+  }
+
+  stamp::tools::install_shutdown_handlers();
+
+  if (!port_file.empty()) {
+    std::ifstream pf(port_file);
+    if (!(pf >> port)) {
+      std::cerr << "stamp_call: cannot read port from '" << port_file << "'\n";
+      return 2;
+    }
+  }
+  if (port == 0 || port > 65535) {
+    std::cerr << "stamp_call: need --port or --port-file\n";
+    return 2;
+  }
+
+  std::vector<Pending> pending;
+  if (input_path == "-") {
+    if (!read_requests(std::cin, pending)) return 2;
+  } else {
+    std::ifstream in(input_path);
+    if (!in) {
+      std::cerr << "stamp_call: cannot open '" << input_path << "'\n";
+      return 2;
+    }
+    if (!read_requests(in, pending)) return 2;
+  }
+
+  std::unordered_map<std::uint64_t, Pending*> by_id;
+  by_id.reserve(pending.size());
+  for (Pending& p : pending) by_id.emplace(p.id, &p);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::size_t unanswered = pending.size();
+  std::uint64_t resent = 0;
+  std::uint64_t reconnects = 0;
+  Socket sock;
+
+  while (unanswered > 0 && std::chrono::steady_clock::now() < deadline &&
+         !stamp::tools::shutdown_requested()) {
+    if (!sock.valid()) {
+      sock = Socket::connect_to(static_cast<std::uint16_t>(port));
+      if (!sock.valid()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      ++reconnects;
+      // A fresh connection knows nothing of earlier sends: (re)send every
+      // unanswered request. Dedup by id absorbs any duplicate responses.
+      bool sent_ok = true;
+      for (const Pending& p : pending) {
+        if (p.answered) continue;
+        if (!sock.write_all(p.line) || !sock.write_all("\n")) {
+          sent_ok = false;
+          break;
+        }
+      }
+      if (!sent_ok) {
+        sock.close();
+        continue;
+      }
+    }
+
+    std::string line;
+    const auto now = std::chrono::steady_clock::now();
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const int wait_ms = static_cast<int>(std::min<std::int64_t>(
+        static_cast<std::int64_t>(retry_ms),
+        std::max<std::int64_t>(1, remaining.count())));
+    const ReadStatus status = sock.read_line(line, wait_ms);
+    if (status == ReadStatus::Line) {
+      const auto id = line_id(line);
+      if (id.has_value()) {
+        const auto it = by_id.find(*id);
+        if (it != by_id.end() && !it->second->answered) {
+          it->second->answered = true;
+          it->second->response = line;
+          --unanswered;
+        }
+      }
+      continue;
+    }
+    if (status == ReadStatus::Timeout) {
+      // No progress within the retry window: resend the stragglers on the
+      // same connection (the server may have dropped them at admission).
+      for (const Pending& p : pending) {
+        if (p.answered) continue;
+        if (!sock.write_all(p.line) || !sock.write_all("\n")) {
+          sock.close();
+          break;
+        }
+        ++resent;
+      }
+      continue;
+    }
+    // Eof or Error: the connection is gone; rebuild it next iteration.
+    sock.close();
+  }
+
+  std::ostringstream out;
+  for (const Pending& p : pending)
+    if (p.answered) out << p.response << "\n";
+  if (out_path.empty()) {
+    std::cout << out.str();
+  } else {
+    std::ofstream f(out_path, std::ios::trunc);
+    f << out.str();
+    if (!f.good()) {
+      std::cerr << "stamp_call: cannot write '" << out_path << "'\n";
+      return 2;
+    }
+  }
+
+  if (!quiet)
+    std::cerr << "stamp_call: " << (pending.size() - unanswered) << "/"
+              << pending.size() << " answered, " << resent << " resent, "
+              << reconnects << " connections\n";
+  return unanswered == 0 ? 0 : 1;
+}

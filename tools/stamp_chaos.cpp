@@ -17,13 +17,16 @@
 #include "msg/mailbox.hpp"
 #include "report/atomic_file.hpp"
 #include "report/json.hpp"
+#include "report/json_parse.hpp"
 #include "runtime/executor.hpp"
+#include "serve/serve.hpp"
 #include "stm/stm.hpp"
 #include "stm/tarray.hpp"
 #include "sweep/journal.hpp"
 #include "sweep/pool.hpp"
 #include "sweep/sweep.hpp"
 #include "cli.hpp"
+#include "signals.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -356,6 +359,128 @@ ScenarioReport scenario_sweep_resume(std::uint64_t seed, int jobs) {
   return report;
 }
 
+/// The serving layer under fire: every request's worker crashes once (the
+/// supervisor retries it), half the admissions are dropped in transit (the
+/// client resends them), and some sends dawdle — yet every response must be
+/// byte-identical to an uninjected engine's answer, nothing may hang, and
+/// the drain must come back clean with zero overload rejections.
+///
+/// Determinism: all three sites key on the request id, capped at one
+/// injection per key, so the drop set, the crash count, and the resend set
+/// are pure functions of the seed. The client's retry interval is long
+/// enough that surviving responses land first, which keeps the resend set
+/// exactly equal to the drop set. Nothing timing-dependent is reported.
+ScenarioReport scenario_serve(std::uint64_t seed) {
+  namespace sv = stamp::serve;
+  // A fixed request mix over the tiny grid: point evaluations, both chunk
+  // halves, the placement and search planners, and one burn (load op).
+  const std::vector<std::string> lines = {
+      R"({"id":1,"op":"evaluate","index":0})",
+      R"({"id":2,"op":"evaluate","index":7})",
+      R"({"id":3,"op":"evaluate","index":15})",
+      R"({"id":4,"op":"sweep_chunk","begin":0,"end":8})",
+      R"({"id":5,"op":"sweep_chunk","begin":8,"end":16})",
+      R"({"id":6,"op":"best_placement","processes":2})",
+      R"({"id":7,"op":"best_placement","processes":8})",
+      R"({"id":8,"op":"search","method":"bnb","seed":7})",
+      R"({"id":9,"op":"search","method":"anneal","seed":7})",
+      R"({"id":10,"op":"search","method":"exhaustive"})",
+      R"({"id":11,"op":"burn","busy_ms":20})",
+      R"({"id":12,"op":"evaluate","index":3})",
+  };
+
+  // Ground truth from an uninjected twin engine: the wire responses under
+  // chaos must match these byte for byte.
+  Evaluator::clear_faults();
+  std::vector<std::string> expected;
+  expected.reserve(lines.size());
+  {
+    sv::ServeEngine truth{sv::EngineOptions{}};
+    for (const std::string& line : lines)
+      expected.push_back(truth.handle(sv::parse_request(line), nullptr));
+  }
+
+  stamp::fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.with(stamp::fault::FaultSite::ServeWorkerFail, 1.0, 0, 1);
+  plan.with(stamp::fault::FaultSite::MsgDrop, 0.5, 0, 1);
+  plan.with(stamp::fault::FaultSite::MsgDelay, 0.25, 20e6, 1);
+  Evaluator::with_faults(plan);
+
+  sv::ServerOptions options;
+  options.port = 0;
+  options.workers = 2;        // fixed: the report must not depend on --jobs
+  options.queue_depth = 64;   // ample: overload rejection is not under test
+  sv::Server server(options);
+  server.start();
+
+  std::vector<std::string> responses(lines.size());
+  std::vector<bool> answered(lines.size(), false);
+  std::size_t unanswered = lines.size();
+  long long resent = 0;
+  {
+    sv::Socket sock = sv::Socket::connect_to(server.port());
+    if (!sock.valid())
+      throw std::runtime_error("serve: cannot connect to own server");
+    for (const std::string& line : lines)
+      if (!sock.write_all(line) || !sock.write_all("\n"))
+        throw std::runtime_error("serve: send failed");
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    std::string line;
+    while (unanswered > 0 && std::chrono::steady_clock::now() < deadline) {
+      const auto status = sock.read_line(line, /*timeout_ms=*/2000);
+      if (status == sv::Socket::ReadStatus::Line) {
+        const auto root = stamp::report::JsonValue::parse(line);
+        const auto* idv = root.find("id");
+        if (idv == nullptr) throw std::runtime_error("serve: response sans id");
+        const auto idx = static_cast<std::size_t>(idv->as_number()) - 1;
+        if (idx >= lines.size()) throw std::runtime_error("serve: bad id");
+        if (answered[idx]) continue;  // duplicate delivery; first wins
+        answered[idx] = true;
+        responses[idx] = line;
+        --unanswered;
+      } else if (status == sv::Socket::ReadStatus::Timeout) {
+        // Quiet for a whole retry window: everything still unanswered was
+        // dropped at admission. Ask again.
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+          if (answered[i]) continue;
+          ++resent;
+          if (!sock.write_all(lines[i]) || !sock.write_all("\n"))
+            throw std::runtime_error("serve: resend failed");
+        }
+      } else {
+        throw std::runtime_error("serve: connection lost");
+      }
+    }
+  }
+  server.drain();
+  const sv::ServerStats stats = server.stats();
+
+  long long matched = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    if (answered[i] && responses[i] == expected[i]) ++matched;
+
+  ScenarioReport report;
+  report.name = "serve";
+  report.counts.emplace_back("requests",
+                             static_cast<long long>(lines.size()));
+  report.counts.emplace_back(
+      "answered", static_cast<long long>(lines.size() - unanswered));
+  report.counts.emplace_back("matched", matched);
+  report.counts.emplace_back("resent", resent);
+  report.counts.emplace_back("worker_restarts",
+                             static_cast<long long>(stats.worker_restarts));
+  report.counts.emplace_back("rejected_overload",
+                             static_cast<long long>(stats.rejected_overload));
+  report.counts.emplace_back("deadline_hits",
+                             static_cast<long long>(stats.deadline_hits));
+  snapshot_faults(report);
+  Evaluator::clear_faults();
+  return report;
+}
+
 void write_report(std::ostream& os, std::uint64_t seed,
                   const std::vector<ScenarioReport>& scenarios) {
   stamp::report::JsonWriter json(os);
@@ -406,6 +531,10 @@ int main(int argc, char** argv) {
     case stamp::tools::Cli::Parse::Ok:
       break;
   }
+  // Shared tool signal setup — here mostly for the SIGPIPE ignore, which the
+  // serve scenario's socket writes depend on.
+  stamp::tools::install_shutdown_handlers();
+
   if (jobs == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     jobs = hw > 0 ? static_cast<int>(hw) : 1;
@@ -414,7 +543,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> names = {
       "stm_storm",       "stm_retry_budget",    "mailbox_pipeline",
       "supervised_failover", "sim_degraded",    "governor_degrade",
-      "sweep_resume"};
+      "sweep_resume",    "serve"};
   if (list) {
     for (const std::string& n : names) std::cout << n << "\n";
     return 0;
@@ -445,6 +574,7 @@ int main(int argc, char** argv) {
       reports.push_back(scenario_governor_degrade(useed));
     if (selected("sweep_resume"))
       reports.push_back(scenario_sweep_resume(useed, jobs));
+    if (selected("serve")) reports.push_back(scenario_serve(useed));
   } catch (const std::exception& e) {
     stamp::Evaluator::clear_faults();
     std::cerr << "stamp_chaos: scenario failed: " << e.what() << "\n";

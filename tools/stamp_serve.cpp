@@ -1,0 +1,188 @@
+/// \file stamp_serve.cpp
+/// \brief The long-running evaluation server CLI: serve `stamp-serve/v1`
+///        requests (evaluate / sweep_chunk / search / best_placement) over a
+///        newline-delimited JSON socket on 127.0.0.1, with bounded admission
+///        (503 on overload), per-request deadlines (504), supervised workers,
+///        and graceful drain on SIGINT/SIGTERM.
+///
+/// Lifecycle: bind (ephemeral port with --port 0, written to --port-file so
+/// scripts can find it), serve until SIGINT/SIGTERM, then drain — stop
+/// accepting, finish every admitted request, flush metrics, exit 0. A failed
+/// bind or bad flags exit 2. Fault injection (--inject) arms the same
+/// deterministic injector the chaos harness uses, so CI can hammer a *real*
+/// server process with seeded stalls/drops/crashes and diff the responses
+/// against an uninjected run.
+///
+/// Usage: see `stamp_serve --help` (generated from the option table).
+
+#include "api/stamp.hpp"
+#include "cli.hpp"
+#include "report/atomic_file.hpp"
+#include "serve/serve.hpp"
+#include "signals.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using stamp::tools::Cli;
+
+/// Parse one --inject spec: SITE=PROB[,mag=M][,max=N][,key=K].
+bool parse_inject(const std::string& spec, stamp::fault::FaultPlan& plan) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos) return false;
+  const std::string site_name = spec.substr(0, eq);
+  const auto site = stamp::fault::site_from_name(site_name);
+  if (!site.has_value()) return false;
+  double probability = 0;
+  double magnitude = 0;
+  std::uint64_t max_per_key = 0;
+  std::int64_t only_key = -1;
+  std::istringstream rest(spec.substr(eq + 1));
+  std::string field;
+  bool first = true;
+  while (std::getline(rest, field, ',')) {
+    try {
+      if (first) {
+        probability = std::stod(field);
+        first = false;
+      } else if (field.rfind("mag=", 0) == 0) {
+        magnitude = std::stod(field.substr(4));
+      } else if (field.rfind("max=", 0) == 0) {
+        max_per_key = std::stoull(field.substr(4));
+      } else if (field.rfind("key=", 0) == 0) {
+        only_key = std::stoll(field.substr(4));
+      } else {
+        return false;
+      }
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  if (first) return false;
+  plan.with(*site, probability, magnitude, max_per_key, only_key);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t port = 0;
+  std::uint64_t workers = 2;
+  std::uint64_t queue_depth = 64;
+  std::uint64_t deadline_ms = 0;
+  std::uint64_t admission_wait_ms = 0;
+  std::uint64_t cache_entries = 4096;
+  std::uint64_t cache_ttl_ms = 0;
+  bool cache_no_admission = false;
+  std::string grid = "tiny";
+  std::string port_file;
+  std::string metrics_path;
+  std::vector<std::string> injects;
+  std::uint64_t fault_seed = 42;
+
+  Cli cli("stamp_serve",
+          "Serve stamp-serve/v1 evaluation requests over newline-delimited "
+          "JSON on 127.0.0.1; drain gracefully on SIGINT/SIGTERM.");
+  cli.option_u64("port", &port, "PORT",
+                 "TCP port on 127.0.0.1; 0 picks an ephemeral port "
+                 "(default 0; see --port-file)")
+      .option_u64("workers", &workers, "N", "worker threads (default 2)")
+      .option_u64("queue-depth", &queue_depth, "N",
+                  "admission queue capacity; a full queue answers 503 "
+                  "(default 64)")
+      .option_u64("deadline-ms", &deadline_ms, "MS",
+                  "default per-request deadline; overdue requests answer 504 "
+                  "(0 = none)")
+      .option_u64("admission-wait-ms", &admission_wait_ms, "MS",
+                  "how long admission waits for queue space before 503 "
+                  "(default 0)")
+      .option_string("grid", &grid, "tiny|canonical",
+                     "grid preset served (default: tiny)")
+      .option_u64("cache-entries", &cache_entries, "N",
+                  "cost-cache bound per shard; 0 = unbounded (default 4096)")
+      .option_u64("cache-ttl-ms", &cache_ttl_ms, "MS",
+                  "cost-cache entry TTL; stale entries recompute (0 = never)")
+      .flag("cache-no-admission", &cache_no_admission,
+            "disable the cache doorkeeper (admit every key immediately)")
+      .option_string("port-file", &port_file, "FILE",
+                     "write the bound port number here (atomic), for scripts "
+                     "using --port 0")
+      .option_string("metrics", &metrics_path, "FILE",
+                     "write the metrics registry as JSON here on drain")
+      .option_list("inject", &injects, "SITE=P[,mag=M][,max=N][,key=K]",
+                   "arm a fault site (repeatable), e.g. "
+                   "serve_worker_fail=1.0,max=1")
+      .option_u64("fault-seed", &fault_seed, "SEED",
+                  "seed for --inject decisions (default 42)");
+  switch (cli.parse(argc, argv)) {
+    case Cli::Parse::Help: return 0;
+    case Cli::Parse::Error: return 2;
+    case Cli::Parse::Ok: break;
+  }
+
+  stamp::tools::install_shutdown_handlers();
+
+  if (!injects.empty()) {
+    stamp::fault::FaultPlan plan;
+    plan.seed = fault_seed;
+    for (const std::string& spec : injects) {
+      if (!parse_inject(spec, plan)) {
+        std::cerr << "stamp_serve: bad --inject spec '" << spec << "'\n";
+        return 2;
+      }
+    }
+    stamp::Evaluator::with_faults(plan);
+  }
+
+  stamp::serve::ServerOptions options;
+  options.port = static_cast<std::uint16_t>(port);
+  options.workers = static_cast<int>(workers == 0 ? 1 : workers);
+  options.queue_depth = queue_depth == 0 ? 1 : queue_depth;
+  options.default_deadline = std::chrono::milliseconds(deadline_ms);
+  options.admission_wait = std::chrono::milliseconds(admission_wait_ms);
+  options.engine.grid = grid;
+  options.engine.cache_entries_per_shard = cache_entries;
+  options.engine.cache_ttl = std::chrono::milliseconds(cache_ttl_ms);
+  options.engine.cache_admission = !cache_no_admission;
+
+  stamp::Evaluator::set_metrics(!metrics_path.empty());
+
+  try {
+    stamp::serve::Server server(options);
+    server.start();
+    std::cerr << "stamp_serve: serving grid '" << grid << "' on 127.0.0.1:"
+              << server.port() << " (workers " << options.workers
+              << ", queue " << options.queue_depth << ")\n";
+    if (!port_file.empty())
+      stamp::report::AtomicFileWriter::write_file(
+          port_file, std::to_string(server.port()) + "\n");
+
+    while (!stamp::tools::shutdown_requested())
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::cerr << "stamp_serve: draining...\n";
+    server.drain();
+    const stamp::serve::ServerStats stats = server.stats();
+    std::cerr << "stamp_serve: drained: " << stats.responses
+              << " responses, " << stats.rejected_overload << " overloaded, "
+              << stats.deadline_hits << " deadline, "
+              << stats.worker_restarts << " worker restarts\n";
+
+    if (!metrics_path.empty()) {
+      std::ostringstream metrics;
+      stamp::Evaluator::write_metrics(metrics);
+      stamp::report::AtomicFileWriter::write_file(metrics_path, metrics.str());
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "stamp_serve: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

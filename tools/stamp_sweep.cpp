@@ -26,13 +26,13 @@
 
 #include "api/stamp.hpp"
 #include "cli.hpp"
+#include "signals.hpp"
 #include "core/hw.hpp"
 #include "report/atomic_file.hpp"
 #include "sweep/journal.hpp"
 
 #include <chrono>
 #include <cmath>
-#include <csignal>
 #include <filesystem>
 #include <iostream>
 #include <memory>
@@ -155,12 +155,6 @@ void replay_winner(const stamp::sweep::SweepConfig& cfg,
             << ", energy " << sim.energy << "\n";
 }
 
-/// Tripped by SIGINT/SIGTERM. `request_cancel` is one lock-free atomic
-/// store, so calling it from the handler is async-signal-safe.
-stamp::core::CancelToken g_cancel;
-
-extern "C" void handle_cancel_signal(int) { g_cancel.request_cancel(); }
-
 bool write_text(const std::string& path, const std::string& text) {
   try {
     stamp::report::AtomicFileWriter::write_file(path, text);
@@ -220,11 +214,10 @@ int main(int argc, char** argv) {
     case Cli::Parse::Ok: break;
   }
 
-#ifdef SIGPIPE
-  // A closed stdout pipe must surface as a stream error (and exit 2), not
-  // kill the process mid-artifact with the default SIGPIPE disposition.
-  std::signal(SIGPIPE, SIG_IGN);
-#endif
+  // SIGINT/SIGTERM trip the shared shutdown token (graceful drain, exit 3);
+  // a closed stdout pipe surfaces as a stream error (exit 2), not a kill
+  // mid-artifact. Shared drain semantics: tools/signals.hpp.
+  stamp::tools::install_shutdown_handlers();
 
   stamp::sweep::SweepConfig cfg;
   if (grid == "canonical") {
@@ -276,11 +269,8 @@ int main(int argc, char** argv) {
       stamp::Evaluator::with_faults(plan);
     }
 
-    std::signal(SIGINT, handle_cancel_signal);
-    std::signal(SIGTERM, handle_cancel_signal);
-
     stamp::sweep::SweepOptions opts;
-    opts.cancel = &g_cancel;
+    opts.cancel = &stamp::tools::shutdown_token();
     opts.journal = journal.get();
     opts.resume = resume.get();
     opts.point_deadline = std::chrono::milliseconds(point_deadline_ms);
