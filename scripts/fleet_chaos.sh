@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Distributed-sweep identity and chaos, from the outside: real stamp_serve
+# worker processes, real sockets, the stamp_fleet coordinator.
+#
+# Phase A (identity): stamp_fleet in spawn mode at 1, 2 and 4 workers must
+# produce an artifact byte-identical (`cmp`) to a single-node stamp_sweep of
+# the same canonical grid.
+#
+# Phase B (worker kill): two attached workers evaluate the grid under an
+# armed transit-delay fault (so shards take long enough for the kill to
+# land); one worker is SIGKILLed mid-sweep. The coordinator must declare it
+# dead, reassign its shards to the survivor, and the final artifact must
+# still be byte-identical to the single-node reference.
+#
+# Phase C (coordinator kill + resume): the coordinator itself is SIGTERMed
+# mid-sweep (exit 3, journal preserved), then rerun with --resume against
+# the same workers. Only missing points are re-dispatched, and the merged
+# artifact must again match the reference byte for byte.
+#
+# Usage: scripts/fleet_chaos.sh [BUILD_DIR]
+#   BUILD_DIR defaults to "build". The caller (CI) wraps this script in
+#   `timeout`; every client here has bounded retries and the workers are
+#   killed hard on exit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+SWEEP="$BUILD_DIR/tools/stamp_sweep"
+FLEET="$BUILD_DIR/tools/stamp_fleet"
+SERVE="$BUILD_DIR/tools/stamp_serve"
+[ -x "$SWEEP" ] && [ -x "$FLEET" ] && [ -x "$SERVE" ] || {
+  echo "fleet_chaos: build tool_stamp_sweep, tool_stamp_fleet and tool_stamp_serve first" >&2
+  exit 2
+}
+
+WORK="$(mktemp -d)"
+WORKER_PIDS=()
+cleanup() {
+  for pid in "${WORKER_PIDS[@]:-}"; do
+    [ -n "$pid" ] && kill -KILL "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Start one stamp_serve worker; sets LAST_PORT (parsed from the server's
+# stdout — the echo contract) and LAST_PID, and appends the pid to
+# WORKER_PIDS. Results come back in globals rather than on stdout: a
+# command substitution would run this in a subshell and silently lose the
+# pid bookkeeping the kill phases and the EXIT trap depend on.
+start_worker() {
+  local out="$WORK/worker_port.${#WORKER_PIDS[@]}"
+  "$SERVE" --port 0 --grid canonical --workers 2 "$@" \
+    >"$out" 2>>"$WORK/workers.log" &
+  LAST_PID=$!
+  WORKER_PIDS+=("$LAST_PID")
+  local port=""
+  for _ in $(seq 1 100); do
+    port="$(head -n 1 "$out" 2>/dev/null | tr -d '[:space:]')"
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  case "$port" in
+    ''|*[!0-9]*)
+      echo "fleet_chaos: no port on worker stdout; log:" >&2
+      cat "$WORK/workers.log" >&2
+      exit 1;;
+  esac
+  LAST_PORT="$port"
+}
+
+echo "== reference: single-node stamp_sweep =="
+"$SWEEP" --grid canonical --threads 4 --out "$WORK/ref.json"
+
+echo "== phase A: spawn-mode identity at 1/2/4 workers =="
+for n in 1 2 4; do
+  "$FLEET" --grid canonical --workers "$n" --serve-bin "$SERVE" \
+    --out "$WORK/fleet_$n.json"
+  cmp "$WORK/ref.json" "$WORK/fleet_$n.json"
+  echo "-- $n worker(s): identical"
+done
+
+# Phases B and C attach to externally managed workers armed with a
+# deterministic per-request transit delay (80ms per shard), so a ~600-point
+# grid in 8-point shards stays in flight for seconds — long enough for a
+# mid-sweep kill to land, with answers still byte-identical to clean ones.
+echo "== phase B: worker killed mid-sweep =="
+start_worker --inject msg_delay=1.0,mag=80000000
+P1="$LAST_PORT"
+start_worker --inject msg_delay=1.0,mag=80000000
+P2="$LAST_PORT"
+VICTIM_PID="$LAST_PID"
+"$FLEET" --grid canonical --connect "$P1" --connect "$P2" \
+  --points-per-shard 8 --stats \
+  --out "$WORK/fleet_kill.json" 2>"$WORK/fleet_kill.log" &
+FLEET_PID=$!
+sleep 0.6
+kill -KILL "$VICTIM_PID"
+status=0
+wait "$FLEET_PID" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "fleet_chaos: fleet exited $status after worker kill; log:" >&2
+  cat "$WORK/fleet_kill.log" >&2
+  exit 1
+fi
+cmp "$WORK/ref.json" "$WORK/fleet_kill.json"
+grep -Eq '[^0-9][1-9][0-9]* worker failure' "$WORK/fleet_kill.log" || {
+  echo "fleet_chaos: worker kill landed too late (no failure recorded); log:" >&2
+  cat "$WORK/fleet_kill.log" >&2
+  exit 1
+}
+echo "-- survivor finished the sweep: identical"
+
+echo "== phase C: coordinator killed mid-sweep, then resumed =="
+"$FLEET" --grid canonical --connect "$P1" \
+  --points-per-shard 8 --journal "$WORK/fleet.journal" \
+  --out "$WORK/fleet_resumed.json" 2>"$WORK/fleet_resume.log" &
+FLEET_PID=$!
+sleep 0.6
+kill -TERM "$FLEET_PID"
+status=0
+wait "$FLEET_PID" || status=$?
+if [ "$status" -ne 3 ]; then
+  echo "fleet_chaos: killed coordinator exited $status, want 3; log:" >&2
+  cat "$WORK/fleet_resume.log" >&2
+  exit 1
+fi
+[ -f "$WORK/fleet.journal" ] || { echo "fleet_chaos: journal lost" >&2; exit 1; }
+"$FLEET" --grid canonical --connect "$P1" \
+  --points-per-shard 8 --resume "$WORK/fleet.journal" \
+  --out "$WORK/fleet_resumed.json" 2>>"$WORK/fleet_resume.log"
+cmp "$WORK/ref.json" "$WORK/fleet_resumed.json"
+echo "-- resumed coordinator: identical"
+
+echo "fleet_chaos: OK"

@@ -42,12 +42,16 @@ cleanup() {
 trap cleanup EXIT
 
 # Start a server with the given extra flags; sets SERVER_PID and PORT.
+# The port comes from the server's stdout (the bound port is the only thing
+# it ever prints there), cross-checked against --port-file: the two must
+# agree, or the echo contract scripts and stamp_fleet rely on is broken.
 start_server() {
-  rm -f "$WORK/port"
-  "$SERVE" --port 0 --port-file "$WORK/port" "$@" 2>>"$WORK/server.log" &
+  rm -f "$WORK/port" "$WORK/port_stdout"
+  "$SERVE" --port 0 --port-file "$WORK/port" "$@" \
+    >"$WORK/port_stdout" 2>>"$WORK/server.log" &
   SERVER_PID=$!
   for _ in $(seq 1 100); do
-    [ -s "$WORK/port" ] && break
+    [ -s "$WORK/port_stdout" ] && break
     kill -0 "$SERVER_PID" 2>/dev/null || {
       echo "serve_load: server died at startup; log:" >&2
       cat "$WORK/server.log" >&2
@@ -55,8 +59,19 @@ start_server() {
     }
     sleep 0.1
   done
-  [ -s "$WORK/port" ] || { echo "serve_load: no port file" >&2; exit 1; }
-  PORT="$(cat "$WORK/port")"
+  [ -s "$WORK/port_stdout" ] || { echo "serve_load: no port on stdout" >&2; exit 1; }
+  PORT="$(head -n 1 "$WORK/port_stdout" | tr -d '[:space:]')"
+  case "$PORT" in
+    ''|*[!0-9]*) echo "serve_load: bad port '$PORT' on stdout" >&2; exit 1;;
+  esac
+  for _ in $(seq 1 100); do
+    [ -s "$WORK/port" ] && break
+    sleep 0.1
+  done
+  [ "$(cat "$WORK/port")" = "$PORT" ] || {
+    echo "serve_load: stdout port $PORT != port file $(cat "$WORK/port")" >&2
+    exit 1
+  }
 }
 
 # SIGTERM the server and require a graceful exit code 0.

@@ -96,6 +96,41 @@ Cost apsp_process_cost(int n, int rounds, const MachineParams& mp,
   return (round_cost + outside).scaled(rounds);
 }
 
+CostCounters cluster_apsp_round_counters(int n, int nodes) noexcept {
+  CostCounters c;
+  const double dn = n;
+  const double per_node = dn / nodes;  // processes co-resident on one machine
+  // Same min-plus work as the shared-memory APSP round...
+  c.c_fp = dn * dn;
+  c.c_int = dn * (dn - 1) + dn;
+  // ...but the matrix travels by explicit row exchange: each process sends
+  // its n-entry row to all n-1 peers and receives their rows, split by tier.
+  c.m_s_e = dn * (per_node - 1);
+  c.m_r_e = dn * (per_node - 1);
+  c.m_s_n = dn * (dn - per_node);
+  c.m_r_n = dn * (dn - per_node);
+  return c;
+}
+
+ProcessCounts cluster_apsp_process_counts(int n, int nodes) noexcept {
+  ProcessCounts pc;
+  const int per_node = n / nodes;
+  pc.inter = per_node - 1;   // co-resident peers, each on its own processor
+  pc.node = n - per_node;    // peers on the other nodes of the cluster
+  return pc;
+}
+
+Cost cluster_apsp_process_cost(int n, int nodes, int rounds,
+                               const MachineParams& mp,
+                               const EnergyParams& e) noexcept {
+  const CostCounters per_round = cluster_apsp_round_counters(n, nodes);
+  const ProcessCounts pc = cluster_apsp_process_counts(n, nodes);
+  const Cost round_cost = s_round_cost(per_round, mp, e, pc);
+  // Outside the round: loop-condition check + termination test (integer ops).
+  const Cost outside{2.0, 2.0 * e.w_int};
+  return (round_cost + outside).scaled(rounds);
+}
+
 CostCounters transfer_counters(double rollbacks, bool intra) noexcept {
   CostCounters c;
   // Each subtransaction (withdraw / deposit): read balance, adjust, write

@@ -86,6 +86,30 @@ struct JacobiAnalysis {
                                      const EnergyParams& e) noexcept;
 
 // ---------------------------------------------------------------------------
+// Cluster APSP (inter_node distribution), message-passing realization — the
+// third-tier extension of arXiv:0810.2150. n processes are spread evenly over
+// `nodes` machines; per round each process exchanges its n-entry row with
+// every peer. Rows to co-resident peers travel the chip tier (L_e/g_mp_e),
+// rows to peers on other nodes travel the network tier (L_net/g_net/w_net).
+// With nodes = 1 the node-tier counters are zero and the analysis collapses
+// to the paper's single-node message-passing form exactly.
+// ---------------------------------------------------------------------------
+
+/// Counters of one cluster-APSP S-round for one of n processes spread over
+/// `nodes` machines (local min-plus work identical to apsp_round_counters;
+/// the n^2 shared accesses become row exchanges split by tier).
+[[nodiscard]] CostCounters cluster_apsp_round_counters(int n, int nodes) noexcept;
+
+/// Process-count context of the cluster placement: per-node peers are
+/// inter-processor, off-node peers are inter-node.
+[[nodiscard]] ProcessCounts cluster_apsp_process_counts(int n, int nodes) noexcept;
+
+/// Closed-form per-process cost for R rounds of cluster APSP.
+[[nodiscard]] Cost cluster_apsp_process_cost(int n, int nodes, int rounds,
+                                             const MachineParams& mp,
+                                             const EnergyParams& e) noexcept;
+
+// ---------------------------------------------------------------------------
 // Transactional examples (trans_exec): banking transfer, airline reserve.
 // ---------------------------------------------------------------------------
 

@@ -15,7 +15,12 @@ const std::array<ModeCombination, 4>& table1_combinations() noexcept {
 }
 
 std::string_view keyword(Distribution d) noexcept {
-  return d == Distribution::IntraProc ? "intra_proc" : "inter_proc";
+  switch (d) {
+    case Distribution::IntraProc: return "intra_proc";
+    case Distribution::InterProc: return "inter_proc";
+    case Distribution::InterNode: return "inter_node";
+  }
+  return "?";
 }
 
 std::string_view keyword(ExecMode e) noexcept {

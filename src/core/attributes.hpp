@@ -26,10 +26,14 @@ namespace stamp {
 /// of one core): communication is fast but the per-processor power envelope
 /// constrains how many processes may be co-located. `InterProc` spreads
 /// processes over distinct processors: communication is slower but power is
-/// spread over many envelopes.
+/// spread over many envelopes. `InterNode` spreads processes over distinct
+/// machines of a cluster (the third tier of arXiv:0810.2150): communication
+/// pays the network parameters L_net/g_net/w_net, but each process gets a
+/// whole node's power envelope to itself.
 enum class Distribution : std::uint8_t {
   IntraProc,  ///< keyword `intra_proc`
   InterProc,  ///< keyword `inter_proc`
+  InterNode,  ///< keyword `inter_node` (cluster-of-CMPs tier)
 };
 
 /// How the body of a STAMP process executes.

@@ -26,13 +26,19 @@ double s_round_time(const CostCounters& c, const MachineParams& mp,
     t += mp.g_mp_a * (c.m_s_a + c.m_r_a);
     t += mp.g_mp_e * (c.m_s_e + c.m_r_e);
   }
+  if (c.uses_network()) {
+    if (pc.node >= 1) t += mp.L_net;
+    t += mp.g_net * (c.m_s_n + c.m_r_n);
+  }
   return t;
 }
 
 double s_round_energy(const CostCounters& c, const EnergyParams& ep) noexcept {
   return c.c_fp * ep.w_fp + c.c_int * ep.w_int +
          ep.w_d_r * (c.d_r_a + c.d_r_e) + ep.w_d_w * (c.d_w_a + c.d_w_e) +
-         ep.w_m_r * (c.m_r_a + c.m_r_e) + ep.w_m_s * (c.m_s_a + c.m_s_e);
+         ep.w_m_r * (c.m_r_a + c.m_r_e + c.m_r_n) +
+         ep.w_m_s * (c.m_s_a + c.m_s_e + c.m_s_n) +
+         ep.w_net * (c.m_s_n + c.m_r_n);
 }
 
 Cost s_round_cost(const CostCounters& c, const MachineParams& mp,

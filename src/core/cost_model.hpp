@@ -25,6 +25,8 @@ namespace stamp {
 struct ProcessCounts {
   int intra = 0;  ///< P_a: number of intra-processor STAMP processes
   int inter = 0;  ///< P_e: number of inter-processor STAMP processes
+  int node = 0;   ///< P_n: number of processes placed on *other* nodes
+                  ///  (cluster-of-CMPs tier; 0 = single-node, the paper's case)
 
   friend bool operator==(const ProcessCounts&, const ProcessCounts&) = default;
 };
@@ -62,17 +64,24 @@ std::ostream& operator<<(std::ostream& os, const Cost& c);
 ///                  + g_sh_a (d_r_a + d_w_a) + g_sh_e (d_r_e + d_w_e) )
 ///       + [mp]( [P_e>=1] L_e + [P_a>=1] L_a
 ///               + g_mp_a (m_s_a + m_r_a) + g_mp_e (m_s_e + m_r_e) )
+///       + [net]( [P_n>=1] L_net + g_net (m_s_n + m_r_n) )
 ///
-/// The substrate brackets [shm] / [mp] are inferred from the counters: a round
-/// with no shared-memory accesses pays no shared-memory latency, and likewise
-/// for message passing.
+/// The substrate brackets [shm] / [mp] / [net] are inferred from the counters:
+/// a round with no shared-memory accesses pays no shared-memory latency, and
+/// likewise for message passing and the inter-node network tier (the cluster
+/// extension of arXiv:0810.2150 — zero node-tier counters reproduce the
+/// paper's single-node formula exactly).
 [[nodiscard]] double s_round_time(const CostCounters& c, const MachineParams& mp,
                                   const ProcessCounts& pc) noexcept;
 
 /// E_S-round: the paper's Equation (2) — per-operation gated energy.
 ///
 ///   E = c_fp w_fp + c_int w_int + w_d_r (d_r_a + d_r_e) + w_d_w (d_w_a + d_w_e)
-///       + w_m_r (m_r_a + m_r_e) + w_m_s (m_s_a + m_s_e)
+///       + w_m_r (m_r_a + m_r_e + m_r_n) + w_m_s (m_s_a + m_s_e + m_s_n)
+///       + w_net (m_s_n + m_r_n)
+///
+/// Inter-node messages are still sends/receives (they pay w_m_s / w_m_r like
+/// any other) plus the NIC/link premium w_net per operation.
 [[nodiscard]] double s_round_energy(const CostCounters& c,
                                     const EnergyParams& ep) noexcept;
 

@@ -16,6 +16,8 @@ CostCounters& CostCounters::operator+=(const CostCounters& o) noexcept {
   m_r_a += o.m_r_a;
   m_s_e += o.m_s_e;
   m_r_e += o.m_r_e;
+  m_s_n += o.m_s_n;
+  m_r_n += o.m_r_n;
   kappa = std::max(kappa, o.kappa);
   return *this;
 }
@@ -32,6 +34,8 @@ CostCounters CostCounters::scaled(double k) const noexcept {
   r.m_r_a *= k;
   r.m_s_e *= k;
   r.m_r_e *= k;
+  r.m_s_n *= k;
+  r.m_r_n *= k;
   return r;
 }
 
@@ -48,6 +52,8 @@ CostCounters CostCounters::max(const CostCounters& a,
   r.m_r_a = std::max(a.m_r_a, b.m_r_a);
   r.m_s_e = std::max(a.m_s_e, b.m_s_e);
   r.m_r_e = std::max(a.m_r_e, b.m_r_e);
+  r.m_s_n = std::max(a.m_s_n, b.m_s_n);
+  r.m_r_n = std::max(a.m_r_n, b.m_r_n);
   r.kappa = std::max(a.kappa, b.kappa);
   return r;
 }
@@ -62,6 +68,7 @@ std::ostream& operator<<(std::ostream& os, const CostCounters& c) {
     os << " m_s_a=" << c.m_s_a << " m_r_a=" << c.m_r_a << " m_s_e=" << c.m_s_e
        << " m_r_e=" << c.m_r_e;
   }
+  if (c.uses_network()) os << " m_s_n=" << c.m_s_n << " m_r_n=" << c.m_r_n;
   if (c.kappa > 0) os << " kappa=" << c.kappa;
   return os << '}';
 }
@@ -93,6 +100,13 @@ CostCounters message_passing(double sends_a, double recvs_a, double sends_e,
   c.m_r_a = recvs_a;
   c.m_s_e = sends_e;
   c.m_r_e = recvs_e;
+  return c;
+}
+
+CostCounters inter_node(double sends_n, double recvs_n) noexcept {
+  CostCounters c;
+  c.m_s_n = sends_n;
+  c.m_r_n = recvs_n;
   return c;
 }
 

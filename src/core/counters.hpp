@@ -34,6 +34,8 @@ struct CostCounters {
   double m_r_a = 0;  ///< intra-processor message receives (m_{r,a})
   double m_s_e = 0;  ///< inter-processor message sends (m_{s,e})
   double m_r_e = 0;  ///< inter-processor message receives (m_{r,e})
+  double m_s_n = 0;  ///< inter-node message sends (m_{s,n}, cluster tier)
+  double m_r_n = 0;  ///< inter-node message receives (m_{r,n}, cluster tier)
 
   // -- serialization / rollback ----------------------------------------------
   /// kappa: maximum number of accesses to any one shared-memory location — in
@@ -50,10 +52,17 @@ struct CostCounters {
     return d_r_a + d_w_a + d_r_e + d_w_e;
   }
 
-  /// Total message operations, both distributions.
+  /// Total message operations, all three distributions.
   [[nodiscard]] double msg_ops() const noexcept {
-    return m_s_a + m_r_a + m_s_e + m_r_e;
+    return m_s_a + m_r_a + m_s_e + m_r_e + m_s_n + m_r_n;
   }
+
+  /// Total inter-node (cluster-tier) message operations.
+  [[nodiscard]] double net_ops() const noexcept { return m_s_n + m_r_n; }
+
+  /// True iff this round sends messages across the node boundary (drives the
+  /// bracket [inter-node comm] of the cluster extension).
+  [[nodiscard]] bool uses_network() const noexcept { return net_ops() > 0; }
 
   /// True iff this round touches shared memory at all (drives the
   /// Knuth–Iverson bracket [shared memory comm]).
@@ -103,6 +112,10 @@ namespace counters {
 /// Message-passing round: `sends`/`receives` split by distribution.
 [[nodiscard]] CostCounters message_passing(double sends_a, double recvs_a,
                                            double sends_e, double recvs_e) noexcept;
+
+/// Inter-node round: `sends`/`receives` that cross the node boundary
+/// (cluster-of-CMPs tier; charged L_net/g_net/w_net by the cost model).
+[[nodiscard]] CostCounters inter_node(double sends_n, double recvs_n) noexcept;
 
 }  // namespace counters
 }  // namespace stamp

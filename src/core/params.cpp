@@ -25,15 +25,22 @@ void MachineParams::validate() const {
           "intra-processor shm bandwidth factor must not exceed inter-processor");
   require(g_mp_a <= g_mp_e,
           "intra-processor mp bandwidth factor must not exceed inter-processor");
+  require(L_net >= 0 && g_net >= 0, "network parameters must be >= 0");
+  require(L_e <= L_net,
+          "inter-processor message delay must not exceed inter-node");
+  require(g_mp_e <= g_net,
+          "inter-processor mp bandwidth factor must not exceed inter-node");
 }
 
 void EnergyParams::validate() const {
   require(w_fp > 0 && w_int > 0 && w_d_r > 0 && w_d_w > 0 && w_m_s > 0 &&
               w_m_r > 0,
           "per-operation energies must be > 0");
+  require(w_net >= 0, "inter-node message energy premium must be >= 0");
 }
 
 void Topology::validate() const {
+  require(nodes >= 1, "topology needs at least one node");
   require(chips >= 1, "topology needs at least one chip");
   require(processors_per_chip >= 1, "topology needs at least one processor per chip");
   require(threads_per_processor >= 1,
@@ -57,6 +64,7 @@ void MachineModel::validate() const {
 }
 
 std::ostream& operator<<(std::ostream& os, const Topology& t) {
+  if (t.nodes != 1) os << t.nodes << " node(s) x ";
   return os << t.chips << " chip(s) x " << t.processors_per_chip
             << " processor(s) x " << t.threads_per_processor << " thread(s) = "
             << t.total_threads() << " hardware threads";
@@ -66,13 +74,13 @@ std::ostream& operator<<(std::ostream& os, const MachineParams& p) {
   return os << "shm{ell_a=" << p.ell_a << " ell_e=" << p.ell_e
             << " g_a=" << p.g_sh_a << " g_e=" << p.g_sh_e << "} mp{L_a=" << p.L_a
             << " L_e=" << p.L_e << " g_a=" << p.g_mp_a << " g_e=" << p.g_mp_e
-            << '}';
+            << "} net{L=" << p.L_net << " g=" << p.g_net << '}';
 }
 
 std::ostream& operator<<(std::ostream& os, const EnergyParams& e) {
   return os << "w{fp=" << e.w_fp << " int=" << e.w_int << " d_r=" << e.w_d_r
             << " d_w=" << e.w_d_w << " m_s=" << e.w_m_s << " m_r=" << e.w_m_r
-            << '}';
+            << " net=" << e.w_net << '}';
 }
 
 std::ostream& operator<<(std::ostream& os, const PowerEnvelope& e) {

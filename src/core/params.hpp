@@ -40,9 +40,20 @@ struct MachineParams {
   double g_mp_a = 1;    ///< bandwidth factor, intra-processor messages (g_mp_a)
   double g_mp_e = 8;    ///< bandwidth factor, inter-processor messages (g_mp_e)
 
+  // -- inter-node network (cluster-of-CMPs third layer) ------------------------
+  // Extends the paper's two on-chip tiers with the cluster tier of
+  // arXiv:0810.2150: messages that leave the node pay the network delay
+  // bound L_net and the network bandwidth factor g_net. Both default to
+  // "slower than anything on-chip" and are only ever charged when a round's
+  // node-tier message counters are nonzero, so single-node results are
+  // unchanged by their presence.
+  double L_net = 400;   ///< message delay bound, inter-node (L_net)
+  double g_net = 32;    ///< bandwidth factor, inter-node messages (g_net)
+
   /// Validate invariants: all values nonnegative; intra must not be slower
   /// than inter for the same kind (the premise of the distribution trade-off:
-  /// "intra-processor communication is faster than inter-processor").
+  /// "intra-processor communication is faster than inter-processor"), and
+  /// the node boundary must not be faster than the chip boundary.
   void validate() const;
 
   friend bool operator==(const MachineParams&, const MachineParams&) = default;
@@ -57,6 +68,9 @@ struct EnergyParams {
   double w_d_w = 2;  ///< energy per shared-memory write (w_{d_w})
   double w_m_s = 6;  ///< energy per message send (w_{m_s})
   double w_m_r = 6;  ///< energy per message receive (w_{m_r})
+  /// Extra energy per inter-node message operation (NIC/link premium, on top
+  /// of the w_m_s/w_m_r already charged for the send/receive itself).
+  double w_net = 24;
 
   /// Validate: all strictly positive.
   void validate() const;
@@ -67,12 +81,13 @@ struct EnergyParams {
 /// Logical CMP/CMT topology: chips x processors x hardware threads.
 /// Figure 1 of the paper (Sun Niagara) is `{1, 8, 4}`.
 struct Topology {
+  int nodes = 1;  ///< machines in the cluster (1 = the paper's single node)
   int chips = 1;
   int processors_per_chip = 8;  ///< cores per chip
   int threads_per_processor = 4;  ///< hardware threads per core (CMT)
 
   [[nodiscard]] int total_processors() const noexcept {
-    return chips * processors_per_chip;
+    return nodes * chips * processors_per_chip;
   }
   [[nodiscard]] int total_threads() const noexcept {
     return total_processors() * threads_per_processor;

@@ -1,0 +1,263 @@
+#include "dist/coordinator.hpp"
+
+#include "dist/wire.hpp"
+#include "serve/socket.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace stamp::dist {
+namespace {
+
+/// The server rejects chunks above its own cap; stay under it.
+constexpr std::size_t kMaxChunkPoints = 4096;
+
+std::string request_line(std::uint64_t id, std::uint64_t begin,
+                         std::uint64_t end) {
+  std::ostringstream os;
+  os << "{\"id\":" << id << ",\"op\":\"sweep_chunk\",\"begin\":" << begin
+     << ",\"end\":" << end << "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<ShardPlan> plan_shards(const sweep::SweepConfig& cfg,
+                                   const sweep::ResumeState* resume,
+                                   std::size_t points_per_shard) {
+  const std::size_t shard_size =
+      std::clamp<std::size_t>(points_per_shard, 1, kMaxChunkPoints);
+  std::vector<ShardPlan> shards;
+  const std::size_t total = cfg.grid.size();
+  std::size_t i = 0;
+  while (i < total) {
+    if (resume != nullptr && resume->completed(i)) {
+      ++i;
+      continue;
+    }
+    // Grow a contiguous run of missing points, capped at the shard size.
+    std::size_t end = i + 1;
+    while (end < total && end - i < shard_size &&
+           (resume == nullptr || !resume->completed(end)))
+      ++end;
+    shards.push_back(ShardPlan{shards.size(), i, end});
+    i = end;
+  }
+  return shards;
+}
+
+/// Everything the worker threads share; lives on run()'s stack.
+struct Coordinator::Shared {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<ShardPlan> pending;
+  std::size_t remaining = 0;  ///< shards not yet journaled
+  FleetStats stats;
+  std::atomic<std::uint64_t> next_id{1};
+  sweep::Journal* journal = nullptr;
+  std::exception_ptr fatal;  ///< first non-retryable failure, rethrown by run
+
+  [[nodiscard]] bool done_locked() const noexcept {
+    return remaining == 0 || fatal != nullptr;
+  }
+};
+
+Coordinator::Coordinator(sweep::SweepConfig cfg, FleetOptions opts)
+    : cfg_(std::move(cfg)), opts_(std::move(opts)) {
+  if (opts_.ports.empty())
+    throw std::invalid_argument("Coordinator: no worker ports");
+}
+
+FleetStats Coordinator::run(sweep::Journal& journal,
+                            const sweep::ResumeState* resume) {
+  Shared shared;
+  shared.journal = &journal;
+  {
+    const std::vector<ShardPlan> shards =
+        plan_shards(cfg_, resume, opts_.points_per_shard);
+    shared.pending.assign(shards.begin(), shards.end());
+    shared.remaining = shards.size();
+    shared.stats.shards = shards.size();
+  }
+
+  const auto cancelled = [this]() noexcept {
+    return opts_.cancel != nullptr && opts_.cancel->cancelled();
+  };
+
+  auto worker_loop = [&](std::size_t slot) {
+    serve::Socket sock;
+    int reconnects_left = opts_.reconnect_attempts;
+
+    // Re-establish the connection, spending the worker's reconnect budget.
+    const auto reconnect = [&]() -> bool {
+      while (reconnects_left > 0 && !cancelled()) {
+        --reconnects_left;
+        sock = serve::Socket::connect_to(opts_.ports[slot]);
+        if (sock.valid()) return true;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opts_.reconnect_delay_ms));
+      }
+      return false;
+    };
+
+    for (;;) {
+      ShardPlan shard;
+      {
+        std::unique_lock<std::mutex> lock(shared.mutex);
+        // Wait for a shard, completion, or cancellation. The cancel token
+        // has no wakeup hook, so waiters poll it.
+        while (shared.pending.empty() && !shared.done_locked() && !cancelled())
+          shared.cv.wait_for(lock, std::chrono::milliseconds(50));
+        if (shared.done_locked() || cancelled()) return;
+        shard = shared.pending.front();
+        shared.pending.pop_front();
+      }
+
+      bool journaled = false;
+      while (!journaled && !cancelled()) {
+        if (!sock.valid() && !reconnect()) {
+          // Worker dead (or cancelled mid-reconnect): hand the shard back.
+          std::lock_guard<std::mutex> lock(shared.mutex);
+          shared.pending.push_front(shard);
+          if (!cancelled()) {
+            shared.stats.reassigned += 1;
+            shared.stats.worker_failures += 1;
+          }
+          shared.cv.notify_all();
+          return;
+        }
+        if (opts_.on_dispatch) opts_.on_dispatch(shard.index, slot);
+        const std::uint64_t id =
+            shared.next_id.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(shared.mutex);
+          shared.stats.dispatched += 1;
+        }
+        if (!sock.write_all(request_line(id, shard.begin, shard.end))) {
+          sock.close();
+          std::lock_guard<std::mutex> lock(shared.mutex);
+          shared.stats.reconnects += 1;
+          continue;
+        }
+
+        // Read until our response or the per-shard deadline.
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(opts_.response_timeout_ms);
+        bool resend = false;
+        while (!resend && !journaled) {
+          if (cancelled()) break;
+          const auto remaining_ms =
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - std::chrono::steady_clock::now())
+                  .count();
+          if (remaining_ms <= 0) {
+            sock.close();  // stale connection: whatever arrives is suspect
+            resend = true;
+            break;
+          }
+          std::string line;
+          const auto status = sock.read_line(
+              line, static_cast<int>(std::min<long long>(remaining_ms, 500)));
+          if (status == serve::Socket::ReadStatus::Timeout) continue;
+          if (status != serve::Socket::ReadStatus::Line) {
+            sock.close();
+            resend = true;
+            break;
+          }
+          const std::optional<std::uint64_t> got = response_id(line);
+          if (!got.has_value() || *got != id) continue;  // stale straggler
+          ChunkResult chunk;
+          try {
+            chunk = decode_sweep_chunk(line, cfg_);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(shared.mutex);
+            if (shared.fatal == nullptr) shared.fatal = std::current_exception();
+            shared.cv.notify_all();
+            return;
+          }
+          if (chunk.status == 503) {
+            // Admission pushback: the worker is draining or overloaded.
+            // Brief pause, then resend — the shard is still ours.
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            resend = true;
+            break;
+          }
+          if (chunk.status != 200) {
+            // 400/500 are deterministic for this request: any worker would
+            // answer the same, so retrying elsewhere cannot help.
+            std::lock_guard<std::mutex> lock(shared.mutex);
+            if (shared.fatal == nullptr)
+              shared.fatal = std::make_exception_ptr(std::runtime_error(
+                  "fleet: worker answered status " +
+                  std::to_string(chunk.status) + " for shard [" +
+                  std::to_string(shard.begin) + ", " +
+                  std::to_string(shard.end) + "): " + chunk.error));
+            shared.cv.notify_all();
+            return;
+          }
+          if (chunk.begin != shard.begin || chunk.end != shard.end) {
+            std::lock_guard<std::mutex> lock(shared.mutex);
+            if (shared.fatal == nullptr)
+              shared.fatal = std::make_exception_ptr(
+                  WireError("fleet: response range mismatch for shard [" +
+                            std::to_string(shard.begin) + ", " +
+                            std::to_string(shard.end) + ")"));
+            shared.cv.notify_all();
+            return;
+          }
+          // Journal the shard; Journal::append is thread-safe and the
+          // resume replay orders records by index, so append order across
+          // shards does not matter.
+          for (const sweep::SweepRecord& rec : chunk.records)
+            shared.journal->append(rec);
+          {
+            std::lock_guard<std::mutex> lock(shared.mutex);
+            shared.stats.completed += 1;
+            shared.stats.records += chunk.records.size();
+            shared.remaining -= 1;
+            shared.cv.notify_all();
+          }
+          journaled = true;
+        }
+        if (resend) {
+          std::lock_guard<std::mutex> lock(shared.mutex);
+          shared.stats.reconnects += 1;
+        }
+      }
+      if (!journaled) {
+        // Cancelled mid-shard: put it back so a resume sees it as missing.
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        shared.pending.push_front(shard);
+        shared.cv.notify_all();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(opts_.ports.size());
+  for (std::size_t slot = 0; slot < opts_.ports.size(); ++slot)
+    threads.emplace_back(worker_loop, slot);
+  for (std::thread& t : threads) t.join();
+
+  if (shared.fatal != nullptr) std::rethrow_exception(shared.fatal);
+  if (cancelled()) {
+    shared.stats.cancelled = true;
+    return shared.stats;
+  }
+  if (shared.remaining > 0)
+    throw std::runtime_error(
+        "fleet: all " + std::to_string(opts_.ports.size()) +
+        " workers failed with " + std::to_string(shared.remaining) +
+        " shard(s) outstanding (journal kept; rerun with --resume)");
+  return shared.stats;
+}
+
+}  // namespace stamp::dist

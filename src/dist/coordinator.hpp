@@ -1,0 +1,110 @@
+#pragma once
+/// \file coordinator.hpp
+/// \brief `dist::Coordinator` — shard a sweep grid across N `stamp_serve`
+///        workers over the `stamp-serve/v1` sweep_chunk op, journaling every
+///        completed shard into the PR 5 write-ahead journal.
+///
+/// The coordinator is the cluster-of-CMPs tier made executable: the model
+/// grew `L_net`/`g_net`/`w_net` for inter-node communication, this file
+/// grows the matching infrastructure. Its one hard contract is
+/// *byte-identity*: the journal it fills, replayed through the normal
+/// resume machinery, must produce an artifact `cmp`-identical to a
+/// single-node `stamp_sweep` run — at any worker count, after any worker
+/// death, and across a coordinator kill + resume. It gets this by
+/// construction, not by care: workers' wire points are validated against
+/// the coordinator's own grid and re-anchored to its exact doubles
+/// (`dist::decode_sweep_chunk`), journaled through `sweep::Journal`'s
+/// canonical record encoding, and merged by `Evaluator::sweep` replaying
+/// the journal like any resumed run.
+///
+/// Failure model (the reconnect/resend discipline of `stamp_call`, applied
+/// per shard): a worker that times out, EOFs, or errors gets its connection
+/// torn down and the request resent after reconnecting; a worker whose
+/// reconnect budget runs out is declared dead and its in-flight shard goes
+/// back to the queue for the survivors. The run only fails when every
+/// worker is dead with shards still outstanding (or a worker returns a
+/// non-retryable status: a 400/500 is deterministic and would fail on any
+/// worker).
+
+#include "core/cancel.hpp"
+#include "sweep/journal.hpp"
+#include "sweep/sweep.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace stamp::dist {
+
+/// One contiguous index range of not-yet-completed grid points.
+struct ShardPlan {
+  std::size_t index = 0;    ///< shard number, 0-based in plan order
+  std::uint64_t begin = 0;  ///< first grid index (inclusive)
+  std::uint64_t end = 0;    ///< one past the last grid index
+
+  friend bool operator==(const ShardPlan&, const ShardPlan&) = default;
+};
+
+/// Split the grid's missing points (those without a journaled record in
+/// `resume`; all of them when `resume` is null) into contiguous shards of at
+/// most `points_per_shard` points. Completed points never reappear in a
+/// shard, so a resumed coordinator only dispatches genuinely missing work.
+[[nodiscard]] std::vector<ShardPlan> plan_shards(
+    const sweep::SweepConfig& cfg, const sweep::ResumeState* resume,
+    std::size_t points_per_shard);
+
+struct FleetOptions {
+  /// Loopback ports of the stamp_serve workers, one connection per entry.
+  std::vector<std::uint16_t> ports;
+  /// Shard granularity; clamped to the server's chunk cap (4096).
+  std::size_t points_per_shard = 64;
+  /// How long to wait for a shard's response before tearing the connection
+  /// down and resending.
+  int response_timeout_ms = 120000;
+  /// Reconnect attempts (spaced `reconnect_delay_ms` apart) before a worker
+  /// is declared dead.
+  int reconnect_attempts = 40;
+  int reconnect_delay_ms = 50;
+  /// Cooperative cancellation (the tools' shutdown token).
+  const core::CancelToken* cancel = nullptr;
+  /// Test/chaos hook, called just before a shard's request is sent:
+  /// (shard index, worker slot). The fleet chaos scenario uses it to kill
+  /// the targeted worker deterministically by shard index.
+  std::function<void(std::size_t shard, std::size_t worker)> on_dispatch;
+};
+
+struct FleetStats {
+  std::size_t shards = 0;           ///< shards planned for this run
+  std::size_t dispatched = 0;       ///< send attempts (>= shards)
+  std::size_t completed = 0;        ///< shards journaled
+  std::size_t reassigned = 0;       ///< shards returned by a dying worker
+  std::size_t worker_failures = 0;  ///< workers declared dead
+  std::size_t reconnects = 0;       ///< connection teardown+retry cycles
+  std::size_t records = 0;          ///< grid points journaled by this run
+  bool cancelled = false;           ///< stopped by the cancel token
+};
+
+class Coordinator {
+ public:
+  Coordinator(sweep::SweepConfig cfg, FleetOptions opts);
+
+  /// Fan the missing points out to the workers, appending every validated
+  /// record to `journal`. Throws std::runtime_error when the whole fleet
+  /// dies with shards outstanding, or WireError on a protocol violation /
+  /// non-retryable worker status. On cancellation, returns early with
+  /// `cancelled` set and the journal intact (resume finishes the rest).
+  FleetStats run(sweep::Journal& journal, const sweep::ResumeState* resume);
+
+  [[nodiscard]] const sweep::SweepConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  struct Shared;
+
+  sweep::SweepConfig cfg_;
+  FleetOptions opts_;
+};
+
+}  // namespace stamp::dist

@@ -1,0 +1,7 @@
+#pragma once
+/// \file dist.hpp
+/// \brief Umbrella header for the distributed-sweep layer: wire decoding of
+///        sweep_chunk responses and the sharding coordinator.
+
+#include "dist/coordinator.hpp"  // IWYU pragma: export
+#include "dist/wire.hpp"         // IWYU pragma: export

@@ -17,6 +17,7 @@ const char* site_name(FaultSite s) noexcept {
     case FaultSite::SimCoreFail: return "sim_core_fail";
     case FaultSite::SweepPointFail: return "sweep_point_fail";
     case FaultSite::ServeWorkerFail: return "serve_worker_fail";
+    case FaultSite::FleetWorkerKill: return "fleet_worker_kill";
   }
   return "unknown";
 }

@@ -32,9 +32,11 @@ enum class FaultSite : std::uint8_t {
                     ///< SweepPointFailure; key = grid index)
   ServeWorkerFail,  ///< crash a serve worker mid-request (the supervisor
                     ///< retries; key = request id)
+  FleetWorkerKill,  ///< kill a fleet sweep worker after it is handed a shard
+                    ///< (the coordinator reassigns; key = shard index)
 };
 
-inline constexpr std::size_t kFaultSiteCount = 10;
+inline constexpr std::size_t kFaultSiteCount = 11;
 
 [[nodiscard]] constexpr std::size_t site_index(FaultSite s) noexcept {
   return static_cast<std::size_t>(s);

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include <atomic>
+
 #ifndef _WIN32
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -54,7 +56,25 @@ void fsync_path(const std::string& path, const char* what) {
   return path.substr(0, slash);
 }
 
+std::atomic<CommitObserver> g_commit_observer{nullptr};
+
+void notify(CommitStep step, const std::string& path) {
+  if (const CommitObserver obs =
+          g_commit_observer.load(std::memory_order_acquire))
+    obs(step, path);
+}
+
 }  // namespace
+
+void set_commit_observer(CommitObserver observer) noexcept {
+  g_commit_observer.store(observer, std::memory_order_release);
+}
+
+void fsync_parent_directory(const std::string& path) {
+  const std::string dir = parent_dir(path);
+  notify(CommitStep::DirFsync, dir);
+  fsync_path(dir, "parent directory of");
+}
 
 AtomicFileWriter::AtomicFileWriter(std::string path)
     : path_(std::move(path)),
@@ -88,7 +108,9 @@ void AtomicFileWriter::commit() {
                              temp_path_ + "' failed (disk full or I/O error)");
   }
   try {
+    notify(CommitStep::TempFsync, temp_path_);
     fsync_path(temp_path_, "temp file");
+    notify(CommitStep::Rename, path_);
   } catch (...) {
     abort();
     throw;
@@ -101,7 +123,10 @@ void AtomicFileWriter::commit() {
   }
   committed_ = true;
   // The rename is only durable once the directory entry is; a crash after
-  // this point can no longer lose or tear the artifact.
+  // this point can no longer lose or tear the artifact. An observer throw
+  // here propagates with the destination already in place — exactly the
+  // state a real crash would leave.
+  notify(CommitStep::DirFsync, parent_dir(path_));
   fsync_path(parent_dir(path_), "parent directory of");
 }
 

@@ -24,6 +24,25 @@
 
 namespace stamp::report {
 
+/// The durability-critical steps of a commit, in order: fsync the temp
+/// file's data, rename it over the destination, fsync the parent directory
+/// so the new directory entry itself survives a crash.
+enum class CommitStep { TempFsync, Rename, DirFsync };
+
+/// Test hook: called just *before* each commit step with the path that step
+/// operates on (the temp file, the destination, the parent *directory*).
+/// A throwing observer simulates a crash at that point — commit() keeps its
+/// no-partial-artifact guarantee and propagates. Pass nullptr to reset.
+/// Not meant for production code.
+using CommitObserver = void (*)(CommitStep step, const std::string& path);
+void set_commit_observer(CommitObserver observer) noexcept;
+
+/// fsync the directory containing `path`, making a newly created or renamed
+/// directory entry durable. commit() does this after its rename; the sweep
+/// journal does it after creating its file. Throws std::runtime_error on
+/// failure; no-op on platforms without fsync.
+void fsync_parent_directory(const std::string& path);
+
 class AtomicFileWriter {
  public:
   /// Open `<path>.tmp.<pid>` for binary writing. A failed open is reported

@@ -47,8 +47,10 @@ SearchMethod parse_method(const JsonValue& obj) {
 
 /// The shared point payload: the record exactly as the sweep artifact
 /// serializes it (params keyed by axis name, selected process count,
-/// feasibility, all four metrics), so a serve response and a sweep artifact
-/// agree bit for bit on the same grid point.
+/// feasibility, all four metrics, classical-model predictions keyed by model
+/// name), so a serve response and a sweep artifact agree bit for bit on the
+/// same grid point — which is what lets the fleet coordinator journal wire
+/// points and merge a byte-identical artifact.
 void write_point(JsonWriter& w, std::span<const std::string> axis_names,
                  const sweep::SweepRecord& record) {
   w.begin_object();
@@ -66,6 +68,11 @@ void write_point(JsonWriter& w, std::span<const std::string> axis_names,
   w.kv("PDP", record.metrics.PDP);
   w.kv("EDP", record.metrics.EDP);
   w.kv("ED2P", record.metrics.ED2P);
+  w.end_object();
+  w.key("models").begin_object();
+  for (int k = 0; k < models::kModelKindCount; ++k)
+    w.kv(models::to_string(static_cast<models::ModelKind>(k)),
+         record.classical[static_cast<std::size_t>(k)]);
   w.end_object();
   w.end_object();
 }

@@ -70,10 +70,28 @@ Socket Socket::connect_to(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Socket{};
   const sockaddr_in addr = loopback(port);
-  int rc;
-  do {
-    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
-  } while (rc < 0 && errno == EINTR);
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (rc < 0 && errno == EINTR) {
+    // POSIX: a connect() interrupted by a signal keeps completing
+    // asynchronously — *retrying* it yields EALREADY (or EISCONN once
+    // established), which would read as failure. Wait for writability and
+    // take the verdict from SO_ERROR instead.
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    int prc;
+    do {
+      prc = ::poll(&p, 1, 60000);
+    } while (prc < 0 && errno == EINTR);
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (prc <= 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      ::close(fd);
+      return Socket{};
+    }
+    rc = 0;
+  }
   if (rc < 0) {
     ::close(fd);
     return Socket{};

@@ -1,6 +1,7 @@
 #include "sweep/journal.hpp"
 
 #include "obs/metrics.hpp"
+#include "report/atomic_file.hpp"
 #include "report/json.hpp"
 #include "report/json_parse.hpp"
 
@@ -324,8 +325,14 @@ Journal::Journal(std::string path, const SweepConfig& cfg,
 #endif
   // Make the header (or the truncation) durable before any point completes:
   // a journal that can lose its own header on crash restarts from scratch.
-  std::lock_guard<std::mutex> lock(mutex_);
-  sync_locked();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sync_locked();
+  }
+  // A freshly created journal file is only durable once its directory entry
+  // is: fsync the containing directory, or a crash can make the whole file
+  // vanish despite every record having been fsynced.
+  if (!continue_existing) report::fsync_parent_directory(path_);
 }
 
 Journal::~Journal() {

@@ -132,6 +132,60 @@ TEST(ApspAnalysis, ProcessCostScalesWithRounds) {
   EXPECT_DOUBLE_EQ(five.energy, 5 * one.energy);
 }
 
+TEST(ClusterApspAnalysis, SingleNodeCollapsesToMessagePassingForm) {
+  const int n = 6;
+  const CostCounters c = cluster_apsp_round_counters(n, 1);
+  // nodes = 1: no row ever leaves the node, so the third tier is silent.
+  EXPECT_DOUBLE_EQ(c.net_ops(), 0);
+  EXPECT_FALSE(c.uses_network());
+  // Same local min-plus work as the shared-memory analysis...
+  const CostCounters shm = apsp_round_counters(n);
+  EXPECT_DOUBLE_EQ(c.c_fp, shm.c_fp);
+  EXPECT_DOUBLE_EQ(c.c_int, shm.c_int);
+  // ...with every n-entry row exchanged over the chip tier instead.
+  EXPECT_DOUBLE_EQ(c.m_s_e, 6.0 * (6 - 1));
+  EXPECT_DOUBLE_EQ(c.m_r_e, 6.0 * (6 - 1));
+  const ProcessCounts pc = cluster_apsp_process_counts(n, 1);
+  EXPECT_EQ(pc.node, 0);
+  EXPECT_EQ(pc.inter, n - 1);
+}
+
+TEST(ClusterApspAnalysis, MultiNodeSplitsRowsByTier) {
+  const int n = 6, nodes = 3;  // two processes per node
+  const CostCounters c = cluster_apsp_round_counters(n, nodes);
+  EXPECT_DOUBLE_EQ(c.m_s_e, 6.0 * 1);  // one co-resident peer
+  EXPECT_DOUBLE_EQ(c.m_r_e, 6.0 * 1);
+  EXPECT_DOUBLE_EQ(c.m_s_n, 6.0 * 4);  // four peers on other nodes
+  EXPECT_DOUBLE_EQ(c.m_r_n, 6.0 * 4);
+  EXPECT_TRUE(c.uses_network());
+  const ProcessCounts pc = cluster_apsp_process_counts(n, nodes);
+  EXPECT_EQ(pc.inter, 1);
+  EXPECT_EQ(pc.node, 4);
+}
+
+TEST(ClusterApspAnalysis, SpreadingOverNodesNeverGetsCheaper) {
+  // Validation forces the network tier to be no faster than the chip tier,
+  // so spreading the same n processes over more nodes can only cost more.
+  const MachineParams mp;
+  const EnergyParams e;
+  const Cost one = cluster_apsp_process_cost(12, 1, 4, mp, e);
+  const Cost two = cluster_apsp_process_cost(12, 2, 4, mp, e);
+  const Cost four = cluster_apsp_process_cost(12, 4, 4, mp, e);
+  EXPECT_LE(one.time, two.time);
+  EXPECT_LE(two.time, four.time);
+  EXPECT_LE(one.energy, two.energy);
+  EXPECT_LE(two.energy, four.energy);
+}
+
+TEST(ClusterApspAnalysis, ProcessCostScalesWithRounds) {
+  const MachineParams mp;
+  const EnergyParams e;
+  const Cost one = cluster_apsp_process_cost(8, 2, 1, mp, e);
+  const Cost five = cluster_apsp_process_cost(8, 2, 5, mp, e);
+  EXPECT_DOUBLE_EQ(five.time, 5 * one.time);
+  EXPECT_DOUBLE_EQ(five.energy, 5 * one.energy);
+}
+
 TEST(TransactionalAnalysis, TransferCountersScaleWithRollbacks) {
   const CostCounters clean = transfer_counters(0, true);
   const CostCounters retried = transfer_counters(2, true);

@@ -128,6 +128,50 @@ TEST(CostModel, LocalCostRejectsCommunication) {
   EXPECT_DOUBLE_EQ(c.energy, 2 * 4 + 3 * 1);
 }
 
+// -- the inter-node (cluster) tier -------------------------------------------
+
+TEST(CostModel, NetworkBracketChargesOnlyWithNodeCounters) {
+  // A round that never crosses the node boundary must cost the same no matter
+  // how slow the network is — the third tier is invisible until it is used.
+  CostCounters c = counters::message_passing(1, 1, 1, 1);
+  c.c_fp = 2;
+  const MachineParams base = simple_params();
+  MachineParams huge = base;
+  huge.L_net = 1e6;
+  huge.g_net = 1e6;
+  const ProcessCounts pc{.intra = 1, .inter = 1, .node = 3};
+  EXPECT_DOUBLE_EQ(s_round_time(c, huge, pc), s_round_time(c, base, pc));
+}
+
+TEST(CostModel, NetworkTierFormulaMatchesClusterExtension) {
+  // T = c + [P_n>=1] L_net + g_net (m_s_n + m_r_n)
+  CostCounters c = counters::inter_node(2, 3);
+  c.c_int = 4;
+  MachineParams p = simple_params();
+  p.L_net = 100;
+  p.g_net = 8;
+  const double with_peers = s_round_time(c, p, {.intra = 0, .inter = 0, .node = 1});
+  EXPECT_DOUBLE_EQ(with_peers, 4 + 100 + 8 * (2 + 3));
+  // No off-node peers: the latency bracket is off, bandwidth still charged.
+  const double no_peers = s_round_time(c, p, {.intra = 0, .inter = 0, .node = 0});
+  EXPECT_DOUBLE_EQ(no_peers, 4 + 8 * (2 + 3));
+}
+
+TEST(CostModel, NetworkEnergyChargesPerMessagePlusNetworkInterface) {
+  // Inter-node messages pay the usual send/receive energy plus w_net each.
+  const CostCounters c = counters::inter_node(2, 3);
+  EnergyParams e = simple_energy();
+  e.w_net = 7;
+  EXPECT_DOUBLE_EQ(s_round_energy(c, e), 6 * 2 + 5 * 3 + 7 * (2 + 3));
+}
+
+TEST(CostModel, LocalCostRejectsNodeCounters) {
+  EXPECT_THROW((void)local_cost(counters::inter_node(1, 0), simple_energy()),
+               std::invalid_argument);
+  EXPECT_THROW((void)local_cost(counters::inter_node(0, 1), simple_energy()),
+               std::invalid_argument);
+}
+
 TEST(CostModel, SequentialSumsBoth) {
   const Cost total = sequential({Cost{1, 2}, Cost{3, 4}, Cost{5, 6}});
   EXPECT_DOUBLE_EQ(total.time, 9);

@@ -105,6 +105,44 @@ TEST(Counters, StreamShowsOnlyUsedSections) {
   EXPECT_NE(os_shm.str().find("d_r_a"), std::string::npos);
 }
 
+// -- the inter-node (cluster) tier -------------------------------------------
+
+TEST(Counters, InterNodeBuilder) {
+  const CostCounters c = counters::inter_node(2, 3);
+  EXPECT_EQ(c.m_s_n, 2);
+  EXPECT_EQ(c.m_r_n, 3);
+  EXPECT_EQ(c.net_ops(), 5);
+  EXPECT_EQ(c.msg_ops(), 5);  // node-tier messages are still messages
+  EXPECT_TRUE(c.uses_network());
+  EXPECT_TRUE(c.uses_message_passing());
+  EXPECT_FALSE(c.uses_shared_memory());
+}
+
+TEST(Counters, NodeCountersAddScaleAndMax) {
+  const CostCounters sum =
+      counters::inter_node(1, 2) + counters::inter_node(3, 4);
+  EXPECT_EQ(sum.m_s_n, 4);
+  EXPECT_EQ(sum.m_r_n, 6);
+  const CostCounters s = counters::inter_node(2, 5).scaled(3);
+  EXPECT_EQ(s.m_s_n, 6);
+  EXPECT_EQ(s.m_r_n, 15);
+  const CostCounters m =
+      CostCounters::max(counters::inter_node(1, 9), counters::inter_node(4, 2));
+  EXPECT_EQ(m.m_s_n, 4);
+  EXPECT_EQ(m.m_r_n, 9);
+}
+
+TEST(Counters, StreamShowsNodeTierOnlyWhenUsed) {
+  std::ostringstream off;
+  off << counters::message_passing(1, 1, 1, 1);
+  EXPECT_EQ(off.str().find("m_s_n"), std::string::npos);
+
+  std::ostringstream on;
+  on << counters::inter_node(2, 3);
+  EXPECT_NE(on.str().find("m_s_n=2"), std::string::npos);
+  EXPECT_NE(on.str().find("m_r_n=3"), std::string::npos);
+}
+
 // Property: (a + b) + c == a + (b + c) for the additive fields.
 class CounterAssocTest : public ::testing::TestWithParam<int> {};
 

@@ -81,6 +81,50 @@ TEST(Params, EnvelopeHierarchyChecked) {
   EXPECT_NO_THROW(g.validate());
 }
 
+// -- the inter-node (cluster) tier -------------------------------------------
+
+TEST(Params, NetworkSlowerThanInterEnforced) {
+  MachineParams p;
+  p.L_net = p.L_e - 1;  // crossing nodes faster than crossing chips: nonsense
+  EXPECT_THROW(p.validate(), ParamError);
+
+  MachineParams q;
+  q.g_net = q.g_mp_e - 1;
+  EXPECT_THROW(q.validate(), ParamError);
+
+  MachineParams r;
+  r.L_net = -1;
+  EXPECT_THROW(r.validate(), ParamError);
+
+  EnergyParams e;
+  e.w_net = -1;
+  EXPECT_THROW(e.validate(), ParamError);
+}
+
+TEST(Params, TopologyNodesMultiplyAndValidate) {
+  const Topology t{.nodes = 3, .chips = 2, .processors_per_chip = 8,
+                   .threads_per_processor = 4};
+  EXPECT_EQ(t.total_processors(), 48);
+  EXPECT_EQ(t.total_threads(), 192);
+  EXPECT_NO_THROW(t.validate());
+
+  Topology bad;
+  bad.nodes = 0;
+  EXPECT_THROW(bad.validate(), ParamError);
+}
+
+// Single-node topologies must print exactly as they always have (the node
+// tier is invisible until it is used), and multi-node ones must show it.
+TEST(Params, TopologyPrintsNodesOnlyWhenClustered) {
+  std::ostringstream single;
+  single << Topology{};
+  EXPECT_EQ(single.str().find("node"), std::string::npos);
+
+  std::ostringstream cluster;
+  cluster << Topology{.nodes = 4};
+  EXPECT_NE(cluster.str().find("4 node(s)"), std::string::npos);
+}
+
 class PresetTest : public ::testing::TestWithParam<MachineModel (*)()> {};
 
 TEST_P(PresetTest, PresetIsValid) {

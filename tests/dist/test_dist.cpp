@@ -1,0 +1,284 @@
+#include "dist/dist.hpp"
+
+#include "api/stamp.hpp"
+#include "serve/protocol.hpp"
+#include "serve/serve.hpp"
+#include "sweep/journal.hpp"
+#include "sweep/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace stamp::dist {
+namespace {
+
+namespace sw = stamp::sweep;
+
+sw::SweepResult clean_sweep(const sw::SweepConfig& cfg) {
+  sw::SweepOptions opts;
+  opts.threads = 1;
+  const Evaluator eval({.machine = cfg.base, .objective = cfg.objective});
+  return eval.sweep(cfg, opts);
+}
+
+std::vector<std::string> axis_names(const sw::SweepConfig& cfg) {
+  std::vector<std::string> names;
+  for (const auto& axis : cfg.grid.axes()) names.push_back(axis.name);
+  return names;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(testing::TempDir()) / name).string();
+}
+
+// The artifact's canonical number formatting: every JSON writer in the repo
+// prints doubles at precision 15, and 15-significant-digit decimals round-trip
+// decimal -> double -> decimal exactly — which is what makes a journal replay
+// of wire-decoded records byte-identical to a local sweep.
+std::string fmt15(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.15g", v);
+  return buf;
+}
+
+// -- plan_shards --------------------------------------------------------------
+
+TEST(PlanShards, CoversTheGridInContiguousCappedRuns) {
+  const sw::SweepConfig cfg = sw::SweepConfig::tiny();  // 16 points
+  const std::vector<ShardPlan> shards = plan_shards(cfg, nullptr, 5);
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards[0], (ShardPlan{0, 0, 5}));
+  EXPECT_EQ(shards[1], (ShardPlan{1, 5, 10}));
+  EXPECT_EQ(shards[2], (ShardPlan{2, 10, 15}));
+  EXPECT_EQ(shards[3], (ShardPlan{3, 15, 16}));
+}
+
+TEST(PlanShards, ZeroPointsPerShardClampsToOne) {
+  const sw::SweepConfig cfg = sw::SweepConfig::tiny();
+  const std::vector<ShardPlan> shards = plan_shards(cfg, nullptr, 0);
+  ASSERT_EQ(shards.size(), cfg.grid.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].begin, i);
+    EXPECT_EQ(shards[i].end, i + 1);
+  }
+}
+
+TEST(PlanShards, ResumedPointsNeverReappearInAShard) {
+  const sw::SweepConfig cfg = sw::SweepConfig::tiny();
+  const sw::SweepResult full = clean_sweep(cfg);
+
+  // Journal a middle run [3, 11) as already completed.
+  const std::string path = temp_path("dist_plan_resume.journal");
+  std::filesystem::remove(path);
+  {
+    sw::Journal journal(path, cfg);
+    for (std::size_t i = 3; i < 11; ++i) journal.append(full.records[i]);
+  }
+  const sw::ResumeState resume = sw::ResumeState::load(path, cfg);
+  ASSERT_EQ(resume.completed_points(), 8u);
+
+  const std::vector<ShardPlan> shards = plan_shards(cfg, &resume, 4);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0], (ShardPlan{0, 0, 3}));
+  EXPECT_EQ(shards[1], (ShardPlan{1, 11, 15}));
+  EXPECT_EQ(shards[2], (ShardPlan{2, 15, 16}));
+  std::filesystem::remove(path);
+}
+
+// -- wire decoding ------------------------------------------------------------
+
+TEST(Wire, ResponseIdFindsTheIdWithoutAFullDecode) {
+  EXPECT_EQ(response_id(R"({"schema":"stamp-serve/v1","id":42,"status":200})"),
+            42u);
+  EXPECT_EQ(response_id(serve::error_response(9, 503, "draining")), 9u);
+  EXPECT_EQ(response_id("not json at all"), std::nullopt);
+  EXPECT_EQ(response_id(R"({"status":200})"), std::nullopt);
+}
+
+TEST(Wire, DecodeReanchorsAxesExactlyAndMetricsToArtifactPrecision) {
+  const sw::SweepConfig cfg = sw::SweepConfig::tiny();
+  const sw::SweepResult full = clean_sweep(cfg);
+  const std::vector<std::string> names = axis_names(cfg);
+
+  const std::string line = serve::ok_sweep_chunk(
+      7, names, 4, std::span<const sw::SweepRecord>(full.records).subspan(4, 6));
+  const ChunkResult chunk = decode_sweep_chunk(line, cfg);
+  EXPECT_EQ(chunk.id, 7u);
+  EXPECT_EQ(chunk.status, 200);
+  EXPECT_EQ(chunk.begin, 4u);
+  EXPECT_EQ(chunk.end, 10u);
+  ASSERT_EQ(chunk.records.size(), 6u);
+  for (std::size_t i = 0; i < chunk.records.size(); ++i) {
+    const sw::SweepRecord& got = chunk.records[i];
+    const sw::SweepRecord& want = full.records[4 + i];
+    EXPECT_EQ(got.index, want.index);
+    ASSERT_EQ(got.params.size(), want.params.size());
+    // Re-anchoring means *exact* doubles, not round-tripped approximations.
+    for (std::size_t a = 0; a < got.params.size(); ++a)
+      EXPECT_EQ(got.params[a], want.params[a]);
+    EXPECT_EQ(got.processes, want.processes);
+    EXPECT_EQ(got.feasible, want.feasible);
+    // Metrics cross the wire at precision 15 — bit-identity of the double is
+    // not the contract; identity of the artifact bytes it prints as is.
+    EXPECT_EQ(fmt15(got.metrics.D), fmt15(want.metrics.D));
+    EXPECT_EQ(fmt15(got.metrics.PDP), fmt15(want.metrics.PDP));
+    EXPECT_EQ(fmt15(got.metrics.EDP), fmt15(want.metrics.EDP));
+    EXPECT_EQ(fmt15(got.metrics.ED2P), fmt15(want.metrics.ED2P));
+    for (std::size_t m = 0; m < got.classical.size(); ++m)
+      EXPECT_EQ(fmt15(got.classical[m]), fmt15(want.classical[m]));
+  }
+}
+
+TEST(Wire, NonOkStatusCarriesTheErrorInsteadOfThrowing) {
+  const sw::SweepConfig cfg = sw::SweepConfig::tiny();
+  const ChunkResult chunk =
+      decode_sweep_chunk(serve::error_response(3, 503, "draining"), cfg);
+  EXPECT_EQ(chunk.id, 3u);
+  EXPECT_EQ(chunk.status, 503);
+  EXPECT_EQ(chunk.error, "draining");
+  EXPECT_TRUE(chunk.records.empty());
+}
+
+TEST(Wire, MalformedLinesAndProtocolViolationsThrow) {
+  const sw::SweepConfig cfg = sw::SweepConfig::tiny();
+  const sw::SweepResult full = clean_sweep(cfg);
+  const std::vector<std::string> names = axis_names(cfg);
+  const std::string good = serve::ok_sweep_chunk(
+      1, names, 0, std::span<const sw::SweepRecord>(full.records).subspan(0, 4));
+
+  EXPECT_THROW(decode_sweep_chunk("{not json", cfg), WireError);
+  EXPECT_THROW(decode_sweep_chunk(R"({"id":1,"status":200,"op":"evaluate"})",
+                                  cfg),
+               WireError);
+
+  // Shift the claimed range: the points' own indexes no longer line up.
+  std::string shifted = good;
+  const std::size_t at = shifted.find("\"begin\":0");
+  ASSERT_NE(at, std::string::npos);
+  shifted.replace(at, 9, "\"begin\":1");
+  EXPECT_THROW(decode_sweep_chunk(shifted, cfg), WireError);
+
+  // Tamper with an axis value: the fmt15 grid check must reject the point.
+  sw::SweepRecord forged = full.records[0];
+  forged.params[0] += 1.0;
+  const std::string bad_axis = serve::ok_sweep_chunk(
+      1, names, 0, std::span<const sw::SweepRecord>(&forged, 1));
+  EXPECT_THROW(decode_sweep_chunk(bad_axis, cfg), WireError);
+
+  // A point claiming an index outside the grid.
+  sw::SweepRecord outside = full.records[0];
+  outside.index = cfg.grid.size() + 3;
+  const std::string bad_index = serve::ok_sweep_chunk(
+      1, names, cfg.grid.size() + 3,
+      std::span<const sw::SweepRecord>(&outside, 1));
+  EXPECT_THROW(decode_sweep_chunk(bad_index, cfg), WireError);
+}
+
+// -- the coordinator against real in-process servers --------------------------
+
+TEST(Coordinator, RequiresAtLeastOneWorker) {
+  EXPECT_THROW(Coordinator(sw::SweepConfig::tiny(), FleetOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Coordinator, FleetJournalReplaysToTheSingleNodeArtifact) {
+  const sw::SweepConfig cfg = sw::SweepConfig::tiny();
+  const std::string want = sw::to_json(clean_sweep(cfg));
+
+  FleetOptions fleet;
+  std::vector<std::unique_ptr<serve::Server>> servers;
+  for (int i = 0; i < 2; ++i) {
+    serve::ServerOptions options;
+    options.port = 0;
+    options.workers = 1;
+    options.engine.grid = "tiny";
+    servers.push_back(std::make_unique<serve::Server>(options));
+    servers.back()->start();
+    fleet.ports.push_back(servers.back()->port());
+  }
+  fleet.points_per_shard = 4;
+
+  const std::string path = temp_path("dist_coordinator.journal");
+  std::filesystem::remove(path);
+  FleetStats stats;
+  {
+    sw::Journal journal(path, cfg);
+    Coordinator coordinator(cfg, fleet);
+    stats = coordinator.run(journal, nullptr);
+  }
+  for (auto& server : servers) server->drain();
+
+  EXPECT_EQ(stats.shards, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.records, cfg.grid.size());
+  EXPECT_EQ(stats.worker_failures, 0u);
+  EXPECT_FALSE(stats.cancelled);
+
+  const sw::ResumeState merged = sw::ResumeState::load(path, cfg);
+  ASSERT_EQ(merged.completed_points(), cfg.grid.size());
+  sw::SweepOptions opts;
+  opts.resume = &merged;
+  opts.threads = 1;
+  const Evaluator eval({.machine = cfg.base, .objective = cfg.objective});
+  EXPECT_EQ(sw::to_json(eval.sweep(cfg, opts)), want);
+  std::filesystem::remove(path);
+}
+
+// A resumed coordinator only dispatches the missing points, and the merged
+// journal still replays to the single-node bytes — the coordinator-kill
+// half of the fleet-chaos contract, minus the process boundary.
+TEST(Coordinator, ResumeDispatchesOnlyMissingPoints) {
+  const sw::SweepConfig cfg = sw::SweepConfig::tiny();
+  const sw::SweepResult full = clean_sweep(cfg);
+  const std::string want = sw::to_json(full);
+
+  const std::string path = temp_path("dist_coordinator_resume.journal");
+  std::filesystem::remove(path);
+  {
+    sw::Journal journal(path, cfg);
+    for (std::size_t i = 0; i < 10; ++i) journal.append(full.records[i]);
+  }
+  const sw::ResumeState resume = sw::ResumeState::load(path, cfg);
+
+  serve::ServerOptions options;
+  options.port = 0;
+  options.workers = 1;
+  options.engine.grid = "tiny";
+  serve::Server server(options);
+  server.start();
+  FleetOptions fleet;
+  fleet.ports.push_back(server.port());
+  fleet.points_per_shard = 4;
+
+  FleetStats stats;
+  {
+    sw::Journal journal(path, cfg, &resume);
+    Coordinator coordinator(cfg, fleet);
+    stats = coordinator.run(journal, &resume);
+  }
+  server.drain();
+
+  EXPECT_EQ(stats.shards, 2u);  // [10,14) and [14,16)
+  EXPECT_EQ(stats.records, 6u);
+
+  const sw::ResumeState merged = sw::ResumeState::load(path, cfg);
+  ASSERT_EQ(merged.completed_points(), cfg.grid.size());
+  sw::SweepOptions opts;
+  opts.resume = &merged;
+  opts.threads = 1;
+  const Evaluator eval({.machine = cfg.base, .objective = cfg.objective});
+  EXPECT_EQ(sw::to_json(eval.sweep(cfg, opts)), want);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace stamp::dist

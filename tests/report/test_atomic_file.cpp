@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace stamp::report {
 namespace {
@@ -115,6 +117,95 @@ TEST(AtomicFileWriter, WriteFileConvenienceRoundTrips) {
 TEST(AtomicFileWriter, WriteFileThrowsOnUnopenablePath) {
   const std::string path = temp_path("no_such_dir_wf") + "/nested/out.json";
   EXPECT_THROW(AtomicFileWriter::write_file(path, "x"), std::runtime_error);
+}
+
+// -- commit observer: fd discipline and crash injection -----------------------
+//
+// The observer is a plain function pointer (it must be settable from tests
+// without allocation), so the capture state is file-static. The RAII guard
+// clears it even when an EXPECT fails mid-test.
+
+std::vector<std::pair<CommitStep, std::string>>& observed() {
+  static std::vector<std::pair<CommitStep, std::string>> steps;
+  return steps;
+}
+CommitStep g_throw_on = CommitStep::TempFsync;
+bool g_throw_armed = false;
+
+void recording_observer(CommitStep step, const std::string& path) {
+  observed().emplace_back(step, path);
+  if (g_throw_armed && step == g_throw_on)
+    throw std::runtime_error("injected crash");
+}
+
+struct ObserverGuard {
+  explicit ObserverGuard(bool throw_armed = false,
+                         CommitStep throw_on = CommitStep::TempFsync) {
+    observed().clear();
+    g_throw_armed = throw_armed;
+    g_throw_on = throw_on;
+    set_commit_observer(recording_observer);
+  }
+  ~ObserverGuard() { set_commit_observer(nullptr); }
+};
+
+TEST(AtomicFileWriter, CommitRunsTempFsyncRenameDirFsyncInOrder) {
+  const std::string path = temp_path("atomic_observer_order.txt");
+  fs::remove(path);
+  const ObserverGuard guard;
+  AtomicFileWriter writer(path);
+  writer.stream() << "payload";
+  writer.commit();
+  ASSERT_EQ(observed().size(), 3u);
+  EXPECT_EQ(observed()[0].first, CommitStep::TempFsync);
+  EXPECT_EQ(observed()[0].second, writer.temp_path());
+  EXPECT_EQ(observed()[1].first, CommitStep::Rename);
+  EXPECT_EQ(observed()[1].second, path);
+  EXPECT_EQ(observed()[2].first, CommitStep::DirFsync);
+  // The durability step must fsync the *directory* containing the artifact —
+  // an fd opened on the parent, not on the file — or the rename itself can
+  // vanish in a crash.
+  EXPECT_EQ(observed()[2].second, fs::path(path).parent_path().string());
+  EXPECT_TRUE(fs::is_directory(observed()[2].second));
+  fs::remove(path);
+}
+
+TEST(AtomicFileWriter, CrashBeforeRenameLeavesOldContentAndNoTemp) {
+  const std::string path = temp_path("atomic_crash_pre_rename.txt");
+  AtomicFileWriter::write_file(path, "old");
+  const ObserverGuard guard(/*throw_armed=*/true, CommitStep::Rename);
+  AtomicFileWriter writer(path);
+  writer.stream() << "new";
+  EXPECT_THROW(writer.commit(), std::runtime_error);
+  EXPECT_EQ(read_file(path), "old");
+  EXPECT_FALSE(fs::exists(writer.temp_path()));
+  fs::remove(path);
+}
+
+TEST(AtomicFileWriter, CrashAfterRenameLeavesNewContentInPlace) {
+  const std::string path = temp_path("atomic_crash_post_rename.txt");
+  AtomicFileWriter::write_file(path, "old");
+  const ObserverGuard guard(/*throw_armed=*/true, CommitStep::DirFsync);
+  AtomicFileWriter writer(path);
+  writer.stream() << "new";
+  // The injected crash hits after the rename: the failure propagates, but
+  // the destination already holds the new bytes — never a torn in-between.
+  EXPECT_THROW(writer.commit(), std::runtime_error);
+  EXPECT_EQ(read_file(path), "new");
+  EXPECT_FALSE(fs::exists(writer.temp_path()));
+  fs::remove(path);
+}
+
+TEST(AtomicFileWriter, FsyncParentDirectoryNotifiesWithTheDirectory) {
+  const std::string path = temp_path("atomic_fsync_parent_probe.txt");
+  AtomicFileWriter::write_file(path, "x");
+  const ObserverGuard guard;
+  fsync_parent_directory(path);
+  ASSERT_EQ(observed().size(), 1u);
+  EXPECT_EQ(observed()[0].first, CommitStep::DirFsync);
+  EXPECT_EQ(observed()[0].second, fs::path(path).parent_path().string());
+  EXPECT_TRUE(fs::is_directory(observed()[0].second));
+  fs::remove(path);
 }
 
 }  // namespace

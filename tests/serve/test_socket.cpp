@@ -1,0 +1,122 @@
+// Regression tests for the socket layer's interrupted-syscall discipline: a
+// SIGALRM storm (installed *without* SA_RESTART, so every slow syscall keeps
+// returning EINTR) is kept running while connections are made and multi-
+// megabyte payloads cross a real loopback socket. connect_to must complete
+// the handshake an EINTR'd connect(2) left in flight (poll + SO_ERROR, not a
+// failed retry of connect), and read_line/write_all must neither drop bytes
+// nor mistake an interruption for EOF.
+
+#include "serve/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/time.h>
+
+#include <csignal>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace stamp::serve {
+namespace {
+
+extern "C" void on_alarm(int) {}
+
+/// Scoped SIGALRM storm: an interval timer fires every 2ms into a handler
+/// registered without SA_RESTART, so for the lifetime of this object every
+/// blocking connect/poll/read/write in the process keeps getting EINTR'd.
+class AlarmStorm {
+ public:
+  AlarmStorm() {
+    struct sigaction sa = {};
+    sa.sa_handler = on_alarm;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: interruptions must surface as EINTR
+    sigaction(SIGALRM, &sa, &old_action_);
+    itimerval timer = {};
+    timer.it_interval.tv_usec = 2000;
+    timer.it_value.tv_usec = 2000;
+    setitimer(ITIMER_REAL, &timer, &old_timer_);
+  }
+  ~AlarmStorm() {
+    itimerval off = {};
+    setitimer(ITIMER_REAL, &off, nullptr);
+    sigaction(SIGALRM, &old_action_, nullptr);
+  }
+
+ private:
+  struct sigaction old_action_ = {};
+  itimerval old_timer_ = {};
+};
+
+TEST(Socket, ConnectSurvivesASignalStorm) {
+  const AlarmStorm storm;
+  Listener listener = Listener::open(0);
+  const std::uint16_t port = listener.local_port();
+
+  // Accept-and-drop in the background so the backlog never fills.
+  std::thread acceptor([&listener] {
+    for (int accepted = 0; accepted < 64;) {
+      if (auto conn = listener.accept_for(100); conn.has_value()) ++accepted;
+    }
+  });
+  for (int i = 0; i < 64; ++i) {
+    Socket sock = Socket::connect_to(port);
+    EXPECT_TRUE(sock.valid()) << "connect " << i << " failed under SIGALRM";
+  }
+  acceptor.join();
+}
+
+TEST(Socket, MultiMegabyteEchoSurvivesASignalStorm) {
+  const AlarmStorm storm;
+  Listener listener = Listener::open(0);
+  const std::uint16_t port = listener.local_port();
+
+  // One 4 MiB line: far beyond any socket buffer, so write_all must loop
+  // over partial writes — with EINTR landing between and inside them.
+  std::string big(4u << 20, '\0');
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<char>('a' + (i * 131) % 26);
+  constexpr std::size_t kMaxLine = 8u << 20;
+
+  bool client_sent = false;
+  bool client_got_line = false;
+  std::string client_received;
+  std::thread client([&] {
+    Socket sock = Socket::connect_to(port);
+    if (!sock.valid()) return;
+    if (!sock.write_all(big) || !sock.write_all("\n")) return;
+    client_sent = true;
+    for (;;) {  // wait for the server's echo of the same line
+      const auto status = sock.read_line(client_received, 200, kMaxLine);
+      if (status == Socket::ReadStatus::Line) {
+        client_got_line = true;
+        return;
+      }
+      if (status != Socket::ReadStatus::Timeout) return;
+    }
+  });
+
+  std::optional<Socket> conn;
+  while (!conn.has_value()) conn = listener.accept_for(100);
+  std::string line;
+  for (;;) {
+    const auto status = conn->read_line(line, 200, kMaxLine);
+    if (status == Socket::ReadStatus::Line) break;
+    ASSERT_EQ(status, Socket::ReadStatus::Timeout)
+        << "interruption surfaced as EOF/error";
+  }
+  EXPECT_EQ(line.size(), big.size());
+  EXPECT_EQ(line, big) << "payload corrupted in transit";
+  ASSERT_TRUE(conn->write_all(line));
+  ASSERT_TRUE(conn->write_all("\n"));
+  client.join();
+
+  EXPECT_TRUE(client_sent);
+  EXPECT_TRUE(client_got_line);
+  EXPECT_EQ(client_received, big);
+}
+
+}  // namespace
+}  // namespace stamp::serve

@@ -2,10 +2,12 @@
 
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
+#include "report/atomic_file.hpp"
 #include "sweep/sweep.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <filesystem>
 #include <fstream>
@@ -260,6 +262,50 @@ TEST(Journal, KillAndResumeIsByteIdenticalAtAnyPoolWidth) {
     EXPECT_EQ(to_json(resumed), want) << "width " << width;
     fs::remove(path);
   }
+}
+
+// Creating a fresh journal must fsync its *parent directory* (observed via
+// the report-layer commit observer): records fsynced into a file whose
+// directory entry is not durable can vanish wholesale in a crash. A resumed
+// journal reuses an existing entry, so no directory fsync is required.
+std::vector<report::CommitStep>& journal_fsync_steps() {
+  static std::vector<report::CommitStep> steps;
+  return steps;
+}
+
+TEST(Journal, CreationFsyncsTheParentDirectory) {
+  const SweepConfig cfg = SweepConfig::tiny();
+  const std::vector<SweepRecord> recs = tiny_records();
+  const std::string path = temp_path("journal_dir_fsync.journal");
+  fs::remove(path);
+
+  journal_fsync_steps().clear();
+  report::set_commit_observer([](report::CommitStep step, const std::string&) {
+    journal_fsync_steps().push_back(step);
+  });
+
+  {
+    Journal journal(path, cfg);
+    journal.append(recs[0]);
+  }
+  const auto after_create = journal_fsync_steps().size();
+  EXPECT_GE(after_create, 1u) << "fresh journal never fsynced its directory";
+  EXPECT_TRUE(std::count(journal_fsync_steps().begin(),
+                         journal_fsync_steps().end(),
+                         report::CommitStep::DirFsync) >= 1);
+
+  // Reopening to continue an existing journal must not re-fsync the
+  // directory: the entry is already durable, and the resume path must not
+  // pay for (or depend on) a second directory sync.
+  const ResumeState resume = ResumeState::load(path, cfg);
+  {
+    Journal journal(path, cfg, &resume);
+    journal.append(recs[1]);
+  }
+  EXPECT_EQ(journal_fsync_steps().size(), after_create)
+      << "continuing journal re-fsynced the directory";
+  report::set_commit_observer(nullptr);
+  fs::remove(path);
 }
 
 }  // namespace

@@ -223,6 +223,24 @@ TEST(Cli, U64RejectsSignsGarbageAndOverflow) {
   }
 }
 
+// strtoull skips leading whitespace and then happily accepts a sign, so a
+// shell-quoted `--admission-wait-ms ' -1'` would wrap to UINT64_MAX (a
+// half-a-billion-year admission wait) without the leading-digit guard. Any
+// value not starting with a digit must be a parse error, never wraparound.
+TEST(Cli, U64RejectsWhitespacePrefixedSignsAndBlanks) {
+  std::uint64_t v = 9;
+  for (const char* bad : {" -1", "\t-1", "\n-1", " +1", " 1", " ", "\t"}) {
+    Cli cli("prog", "test");
+    cli.option_u64("admission-wait-ms", &v, "MS", "wait budget");
+    Argv argv({"--admission-wait-ms", bad});
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(cli.parse(argv.argc(), argv.argv()), Cli::Parse::Error)
+        << '"' << bad << '"';
+    testing::internal::GetCapturedStderr();
+    EXPECT_EQ(v, 9u) << "target clobbered by rejected value \"" << bad << '"';
+  }
+}
+
 TEST(Cli, DuplicateU64OptionIsRejected) {
   std::uint64_t v = 0;
   Cli cli("prog", "test");

@@ -1,0 +1,117 @@
+// Regression tests for the shared CLI signal plumbing (tools/signals.hpp),
+// run against real child processes: the first SIGINT/SIGTERM must trip the
+// cancel token (graceful drain), and a second delivery must restore the
+// default disposition and re-raise — a hard exit observable in the wait
+// status — so a wedged drain is killable with Ctrl-C Ctrl-C, not SIGKILL.
+//
+// The handlers mutate process-global signal state, so everything runs in
+// forked children; the gtest process itself never installs them.
+
+#include "tools/signals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <csignal>
+#include <ctime>
+#include <unistd.h>
+
+namespace {
+
+void nap_ms(long ms) {
+  timespec ts{};
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = (ms % 1000) * 1000000;
+  nanosleep(&ts, nullptr);
+}
+
+// Block until one byte arrives on `fd`; false on EOF/error.
+bool await_byte(int fd, char want) {
+  char ch = 0;
+  ssize_t n;
+  do {
+    n = read(fd, &ch, 1);
+  } while (n < 0 && errno == EINTR);
+  return n == 1 && ch == want;
+}
+
+// Fork a child that installs the shutdown handlers, reports readiness on the
+// pipe, and then behaves per `wedge`: a graceful child exits 0 once the
+// token trips; a wedged child acknowledges the first signal and then ignores
+// the token forever — only the second-signal hard exit can end it.
+pid_t spawn_child(int pipe_fds[2], bool wedge) {
+  const pid_t pid = fork();
+  if (pid != 0) {
+    close(pipe_fds[1]);
+    return pid;
+  }
+  close(pipe_fds[0]);
+  stamp::tools::install_shutdown_handlers();
+  (void)!write(pipe_fds[1], "r", 1);  // ready: handlers installed
+  while (!stamp::tools::shutdown_requested()) nap_ms(1);
+  (void)!write(pipe_fds[1], "c", 1);  // first signal seen
+  if (!wedge) _exit(0);
+  for (;;) pause();  // deliberately wedged: the token is ignored
+}
+
+TEST(Signals, FirstSignalDrainsGracefully) {
+  for (const int sig : {SIGINT, SIGTERM}) {
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    const pid_t pid = spawn_child(fds, /*wedge=*/false);
+    ASSERT_GT(pid, 0);
+    ASSERT_TRUE(await_byte(fds[0], 'r'));
+    ASSERT_EQ(kill(pid, sig), 0);
+    ASSERT_TRUE(await_byte(fds[0], 'c'));
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    close(fds[0]);
+    ASSERT_TRUE(WIFEXITED(status)) << "signal " << sig;
+    EXPECT_EQ(WEXITSTATUS(status), 0) << "signal " << sig;
+  }
+}
+
+TEST(Signals, SecondSignalHardExitsAWedgedDrain) {
+  for (const int sig : {SIGINT, SIGTERM}) {
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    const pid_t pid = spawn_child(fds, /*wedge=*/true);
+    ASSERT_GT(pid, 0);
+    ASSERT_TRUE(await_byte(fds[0], 'r'));
+    ASSERT_EQ(kill(pid, sig), 0);
+    // Wait for the child to acknowledge the first signal before sending the
+    // second, so the two deliveries can never coalesce as one pending signal.
+    ASSERT_TRUE(await_byte(fds[0], 'c'));
+    ASSERT_EQ(kill(pid, sig), 0);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    close(fds[0]);
+    // Died *by* the signal — the re-raised default disposition — not by any
+    // exit() path, and not still alive.
+    ASSERT_TRUE(WIFSIGNALED(status)) << "signal " << sig;
+    EXPECT_EQ(WTERMSIG(status), sig);
+  }
+}
+
+// A SIGINT followed by a supervisor's SIGTERM (or vice versa) must also hard
+// exit: the two shutdown signals share one delivery count.
+TEST(Signals, MixedShutdownSignalsShareTheHardExitCount) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  const pid_t pid = spawn_child(fds, /*wedge=*/true);
+  ASSERT_GT(pid, 0);
+  ASSERT_TRUE(await_byte(fds[0], 'r'));
+  ASSERT_EQ(kill(pid, SIGINT), 0);
+  ASSERT_TRUE(await_byte(fds[0], 'c'));
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  close(fds[0]);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGTERM);
+}
+
+}  // namespace

@@ -303,7 +303,10 @@ class Cli {
   }
 
   static std::optional<std::uint64_t> parse_u64(const std::string& s) {
-    if (s.empty() || s[0] == '-' || s[0] == '+') return std::nullopt;
+    // Require a leading digit, not merely "no leading sign": strtoull skips
+    // leading whitespace, so " -1" would sail past a sign check and wrap to
+    // ~2^64 — a negative value must be a parse error, never a wraparound.
+    if (s.empty() || s[0] < '0' || s[0] > '9') return std::nullopt;
     char* end = nullptr;
     errno = 0;
     const unsigned long long v = std::strtoull(s.c_str(), &end, 10);

@@ -6,10 +6,13 @@
 ///
 /// Every long-running tool wants the same lifecycle: a first SIGINT/SIGTERM
 /// requests a *graceful* stop (trip a `core::CancelToken`, drain in-flight
-/// work, flush artifacts, exit with a distinct code), and a closed stdout
-/// pipe surfaces as a stream error rather than killing the process
-/// mid-artifact. `stamp_sweep` grew this ad hoc in PR 5; this header is that
-/// handler extracted so the tools cannot drift apart.
+/// work, flush artifacts, exit with a distinct code), a *second* delivery of
+/// either signal restores the default disposition and re-raises — an
+/// immediate hard exit, so a wedged drain (e.g. a worker stuck on a blocking
+/// recv) is still killable with a plain Ctrl-C Ctrl-C instead of SIGKILL —
+/// and a closed stdout pipe surfaces as a stream error rather than killing
+/// the process mid-artifact. `stamp_sweep` grew this ad hoc in PR 5; this
+/// header is that handler extracted so the tools cannot drift apart.
 ///
 /// The handler itself is one lock-free atomic store (`request_cancel` is
 /// documented async-signal-safe), so installing it is sound for any signal.
@@ -23,6 +26,7 @@
 
 #include "core/cancel.hpp"
 
+#include <atomic>
 #include <csignal>
 
 namespace stamp::tools {
@@ -36,8 +40,24 @@ inline core::CancelToken& shutdown_token() noexcept {
 }
 
 namespace detail {
-extern "C" inline void handle_shutdown_signal(int) {
-  shutdown_token().request_cancel();
+/// Shutdown signals delivered so far (SIGINT and SIGTERM share the count:
+/// Ctrl-C followed by a TERM from a supervisor must also hard-exit).
+inline std::atomic<int>& shutdown_signal_count() noexcept {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+extern "C" inline void handle_shutdown_signal(int sig) {
+  if (shutdown_signal_count().fetch_add(1, std::memory_order_relaxed) == 0) {
+    shutdown_token().request_cancel();
+    return;
+  }
+  // Second delivery: the graceful drain is stuck or the user is insistent.
+  // Restore the default disposition and re-raise so the process dies *by*
+  // this signal (observable in wait status). Both calls are
+  // async-signal-safe; nothing here re-trips the already-cancelled token.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
 }
 }  // namespace detail
 

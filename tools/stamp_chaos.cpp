@@ -11,6 +11,7 @@
 /// output. CI diffs exactly that.
 
 #include "api/evaluator.hpp"
+#include "dist/dist.hpp"
 #include "fault/fault.hpp"
 #include "machine/governor.hpp"
 #include "machine/trace.hpp"
@@ -32,6 +33,8 @@
 #include <cmath>
 #include <filesystem>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -481,6 +484,106 @@ ScenarioReport scenario_serve(std::uint64_t seed) {
   return report;
 }
 
+/// The distributed tier under fire: a three-worker in-process fleet sweeps
+/// the tiny grid, and the worker holding shard 1 is killed (drained) the
+/// moment that shard is handed to it. The coordinator must declare the
+/// worker dead, hand the shard to a survivor, and still merge a journal
+/// whose replay matches the clean single-node artifact byte for byte.
+///
+/// Determinism: the kill decision keys on the *shard index* (FleetWorkerKill,
+/// only_key=1, max one injection), never on the worker slot or thread, so
+/// exactly one worker dies no matter which slot drew the short straw. Only
+/// schedule-independent quantities are reported — reconnect-cycle counts are
+/// timing-dependent and deliberately left out.
+ScenarioReport scenario_fleet(std::uint64_t seed) {
+  namespace sw = stamp::sweep;
+  namespace sv = stamp::serve;
+  const sw::SweepConfig cfg = sw::SweepConfig::tiny();
+
+  // Reference artifact from a clean single-node sweep, before arming faults.
+  Evaluator::clear_faults();
+  sw::Pool pool(1);
+  const std::string want = sw::to_json(sw::run_sweep(cfg, pool));
+
+  stamp::fault::FaultPlan plan;
+  plan.seed = seed;
+  plan.with(stamp::fault::FaultSite::FleetWorkerKill, 1.0, 0.0,
+            /*max_per_key=*/1, /*only_key=*/1);
+  Evaluator::with_faults(plan);
+
+  constexpr std::size_t kWorkers = 3;
+  std::vector<std::unique_ptr<sv::Server>> servers;
+  stamp::dist::FleetOptions fleet;
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    sv::ServerOptions options;
+    options.port = 0;
+    options.workers = 1;
+    options.engine.grid = "tiny";
+    servers.push_back(std::make_unique<sv::Server>(options));
+    servers.back()->start();
+    fleet.ports.push_back(servers.back()->port());
+  }
+
+  std::mutex kill_mutex;
+  std::vector<bool> alive(kWorkers, true);
+  long long workers_killed = 0;
+  fleet.points_per_shard = 4;   // tiny grid -> 4 shards, so the kill lands
+  fleet.reconnect_attempts = 4;  // the dead worker should give up quickly
+  fleet.reconnect_delay_ms = 10;
+  fleet.on_dispatch = [&](std::size_t shard, std::size_t slot) {
+    const auto hit = stamp::fault::Injector::global().decide(
+        stamp::fault::FaultSite::FleetWorkerKill, shard);
+    if (!hit.has_value()) return;
+    std::lock_guard<std::mutex> lock(kill_mutex);
+    if (!alive[slot]) return;
+    alive[slot] = false;
+    ++workers_killed;
+    servers[slot]->drain();  // the shard's request lands on a dead worker
+  };
+
+  const std::string journal_path =
+      (std::filesystem::temp_directory_path() /
+       ("stamp_chaos_fleet_" + std::to_string(seed) + ".journal"))
+          .string();
+  std::filesystem::remove(journal_path);
+
+  stamp::dist::FleetStats fstats;
+  {
+    sw::Journal journal(journal_path, cfg);
+    stamp::dist::Coordinator coordinator(cfg, fleet);
+    fstats = coordinator.run(journal, nullptr);
+  }
+
+  ScenarioReport report;
+  report.name = "fleet";
+  snapshot_faults(report);
+  Evaluator::clear_faults();
+
+  for (std::size_t i = 0; i < kWorkers; ++i)
+    if (alive[i]) servers[i]->drain();
+
+  // Merge exactly like stamp_fleet does: replay the journal through the
+  // normal resume machinery and compare against the clean artifact.
+  const sw::ResumeState merged = sw::ResumeState::load(journal_path, cfg);
+  sw::SweepOptions opts;
+  opts.resume = &merged;
+  const std::string got = sw::to_json(sw::run_sweep(cfg, pool, opts));
+  std::filesystem::remove(journal_path);
+
+  report.counts.emplace_back("workers", static_cast<long long>(kWorkers));
+  report.counts.emplace_back("shards", static_cast<long long>(fstats.shards));
+  report.counts.emplace_back("completed",
+                             static_cast<long long>(fstats.completed));
+  report.counts.emplace_back("reassigned",
+                             static_cast<long long>(fstats.reassigned));
+  report.counts.emplace_back("worker_failures",
+                             static_cast<long long>(fstats.worker_failures));
+  report.counts.emplace_back("records", static_cast<long long>(fstats.records));
+  report.counts.emplace_back("workers_killed", workers_killed);
+  report.counts.emplace_back("match", got == want ? 1 : 0);
+  return report;
+}
+
 void write_report(std::ostream& os, std::uint64_t seed,
                   const std::vector<ScenarioReport>& scenarios) {
   stamp::report::JsonWriter json(os);
@@ -543,7 +646,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> names = {
       "stm_storm",       "stm_retry_budget",    "mailbox_pipeline",
       "supervised_failover", "sim_degraded",    "governor_degrade",
-      "sweep_resume",    "serve"};
+      "sweep_resume",    "serve",               "fleet"};
   if (list) {
     for (const std::string& n : names) std::cout << n << "\n";
     return 0;
@@ -575,6 +678,7 @@ int main(int argc, char** argv) {
     if (selected("sweep_resume"))
       reports.push_back(scenario_sweep_resume(useed, jobs));
     if (selected("serve")) reports.push_back(scenario_serve(useed));
+    if (selected("fleet")) reports.push_back(scenario_fleet(useed));
   } catch (const std::exception& e) {
     stamp::Evaluator::clear_faults();
     std::cerr << "stamp_chaos: scenario failed: " << e.what() << "\n";

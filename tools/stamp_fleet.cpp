@@ -1,0 +1,325 @@
+/// \file stamp_fleet.cpp
+/// \brief Distributed sweep coordinator CLI: shard a grid across N
+///        `stamp_serve` workers and merge a byte-identical artifact.
+///
+/// Two ways to get workers:
+///   --workers N     spawn N `stamp_serve` children on ephemeral ports
+///                   (each child echoes its port on stdout; that line is the
+///                   only thing a worker ever prints there)
+///   --connect PORT  attach to an externally managed worker (repeatable);
+///                   the caller owns those processes — which is what the
+///                   fleet-chaos script uses to kill one mid-sweep
+///
+/// Completed shards land in the PR 5 write-ahead journal, so the merge is
+/// just the normal resume replay: after the coordinator finishes (or after
+/// a *previous* coordinator was killed and this one runs with --resume),
+/// `Evaluator::sweep` replays the journal and `write_json` emits an
+/// artifact `cmp`-identical to a single-node `stamp_sweep` run — at any
+/// worker count, with or without worker deaths in between.
+///
+/// Exit codes mirror stamp_sweep: 0 success; 2 usage or I/O error;
+/// 3 cancelled by signal (journal preserved); 4 fleet/evaluation failure
+/// (journal preserved; rerun with --resume).
+
+#include "api/stamp.hpp"
+#include "cli.hpp"
+#include "dist/dist.hpp"
+#include "report/atomic_file.hpp"
+#include "signals.hpp"
+#include "sweep/journal.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+using stamp::tools::Cli;
+
+struct WorkerProc {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+};
+
+/// Read one '\n'-terminated line from `fd` (the spawned worker's stdout),
+/// waiting at most `timeout_ms` in total. Empty string on timeout/EOF.
+std::string read_line_fd(int fd, int timeout_ms) {
+  std::string line;
+  for (int waited = 0; waited < timeout_ms;) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int rc = ::poll(&p, 1, 100);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0) return {};
+    if (rc == 0) {
+      waited += 100;
+      continue;
+    }
+    char ch;
+    const ssize_t n = ::read(fd, &ch, 1);
+    if (n <= 0) return {};
+    if (ch == '\n') return line;
+    line.push_back(ch);
+    if (line.size() > 64) return {};  // not a port number
+  }
+  return {};
+}
+
+/// Fork+exec one stamp_serve worker on an ephemeral port; the port is
+/// parsed from the first stdout line the child prints.
+std::unique_ptr<WorkerProc> spawn_worker(const std::string& serve_bin,
+                                         const std::string& grid,
+                                         int serve_threads) {
+  int fds[2];
+  if (::pipe(fds) != 0) return nullptr;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return nullptr;
+  }
+  if (pid == 0) {
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    const std::string threads = std::to_string(serve_threads);
+    ::execl(serve_bin.c_str(), "stamp_serve", "--port", "0", "--grid",
+            grid.c_str(), "--workers", threads.c_str(),
+            static_cast<char*>(nullptr));
+    std::perror("stamp_fleet: exec stamp_serve");
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+  const std::string line = read_line_fd(fds[0], 10000);
+  ::close(fds[0]);
+  auto worker = std::make_unique<WorkerProc>();
+  worker->pid = pid;
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(line.c_str(), &end, 10);
+  if (line.empty() || end != line.c_str() + line.size() || port == 0 ||
+      port > 65535) {
+    ::kill(pid, SIGKILL);
+    int ignored;
+    ::waitpid(pid, &ignored, 0);
+    return nullptr;
+  }
+  worker->port = static_cast<std::uint16_t>(port);
+  return worker;
+}
+
+void stop_workers(std::vector<std::unique_ptr<WorkerProc>>& workers) {
+  for (auto& w : workers)
+    if (w && w->pid > 0) ::kill(w->pid, SIGTERM);
+  for (auto& w : workers) {
+    if (!w || w->pid <= 0) continue;
+    int ignored;
+    ::waitpid(w->pid, &ignored, 0);
+    w->pid = -1;
+  }
+}
+
+/// Default path of the stamp_serve binary: next to this executable.
+std::string sibling_serve_bin(const char* argv0) {
+  std::filesystem::path self(argv0 != nullptr ? argv0 : "");
+  return (self.parent_path() / "stamp_serve").string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string grid = "canonical";
+  std::string out_path;
+  std::string journal_path;
+  std::string resume_path;
+  std::string serve_bin = sibling_serve_bin(argc > 0 ? argv[0] : nullptr);
+  std::vector<std::string> connect_specs;
+  int workers = 0;
+  int serve_threads = 2;
+  std::uint64_t points_per_shard = 64;
+  int timeout_ms = 120000;
+  bool stats = false;
+
+  Cli cli("stamp_fleet",
+          "Shard a STAMP sweep across stamp_serve workers and merge an "
+          "artifact byte-identical to a single-node stamp_sweep run.");
+  cli.option_string("grid", &grid, "canonical|tiny",
+                    "grid preset to evaluate (default: canonical)")
+      .option_int("workers", &workers, "N",
+                  "spawn N stamp_serve children on ephemeral ports")
+      .option_list("connect", &connect_specs, "PORT",
+                   "attach to an externally managed worker (repeatable; "
+                   "mutually additive with --workers)")
+      .option_string("out", &out_path, "FILE", "output file (default: stdout)")
+      .option_string("journal", &journal_path, "FILE",
+                     "coordination journal (default: a temp file, removed on "
+                     "success; pass a path to keep it)")
+      .option_string("resume", &resume_path, "FILE",
+                     "resume a killed coordinator's journal; only missing "
+                     "points are re-dispatched")
+      .option_u64("points-per-shard", &points_per_shard, "N",
+                  "shard granularity (default 64, max 4096)")
+      .option_int("timeout-ms", &timeout_ms, "MS",
+                  "per-shard response deadline before resend (default 120000)")
+      .option_string("serve-bin", &serve_bin, "PATH",
+                     "stamp_serve binary for --workers (default: next to "
+                     "stamp_fleet)")
+      .option_int("serve-workers", &serve_threads, "N",
+                  "worker threads per spawned server (default 2)")
+      .flag("stats", &stats, "print fleet statistics to stderr");
+  switch (cli.parse(argc, argv)) {
+    case Cli::Parse::Help: return 0;
+    case Cli::Parse::Error: return 2;
+    case Cli::Parse::Ok: break;
+  }
+
+  stamp::tools::install_shutdown_handlers();
+
+  stamp::sweep::SweepConfig cfg;
+  if (grid == "canonical") {
+    cfg = stamp::sweep::SweepConfig::canonical();
+  } else if (grid == "tiny") {
+    cfg = stamp::sweep::SweepConfig::tiny();
+  } else {
+    // The serve engine only exposes presets it can pin in memory; "large"
+    // is a streaming grid and has no server-side preset.
+    std::cerr << "stamp_fleet: unknown grid preset '" << grid << "'\n";
+    return 2;
+  }
+
+  stamp::dist::FleetOptions fleet;
+  fleet.points_per_shard = static_cast<std::size_t>(points_per_shard);
+  fleet.response_timeout_ms = timeout_ms;
+  fleet.cancel = &stamp::tools::shutdown_token();
+
+  for (const std::string& spec : connect_specs) {
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(spec.c_str(), &end, 10);
+    if (spec.empty() || end != spec.c_str() + spec.size() || port == 0 ||
+        port > 65535) {
+      std::cerr << "stamp_fleet: bad --connect port '" << spec << "'\n";
+      return 2;
+    }
+    fleet.ports.push_back(static_cast<std::uint16_t>(port));
+  }
+
+  std::vector<std::unique_ptr<WorkerProc>> spawned;
+  for (int i = 0; i < workers; ++i) {
+    auto worker = spawn_worker(serve_bin, grid, serve_threads);
+    if (!worker) {
+      std::cerr << "stamp_fleet: failed to spawn stamp_serve worker " << i
+                << " (binary: '" << serve_bin << "')\n";
+      stop_workers(spawned);
+      return 2;
+    }
+    fleet.ports.push_back(worker->port);
+    spawned.push_back(std::move(worker));
+  }
+
+  if (fleet.ports.empty()) {
+    std::cerr << "stamp_fleet: no workers (--workers N or --connect PORT)\n";
+    return 2;
+  }
+
+  // Resuming without an explicit journal keeps appending to the same file;
+  // with neither, the coordination journal is a temp file removed on success.
+  if (journal_path.empty()) journal_path = resume_path;
+  bool temp_journal = false;
+  if (journal_path.empty()) {
+    journal_path = (std::filesystem::temp_directory_path() /
+                    ("stamp_fleet." + std::to_string(::getpid()) + ".journal"))
+                       .string();
+    temp_journal = true;
+  }
+
+  int exit_code = 0;
+  try {
+    std::unique_ptr<stamp::sweep::ResumeState> resume;
+    if (!resume_path.empty() && std::filesystem::exists(resume_path)) {
+      resume = std::make_unique<stamp::sweep::ResumeState>(
+          stamp::sweep::ResumeState::load(resume_path, cfg));
+      std::cerr << "stamp_fleet: resuming " << resume->completed_points() << "/"
+                << resume->grid_points() << " points from '" << resume_path
+                << "'" << (resume->truncated() ? " (torn tail truncated)" : "")
+                << "\n";
+    } else if (!resume_path.empty()) {
+      std::cerr << "stamp_fleet: resume file '" << resume_path
+                << "' does not exist; starting fresh\n";
+    }
+
+    {
+      stamp::sweep::Journal journal(journal_path, cfg, resume.get());
+      stamp::dist::Coordinator coordinator(cfg, fleet);
+      const stamp::dist::FleetStats fstats =
+          coordinator.run(journal, resume.get());
+      if (stats || fstats.worker_failures > 0) {
+        std::cerr << "fleet: " << fleet.ports.size() << " workers, "
+                  << fstats.shards << " shards, " << fstats.dispatched
+                  << " dispatched, " << fstats.completed << " completed, "
+                  << fstats.reassigned << " reassigned, "
+                  << fstats.worker_failures << " worker failures, "
+                  << fstats.reconnects << " reconnects, " << fstats.records
+                  << " records journaled\n";
+      }
+      if (fstats.cancelled) {
+        std::cerr << "stamp_fleet: cancelled by signal; journal preserved at '"
+                  << journal_path << "', rerun with --resume to continue\n";
+        stop_workers(spawned);
+        return 3;
+      }
+    }  // journal synced + closed here
+
+    // Merge: replay the now-complete journal through the normal resume
+    // machinery. Every point is journaled, so no evaluation happens — the
+    // artifact bytes come from the same records a single-node run journals.
+    const stamp::sweep::ResumeState merged =
+        stamp::sweep::ResumeState::load(journal_path, cfg);
+    if (merged.completed_points() != cfg.grid.size())
+      throw std::runtime_error(
+          "fleet: journal incomplete after run: " +
+          std::to_string(merged.completed_points()) + "/" +
+          std::to_string(cfg.grid.size()) + " points");
+    stamp::sweep::SweepOptions opts;
+    opts.resume = &merged;
+    opts.threads = 1;
+    const stamp::Evaluator eval(
+        {.machine = cfg.base, .objective = cfg.objective});
+    const stamp::sweep::SweepResult result = eval.sweep(cfg, opts);
+
+    if (out_path.empty() || out_path == "-") {
+      stamp::sweep::write_json(result, std::cout);
+    } else {
+      stamp::report::AtomicFileWriter writer(out_path);
+      if (!writer.ok()) {
+        std::cerr << "stamp_fleet: cannot open '" << out_path
+                  << "' for writing\n";
+        stop_workers(spawned);
+        return 2;
+      }
+      stamp::sweep::write_json(result, writer.stream());
+      writer.commit();
+    }
+    if (temp_journal) std::filesystem::remove(journal_path);
+  } catch (const std::exception& e) {
+    std::cerr << "stamp_fleet: " << e.what() << "\n";
+    if (!temp_journal)
+      std::cerr << "stamp_fleet: journal preserved at '" << journal_path
+                << "'; rerun with --resume to continue\n";
+    exit_code = 4;
+  }
+
+  stop_workers(spawned);
+  return exit_code;
+}

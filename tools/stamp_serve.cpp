@@ -24,6 +24,7 @@
 #include <chrono>
 #include <cstdint>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -42,7 +43,9 @@ bool parse_inject(const std::string& spec, stamp::fault::FaultPlan& plan) {
   if (!site.has_value()) return false;
   double probability = 0;
   double magnitude = 0;
-  std::uint64_t max_per_key = 0;
+  // No max= means unlimited, mirroring FaultPlan::with — a 0 here would arm
+  // the site with a zero injection budget, i.e. silently never fire.
+  std::uint64_t max_per_key = std::numeric_limits<std::uint64_t>::max();
   std::int64_t only_key = -1;
   std::istringstream rest(spec.substr(eq + 1));
   std::string field;
@@ -160,6 +163,10 @@ int main(int argc, char** argv) {
     std::cerr << "stamp_serve: serving grid '" << grid << "' on 127.0.0.1:"
               << server.port() << " (workers " << options.workers
               << ", queue " << options.queue_depth << ")\n";
+    // The bound port is the only thing ever printed on stdout, so callers
+    // (scripts/serve_load.sh, stamp_fleet's spawn mode) can capture it from a
+    // pipe without racing the --port-file write. endl flushes the pipe.
+    std::cout << server.port() << std::endl;
     if (!port_file.empty())
       stamp::report::AtomicFileWriter::write_file(
           port_file, std::to_string(server.port()) + "\n");
