@@ -35,8 +35,12 @@ SERVE="$BUILD_DIR/tools/stamp_serve"
 
 WORK="$(mktemp -d)"
 WORKER_PIDS=()
+FLEET_PID=""
+# Kill EVERY child this script spawned — the workers and any background
+# stamp_fleet coordinator still in flight (an early failure between spawning
+# the coordinator and `wait` would otherwise leak it past our exit).
 cleanup() {
-  for pid in "${WORKER_PIDS[@]:-}"; do
+  for pid in "${WORKER_PIDS[@]:-}" "$FLEET_PID"; do
     [ -n "$pid" ] && kill -KILL "$pid" 2>/dev/null || true
   done
   rm -rf "$WORK"
@@ -98,6 +102,7 @@ sleep 0.6
 kill -KILL "$VICTIM_PID"
 status=0
 wait "$FLEET_PID" || status=$?
+FLEET_PID=""
 if [ "$status" -ne 0 ]; then
   echo "fleet_chaos: fleet exited $status after worker kill; log:" >&2
   cat "$WORK/fleet_kill.log" >&2
@@ -120,6 +125,7 @@ sleep 0.6
 kill -TERM "$FLEET_PID"
 status=0
 wait "$FLEET_PID" || status=$?
+FLEET_PID=""
 if [ "$status" -ne 3 ]; then
   echo "fleet_chaos: killed coordinator exited $status, want 3; log:" >&2
   cat "$WORK/fleet_resume.log" >&2

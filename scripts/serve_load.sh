@@ -35,8 +35,14 @@ CALL="$BUILD_DIR/tools/stamp_call"
 
 WORK="$(mktemp -d)"
 SERVER_PID=""
+SERVER_PIDS=()
+# Kill EVERY server this script ever spawned, not just the latest: a failure
+# between start_server calls (or a drain that never ran) must not leak a
+# listening stamp_serve past our exit.
 cleanup() {
-  [ -n "$SERVER_PID" ] && kill -KILL "$SERVER_PID" 2>/dev/null || true
+  for pid in "${SERVER_PIDS[@]:-}" "$SERVER_PID"; do
+    [ -n "$pid" ] && kill -KILL "$pid" 2>/dev/null || true
+  done
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -50,6 +56,7 @@ start_server() {
   "$SERVE" --port 0 --port-file "$WORK/port" "$@" \
     >"$WORK/port_stdout" 2>>"$WORK/server.log" &
   SERVER_PID=$!
+  SERVER_PIDS+=("$SERVER_PID")
   for _ in $(seq 1 100); do
     [ -s "$WORK/port_stdout" ] && break
     kill -0 "$SERVER_PID" 2>/dev/null || {

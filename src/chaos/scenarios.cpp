@@ -1,0 +1,278 @@
+/// \file scenarios.cpp
+/// \brief The built-in campaign scenarios: the classic `stamp_chaos`
+///        workloads (STM storm, bounded retries, mailbox pipeline,
+///        supervised failover, degraded simulation) re-expressed behind the
+///        `chaos::Scenario` interface, hardened so their resilience
+///        machinery *masks* injected faults — plus the test-only
+///        `seeded_probe` scenario whose deliberate invariant violation the
+///        chaos-campaign CI gate must find and shrink.
+///
+/// Every artifact contains only fault-masked semantic outcomes (final
+/// values, op totals, delivery counts, completion flags) — never timings,
+/// retry counts, or abort counts, which legitimately vary per schedule.
+
+#include "chaos/scenario.hpp"
+
+#include "api/evaluator.hpp"
+#include "fault/injector.hpp"
+#include "machine/trace.hpp"
+#include "msg/mailbox.hpp"
+#include "runtime/executor.hpp"
+#include "stm/stm.hpp"
+#include "stm/tarray.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace stamp::chaos {
+
+namespace {
+
+/// Disjoint-TVar increments across 4 processes with unbounded retries: any
+/// injected abort is retried away, so the committed slot values are
+/// schedule-independent.
+class StmStormScenario final : public Scenario {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "stm_storm";
+  }
+
+  [[nodiscard]] std::vector<SiteSweep> sites() const override {
+    return {{fault::FaultSite::StmAbort, 0.0}};
+  }
+
+  [[nodiscard]] std::string run() const override {
+    constexpr int kProcesses = 4;
+    constexpr int kTxnsPerProcess = 64;
+    Evaluator eval;
+    stm::StmRuntime rt;
+    stm::TArray<int> slots(kProcesses, 0);
+    static_cast<void>(eval.run(
+        kProcesses, Distribution::IntraProc, [&](runtime::Context& ctx) {
+          for (int i = 0; i < kTxnsPerProcess; ++i) {
+            rt.atomically(ctx, [&](stm::Transaction& tx) {
+              auto& var = slots.var(static_cast<std::size_t>(ctx.id()));
+              tx.write(var, tx.read(var) + 1);
+            });
+          }
+        }));
+    std::ostringstream os;
+    os << "slots=";
+    for (int p = 0; p < kProcesses; ++p) {
+      if (p > 0) os << ",";
+      os << slots.var(static_cast<std::size_t>(p)).peek();
+    }
+    os << ";commits=" << rt.stats().commits.load();
+    return os.str();
+  }
+};
+
+/// A single process committing 4 transactions under a bounded retry policy
+/// (3 retries per transaction): up to 3 aborts per transaction are masked,
+/// so every low-order schedule must still commit the full value.
+class StmRetryBudgetScenario final : public Scenario {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "stm_retry_budget";
+  }
+
+  [[nodiscard]] std::vector<SiteSweep> sites() const override {
+    return {{fault::FaultSite::StmAbort, 0.0}};
+  }
+
+  [[nodiscard]] std::string run() const override {
+    constexpr int kTxns = 4;
+    Evaluator eval;
+    stm::StmRuntime rt;
+    rt.set_retry_policy(fault::RetryPolicy::bounded(3));
+    stm::TVar<int> v(0);
+    long long exhausted = 0;
+    static_cast<void>(
+        eval.run(1, Distribution::IntraProc, [&](runtime::Context& ctx) {
+          for (int i = 0; i < kTxns; ++i) {
+            try {
+              rt.atomically(ctx, [&](stm::Transaction& tx) {
+                tx.write(v, tx.read(v) + 1);
+              });
+            } catch (const fault::RetryExhausted&) {
+              ++exhausted;
+            }
+          }
+        }));
+    std::ostringstream os;
+    os << "value=" << v.peek() << ";exhausted=" << exhausted;
+    return os.str();
+  }
+};
+
+/// Four logical tasks each delivering 24 messages through a lossy mailbox
+/// with a resend-until-acknowledged protocol (dedup by message id, bounded
+/// rounds): drops are resent, duplicates deduplicated, delays waited out —
+/// the delivered set is schedule-independent.
+class MailboxPipelineScenario final : public Scenario {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "mailbox_pipeline";
+  }
+
+  [[nodiscard]] std::vector<SiteSweep> sites() const override {
+    return {{fault::FaultSite::MsgDrop, 0.0},
+            {fault::FaultSite::MsgDuplicate, 0.0},
+            {fault::FaultSite::MsgDelay, /*nanoseconds=*/10000.0}};
+  }
+
+  [[nodiscard]] std::string run() const override {
+    constexpr std::size_t kTasks = 4;
+    constexpr int kMessages = 24;
+    constexpr int kMaxRounds = 64;
+    std::ostringstream os;
+    os << "delivered=";
+    for (std::size_t task = 0; task < kTasks; ++task) {
+      const fault::ActorScope actor(100 + task);
+      msg::Mailbox<int> box;
+      std::vector<bool> received(kMessages, false);
+      int missing = kMessages;
+      for (int round = 0; round < kMaxRounds && missing > 0; ++round) {
+        for (int m = 0; m < kMessages; ++m)
+          if (!received[static_cast<std::size_t>(m)]) box.send(m);
+        while (const auto got = box.try_receive()) {
+          const auto id = static_cast<std::size_t>(*got);
+          if (!received[id]) {
+            received[id] = true;
+            --missing;
+          }
+        }
+      }
+      if (task > 0) os << ",";
+      os << (kMessages - missing);
+    }
+    return os.str();
+  }
+};
+
+/// The supervised executor re-running a fixed op workload around injected
+/// fail-stops and stalls (up to 4 failovers): the recorded op totals on the
+/// surviving placement are schedule-independent.
+class SupervisedFailoverScenario final : public Scenario {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "supervised_failover";
+  }
+
+  [[nodiscard]] std::vector<SiteSweep> sites() const override {
+    return {{fault::FaultSite::ProcFailStop, 0.0},
+            {fault::FaultSite::ProcStall, /*nanoseconds=*/10000.0}};
+  }
+
+  [[nodiscard]] std::string run() const override {
+    constexpr int kProcesses = 4;
+    Evaluator eval;
+    const auto supervised = eval.run_supervised(
+        kProcesses, Distribution::IntraProc,
+        [](runtime::Context& ctx) {
+          ctx.int_ops(100.0 * (ctx.id() + 1));
+          ctx.fp_ops(10.0 * (ctx.id() + 1));
+        },
+        /*max_failovers=*/4);
+    const auto totals = supervised.result.total_counters();
+    std::ostringstream os;
+    os << "int=" << static_cast<long long>(totals.c_int)
+       << ";fp=" << static_cast<long long>(totals.c_fp);
+    return os.str();
+  }
+};
+
+/// Replaying fixed traces on the machine simulator, re-placing around
+/// injected core failures (the simulated twin of supervised failover):
+/// completion is schedule-independent even when cores die or ops spike.
+class SimDegradedScenario final : public Scenario {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "sim_degraded";
+  }
+
+  [[nodiscard]] std::vector<SiteSweep> sites() const override {
+    return {{fault::FaultSite::SimCoreFail, 0.0},
+            {fault::FaultSite::SimLatencySpike, /*scale=*/4.0}};
+  }
+
+  [[nodiscard]] std::string run() const override {
+    constexpr int kProcesses = 4;
+    constexpr int kMaxReplacements = 8;
+    Evaluator eval;
+    const Topology topo = eval.machine().topology;
+    std::vector<machine::ProcessTrace> traces(
+        static_cast<std::size_t>(kProcesses));
+    for (auto& trace : traces) {
+      trace.push_back({machine::TraceOp::Kind::Compute, 100.0, false, 20.0});
+      trace.push_back({machine::TraceOp::Kind::ShmRead, 50.0, true, 0.0});
+      trace.push_back({machine::TraceOp::Kind::Compute, 50.0, false, 0.0});
+      trace.push_back({machine::TraceOp::Kind::ShmWrite, 25.0, true, 0.0});
+    }
+    auto placement = runtime::PlacementMap::one_per_processor(topo, kProcesses);
+    std::vector<int> excluded;
+    bool completed = false;
+    for (int attempt = 0; attempt <= kMaxReplacements && !completed;
+         ++attempt) {
+      try {
+        static_cast<void>(eval.simulate(traces, placement));
+        completed = true;
+      } catch (const fault::CoreFailure& failure) {
+        excluded.push_back(failure.core());
+        placement = runtime::PlacementMap::fill_first_excluding(
+            topo, kProcesses, excluded);
+      }
+    }
+    std::ostringstream os;
+    os << "completed=" << (completed ? 1 : 0) << ";processes=" << kProcesses;
+    return os.str();
+  }
+};
+
+/// Test-only scenario with a deliberately-seeded invariant violation: it
+/// walks 8 decisions on the hook-less TestProbe site and tolerates exactly
+/// one injection — two or more corrupt the artifact. Single-injection
+/// sweeps pass, pair-wise trials fail, and the minimal failing schedule is
+/// exactly 2 entries — the ground truth the chaos-campaign CI gate asserts
+/// the finder and shrinker against.
+class SeededProbeScenario final : public Scenario {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "seeded_probe";
+  }
+
+  [[nodiscard]] std::vector<SiteSweep> sites() const override {
+    return {{fault::FaultSite::TestProbe, 0.0}};
+  }
+
+  [[nodiscard]] std::string run() const override {
+    constexpr std::uint64_t kSteps = 8;
+    auto& injector = fault::Injector::current();
+    int hits = 0;
+    for (std::uint64_t step = 0; step < kSteps; ++step)
+      if (injector.decide(fault::FaultSite::TestProbe, step)) ++hits;
+    return hits < 2 ? "state=ok" : "state=corrupted";
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> scenario_names() {
+  return {"stm_storm",          "stm_retry_budget", "mailbox_pipeline",
+          "supervised_failover", "sim_degraded",    "seeded_probe"};
+}
+
+std::shared_ptr<const Scenario> make_scenario(std::string_view name) {
+  if (name == "stm_storm") return std::make_shared<StmStormScenario>();
+  if (name == "stm_retry_budget")
+    return std::make_shared<StmRetryBudgetScenario>();
+  if (name == "mailbox_pipeline")
+    return std::make_shared<MailboxPipelineScenario>();
+  if (name == "supervised_failover")
+    return std::make_shared<SupervisedFailoverScenario>();
+  if (name == "sim_degraded") return std::make_shared<SimDegradedScenario>();
+  if (name == "seeded_probe") return std::make_shared<SeededProbeScenario>();
+  return nullptr;
+}
+
+}  // namespace stamp::chaos

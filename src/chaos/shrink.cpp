@@ -1,0 +1,107 @@
+#include "chaos/shrink.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace stamp::chaos {
+
+namespace {
+
+using Entries = std::vector<fault::ScheduleEntry>;
+
+[[nodiscard]] fault::Schedule to_schedule(const Entries& entries) {
+  fault::Schedule schedule;
+  schedule.entries = entries;
+  schedule.canonicalize();
+  return schedule;
+}
+
+/// The i-th of n contiguous chunks of `entries` (near-equal sizes).
+[[nodiscard]] Entries chunk_of(const Entries& entries, std::size_t i,
+                               std::size_t n) {
+  const std::size_t size = entries.size();
+  const std::size_t begin = i * size / n;
+  const std::size_t end = (i + 1) * size / n;
+  return Entries(entries.begin() + static_cast<std::ptrdiff_t>(begin),
+                 entries.begin() + static_cast<std::ptrdiff_t>(end));
+}
+
+/// `entries` minus its i-th of n chunks.
+[[nodiscard]] Entries complement_of(const Entries& entries, std::size_t i,
+                                    std::size_t n) {
+  const std::size_t size = entries.size();
+  const std::size_t begin = i * size / n;
+  const std::size_t end = (i + 1) * size / n;
+  Entries out;
+  out.reserve(size - (end - begin));
+  for (std::size_t k = 0; k < size; ++k)
+    if (k < begin || k >= end) out.push_back(entries[k]);
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_schedule(const std::shared_ptr<const Scenario>& scenario,
+                             const std::string& reference,
+                             const fault::Schedule& failing, int watchdog_ms,
+                             std::uint64_t max_trials) {
+  ShrinkResult result;
+  Entries entries = failing.entries;
+  std::sort(entries.begin(), entries.end(), fault::schedule_entry_less);
+
+  // A probe: does the candidate sub-schedule still violate the invariant?
+  // Out of budget => answer "no" (conservative: never shrinks to a passing
+  // schedule, only stops shrinking early).
+  const auto still_fails = [&](const Entries& candidate) -> bool {
+    if (result.trials_used >= max_trials) return false;
+    ++result.trials_used;
+    const TrialRun run = run_trial(scenario, to_schedule(candidate),
+                                   watchdog_ms, &reference);
+    return run.outcome != TrialOutcome::Pass;
+  };
+
+  // Classic ddmin: try chunks (a failing chunk replaces the whole set),
+  // then complements (a failing complement drops one chunk), then double
+  // the granularity; at granularity == size the complements are
+  // single-entry removals, so the fixpoint is 1-minimal.
+  std::size_t granularity = 2;
+  while (entries.size() >= 2 && result.trials_used < max_trials) {
+    bool reduced = false;
+    for (std::size_t i = 0; i < granularity && !reduced; ++i) {
+      const Entries candidate = chunk_of(entries, i, granularity);
+      if (candidate.empty() || candidate.size() == entries.size()) continue;
+      if (still_fails(candidate)) {
+        entries = candidate;
+        granularity = 2;
+        reduced = true;
+      }
+    }
+    if (!reduced) {
+      for (std::size_t i = 0; i < granularity && !reduced; ++i) {
+        const Entries candidate = complement_of(entries, i, granularity);
+        if (candidate.empty() || candidate.size() == entries.size()) continue;
+        if (still_fails(candidate)) {
+          entries = candidate;
+          granularity = std::max<std::size_t>(2, granularity - 1);
+          reduced = true;
+        }
+      }
+    }
+    if (!reduced) {
+      if (granularity >= entries.size()) break;  // 1-minimal
+      granularity = std::min(granularity * 2, entries.size());
+    }
+  }
+
+  result.minimal = to_schedule(entries);
+  // Final verification: the minimal schedule must itself reproduce the
+  // failure (not just have been reached through failing intermediates).
+  ++result.trials_used;
+  const TrialRun verify =
+      run_trial(scenario, result.minimal, watchdog_ms, &reference);
+  result.verified = verify.outcome != TrialOutcome::Pass;
+  return result;
+}
+
+}  // namespace stamp::chaos

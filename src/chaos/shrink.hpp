@@ -1,0 +1,39 @@
+#pragma once
+/// \file shrink.hpp
+/// \brief Delta-debugging (ddmin) over a failing schedule's injection list:
+///        drop halves, then ever-smaller chunks, down to single decisions,
+///        until a minimal failing schedule remains.
+///
+/// The shrinker re-runs the scenario under candidate sub-schedules (verbatim
+/// replay) and keeps any candidate that still violates the invariant. The
+/// result is 1-minimal with respect to the final granularity: removing any
+/// single remaining injection makes the failure disappear (unless the trial
+/// budget ran out first, in which case the best-so-far schedule is returned
+/// unverified).
+
+#include "chaos/campaign.hpp"
+#include "chaos/scenario.hpp"
+#include "fault/schedule.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace stamp::chaos {
+
+struct ShrinkResult {
+  fault::Schedule minimal;        ///< smallest failing schedule found
+  std::uint64_t trials_used = 0;  ///< probe trials spent (including verify)
+  bool verified = false;          ///< `minimal` re-ran and still failed
+};
+
+/// ddmin over `failing`'s entries. `reference` is the invariant artifact a
+/// passing trial must reproduce; `watchdog_ms` bounds each probe trial
+/// (hangs count as failures — they reproduce a violation); `max_trials`
+/// bounds the total probes.
+[[nodiscard]] ShrinkResult shrink_schedule(
+    const std::shared_ptr<const Scenario>& scenario,
+    const std::string& reference, const fault::Schedule& failing,
+    int watchdog_ms, std::uint64_t max_trials);
+
+}  // namespace stamp::chaos

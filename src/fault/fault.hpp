@@ -12,3 +12,4 @@
 #include "fault/plan.hpp"
 #include "fault/prng.hpp"
 #include "fault/retry.hpp"
+#include "fault/schedule.hpp"

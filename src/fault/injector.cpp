@@ -3,15 +3,18 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
+#include <algorithm>
+
 namespace stamp::fault {
 
 namespace detail {
-std::atomic<bool> g_injection_enabled{false};
+std::atomic<int> g_armed_injectors{0};
 }  // namespace detail
 
 namespace {
 
 thread_local std::uint64_t t_actor_key = 0;
+thread_local Injector* t_injector_override = nullptr;
 
 /// One stream per (site, key): full-avalanche so shard selection and draws
 /// are uncorrelated across sites sharing a numeric key.
@@ -28,50 +31,120 @@ Injector::Injector() {
     shards_.push_back(std::make_unique<Shard>());
 }
 
-void Injector::arm(const FaultPlan& plan) {
-  plan.validate();
-  plan_ = plan;
+Injector::~Injector() { set_enabled_contribution(false); }
+
+void Injector::set_enabled_contribution(bool on) noexcept {
+  if (on == contributing_) return;
+  contributing_ = on;
+  if (on)
+    detail::g_armed_injectors.fetch_add(1, std::memory_order_relaxed);
+  else
+    detail::g_armed_injectors.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Injector::reset_state() {
   for (auto& shard : shards_) {
     const std::scoped_lock lock(shard->mutex);
     shard->keys.clear();
+    shard->fired.clear();
   }
   for (auto& c : injected_) c.store(0, std::memory_order_relaxed);
   for (auto& c : decisions_) c.store(0, std::memory_order_relaxed);
+  for (auto& c : suppressed_) c.store(0, std::memory_order_relaxed);
+}
+
+void Injector::arm(const FaultPlan& plan) {
+  plan.validate();
+  plan_ = plan;
+  mode_ = Mode::Probabilistic;
+  replay_.clear();
+  reset_state();
   armed_ = true;
-  detail::g_injection_enabled.store(plan_.any_armed(),
-                                    std::memory_order_relaxed);
+  // A plan with no armed site contributes nothing: decide() would never fire
+  // and nothing needs counting, so hook sites keep the one-load fast path.
+  set_enabled_contribution(plan_.any_armed());
+}
+
+void Injector::arm_replay(const Schedule& schedule) {
+  plan_ = FaultPlan{};
+  mode_ = Mode::Replay;
+  replay_.clear();
+  for (const ScheduleEntry& e : schedule.entries)
+    replay_[stream_of(e.site, e.key)][e.decision] = e.magnitude;
+  reset_state();
+  armed_ = true;
+  // Replay always contributes — even an empty schedule: observe mode needs
+  // every decision stream counted for the campaign census.
+  set_enabled_contribution(true);
 }
 
 void Injector::disarm() noexcept {
   armed_ = false;
-  detail::g_injection_enabled.store(false, std::memory_order_relaxed);
+  set_enabled_contribution(false);
 }
 
 Injector::Shard& Injector::shard_for(std::uint64_t stream) noexcept {
   return *shards_[static_cast<std::size_t>(stream % kShardCount)];
 }
 
+void Injector::note_suppressed(FaultSite site) {
+  suppressed_[site_index(site)].fetch_add(1, std::memory_order_relaxed);
+  if (obs::metrics_enabled())
+    obs::MetricsRegistry::global()
+        .counter(std::string("fault.") + site_name(site) + ".suppressed")
+        .add();
+}
+
 std::optional<Injection> Injector::decide(FaultSite site, std::uint64_t key) {
   if (!injection_enabled()) return std::nullopt;
+  if (!armed_) return std::nullopt;
   const SiteSpec& spec = plan_.spec(site);
-  if (!spec.armed()) return std::nullopt;
-  // A key filter rejects without touching the stream: the filtered key's
-  // schedule is identical whether or not other keys exist.
-  if (spec.only_key >= 0 && key != static_cast<std::uint64_t>(spec.only_key))
-    return std::nullopt;
+  if (mode_ == Mode::Probabilistic) {
+    if (!spec.armed()) return std::nullopt;
+    // A key filter rejects without touching the stream: the filtered key's
+    // schedule is identical whether or not other keys exist.
+    if (spec.only_key >= 0 &&
+        key != static_cast<std::uint64_t>(spec.only_key)) {
+      note_suppressed(site);
+      return std::nullopt;
+    }
+  }
 
   decisions_[site_index(site)].fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t stream = stream_of(site, key);
   bool fire = false;
+  bool capped = false;
+  double magnitude = spec.magnitude;
   {
     Shard& shard = shard_for(stream);
     const std::scoped_lock lock(shard.mutex);
     KeyState& state = shard.keys[stream];
+    state.site = site;
+    state.key = key;
     const std::uint64_t n = state.decisions++;
-    fire = state.injected < spec.max_per_key &&
-           u01(counter_draw(plan_.seed, stream, n)) < spec.probability;
-    if (fire) ++state.injected;
+    if (mode_ == Mode::Probabilistic) {
+      const bool drawn = u01(counter_draw(plan_.seed, stream, n)) <
+                         spec.probability;
+      if (drawn && state.injected < spec.max_per_key)
+        fire = true;
+      else if (drawn)
+        capped = true;
+    } else {
+      const auto per_stream = replay_.find(stream);
+      if (per_stream != replay_.end()) {
+        const auto entry = per_stream->second.find(n);
+        if (entry != per_stream->second.end()) {
+          fire = true;
+          magnitude = entry->second;
+        }
+      }
+    }
+    if (fire) {
+      ++state.injected;
+      shard.fired.push_back(ScheduleEntry{site, key, n, magnitude});
+    }
   }
+  if (capped) note_suppressed(site);
   if (!fire) return std::nullopt;
 
   injected_[site_index(site)].fetch_add(1, std::memory_order_relaxed);
@@ -82,7 +155,7 @@ std::optional<Injection> Injector::decide(FaultSite site, std::uint64_t key) {
     obs::MetricsRegistry::global()
         .counter(std::string("fault.") + site_name(site))
         .add();
-  return Injection{spec.magnitude};
+  return Injection{magnitude};
 }
 
 std::optional<Injection> Injector::decide_here(FaultSite site) {
@@ -97,6 +170,10 @@ std::uint64_t Injector::decisions(FaultSite site) const noexcept {
   return decisions_[site_index(site)].load(std::memory_order_relaxed);
 }
 
+std::uint64_t Injector::suppressed(FaultSite site) const noexcept {
+  return suppressed_[site_index(site)].load(std::memory_order_relaxed);
+}
+
 std::vector<std::pair<std::string, std::uint64_t>> Injector::injected_by_site()
     const {
   std::vector<std::pair<std::string, std::uint64_t>> out;
@@ -108,10 +185,50 @@ std::vector<std::pair<std::string, std::uint64_t>> Injector::injected_by_site()
   return out;
 }
 
+Schedule Injector::recorded() const {
+  Schedule out;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    out.entries.insert(out.entries.end(), shard->fired.begin(),
+                       shard->fired.end());
+  }
+  out.canonicalize();
+  return out;
+}
+
+std::vector<StreamStats> Injector::observed_streams() const {
+  std::vector<StreamStats> out;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mutex);
+    for (const auto& [stream, state] : shard->keys)
+      out.push_back(
+          StreamStats{state.site, state.key, state.decisions, state.injected});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StreamStats& a, const StreamStats& b) {
+              if (site_index(a.site) != site_index(b.site))
+                return site_index(a.site) < site_index(b.site);
+              return a.key < b.key;
+            });
+  return out;
+}
+
 Injector& Injector::global() {
   static Injector instance;
   return instance;
 }
+
+Injector& Injector::current() noexcept {
+  return t_injector_override != nullptr ? *t_injector_override
+                                        : Injector::global();
+}
+
+InjectorScope::InjectorScope(Injector& injector) noexcept
+    : previous_(t_injector_override) {
+  t_injector_override = &injector;
+}
+
+InjectorScope::~InjectorScope() { t_injector_override = previous_; }
 
 ActorScope::ActorScope(std::uint64_t key) noexcept : previous_(t_actor_key) {
   t_actor_key = key;

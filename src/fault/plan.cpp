@@ -18,6 +18,7 @@ const char* site_name(FaultSite s) noexcept {
     case FaultSite::SweepPointFail: return "sweep_point_fail";
     case FaultSite::ServeWorkerFail: return "serve_worker_fail";
     case FaultSite::FleetWorkerKill: return "fleet_worker_kill";
+    case FaultSite::TestProbe: return "test_probe";
   }
   return "unknown";
 }

@@ -34,9 +34,12 @@ enum class FaultSite : std::uint8_t {
                     ///< retries; key = request id)
   FleetWorkerKill,  ///< kill a fleet sweep worker after it is handed a shard
                     ///< (the coordinator reassigns; key = shard index)
+  TestProbe,        ///< test-only site with no production hook: chaos
+                    ///< campaign self-tests decide on it explicitly to seed
+                    ///< a known invariant violation
 };
 
-inline constexpr std::size_t kFaultSiteCount = 11;
+inline constexpr std::size_t kFaultSiteCount = 12;
 
 [[nodiscard]] constexpr std::size_t site_index(FaultSite s) noexcept {
   return static_cast<std::size_t>(s);

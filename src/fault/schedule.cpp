@@ -1,0 +1,106 @@
+#include "fault/schedule.hpp"
+
+#include "report/json.hpp"
+#include "report/json_parse.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace stamp::fault {
+
+bool schedule_entry_less(const ScheduleEntry& a,
+                         const ScheduleEntry& b) noexcept {
+  if (site_index(a.site) != site_index(b.site))
+    return site_index(a.site) < site_index(b.site);
+  if (a.key != b.key) return a.key < b.key;
+  if (a.decision != b.decision) return a.decision < b.decision;
+  return a.magnitude < b.magnitude;
+}
+
+void Schedule::canonicalize() {
+  std::sort(entries.begin(), entries.end(), schedule_entry_less);
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const ScheduleEntry& a, const ScheduleEntry& b) {
+                              return a.site == b.site && a.key == b.key &&
+                                     a.decision == b.decision;
+                            }),
+                entries.end());
+}
+
+std::string Schedule::to_json() const {
+  std::ostringstream os;
+  report::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "stamp-schedule/v1");
+  w.key("entries").begin_array();
+  for (const ScheduleEntry& e : entries) {
+    w.begin_object();
+    w.kv("site", site_name(e.site));
+    w.kv("key", static_cast<long long>(e.key));
+    w.kv("decision", static_cast<long long>(e.decision));
+    w.kv("magnitude", e.magnitude);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+namespace {
+
+[[nodiscard]] const report::JsonValue& require(const report::JsonValue& obj,
+                                               std::string_view key) {
+  const report::JsonValue* v = obj.find(key);
+  if (v == nullptr)
+    throw std::invalid_argument("schedule: missing field \"" +
+                                std::string(key) + "\"");
+  return *v;
+}
+
+[[nodiscard]] std::uint64_t require_u64(const report::JsonValue& obj,
+                                        std::string_view key) {
+  const double n = require(obj, key).as_number();
+  if (n < 0)
+    throw std::invalid_argument("schedule: negative \"" + std::string(key) +
+                                "\"");
+  return static_cast<std::uint64_t>(n);
+}
+
+}  // namespace
+
+Schedule Schedule::from_json(std::string_view text) {
+  const report::JsonValue root = report::JsonValue::parse(text);
+  const std::string& schema = require(root, "schema").as_string();
+  if (schema != "stamp-schedule/v1")
+    throw std::invalid_argument("schedule: unsupported schema \"" + schema +
+                                "\" (want stamp-schedule/v1)");
+  Schedule out;
+  for (const report::JsonValue& item : require(root, "entries").items()) {
+    ScheduleEntry e;
+    const std::string& name = require(item, "site").as_string();
+    const std::optional<FaultSite> site = site_from_name(name);
+    if (!site)
+      throw std::invalid_argument("schedule: unknown fault site \"" + name +
+                                  "\"");
+    e.site = *site;
+    e.key = require_u64(item, "key");
+    e.decision = require_u64(item, "decision");
+    e.magnitude = require(item, "magnitude").as_number();
+    if (e.magnitude < 0)
+      throw std::invalid_argument("schedule: negative magnitude for site \"" +
+                                  name + "\"");
+    out.entries.push_back(e);
+  }
+  out.canonicalize();
+  return out;
+}
+
+Schedule merge_schedules(const Schedule& a, const Schedule& b) {
+  Schedule out = a;
+  out.entries.insert(out.entries.end(), b.entries.begin(), b.entries.end());
+  out.canonicalize();
+  return out;
+}
+
+}  // namespace stamp::fault

@@ -1,0 +1,67 @@
+#pragma once
+/// \file schedule.hpp
+/// \brief `fault::Schedule` — a recorded fault schedule: the exact list of
+///        fired injections as (site, key, decision index, magnitude) tuples.
+///
+/// A schedule is what turns an opaque failing seed into a self-contained,
+/// replayable artifact: the injector records every fired injection while a
+/// plan is armed, and `Injector::arm_replay` forces injections at exactly the
+/// recorded decisions (and nowhere else). Schedules serialize to the
+/// `stamp-schedule/v1` JSON schema so a minimal failing repro can be written
+/// to disk, attached to a bug report, and replayed verbatim later.
+
+#include "fault/plan.hpp"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stamp::fault {
+
+/// One fired injection: the decision index within the (site, key) stream at
+/// which it fired, and the magnitude the hook site received.
+struct ScheduleEntry {
+  FaultSite site = FaultSite::StmAbort;
+  std::uint64_t key = 0;       ///< the hook site's stream key (actor, index…)
+  std::uint64_t decision = 0;  ///< 0-based decision index within (site, key)
+  double magnitude = 0;        ///< intensity delivered to the hook site
+
+  friend bool operator==(const ScheduleEntry&,
+                         const ScheduleEntry&) noexcept = default;
+};
+
+/// Orders by (site declaration index, key, decision); magnitude breaks ties
+/// so canonical order is total.
+[[nodiscard]] bool schedule_entry_less(const ScheduleEntry& a,
+                                       const ScheduleEntry& b) noexcept;
+
+/// An ordered list of fired injections. Canonical form (sorted, deduplicated
+/// on (site, key, decision)) makes schedules comparable and their JSON
+/// byte-stable regardless of the thread interleaving that recorded them.
+struct Schedule {
+  std::vector<ScheduleEntry> entries;
+
+  /// Sort into canonical order and drop duplicate (site, key, decision)
+  /// triples (keeping the first magnitude).
+  void canonicalize();
+
+  [[nodiscard]] bool empty() const noexcept { return entries.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries.size(); }
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+
+  /// Serialize as a `stamp-schedule/v1` JSON document (single line).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parse a `stamp-schedule/v1` document. Throws std::invalid_argument with
+  /// a human-readable message on schema violations (unknown site names,
+  /// missing fields, wrong schema string) and report::JsonParseError on
+  /// malformed JSON.
+  [[nodiscard]] static Schedule from_json(std::string_view text);
+};
+
+/// The union of two schedules, canonicalized.
+[[nodiscard]] Schedule merge_schedules(const Schedule& a, const Schedule& b);
+
+}  // namespace stamp::fault

@@ -107,14 +107,14 @@ SimResult replay(const std::vector<ProcessTrace>& traces,
     }
     for (int c = 0; c < cores; ++c) {
       if (!core_used[static_cast<std::size_t>(c)]) continue;
-      if (fault::Injector::global().decide(fault::FaultSite::SimCoreFail,
+      if (fault::Injector::current().decide(fault::FaultSite::SimCoreFail,
                                            static_cast<std::uint64_t>(c)))
         throw fault::CoreFailure(c);
     }
   }
   auto spiked = [](int process, double demand) {
     if (!fault::injection_enabled()) return demand;
-    if (const auto spike = fault::Injector::global().decide(
+    if (const auto spike = fault::Injector::current().decide(
             fault::FaultSite::SimLatencySpike,
             static_cast<std::uint64_t>(process)))
       return demand * std::max(1.0, spike->magnitude);

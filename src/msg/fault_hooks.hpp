@@ -29,7 +29,7 @@ struct SendFaults {
 inline SendFaults check_send_faults() {
   SendFaults faults;
   if (!fault::injection_enabled()) return faults;
-  auto& injector = fault::Injector::global();
+  auto& injector = fault::Injector::current();
   if (const auto delay = injector.decide_here(fault::FaultSite::MsgDelay)) {
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::nano>(delay->magnitude));

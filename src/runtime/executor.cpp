@@ -18,7 +18,7 @@ namespace {
 /// all threads and run_supervised turns into a re-placement.
 void maybe_inject_process_faults(int process) {
   if (!fault::injection_enabled()) return;
-  auto& injector = fault::Injector::global();
+  auto& injector = fault::Injector::current();
   const auto key = static_cast<std::uint64_t>(process);
   if (const auto stall = injector.decide(fault::FaultSite::ProcStall, key))
     std::this_thread::sleep_for(
@@ -67,12 +67,19 @@ RunResult run_processes(const PlacementMap& placement, const ProcessBody& body) 
   obs::ScopedSpan run_span = obs::ScopedSpan::if_enabled("runtime.run", "runtime");
   run_span.arg("processes", static_cast<double>(n));
 
+  // Process threads inherit the caller's injector (a campaign trial's
+  // InjectorScope override, or the global one): fault decisions made on a
+  // spawned thread must draw from the trial that spawned it, not from
+  // whatever another concurrent trial armed globally.
+  fault::Injector& injector = fault::Injector::current();
+
   const auto start = std::chrono::steady_clock::now();
   {
     std::vector<std::jthread> threads;
     threads.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
       threads.emplace_back([&, i] {
+        const fault::InjectorScope inject_scope(injector);
         // Each OS thread records under its own tid; the span covers the whole
         // process body, and its wall time feeds the latency histogram.
         obs::ScopedSpan process_span =

@@ -24,7 +24,7 @@ class WorkerCrash : public std::runtime_error {
 /// Fires the ServeWorkerFail site (keyed by request id) when armed.
 void maybe_crash(std::uint64_t request_id) {
   if (!fault::injection_enabled()) return;
-  if (fault::Injector::global().decide(fault::FaultSite::ServeWorkerFail,
+  if (fault::Injector::current().decide(fault::FaultSite::ServeWorkerFail,
                                        request_id))
     throw WorkerCrash(request_id);
 }

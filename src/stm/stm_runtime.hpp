@@ -145,7 +145,7 @@ class StmRuntime {
   /// (reads happened and are charged; buffered writes never land).
   static void maybe_inject_abort(std::uint64_t stream) {
     if (!fault::injection_enabled()) return;
-    if (fault::Injector::global().decide(fault::FaultSite::StmAbort, stream))
+    if (fault::Injector::current().decide(fault::FaultSite::StmAbort, stream))
       throw TxConflict{};
   }
 

@@ -298,7 +298,7 @@ void BatchEvaluator::evaluate_one(std::size_t index, std::size_t slot,
   // injection site decides before any work (an injected point emits no
   // span), the watchdog covers the expensive part of the evaluation.
   if (fault::injection_enabled() &&
-      fault::Injector::global().decide(fault::FaultSite::SweepPointFail,
+      fault::Injector::current().decide(fault::FaultSite::SweepPointFail,
                                        static_cast<std::uint64_t>(index)))
     throw fault::SweepPointFailure(index);
   std::optional<fault::RetryState> watchdog;

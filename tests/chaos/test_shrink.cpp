@@ -1,0 +1,56 @@
+#include "chaos/shrink.hpp"
+
+#include "chaos/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp::chaos {
+namespace {
+
+TEST(Shrink, ReducesManyEntryFailureToMinimalPair) {
+  const auto scenario = make_scenario("seeded_probe");
+  // Six forced injections: far more than needed to corrupt the probe (which
+  // tolerates exactly one). ddmin must reach a 1-minimal schedule — for this
+  // scenario, exactly 2 entries.
+  fault::Schedule failing;
+  for (std::uint64_t key = 0; key < 6; ++key)
+    failing.entries.push_back({fault::FaultSite::TestProbe, key, 0, 0.0});
+
+  const ShrinkResult result =
+      shrink_schedule(scenario, "state=ok", failing, /*watchdog_ms=*/20000,
+                      /*max_trials=*/256);
+  EXPECT_EQ(result.minimal.size(), 2u);
+  EXPECT_TRUE(result.verified);
+  EXPECT_GT(result.trials_used, 0u);
+  EXPECT_LE(result.trials_used, 256u);
+}
+
+TEST(Shrink, AlreadyMinimalScheduleIsKept) {
+  const auto scenario = make_scenario("seeded_probe");
+  fault::Schedule failing;
+  failing.entries.push_back({fault::FaultSite::TestProbe, 0, 0, 0.0});
+  failing.entries.push_back({fault::FaultSite::TestProbe, 7, 0, 0.0});
+  const ShrinkResult result =
+      shrink_schedule(scenario, "state=ok", failing, /*watchdog_ms=*/20000,
+                      /*max_trials=*/256);
+  EXPECT_EQ(result.minimal.size(), 2u);
+  EXPECT_TRUE(result.verified);
+}
+
+TEST(Shrink, DeterministicAcrossRuns) {
+  const auto scenario = make_scenario("seeded_probe");
+  fault::Schedule failing;
+  for (std::uint64_t key = 0; key < 4; ++key)
+    failing.entries.push_back({fault::FaultSite::TestProbe, key, 0, 0.0});
+  const ShrinkResult first = shrink_schedule(scenario, "state=ok", failing,
+                                             /*watchdog_ms=*/20000,
+                                             /*max_trials=*/256);
+  const ShrinkResult second = shrink_schedule(scenario, "state=ok", failing,
+                                              /*watchdog_ms=*/20000,
+                                              /*max_trials=*/256);
+  EXPECT_EQ(first.minimal, second.minimal);
+  EXPECT_EQ(first.trials_used, second.trials_used);
+}
+
+}  // namespace
+}  // namespace stamp::chaos

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -206,6 +207,124 @@ TEST(Injector, InjectedBySiteListsOnlyFiringSites) {
   ASSERT_EQ(by_site.size(), 1u);
   EXPECT_EQ(by_site[0].first, "stm_abort");
   EXPECT_EQ(by_site[0].second, 1u);
+}
+
+TEST(Injector, ArmValidatesThePlan) {
+  FaultPlan bad;
+  bad.with(FaultSite::StmAbort, 2.0);  // probability outside [0, 1]
+  EXPECT_THROW(Injector::global().arm(bad), std::invalid_argument);
+  EXPECT_FALSE(injection_enabled());
+}
+
+TEST(Injector, SuppressedCountsOnlyKeyFiltering) {
+  FaultPlan plan;
+  plan.with(FaultSite::MsgDrop, 1.0, 0, /*max_per_key=*/0xFFFFFFFFFFFFFFFFull,
+            /*only_key=*/7);
+  const ArmedPlan armed(plan);
+  static_cast<void>(Injector::global().decide(FaultSite::MsgDrop, 1));
+  static_cast<void>(Injector::global().decide(FaultSite::MsgDrop, 2));
+  static_cast<void>(Injector::global().decide(FaultSite::MsgDrop, 7));
+  // Keys 1 and 2 were reached but filtered; key 7 fired.
+  EXPECT_EQ(Injector::global().suppressed(FaultSite::MsgDrop), 2u);
+  EXPECT_EQ(Injector::global().injected(FaultSite::MsgDrop), 1u);
+}
+
+TEST(Injector, SuppressedCountsMaxPerKeyExhaustion) {
+  FaultPlan plan;
+  plan.with(FaultSite::StmAbort, 1.0, 0, /*max_per_key=*/2);
+  const ArmedPlan armed(plan);
+  for (int i = 0; i < 5; ++i)
+    static_cast<void>(Injector::global().decide(FaultSite::StmAbort, 0));
+  // p=1.0: every decision wants to fire; 2 fire, 3 hit the spent budget.
+  EXPECT_EQ(Injector::global().injected(FaultSite::StmAbort), 2u);
+  EXPECT_EQ(Injector::global().suppressed(FaultSite::StmAbort), 3u);
+  EXPECT_EQ(Injector::global().decisions(FaultSite::StmAbort), 5u);
+}
+
+TEST(Injector, RecordedScheduleReplaysVerbatim) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.with(FaultSite::MsgDrop, 0.3);
+  Injector::global().arm(plan);
+  const std::vector<bool> original = schedule_of(FaultSite::MsgDrop, 5, 100);
+  const Schedule recorded = Injector::global().recorded();
+  ASSERT_FALSE(recorded.empty());
+
+  Injector::global().arm_replay(recorded);
+  EXPECT_EQ(Injector::global().mode(), Injector::Mode::Replay);
+  EXPECT_EQ(schedule_of(FaultSite::MsgDrop, 5, 100), original);
+  // The replay's own record matches what it was fed.
+  EXPECT_EQ(Injector::global().recorded(), recorded);
+  Injector::global().disarm();
+}
+
+TEST(Injector, ReplayCarriesRecordedMagnitudes) {
+  Schedule schedule;
+  schedule.entries.push_back({FaultSite::SimLatencySpike, 0, 1, 7.25});
+  Injector::global().arm_replay(schedule);
+  EXPECT_FALSE(
+      Injector::global().decide(FaultSite::SimLatencySpike, 0).has_value());
+  const auto injection =
+      Injector::global().decide(FaultSite::SimLatencySpike, 0);
+  ASSERT_TRUE(injection.has_value());
+  EXPECT_DOUBLE_EQ(injection->magnitude, 7.25);
+  Injector::global().disarm();
+}
+
+TEST(Injector, EmptyReplayObservesStreamsWithoutFiring) {
+  Injector::global().arm_replay(Schedule{});
+  EXPECT_TRUE(injection_enabled());  // observe mode must count streams
+  for (int i = 0; i < 3; ++i)
+    EXPECT_FALSE(Injector::global().decide(FaultSite::StmAbort, 4).has_value());
+  static_cast<void>(Injector::global().decide(FaultSite::MsgDrop, 9));
+  const auto streams = Injector::global().observed_streams();
+  ASSERT_EQ(streams.size(), 2u);
+  EXPECT_EQ(streams[0].site, FaultSite::StmAbort);  // site order before key
+  EXPECT_EQ(streams[0].key, 4u);
+  EXPECT_EQ(streams[0].decisions, 3u);
+  EXPECT_EQ(streams[0].injected, 0u);
+  EXPECT_EQ(streams[1].site, FaultSite::MsgDrop);
+  EXPECT_EQ(streams[1].key, 9u);
+  Injector::global().disarm();
+}
+
+TEST(Injector, InjectorScopeOverridesCurrentPerThread) {
+  Injector trial;
+  Schedule schedule;
+  schedule.entries.push_back({FaultSite::TestProbe, 0, 0, 0.0});
+  trial.arm_replay(schedule);
+
+  EXPECT_EQ(&Injector::current(), &Injector::global());
+  {
+    const InjectorScope scope(trial);
+    EXPECT_EQ(&Injector::current(), &trial);
+    EXPECT_TRUE(
+        Injector::current().decide(FaultSite::TestProbe, 0).has_value());
+    // Another thread without the scope still sees the global injector.
+    std::thread([] {
+      EXPECT_EQ(&Injector::current(), &Injector::global());
+    }).join();
+  }
+  EXPECT_EQ(&Injector::current(), &Injector::global());
+  EXPECT_EQ(trial.injected(FaultSite::TestProbe), 1u);
+  EXPECT_EQ(Injector::global().injected(FaultSite::TestProbe), 0u);
+}
+
+TEST(Injector, ArmedInjectorsKeepEnabledUntilAllDisarm) {
+  EXPECT_FALSE(injection_enabled());
+  {
+    Injector a;
+    Injector b;
+    a.arm_replay(Schedule{});
+    b.arm_replay(Schedule{});
+    EXPECT_TRUE(injection_enabled());
+    a.disarm();
+    EXPECT_TRUE(injection_enabled());  // b still armed
+    b.disarm();
+    EXPECT_FALSE(injection_enabled());
+    a.arm_replay(Schedule{});  // destructor of an armed injector also drops it
+  }
+  EXPECT_FALSE(injection_enabled());
 }
 
 TEST(Injector, ArmResetsCounters) {

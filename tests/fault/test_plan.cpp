@@ -18,6 +18,14 @@ TEST(FaultPlan, SiteNamesRoundTrip) {
   EXPECT_FALSE(site_from_name("").has_value());
 }
 
+TEST(FaultPlan, TestProbeSiteExistsForCampaignSelfTests) {
+  // The hook-less site the chaos-campaign CI gate seeds its deliberate
+  // violation through; it must stay addressable by name.
+  const auto site = site_from_name("test_probe");
+  ASSERT_TRUE(site.has_value());
+  EXPECT_EQ(*site, FaultSite::TestProbe);
+}
+
 TEST(FaultPlan, DefaultPlanIsInert) {
   const FaultPlan plan;
   EXPECT_FALSE(plan.any_armed());

@@ -1,0 +1,101 @@
+#include "fault/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace stamp::fault {
+namespace {
+
+Schedule sample() {
+  Schedule s;
+  s.entries.push_back({FaultSite::MsgDrop, 3, 1, 0.0});
+  s.entries.push_back({FaultSite::StmAbort, 0, 2, 1.5});
+  s.entries.push_back({FaultSite::StmAbort, 0, 0, 0.0});
+  return s;
+}
+
+TEST(Schedule, CanonicalizeSortsBySiteKeyDecision) {
+  Schedule s = sample();
+  s.canonicalize();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.entries[0].site, FaultSite::StmAbort);
+  EXPECT_EQ(s.entries[0].decision, 0u);
+  EXPECT_EQ(s.entries[1].site, FaultSite::StmAbort);
+  EXPECT_EQ(s.entries[1].decision, 2u);
+  EXPECT_EQ(s.entries[2].site, FaultSite::MsgDrop);
+}
+
+TEST(Schedule, CanonicalizeDropsDuplicateTriplesKeepingFirstMagnitude) {
+  Schedule s;
+  s.entries.push_back({FaultSite::MsgDelay, 1, 4, 100.0});
+  s.entries.push_back({FaultSite::MsgDelay, 1, 4, 999.0});  // same triple
+  s.canonicalize();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.entries[0].magnitude, 100.0);
+}
+
+TEST(Schedule, JsonRoundTripsCanonically) {
+  Schedule s = sample();
+  s.canonicalize();
+  const Schedule back = Schedule::from_json(s.to_json());
+  EXPECT_EQ(back, s);
+  // Byte-stable: serializing the parse reproduces the document.
+  EXPECT_EQ(back.to_json(), s.to_json());
+}
+
+TEST(Schedule, EmptyScheduleRoundTrips) {
+  const Schedule empty;
+  EXPECT_TRUE(empty.empty());
+  const Schedule back = Schedule::from_json(empty.to_json());
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(Schedule, FromJsonRejectsUnknownSite) {
+  const std::string text =
+      R"({"schema":"stamp-schedule/v1","entries":[)"
+      R"({"site":"no_such_site","key":0,"decision":0,"magnitude":0}]})";
+  EXPECT_THROW(static_cast<void>(Schedule::from_json(text)),
+               std::invalid_argument);
+}
+
+TEST(Schedule, FromJsonRejectsWrongSchema) {
+  EXPECT_THROW(static_cast<void>(Schedule::from_json(
+                   R"({"schema":"stamp-chaos/v1","entries":[]})")),
+               std::invalid_argument);
+}
+
+TEST(Schedule, FromJsonRejectsMissingFields) {
+  const std::string text =
+      R"({"schema":"stamp-schedule/v1","entries":[{"site":"stm_abort"}]})";
+  EXPECT_THROW(static_cast<void>(Schedule::from_json(text)),
+               std::invalid_argument);
+}
+
+TEST(Schedule, FromJsonRejectsNegativeNumbers) {
+  const std::string text =
+      R"({"schema":"stamp-schedule/v1","entries":[)"
+      R"({"site":"stm_abort","key":-1,"decision":0,"magnitude":0}]})";
+  EXPECT_THROW(static_cast<void>(Schedule::from_json(text)),
+               std::invalid_argument);
+}
+
+TEST(Schedule, FromJsonRejectsMalformedJson) {
+  EXPECT_ANY_THROW(static_cast<void>(Schedule::from_json("{not json")));
+}
+
+TEST(Schedule, MergeUnionsAndCanonicalizes) {
+  Schedule a;
+  a.entries.push_back({FaultSite::StmAbort, 0, 1, 0.0});
+  Schedule b;
+  b.entries.push_back({FaultSite::StmAbort, 0, 0, 0.0});
+  b.entries.push_back({FaultSite::StmAbort, 0, 1, 0.0});  // duplicate of a's
+  const Schedule merged = merge_schedules(a, b);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.entries[0].decision, 0u);
+  EXPECT_EQ(merged.entries[1].decision, 1u);
+}
+
+}  // namespace
+}  // namespace stamp::fault

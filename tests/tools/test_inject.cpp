@@ -1,0 +1,71 @@
+#include "tools/inject.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stamp::tools {
+namespace {
+
+TEST(InjectSpec, ParsesFullSpecIntoThePlan) {
+  fault::FaultPlan plan;
+  const auto problem =
+      parse_inject_spec("msg_drop=0.5,mag=2.5,max=3,key=7", plan);
+  EXPECT_FALSE(problem.has_value()) << *problem;
+  const fault::SiteSpec& spec = plan.spec(fault::FaultSite::MsgDrop);
+  EXPECT_TRUE(spec.armed());
+  EXPECT_DOUBLE_EQ(spec.probability, 0.5);
+  EXPECT_DOUBLE_EQ(spec.magnitude, 2.5);
+  EXPECT_EQ(spec.max_per_key, 3u);
+  EXPECT_EQ(spec.only_key, 7);
+}
+
+TEST(InjectSpec, UnknownSiteListsValidSites) {
+  fault::FaultPlan plan;
+  const auto problem = parse_inject_spec("bogus_site=1.0", plan);
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("unknown fault site 'bogus_site'"),
+            std::string::npos);
+  // The message must teach the valid vocabulary, not just reject.
+  EXPECT_NE(problem->find("stm_abort"), std::string::npos);
+  EXPECT_NE(problem->find("test_probe"), std::string::npos);
+  EXPECT_FALSE(plan.any_armed());
+}
+
+TEST(InjectSpec, ProbabilityOutsideUnitIntervalIsRejected) {
+  fault::FaultPlan plan;
+  const auto over = parse_inject_spec("stm_abort=1.5", plan);
+  ASSERT_TRUE(over.has_value());
+  EXPECT_NE(over->find("outside [0, 1]"), std::string::npos);
+
+  const auto under = parse_inject_spec("stm_abort=-0.5", plan);
+  ASSERT_TRUE(under.has_value());
+  EXPECT_NE(under->find("outside [0, 1]"), std::string::npos);
+  EXPECT_FALSE(plan.any_armed());
+}
+
+TEST(InjectSpec, MalformedSpecsProduceClearErrors) {
+  fault::FaultPlan plan;
+  EXPECT_NE(parse_inject_spec("stm_abort", plan)->find("expected SITE=PROB"),
+            std::string::npos);
+  EXPECT_NE(parse_inject_spec("stm_abort=", plan)->find("missing probability"),
+            std::string::npos);
+  EXPECT_NE(parse_inject_spec("stm_abort=abc", plan)->find("bad number"),
+            std::string::npos);
+  EXPECT_NE(
+      parse_inject_spec("stm_abort=0.5,bogus=1", plan)->find("unknown field"),
+      std::string::npos);
+  EXPECT_NE(
+      parse_inject_spec("msg_delay=0.5,mag=-1", plan)->find("is negative"),
+      std::string::npos);
+  EXPECT_FALSE(plan.any_armed());
+}
+
+TEST(InjectSpec, FaultSiteNamesCoversEverySite) {
+  const std::string names = fault_site_names();
+  for (std::size_t i = 0; i < fault::kFaultSiteCount; ++i)
+    EXPECT_NE(
+        names.find(fault::site_name(static_cast<fault::FaultSite>(i))),
+        std::string::npos);
+}
+
+}  // namespace
+}  // namespace stamp::tools

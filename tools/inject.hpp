@@ -1,0 +1,85 @@
+#pragma once
+/// \file inject.hpp
+/// \brief Shared parsing of `--inject SITE=PROB[,mag=M][,max=N][,key=K]`
+///        specs for the tools that arm a `fault::FaultPlan` from the
+///        command line (stamp_serve, stamp_chaos).
+///
+/// Errors come back as messages, never as silent no-ops: an unknown site
+/// name lists every valid site, and an out-of-range probability says which
+/// bound it violated — a chaos run that quietly armed nothing would defeat
+/// the robustness gate it exists to drive.
+///
+/// Header-only like cli.hpp: the tools are single-file executables.
+
+#include "fault/plan.hpp"
+
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace stamp::tools {
+
+/// Every valid fault site name, comma-separated — for error messages and
+/// help text.
+[[nodiscard]] inline std::string fault_site_names() {
+  std::string names;
+  for (std::size_t i = 0; i < stamp::fault::kFaultSiteCount; ++i) {
+    if (i > 0) names += ", ";
+    names += stamp::fault::site_name(static_cast<stamp::fault::FaultSite>(i));
+  }
+  return names;
+}
+
+/// Parse one `SITE=PROB[,mag=M][,max=N][,key=K]` spec into `plan`. Returns
+/// an empty optional on success, or a human-readable error.
+[[nodiscard]] inline std::optional<std::string> parse_inject_spec(
+    const std::string& spec, stamp::fault::FaultPlan& plan) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos)
+    return "expected SITE=PROB[,mag=M][,max=N][,key=K], got '" + spec + "'";
+  const std::string site_name = spec.substr(0, eq);
+  const auto site = stamp::fault::site_from_name(site_name);
+  if (!site.has_value())
+    return "unknown fault site '" + site_name +
+           "' (valid sites: " + fault_site_names() + ")";
+  double probability = 0;
+  double magnitude = 0;
+  // No max= means unlimited, mirroring FaultPlan::with — a 0 here would arm
+  // the site with a zero injection budget, i.e. silently never fire.
+  std::uint64_t max_per_key = std::numeric_limits<std::uint64_t>::max();
+  std::int64_t only_key = -1;
+  std::istringstream rest(spec.substr(eq + 1));
+  std::string field;
+  bool first = true;
+  while (std::getline(rest, field, ',')) {
+    try {
+      if (first) {
+        probability = std::stod(field);
+        first = false;
+      } else if (field.rfind("mag=", 0) == 0) {
+        magnitude = std::stod(field.substr(4));
+      } else if (field.rfind("max=", 0) == 0) {
+        max_per_key = std::stoull(field.substr(4));
+      } else if (field.rfind("key=", 0) == 0) {
+        only_key = std::stoll(field.substr(4));
+      } else {
+        return "unknown field '" + field + "' in '" + spec +
+               "' (want mag=, max=, or key=)";
+      }
+    } catch (const std::exception&) {
+      return "bad number in field '" + field + "' of '" + spec + "'";
+    }
+  }
+  if (first) return "missing probability in '" + spec + "'";
+  if (!(probability >= 0.0 && probability <= 1.0))
+    return "probability " + std::to_string(probability) + " for site '" +
+           site_name + "' is outside [0, 1]";
+  if (magnitude < 0)
+    return "magnitude " + std::to_string(magnitude) + " for site '" +
+           site_name + "' is negative";
+  plan.with(*site, probability, magnitude, max_per_key, only_key);
+  return std::nullopt;
+}
+
+}  // namespace stamp::tools

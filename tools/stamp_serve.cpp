@@ -17,6 +17,7 @@
 
 #include "api/stamp.hpp"
 #include "cli.hpp"
+#include "inject.hpp"
 #include "report/atomic_file.hpp"
 #include "serve/serve.hpp"
 #include "signals.hpp"
@@ -33,45 +34,6 @@
 namespace {
 
 using stamp::tools::Cli;
-
-/// Parse one --inject spec: SITE=PROB[,mag=M][,max=N][,key=K].
-bool parse_inject(const std::string& spec, stamp::fault::FaultPlan& plan) {
-  const std::size_t eq = spec.find('=');
-  if (eq == std::string::npos) return false;
-  const std::string site_name = spec.substr(0, eq);
-  const auto site = stamp::fault::site_from_name(site_name);
-  if (!site.has_value()) return false;
-  double probability = 0;
-  double magnitude = 0;
-  // No max= means unlimited, mirroring FaultPlan::with — a 0 here would arm
-  // the site with a zero injection budget, i.e. silently never fire.
-  std::uint64_t max_per_key = std::numeric_limits<std::uint64_t>::max();
-  std::int64_t only_key = -1;
-  std::istringstream rest(spec.substr(eq + 1));
-  std::string field;
-  bool first = true;
-  while (std::getline(rest, field, ',')) {
-    try {
-      if (first) {
-        probability = std::stod(field);
-        first = false;
-      } else if (field.rfind("mag=", 0) == 0) {
-        magnitude = std::stod(field.substr(4));
-      } else if (field.rfind("max=", 0) == 0) {
-        max_per_key = std::stoull(field.substr(4));
-      } else if (field.rfind("key=", 0) == 0) {
-        only_key = std::stoll(field.substr(4));
-      } else {
-        return false;
-      }
-    } catch (const std::exception&) {
-      return false;
-    }
-  }
-  if (first) return false;
-  plan.with(*site, probability, magnitude, max_per_key, only_key);
-  return true;
-}
 
 }  // namespace
 
@@ -136,8 +98,8 @@ int main(int argc, char** argv) {
     stamp::fault::FaultPlan plan;
     plan.seed = fault_seed;
     for (const std::string& spec : injects) {
-      if (!parse_inject(spec, plan)) {
-        std::cerr << "stamp_serve: bad --inject spec '" << spec << "'\n";
+      if (const auto problem = stamp::tools::parse_inject_spec(spec, plan)) {
+        std::cerr << "stamp_serve: bad --inject spec: " << *problem << "\n";
         return 2;
       }
     }
